@@ -1,0 +1,113 @@
+//! Microbenchmarks of the framework's core machinery: layout index maps,
+//! wavefront enumeration, per-wave transfer computation, and the plan
+//! audit. These are the pieces executed once per wave — they must stay
+//! O(1)-ish or the scheduling overhead would swamp the model.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::grid::{Layout, LayoutKind};
+use lddp_core::pattern::Pattern;
+use lddp_core::schedule::{Plan, ScheduleParams};
+use lddp_core::wavefront::{self, Dims};
+
+fn layout_index_maps(c: &mut Criterion) {
+    let dims = Dims::new(2048, 2048);
+    let mut group = c.benchmark_group("layout_index");
+    for (name, kind) in [
+        ("row_major", LayoutKind::RowMajor),
+        (
+            "anti_diag_major",
+            LayoutKind::WaveMajor(Pattern::AntiDiagonal),
+        ),
+        ("knight_major", LayoutKind::WaveMajor(Pattern::KnightMove)),
+    ] {
+        let layout = Layout::new(kind, dims);
+        group.bench_function(BenchmarkId::new("forward", name), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for i in (0..2048).step_by(97) {
+                    for j in (0..2048).step_by(89) {
+                        acc = acc.wrapping_add(layout.index(black_box(i), black_box(j)));
+                    }
+                }
+                acc
+            })
+        });
+        group.bench_function(BenchmarkId::new("inverse", name), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for idx in (0..2048 * 2048).step_by(8191) {
+                    let (i, j) = layout.coords(black_box(idx));
+                    acc = acc.wrapping_add(i ^ j);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn wavefront_enumeration(c: &mut Criterion) {
+    let dims = Dims::new(1024, 1024);
+    let mut group = c.benchmark_group("wavefront_enumeration");
+    for p in Pattern::ALL {
+        group.bench_function(format!("{p}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for w in (0..p.num_waves(1024, 1024)).step_by(61) {
+                    for (i, j) in wavefront::wave_cells(p, dims, w) {
+                        acc = acc.wrapping_add(i * 31 + j);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn plan_transfers(c: &mut Criterion) {
+    // Steady-state transfers must be O(1) per wave; a full-plan walk at
+    // n = 4096 is the regression canary.
+    let dims = Dims::new(4096, 4096);
+    let mut group = c.benchmark_group("plan_transfers");
+    group.sample_size(10);
+    let ad = ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]);
+    let plan = Plan::new(
+        Pattern::AntiDiagonal,
+        ad,
+        dims,
+        ScheduleParams::new(512, 256),
+    )
+    .unwrap();
+    group.bench_function("anti_diagonal_all_waves_4096", |b| {
+        b.iter(|| {
+            let mut cells = 0usize;
+            for w in 0..plan.num_waves() {
+                cells += plan.transfers(black_box(w)).len();
+            }
+            cells
+        })
+    });
+    let km = ContributingSet::FULL;
+    let plan = Plan::new(Pattern::KnightMove, km, dims, ScheduleParams::new(512, 256)).unwrap();
+    group.bench_function("knight_move_all_waves_4096", |b| {
+        b.iter(|| {
+            let mut cells = 0usize;
+            for w in 0..plan.num_waves() {
+                cells += plan.transfers(black_box(w)).len();
+            }
+            cells
+        })
+    });
+    group.bench_function("knight_move_audit_4096", |b| b.iter(|| plan.audit()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    layout_index_maps,
+    wavefront_enumeration,
+    plan_transfers
+);
+criterion_main!(benches);

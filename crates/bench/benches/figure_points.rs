@@ -1,0 +1,219 @@
+//! One Criterion benchmark per paper exhibit: each measures the cost of
+//! regenerating a representative point of that table/figure through the
+//! full framework pipeline (classification → plan → simulated run). This
+//! keeps `cargo bench` in lock-step with the `bin/fig*` regenerators —
+//! if a figure's machinery regresses, its benchmark moves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_sim::exec::{run_cpu_as, run_gpu_as, run_hetero, ExecOptions};
+use hetero_sim::platform::hetero_high;
+use lddp::Framework;
+use lddp_bench::random_seq;
+use lddp_core::kernel::Kernel;
+use lddp_core::pattern::{classify, table_one, Pattern};
+use lddp_core::schedule::{transfer_need, Plan, ScheduleParams};
+use lddp_core::wavefront::Dims;
+use lddp_problems::lcs::LcsKernel;
+use lddp_problems::synthetic::{fig8_kernel, fig9_kernel};
+use lddp_problems::{CheckerboardKernel, DitherKernel, LevenshteinKernel};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1_classification", |b| {
+        b.iter(|| {
+            let rows = table_one();
+            assert_eq!(rows.len(), 15);
+            rows
+        })
+    });
+    group.bench_function("table2_transfer_needs", |b| {
+        b.iter(|| {
+            table_one()
+                .into_iter()
+                .filter(|r| r.pattern.is_canonical())
+                .map(|r| transfer_need(r.pattern, r.set).unwrap().ways())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    let n = 1024;
+    let kernel = LcsKernel::new(random_seq(n, 4, 1), random_seq(n, 4, 2));
+    let fw = Framework::new(hetero_high());
+    let mut group = c.benchmark_group("fig07");
+    group.sample_size(10);
+    group.bench_function("t_switch_point_estimate", |b| {
+        b.iter(|| fw.estimate(&kernel, ScheduleParams::new(256, 0)).unwrap())
+    });
+    group.bench_function("full_two_stage_tune", |b| {
+        b.iter(|| fw.tune(&kernel).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    let kernel = fig8_kernel(Dims::new(1024, 1024), 1);
+    let platform = hetero_high();
+    let opts = ExecOptions::default();
+    let mut group = c.benchmark_group("fig08");
+    group.bench_function("inverted_l_gpu_model", |b| {
+        b.iter(|| {
+            run_gpu_as(&kernel, Pattern::InvertedL, &platform, &opts)
+                .unwrap()
+                .total_s
+        })
+    });
+    group.bench_function("horizontal1_gpu_model", |b| {
+        b.iter(|| {
+            run_gpu_as(&kernel, Pattern::Horizontal, &platform, &opts)
+                .unwrap()
+                .total_s
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let kernel = fig9_kernel(Dims::new(2048, 2048), 1);
+    let platform = hetero_high();
+    let plan = Plan::new(
+        Pattern::Horizontal,
+        kernel.contributing_set(),
+        kernel.dims(),
+        ScheduleParams::new(0, 512),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("fig09");
+    group.bench_function("framework_point_2048", |b| {
+        b.iter(|| {
+            run_hetero(&kernel, &plan, &platform, &ExecOptions::default())
+                .unwrap()
+                .total_s
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let n = 1024;
+    let kernel = LevenshteinKernel::new(random_seq(n, 4, 3), random_seq(n, 4, 4));
+    let platform = hetero_high();
+    let plan = Plan::new(
+        Pattern::AntiDiagonal,
+        kernel.contributing_set(),
+        kernel.dims(),
+        ScheduleParams::new(128, 64),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("levenshtein_framework_functional_1024", |b| {
+        b.iter(|| {
+            run_hetero(&kernel, &plan, &platform, &ExecOptions::functional())
+                .unwrap()
+                .grid
+                .unwrap()
+        })
+    });
+    group.bench_function("levenshtein_cpu_model_1024", |b| {
+        b.iter(|| {
+            run_cpu_as(
+                &kernel,
+                Pattern::AntiDiagonal,
+                &platform,
+                &ExecOptions::default(),
+            )
+            .unwrap()
+            .total_s
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let n = 512;
+    let kernel = DitherKernel::noise(n, n, 5);
+    let platform = hetero_high();
+    let plan = Plan::new(
+        Pattern::KnightMove,
+        kernel.contributing_set(),
+        kernel.dims(),
+        ScheduleParams::new(256, 0),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("dithering_framework_functional_512", |b| {
+        b.iter(|| {
+            run_hetero(&kernel, &plan, &platform, &ExecOptions::functional())
+                .unwrap()
+                .grid
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let n = 1024;
+    let kernel = CheckerboardKernel::random(n, n, 9, 7);
+    let platform = hetero_high();
+    let plan = Plan::new(
+        Pattern::Horizontal,
+        kernel.contributing_set(),
+        kernel.dims(),
+        ScheduleParams::new(0, 256),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("checkerboard_framework_functional_1024", |b| {
+        b.iter(|| {
+            run_hetero(&kernel, &plan, &platform, &ExecOptions::functional())
+                .unwrap()
+                .grid
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    // The front-door cost the paper's "productivity tool" claim rides
+    // on: classify + plan must be negligible next to any solve.
+    let kernel = fig9_kernel(Dims::new(4096, 4096), 1);
+    let fw = Framework::new(hetero_high());
+    c.bench_function("classify_kernel", |b| {
+        b.iter(|| {
+            let class = fw.classify(&kernel).unwrap();
+            assert!(class.exec_pattern.is_canonical());
+            class
+        })
+    });
+    c.bench_function("plan_construction_4096", |b| {
+        b.iter(|| {
+            Plan::new(
+                classify(kernel.contributing_set()).unwrap(),
+                kernel.contributing_set(),
+                kernel.dims(),
+                ScheduleParams::new(0, 512),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fig07,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10,
+    bench_fig12,
+    bench_fig13,
+    bench_classification
+);
+criterion_main!(benches);

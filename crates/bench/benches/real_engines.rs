@@ -1,0 +1,124 @@
+//! Wall-clock Criterion benchmarks of the *real* execution engines: the
+//! sequential oracle, the chunk-per-thread wavefront engine at several
+//! thread counts, every case-study kernel, and the Allison–Dix
+//! bit-parallel LCS baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lddp_bench::random_seq;
+use lddp_core::seq::solve_row_major;
+use lddp_parallel::ParallelEngine;
+use lddp_problems::lcs::{lcs_length, lcs_length_bitparallel, LcsKernel};
+use lddp_problems::{CheckerboardKernel, DitherKernel, LevenshteinKernel, SmithWatermanKernel};
+
+/// Thread scaling of the wavefront engine on an anti-diagonal problem.
+fn engine_scaling(c: &mut Criterion) {
+    let n = 768;
+    let a = random_seq(n, 4, 1);
+    let b = random_seq(n, 4, 2);
+    let kernel = LevenshteinKernel::new(a, b);
+    let mut group = c.benchmark_group("engine_scaling_levenshtein_768");
+    group.throughput(Throughput::Elements(((n + 1) * (n + 1)) as u64));
+    group.sample_size(10);
+    group.bench_function("sequential", |bench| {
+        bench.iter(|| solve_row_major(&kernel).unwrap())
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let engine = ParallelEngine::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |bench, _| bench.iter(|| engine.solve(&kernel).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// Per-problem throughput of the real engine (cells per second).
+fn problem_throughput(c: &mut Criterion) {
+    let engine = ParallelEngine::host();
+    let mut group = c.benchmark_group("problem_throughput");
+    group.sample_size(10);
+
+    let n = 512;
+    let lev = LevenshteinKernel::new(random_seq(n, 4, 3), random_seq(n, 4, 4));
+    group.throughput(Throughput::Elements(((n + 1) * (n + 1)) as u64));
+    group.bench_function("levenshtein_512", |b| {
+        b.iter(|| engine.solve(&lev).unwrap())
+    });
+
+    let dit = DitherKernel::noise(n, n, 5);
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.bench_function("dithering_512", |b| b.iter(|| engine.solve(&dit).unwrap()));
+
+    let che = CheckerboardKernel::random(n, n, 9, 6);
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.bench_function("checkerboard_512", |b| {
+        b.iter(|| engine.solve(&che).unwrap())
+    });
+
+    let m = 256;
+    let sw = SmithWatermanKernel::new(random_seq(m, 4, 7), random_seq(m, 4, 8));
+    group.throughput(Throughput::Elements(((m + 1) * (m + 1)) as u64));
+    group.bench_function("smith_waterman_256", |b| {
+        b.iter(|| engine.solve(&sw).unwrap())
+    });
+
+    group.finish();
+}
+
+/// Generic quadratic LCS vs the bit-parallel specialized algorithm — the
+/// introduction's "good generic vs excellent specific" trade-off, on
+/// real hardware.
+fn lcs_specialization(c: &mut Criterion) {
+    let n = 2048;
+    let a = random_seq(n, 4, 9);
+    let b = random_seq(n, 4, 10);
+    let mut group = c.benchmark_group("lcs_2048");
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.sample_size(10);
+    group.bench_function("generic_two_row", |bench| bench.iter(|| lcs_length(&a, &b)));
+    group.bench_function("bit_parallel_allison_dix", |bench| {
+        bench.iter(|| lcs_length_bitparallel(&a, &b))
+    });
+    let kernel = LcsKernel::new(a.clone(), b.clone());
+    let engine = ParallelEngine::host();
+    group.bench_function("framework_threads", |bench| {
+        bench.iter(|| engine.solve(&kernel).unwrap())
+    });
+    group.finish();
+}
+
+/// Naive row-major fill vs the cache-oblivious quadrant order (the
+/// Chowdhury & Ramachandran baseline, paper reference [8]) — real cache
+/// effects on the host.
+fn cache_oblivious_baseline(c: &mut Criterion) {
+    use lddp_parallel::CacheObliviousEngine;
+    let n = 1024;
+    let a = random_seq(n, 4, 11);
+    let b = random_seq(n, 4, 12);
+    let kernel = LevenshteinKernel::new(a, b);
+    let mut group = c.benchmark_group("cache_oblivious_levenshtein_1024");
+    group.throughput(Throughput::Elements(((n + 1) * (n + 1)) as u64));
+    group.sample_size(10);
+    group.bench_function("naive_row_major", |bench| {
+        bench.iter(|| solve_row_major(&kernel).unwrap())
+    });
+    group.bench_function("quadrant_sequential", |bench| {
+        let engine = CacheObliviousEngine::sequential();
+        bench.iter(|| engine.solve(&kernel).unwrap())
+    });
+    group.bench_function("quadrant_forked", |bench| {
+        let engine = CacheObliviousEngine::default();
+        bench.iter(|| engine.solve(&kernel).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    engine_scaling,
+    problem_throughput,
+    lcs_specialization,
+    cache_oblivious_baseline
+);
+criterion_main!(benches);

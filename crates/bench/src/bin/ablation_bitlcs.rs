@@ -1,0 +1,9 @@
+//! Ablation: generic framework vs the Allison–Dix bit-parallel LCS
+//! (problem-specific baseline), wall-clock.
+use lddp_bench::figures::ablation_bitlcs;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[512, 1024, 2048, 4096]);
+    ablation_bitlcs(&sizes).emit("ablation_bitlcs");
+}

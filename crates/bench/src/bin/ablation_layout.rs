@@ -1,0 +1,8 @@
+//! Ablation: §IV-B coalescing-friendly layout vs naive row-major.
+use lddp_bench::figures::ablation_layout;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[1024, 2048, 4096, 8192]);
+    ablation_layout(&sizes).emit("ablation_layout");
+}

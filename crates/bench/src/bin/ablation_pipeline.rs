@@ -1,0 +1,8 @@
+//! Ablation: §IV-C stream pipelining on vs off for one-way transfers.
+use lddp_bench::figures::ablation_pipeline;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[1024, 2048, 4096, 8192]);
+    ablation_pipeline(&sizes).emit("ablation_pipeline");
+}

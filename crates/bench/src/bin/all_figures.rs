@@ -1,0 +1,49 @@
+//! Regenerates every table and figure of the paper in one run.
+//! `cargo run --release -p lddp-bench --bin all_figures`
+use lddp_bench::figures::*;
+
+fn main() {
+    println!("Regenerating all exhibits (results/ gets one CSV each)…\n");
+
+    println!("== Table I — contributing sets and corresponding patterns");
+    for (w, nw, n, ne, pattern) in table1_rows() {
+        println!("  {w} {nw} {n} {ne}  {pattern}");
+    }
+    println!();
+    println!("== Table II — patterns and data transfer need");
+    for (pattern, ways) in table2_rows() {
+        println!("  {pattern:<22} {ways} way");
+    }
+    println!();
+
+    for (i, fig) in fig07(4096).into_iter().enumerate() {
+        fig.emit(&format!(
+            "fig07_{}",
+            if i == 0 { "t_switch" } else { "t_share" }
+        ));
+    }
+    fig08(&[1024, 2048, 4096, 8192]).emit("fig08");
+    let sizes = [1024, 2048, 4096, 8192, 16384];
+    for (fig, name) in fig09(&sizes).into_iter().zip(["fig09_high", "fig09_low"]) {
+        fig.emit(name);
+    }
+    for (fig, name) in fig10(&sizes).into_iter().zip(["fig10_high", "fig10_low"]) {
+        fig.emit(name);
+    }
+    let img = [512, 1024, 2048, 4096, 8192];
+    for (fig, name) in fig12(&img).into_iter().zip(["fig12_high", "fig12_low"]) {
+        fig.emit(name);
+    }
+    for (fig, name) in fig13(&sizes).into_iter().zip(["fig13_high", "fig13_low"]) {
+        fig.emit(name);
+    }
+    ablation_pipeline(&[1024, 2048, 4096, 8192]).emit("ablation_pipeline");
+    ablation_layout(&[1024, 2048, 4096, 8192]).emit("ablation_layout");
+    ablation_bitlcs(&[512, 1024, 2048, 4096]).emit("ablation_bitlcs");
+    extension_phi(&[1024, 2048, 4096, 8192]).emit("extension_phi");
+    println!(
+        "Also available (run individually): ablation_threading, ablation_partition,\n\
+         ablation_lockstep, extension_multi, extension_balance, verify_shapes.\n\
+         done."
+    );
+}

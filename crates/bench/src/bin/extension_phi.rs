@@ -1,0 +1,9 @@
+//! Extension: the paper's §VII outlook — the framework on a
+//! Xeon-Phi-like accelerator model.
+use lddp_bench::figures::extension_phi;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[1024, 2048, 4096, 8192]);
+    extension_phi(&sizes).emit("extension_phi");
+}

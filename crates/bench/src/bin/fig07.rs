@@ -1,0 +1,13 @@
+//! Regenerates Fig 7: heterogeneous time vs t_switch for LCS 4k×4k.
+use lddp_bench::figures::fig07;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let n = sizes_from_args(&[4096])[0];
+    for (i, fig) in fig07(n).into_iter().enumerate() {
+        fig.emit(&format!(
+            "fig07_{}",
+            if i == 0 { "t_switch" } else { "t_share" }
+        ));
+    }
+}

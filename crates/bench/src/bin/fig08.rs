@@ -1,0 +1,8 @@
+//! Regenerates Fig 8: inverted-L vs horizontal case-1 on CPU and GPU.
+use lddp_bench::figures::fig08;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[1024, 2048, 4096, 8192]);
+    fig08(&sizes).emit("fig08");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig 9: horizontal case-1 times across table sizes on
+//! Hetero-High and Hetero-Low.
+use lddp_bench::figures::fig09;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[1024, 2048, 4096, 8192, 16384]);
+    for (fig, name) in fig09(&sizes).into_iter().zip(["fig09_high", "fig09_low"]) {
+        fig.emit(name);
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig 10: Levenshtein distance across sizes on both
+//! platforms.
+use lddp_bench::figures::fig10;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[1024, 2048, 4096, 8192, 16384]);
+    for (fig, name) in fig10(&sizes).into_iter().zip(["fig10_high", "fig10_low"]) {
+        fig.emit(name);
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig 12: Floyd–Steinberg dithering across image sizes on
+//! both platforms.
+use lddp_bench::figures::fig12;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[512, 1024, 2048, 4096, 8192]);
+    for (fig, name) in fig12(&sizes).into_iter().zip(["fig12_high", "fig12_low"]) {
+        fig.emit(name);
+    }
+}

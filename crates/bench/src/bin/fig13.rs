@@ -1,0 +1,11 @@
+//! Regenerates Fig 13: checkerboard shortest path across sizes on both
+//! platforms.
+use lddp_bench::figures::fig13;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[1024, 2048, 4096, 8192, 16384]);
+    for (fig, name) in fig13(&sizes).into_iter().zip(["fig13_high", "fig13_low"]) {
+        fig.emit(name);
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the paper's Table I: contributing set → pattern.
+use lddp_bench::figures::table1_rows;
+use lddp_bench::results_dir;
+
+fn main() {
+    println!("== Table I — contributing sets and corresponding patterns");
+    println!("{:>6} {:>6} {:>6} {:>6}   Pattern", "W", "NW", "N", "NE");
+    let mut csv = String::from("W,NW,N,NE,Pattern\n");
+    for (w, nw, n, ne, pattern) in table1_rows() {
+        println!("{w:>6} {nw:>6} {n:>6} {ne:>6}   {pattern}");
+        csv.push_str(&format!("{w},{nw},{n},{ne},{pattern}\n"));
+    }
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("table1.csv");
+    std::fs::write(&path, csv).unwrap();
+    println!("   → {}", path.display());
+}

@@ -1,0 +1,19 @@
+//! Regenerates the paper's Table II: pattern → transfer need
+//! (1-way / 2-way), as derived from the schedule geometry.
+use lddp_bench::figures::table2_rows;
+use lddp_bench::results_dir;
+
+fn main() {
+    println!("== Table II — patterns and corresponding data transfer need");
+    println!("{:<22} 1-way / 2-way", "Pattern");
+    let mut csv = String::from("Pattern,Ways\n");
+    for (pattern, ways) in table2_rows() {
+        println!("{pattern:<22} {ways} way");
+        csv.push_str(&format!("{pattern},{ways}\n"));
+    }
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("table2.csv");
+    std::fs::write(&path, csv).unwrap();
+    println!("   → {}", path.display());
+}

@@ -1,0 +1,218 @@
+//! Automated reproduction verdicts: regenerates every exhibit at full
+//! size, evaluates the paper's qualitative claims against the measured
+//! series, and writes `results/REPORT.md` with one PASS/FAIL line per
+//! claim. The machine-checkable version of EXPERIMENTS.md.
+
+use lddp_bench::figures;
+use lddp_bench::{results_dir, Figure};
+use std::fmt::Write as _;
+
+struct Verdict {
+    exhibit: &'static str,
+    claim: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn series<'a>(fig: &'a Figure, label: &str) -> &'a [(f64, f64)] {
+    &fig.series
+        .iter()
+        .find(|s| s.label.contains(label))
+        .unwrap_or_else(|| panic!("missing series {label} in {}", fig.title))
+        .points
+}
+
+fn at(points: &[(f64, f64)], x: f64) -> f64 {
+    points
+        .iter()
+        .find(|&&(px, _)| px == x)
+        .map(|&(_, y)| y)
+        .unwrap_or_else(|| panic!("missing x={x}"))
+}
+
+fn main() {
+    let mut verdicts = Vec::new();
+    let mut push = |exhibit, claim, pass, detail: String| {
+        println!(
+            "[{}] {exhibit}: {claim} — {detail}",
+            if pass { "PASS" } else { "FAIL" }
+        );
+        verdicts.push(Verdict {
+            exhibit,
+            claim,
+            pass,
+            detail,
+        });
+    };
+
+    // Tables.
+    let t1 = figures::table1_rows();
+    push(
+        "Table I",
+        "15 rows, 6 patterns",
+        t1.len() == 15,
+        format!("{} rows", t1.len()),
+    );
+    let t2 = figures::table2_rows();
+    let t2_ok = t2
+        == vec![
+            ("Anti-diagonal".to_string(), 1),
+            ("Horizontal (case 1)".to_string(), 1),
+            ("Horizontal (case 2)".to_string(), 2),
+            ("Inverted-L".to_string(), 1),
+            ("Knight-move".to_string(), 2),
+        ];
+    push(
+        "Table II",
+        "transfer needs match the paper",
+        t2_ok,
+        format!("{t2:?}"),
+    );
+
+    // Fig 7: interior concave minimum.
+    let f7 = figures::fig07(4096);
+    let curve = &f7[0].series[0].points;
+    let min_idx = curve
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+        .unwrap()
+        .0;
+    push(
+        "Fig 7",
+        "interior minimum of the t_switch curve",
+        min_idx > 0 && min_idx < curve.len() - 1,
+        format!("argmin at index {min_idx} of {}", curve.len()),
+    );
+
+    // Fig 8: H1 beats iL on the GPU at every size.
+    let f8 = figures::fig08(&[1024, 2048, 4096, 8192]);
+    let gpu_il = series(&f8, "GPU-iL");
+    let gpu_h1 = series(&f8, "GPU-H1");
+    let f8_ok = gpu_il.iter().zip(gpu_h1).all(|(a, b)| b.1 < a.1);
+    push(
+        "Fig 8",
+        "horizontal case-1 beats inverted-L on the GPU",
+        f8_ok,
+        format!(
+            "at 4096: iL {:.2} ms vs H1 {:.2} ms",
+            at(gpu_il, 4096.0),
+            at(gpu_h1, 4096.0)
+        ),
+    );
+
+    // Figs 9/10/12/13 share the CPU/GPU/Framework structure.
+    let sizes = [1024usize, 2048, 4096, 8192, 16384];
+    let img_sizes = [512usize, 1024, 2048, 4096, 8192, 16384];
+    let checks: Vec<(&'static str, Vec<Figure>, f64, f64)> = vec![
+        ("Fig 9", figures::fig09(&sizes), 1024.0, 16384.0),
+        ("Fig 10", figures::fig10(&sizes), 1024.0, 16384.0),
+        ("Fig 12", figures::fig12(&img_sizes), 512.0, 16384.0),
+        ("Fig 13", figures::fig13(&sizes), 1024.0, 16384.0),
+    ];
+    for (name, figs, small, large) in &checks {
+        for fig in figs {
+            let cpu = series(fig, "CPU");
+            let gpu = series(fig, "GPU");
+            let fw = series(fig, "Framework");
+            let small_ok = at(cpu, *small) < at(gpu, *small);
+            push(
+                name,
+                "CPU wins at the smallest size",
+                small_ok,
+                format!(
+                    "{}: cpu {:.2} vs gpu {:.2} ms",
+                    fig.title,
+                    at(cpu, *small),
+                    at(gpu, *small)
+                ),
+            );
+            let large_ok = at(gpu, *large) < at(cpu, *large);
+            push(
+                name,
+                "GPU wins at the largest size",
+                large_ok,
+                format!(
+                    "{}: gpu {:.2} vs cpu {:.2} ms",
+                    fig.title,
+                    at(gpu, *large),
+                    at(cpu, *large)
+                ),
+            );
+            let fw_ok = cpu
+                .iter()
+                .zip(gpu)
+                .zip(fw)
+                .all(|((c, g), f)| f.1 <= c.1.min(g.1) * 1.001);
+            push(
+                name,
+                "framework never loses to either baseline",
+                fw_ok,
+                fig.title.clone(),
+            );
+            let fw_beats_gpu_at_scale = at(fw, *large) < at(gpu, *large);
+            push(
+                name,
+                "framework beats the pure GPU at scale",
+                fw_beats_gpu_at_scale,
+                format!(
+                    "{}: fw {:.2} vs gpu {:.2} ms",
+                    fig.title,
+                    at(fw, *large),
+                    at(gpu, *large)
+                ),
+            );
+        }
+    }
+
+    // Ablations.
+    let pipe = figures::ablation_pipeline(&[1024, 4096, 8192]);
+    let on = series(&pipe, "pipelined");
+    let off = series(&pipe, "serialized");
+    push(
+        "Ablation §IV-C",
+        "pipelining strictly helps",
+        on.iter().zip(off).all(|(a, b)| a.1 < b.1),
+        format!(
+            "at 8192: {:.2} vs {:.2} ms",
+            at(on, 8192.0),
+            at(off, 8192.0)
+        ),
+    );
+    let lay = figures::ablation_layout(&[1024, 4096, 8192]);
+    let wm = series(&lay, "wave-major");
+    let rm = series(&lay, "row-major");
+    push(
+        "Ablation §IV-B",
+        "coalesced layout strictly helps on the GPU",
+        wm.iter().zip(rm).all(|(a, b)| a.1 < b.1),
+        format!("at 8192: {:.2} vs {:.2} ms", at(wm, 8192.0), at(rm, 8192.0)),
+    );
+
+    // Report.
+    let passed = verdicts.iter().filter(|v| v.pass).count();
+    let total = verdicts.len();
+    let mut md = String::new();
+    let _ = writeln!(md, "# Reproduction verdicts\n");
+    let _ = writeln!(md, "{passed}/{total} claims hold.\n");
+    let _ = writeln!(md, "| Exhibit | Claim | Verdict | Detail |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    for v in &verdicts {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} |",
+            v.exhibit,
+            v.claim,
+            if v.pass { "PASS" } else { "**FAIL**" },
+            v.detail.replace('|', "/")
+        );
+    }
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("REPORT.md");
+    std::fs::write(&path, md).unwrap();
+    println!("\n{passed}/{total} claims hold → {}", path.display());
+    if passed != total {
+        std::process::exit(1);
+    }
+}

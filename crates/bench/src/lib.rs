@@ -1,0 +1,237 @@
+//! # lddp-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper's
+//! evaluation (run them all with `cargo run --release -p lddp-bench --bin
+//! all_figures`), plus Criterion benchmarks of the *real* engines in
+//! `benches/`.
+//!
+//! Each figure binary generates the paper's workload, sweeps the same
+//! parameter axis, prints the series the paper plots, and writes a CSV
+//! under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod svg;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A named series of (x, y) points — one line of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label ("CPU", "GPU", "Framework", …).
+    pub label: String,
+    /// Sample points: x (size / parameter) and y (milliseconds).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A figure: a title, an x-axis label, and its series (all sharing x
+/// values).
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Exhibit name ("Fig 10 — Levenshtein, Hetero-High").
+    pub title: String,
+    /// Meaning of the x column.
+    pub x_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Renders an aligned text table (the "same rows the paper reports").
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {}", self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>14}", s.label);
+        }
+        let _ = writeln!(out);
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
+        for r in 0..rows {
+            if let Some(&(x, _)) = self.series.first().and_then(|s| s.points.get(r)) {
+                let _ = write!(out, "{:>12}", format_x(x));
+            }
+            for s in &self.series {
+                match s.points.get(r) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, " {:>14.3}", y);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes `<name>.csv` under `dir` (header: x_label, labels…).
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{}", s.label);
+        }
+        let _ = writeln!(out);
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
+        for r in 0..rows {
+            if let Some(&(x, _)) = self.series.first().and_then(|s| s.points.get(r)) {
+                let _ = write!(out, "{}", format_x(x));
+            }
+            for s in &self.series {
+                match s.points.get(r) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            let _ = writeln!(out);
+        }
+        std::fs::write(&path, out)?;
+        Ok(path)
+    }
+
+    /// Prints the table and writes CSV + SVG, reporting the paths.
+    pub fn emit(&self, name: &str) {
+        print!("{}", self.to_table());
+        let dir = results_dir();
+        match self.write_csv(&dir, name) {
+            Ok(path) => println!("   → {}", path.display()),
+            Err(e) => println!("   (csv not written: {e})"),
+        }
+        let svg_path = dir.join(format!("{name}.svg"));
+        match std::fs::write(&svg_path, crate::svg::render(self)) {
+            Ok(()) => println!("   → {}\n", svg_path.display()),
+            Err(e) => println!("   (svg not written: {e})\n"),
+        }
+    }
+}
+
+fn format_x(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Default results directory (`results/` at the workspace root, or
+/// `$LDDP_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("LDDP_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            here.ancestors()
+                .nth(2)
+                .unwrap_or(Path::new("."))
+                .join("results")
+        })
+}
+
+/// Parses `--sizes 1024,2048` style CLI overrides; falls back to
+/// `default`.
+pub fn sizes_from_args(default: &[usize]) -> Vec<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--sizes" {
+            if let Some(list) = args.next() {
+                let parsed: Vec<usize> = list
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .collect();
+                if !parsed.is_empty() {
+                    return parsed;
+                }
+            }
+        }
+    }
+    default.to_vec()
+}
+
+/// Random byte string over a small alphabet (workload generator).
+pub fn random_seq(len: usize, alphabet: u8, seed: u64) -> Vec<u8> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..alphabet)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_renders_table_and_csv() {
+        let mut fig = Figure::new("Test", "n");
+        let mut cpu = Series::new("CPU");
+        cpu.push(1024.0, 1.5);
+        cpu.push(2048.0, 3.25);
+        let mut gpu = Series::new("GPU");
+        gpu.push(1024.0, 2.5);
+        gpu.push(2048.0, 2.75);
+        fig.series.push(cpu);
+        fig.series.push(gpu);
+        let table = fig.to_table();
+        assert!(table.contains("== Test"));
+        assert!(table.contains("1024"));
+        assert!(table.contains("3.250"));
+        let dir = std::env::temp_dir().join("lddp-bench-test");
+        let path = fig.write_csv(&dir, "test_fig").unwrap();
+        let csv = std::fs::read_to_string(path).unwrap();
+        assert!(csv.starts_with("n,CPU,GPU"));
+        assert!(csv.contains("2048,3.25,2.75"));
+    }
+
+    #[test]
+    fn random_seq_is_deterministic() {
+        assert_eq!(random_seq(16, 4, 1), random_seq(16, 4, 1));
+        assert_ne!(random_seq(16, 4, 1), random_seq(16, 4, 2));
+        assert!(random_seq(64, 4, 3).iter().all(|&b| b < 4));
+    }
+
+    #[test]
+    fn sizes_default_passthrough() {
+        assert_eq!(sizes_from_args(&[1, 2, 3]), vec![1, 2, 3]);
+    }
+}

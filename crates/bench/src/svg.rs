@@ -1,0 +1,261 @@
+//! Minimal hand-rolled SVG line charts, so every regenerated exhibit
+//! also lands as an image under `results/` — no plotting dependency.
+
+use crate::Figure;
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 44.0;
+const MARGIN_B: f64 = 52.0;
+
+/// Color cycle (color-blind-safe-ish).
+const COLORS: [&str; 6] = [
+    "#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2",
+];
+
+/// Renders the figure as an SVG line chart (log₂ x-axis when the x
+/// values span more than one octave, linear otherwise; linear y).
+pub fn render(fig: &Figure) -> String {
+    let xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    let ys: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .collect();
+    if xs.is_empty() {
+        return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>");
+    }
+    let (x_min, x_max) = bounds(&xs);
+    let (_, y_max) = bounds(&ys);
+    let y_min = 0.0;
+    let y_max = if y_max <= y_min {
+        y_min + 1.0
+    } else {
+        y_max * 1.05
+    };
+    let log_x = x_min > 0.0 && x_max / x_min >= 2.0;
+    let fx = |x: f64| -> f64 {
+        let t = if log_x {
+            (x.ln() - x_min.ln()) / (x_max.ln() - x_min.ln()).max(f64::MIN_POSITIVE)
+        } else if x_max > x_min {
+            (x - x_min) / (x_max - x_min)
+        } else {
+            0.5
+        };
+        MARGIN_L + t * (WIDTH - MARGIN_L - MARGIN_R)
+    };
+    let fy = |y: f64| -> f64 {
+        let t = (y - y_min) / (y_max - y_min);
+        HEIGHT - MARGIN_B - t * (HEIGHT - MARGIN_T - MARGIN_B)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"12\">"
+    );
+    let _ = writeln!(
+        out,
+        "<rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>"
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"24\" font-size=\"14\" font-weight=\"bold\">{}</text>",
+        MARGIN_L,
+        escape(&fig.title)
+    );
+
+    // Axes.
+    let _ = writeln!(
+        out,
+        "<line x1=\"{MARGIN_L}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#111\"/>",
+        HEIGHT - MARGIN_B,
+        WIDTH - MARGIN_R,
+        HEIGHT - MARGIN_B
+    );
+    let _ = writeln!(
+        out,
+        "<line x1=\"{MARGIN_L}\" y1=\"{MARGIN_T}\" x2=\"{MARGIN_L}\" y2=\"{}\" stroke=\"#111\"/>",
+        HEIGHT - MARGIN_B
+    );
+    // Y grid + labels (5 ticks).
+    for k in 0..=4 {
+        let y = y_min + (y_max - y_min) * k as f64 / 4.0;
+        let py = fy(y);
+        let _ = writeln!(
+            out,
+            "<line x1=\"{MARGIN_L}\" y1=\"{py}\" x2=\"{}\" y2=\"{py}\" stroke=\"#ddd\"/>",
+            WIDTH - MARGIN_R
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+            MARGIN_L - 6.0,
+            py + 4.0,
+            fmt_num(y)
+        );
+    }
+    // X labels at the actual sample positions of the first series.
+    if let Some(first) = fig.series.first() {
+        for &(x, _) in &first.points {
+            let px = fx(x);
+            let _ = writeln!(
+                out,
+                "<text x=\"{px}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+                HEIGHT - MARGIN_B + 18.0,
+                fmt_num(x)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+        (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+        HEIGHT - 12.0,
+        escape(&fig.x_label)
+    );
+
+    // Series.
+    for (idx, s) in fig.series.iter().enumerate() {
+        let color = COLORS[idx % COLORS.len()];
+        let mut path = String::new();
+        for (k, &(x, y)) in s.points.iter().enumerate() {
+            let _ = write!(
+                path,
+                "{}{:.2},{:.2} ",
+                if k == 0 { "M" } else { "L" },
+                fx(x),
+                fy(y)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<path d=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>",
+            path.trim_end()
+        );
+        for &(x, y) in &s.points {
+            let _ = writeln!(
+                out,
+                "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"3\" fill=\"{color}\"/>",
+                fx(x),
+                fy(y)
+            );
+        }
+        // Legend.
+        let ly = MARGIN_T + 18.0 * idx as f64;
+        let lx = WIDTH - MARGIN_R + 12.0;
+        let _ = writeln!(
+            out,
+            "<line x1=\"{lx}\" y1=\"{ly}\" x2=\"{}\" y2=\"{ly}\" stroke=\"{color}\" stroke-width=\"2\"/>",
+            lx + 18.0
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{}\">{}</text>",
+            lx + 24.0,
+            ly + 4.0,
+            escape(&s.label)
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in v {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    (min, max)
+}
+
+fn fmt_num(x: f64) -> String {
+    if x >= 1000.0 && x.fract() == 0.0 {
+        if x >= 1048576.0 && (x as u64).is_multiple_of(1024) {
+            format!("{}k", x as u64 / 1024)
+        } else {
+            format!("{}", x as u64)
+        }
+    } else if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Series;
+
+    fn sample_fig() -> Figure {
+        let mut fig = Figure::new("Test & demo", "n");
+        let mut a = Series::new("CPU(ms)");
+        a.push(1024.0, 2.0);
+        a.push(2048.0, 5.0);
+        a.push(4096.0, 15.0);
+        let mut b = Series::new("GPU(ms)");
+        b.push(1024.0, 3.0);
+        b.push(2048.0, 5.5);
+        b.push(4096.0, 12.0);
+        fig.series = vec![a, b];
+        fig
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render(&sample_fig());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("CPU(ms)"));
+        assert!(svg.contains("Test &amp; demo"), "title must be escaped");
+    }
+
+    #[test]
+    fn empty_figure_renders_empty_svg() {
+        let fig = Figure::new("empty", "x");
+        let svg = render(&fig);
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn single_point_series_does_not_panic() {
+        let mut fig = Figure::new("one", "x");
+        let mut s = Series::new("only");
+        s.push(5.0, 1.0);
+        fig.series = vec![s];
+        let svg = render(&fig);
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_the_canvas() {
+        let svg = render(&sample_fig());
+        for part in svg.split("cx=\"").skip(1) {
+            let x: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=WIDTH).contains(&x));
+        }
+        for part in svg.split("cy=\"").skip(1) {
+            let y: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=HEIGHT).contains(&y));
+        }
+    }
+}

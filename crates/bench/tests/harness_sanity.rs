@@ -1,0 +1,148 @@
+//! Sanity tests of the reproduction harness: the figure generators must
+//! produce well-formed series with the paper's qualitative orderings at
+//! small (test-sized) inputs, and the table generators must match the
+//! paper exactly.
+
+use lddp_bench::figures;
+
+#[test]
+fn table1_has_fifteen_rows_matching_the_paper() {
+    let rows = figures::table1_rows();
+    assert_eq!(rows.len(), 15);
+    // First and last rows as printed in the paper.
+    assert_eq!(
+        rows[0],
+        (
+            "N".to_string(),
+            "N".to_string(),
+            "N".to_string(),
+            "Y".to_string(),
+            "mInverted-L".to_string()
+        )
+    );
+    assert_eq!(
+        rows[14],
+        (
+            "Y".to_string(),
+            "Y".to_string(),
+            "Y".to_string(),
+            "Y".to_string(),
+            "Knight-Move".to_string()
+        )
+    );
+    // Pattern multiset over the 15 rows: 5 Horizontal, 4 Knight-Move,
+    // 2 Vertical, 2 Anti-diagonal, 1 Inverted-L, 1 mInverted-L.
+    let count = |p: &str| rows.iter().filter(|r| r.4 == p).count();
+    assert_eq!(count("Horizontal"), 5);
+    assert_eq!(count("Vertical"), 2);
+    assert_eq!(count("Anti-diagonal"), 2);
+    assert_eq!(count("Knight-Move"), 4);
+    assert_eq!(count("Inverted-L"), 1);
+    assert_eq!(count("mInverted-L"), 1);
+}
+
+#[test]
+fn table2_matches_the_paper() {
+    let rows = figures::table2_rows();
+    let expect = [
+        ("Anti-diagonal", 1),
+        ("Horizontal (case 1)", 1),
+        ("Horizontal (case 2)", 2),
+        ("Inverted-L", 1),
+        ("Knight-move", 2),
+    ];
+    assert_eq!(rows.len(), expect.len());
+    for ((name, ways), (ename, eways)) in rows.iter().zip(expect.iter()) {
+        assert_eq!(name, ename);
+        assert_eq!(ways, eways);
+    }
+}
+
+#[test]
+fn fig07_generator_produces_concave_curve() {
+    let figs = figures::fig07(512);
+    assert_eq!(figs.len(), 2);
+    let switch_curve = &figs[0].series[0];
+    assert!(switch_curve.points.len() >= 5);
+    // Times positive and the curve not monotone increasing from zero
+    // (there is a benefit to some t_switch).
+    assert!(switch_curve.points.iter().all(|&(_, y)| y > 0.0));
+    let first = switch_curve.points.first().unwrap().1;
+    let min = switch_curve
+        .points
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::INFINITY, f64::min);
+    assert!(min < first, "some t_switch must beat pure-GPU");
+}
+
+#[test]
+fn fig08_generator_orders_h1_before_il_on_gpu() {
+    let fig = figures::fig08(&[512, 1024]);
+    assert_eq!(fig.series.len(), 4);
+    let by_label = |label: &str| {
+        fig.series
+            .iter()
+            .find(|s| s.label.contains(label))
+            .unwrap_or_else(|| panic!("missing series {label}"))
+    };
+    let gpu_il = by_label("GPU-iL");
+    let gpu_h1 = by_label("GPU-H1");
+    for (a, b) in gpu_il.points.iter().zip(gpu_h1.points.iter()) {
+        assert!(b.1 < a.1, "H1 must beat iL on the GPU at n={}", a.0);
+    }
+}
+
+#[test]
+fn cpu_gpu_framework_figures_are_well_formed() {
+    for figs in [figures::fig09(&[512, 1024]), figures::fig13(&[512, 1024])] {
+        assert_eq!(figs.len(), 2, "one figure per platform");
+        for fig in figs {
+            assert_eq!(fig.series.len(), 3);
+            let cpu = &fig.series[0];
+            let gpu = &fig.series[1];
+            let fw = &fig.series[2];
+            for ((c, g), f) in cpu
+                .points
+                .iter()
+                .zip(gpu.points.iter())
+                .zip(fw.points.iter())
+            {
+                assert!(c.1 > 0.0 && g.1 > 0.0 && f.1 > 0.0);
+                // The tuned framework never loses to both baselines.
+                assert!(
+                    f.1 <= c.1.max(g.1) * 1.001,
+                    "{}: framework {} vs cpu {} gpu {}",
+                    fig.title,
+                    f.1,
+                    c.1,
+                    g.1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_ablation_shows_positive_benefit() {
+    let fig = figures::ablation_pipeline(&[512, 1024]);
+    let on = &fig.series[0];
+    let off = &fig.series[1];
+    for (a, b) in on.points.iter().zip(off.points.iter()) {
+        assert!(b.1 > a.1, "serialized must be slower at n={}", a.0);
+    }
+}
+
+#[test]
+fn layout_ablation_shows_coalescing_benefit() {
+    let fig = figures::ablation_layout(&[512, 1024]);
+    let coalesced = &fig.series[0];
+    let strided = &fig.series[1];
+    for (a, b) in coalesced.points.iter().zip(strided.points.iter()) {
+        assert!(
+            b.1 > a.1 * 1.2,
+            "strided must be clearly slower at n={}",
+            a.0
+        );
+    }
+}

@@ -1,0 +1,587 @@
+//! Cell geometry for 2-D LDDP-Plus problems.
+//!
+//! Every interior cell of a 2-D table is surrounded by eight neighbours.
+//! Because the update function `f` is the same for all cells, a cell may
+//! only depend on neighbours that are *pairwise non-conflicting*: two
+//! neighbours conflict when a straight line through them passes through
+//! the cell itself (paper, §II, Fig 1a). Any maximal non-conflicting set
+//! has exactly four elements; the paper fixes the *representative set*
+//! `RS(i,j) = { (i,j-1), (i-1,j-1), (i-1,j), (i-1,j+1) }`, i.e. the
+//! west, north-west, north and north-east neighbours.
+
+use std::fmt;
+
+/// One of the eight neighbours of a cell, named by compass direction.
+///
+/// Directions are relative to the cell being filled: `N` is the cell one
+/// row up, `W` one column left, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// `(i, j-1)`
+    W,
+    /// `(i-1, j-1)`
+    Nw,
+    /// `(i-1, j)`
+    N,
+    /// `(i-1, j+1)`
+    Ne,
+    /// `(i, j+1)`
+    E,
+    /// `(i+1, j+1)`
+    Se,
+    /// `(i+1, j)`
+    S,
+    /// `(i+1, j-1)`
+    Sw,
+}
+
+impl Direction {
+    /// All eight neighbour directions.
+    pub const ALL: [Direction; 8] = [
+        Direction::W,
+        Direction::Nw,
+        Direction::N,
+        Direction::Ne,
+        Direction::E,
+        Direction::Se,
+        Direction::S,
+        Direction::Sw,
+    ];
+
+    /// Row/column offset of this neighbour relative to the cell.
+    pub const fn offset(self) -> (isize, isize) {
+        match self {
+            Direction::W => (0, -1),
+            Direction::Nw => (-1, -1),
+            Direction::N => (-1, 0),
+            Direction::Ne => (-1, 1),
+            Direction::E => (0, 1),
+            Direction::Se => (1, 1),
+            Direction::S => (1, 0),
+            Direction::Sw => (1, -1),
+        }
+    }
+
+    /// The neighbour diametrically opposite this one.
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::W => Direction::E,
+            Direction::Nw => Direction::Se,
+            Direction::N => Direction::S,
+            Direction::Ne => Direction::Sw,
+            Direction::E => Direction::W,
+            Direction::Se => Direction::Nw,
+            Direction::S => Direction::N,
+            Direction::Sw => Direction::Ne,
+        }
+    }
+
+    /// Two neighbours *conflict* when a straight line drawn through them
+    /// passes through the centre cell, i.e. they are opposite each other.
+    pub const fn conflicts_with(self, other: Direction) -> bool {
+        matches!(
+            (self.offset(), other.offset()),
+            ((a, b), (c, d)) if a == -c && b == -d
+        )
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::W => "W",
+            Direction::Nw => "NW",
+            Direction::N => "N",
+            Direction::Ne => "NE",
+            Direction::E => "E",
+            Direction::Se => "SE",
+            Direction::S => "S",
+            Direction::Sw => "SW",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the four *representative cells* a LDDP-Plus update may read.
+///
+/// These are the four pairwise non-conflicting neighbours chosen by the
+/// paper (Fig 1b, the set marked `a`): west, north-west, north and
+/// north-east.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RepCell {
+    /// `(i, j-1)` — the cell immediately to the left.
+    W,
+    /// `(i-1, j-1)` — the cell diagonally up-left.
+    Nw,
+    /// `(i-1, j)` — the cell immediately above.
+    N,
+    /// `(i-1, j+1)` — the cell diagonally up-right.
+    Ne,
+}
+
+impl RepCell {
+    /// All four representative cells, in the paper's Table I column order
+    /// `(cell_{i,j-1}, cell_{i-1,j-1}, cell_{i-1,j}, cell_{i-1,j+1})`.
+    pub const ALL: [RepCell; 4] = [RepCell::W, RepCell::Nw, RepCell::N, RepCell::Ne];
+
+    /// Row/column offset relative to the cell being filled.
+    pub const fn offset(self) -> (isize, isize) {
+        match self {
+            RepCell::W => (0, -1),
+            RepCell::Nw => (-1, -1),
+            RepCell::N => (-1, 0),
+            RepCell::Ne => (-1, 1),
+        }
+    }
+
+    /// The corresponding general compass direction.
+    pub const fn direction(self) -> Direction {
+        match self {
+            RepCell::W => Direction::W,
+            RepCell::Nw => Direction::Nw,
+            RepCell::N => Direction::N,
+            RepCell::Ne => Direction::Ne,
+        }
+    }
+
+    /// Bit used by [`ContributingSet`].
+    const fn bit(self) -> u8 {
+        match self {
+            RepCell::W => 1 << 0,
+            RepCell::Nw => 1 << 1,
+            RepCell::N => 1 << 2,
+            RepCell::Ne => 1 << 3,
+        }
+    }
+
+    /// Source position `(i - di, j - dj)` of this representative cell for
+    /// the target cell `(i, j)`, or `None` when it falls outside an
+    /// `rows × cols` table.
+    pub fn source(self, i: usize, j: usize, rows: usize, cols: usize) -> Option<(usize, usize)> {
+        let (di, dj) = self.offset();
+        let si = i as isize + di;
+        let sj = j as isize + dj;
+        if si < 0 || sj < 0 || si >= rows as isize || sj >= cols as isize {
+            None
+        } else {
+            Some((si as usize, sj as usize))
+        }
+    }
+}
+
+impl fmt::Display for RepCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.direction(), f)
+    }
+}
+
+/// The *contributing set*: the subset of representative cells the update
+/// function actually reads (paper, §II, Fig 1c).
+///
+/// Encoded as a 4-bit set; the 15 non-empty values enumerate the rows of
+/// the paper's Table I.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContributingSet(u8);
+
+impl ContributingSet {
+    /// The empty set. Not a valid LDDP-Plus dependency (`f` must read at
+    /// least one neighbour) but useful as a builder seed.
+    pub const EMPTY: ContributingSet = ContributingSet(0);
+
+    /// The full representative set `{W, NW, N, NE}`.
+    pub const FULL: ContributingSet = ContributingSet(0b1111);
+
+    /// Builds a set from a slice of representative cells.
+    pub fn new(cells: &[RepCell]) -> Self {
+        let mut s = ContributingSet::EMPTY;
+        for &c in cells {
+            s = s.with(c);
+        }
+        s
+    }
+
+    /// Builds a set from the raw Table-I row encoding. Bits are, from
+    /// least significant: `W, NW, N, NE`. Values `1..=15` are the fifteen
+    /// rows of Table I.
+    pub fn from_bits(bits: u8) -> Option<Self> {
+        if bits <= 0b1111 {
+            Some(ContributingSet(bits))
+        } else {
+            None
+        }
+    }
+
+    /// Raw 4-bit encoding (`W` = bit 0 … `NE` = bit 3).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Returns a copy of the set with `cell` added.
+    #[must_use]
+    pub const fn with(self, cell: RepCell) -> Self {
+        ContributingSet(self.0 | cell.bit())
+    }
+
+    /// Returns a copy of the set with `cell` removed.
+    #[must_use]
+    pub const fn without(self, cell: RepCell) -> Self {
+        ContributingSet(self.0 & !cell.bit())
+    }
+
+    /// Does the set contain `cell`?
+    pub const fn contains(self, cell: RepCell) -> bool {
+        self.0 & cell.bit() != 0
+    }
+
+    /// Number of contributing cells (0–4).
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no representative cell is read.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the members in Table-I order (`W, NW, N, NE`).
+    pub fn iter(self) -> impl Iterator<Item = RepCell> {
+        RepCell::ALL.into_iter().filter(move |c| self.contains(*c))
+    }
+
+    /// All 15 non-empty contributing sets, ordered as in Table I
+    /// (lexicographic on the `(W, NW, N, NE)` membership columns, i.e.
+    /// `NE`-only first, full set last — matching the paper's row order).
+    pub fn table_one_rows() -> impl Iterator<Item = ContributingSet> {
+        // Table I orders rows by the tuple (W, NW, N, NE) read as a
+        // binary number with W as the most significant bit.
+        (1u8..=0b1111).map(|row| {
+            let mut s = ContributingSet::EMPTY;
+            if row & 0b1000 != 0 {
+                s = s.with(RepCell::W);
+            }
+            if row & 0b0100 != 0 {
+                s = s.with(RepCell::Nw);
+            }
+            if row & 0b0010 != 0 {
+                s = s.with(RepCell::N);
+            }
+            if row & 0b0001 != 0 {
+                s = s.with(RepCell::Ne);
+            }
+            s
+        })
+    }
+
+    /// The set mirrored left-to-right (columns reversed): `W ↔` (no
+    /// representative image — see note), `NW ↔ NE`, `N ↔ N`.
+    ///
+    /// Mirroring maps the representative set onto the non-conflicting set
+    /// `{E, NE, N, NW}`; only the sub-lattice `{NW, N, NE}` stays inside
+    /// the representative set, so this is only meaningful for sets not
+    /// containing `W`. Used to reduce mirrored-Inverted-L to Inverted-L.
+    pub fn mirrored(self) -> Option<Self> {
+        if self.contains(RepCell::W) {
+            return None;
+        }
+        let mut s = ContributingSet::EMPTY;
+        if self.contains(RepCell::Nw) {
+            s = s.with(RepCell::Ne);
+        }
+        if self.contains(RepCell::Ne) {
+            s = s.with(RepCell::Nw);
+        }
+        if self.contains(RepCell::N) {
+            s = s.with(RepCell::N);
+        }
+        Some(s)
+    }
+
+    /// The set transposed across the main diagonal: `W ↔ N`, `NW ↔ NW`.
+    ///
+    /// Transposition swaps rows and columns of the table; it maps the
+    /// Vertical pattern onto the Horizontal pattern. `NE = (i-1, j+1)`
+    /// transposes to `(i+1, j-1) = SW`, which is outside the
+    /// representative set, so sets containing `NE` cannot be transposed.
+    pub fn transposed(self) -> Option<Self> {
+        if self.contains(RepCell::Ne) {
+            return None;
+        }
+        let mut s = ContributingSet::EMPTY;
+        if self.contains(RepCell::W) {
+            s = s.with(RepCell::N);
+        }
+        if self.contains(RepCell::N) {
+            s = s.with(RepCell::W);
+        }
+        if self.contains(RepCell::Nw) {
+            s = s.with(RepCell::Nw);
+        }
+        Some(s)
+    }
+}
+
+impl fmt::Debug for ContributingSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ContributingSet{{")?;
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for ContributingSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for c in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<RepCell> for ContributingSet {
+    fn from_iter<T: IntoIterator<Item = RepCell>>(iter: T) -> Self {
+        let mut s = ContributingSet::EMPTY;
+        for c in iter {
+            s = s.with(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_match_compass_names() {
+        assert_eq!(RepCell::W.offset(), (0, -1));
+        assert_eq!(RepCell::Nw.offset(), (-1, -1));
+        assert_eq!(RepCell::N.offset(), (-1, 0));
+        assert_eq!(RepCell::Ne.offset(), (-1, 1));
+    }
+
+    #[test]
+    fn opposite_directions_are_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            let (a, b) = d.offset();
+            let (c, e) = d.opposite().offset();
+            assert_eq!((a, b), (-c, -e));
+        }
+    }
+
+    #[test]
+    fn conflict_iff_opposite() {
+        for a in Direction::ALL {
+            for b in Direction::ALL {
+                assert_eq!(a.conflicts_with(b), b == a.opposite(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn representative_set_is_pairwise_non_conflicting() {
+        for a in RepCell::ALL {
+            for b in RepCell::ALL {
+                if a != b {
+                    assert!(!a.direction().conflicts_with(b.direction()), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn representative_set_is_maximal() {
+        // Adding any non-representative neighbour conflicts with a member.
+        for d in Direction::ALL {
+            let is_rep = RepCell::ALL.iter().any(|r| r.direction() == d);
+            if is_rep {
+                continue;
+            }
+            let conflicts = RepCell::ALL.iter().any(|r| d.conflicts_with(r.direction()));
+            assert!(conflicts, "{d} should conflict with a representative cell");
+        }
+    }
+
+    #[test]
+    fn eight_representative_sets_exist() {
+        // Paper Fig 1(b): there are exactly 8 maximal non-conflicting
+        // 4-subsets of the 8 neighbours. A 4-subset is non-conflicting iff
+        // it picks exactly one from each of the 4 opposite pairs.
+        let mut count = 0;
+        for mask in 0u16..256 {
+            let chosen: Vec<Direction> = Direction::ALL
+                .into_iter()
+                .enumerate()
+                .filter(|(k, _)| mask & (1 << k) != 0)
+                .map(|(_, d)| d)
+                .collect();
+            if chosen.len() != 4 {
+                continue;
+            }
+            let ok = chosen
+                .iter()
+                .all(|a| chosen.iter().all(|b| a == b || !a.conflicts_with(*b)));
+            if ok {
+                count += 1;
+            }
+        }
+        // One binary choice per opposite pair: 2^4 = 16 non-conflicting
+        // 4-subsets in total. The paper's "8 representative sets" (Fig 1b)
+        // are the contiguous arcs of the neighbour ring, pinned below.
+        assert_eq!(count, 16);
+        assert_eq!(contiguous_arcs(), 8);
+    }
+
+    /// Counts 4-subsets forming a contiguous arc of the neighbour ring —
+    /// the paper's eight representative sets.
+    fn contiguous_arcs() -> usize {
+        // Ring order around the cell.
+        let ring = [
+            Direction::W,
+            Direction::Nw,
+            Direction::N,
+            Direction::Ne,
+            Direction::E,
+            Direction::Se,
+            Direction::S,
+            Direction::Sw,
+        ];
+        let mut count = 0;
+        for start in 0..8 {
+            let arc: Vec<Direction> = (0..4).map(|k| ring[(start + k) % 8]).collect();
+            let ok = arc
+                .iter()
+                .all(|a| arc.iter().all(|b| a == b || !a.conflicts_with(*b)));
+            if ok {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn set_membership_roundtrip() {
+        for bits in 0u8..=15 {
+            let s = ContributingSet::from_bits(bits).unwrap();
+            assert_eq!(s.bits(), bits);
+            let members: Vec<_> = s.iter().collect();
+            assert_eq!(members.len(), s.len());
+            let rebuilt: ContributingSet = members.into_iter().collect();
+            assert_eq!(rebuilt, s);
+        }
+        assert!(ContributingSet::from_bits(16).is_none());
+    }
+
+    #[test]
+    fn with_and_without_are_inverse() {
+        for c in RepCell::ALL {
+            let s = ContributingSet::EMPTY.with(c);
+            assert!(s.contains(c));
+            assert_eq!(s.without(c), ContributingSet::EMPTY);
+            assert_eq!(
+                ContributingSet::FULL.without(c).with(c),
+                ContributingSet::FULL
+            );
+        }
+    }
+
+    #[test]
+    fn table_one_enumerates_fifteen_unique_rows() {
+        let rows: Vec<_> = ContributingSet::table_one_rows().collect();
+        assert_eq!(rows.len(), 15);
+        for (a, row) in rows.iter().enumerate() {
+            assert!(!row.is_empty());
+            for (b, other) in rows.iter().enumerate() {
+                if a != b {
+                    assert_ne!(row, other);
+                }
+            }
+        }
+        // First row is NE-only, last is the full set (paper order).
+        assert_eq!(rows[0], ContributingSet::new(&[RepCell::Ne]));
+        assert_eq!(rows[14], ContributingSet::FULL);
+    }
+
+    #[test]
+    fn mirroring_swaps_nw_and_ne() {
+        let s = ContributingSet::new(&[RepCell::Ne]);
+        assert_eq!(s.mirrored(), Some(ContributingSet::new(&[RepCell::Nw])));
+        let s = ContributingSet::new(&[RepCell::Nw, RepCell::N]);
+        assert_eq!(
+            s.mirrored(),
+            Some(ContributingSet::new(&[RepCell::Ne, RepCell::N]))
+        );
+        assert_eq!(ContributingSet::new(&[RepCell::W]).mirrored(), None);
+    }
+
+    #[test]
+    fn mirroring_is_involutive_where_defined() {
+        for s in ContributingSet::table_one_rows() {
+            if let Some(m) = s.mirrored() {
+                assert_eq!(m.mirrored(), Some(s));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_w_and_n() {
+        let s = ContributingSet::new(&[RepCell::W]);
+        assert_eq!(s.transposed(), Some(ContributingSet::new(&[RepCell::N])));
+        let s = ContributingSet::new(&[RepCell::W, RepCell::Nw]);
+        assert_eq!(
+            s.transposed(),
+            Some(ContributingSet::new(&[RepCell::N, RepCell::Nw]))
+        );
+        assert_eq!(ContributingSet::new(&[RepCell::Ne]).transposed(), None);
+    }
+
+    #[test]
+    fn transpose_is_involutive_where_defined() {
+        for s in ContributingSet::table_one_rows() {
+            if let Some(t) = s.transposed() {
+                assert_eq!(t.transposed(), Some(s));
+            }
+        }
+    }
+
+    #[test]
+    fn source_positions_respect_bounds() {
+        // (0,0) has no representative sources at all.
+        for c in RepCell::ALL {
+            assert_eq!(c.source(0, 0, 4, 4), None);
+        }
+        // Interior cell sees all four.
+        for c in RepCell::ALL {
+            assert!(c.source(2, 2, 4, 4).is_some());
+        }
+        // NE of a cell in the last column is out of bounds.
+        assert_eq!(RepCell::Ne.source(2, 3, 4, 4), None);
+        assert_eq!(RepCell::Nw.source(2, 0, 4, 4), None);
+        assert_eq!(RepCell::W.source(2, 0, 4, 4), None);
+        // Values themselves.
+        assert_eq!(RepCell::W.source(2, 2, 4, 4), Some((2, 1)));
+        assert_eq!(RepCell::Nw.source(2, 2, 4, 4), Some((1, 1)));
+        assert_eq!(RepCell::N.source(2, 2, 4, 4), Some((1, 2)));
+        assert_eq!(RepCell::Ne.source(2, 2, 4, 4), Some((1, 3)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = ContributingSet::new(&[RepCell::W, RepCell::Ne]);
+        assert_eq!(format!("{s}"), "{W,NE}");
+        assert_eq!(format!("{s:?}"), "ContributingSet{W, NE}");
+    }
+}

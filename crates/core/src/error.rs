@@ -1,0 +1,79 @@
+//! Error type shared across the framework.
+
+use crate::pattern::Pattern;
+use std::fmt;
+
+/// Errors surfaced by classification, scheduling and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The kernel declared an empty contributing set; `f` must read at
+    /// least one representative cell to be an LDDP-Plus problem.
+    EmptyContributingSet,
+    /// A schedule parameter is out of range for the problem size.
+    InvalidSchedule {
+        /// The pattern being scheduled.
+        pattern: Pattern,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The tuner was asked to search an empty candidate range.
+    EmptyTuningRange,
+    /// An executor was handed a plan built for different dimensions or a
+    /// different pattern than the kernel's.
+    PlanMismatch {
+        /// What the plan was built for.
+        expected: String,
+        /// What the kernel declares.
+        found: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyContributingSet => {
+                write!(
+                    f,
+                    "contributing set is empty: f must read at least one representative cell"
+                )
+            }
+            Error::InvalidSchedule { pattern, reason } => {
+                write!(f, "invalid schedule for {pattern} pattern: {reason}")
+            }
+            Error::EmptyTuningRange => write!(f, "tuning candidate range is empty"),
+            Error::PlanMismatch { expected, found } => {
+                write!(
+                    f,
+                    "plan mismatch: plan built for {expected}, kernel declares {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Framework result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::EmptyContributingSet.to_string().contains("empty"));
+        let e = Error::InvalidSchedule {
+            pattern: Pattern::Horizontal,
+            reason: "t_share exceeds row width".into(),
+        };
+        assert!(e.to_string().contains("Horizontal"));
+        assert!(e.to_string().contains("t_share"));
+        assert!(Error::EmptyTuningRange.to_string().contains("tuning"));
+        let e = Error::PlanMismatch {
+            expected: "4x4".into(),
+            found: "5x5".into(),
+        };
+        assert!(e.to_string().contains("4x4"));
+    }
+}

@@ -1,0 +1,366 @@
+//! Framework front door: classification, symmetry adapters and execution
+//! choices (§III).
+//!
+//! The framework receives a user [`Kernel`], classifies its contributing
+//! set (Table I), and decides *how to execute it*:
+//!
+//! - Anti-diagonal and knight-move problems run under their own pattern.
+//! - Inverted-L and mirrored-inverted-L problems run under **horizontal
+//!   case 1** — §V-B shows the uniform, coalescing-friendly rows beat the
+//!   shrinking L-shells (both `{NW}` and `{NE}` are row-only sets, so no
+//!   adapter is needed, just a different wave order).
+//! - Vertical problems (`{W}`, `{W, NW}`) are *transposed* — the
+//!   [`TransposedKernel`] adapter swaps rows and columns, turning them
+//!   into horizontal problems.
+
+use crate::cell::{ContributingSet, RepCell};
+use crate::error::{Error, Result};
+use crate::grid::LayoutKind;
+use crate::kernel::{Kernel, Neighbors};
+use crate::pattern::{classify, Pattern};
+use crate::schedule::{transfer_need, TransferNeed};
+use crate::wavefront::Dims;
+
+/// A kernel executed with rows and columns swapped.
+///
+/// Cell `(i, j)` of the adapter is cell `(j, i)` of the inner kernel;
+/// representative cells map `W ↔ N`, `NW ↔ NW`. Only kernels without an
+/// `NE` dependency can be transposed (its image falls outside the
+/// representative set).
+#[derive(Debug, Clone)]
+pub struct TransposedKernel<K> {
+    inner: K,
+}
+
+impl<K: Kernel> TransposedKernel<K> {
+    /// Wraps `inner`, which must not read `NE`.
+    pub fn new(inner: K) -> Result<Self> {
+        if inner.contributing_set().contains(RepCell::Ne) {
+            return Err(Error::InvalidSchedule {
+                pattern: Pattern::Vertical,
+                reason: "kernels reading NE cannot be transposed".into(),
+            });
+        }
+        Ok(TransposedKernel { inner })
+    }
+
+    /// The wrapped kernel.
+    pub fn inner(&self) -> &K {
+        &self.inner
+    }
+
+    /// Maps adapter coordinates back to inner coordinates.
+    pub fn to_inner(&self, i: usize, j: usize) -> (usize, usize) {
+        (j, i)
+    }
+}
+
+impl<K: Kernel> Kernel for TransposedKernel<K> {
+    type Cell = K::Cell;
+
+    fn dims(&self) -> Dims {
+        let d = self.inner.dims();
+        Dims::new(d.cols, d.rows)
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        self.inner
+            .contributing_set()
+            .transposed()
+            .expect("checked at construction")
+    }
+
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<K::Cell>) -> K::Cell {
+        // Outer W = inner N, outer N = inner W, NW fixed.
+        let inner_nbrs = Neighbors {
+            w: nbrs.n,
+            nw: nbrs.nw,
+            n: nbrs.w,
+            ne: None,
+        };
+        self.inner.compute(j, i, &inner_nbrs)
+    }
+
+    fn cost_ops(&self) -> u32 {
+        self.inner.cost_ops()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// A kernel executed with columns reversed (left–right mirror).
+///
+/// Cell `(i, j)` of the adapter is cell `(i, cols-1-j)` of the inner
+/// kernel; representative cells map `NW ↔ NE`, `N ↔ N`. Only kernels
+/// without a `W` dependency can be mirrored.
+#[derive(Debug, Clone)]
+pub struct MirroredKernel<K> {
+    inner: K,
+}
+
+impl<K: Kernel> MirroredKernel<K> {
+    /// Wraps `inner`, which must not read `W`.
+    pub fn new(inner: K) -> Result<Self> {
+        if inner.contributing_set().contains(RepCell::W) {
+            return Err(Error::InvalidSchedule {
+                pattern: Pattern::MirroredInvertedL,
+                reason: "kernels reading W cannot be mirrored".into(),
+            });
+        }
+        Ok(MirroredKernel { inner })
+    }
+
+    /// The wrapped kernel.
+    pub fn inner(&self) -> &K {
+        &self.inner
+    }
+
+    /// Maps adapter coordinates back to inner coordinates.
+    pub fn to_inner(&self, i: usize, j: usize) -> (usize, usize) {
+        (i, self.inner.dims().cols - 1 - j)
+    }
+}
+
+impl<K: Kernel> Kernel for MirroredKernel<K> {
+    type Cell = K::Cell;
+
+    fn dims(&self) -> Dims {
+        self.inner.dims()
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        self.inner
+            .contributing_set()
+            .mirrored()
+            .expect("checked at construction")
+    }
+
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<K::Cell>) -> K::Cell {
+        let inner_nbrs = Neighbors {
+            w: None,
+            nw: nbrs.ne,
+            n: nbrs.n,
+            ne: nbrs.nw,
+        };
+        let (ii, ij) = self.to_inner(i, j);
+        self.inner.compute(ii, ij, &inner_nbrs)
+    }
+
+    fn cost_ops(&self) -> u32 {
+        self.inner.cost_ops()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Which geometric adapter the framework applies before scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adapter {
+    /// Run the kernel as-is.
+    None,
+    /// Swap rows and columns ([`TransposedKernel`]).
+    Transpose,
+    /// Reverse columns ([`MirroredKernel`]).
+    Mirror,
+}
+
+/// The framework's execution decision for a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classification {
+    /// Table I pattern of the declared contributing set.
+    pub raw_pattern: Pattern,
+    /// Pattern the framework actually schedules.
+    pub exec_pattern: Pattern,
+    /// Geometric adapter required first (only `Transpose` is ever
+    /// needed; `Mirror` is available for completeness).
+    pub adapter: Adapter,
+    /// Coalescing-friendly layout for the execution pattern (§IV-B).
+    pub layout: LayoutKind,
+    /// Table II transfer requirement of the executed schedule.
+    pub transfer: TransferNeed,
+}
+
+/// Classifies a contributing set and picks the execution strategy.
+///
+/// `prefer_horizontal_for_l` enables the §V-B optimization (on by
+/// default in [`choose_execution`]).
+pub fn choose_execution_with(
+    set: ContributingSet,
+    prefer_horizontal_for_l: bool,
+) -> Result<Classification> {
+    let raw = classify(set).ok_or(Error::EmptyContributingSet)?;
+    let (exec, adapter, exec_set) = match raw {
+        Pattern::AntiDiagonal => (Pattern::AntiDiagonal, Adapter::None, set),
+        Pattern::KnightMove => (Pattern::KnightMove, Adapter::None, set),
+        Pattern::Horizontal => (Pattern::Horizontal, Adapter::None, set),
+        Pattern::InvertedL | Pattern::MirroredInvertedL => {
+            if prefer_horizontal_for_l {
+                // {NW} and {NE} are row-only sets: run them under
+                // horizontal case 1 directly.
+                (Pattern::Horizontal, Adapter::None, set)
+            } else if raw == Pattern::MirroredInvertedL {
+                (
+                    Pattern::InvertedL,
+                    Adapter::Mirror,
+                    set.mirrored().expect("mirrored-L sets never contain W"),
+                )
+            } else {
+                (Pattern::InvertedL, Adapter::None, set)
+            }
+        }
+        Pattern::Vertical => (
+            Pattern::Horizontal,
+            Adapter::Transpose,
+            set.transposed().expect("vertical sets never contain NE"),
+        ),
+    };
+    Ok(Classification {
+        raw_pattern: raw,
+        exec_pattern: exec,
+        adapter,
+        layout: LayoutKind::preferred_for(exec),
+        transfer: transfer_need(exec, exec_set)?,
+    })
+}
+
+/// [`choose_execution_with`] using the paper's defaults.
+pub fn choose_execution(set: ContributingSet) -> Result<Classification> {
+    choose_execution_with(set, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::RepCell::{Ne, Nw, N, W};
+    use crate::kernel::ClosureKernel;
+    use crate::schedule::CopyDir;
+    use crate::seq::solve_row_major;
+
+    fn set(cells: &[RepCell]) -> ContributingSet {
+        ContributingSet::new(cells)
+    }
+
+    #[test]
+    fn execution_choices_cover_table_one() {
+        for s in ContributingSet::table_one_rows() {
+            let c = choose_execution(s).unwrap();
+            assert!(c.exec_pattern.is_canonical(), "{s}");
+            assert!(c.layout.is_coalesced_for(c.exec_pattern), "{s}");
+            match c.raw_pattern {
+                Pattern::Vertical => assert_eq!(c.adapter, Adapter::Transpose),
+                _ => assert_eq!(c.adapter, Adapter::None),
+            }
+        }
+    }
+
+    #[test]
+    fn l_patterns_run_horizontally_by_default() {
+        let c = choose_execution(set(&[Nw])).unwrap();
+        assert_eq!(c.raw_pattern, Pattern::InvertedL);
+        assert_eq!(c.exec_pattern, Pattern::Horizontal);
+        assert_eq!(c.transfer, TransferNeed::OneWay(CopyDir::ToGpu));
+        let c = choose_execution(set(&[Ne])).unwrap();
+        assert_eq!(c.raw_pattern, Pattern::MirroredInvertedL);
+        assert_eq!(c.exec_pattern, Pattern::Horizontal);
+        assert_eq!(c.transfer, TransferNeed::OneWay(CopyDir::ToCpu));
+    }
+
+    #[test]
+    fn l_patterns_can_keep_their_shape_when_asked() {
+        let c = choose_execution_with(set(&[Nw]), false).unwrap();
+        assert_eq!(c.exec_pattern, Pattern::InvertedL);
+        assert_eq!(c.adapter, Adapter::None);
+        let c = choose_execution_with(set(&[Ne]), false).unwrap();
+        assert_eq!(c.exec_pattern, Pattern::InvertedL);
+        assert_eq!(c.adapter, Adapter::Mirror);
+    }
+
+    #[test]
+    fn vertical_transposes_to_horizontal() {
+        for cells in [&[W][..], &[W, Nw][..]] {
+            let c = choose_execution(set(cells)).unwrap();
+            assert_eq!(c.raw_pattern, Pattern::Vertical);
+            assert_eq!(c.exec_pattern, Pattern::Horizontal);
+            assert_eq!(c.adapter, Adapter::Transpose);
+        }
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        assert!(matches!(
+            choose_execution(ContributingSet::EMPTY),
+            Err(Error::EmptyContributingSet)
+        ));
+    }
+
+    /// A vertical prefix-sum kernel: f = W + own, i.e. row-wise running
+    /// sums. Transposing and solving must equal solving directly.
+    #[test]
+    fn transposed_kernel_matches_direct_solve() {
+        let dims = Dims::new(5, 7);
+        let inner = ClosureKernel::new(dims, set(&[W, Nw]), |i, j, n: &Neighbors<u64>| {
+            let own = (i * 13 + j * 3 + 1) as u64;
+            own.wrapping_add(n.w.unwrap_or(0).wrapping_mul(3))
+                .wrapping_add(n.nw.unwrap_or(0).wrapping_mul(7))
+        });
+        let direct = solve_row_major(&inner).unwrap();
+        let transposed = TransposedKernel::new(inner).unwrap();
+        assert_eq!(transposed.dims(), Dims::new(7, 5));
+        assert_eq!(transposed.contributing_set(), set(&[N, Nw]));
+        let via_adapter = solve_row_major(&transposed).unwrap();
+        for i in 0..5 {
+            for j in 0..7 {
+                assert_eq!(via_adapter.get(j, i), direct.get(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_rejects_ne_readers() {
+        let k = ClosureKernel::new(Dims::new(2, 2), set(&[W, Ne]), |_, _, _: &Neighbors<u8>| {
+            0u8
+        });
+        assert!(TransposedKernel::new(k).is_err());
+    }
+
+    /// A mirrored-inverted-L kernel ({NE}): mirroring must flip it into a
+    /// plain inverted-L kernel with identical (reflected) results.
+    #[test]
+    fn mirrored_kernel_matches_direct_solve() {
+        let dims = Dims::new(6, 4);
+        let inner = ClosureKernel::new(dims, set(&[Ne]), |i, j, n: &Neighbors<u64>| {
+            let own = (i * 17 + j * 5 + 1) as u64;
+            own.wrapping_add(n.ne.unwrap_or(0).wrapping_mul(31))
+        });
+        let direct = solve_row_major(&inner).unwrap();
+        let mirrored = MirroredKernel::new(inner).unwrap();
+        assert_eq!(mirrored.contributing_set(), set(&[Nw]));
+        let via_adapter = solve_row_major(&mirrored).unwrap();
+        for i in 0..6 {
+            for j in 0..4 {
+                assert_eq!(via_adapter.get(i, 4 - 1 - j), direct.get(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_rejects_w_readers() {
+        let k = ClosureKernel::new(Dims::new(2, 2), set(&[W]), |_, _, _: &Neighbors<u8>| 0u8);
+        assert!(MirroredKernel::new(k).is_err());
+    }
+
+    #[test]
+    fn adapters_preserve_metadata() {
+        let k = ClosureKernel::new(Dims::new(3, 4), set(&[N]), |_, _, _: &Neighbors<u8>| 0u8)
+            .with_cost_ops(99)
+            .with_name("meta");
+        let t = TransposedKernel::new(k).unwrap();
+        assert_eq!(t.cost_ops(), 99);
+        assert_eq!(t.name(), "meta");
+        assert_eq!(t.to_inner(1, 2), (2, 1));
+    }
+}

@@ -1,0 +1,306 @@
+//! The user-facing kernel abstraction.
+//!
+//! §V-C of the paper: to use the framework a user provides (1) the
+//! function `f` defining how `cell(i,j)` is computed from its
+//! representative cells plus any per-problem resources, and (2) the
+//! initialization of the table. Everything else — classification, layout,
+//! scheduling, CPU/GPU division and data transfer — is the framework's
+//! job.
+
+use crate::cell::{ContributingSet, RepCell};
+use crate::wavefront::Dims;
+use std::fmt;
+
+/// The values of the four representative cells visible to `f` when
+/// computing `cell(i, j)`.
+///
+/// A direction is `None` when the neighbour falls outside the table *or*
+/// is not in the kernel's declared contributing set: the framework only
+/// materializes (and only transfers between devices) the cells a kernel
+/// declared it reads, so an undeclared read is surfaced as `None` rather
+/// than silently returning stale data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbors<T> {
+    /// `cell(i, j-1)`.
+    pub w: Option<T>,
+    /// `cell(i-1, j-1)`.
+    pub nw: Option<T>,
+    /// `cell(i-1, j)`.
+    pub n: Option<T>,
+    /// `cell(i-1, j+1)`.
+    pub ne: Option<T>,
+}
+
+impl<T> Neighbors<T> {
+    /// Neighbourhood with no visible cells (used at table corners).
+    pub const fn empty() -> Self {
+        Neighbors {
+            w: None,
+            nw: None,
+            n: None,
+            ne: None,
+        }
+    }
+
+    /// The value in the given direction.
+    pub fn get(&self, cell: RepCell) -> Option<&T> {
+        match cell {
+            RepCell::W => self.w.as_ref(),
+            RepCell::Nw => self.nw.as_ref(),
+            RepCell::N => self.n.as_ref(),
+            RepCell::Ne => self.ne.as_ref(),
+        }
+    }
+
+    /// Sets the value in the given direction.
+    pub fn set(&mut self, cell: RepCell, value: T) {
+        match cell {
+            RepCell::W => self.w = Some(value),
+            RepCell::Nw => self.nw = Some(value),
+            RepCell::N => self.n = Some(value),
+            RepCell::Ne => self.ne = Some(value),
+        }
+    }
+
+    /// Number of visible neighbours.
+    pub fn len(&self) -> usize {
+        self.w.is_some() as usize
+            + self.nw.is_some() as usize
+            + self.n.is_some() as usize
+            + self.ne.is_some() as usize
+    }
+
+    /// True when no neighbour is visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for Neighbors<T> {
+    fn default() -> Self {
+        Neighbors::empty()
+    }
+}
+
+/// An LDDP-Plus problem instance: the function `f`, the declared
+/// contributing set, and the table dimensions.
+///
+/// The cell type must be `Copy` — LDDP tables are dense arrays of small
+/// plain values (costs, distances, error terms) and the framework moves
+/// them between simulated devices by value.
+pub trait Kernel: Sync {
+    /// The table's cell type.
+    type Cell: Copy + Send + Sync + PartialEq + fmt::Debug + Default;
+
+    /// Table dimensions.
+    fn dims(&self) -> Dims;
+
+    /// The representative cells `f` reads — a row of Table I. Must be
+    /// non-empty and must not change between calls.
+    fn contributing_set(&self) -> ContributingSet;
+
+    /// Computes the value of `cell(i, j)` from its visible neighbours.
+    ///
+    /// Called exactly once per cell, in an order where every declared
+    /// in-bounds neighbour has already been computed (and is `Some`).
+    /// Boundary and base-case logic lives here: when a declared neighbour
+    /// is out of bounds, its entry is `None` and `f` must supply the base
+    /// case (e.g. the `max(i,j) if min(i,j)=0` row of the Levenshtein
+    /// recurrence).
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<Self::Cell>) -> Self::Cell;
+
+    /// Relative computational weight of one `f` evaluation, in abstract
+    /// "operations" used by the device cost models. Defaults to 16 —
+    /// roughly a handful of compares, adds and memory touches.
+    fn cost_ops(&self) -> u32 {
+        16
+    }
+
+    /// Human-readable problem name for traces and reports.
+    fn name(&self) -> &str {
+        "lddp-kernel"
+    }
+}
+
+impl<K: Kernel + ?Sized> Kernel for &K {
+    type Cell = K::Cell;
+
+    fn dims(&self) -> Dims {
+        (**self).dims()
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        (**self).contributing_set()
+    }
+
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<Self::Cell>) -> Self::Cell {
+        (**self).compute(i, j, nbrs)
+    }
+
+    fn cost_ops(&self) -> u32 {
+        (**self).cost_ops()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A [`Kernel`] built from a closure — the quickest way to hand the
+/// framework a new problem.
+///
+/// ```
+/// use lddp_core::kernel::{ClosureKernel, Neighbors};
+/// use lddp_core::cell::{ContributingSet, RepCell};
+/// use lddp_core::wavefront::Dims;
+///
+/// // f(i,j) = min(nw, n) + 1, the Fig 9 benchmark kernel.
+/// let k = ClosureKernel::new(
+///     Dims::new(64, 64),
+///     ContributingSet::new(&[RepCell::Nw, RepCell::N]),
+///     |_i, _j, nbrs: &Neighbors<u32>| {
+///         match (nbrs.nw, nbrs.n) {
+///             (Some(a), Some(b)) => a.min(b) + 1,
+///             (Some(a), None) => a + 1,
+///             (None, Some(b)) => b + 1,
+///             (None, None) => 0,
+///         }
+///     },
+/// );
+/// # let _ = k;
+/// ```
+pub struct ClosureKernel<T, F> {
+    dims: Dims,
+    set: ContributingSet,
+    f: F,
+    cost_ops: u32,
+    name: String,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T, F> ClosureKernel<T, F>
+where
+    T: Copy + Send + Sync + PartialEq + fmt::Debug + Default,
+    F: Fn(usize, usize, &Neighbors<T>) -> T + Sync,
+{
+    /// Wraps `f` with the given dimensions and contributing set.
+    pub fn new(dims: Dims, set: ContributingSet, f: F) -> Self {
+        ClosureKernel {
+            dims,
+            set,
+            f,
+            cost_ops: 16,
+            name: "closure-kernel".to_string(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Overrides the abstract per-cell cost used by the device models.
+    #[must_use]
+    pub fn with_cost_ops(mut self, ops: u32) -> Self {
+        self.cost_ops = ops;
+        self
+    }
+
+    /// Names the kernel for traces and reports.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl<T, F> Kernel for ClosureKernel<T, F>
+where
+    T: Copy + Send + Sync + PartialEq + fmt::Debug + Default,
+    F: Fn(usize, usize, &Neighbors<T>) -> T + Sync,
+{
+    type Cell = T;
+
+    fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        self.set
+    }
+
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<T>) -> T {
+        (self.f)(i, j, nbrs)
+    }
+
+    fn cost_ops(&self) -> u32 {
+        self.cost_ops
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::RepCell::{Nw, N};
+
+    #[test]
+    fn neighbors_get_set() {
+        let mut n: Neighbors<u32> = Neighbors::empty();
+        assert!(n.is_empty());
+        n.set(RepCell::W, 1);
+        n.set(RepCell::Ne, 4);
+        assert_eq!(n.get(RepCell::W), Some(&1));
+        assert_eq!(n.get(RepCell::Nw), None);
+        assert_eq!(n.get(RepCell::Ne), Some(&4));
+        assert_eq!(n.len(), 2);
+        assert!(!n.is_empty());
+    }
+
+    #[test]
+    fn neighbors_default_is_empty() {
+        let n: Neighbors<i64> = Neighbors::default();
+        assert!(n.is_empty());
+        for c in RepCell::ALL {
+            assert_eq!(n.get(c), None);
+        }
+    }
+
+    #[test]
+    fn closure_kernel_carries_metadata() {
+        let k = ClosureKernel::new(
+            Dims::new(8, 9),
+            ContributingSet::new(&[Nw, N]),
+            |_i, _j, _n: &Neighbors<u32>| 0u32,
+        )
+        .with_cost_ops(42)
+        .with_name("demo");
+        assert_eq!(k.dims(), Dims::new(8, 9));
+        assert_eq!(k.contributing_set(), ContributingSet::new(&[Nw, N]));
+        assert_eq!(k.cost_ops(), 42);
+        assert_eq!(k.name(), "demo");
+    }
+
+    #[test]
+    fn closure_kernel_computes() {
+        let k = ClosureKernel::new(
+            Dims::new(2, 2),
+            ContributingSet::new(&[N]),
+            |i, j, n: &Neighbors<u32>| n.n.unwrap_or(0) + (i + j) as u32,
+        );
+        let mut nbrs = Neighbors::empty();
+        assert_eq!(k.compute(0, 0, &nbrs), 0);
+        nbrs.set(RepCell::N, 10);
+        assert_eq!(k.compute(1, 1, &nbrs), 12);
+    }
+
+    #[test]
+    fn default_cost_ops() {
+        let k = ClosureKernel::new(
+            Dims::new(1, 1),
+            ContributingSet::new(&[N]),
+            |_, _, _: &Neighbors<u8>| 0u8,
+        );
+        assert_eq!(k.cost_ops(), 16);
+        assert_eq!(k.name(), "closure-kernel");
+    }
+}

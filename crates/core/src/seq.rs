@@ -1,0 +1,244 @@
+//! Sequential bottom-up solvers — the correctness oracle.
+//!
+//! Two fill orders are provided: plain row-major (the textbook loop — any
+//! representative-set dependency precedes its reader in row-major order)
+//! and pattern wave order (the order the parallel engines use). Both must
+//! produce identical tables; the test suites of every other module lean on
+//! this.
+
+use crate::error::{Error, Result};
+use crate::grid::{Grid, LayoutKind};
+use crate::kernel::{Kernel, Neighbors};
+use crate::pattern::{classify, Pattern};
+use crate::wavefront;
+#[cfg(test)]
+use crate::wavefront::Dims;
+
+/// Gathers the visible neighbours of `(i, j)` for `kernel` from a
+/// partially filled grid: directions outside the contributing set or
+/// outside the table are `None`.
+pub fn gather_neighbors<K: Kernel>(
+    kernel: &K,
+    grid: &Grid<K::Cell>,
+    i: usize,
+    j: usize,
+) -> Neighbors<K::Cell> {
+    let set = kernel.contributing_set();
+    let dims = kernel.dims();
+    let mut nbrs = Neighbors::empty();
+    for cell in set.iter() {
+        if let Some((si, sj)) = cell.source(i, j, dims.rows, dims.cols) {
+            nbrs.set(cell, grid.get(si, sj));
+        }
+    }
+    nbrs
+}
+
+/// Fills the table in row-major order. The reference implementation all
+/// parallel and heterogeneous paths are validated against.
+pub fn solve_row_major<K: Kernel>(kernel: &K) -> Result<Grid<K::Cell>> {
+    if kernel.contributing_set().is_empty() {
+        return Err(Error::EmptyContributingSet);
+    }
+    let dims = kernel.dims();
+    let mut grid = Grid::new(LayoutKind::RowMajor, dims);
+    for i in 0..dims.rows {
+        for j in 0..dims.cols {
+            let nbrs = gather_neighbors(kernel, &grid, i, j);
+            let v = kernel.compute(i, j, &nbrs);
+            grid.set(i, j, v);
+        }
+    }
+    Ok(grid)
+}
+
+/// Fills the table sequentially but in the wave order of the kernel's
+/// classified pattern, using the given layout. Exercises exactly the
+/// traversal the parallel engines use, minus the parallelism.
+pub fn solve_wavefront<K: Kernel>(kernel: &K, layout: LayoutKind) -> Result<Grid<K::Cell>> {
+    let pattern = classify(kernel.contributing_set()).ok_or(Error::EmptyContributingSet)?;
+    solve_wavefront_as(kernel, pattern, layout)
+}
+
+/// Like [`solve_wavefront`] but with an explicit pattern — used to run a
+/// problem under a *compatible but different* pattern, e.g. solving an
+/// Inverted-L problem with the Horizontal schedule (§V-B).
+///
+/// The caller is responsible for pattern compatibility (every declared
+/// dependency must land in an earlier wave); all Table-I sets are
+/// compatible with their own pattern, and `{NW}` / `{NE}` are additionally
+/// compatible with Horizontal.
+pub fn solve_wavefront_as<K: Kernel>(
+    kernel: &K,
+    pattern: Pattern,
+    layout: LayoutKind,
+) -> Result<Grid<K::Cell>> {
+    if kernel.contributing_set().is_empty() {
+        return Err(Error::EmptyContributingSet);
+    }
+    let dims = kernel.dims();
+    let mut grid = Grid::new(layout, dims);
+    for (i, j) in wavefront::all_cells(pattern, dims) {
+        let nbrs = gather_neighbors(kernel, &grid, i, j);
+        let v = kernel.compute(i, j, &nbrs);
+        grid.set(i, j, v);
+    }
+    Ok(grid)
+}
+
+/// Checks that a grid matches the row-major oracle for `kernel`,
+/// returning the first mismatching coordinate if any.
+pub fn first_mismatch<K: Kernel>(
+    kernel: &K,
+    grid: &Grid<K::Cell>,
+) -> Result<Option<(usize, usize)>> {
+    let oracle = solve_row_major(kernel)?;
+    let dims = kernel.dims();
+    for i in 0..dims.rows {
+        for j in 0..dims.cols {
+            if oracle.get(i, j) != grid.get(i, j) {
+                return Ok(Some((i, j)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{ContributingSet, RepCell};
+    use crate::kernel::ClosureKernel;
+
+    /// A generic "sum of visible neighbours plus position" kernel usable
+    /// with any contributing set — its value at a cell depends on every
+    /// declared dependency, so ordering bugs change outputs.
+    fn sum_kernel(
+        dims: Dims,
+        set: ContributingSet,
+    ) -> ClosureKernel<u64, impl Fn(usize, usize, &Neighbors<u64>) -> u64 + Sync> {
+        ClosureKernel::new(dims, set, move |i, j, n: &Neighbors<u64>| {
+            let mut acc = (i * 31 + j * 17 + 1) as u64;
+            for c in RepCell::ALL {
+                if let Some(v) = n.get(c) {
+                    acc = acc.wrapping_mul(31).wrapping_add(*v);
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        let k = ClosureKernel::new(
+            Dims::new(2, 2),
+            ContributingSet::EMPTY,
+            |_, _, _: &Neighbors<u64>| 0u64,
+        );
+        assert_eq!(
+            solve_row_major(&k).unwrap_err(),
+            Error::EmptyContributingSet
+        );
+        assert_eq!(
+            solve_wavefront(&k, LayoutKind::RowMajor).unwrap_err(),
+            Error::EmptyContributingSet
+        );
+    }
+
+    /// Wave order must agree with row-major order for every Table-I set,
+    /// every layout, and several table shapes.
+    #[test]
+    fn wavefront_matches_row_major_for_all_sets() {
+        for set in ContributingSet::table_one_rows() {
+            let pattern = classify(set).unwrap();
+            for (r, c) in [(1, 1), (1, 8), (8, 1), (5, 7), (7, 5), (9, 9)] {
+                let dims = Dims::new(r, c);
+                let k = sum_kernel(dims, set);
+                let oracle = solve_row_major(&k).unwrap();
+                for layout in [
+                    LayoutKind::RowMajor,
+                    LayoutKind::WaveMajor(pattern),
+                    LayoutKind::preferred_for(pattern),
+                ] {
+                    let got = solve_wavefront(&k, layout).unwrap();
+                    assert_eq!(
+                        got.to_row_major(),
+                        oracle.to_row_major(),
+                        "{set} ({pattern}) {r}x{c} {layout:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// §V-B: `{NW}`-only problems may be run under the Horizontal pattern.
+    #[test]
+    fn inverted_l_problems_solve_under_horizontal() {
+        let set = ContributingSet::new(&[RepCell::Nw]);
+        let dims = Dims::new(6, 9);
+        let k = sum_kernel(dims, set);
+        let oracle = solve_row_major(&k).unwrap();
+        let got = solve_wavefront_as(&k, Pattern::Horizontal, LayoutKind::RowMajor).unwrap();
+        assert_eq!(got.to_row_major(), oracle.to_row_major());
+    }
+
+    /// `{NE}`-only problems likewise run under Horizontal.
+    #[test]
+    fn mirrored_inverted_l_problems_solve_under_horizontal() {
+        let set = ContributingSet::new(&[RepCell::Ne]);
+        let dims = Dims::new(6, 9);
+        let k = sum_kernel(dims, set);
+        let oracle = solve_row_major(&k).unwrap();
+        let got = solve_wavefront_as(&k, Pattern::Horizontal, LayoutKind::RowMajor).unwrap();
+        assert_eq!(got.to_row_major(), oracle.to_row_major());
+    }
+
+    #[test]
+    fn first_mismatch_detects_corruption() {
+        let set = ContributingSet::new(&[RepCell::N]);
+        let k = sum_kernel(Dims::new(4, 4), set);
+        let mut grid = solve_row_major(&k).unwrap();
+        assert_eq!(first_mismatch(&k, &grid).unwrap(), None);
+        let v = grid.get(2, 3);
+        grid.set(2, 3, v.wrapping_add(1));
+        assert_eq!(first_mismatch(&k, &grid).unwrap(), Some((2, 3)));
+    }
+
+    #[test]
+    fn gather_respects_contributing_set() {
+        let set = ContributingSet::new(&[RepCell::Nw, RepCell::Ne]);
+        let k = sum_kernel(Dims::new(3, 3), set);
+        let grid = solve_row_major(&k).unwrap();
+        let nbrs = gather_neighbors(&k, &grid, 1, 1);
+        assert!(nbrs.nw.is_some());
+        assert!(nbrs.ne.is_some());
+        assert!(nbrs.w.is_none(), "undeclared direction must stay hidden");
+        assert!(nbrs.n.is_none());
+    }
+
+    #[test]
+    fn gather_handles_boundaries() {
+        let set = ContributingSet::FULL;
+        let k = sum_kernel(Dims::new(3, 3), set);
+        let grid = solve_row_major(&k).unwrap();
+        let nbrs = gather_neighbors(&k, &grid, 0, 0);
+        assert!(nbrs.is_empty());
+        let nbrs = gather_neighbors(&k, &grid, 1, 0);
+        assert!(nbrs.w.is_none());
+        assert!(nbrs.nw.is_none());
+        assert!(nbrs.n.is_some());
+        assert!(nbrs.ne.is_some());
+        let nbrs = gather_neighbors(&k, &grid, 1, 2);
+        assert!(nbrs.ne.is_none(), "NE out of bounds in last column");
+    }
+
+    #[test]
+    fn zero_sized_tables() {
+        let set = ContributingSet::new(&[RepCell::N]);
+        let k = sum_kernel(Dims::new(0, 5), set);
+        let grid = solve_row_major(&k).unwrap();
+        assert_eq!(grid.as_slice().len(), 0);
+        let grid = solve_wavefront(&k, LayoutKind::RowMajor).unwrap();
+        assert_eq!(grid.as_slice().len(), 0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Empirical parameter tuning — §V-A of the paper.
+//!
+//! The values of `t_switch` and `t_share` are found empirically: first fix
+//! `t_share = 0` and sweep `t_switch`; the running-time curve is concave
+//! (Fig 7) and its minimum gives the optimal `t_switch`. Then fix that
+//! value and sweep `t_share` the same way.
+//!
+//! The tuner is executor-agnostic: it takes a closure mapping
+//! [`ScheduleParams`] to a measured (or modelled) running time, so the
+//! same procedure drives the discrete-event simulator, the real thread
+//! engine, or a unit-test stub.
+
+use crate::error::{Error, Result};
+use crate::schedule::ScheduleParams;
+
+/// One sampled point of a tuning sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The candidate parameter value.
+    pub value: usize,
+    /// Measured running time (seconds, wall or virtual).
+    pub time: f64,
+}
+
+/// Outcome of the two-stage sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// The chosen parameters.
+    pub params: ScheduleParams,
+    /// The `t_switch` sweep (Fig 7): time for each candidate at
+    /// `t_share = 0`.
+    pub t_switch_curve: Vec<SweepPoint>,
+    /// The `t_share` sweep at the chosen `t_switch`.
+    pub t_share_curve: Vec<SweepPoint>,
+}
+
+/// Runs the paper's two-stage tuning procedure.
+///
+/// ```
+/// use lddp_core::tuner::tune;
+///
+/// // A synthetic cost surface with its optimum at (6, 16).
+/// let result = tune(&[0, 2, 4, 6, 8], &[0, 8, 16, 32], |p| {
+///     let s = p.t_switch as f64 - 6.0;
+///     let h = p.t_share as f64 - 16.0;
+///     s * s + h * h / 8.0 + 1.0
+/// })
+/// .unwrap();
+/// assert_eq!(result.params.t_switch, 6);
+/// assert_eq!(result.params.t_share, 16);
+/// ```
+///
+/// `eval` is called once per candidate; it should run (or model) the
+/// heterogeneous algorithm with the given parameters and return its time.
+/// Both candidate lists must be non-empty. Ties pick the smaller
+/// parameter value (less CPU involvement).
+pub fn tune(
+    t_switch_candidates: &[usize],
+    t_share_candidates: &[usize],
+    mut eval: impl FnMut(ScheduleParams) -> f64,
+) -> Result<TuneResult> {
+    if t_switch_candidates.is_empty() || t_share_candidates.is_empty() {
+        return Err(Error::EmptyTuningRange);
+    }
+    let t_switch_curve: Vec<SweepPoint> = t_switch_candidates
+        .iter()
+        .map(|&value| SweepPoint {
+            value,
+            time: eval(ScheduleParams::new(value, 0)),
+        })
+        .collect();
+    let best_switch = argmin(&t_switch_curve);
+    let t_share_curve: Vec<SweepPoint> = t_share_candidates
+        .iter()
+        .map(|&value| SweepPoint {
+            value,
+            time: eval(ScheduleParams::new(best_switch, value)),
+        })
+        .collect();
+    let best_share = argmin(&t_share_curve);
+    Ok(TuneResult {
+        params: ScheduleParams::new(best_switch, best_share),
+        t_switch_curve,
+        t_share_curve,
+    })
+}
+
+/// Like [`tune`], but exploits the concavity of the Fig 7 curves:
+/// instead of a fixed candidate ladder, each stage runs a ternary search
+/// over an integer range, converging on the exact (unimodal) minimum in
+/// `O(log range)` evaluations. Falls back gracefully on noisy/flat
+/// curves — it still returns *a* sampled minimum, just not necessarily
+/// the global one if the curve is not unimodal.
+pub fn tune_concave(
+    t_switch_range: (usize, usize),
+    t_share_range: (usize, usize),
+    mut eval: impl FnMut(ScheduleParams) -> f64,
+) -> Result<TuneResult> {
+    if t_switch_range.0 > t_switch_range.1 || t_share_range.0 > t_share_range.1 {
+        return Err(Error::EmptyTuningRange);
+    }
+    let mut t_switch_curve = Vec::new();
+    let best_switch = ternary_min(t_switch_range, |v| {
+        let t = eval(ScheduleParams::new(v, 0));
+        t_switch_curve.push(SweepPoint { value: v, time: t });
+        t
+    });
+    let mut t_share_curve = Vec::new();
+    let best_share = ternary_min(t_share_range, |v| {
+        let t = eval(ScheduleParams::new(best_switch, v));
+        t_share_curve.push(SweepPoint { value: v, time: t });
+        t
+    });
+    t_switch_curve.sort_by_key(|p| p.value);
+    t_switch_curve.dedup_by_key(|p| p.value);
+    t_share_curve.sort_by_key(|p| p.value);
+    t_share_curve.dedup_by_key(|p| p.value);
+    Ok(TuneResult {
+        params: ScheduleParams::new(best_switch, best_share),
+        t_switch_curve,
+        t_share_curve,
+    })
+}
+
+/// Integer ternary search for the minimum of a unimodal function on
+/// `[lo, hi]`.
+fn ternary_min(range: (usize, usize), mut f: impl FnMut(usize) -> f64) -> usize {
+    let (mut lo, mut hi) = range;
+    while hi - lo > 2 {
+        let third = (hi - lo) / 3;
+        let m1 = lo + third;
+        let m2 = hi - third;
+        if f(m1) <= f(m2) {
+            hi = m2 - 1;
+        } else {
+            lo = m1 + 1;
+        }
+    }
+    // Evaluate the final few points exactly.
+    let mut best = lo;
+    let mut best_t = f(lo);
+    for v in lo + 1..=hi {
+        let t = f(v);
+        if t < best_t {
+            best = v;
+            best_t = t;
+        }
+    }
+    best
+}
+
+/// Candidate value with the minimum time; ties prefer the smaller value.
+fn argmin(points: &[SweepPoint]) -> usize {
+    let mut best = &points[0];
+    for p in &points[1..] {
+        if p.time < best.time || (p.time == best.time && p.value < best.value) {
+            best = p;
+        }
+    }
+    best.value
+}
+
+/// A geometric ladder of `t_switch` candidates: 0, 1, 2, 4, … up to
+/// `max_waves / 2` (the largest legal value for ramp patterns), always
+/// including the endpoint.
+pub fn t_switch_candidates(num_waves: usize) -> Vec<usize> {
+    let cap = num_waves / 2;
+    let mut v = vec![0];
+    let mut x = 1;
+    while x < cap {
+        v.push(x);
+        x *= 2;
+    }
+    if cap > 0 {
+        v.push(cap);
+    }
+    v.dedup();
+    v
+}
+
+/// A geometric ladder of `t_share` candidates: 0, 1, 2, 4, … up to
+/// `cols`, always including the endpoint (pure-CPU).
+pub fn t_share_candidates(cols: usize) -> Vec<usize> {
+    let mut v = vec![0];
+    let mut x = 1;
+    while x < cols {
+        v.push(x);
+        x *= 2;
+    }
+    if cols > 0 {
+        v.push(cols);
+    }
+    v.dedup();
+    v
+}
+
+/// Checks that a sweep is *concave-up around its minimum* in the loose
+/// empirical sense of Fig 7: times strictly left of the argmin are
+/// non-increasing and times right of it are non-decreasing, up to a
+/// relative tolerance `tol` (measurement noise).
+pub fn is_concave_around_min(points: &[SweepPoint], tol: f64) -> bool {
+    if points.len() < 2 {
+        return true;
+    }
+    let min_idx = points
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.time.total_cmp(&b.1.time))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let ok_left = points[..=min_idx]
+        .windows(2)
+        .all(|w| w[1].time <= w[0].time * (1.0 + tol));
+    let ok_right = points[min_idx..]
+        .windows(2)
+        .all(|w| w[1].time >= w[0].time * (1.0 - tol));
+    ok_left && ok_right
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_candidates_error() {
+        assert_eq!(
+            tune(&[], &[0], |_| 0.0).unwrap_err(),
+            Error::EmptyTuningRange
+        );
+        assert_eq!(
+            tune(&[0], &[], |_| 0.0).unwrap_err(),
+            Error::EmptyTuningRange
+        );
+    }
+
+    #[test]
+    fn finds_the_minimum_of_a_concave_curve() {
+        // time(t_switch) is a parabola with minimum at 6; t_share curve
+        // has minimum at 16.
+        let result = tune(&[0, 2, 4, 6, 8, 10], &[0, 8, 16, 32], |p| {
+            let s = p.t_switch as f64;
+            let base = (s - 6.0) * (s - 6.0) + 100.0;
+            let sh = p.t_share as f64;
+            base + (sh - 16.0) * (sh - 16.0) / 10.0
+        })
+        .unwrap();
+        assert_eq!(result.params, ScheduleParams::new(6, 16));
+        assert_eq!(result.t_switch_curve.len(), 6);
+        assert_eq!(result.t_share_curve.len(), 4);
+    }
+
+    #[test]
+    fn first_stage_runs_with_t_share_zero() {
+        let mut seen = Vec::new();
+        let _ = tune(&[0, 1, 2], &[0, 5], |p| {
+            seen.push(p);
+            p.t_switch as f64
+        })
+        .unwrap();
+        // First three calls must all have t_share = 0.
+        assert!(seen[..3].iter().all(|p| p.t_share == 0));
+        // Remaining calls fix t_switch at the winner (0).
+        assert!(seen[3..].iter().all(|p| p.t_switch == 0));
+    }
+
+    #[test]
+    fn ties_prefer_smaller_values() {
+        let result = tune(&[0, 4, 8], &[0, 2], |_| 1.0).unwrap();
+        assert_eq!(result.params, ScheduleParams::new(0, 0));
+    }
+
+    #[test]
+    fn eval_call_count_is_sum_of_sweeps() {
+        let mut calls = 0;
+        let _ = tune(&[0, 1, 2, 3], &[0, 1, 2], |_| {
+            calls += 1;
+            0.0
+        })
+        .unwrap();
+        assert_eq!(calls, 4 + 3);
+    }
+
+    #[test]
+    fn switch_ladder_covers_range() {
+        let v = t_switch_candidates(100);
+        assert_eq!(v.first(), Some(&0));
+        assert_eq!(v.last(), Some(&50));
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(t_switch_candidates(0), vec![0]);
+        assert_eq!(t_switch_candidates(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn share_ladder_covers_range() {
+        let v = t_share_candidates(4096);
+        assert_eq!(v.first(), Some(&0));
+        assert_eq!(v.last(), Some(&4096));
+        assert!(v.contains(&1024));
+        assert_eq!(t_share_candidates(0), vec![0]);
+        assert_eq!(t_share_candidates(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn ternary_search_finds_exact_minimum() {
+        // A strictly convex parabola over a wide range.
+        let result = tune_concave((0, 5000), (0, 3000), |p| {
+            let s = p.t_switch as f64;
+            let sh = p.t_share as f64;
+            (s - 1234.0) * (s - 1234.0) + (sh - 777.0) * (sh - 777.0) / 7.0 + 10.0
+        })
+        .unwrap();
+        assert_eq!(result.params, ScheduleParams::new(1234, 777));
+        // Logarithmically many samples, not thousands.
+        assert!(result.t_switch_curve.len() < 60);
+        assert!(result.t_share_curve.len() < 60);
+    }
+
+    #[test]
+    fn ternary_search_handles_edge_minima() {
+        // Monotone increasing → minimum at the left edge.
+        let r = tune_concave((0, 100), (0, 100), |p| (p.t_switch + p.t_share) as f64).unwrap();
+        assert_eq!(r.params, ScheduleParams::new(0, 0));
+        // Monotone decreasing → right edge.
+        let r = tune_concave((0, 100), (0, 100), |p| -((p.t_switch + p.t_share) as f64)).unwrap();
+        assert_eq!(r.params, ScheduleParams::new(100, 100));
+    }
+
+    #[test]
+    fn ternary_rejects_inverted_ranges() {
+        assert_eq!(
+            tune_concave((5, 4), (0, 1), |_| 0.0).unwrap_err(),
+            Error::EmptyTuningRange
+        );
+        assert_eq!(
+            tune_concave((0, 1), (7, 2), |_| 0.0).unwrap_err(),
+            Error::EmptyTuningRange
+        );
+    }
+
+    #[test]
+    fn ternary_degenerate_single_point() {
+        let r = tune_concave((3, 3), (5, 5), |_| 1.0).unwrap();
+        assert_eq!(r.params, ScheduleParams::new(3, 5));
+    }
+
+    #[test]
+    fn ternary_curves_are_sorted_unique() {
+        let r = tune_concave((0, 500), (0, 500), |p| {
+            ((p.t_switch as f64) - 200.0).abs() + ((p.t_share as f64) - 300.0).abs()
+        })
+        .unwrap();
+        for curve in [&r.t_switch_curve, &r.t_share_curve] {
+            assert!(curve.windows(2).all(|w| w[0].value < w[1].value));
+        }
+    }
+
+    #[test]
+    fn concavity_check_accepts_fig7_shapes() {
+        let pts = |ts: &[(usize, f64)]| -> Vec<SweepPoint> {
+            ts.iter()
+                .map(|&(value, time)| SweepPoint { value, time })
+                .collect()
+        };
+        assert!(is_concave_around_min(
+            &pts(&[(0, 9.0), (1, 5.0), (2, 3.0), (4, 4.0), (8, 8.0)]),
+            0.0
+        ));
+        // A second dip breaks it.
+        assert!(!is_concave_around_min(
+            &pts(&[(0, 9.0), (1, 3.0), (2, 6.0), (4, 4.0), (8, 8.0)]),
+            0.0
+        ));
+        // Noise within tolerance is accepted.
+        assert!(is_concave_around_min(
+            &pts(&[(0, 9.0), (1, 5.0), (2, 3.0), (4, 2.95), (8, 8.0)]),
+            0.05
+        ));
+        assert!(is_concave_around_min(&pts(&[(0, 1.0)]), 0.0));
+    }
+}

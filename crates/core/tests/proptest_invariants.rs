@@ -1,0 +1,364 @@
+//! Property-based tests of the core geometric machinery: wavefront
+//! enumeration, layouts, schedules and transfers must uphold their
+//! invariants for *arbitrary* table shapes, contributing sets and
+//! parameters — not just the hand-picked cases of the unit tests.
+
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::grid::{Grid, Layout, LayoutKind};
+use lddp_core::kernel::{ClosureKernel, Neighbors};
+use lddp_core::pattern::{classify, Pattern, ProfileShape};
+use lddp_core::schedule::{compatible, Device, PhaseKind, Plan, ScheduleParams};
+use lddp_core::seq::{solve_row_major, solve_wavefront};
+use lddp_core::wavefront::{self, Dims};
+use proptest::prelude::*;
+
+/// Arbitrary small dims (non-empty).
+fn dims_strategy() -> impl Strategy<Value = Dims> {
+    (1usize..14, 1usize..14).prop_map(|(r, c)| Dims::new(r, c))
+}
+
+/// Arbitrary non-empty contributing set.
+fn set_strategy() -> impl Strategy<Value = ContributingSet> {
+    (1u8..16).prop_map(|bits| ContributingSet::from_bits(bits).unwrap())
+}
+
+/// Arbitrary pattern.
+fn pattern_strategy() -> impl Strategy<Value = Pattern> {
+    prop::sample::select(Pattern::ALL.to_vec())
+}
+
+/// A valid (pattern, set, dims, params) combination for Plan::new.
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (set_strategy(), dims_strategy(), 0usize..8, 0usize..16).prop_filter_map(
+        "must classify to a canonical pattern with legal params",
+        |(set, dims, t_switch, t_share)| {
+            let pattern = classify(set)?.canonical();
+            if !compatible(pattern, set) {
+                return None;
+            }
+            let waves = pattern.num_waves(dims.rows, dims.cols);
+            let t_switch = match pattern.profile_shape() {
+                ProfileShape::Constant => 0,
+                ProfileShape::RampUpDown => t_switch.min(waves / 2),
+                ProfileShape::Decreasing => t_switch.min(waves),
+            };
+            Plan::new(
+                pattern,
+                set,
+                dims,
+                ScheduleParams::new(t_switch, t_share.min(dims.cols)),
+            )
+            .ok()
+        },
+    )
+}
+
+proptest! {
+    /// Waves tile the table exactly once, for any pattern and shape.
+    #[test]
+    fn waves_partition_table(p in pattern_strategy(), dims in dims_strategy()) {
+        let mut seen = vec![false; dims.len()];
+        for w in 0..p.num_waves(dims.rows, dims.cols) {
+            for (i, j) in wavefront::wave_cells(p, dims, w) {
+                let idx = i * dims.cols + j;
+                prop_assert!(!seen[idx], "({i},{j}) visited twice");
+                seen[idx] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// position_in_wave / cell_at are inverse bijections.
+    #[test]
+    fn wave_position_roundtrip(p in pattern_strategy(), dims in dims_strategy()) {
+        for i in 0..dims.rows {
+            for j in 0..dims.cols {
+                let w = wavefront::wave_of(p, dims, i, j);
+                let pos = wavefront::position_in_wave(p, dims, i, j);
+                prop_assert!(pos < p.wave_len(dims.rows, dims.cols, w));
+                prop_assert_eq!(wavefront::cell_at(p, dims, w, pos), (i, j));
+            }
+        }
+    }
+
+    /// Every classified set's dependencies land strictly earlier in its
+    /// pattern's wave order.
+    #[test]
+    fn classification_is_schedulable(set in set_strategy(), dims in dims_strategy()) {
+        let pattern = classify(set).unwrap();
+        for i in 0..dims.rows {
+            for j in 0..dims.cols {
+                for dep in set.iter() {
+                    if let Some((si, sj)) = dep.source(i, j, dims.rows, dims.cols) {
+                        prop_assert!(
+                            wavefront::wave_of(pattern, dims, si, sj)
+                                < wavefront::wave_of(pattern, dims, i, j)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Layout index maps are bijections for every layout kind.
+    #[test]
+    fn layout_bijection(p in pattern_strategy(), dims in dims_strategy()) {
+        for kind in [LayoutKind::RowMajor, LayoutKind::WaveMajor(p)] {
+            let layout = Layout::new(kind, dims);
+            let mut seen = vec![false; dims.len()];
+            for i in 0..dims.rows {
+                for j in 0..dims.cols {
+                    let idx = layout.index(i, j);
+                    prop_assert!(idx < dims.len());
+                    prop_assert!(!seen[idx]);
+                    seen[idx] = true;
+                    prop_assert_eq!(layout.coords(idx), (i, j));
+                }
+            }
+        }
+    }
+
+    /// Grid set/get roundtrips under any layout.
+    #[test]
+    fn grid_roundtrip(p in pattern_strategy(), dims in dims_strategy(),
+                      values in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let mut g: Grid<u32> = Grid::new(LayoutKind::WaveMajor(p), dims);
+        let mut expected = vec![0u32; dims.len()];
+        for (k, &v) in values.iter().enumerate() {
+            let i = (k * 7) % dims.rows;
+            let j = (k * 13) % dims.cols;
+            g.set(i, j, v);
+            expected[i * dims.cols + j] = v;
+        }
+        prop_assert_eq!(g.to_row_major(), expected);
+    }
+
+    /// Wave-order solving equals row-major solving for random sets,
+    /// shapes and cell arithmetic.
+    #[test]
+    fn wavefront_solve_equals_oracle(set in set_strategy(), dims in dims_strategy(),
+                                     salt in any::<u64>()) {
+        let kernel = ClosureKernel::new(dims, set, move |i, j, n: &Neighbors<u64>| {
+            let mut acc = salt ^ ((i as u64) << 32 | j as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            for c in RepCell::ALL {
+                if let Some(v) = n.get(c) {
+                    acc = acc.wrapping_mul(31).wrapping_add(*v);
+                }
+            }
+            acc
+        });
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let pattern = classify(set).unwrap();
+        let got = solve_wavefront(&kernel, LayoutKind::preferred_for(pattern.canonical()))
+            .unwrap()
+            .to_row_major();
+        prop_assert_eq!(got, oracle);
+    }
+
+    /// Plans: CPU + GPU assignments tile every wave; owner agrees with
+    /// the ranges; audit counts every cell exactly once.
+    #[test]
+    fn plan_partition_invariants(plan in plan_strategy()) {
+        let dims = plan.dims();
+        let pattern = plan.pattern();
+        let mut cpu_cells = 0;
+        let mut gpu_cells = 0;
+        for a in plan.assignments() {
+            prop_assert_eq!(a.cpu.start, 0);
+            prop_assert_eq!(a.cpu.end, a.gpu.start);
+            prop_assert_eq!(a.gpu.end, pattern.wave_len(dims.rows, dims.cols, a.wave));
+            cpu_cells += a.cpu_len();
+            gpu_cells += a.gpu_len();
+            for (pos, (i, j)) in wavefront::wave_cells(pattern, dims, a.wave).enumerate() {
+                let expected = if pos < a.cpu.end { Device::Cpu } else { Device::Gpu };
+                prop_assert_eq!(plan.owner(i, j), expected);
+            }
+            if a.phase == PhaseKind::CpuOnly {
+                prop_assert_eq!(a.gpu_len(), 0);
+            }
+        }
+        prop_assert_eq!(cpu_cells + gpu_cells, dims.len());
+        let audit = plan.audit();
+        prop_assert_eq!(audit.cpu_cells, cpu_cells);
+        prop_assert_eq!(audit.gpu_cells, gpu_cells);
+    }
+
+    /// Plans: transfer lists cover every cross-device dependency (THE
+    /// transfer-correctness property), and never list same-device or
+    /// future cells.
+    #[test]
+    fn plan_transfer_invariants(plan in plan_strategy()) {
+        let dims = plan.dims();
+        let pattern = plan.pattern();
+        let set = plan.set();
+        for w in 0..plan.num_waves() {
+            let t = plan.transfers(w);
+            for &(i, j) in t.to_gpu.iter() {
+                prop_assert_eq!(plan.owner(i, j), Device::Cpu);
+                prop_assert!(wavefront::wave_of(pattern, dims, i, j) < w);
+            }
+            for &(i, j) in t.to_cpu.iter() {
+                prop_assert_eq!(plan.owner(i, j), Device::Gpu);
+                prop_assert!(wavefront::wave_of(pattern, dims, i, j) < w);
+            }
+            for (i, j) in wavefront::wave_cells(pattern, dims, w) {
+                let reader = plan.owner(i, j);
+                for dep in set.iter() {
+                    if let Some(src) = dep.source(i, j, dims.rows, dims.cols) {
+                        if plan.owner(src.0, src.1) != reader {
+                            let list = match reader {
+                                Device::Cpu => &t.to_cpu,
+                                Device::Gpu => &t.to_gpu,
+                            };
+                            prop_assert!(list.contains(&src),
+                                "wave {w}: ({i},{j}) missing import {src:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase spans are contiguous, exhaustive and consistent with
+    /// phase_of.
+    #[test]
+    fn plan_phase_invariants(plan in plan_strategy()) {
+        let mut next = 0;
+        for span in plan.phases() {
+            prop_assert_eq!(span.waves.start, next);
+            next = span.waves.end;
+            for w in span.waves.clone() {
+                prop_assert_eq!(plan.phase_of(w), span.kind);
+            }
+        }
+        prop_assert_eq!(next, plan.num_waves());
+    }
+
+    /// Symmetry adapters: transposing twice (via classification data) is
+    /// the identity on sets; mirrored sets classify to mirrored patterns.
+    #[test]
+    fn set_symmetries(set in set_strategy()) {
+        if let Some(t) = set.transposed() {
+            prop_assert_eq!(t.transposed(), Some(set));
+        }
+        if let Some(m) = set.mirrored() {
+            prop_assert_eq!(m.mirrored(), Some(set));
+            let a = classify(set).unwrap();
+            let b = classify(m).unwrap();
+            // Mirroring maps the L patterns onto each other and fixes
+            // horizontal.
+            let expected = match a {
+                Pattern::InvertedL => Pattern::MirroredInvertedL,
+                Pattern::MirroredInvertedL => Pattern::InvertedL,
+                other => other,
+            };
+            prop_assert_eq!(b, expected);
+        }
+    }
+
+    /// Larger t_share never decreases the CPU's share of cells.
+    #[test]
+    fn t_share_monotone(set in set_strategy(), dims in dims_strategy(), a in 0usize..8, b in 0usize..8) {
+        let pattern = classify(set).unwrap().canonical();
+        if !compatible(pattern, set) {
+            return Ok(());
+        }
+        let (lo, hi) = (a.min(b).min(dims.cols), a.max(b).min(dims.cols));
+        let t_switch = 0;
+        let plan_lo = Plan::new(pattern, set, dims, ScheduleParams::new(t_switch, lo));
+        let plan_hi = Plan::new(pattern, set, dims, ScheduleParams::new(t_switch, hi));
+        if let (Ok(plan_lo), Ok(plan_hi)) = (plan_lo, plan_hi) {
+            prop_assert!(plan_hi.audit().cpu_cells >= plan_lo.audit().cpu_cells);
+        }
+    }
+}
+
+/// Strategy for k-way plans: classified canonical pattern + sorted
+/// boundaries.
+fn multi_plan_strategy() -> impl Strategy<Value = lddp_core::multi::MultiPlan> {
+    (
+        set_strategy(),
+        dims_strategy(),
+        0usize..6,
+        proptest::collection::vec(0usize..14, 0..4),
+    )
+        .prop_filter_map(
+            "canonical pattern with legal boundaries",
+            |(set, dims, t_switch, mut bounds)| {
+                let pattern = classify(set)?.canonical();
+                if !compatible(pattern, set) {
+                    return None;
+                }
+                bounds.sort_unstable();
+                bounds.retain(|&b| b <= dims.cols);
+                let waves = pattern.num_waves(dims.rows, dims.cols);
+                let t_switch = match pattern.profile_shape() {
+                    ProfileShape::Constant => 0,
+                    ProfileShape::RampUpDown => t_switch.min(waves / 2),
+                    ProfileShape::Decreasing => t_switch.min(waves),
+                };
+                lddp_core::multi::MultiPlan::new(pattern, set, dims, t_switch, bounds).ok()
+            },
+        )
+}
+
+proptest! {
+    /// k-way assignments tile every wave; owners agree with ranges.
+    #[test]
+    fn multi_plan_partition_invariants(plan in multi_plan_strategy()) {
+        let dims = plan.dims();
+        let pattern = plan.pattern();
+        let mut total = 0usize;
+        for w in 0..plan.num_waves() {
+            let ranges = plan.assignment(w);
+            prop_assert_eq!(ranges.len(), plan.devices());
+            let mut next = 0;
+            for r in &ranges {
+                prop_assert_eq!(r.start, next);
+                next = r.end;
+            }
+            prop_assert_eq!(next, pattern.wave_len(dims.rows, dims.cols, w));
+            for (d, r) in ranges.iter().enumerate() {
+                total += r.len();
+                for pos in r.clone() {
+                    let (i, j) = wavefront::cell_at(pattern, dims, w, pos);
+                    prop_assert_eq!(plan.owner(i, j), d, "wave {} pos {}", w, pos);
+                }
+            }
+        }
+        prop_assert_eq!(total, dims.len());
+    }
+
+    /// k-way transfers cover every cross-device dependency and only list
+    /// cells the producer really owns, from strictly earlier waves.
+    #[test]
+    fn multi_plan_transfer_invariants(plan in multi_plan_strategy()) {
+        let dims = plan.dims();
+        let pattern = plan.pattern();
+        let set = plan.set();
+        for w in 0..plan.num_waves() {
+            let transfers = plan.transfers(w);
+            for t in &transfers {
+                prop_assert_ne!(t.from, t.to);
+                for &(i, j) in &t.cells {
+                    prop_assert_eq!(plan.owner(i, j), t.from);
+                    prop_assert!(wavefront::wave_of(pattern, dims, i, j) < w);
+                }
+            }
+            for (i, j) in wavefront::wave_cells(pattern, dims, w) {
+                let reader = plan.owner(i, j);
+                for dep in set.iter() {
+                    if let Some(src) = dep.source(i, j, dims.rows, dims.cols) {
+                        let producer = plan.owner(src.0, src.1);
+                        if producer != reader {
+                            let found = transfers.iter().any(|t| {
+                                t.from == producer && t.to == reader && t.cells.contains(&src)
+                            });
+                            prop_assert!(found, "wave {}: ({}, {}) missing {:?}", w, i, j, src);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Calibration scratchpad: prints model times for the paper's scenarios
+//! so the platform constants can be sanity-checked against the expected
+//! figure shapes. Not part of the reproduction harness proper (see
+//! `lddp-bench` for that).
+
+use hetero_sim::exec::{run_cpu, run_gpu, run_hetero, ExecOptions};
+use hetero_sim::platform::{hetero_high, hetero_low};
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::kernel::{ClosureKernel, Neighbors};
+use lddp_core::pattern::Pattern;
+use lddp_core::schedule::{Plan, ScheduleParams};
+use lddp_core::tuner::{t_share_candidates, t_switch_candidates};
+use lddp_core::wavefront::Dims;
+
+fn kernel(
+    dims: Dims,
+    set: ContributingSet,
+    ops: u32,
+) -> impl lddp_core::kernel::Kernel<Cell = u32> {
+    ClosureKernel::new(dims, set, |_i, _j, _n: &Neighbors<u32>| 0u32).with_cost_ops(ops)
+}
+
+fn main() {
+    let ad = ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]);
+    let h1 = ContributingSet::new(&[RepCell::Nw, RepCell::N]);
+    let h2 = ContributingSet::new(&[RepCell::Nw, RepCell::N, RepCell::Ne]);
+    let km = ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N, RepCell::Ne]);
+    let est = ExecOptions::default();
+
+    println!("== Fig 7 analogue: anti-diagonal 4096^2, t_share=0, sweep t_switch (Hetero-High)");
+    let n = 4096;
+    let dims = Dims::new(n, n);
+    let k = kernel(dims, ad, 24);
+    for ts in t_switch_candidates(Pattern::AntiDiagonal.num_waves(n, n)) {
+        let plan = Plan::new(Pattern::AntiDiagonal, ad, dims, ScheduleParams::new(ts, 0)).unwrap();
+        let r = run_hetero(&k, &plan, &hetero_high(), &est).unwrap();
+        println!("  t_switch {ts:6}  {:9.3} ms", r.total_s * 1e3);
+    }
+
+    println!("== t_share sweep at the winning t_switch (anti-diagonal)");
+    for tsh in t_share_candidates(n) {
+        let plan = Plan::new(
+            Pattern::AntiDiagonal,
+            ad,
+            dims,
+            ScheduleParams::new(1024, tsh),
+        )
+        .unwrap();
+        let r = run_hetero(&k, &plan, &hetero_high(), &est).unwrap();
+        println!("  t_share {tsh:6}  {:9.3} ms", r.total_s * 1e3);
+    }
+
+    for (name, plat) in [("High", hetero_high()), ("Low", hetero_low())] {
+        println!("== Fig 9 analogue: horizontal case-1, CPU/GPU/hetero, {name}");
+        for n in [1024usize, 2048, 4096, 8192, 16384] {
+            let dims = Dims::new(n, n);
+            let k = kernel(dims, h1, 16);
+            let cpu = run_cpu(&k, &plat, &est).unwrap().total_s;
+            let gpu = run_gpu(&k, &plat, &est).unwrap().total_s;
+            let mut best = f64::INFINITY;
+            let mut best_share = 0;
+            for tsh in t_share_candidates(n) {
+                let plan =
+                    Plan::new(Pattern::Horizontal, h1, dims, ScheduleParams::new(0, tsh)).unwrap();
+                let r = run_hetero(&k, &plan, &plat, &est).unwrap().total_s;
+                if r < best {
+                    best = r;
+                    best_share = tsh;
+                }
+            }
+            println!(
+                "  n={n:6}  cpu {:9.3}  gpu {:9.3}  hetero {:9.3} ms (t_share {best_share})",
+                cpu * 1e3,
+                gpu * 1e3,
+                best * 1e3
+            );
+        }
+    }
+
+    for (name, plat) in [("High", hetero_high()), ("Low", hetero_low())] {
+        println!("== Fig 13 analogue: horizontal case-2 (checkerboard, pinned 2-way), {name}");
+        for n in [1024usize, 2048, 4096, 8192, 16384] {
+            let dims = Dims::new(n, n);
+            let k = kernel(dims, h2, 18);
+            let o = ExecOptions {
+                setup_to_gpu_bytes: n * n, // cost matrix upload (u8 costs)
+                ..Default::default()
+            };
+            let cpu = run_cpu(&k, &plat, &est).unwrap().total_s;
+            let gpu = run_gpu(&k, &plat, &o).unwrap().total_s;
+            let mut best = f64::INFINITY;
+            let mut best_share = 0;
+            for tsh in t_share_candidates(n) {
+                let plan =
+                    Plan::new(Pattern::Horizontal, h2, dims, ScheduleParams::new(0, tsh)).unwrap();
+                let r = run_hetero(&k, &plan, &plat, &o).unwrap().total_s;
+                if r < best {
+                    best = r;
+                    best_share = tsh;
+                }
+            }
+            println!(
+                "  n={n:6}  cpu {:9.3}  gpu {:9.3}  hetero {:9.3} ms (t_share {best_share})",
+                cpu * 1e3,
+                gpu * 1e3,
+                best * 1e3
+            );
+        }
+    }
+
+    for (name, plat) in [("High", hetero_high()), ("Low", hetero_low())] {
+        println!("== Fig 12 analogue: knight-move (dithering), {name}");
+        for n in [512usize, 1024, 2048, 4096, 8192] {
+            let dims = Dims::new(n, n);
+            let k = kernel(dims, km, 40);
+            let o = ExecOptions {
+                setup_to_gpu_bytes: n * n, // grayscale image upload
+                final_from_gpu_bytes: n * n,
+                ..Default::default()
+            };
+            let cpu = run_cpu(&k, &plat, &est).unwrap().total_s;
+            let gpu = run_gpu(&k, &plat, &o).unwrap().total_s;
+            let waves = Pattern::KnightMove.num_waves(n, n);
+            let mut best = f64::INFINITY;
+            let mut best_p = (0, 0);
+            for tsw in t_switch_candidates(waves) {
+                for tsh in [0usize, 64, 512] {
+                    let plan = Plan::new(
+                        Pattern::KnightMove,
+                        km,
+                        dims,
+                        ScheduleParams::new(tsw, tsh.min(n)),
+                    )
+                    .unwrap();
+                    let r = run_hetero(&k, &plan, &plat, &o).unwrap().total_s;
+                    if r < best {
+                        best = r;
+                        best_p = (tsw, tsh);
+                    }
+                }
+            }
+            println!(
+                "  n={n:6}  cpu {:9.3}  gpu {:9.3}  hetero {:9.3} ms (t_switch {} t_share {})",
+                cpu * 1e3,
+                gpu * 1e3,
+                best * 1e3,
+                best_p.0,
+                best_p.1
+            );
+        }
+    }
+
+    println!("== Fig 8 analogue: {{NW}} under inverted-L vs horizontal-1, Hetero-High");
+    let nwset = ContributingSet::new(&[RepCell::Nw]);
+    for n in [1024usize, 2048, 4096, 8192] {
+        let dims = Dims::new(n, n);
+        let k = kernel(dims, nwset, 16);
+        let cpu_il =
+            hetero_sim::exec::run_cpu_as(&k, Pattern::InvertedL, &hetero_high(), &est).unwrap();
+        let cpu_h1 =
+            hetero_sim::exec::run_cpu_as(&k, Pattern::Horizontal, &hetero_high(), &est).unwrap();
+        let gpu_il =
+            hetero_sim::exec::run_gpu_as(&k, Pattern::InvertedL, &hetero_high(), &est).unwrap();
+        let gpu_h1 =
+            hetero_sim::exec::run_gpu_as(&k, Pattern::Horizontal, &hetero_high(), &est).unwrap();
+        println!(
+            "  n={n:6}  cpu(iL) {:8.3}  cpu(H1) {:8.3}  gpu(iL) {:8.3}  gpu(H1) {:8.3} ms",
+            cpu_il.total_s * 1e3,
+            cpu_h1.total_s * 1e3,
+            gpu_il.total_s * 1e3,
+            gpu_h1.total_s * 1e3
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Multicore CPU cost model.
+//!
+//! Mirrors the paper's CPU execution strategy (§IV-A): a few heavy-weight
+//! threads, each responsible for a chunk of the wave, synchronized by a
+//! barrier between waves. Time for a wave is the per-wave fork/join
+//! overhead plus the chunked cell work divided across the effective
+//! parallelism of the part.
+
+/// Analytic model of a multicore CPU executing LDDP wavefronts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Physical core count.
+    pub physical_cores: usize,
+    /// Logical thread count (with hyper-threading).
+    pub logical_threads: usize,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Effective scalar operations retired per cycle for DP cell code
+    /// (includes ILP but also branch misses; typically 1–2).
+    pub ops_per_cycle: f64,
+    /// Fraction of linear multicore scaling achieved on wavefront loops
+    /// (barrier-bounded, memory-bound); hyper-threading yield is folded
+    /// in. `effective_parallelism = physical_cores · this`.
+    pub parallel_yield: f64,
+    /// Per-wave fork/join + barrier overhead, seconds (OpenMP-class).
+    pub sync_overhead_s: f64,
+    /// Effective per-byte cost of table traffic that misses cache,
+    /// seconds per byte.
+    pub mem_s_per_byte: f64,
+}
+
+impl CpuModel {
+    /// Effective number of concurrently productive threads.
+    pub fn effective_parallelism(&self) -> f64 {
+        (self.physical_cores as f64 * self.parallel_yield).max(1.0)
+    }
+
+    /// Time for one thread to compute one cell of `ops` abstract
+    /// operations touching `bytes` of table memory, with `read_penalty`
+    /// scaling the memory term for layout-hostile access.
+    pub fn cell_time_s(&self, ops: u32, bytes: usize, read_penalty: f64) -> f64 {
+        let compute = ops as f64 / (self.freq_ghz * 1e9 * self.ops_per_cycle);
+        let memory = bytes as f64 * self.mem_s_per_byte * read_penalty;
+        compute + memory
+    }
+
+    /// Time for the part to compute a wave of `cells` cells in parallel.
+    ///
+    /// Zero-cell waves are free (no barrier is issued for work the CPU
+    /// does not have).
+    pub fn wave_time_s(&self, cells: usize, ops: u32, bytes: usize, read_penalty: f64) -> f64 {
+        if cells == 0 {
+            return 0.0;
+        }
+        let per_cell = self.cell_time_s(ops, bytes, read_penalty);
+        let span = (cells as f64 / self.effective_parallelism()).max(1.0);
+        self.sync_overhead_s + span * per_cell
+    }
+
+    /// Single-threaded time for `cells` cells (no barrier) — the
+    /// sequential baseline.
+    pub fn seq_time_s(&self, cells: usize, ops: u32, bytes: usize, read_penalty: f64) -> f64 {
+        cells as f64 * self.cell_time_s(ops, bytes, read_penalty)
+    }
+
+    /// Time for the *thread-per-cell* strawman of §IV-A: one OS thread
+    /// per cell, each paying creation + context-switch overhead
+    /// `spawn_s` on top of its cell work, multiplexed over the part's
+    /// effective parallelism. "Creating a large number of threads is not
+    /// a good choice" — this quantifies why.
+    pub fn wave_time_thread_per_cell_s(
+        &self,
+        cells: usize,
+        ops: u32,
+        bytes: usize,
+        read_penalty: f64,
+        spawn_s: f64,
+    ) -> f64 {
+        if cells == 0 {
+            return 0.0;
+        }
+        let per_cell = spawn_s + self.cell_time_s(ops, bytes, read_penalty);
+        self.sync_overhead_s + cells as f64 * per_cell / self.effective_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CpuModel {
+        CpuModel {
+            physical_cores: 6,
+            logical_threads: 12,
+            freq_ghz: 3.0,
+            ops_per_cycle: 1.0,
+            parallel_yield: 1.25,
+            sync_overhead_s: 1e-6,
+            mem_s_per_byte: 0.2e-9,
+        }
+    }
+
+    #[test]
+    fn zero_cells_is_free() {
+        assert_eq!(model().wave_time_s(0, 16, 16, 1.0), 0.0);
+    }
+
+    #[test]
+    fn effective_parallelism_is_cores_times_yield() {
+        assert!((model().effective_parallelism() - 7.5).abs() < 1e-12);
+        let mut m = model();
+        m.parallel_yield = 0.0;
+        assert_eq!(m.effective_parallelism(), 1.0, "floored at one thread");
+    }
+
+    #[test]
+    fn cell_time_combines_compute_and_memory() {
+        let m = model();
+        let t = m.cell_time_s(30, 16, 1.0);
+        let compute = 30.0 / 3.0e9;
+        let memory = 16.0 * 0.2e-9;
+        assert!((t - (compute + memory)).abs() < 1e-15);
+        // Read penalty scales only the memory term.
+        let t2 = m.cell_time_s(30, 16, 2.0);
+        assert!((t2 - (compute + 2.0 * memory)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wave_time_scales_linearly_beyond_parallelism() {
+        let m = model();
+        let t1 = m.wave_time_s(7_500, 16, 16, 1.0);
+        let t2 = m.wave_time_s(15_000, 16, 16, 1.0);
+        // Doubling the cells roughly doubles the work term.
+        let work1 = t1 - m.sync_overhead_s;
+        let work2 = t2 - m.sync_overhead_s;
+        assert!((work2 / work1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_waves_pay_at_least_one_cell() {
+        let m = model();
+        let t = m.wave_time_s(1, 16, 16, 1.0);
+        assert!(t >= m.sync_overhead_s + m.cell_time_s(16, 16, 1.0));
+        // 1 cell and 5 cells (below parallelism) cost the same span.
+        let t5 = m.wave_time_s(5, 16, 16, 1.0);
+        assert!((t5 - t).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sync_overhead_dominates_small_waves() {
+        let m = model();
+        let t = m.wave_time_s(1, 1, 0, 1.0);
+        assert!(t > 0.9e-6);
+    }
+
+    #[test]
+    fn seq_time_has_no_barrier() {
+        let m = model();
+        let t = m.seq_time_s(1000, 16, 16, 1.0);
+        assert!((t - 1000.0 * m.cell_time_s(16, 16, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_ops_cost_more() {
+        let m = model();
+        assert!(m.wave_time_s(100, 64, 16, 1.0) > m.wave_time_s(100, 16, 16, 1.0));
+    }
+
+    #[test]
+    fn thread_per_cell_is_much_worse_than_chunking() {
+        // §IV-A: with a realistic 15 µs spawn cost, thread-per-cell on a
+        // 10k-cell wave is orders of magnitude slower than a few heavy
+        // chunked threads.
+        let m = model();
+        let spawn = 15e-6;
+        let chunked = m.wave_time_s(10_000, 16, 16, 1.0);
+        let per_cell = m.wave_time_thread_per_cell_s(10_000, 16, 16, 1.0, spawn);
+        assert!(per_cell > chunked * 100.0, "{per_cell} vs {chunked}");
+        assert_eq!(m.wave_time_thread_per_cell_s(0, 16, 16, 1.0, spawn), 0.0);
+    }
+}

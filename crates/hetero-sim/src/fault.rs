@@ -1,0 +1,226 @@
+//! Link fault injection — a robustness probe for the transfer schemes.
+//!
+//! The paper assumes a reliable PCIe link; related work (Caminiti et
+//! al., "LDDP in the presence of memory faults") motivates asking what
+//! unreliable data movement does to the framework. This module models a
+//! lossy channel with per-byte bit-flip probability, guards payloads
+//! with an FNV-1a checksum, retries on mismatch, and extends the
+//! [`LinkModel`](crate::link::LinkModel) timing with the expected retry
+//! multiplier.
+
+use crate::link::{HostMemory, LinkModel};
+
+/// FNV-1a 64-bit checksum over a byte payload.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// SplitMix64: a tiny, dependency-free deterministic generator for the
+/// fault injector.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A lossy channel with checksum-verified retry.
+#[derive(Debug, Clone)]
+pub struct FaultyChannel {
+    /// Probability that any given transferred byte suffers a bit flip.
+    pub flip_prob_per_byte: f64,
+    rng: SplitMix64,
+    /// Total transfer attempts issued.
+    pub attempts: u64,
+    /// Attempts whose payload arrived corrupted (and were detected).
+    pub detected: u64,
+}
+
+impl FaultyChannel {
+    /// A channel with the given per-byte corruption probability.
+    pub fn new(flip_prob_per_byte: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&flip_prob_per_byte));
+        FaultyChannel {
+            flip_prob_per_byte,
+            rng: SplitMix64::new(seed),
+            attempts: 0,
+            detected: 0,
+        }
+    }
+
+    /// One raw (unprotected) send: returns the possibly-corrupted
+    /// payload.
+    fn send_once(&mut self, payload: &[u8]) -> Vec<u8> {
+        self.attempts += 1;
+        let mut out = payload.to_vec();
+        for byte in out.iter_mut() {
+            if self.rng.next_f64() < self.flip_prob_per_byte {
+                let bit = (self.rng.next_u64() % 8) as u8;
+                *byte ^= 1 << bit;
+            }
+        }
+        out
+    }
+
+    /// Transfers `payload` with checksum verification, retrying until it
+    /// arrives intact. Returns the delivered bytes and the number of
+    /// attempts used.
+    pub fn transfer_reliable(&mut self, payload: &[u8]) -> (Vec<u8>, u32) {
+        let expect = checksum(payload);
+        let mut tries = 0u32;
+        loop {
+            tries += 1;
+            let got = self.send_once(payload);
+            if checksum(&got) == expect {
+                return (got, tries);
+            }
+            self.detected += 1;
+        }
+    }
+}
+
+/// Probability that a transfer of `bytes` arrives corrupted.
+pub fn corruption_prob(bytes: usize, flip_prob_per_byte: f64) -> f64 {
+    1.0 - (1.0 - flip_prob_per_byte).powi(bytes as i32)
+}
+
+/// Expected wall time of a checksum-verified transfer over a lossy link:
+/// geometric retries (`1 / (1 - p_corrupt)`) plus a fixed checksum
+/// overhead per attempt.
+pub fn expected_reliable_transfer_s(
+    link: &LinkModel,
+    bytes: usize,
+    mem: HostMemory,
+    flip_prob_per_byte: f64,
+    checksum_overhead_s: f64,
+) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    let p = corruption_prob(bytes, flip_prob_per_byte);
+    let once = link.transfer_time_s(bytes, mem) + checksum_overhead_s;
+    once / (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkModel {
+        LinkModel {
+            pageable_latency_s: 10e-6,
+            pageable_bw_gbps: 6.0,
+            pinned_latency_s: 1e-6,
+            pinned_bw_gbps: 6.5,
+        }
+    }
+
+    #[test]
+    fn checksum_detects_any_single_bit_flip() {
+        let payload: Vec<u8> = (0..64u8).collect();
+        let base = checksum(&payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut corrupted = payload.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(checksum(&corrupted), base, "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn reliable_transfer_always_delivers_intact() {
+        let payload: Vec<u8> = (0..128).map(|i| (i * 7) as u8).collect();
+        let mut chan = FaultyChannel::new(0.02, 42);
+        for _ in 0..200 {
+            let (got, _) = chan.transfer_reliable(&payload);
+            assert_eq!(got, payload);
+        }
+        assert!(
+            chan.detected > 0,
+            "2% per-byte flips over 128 B must corrupt sometimes"
+        );
+        assert_eq!(chan.attempts, 200 + chan.detected);
+    }
+
+    #[test]
+    fn clean_channel_never_retries() {
+        let payload = vec![0xabu8; 256];
+        let mut chan = FaultyChannel::new(0.0, 7);
+        let (got, tries) = chan.transfer_reliable(&payload);
+        assert_eq!(got, payload);
+        assert_eq!(tries, 1);
+        assert_eq!(chan.detected, 0);
+    }
+
+    #[test]
+    fn retry_rate_matches_the_model() {
+        // Empirical corruption rate over many transfers ≈ analytic
+        // corruption probability.
+        let bytes = 64;
+        let flip = 0.004;
+        let payload = vec![0x5au8; bytes];
+        let mut chan = FaultyChannel::new(flip, 9);
+        let runs = 4000;
+        for _ in 0..runs {
+            chan.transfer_reliable(&payload);
+        }
+        let empirical = chan.detected as f64 / chan.attempts as f64;
+        let analytic = corruption_prob(bytes, flip);
+        assert!(
+            (empirical - analytic).abs() < 0.03,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn expected_time_grows_with_fault_rate() {
+        let l = link();
+        let clean = expected_reliable_transfer_s(&l, 1024, HostMemory::Pinned, 0.0, 0.2e-6);
+        let dirty = expected_reliable_transfer_s(&l, 1024, HostMemory::Pinned, 1e-4, 0.2e-6);
+        assert!(dirty > clean);
+        // A ~10% corruption probability costs ~11% more time.
+        let p = corruption_prob(1024, 1e-4);
+        assert!((dirty / clean - 1.0 / (1.0 - p)).abs() < 1e-12);
+        assert_eq!(
+            expected_reliable_transfer_s(&l, 0, HostMemory::Pinned, 0.5, 1e-6),
+            0.0
+        );
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(2);
+        let mean: f64 = (0..4096).map(|_| c.next_f64()).sum::<f64>() / 4096.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}

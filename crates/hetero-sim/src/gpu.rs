@@ -1,0 +1,155 @@
+//! CUDA-class GPU cost model.
+//!
+//! Mirrors the paper's GPU execution strategy (§IV-A): one light-weight
+//! thread per cell, launched as one kernel per wavefront. A wave's time is
+//! the kernel-launch overhead plus the larger of its compute span (rounds
+//! of `total_cores` cells retiring in lockstep) and its memory span
+//! (bytes over effective global-memory bandwidth). Coalescing (§IV-B)
+//! enters as a multiplier on memory traffic: when a warp's accesses are
+//! not contiguous the device fetches a full transaction per thread.
+
+/// Analytic model of a streaming-multiprocessor GPU executing LDDP
+/// wavefronts with a thread-per-cell kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Number of streaming multiprocessors (SMX).
+    pub smx: usize,
+    /// Cores per multiprocessor.
+    pub cores_per_smx: usize,
+    /// Shader clock in GHz.
+    pub clock_ghz: f64,
+    /// Fixed cost of issuing one kernel, seconds (driver + queueing).
+    pub launch_overhead_s: f64,
+    /// Effective global-memory bandwidth for fully coalesced access,
+    /// GB/s (well below the pin bandwidth for dependent DP loads).
+    pub mem_bw_gbps: f64,
+    /// Multiplier on memory traffic when accesses are not coalesced —
+    /// one transaction per thread instead of per warp.
+    pub uncoalesced_penalty: f64,
+    /// Warp width (threads issuing together).
+    pub warp: usize,
+}
+
+impl GpuModel {
+    /// Total hardware thread lanes.
+    pub fn total_cores(&self) -> usize {
+        self.smx * self.cores_per_smx
+    }
+
+    /// Number of full-device rounds needed to retire `cells` threads.
+    pub fn rounds(&self, cells: usize) -> usize {
+        cells.div_ceil(self.total_cores())
+    }
+
+    /// Compute span of a wave: each round retires one cell per lane after
+    /// a pipeline of `ops` cycles.
+    pub fn compute_span_s(&self, cells: usize, ops: u32) -> f64 {
+        self.rounds(cells) as f64 * ops as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Memory span of a wave.
+    pub fn memory_span_s(&self, cells: usize, bytes_per_cell: usize, read_penalty: f64) -> f64 {
+        cells as f64 * bytes_per_cell as f64 * read_penalty / (self.mem_bw_gbps * 1e9)
+    }
+
+    /// Time for one kernel computing a wave of `cells` cells.
+    ///
+    /// `read_penalty` is 1.0 for a coalesced layout and up to
+    /// [`GpuModel::uncoalesced_penalty`] otherwise. Zero-cell waves are
+    /// free (no kernel is launched).
+    pub fn wave_time_s(
+        &self,
+        cells: usize,
+        ops: u32,
+        bytes_per_cell: usize,
+        read_penalty: f64,
+    ) -> f64 {
+        if cells == 0 {
+            return 0.0;
+        }
+        self.launch_overhead_s
+            + self.compute_span_s(cells, ops).max(self.memory_span_s(
+                cells,
+                bytes_per_cell,
+                read_penalty,
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k20_like() -> GpuModel {
+        GpuModel {
+            smx: 13,
+            cores_per_smx: 192,
+            clock_ghz: 0.706,
+            launch_overhead_s: 4e-6,
+            mem_bw_gbps: 40.0,
+            uncoalesced_penalty: 6.0,
+            warp: 32,
+        }
+    }
+
+    #[test]
+    fn zero_cells_skips_the_launch() {
+        assert_eq!(k20_like().wave_time_s(0, 16, 16, 1.0), 0.0);
+    }
+
+    #[test]
+    fn total_cores_and_rounds() {
+        let g = k20_like();
+        assert_eq!(g.total_cores(), 2496);
+        assert_eq!(g.rounds(1), 1);
+        assert_eq!(g.rounds(2496), 1);
+        assert_eq!(g.rounds(2497), 2);
+        assert_eq!(g.rounds(4096), 2);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_waves() {
+        let g = k20_like();
+        let t = g.wave_time_s(4, 16, 16, 1.0);
+        assert!(t < g.launch_overhead_s * 1.2);
+        assert!(t >= g.launch_overhead_s);
+    }
+
+    #[test]
+    fn memory_bound_for_wide_cheap_waves() {
+        let g = k20_like();
+        let mem = g.memory_span_s(100_000, 16, 1.0);
+        let comp = g.compute_span_s(100_000, 16);
+        assert!(mem > comp, "wide low-ops waves should be memory bound");
+        let t = g.wave_time_s(100_000, 16, 16, 1.0);
+        assert!((t - (g.launch_overhead_s + mem)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncoalesced_access_is_slower() {
+        let g = k20_like();
+        let fast = g.wave_time_s(50_000, 16, 16, 1.0);
+        let slow = g.wave_time_s(50_000, 16, 16, g.uncoalesced_penalty);
+        assert!(slow > fast * 3.0);
+    }
+
+    #[test]
+    fn compute_bound_for_heavy_cells() {
+        let g = k20_like();
+        // 4000 ops per cell on few bytes: compute wins.
+        let comp = g.compute_span_s(10_000, 4000);
+        let mem = g.memory_span_s(10_000, 8, 1.0);
+        assert!(comp > mem);
+    }
+
+    #[test]
+    fn wave_time_monotone_in_cells() {
+        let g = k20_like();
+        let mut last = 0.0;
+        for cells in [1, 100, 2496, 2497, 10_000, 100_000] {
+            let t = g.wave_time_s(cells, 16, 16, 1.0);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Host↔device interconnect (PCIe) model, with pinned and pageable
+//! memory modes and an asynchronous-stream composition rule.
+//!
+//! §IV-C of the paper: one-way boundary traffic is pipelined behind
+//! compute with CUDA streams (the copy engine runs concurrently with the
+//! kernel), while two-way traffic uses pinned host memory, "which provides
+//! fast memory access if data size is small", and sits on the critical
+//! path.
+
+/// How the host buffer backing a transfer is allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostMemory {
+    /// Ordinary pageable memory: higher per-transfer latency (the driver
+    /// stages through a bounce buffer) but fine for bulk streaming.
+    Pageable,
+    /// Page-locked (pinned) memory: DMA directly, low latency — the right
+    /// choice for the few-cell boundary transfers of Table II.
+    Pinned,
+}
+
+/// Analytic PCIe-class link model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    /// Fixed per-transfer latency from pageable memory, seconds.
+    pub pageable_latency_s: f64,
+    /// Sustained pageable bandwidth, GB/s.
+    pub pageable_bw_gbps: f64,
+    /// Fixed per-transfer latency from pinned memory, seconds.
+    pub pinned_latency_s: f64,
+    /// Sustained pinned bandwidth, GB/s.
+    pub pinned_bw_gbps: f64,
+}
+
+impl LinkModel {
+    /// Time to move `bytes` in one transfer.
+    pub fn transfer_time_s(&self, bytes: usize, mem: HostMemory) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let (lat, bw) = match mem {
+            HostMemory::Pageable => (self.pageable_latency_s, self.pageable_bw_gbps),
+            HostMemory::Pinned => (self.pinned_latency_s, self.pinned_bw_gbps),
+        };
+        lat + bytes as f64 / (bw * 1e9)
+    }
+
+    /// Composition rule for a pipelined (asynchronous-stream) iteration:
+    /// the copy engine overlaps both compute engines, so the iteration
+    /// takes the longest of the three spans.
+    pub fn pipelined_span_s(compute_a: f64, compute_b: f64, copy: f64) -> f64 {
+        compute_a.max(compute_b).max(copy)
+    }
+
+    /// Composition rule for a synchronous iteration: copies serialize
+    /// after compute.
+    pub fn serialized_span_s(compute_a: f64, compute_b: f64, copy: f64) -> f64 {
+        compute_a.max(compute_b) + copy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcie2() -> LinkModel {
+        LinkModel {
+            pageable_latency_s: 10e-6,
+            pageable_bw_gbps: 6.0,
+            pinned_latency_s: 1.2e-6,
+            pinned_bw_gbps: 6.5,
+        }
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let l = pcie2();
+        assert_eq!(l.transfer_time_s(0, HostMemory::Pageable), 0.0);
+        assert_eq!(l.transfer_time_s(0, HostMemory::Pinned), 0.0);
+    }
+
+    #[test]
+    fn pinned_wins_for_small_transfers() {
+        let l = pcie2();
+        // A few boundary cells: latency dominates, pinned is much faster.
+        let small = 64;
+        assert!(
+            l.transfer_time_s(small, HostMemory::Pinned)
+                < l.transfer_time_s(small, HostMemory::Pageable) / 4.0
+        );
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let l = pcie2();
+        let big = 256 << 20; // 256 MiB
+        let pageable = l.transfer_time_s(big, HostMemory::Pageable);
+        let ideal = big as f64 / 6.0e9;
+        assert!((pageable - ideal) / ideal < 0.01);
+    }
+
+    #[test]
+    fn latency_plus_linear_bytes() {
+        let l = pcie2();
+        let t1 = l.transfer_time_s(1000, HostMemory::Pinned);
+        let t2 = l.transfer_time_s(2000, HostMemory::Pinned);
+        let slope = t2 - t1;
+        assert!((slope - 1000.0 / 6.5e9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pipelined_hides_the_copy() {
+        let span = LinkModel::pipelined_span_s(10e-6, 7e-6, 4e-6);
+        assert_eq!(span, 10e-6);
+        // Unless the copy is the bottleneck.
+        let span = LinkModel::pipelined_span_s(2e-6, 1e-6, 9e-6);
+        assert_eq!(span, 9e-6);
+    }
+
+    #[test]
+    fn serialized_pays_the_copy() {
+        let span = LinkModel::serialized_span_s(10e-6, 7e-6, 4e-6);
+        assert!((span - 14e-6).abs() < 1e-18);
+    }
+}

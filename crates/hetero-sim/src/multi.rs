@@ -1,0 +1,291 @@
+//! Executor for k-way [`MultiPlan`]s — the §VII extension: CPU plus any
+//! number of modelled accelerators, each owning a column band.
+//!
+//! Functional mode keeps one grid *per device*; values cross only
+//! through the plan's transfer lists (accelerator↔accelerator copies
+//! stage through the host, costing both links). Timing composes each
+//! wave as `max(compute spans) + Σ pinned boundary copies`.
+
+use crate::cpu::CpuModel;
+use crate::exec::{access_class, cpu_read_penalty, gpu_read_penalty};
+use crate::gpu::GpuModel;
+use crate::link::{HostMemory, LinkModel};
+use lddp_core::grid::{Grid, LayoutKind};
+use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::multi::MultiPlan;
+use lddp_core::wavefront;
+use lddp_core::{Error, Result};
+
+/// One accelerator: a device model plus its host link.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    /// Display name ("K20", "Phi").
+    pub name: String,
+    /// Device compute model.
+    pub gpu: GpuModel,
+    /// Host↔device link.
+    pub link: LinkModel,
+}
+
+/// A CPU plus an ordered list of accelerators (device 1, 2, …).
+#[derive(Debug, Clone)]
+pub struct MultiPlatform {
+    /// Display name.
+    pub name: String,
+    /// Device 0.
+    pub cpu: CpuModel,
+    /// Devices 1…k-1, left to right across the table.
+    pub accels: Vec<Accelerator>,
+}
+
+impl MultiPlatform {
+    /// The paper's Hetero-High CPU joined by its K20 *and* a Phi-like
+    /// accelerator — the concrete §VII thought experiment.
+    pub fn high_plus_phi() -> MultiPlatform {
+        let high = crate::platform::hetero_high();
+        let phi = crate::platform::xeon_phi_like();
+        MultiPlatform {
+            name: "Hetero-High + Phi".into(),
+            cpu: high.cpu,
+            accels: vec![
+                Accelerator {
+                    name: "K20".into(),
+                    gpu: high.gpu,
+                    link: high.link,
+                },
+                Accelerator {
+                    name: "Phi".into(),
+                    gpu: phi.gpu,
+                    link: phi.link,
+                },
+            ],
+        }
+    }
+}
+
+/// Result of a k-way run.
+#[derive(Debug, Clone)]
+pub struct MultiReport<T> {
+    /// End-to-end virtual time, seconds.
+    pub total_s: f64,
+    /// Busy seconds per device (index 0 = CPU).
+    pub busy_s: Vec<f64>,
+    /// Total boundary copy time, seconds.
+    pub copy_s: f64,
+    /// Total cells moved across any boundary.
+    pub cells_moved: usize,
+    /// The computed table (functional mode only).
+    pub grid: Option<Grid<T>>,
+}
+
+/// Runs a kernel under a k-way plan.
+///
+/// `functional` enables value computation with per-device grids.
+pub fn run_multi<K: Kernel>(
+    kernel: &K,
+    plan: &MultiPlan,
+    platform: &MultiPlatform,
+    functional: bool,
+) -> Result<MultiReport<K::Cell>> {
+    let dims = kernel.dims();
+    if plan.dims() != dims || plan.set() != kernel.contributing_set() {
+        return Err(Error::PlanMismatch {
+            expected: format!("{:?} over {}", plan.dims(), plan.set()),
+            found: format!("{:?} over {}", dims, kernel.contributing_set()),
+        });
+    }
+    if plan.devices() != platform.accels.len() + 1 {
+        return Err(Error::PlanMismatch {
+            expected: format!("{} devices", plan.devices()),
+            found: format!("{} devices", platform.accels.len() + 1),
+        });
+    }
+    let pattern = plan.pattern();
+    let layout = LayoutKind::preferred_for(pattern);
+    let class = access_class(pattern, layout);
+    let rp_cpu = cpu_read_penalty(class);
+    let ops = kernel.cost_ops();
+    let bpc = std::mem::size_of::<K::Cell>() * (kernel.contributing_set().len() + 1);
+    let cell_size = std::mem::size_of::<K::Cell>();
+
+    let k = plan.devices();
+    let mut grids: Vec<Grid<K::Cell>> = if functional {
+        (0..k).map(|_| Grid::new(layout, dims)).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut total = 0.0;
+    let mut busy = vec![0.0f64; k];
+    let mut copy_total = 0.0;
+    let mut cells_moved = 0;
+
+    for w in 0..plan.num_waves() {
+        let assignment = plan.assignment(w);
+        let transfers = plan.transfers(w);
+
+        if functional {
+            for t in &transfers {
+                for &(i, j) in &t.cells {
+                    let v = grids[t.from].get(i, j);
+                    grids[t.to].set(i, j, v);
+                }
+            }
+            for (d, range) in assignment.iter().enumerate() {
+                for pos in range.clone() {
+                    let (i, j) = wavefront::cell_at(pattern, dims, w, pos);
+                    let mut nbrs = Neighbors::empty();
+                    for dep in kernel.contributing_set().iter() {
+                        if let Some((si, sj)) = dep.source(i, j, dims.rows, dims.cols) {
+                            nbrs.set(dep, grids[d].get(si, sj));
+                        }
+                    }
+                    let v = kernel.compute(i, j, &nbrs);
+                    grids[d].set(i, j, v);
+                }
+            }
+        }
+
+        // Compute spans.
+        let mut span: f64 = 0.0;
+        for (d, range) in assignment.iter().enumerate() {
+            let cells = range.len();
+            let t = if d == 0 {
+                platform.cpu.wave_time_s(cells, ops, bpc, rp_cpu)
+            } else {
+                let accel = &platform.accels[d - 1];
+                let rp = gpu_read_penalty(class, accel.gpu.uncoalesced_penalty);
+                accel.gpu.wave_time_s(cells, ops, bpc, rp)
+            };
+            busy[d] += t;
+            span = span.max(t);
+        }
+        // Boundary copies, serialized (conservative: k-way traffic can
+        // contend for the host).
+        let mut copy = 0.0;
+        for t in &transfers {
+            let bytes = t.cells.len() * cell_size;
+            cells_moved += t.cells.len();
+            copy += match (t.from, t.to) {
+                (0, to) => platform.accels[to - 1]
+                    .link
+                    .transfer_time_s(bytes, HostMemory::Pinned),
+                (from, 0) => platform.accels[from - 1]
+                    .link
+                    .transfer_time_s(bytes, HostMemory::Pinned),
+                (from, to) => {
+                    // Device-to-device stages through the host.
+                    platform.accels[from - 1]
+                        .link
+                        .transfer_time_s(bytes, HostMemory::Pinned)
+                        + platform.accels[to - 1]
+                            .link
+                            .transfer_time_s(bytes, HostMemory::Pinned)
+                }
+            };
+        }
+        copy_total += copy;
+        total += span + copy;
+    }
+
+    let grid = if functional {
+        // Merge by ownership into device 0's grid.
+        let mut merged = Grid::new(layout, dims);
+        for i in 0..dims.rows {
+            for j in 0..dims.cols {
+                let d = plan.owner(i, j);
+                let v = grids[d].get(i, j);
+                merged.set(i, j, v);
+            }
+        }
+        Some(merged)
+    } else {
+        None
+    };
+
+    Ok(MultiReport {
+        total_s: total,
+        busy_s: busy,
+        copy_s: copy_total,
+        cells_moved,
+        grid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_core::cell::{ContributingSet, RepCell};
+    use lddp_core::kernel::ClosureKernel;
+    use lddp_core::pattern::Pattern;
+    use lddp_core::seq::solve_row_major;
+    use lddp_core::wavefront::Dims;
+
+    fn mix(dims: Dims, set: ContributingSet) -> impl Kernel<Cell = u64> {
+        ClosureKernel::new(dims, set, move |i, j, n: &Neighbors<u64>| {
+            let mut acc = ((i * 37 + j * 11) as u64) | 1;
+            for c in RepCell::ALL {
+                if let Some(v) = n.get(c) {
+                    acc = acc.wrapping_mul(1000003).wrapping_add(*v);
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn three_devices_match_oracle() {
+        let set = ContributingSet::new(&[RepCell::Nw, RepCell::N, RepCell::Ne]);
+        let dims = Dims::new(16, 24);
+        let kernel = mix(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let plan = MultiPlan::new(Pattern::Horizontal, set, dims, 0, vec![6, 14]).unwrap();
+        let platform = MultiPlatform::high_plus_phi();
+        let report = run_multi(&kernel, &plan, &platform, true).unwrap();
+        assert_eq!(report.grid.unwrap().to_row_major(), oracle);
+        assert!(report.total_s > 0.0);
+        assert_eq!(report.busy_s.len(), 3);
+        assert!(
+            report.busy_s.iter().all(|&b| b > 0.0),
+            "{:?}",
+            report.busy_s
+        );
+        assert!(report.cells_moved > 0);
+    }
+
+    #[test]
+    fn knight_move_three_way_matches_oracle() {
+        let set = ContributingSet::FULL;
+        let dims = Dims::new(14, 18);
+        let kernel = mix(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let plan = MultiPlan::new(Pattern::KnightMove, set, dims, 5, vec![5, 11]).unwrap();
+        let platform = MultiPlatform::high_plus_phi();
+        let report = run_multi(&kernel, &plan, &platform, true).unwrap();
+        assert_eq!(report.grid.unwrap().to_row_major(), oracle);
+    }
+
+    #[test]
+    fn device_count_mismatch_rejected() {
+        let set = ContributingSet::new(&[RepCell::N]);
+        let dims = Dims::new(8, 8);
+        let kernel = mix(dims, set);
+        // 4 bands but platform has 3 devices.
+        let plan = MultiPlan::new(Pattern::Horizontal, set, dims, 0, vec![2, 4, 6]).unwrap();
+        let platform = MultiPlatform::high_plus_phi();
+        assert!(run_multi(&kernel, &plan, &platform, false).is_err());
+    }
+
+    #[test]
+    fn estimate_equals_functional_timing() {
+        let set = ContributingSet::new(&[RepCell::Nw, RepCell::N]);
+        let dims = Dims::new(12, 12);
+        let kernel = mix(dims, set);
+        let plan = MultiPlan::new(Pattern::Horizontal, set, dims, 0, vec![4, 8]).unwrap();
+        let platform = MultiPlatform::high_plus_phi();
+        let est = run_multi(&kernel, &plan, &platform, false).unwrap();
+        let fun = run_multi(&kernel, &plan, &platform, true).unwrap();
+        assert_eq!(est.total_s, fun.total_s);
+        assert!(est.grid.is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Heterogeneous platform presets — §II-A of the paper.
+//!
+//! The constants below derive from the published hardware specifications
+//! of the paper's two testbeds, with the effective-rate parameters
+//! (memory bandwidth seen by dependent DP loads, kernel-launch overhead,
+//! barrier cost, parallel yield) calibrated so that the *relative*
+//! behaviours the paper reports hold: the GPU beats the multicore CPU on
+//! wide uniform waves, loses on narrow ones, launch overhead dominates
+//! tiny kernels, and pinned two-way traffic is visible at small problem
+//! sizes (§VI). Absolute times are model outputs, not measurements.
+
+use crate::cpu::CpuModel;
+use crate::gpu::GpuModel;
+use crate::link::LinkModel;
+
+/// A CPU + GPU + interconnect triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Display name ("Hetero-High", "Hetero-Low").
+    pub name: &'static str,
+    /// Host part.
+    pub cpu: CpuModel,
+    /// Device part.
+    pub gpu: GpuModel,
+    /// Interconnect.
+    pub link: LinkModel,
+}
+
+/// The paper's *Hetero-High* testbed: Intel i7-980 (6 cores / 12 threads
+/// @ 3.33 GHz) + Nvidia Tesla K20 (13 SMX × 192 cores, Kepler).
+pub fn hetero_high() -> Platform {
+    Platform {
+        name: "Hetero-High",
+        cpu: CpuModel {
+            physical_cores: 6,
+            logical_threads: 12,
+            freq_ghz: 3.33,
+            ops_per_cycle: 2.0,  // superscalar + SSE on simple DP cells
+            parallel_yield: 1.5, // 6 cores + HT ≈ 9 productive threads
+            sync_overhead_s: 1.4e-6,
+            mem_s_per_byte: 0.25e-9,
+        },
+        gpu: GpuModel {
+            smx: 13,
+            cores_per_smx: 192,
+            clock_ghz: 0.706,
+            launch_overhead_s: 2.0e-6, // back-to-back async launches amortize
+            mem_bw_gbps: 40.0,         // effective for dependent DP loads (peak 208)
+            uncoalesced_penalty: 6.0,
+            warp: 32,
+        },
+        link: LinkModel {
+            // PCIe 2.0 x16.
+            pageable_latency_s: 10.0e-6,
+            pageable_bw_gbps: 6.0,
+            pinned_latency_s: 0.5e-6,
+            pinned_bw_gbps: 6.5,
+        },
+    }
+}
+
+/// The paper's *Hetero-Low* testbed: Intel i7-3632QM (4 cores / 8 threads
+/// @ 2.2 GHz) + Nvidia GeForce GT650M (2 SMX × 192 cores).
+pub fn hetero_low() -> Platform {
+    Platform {
+        name: "Hetero-Low",
+        cpu: CpuModel {
+            physical_cores: 4,
+            logical_threads: 8,
+            freq_ghz: 2.2,
+            ops_per_cycle: 2.0,  // superscalar + SSE on simple DP cells
+            parallel_yield: 1.5, // 4 cores + HT ≈ 6 productive threads
+            sync_overhead_s: 1.6e-6,
+            mem_s_per_byte: 0.35e-9,
+        },
+        gpu: GpuModel {
+            smx: 2,
+            cores_per_smx: 192,
+            clock_ghz: 0.9,
+            launch_overhead_s: 3.0e-6,
+            mem_bw_gbps: 14.0, // DDR3 GT650M, effective
+            uncoalesced_penalty: 6.0,
+            warp: 32,
+        },
+        link: LinkModel {
+            // PCIe 3.0 x8 on a mobile chipset, conservative.
+            pageable_latency_s: 11.0e-6,
+            pageable_bw_gbps: 4.0,
+            pinned_latency_s: 0.7e-6,
+            pinned_bw_gbps: 4.5,
+        },
+    }
+}
+
+/// A hypothetical wide-vector accelerator in the spirit of the paper's
+/// closing remark about Intel Xeon-Phi: many weak cores, no kernel-launch
+/// cliff but a slower link. Used by the extension experiments only.
+pub fn xeon_phi_like() -> Platform {
+    Platform {
+        name: "Phi-Like",
+        cpu: hetero_high().cpu,
+        gpu: GpuModel {
+            smx: 60,
+            cores_per_smx: 4,
+            clock_ghz: 1.1,
+            launch_overhead_s: 1.5e-6, // offload pragma, cheaper than CUDA launch
+            mem_bw_gbps: 25.0,
+            uncoalesced_penalty: 4.0,
+            warp: 16,
+        },
+        link: LinkModel {
+            pageable_latency_s: 14.0e-6,
+            pageable_bw_gbps: 5.0,
+            pinned_latency_s: 2.5e-6,
+            pinned_bw_gbps: 5.5,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_published_core_counts() {
+        let high = hetero_high();
+        assert_eq!(high.cpu.physical_cores, 6);
+        assert_eq!(high.cpu.logical_threads, 12);
+        assert_eq!(high.gpu.total_cores(), 2496);
+        let low = hetero_low();
+        assert_eq!(low.cpu.physical_cores, 4);
+        assert_eq!(low.cpu.logical_threads, 8);
+        assert_eq!(low.gpu.total_cores(), 384);
+    }
+
+    #[test]
+    fn high_outclasses_low_everywhere() {
+        let high = hetero_high();
+        let low = hetero_low();
+        // Same wide wave is faster on the high platform for both parts.
+        assert!(
+            high.cpu.wave_time_s(100_000, 16, 16, 1.0) < low.cpu.wave_time_s(100_000, 16, 16, 1.0)
+        );
+        assert!(
+            high.gpu.wave_time_s(100_000, 16, 16, 1.0) < low.gpu.wave_time_s(100_000, 16, 16, 1.0)
+        );
+    }
+
+    /// The calibration property the schedules rely on: the CPU wins
+    /// narrow waves (sync ≪ launch) and the GPU wins wide waves.
+    #[test]
+    fn crossover_exists_on_both_platforms() {
+        for p in [hetero_high(), hetero_low()] {
+            let cpu_small = p.cpu.wave_time_s(8, 16, 16, 1.0);
+            let gpu_small = p.gpu.wave_time_s(8, 16, 16, 1.0);
+            assert!(cpu_small < gpu_small, "{}: CPU must win tiny waves", p.name);
+            let cpu_big = p.cpu.wave_time_s(1 << 20, 16, 16, 1.0);
+            let gpu_big = p.gpu.wave_time_s(1 << 20, 16, 16, 1.0);
+            assert!(gpu_big < cpu_big, "{}: GPU must win wide waves", p.name);
+        }
+    }
+
+    /// The Hetero-Low GPU's margin over its CPU is smaller than the
+    /// Hetero-High GPU's margin — the paper's low-end platform shows
+    /// weaker heterogeneous gains.
+    #[test]
+    fn low_platform_has_smaller_gpu_margin() {
+        let wide = 1 << 20;
+        let high = hetero_high();
+        let low = hetero_low();
+        let high_ratio =
+            high.cpu.wave_time_s(wide, 16, 16, 1.0) / high.gpu.wave_time_s(wide, 16, 16, 1.0);
+        let low_ratio =
+            low.cpu.wave_time_s(wide, 16, 16, 1.0) / low.gpu.wave_time_s(wide, 16, 16, 1.0);
+        assert!(high_ratio > low_ratio);
+        assert!(low_ratio > 1.0);
+    }
+
+    #[test]
+    fn pinned_latency_below_launch_overhead() {
+        // Pinned boundary copies must be cheap relative to a kernel
+        // launch, or the two-way patterns could never profit from
+        // sharing.
+        for p in [hetero_high(), hetero_low()] {
+            assert!(p.link.pinned_latency_s < p.gpu.launch_overhead_s);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Human-readable rendering of execution timelines: per-phase
+//! utilization summaries and an ASCII occupancy strip, built from the
+//! [`WaveRecord`](crate::exec::WaveRecord)s an executor emits.
+
+use crate::exec::{Breakdown, WaveRecord};
+use std::fmt::Write as _;
+
+/// Utilization summary of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Utilization {
+    /// Fraction of wall time the CPU was busy (0..=1).
+    pub cpu: f64,
+    /// Fraction of wall time the GPU was busy.
+    pub gpu: f64,
+    /// Fraction of wall time spent on un-hidden copies.
+    pub copy: f64,
+    /// Wall time covered, seconds.
+    pub wall_s: f64,
+}
+
+/// Computes utilization from a breakdown and total time.
+pub fn utilization(breakdown: &Breakdown, total_s: f64) -> Utilization {
+    let wall = total_s.max(f64::MIN_POSITIVE);
+    Utilization {
+        cpu: (breakdown.cpu_busy_s / wall).min(1.0),
+        gpu: (breakdown.gpu_busy_s / wall).min(1.0),
+        copy: (breakdown.copy_s / wall).min(1.0),
+        wall_s: total_s,
+    }
+}
+
+/// Buckets a timeline into `width` equal spans of wall time and renders
+/// one occupancy character per bucket per engine:
+/// `#` busy ≥ 75%, `+` ≥ 25%, `.` > 0, space idle.
+pub fn occupancy_strip(timeline: &[WaveRecord], width: usize) -> String {
+    let total: f64 = timeline.iter().map(|r| r.span_s).sum();
+    if total <= 0.0 || width == 0 || timeline.is_empty() {
+        return String::new();
+    }
+    let bucket_span = total / width as f64;
+    let mut cpu = vec![0.0f64; width];
+    let mut gpu = vec![0.0f64; width];
+    let mut t = 0.0;
+    for r in timeline {
+        // Attribute the wave's busy time to the buckets it overlaps,
+        // proportionally.
+        let start = t;
+        let end = t + r.span_s;
+        t = end;
+        let b0 = ((start / bucket_span) as usize).min(width - 1);
+        let b1 = ((end / bucket_span) as usize).min(width - 1);
+        for b in b0..=b1 {
+            let bucket_start = b as f64 * bucket_span;
+            let bucket_end = bucket_start + bucket_span;
+            let overlap = (end.min(bucket_end) - start.max(bucket_start)).max(0.0);
+            if r.span_s > 0.0 {
+                let frac = overlap / r.span_s;
+                cpu[b] += r.cpu_s * frac;
+                gpu[b] += r.gpu_s * frac;
+            }
+        }
+    }
+    let glyph = |busy: f64| -> char {
+        let frac = busy / bucket_span;
+        if frac >= 0.75 {
+            '#'
+        } else if frac >= 0.25 {
+            '+'
+        } else if frac > 0.0 {
+            '.'
+        } else {
+            ' '
+        }
+    };
+    let mut out = String::new();
+    let _ = write!(out, "CPU |");
+    for &b in &cpu {
+        out.push(glyph(b));
+    }
+    let _ = writeln!(out, "|");
+    let _ = write!(out, "GPU |");
+    for &b in &gpu {
+        out.push(glyph(b));
+    }
+    let _ = writeln!(out, "|");
+    out
+}
+
+/// Renders a one-paragraph run summary.
+pub fn summarize(breakdown: &Breakdown, total_s: f64) -> String {
+    let u = utilization(breakdown, total_s);
+    format!(
+        "{:.3} ms wall | CPU busy {:.1}% | GPU busy {:.1}% | copies {:.1}% \
+         ({} B →GPU, {} B →CPU) | {} waves",
+        total_s * 1e3,
+        u.cpu * 100.0,
+        u.gpu * 100.0,
+        u.copy * 100.0,
+        breakdown.bytes_to_gpu,
+        breakdown.bytes_to_cpu,
+        breakdown.waves
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(wave: usize, cpu_s: f64, gpu_s: f64, span_s: f64) -> WaveRecord {
+        WaveRecord {
+            wave,
+            cpu_cells: 1,
+            gpu_cells: 1,
+            cpu_s,
+            gpu_s,
+            copy_s: 0.0,
+            span_s,
+            bytes_to_gpu: 0,
+            bytes_to_cpu: 0,
+        }
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let b = Breakdown {
+            cpu_busy_s: 0.5,
+            gpu_busy_s: 0.25,
+            copy_s: 0.1,
+            setup_s: 0.0,
+            bytes_to_gpu: 100,
+            bytes_to_cpu: 50,
+            waves: 10,
+        };
+        let u = utilization(&b, 1.0);
+        assert!((u.cpu - 0.5).abs() < 1e-12);
+        assert!((u.gpu - 0.25).abs() < 1e-12);
+        assert!((u.copy - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_caps_at_one() {
+        let b = Breakdown {
+            cpu_busy_s: 5.0,
+            ..Default::default()
+        };
+        assert_eq!(utilization(&b, 1.0).cpu, 1.0);
+    }
+
+    #[test]
+    fn strip_shows_phases() {
+        // First half CPU-only, second half GPU-only.
+        let mut tl = Vec::new();
+        for w in 0..10 {
+            tl.push(record(w, 1.0, 0.0, 1.0));
+        }
+        for w in 10..20 {
+            tl.push(record(w, 0.0, 1.0, 1.0));
+        }
+        let strip = occupancy_strip(&tl, 10);
+        let lines: Vec<&str> = strip.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let cpu_line = lines[0];
+        let gpu_line = lines[1];
+        // CPU busy in the first buckets, idle later.
+        assert!(cpu_line.starts_with("CPU |####"));
+        assert!(cpu_line.trim_end().ends_with("    |") || cpu_line.contains("#    "));
+        assert!(gpu_line.starts_with("GPU |"));
+        assert!(gpu_line.contains("####"));
+        // GPU idle in the first bucket.
+        assert_eq!(gpu_line.as_bytes()[5], b' ');
+    }
+
+    #[test]
+    fn empty_timeline_renders_empty() {
+        assert_eq!(occupancy_strip(&[], 40), "");
+        assert_eq!(occupancy_strip(&[record(0, 1.0, 1.0, 1.0)], 0), "");
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let b = Breakdown {
+            cpu_busy_s: 0.001,
+            gpu_busy_s: 0.002,
+            copy_s: 0.0001,
+            setup_s: 0.0,
+            bytes_to_gpu: 64,
+            bytes_to_cpu: 32,
+            waves: 100,
+        };
+        let s = summarize(&b, 0.004);
+        assert!(s.contains("4.000 ms"));
+        assert!(s.contains("100 waves"));
+        assert!(s.contains("64 B"));
+    }
+}

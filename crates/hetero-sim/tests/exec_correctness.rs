@@ -1,0 +1,300 @@
+//! Functional correctness of the simulated executors: the heterogeneous
+//! run — with its split host/device grids and explicit boundary
+//! transfers — must reproduce the sequential oracle bit-for-bit for every
+//! Table I contributing set, every canonical pattern, and a sweep of
+//! schedule parameters.
+
+use hetero_sim::exec::{run_cpu, run_gpu, run_hetero, ExecOptions};
+use hetero_sim::platform::{hetero_high, hetero_low};
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::kernel::{ClosureKernel, Neighbors};
+use lddp_core::pattern::{classify, Pattern, ProfileShape};
+use lddp_core::schedule::{Plan, ScheduleParams};
+use lddp_core::seq::solve_row_major;
+use lddp_core::wavefront::Dims;
+
+/// Position-and-dependency mixing kernel: every declared dependency
+/// perturbs the output, so a missing transfer or wrong order changes the
+/// result.
+fn mix_kernel(
+    dims: Dims,
+    set: ContributingSet,
+) -> ClosureKernel<u64, impl Fn(usize, usize, &Neighbors<u64>) -> u64 + Sync> {
+    ClosureKernel::new(dims, set, move |i, j, n: &Neighbors<u64>| {
+        let mut acc = (i as u64) << 32 | (j as u64 + 1);
+        for c in RepCell::ALL {
+            if let Some(v) = n.get(c) {
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(*v ^ 0x9e3779b97f4a7c15);
+            }
+        }
+        acc
+    })
+}
+
+fn schedule_for(pattern: Pattern, dims: Dims, t_switch: usize, t_share: usize) -> ScheduleParams {
+    let waves = pattern.num_waves(dims.rows, dims.cols);
+    let t_switch = match pattern.profile_shape() {
+        ProfileShape::Constant => 0,
+        ProfileShape::RampUpDown => t_switch.min(waves / 2),
+        ProfileShape::Decreasing => t_switch.min(waves),
+    };
+    ScheduleParams::new(t_switch, t_share.min(dims.cols))
+}
+
+#[test]
+fn hetero_matches_oracle_for_all_table_one_sets() {
+    for set in ContributingSet::table_one_rows() {
+        let pattern = classify(set).unwrap();
+        if !pattern.is_canonical() {
+            continue; // vertical / mirrored handled by framework adapters
+        }
+        for (r, c) in [(9, 9), (5, 13), (13, 5)] {
+            let dims = Dims::new(r, c);
+            let kernel = mix_kernel(dims, set);
+            let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+            for (t_switch, t_share) in [(0, 0), (2, 0), (0, 3), (3, 2), (4, c)] {
+                let params = schedule_for(pattern, dims, t_switch, t_share);
+                let plan = Plan::new(pattern, set, dims, params).unwrap();
+                let report =
+                    run_hetero(&kernel, &plan, &hetero_high(), &ExecOptions::functional()).unwrap();
+                let got = report.grid.expect("functional mode returns the grid");
+                assert_eq!(
+                    got.to_row_major(),
+                    oracle,
+                    "{pattern} {set} {r}x{c} params {params:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cpu_and_gpu_runs_match_oracle() {
+    for set in [
+        ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]),
+        ContributingSet::new(&[RepCell::Nw, RepCell::N, RepCell::Ne]),
+        ContributingSet::new(&[RepCell::W, RepCell::Ne]),
+    ] {
+        let dims = Dims::new(8, 11);
+        let kernel = mix_kernel(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let cpu = run_cpu(&kernel, &hetero_high(), &ExecOptions::functional()).unwrap();
+        assert_eq!(cpu.grid.unwrap().to_row_major(), oracle);
+        let gpu = run_gpu(&kernel, &hetero_low(), &ExecOptions::functional()).unwrap();
+        assert_eq!(gpu.grid.unwrap().to_row_major(), oracle);
+    }
+}
+
+#[test]
+fn estimate_mode_returns_no_grid_but_same_time() {
+    let set = ContributingSet::new(&[RepCell::W, RepCell::N]);
+    let dims = Dims::new(16, 16);
+    let kernel = mix_kernel(dims, set);
+    let plan = Plan::new(Pattern::AntiDiagonal, set, dims, ScheduleParams::new(3, 4)).unwrap();
+    let fun = run_hetero(&kernel, &plan, &hetero_high(), &ExecOptions::functional()).unwrap();
+    let est = run_hetero(&kernel, &plan, &hetero_high(), &ExecOptions::default()).unwrap();
+    assert!(est.grid.is_none());
+    assert!(fun.grid.is_some());
+    assert_eq!(
+        est.total_s, fun.total_s,
+        "timing must not depend on functional mode"
+    );
+    assert_eq!(est.breakdown, fun.breakdown);
+}
+
+#[test]
+fn plan_mismatch_is_rejected() {
+    let set = ContributingSet::new(&[RepCell::W, RepCell::N]);
+    let kernel = mix_kernel(Dims::new(8, 8), set);
+    let plan = Plan::new(
+        Pattern::AntiDiagonal,
+        set,
+        Dims::new(9, 9), // wrong dims
+        ScheduleParams::new(0, 0),
+    )
+    .unwrap();
+    assert!(run_hetero(&kernel, &plan, &hetero_high(), &ExecOptions::default()).is_err());
+}
+
+#[test]
+fn timeline_spans_sum_to_total() {
+    let set = ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N, RepCell::Ne]);
+    let dims = Dims::new(12, 12);
+    let kernel = mix_kernel(dims, set);
+    let plan = Plan::new(Pattern::KnightMove, set, dims, ScheduleParams::new(5, 3)).unwrap();
+    let opts = ExecOptions {
+        record_timeline: true,
+        ..Default::default()
+    };
+    let report = run_hetero(&kernel, &plan, &hetero_high(), &opts).unwrap();
+    assert_eq!(report.timeline.len(), plan.num_waves());
+    let sum: f64 = report.timeline.iter().map(|r| r.span_s).sum();
+    let expected = report.total_s - report.breakdown.setup_s;
+    assert!((sum - expected).abs() < 1e-12 * sum.max(1.0));
+    // Spans are at least as long as each engine's busy time.
+    for r in &report.timeline {
+        assert!(r.span_s >= r.cpu_s.max(r.gpu_s) - 1e-15);
+    }
+}
+
+#[test]
+fn two_way_patterns_pay_copies_on_critical_path() {
+    // Knight-move needs transfers in both directions (Table II). A
+    // geometric subtlety of the column-band partition: a knight-move wave
+    // holds cells of a single column parity, so the CPU→GPU imports (even
+    // waves, boundary cell at j = t_share) and the GPU→CPU imports (odd
+    // waves, CPU boundary cell's NE) *alternate* between iterations
+    // rather than coinciding. Both directions must occur, and every
+    // transferring wave must pay its pinned copy on the critical path.
+    let set = ContributingSet::new(&[RepCell::W, RepCell::Ne]);
+    let dims = Dims::new(16, 16);
+    let kernel = mix_kernel(dims, set);
+    let plan = Plan::new(Pattern::KnightMove, set, dims, ScheduleParams::new(4, 4)).unwrap();
+    let opts = ExecOptions {
+        record_timeline: true,
+        ..Default::default()
+    };
+    let report = run_hetero(&kernel, &plan, &hetero_high(), &opts).unwrap();
+    let waves_to_gpu = report
+        .timeline
+        .iter()
+        .filter(|r| r.bytes_to_gpu > 0)
+        .count();
+    let waves_to_cpu = report
+        .timeline
+        .iter()
+        .filter(|r| r.bytes_to_cpu > 0)
+        .count();
+    assert!(waves_to_gpu > 0, "knight-move must transfer CPU→GPU");
+    assert!(waves_to_cpu > 0, "knight-move must transfer GPU→CPU");
+    for r in report
+        .timeline
+        .iter()
+        .filter(|r| r.bytes_to_gpu + r.bytes_to_cpu > 0)
+    {
+        assert!(
+            r.span_s > r.cpu_s.max(r.gpu_s),
+            "wave {}: two-way-pattern copies must not be hidden",
+            r.wave
+        );
+    }
+}
+
+#[test]
+fn pipelining_hides_one_way_copies() {
+    // Horizontal case 1 with pipeline on: spans equal max(cpu, gpu)
+    // whenever the copy is smaller than compute. With pipeline off the
+    // same waves get strictly slower.
+    let set = ContributingSet::new(&[RepCell::Nw, RepCell::N]);
+    let dims = Dims::new(64, 4096);
+    let kernel = mix_kernel(dims, set);
+    let plan = Plan::new(Pattern::Horizontal, set, dims, ScheduleParams::new(0, 256)).unwrap();
+    let on = run_hetero(&kernel, &plan, &hetero_high(), &ExecOptions::default()).unwrap();
+    let opts = ExecOptions {
+        pipeline: false,
+        ..Default::default()
+    };
+    let off = run_hetero(&kernel, &plan, &hetero_high(), &opts).unwrap();
+    assert!(
+        off.total_s > on.total_s,
+        "disabling the pipeline must cost time: on={} off={}",
+        on.total_s,
+        off.total_s
+    );
+}
+
+#[test]
+fn setup_bytes_are_charged_once() {
+    let set = ContributingSet::new(&[RepCell::Nw, RepCell::N]);
+    let dims = Dims::new(32, 32);
+    let kernel = mix_kernel(dims, set);
+    let plan = Plan::new(Pattern::Horizontal, set, dims, ScheduleParams::new(0, 4)).unwrap();
+    let base = run_hetero(&kernel, &plan, &hetero_high(), &ExecOptions::default()).unwrap();
+    let opts = ExecOptions {
+        setup_to_gpu_bytes: 1 << 20,
+        ..Default::default()
+    };
+    let with_setup = run_hetero(&kernel, &plan, &hetero_high(), &opts).unwrap();
+    let delta = with_setup.total_s - base.total_s;
+    let expected = hetero_high()
+        .link
+        .transfer_time_s(1 << 20, hetero_sim::HostMemory::Pageable);
+    assert!((delta - expected).abs() < 1e-12);
+}
+
+#[test]
+fn pure_cpu_plan_charges_no_setup() {
+    // t_share = cols: GPU never participates, so no upload/download.
+    let set = ContributingSet::new(&[RepCell::Nw, RepCell::N]);
+    let dims = Dims::new(16, 16);
+    let kernel = mix_kernel(dims, set);
+    let plan = Plan::new(Pattern::Horizontal, set, dims, ScheduleParams::new(0, 16)).unwrap();
+    let opts = ExecOptions {
+        setup_to_gpu_bytes: 1 << 30,
+        ..Default::default()
+    };
+    let report = run_hetero(&kernel, &plan, &hetero_high(), &opts).unwrap();
+    assert_eq!(report.breakdown.setup_s, 0.0);
+    assert_eq!(report.breakdown.gpu_busy_s, 0.0);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let set = ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]);
+    let dims = Dims::new(20, 20);
+    let kernel = mix_kernel(dims, set);
+    let plan = Plan::new(Pattern::AntiDiagonal, set, dims, ScheduleParams::new(5, 3)).unwrap();
+    let a = run_hetero(&kernel, &plan, &hetero_high(), &ExecOptions::functional()).unwrap();
+    let b = run_hetero(&kernel, &plan, &hetero_high(), &ExecOptions::functional()).unwrap();
+    assert_eq!(a.total_s, b.total_s);
+    assert_eq!(
+        a.grid.unwrap().to_row_major(),
+        b.grid.unwrap().to_row_major()
+    );
+}
+
+/// Injected fault: dropping a transfer must corrupt the result. This
+/// guards the test harness itself — if the split-grid simulation silently
+/// shared memory, missing transfers would go unnoticed.
+#[test]
+fn split_grids_actually_isolate_devices() {
+    let set = ContributingSet::new(&[RepCell::Nw, RepCell::N]);
+    let dims = Dims::new(8, 8);
+    // Emulate a dropped dependency by declaring a smaller contributing
+    // set than the function actually wants: the framework only feeds
+    // declared neighbours, so the undeclared one arrives as `None` and
+    // the result must diverge from the honest kernel's.
+    let lying = ClosureKernel::new(dims, ContributingSet::new(&[RepCell::N]), {
+        move |i, j, n: &Neighbors<u64>| {
+            // Reads N (declared) — value mixes position so divergence
+            // propagates; NW is undeclared and arrives as None.
+            let mut acc = (i * 17 + j + 1) as u64;
+            if let Some(v) = n.n {
+                acc = acc.wrapping_mul(31).wrapping_add(v);
+            }
+            if let Some(v) = n.nw {
+                acc = acc.wrapping_mul(37).wrapping_add(v);
+            }
+            acc
+        }
+    });
+    // The honest kernel declares NW too.
+    let honest = ClosureKernel::new(dims, set, move |i, j, n: &Neighbors<u64>| {
+        let mut acc = (i * 17 + j + 1) as u64;
+        if let Some(v) = n.n {
+            acc = acc.wrapping_mul(31).wrapping_add(v);
+        }
+        if let Some(v) = n.nw {
+            acc = acc.wrapping_mul(37).wrapping_add(v);
+        }
+        acc
+    });
+    let honest_result = solve_row_major(&honest).unwrap().to_row_major();
+    let lying_result = solve_row_major(&lying).unwrap().to_row_major();
+    assert_ne!(
+        honest_result, lying_result,
+        "undeclared dependencies must be invisible to the kernel"
+    );
+}

@@ -1,0 +1,408 @@
+//! Shape regressions for the paper's evaluation figures.
+//!
+//! Absolute times are model outputs; what the reproduction must preserve
+//! is each figure's *shape* — who wins, where the crossovers fall, which
+//! curves are concave. These tests pin those shapes so a change to the
+//! platform constants or the scheduler cannot silently break a figure.
+
+use hetero_sim::exec::{run_cpu, run_cpu_as, run_gpu, run_gpu_as, run_hetero, ExecOptions};
+use hetero_sim::platform::{hetero_high, hetero_low, Platform};
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::kernel::{ClosureKernel, Kernel, Neighbors};
+use lddp_core::pattern::Pattern;
+use lddp_core::schedule::{Plan, ScheduleParams};
+use lddp_core::tuner::{self, is_concave_around_min, SweepPoint};
+use lddp_core::wavefront::Dims;
+
+fn kernel(dims: Dims, set: ContributingSet, ops: u32) -> impl Kernel<Cell = u32> {
+    ClosureKernel::new(dims, set, |_i, _j, _n: &Neighbors<u32>| 0u32).with_cost_ops(ops)
+}
+
+fn anti_diag() -> ContributingSet {
+    ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N])
+}
+
+fn horiz1() -> ContributingSet {
+    ContributingSet::new(&[RepCell::Nw, RepCell::N])
+}
+
+fn horiz2() -> ContributingSet {
+    ContributingSet::new(&[RepCell::Nw, RepCell::N, RepCell::Ne])
+}
+
+fn knight() -> ContributingSet {
+    ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N, RepCell::Ne])
+}
+
+fn hetero_time(
+    k: &impl Kernel<Cell = u32>,
+    pattern: Pattern,
+    set: ContributingSet,
+    params: ScheduleParams,
+    platform: &Platform,
+    opts: &ExecOptions,
+) -> f64 {
+    let plan = Plan::new(pattern, set, k.dims(), params).unwrap();
+    run_hetero(k, &plan, platform, opts).unwrap().total_s
+}
+
+/// Best heterogeneous time over a parameter ladder (the tuned framework
+/// point of Figs 9–13).
+fn best_hetero(
+    k: &impl Kernel<Cell = u32>,
+    pattern: Pattern,
+    set: ContributingSet,
+    platform: &Platform,
+    opts: &ExecOptions,
+) -> f64 {
+    let dims = k.dims();
+    let waves = pattern.num_waves(dims.rows, dims.cols);
+    let switches = if pattern == Pattern::Horizontal {
+        vec![0]
+    } else {
+        tuner::t_switch_candidates(waves)
+    };
+    let mut best = f64::INFINITY;
+    for &tsw in &switches {
+        for tsh in tuner::t_share_candidates(dims.cols) {
+            let t = hetero_time(
+                k,
+                pattern,
+                set,
+                ScheduleParams::new(tsw, tsh),
+                platform,
+                opts,
+            );
+            best = best.min(t);
+        }
+    }
+    best
+}
+
+/// Fig 7: heterogeneous time vs `t_switch` at `t_share = 0` is concave
+/// with an interior minimum.
+#[test]
+fn fig7_t_switch_curve_has_interior_minimum() {
+    let n = 2048;
+    let dims = Dims::new(n, n);
+    let k = kernel(dims, anti_diag(), 24);
+    let platform = hetero_high();
+    let opts = ExecOptions::default();
+    let candidates: Vec<usize> = (0..=2047).step_by(256).chain([2047]).collect();
+    let curve: Vec<SweepPoint> = candidates
+        .iter()
+        .map(|&ts| SweepPoint {
+            value: ts,
+            time: hetero_time(
+                &k,
+                Pattern::AntiDiagonal,
+                anti_diag(),
+                ScheduleParams::new(ts, 0),
+                &platform,
+                &opts,
+            ),
+        })
+        .collect();
+    let min_idx = curve
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.time.total_cmp(&b.1.time))
+        .unwrap()
+        .0;
+    assert!(min_idx > 0, "pure-GPU (t_switch = 0) must not be optimal");
+    assert!(
+        min_idx < curve.len() - 1,
+        "pure-CPU (max t_switch) must not be optimal"
+    );
+    assert!(
+        is_concave_around_min(&curve, 0.01),
+        "Fig 7 curve must be concave: {curve:?}"
+    );
+}
+
+/// The follow-up sweep of §V-A: with `t_switch` fixed at its optimum,
+/// the `t_share` curve also has an interior minimum.
+#[test]
+fn t_share_curve_has_interior_minimum() {
+    let n = 2048;
+    let dims = Dims::new(n, n);
+    let k = kernel(dims, anti_diag(), 24);
+    let platform = hetero_high();
+    let opts = ExecOptions::default();
+    let curve: Vec<SweepPoint> = (0..=n)
+        .step_by(256)
+        .map(|tsh| SweepPoint {
+            value: tsh,
+            time: hetero_time(
+                &k,
+                Pattern::AntiDiagonal,
+                anti_diag(),
+                ScheduleParams::new(768, tsh),
+                &platform,
+                &opts,
+            ),
+        })
+        .collect();
+    let min_idx = curve
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.time.total_cmp(&b.1.time))
+        .unwrap()
+        .0;
+    assert!(min_idx > 0, "t_share = 0 must not be optimal: {curve:?}");
+    assert!(
+        min_idx < curve.len() - 1,
+        "pure-CPU t_share must not be optimal"
+    );
+}
+
+/// The full two-stage tuner run lands on an interior optimum.
+#[test]
+fn tuner_finds_interior_params_for_anti_diagonal() {
+    let n = 2048;
+    let dims = Dims::new(n, n);
+    let k = kernel(dims, anti_diag(), 24);
+    let platform = hetero_high();
+    let opts = ExecOptions::default();
+    let waves = Pattern::AntiDiagonal.num_waves(n, n);
+    let result = tuner::tune(
+        &tuner::t_switch_candidates(waves),
+        &tuner::t_share_candidates(n),
+        |params| {
+            hetero_time(
+                &k,
+                Pattern::AntiDiagonal,
+                anti_diag(),
+                params,
+                &platform,
+                &opts,
+            )
+        },
+    )
+    .unwrap();
+    assert!(result.params.t_switch > 0);
+    assert!(result.params.t_switch < waves / 2);
+    assert!(result.params.t_share < n, "pure CPU must not win at 2048²");
+}
+
+/// Fig 9 (horizontal case 1): CPU wins small tables, GPU wins large
+/// ones, and the tuned framework is never worse than either — with a
+/// strictly growing margin over the pure GPU.
+#[test]
+fn fig9_horizontal_case1_shape() {
+    for platform in [hetero_high(), hetero_low()] {
+        let opts = ExecOptions::default();
+        let mut abs_gap_prev = 0.0;
+        for n in [1024usize, 4096, 8192] {
+            let dims = Dims::new(n, n);
+            let k = kernel(dims, horiz1(), 16);
+            let cpu = run_cpu(&k, &platform, &opts).unwrap().total_s;
+            let gpu = run_gpu(&k, &platform, &opts).unwrap().total_s;
+            let het = best_hetero(&k, Pattern::Horizontal, horiz1(), &platform, &opts);
+            assert!(
+                het <= cpu * 1.0001 && het <= gpu * 1.0001,
+                "{} n={n}: framework must not lose to either part",
+                platform.name
+            );
+            if n == 1024 {
+                assert!(cpu < gpu, "{} small tables favour the CPU", platform.name);
+            }
+            if n == 8192 {
+                assert!(gpu < cpu, "{} large tables favour the GPU", platform.name);
+                assert!(
+                    het < gpu,
+                    "{} the framework must beat the GPU",
+                    platform.name
+                );
+            }
+            // "The difference between execution times of GPU and
+            // heterogeneous implementation becomes remarkable" — the
+            // absolute gap grows with size.
+            let abs_gap = gpu - het;
+            assert!(
+                abs_gap >= abs_gap_prev - 1e-9,
+                "{} framework's absolute gain over GPU must grow with size",
+                platform.name
+            );
+            abs_gap_prev = abs_gap;
+        }
+    }
+}
+
+/// Fig 10 (Levenshtein / anti-diagonal): the low-work ramps let the
+/// framework beat the pure GPU even at moderate sizes, and the gap grows.
+#[test]
+fn fig10_anti_diagonal_shape() {
+    for platform in [hetero_high(), hetero_low()] {
+        let opts = ExecOptions::default();
+        for n in [2048usize, 4096] {
+            let dims = Dims::new(n, n);
+            let k = kernel(dims, anti_diag(), 24);
+            let gpu = run_gpu(&k, &platform, &opts).unwrap().total_s;
+            let cpu = run_cpu(&k, &platform, &opts).unwrap().total_s;
+            let het = best_hetero(&k, Pattern::AntiDiagonal, anti_diag(), &platform, &opts);
+            assert!(
+                het < gpu,
+                "{} n={n}: ramps must make the framework beat the GPU",
+                platform.name
+            );
+            assert!(het <= cpu * 1.0001, "{} n={n}", platform.name);
+        }
+    }
+}
+
+/// Fig 12 (Floyd–Steinberg / knight-move): the CPU wins small images,
+/// the GPU wins large ones, and the framework tracks the best of both.
+#[test]
+fn fig12_knight_move_shape() {
+    for platform in [hetero_high(), hetero_low()] {
+        for (n, expect_cpu_wins) in [(512usize, true), (8192, false)] {
+            let dims = Dims::new(n, n);
+            let k = kernel(dims, knight(), 40);
+            let opts = ExecOptions {
+                setup_to_gpu_bytes: n * n,   // grayscale input image
+                final_from_gpu_bytes: n * n, // dithered output
+                ..Default::default()
+            };
+            let cpu = run_cpu(&k, &platform, &ExecOptions::default())
+                .unwrap()
+                .total_s;
+            let gpu = run_gpu(&k, &platform, &opts).unwrap().total_s;
+            if expect_cpu_wins {
+                assert!(
+                    cpu < gpu,
+                    "{} n={n}: CPU must win small images",
+                    platform.name
+                );
+            } else {
+                assert!(
+                    gpu < cpu,
+                    "{} n={n}: GPU must win large images",
+                    platform.name
+                );
+            }
+            let het = best_hetero(&k, Pattern::KnightMove, knight(), &platform, &opts);
+            assert!(
+                het <= cpu.min(gpu) * 1.0001,
+                "{} n={n}: framework ≤ min(CPU, GPU)",
+                platform.name
+            );
+            if !expect_cpu_wins {
+                assert!(
+                    het < gpu,
+                    "{} n={n}: work sharing must beat the pure GPU at scale",
+                    platform.name
+                );
+            }
+        }
+    }
+}
+
+/// Fig 13 (checkerboard / horizontal case 2): pinned two-way overheads
+/// make the GPU lose at small sizes; work partitioning pushes the
+/// framework past the pure GPU as the table grows.
+#[test]
+fn fig13_horizontal_case2_shape() {
+    for (platform, big_n) in [(hetero_high(), 16384usize), (hetero_low(), 8192)] {
+        let small_n = 1024;
+        for n in [small_n, big_n] {
+            let dims = Dims::new(n, n);
+            let k = kernel(dims, horiz2(), 18);
+            let opts = ExecOptions {
+                setup_to_gpu_bytes: n * n, // cost matrix (u8 costs)
+                ..Default::default()
+            };
+            let cpu = run_cpu(&k, &platform, &ExecOptions::default())
+                .unwrap()
+                .total_s;
+            let gpu = run_gpu(&k, &platform, &opts).unwrap().total_s;
+            let het = best_hetero(&k, Pattern::Horizontal, horiz2(), &platform, &opts);
+            if n == small_n {
+                assert!(
+                    cpu < gpu,
+                    "{} n={n}: transfer + setup overheads must sink the GPU at small sizes",
+                    platform.name
+                );
+            } else {
+                assert!(gpu < cpu, "{} n={n}: GPU must win at scale", platform.name);
+                assert!(
+                    het < gpu,
+                    "{} n={n}: partitioning must beat the pure GPU at scale",
+                    platform.name
+                );
+            }
+            assert!(het <= cpu.min(gpu) * 1.0001, "{} n={n}", platform.name);
+        }
+    }
+}
+
+/// Fig 8: solving a `{NW}` problem under the Horizontal pattern beats the
+/// Inverted-L pattern on the GPU (uniform coalesced rows) and at least
+/// matches it on the CPU.
+#[test]
+fn fig8_horizontal_beats_inverted_l() {
+    let set = ContributingSet::new(&[RepCell::Nw]);
+    for platform in [hetero_high(), hetero_low()] {
+        for n in [1024usize, 4096] {
+            let dims = Dims::new(n, n);
+            let k = kernel(dims, set, 16);
+            let opts = ExecOptions::default();
+            let gpu_il = run_gpu_as(&k, Pattern::InvertedL, &platform, &opts)
+                .unwrap()
+                .total_s;
+            let gpu_h1 = run_gpu_as(&k, Pattern::Horizontal, &platform, &opts)
+                .unwrap()
+                .total_s;
+            assert!(
+                gpu_h1 < gpu_il,
+                "{} n={n}: H1 must beat iL on the GPU ({gpu_h1} vs {gpu_il})",
+                platform.name
+            );
+            let cpu_il = run_cpu_as(&k, Pattern::InvertedL, &platform, &opts)
+                .unwrap()
+                .total_s;
+            let cpu_h1 = run_cpu_as(&k, Pattern::Horizontal, &platform, &opts)
+                .unwrap()
+                .total_s;
+            assert!(
+                cpu_h1 <= cpu_il,
+                "{} n={n}: H1 must not lose to iL on the CPU",
+                platform.name
+            );
+        }
+    }
+}
+
+/// Hetero-High beats Hetero-Low on every configuration — the paper's two
+/// platforms order consistently.
+#[test]
+fn high_platform_dominates_low() {
+    let opts = ExecOptions::default();
+    for n in [1024usize, 4096] {
+        let dims = Dims::new(n, n);
+        let k = kernel(dims, horiz1(), 16);
+        for f in [run_cpu::<_>, run_gpu::<_>] {
+            let high = f(&k, &hetero_high(), &opts).unwrap().total_s;
+            let low = f(&k, &hetero_low(), &opts).unwrap().total_s;
+            assert!(high < low);
+        }
+        let high = best_hetero(&k, Pattern::Horizontal, horiz1(), &hetero_high(), &opts);
+        let low = best_hetero(&k, Pattern::Horizontal, horiz1(), &hetero_low(), &opts);
+        assert!(high < low);
+    }
+}
+
+/// The Hetero-Low GPU:CPU margin is smaller than Hetero-High's (§VI).
+#[test]
+fn low_platform_gpu_margin_is_smaller() {
+    let opts = ExecOptions::default();
+    let n = 8192;
+    let dims = Dims::new(n, n);
+    let k = kernel(dims, horiz1(), 16);
+    let margin = |p: &Platform| {
+        let cpu = run_cpu(&k, p, &opts).unwrap().total_s;
+        let gpu = run_gpu(&k, p, &opts).unwrap().total_s;
+        cpu / gpu
+    };
+    assert!(margin(&hetero_high()) > margin(&hetero_low()));
+}

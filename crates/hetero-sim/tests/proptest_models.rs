@@ -1,0 +1,144 @@
+//! Property-based tests of the device cost models: the analytic
+//! formulas must respect the physical monotonicities the schedules rely
+//! on, for arbitrary (sane) parameterizations — not just the two presets.
+
+use hetero_sim::cpu::CpuModel;
+use hetero_sim::gpu::GpuModel;
+use hetero_sim::link::{HostMemory, LinkModel};
+use proptest::prelude::*;
+
+fn cpu_strategy() -> impl Strategy<Value = CpuModel> {
+    (
+        1usize..32,
+        1.0f64..5.0,
+        0.5f64..3.0,
+        0.5f64..2.0,
+        1e-7f64..1e-5,
+        0.05e-9f64..1e-9,
+    )
+        .prop_map(|(cores, freq, opc, pyield, sync, mem)| CpuModel {
+            physical_cores: cores,
+            logical_threads: cores * 2,
+            freq_ghz: freq,
+            ops_per_cycle: opc,
+            parallel_yield: pyield,
+            sync_overhead_s: sync,
+            mem_s_per_byte: mem,
+        })
+}
+
+fn gpu_strategy() -> impl Strategy<Value = GpuModel> {
+    (
+        1usize..32,
+        16usize..256,
+        0.3f64..2.0,
+        1e-6f64..1e-5,
+        4.0f64..200.0,
+        1.5f64..10.0,
+    )
+        .prop_map(|(smx, cores, clock, launch, bw, penalty)| GpuModel {
+            smx,
+            cores_per_smx: cores,
+            clock_ghz: clock,
+            launch_overhead_s: launch,
+            mem_bw_gbps: bw,
+            uncoalesced_penalty: penalty,
+            warp: 32,
+        })
+}
+
+fn link_strategy() -> impl Strategy<Value = LinkModel> {
+    (1e-6f64..2e-5, 1.0f64..16.0, 1e-7f64..5e-6, 1.0f64..16.0).prop_map(|(pl, pb, nl, nb)| {
+        LinkModel {
+            pageable_latency_s: pl,
+            pageable_bw_gbps: pb,
+            pinned_latency_s: nl.min(pl), // pinned never slower to start
+            pinned_bw_gbps: nb.max(pb),   // nor lower bandwidth
+        }
+    })
+}
+
+proptest! {
+    /// CPU wave time is monotone in cells, ops and penalty, and zero
+    /// only for empty waves.
+    #[test]
+    fn cpu_monotonicity(m in cpu_strategy(), cells in 1usize..1_000_000,
+                        ops in 1u32..256, bytes in 0usize..64) {
+        let t = m.wave_time_s(cells, ops, bytes, 1.0);
+        prop_assert!(t > 0.0);
+        prop_assert!(m.wave_time_s(cells + 1, ops, bytes, 1.0) >= t);
+        prop_assert!(m.wave_time_s(cells, ops + 1, bytes, 1.0) >= t);
+        prop_assert!(m.wave_time_s(cells, ops, bytes, 1.5) >= t);
+        prop_assert_eq!(m.wave_time_s(0, ops, bytes, 1.0), 0.0);
+    }
+
+    /// Parallel execution never beats perfect scaling and never loses to
+    /// sequential execution (same per-cell cost, no barrier in seq).
+    #[test]
+    fn cpu_parallel_bounds(m in cpu_strategy(), cells in 1usize..100_000,
+                           ops in 1u32..64) {
+        let seq = m.seq_time_s(cells, ops, 16, 1.0);
+        let par = m.wave_time_s(cells, ops, 16, 1.0);
+        let perfect = seq / m.effective_parallelism();
+        prop_assert!(par + 1e-18 >= perfect, "faster than perfect scaling");
+        prop_assert!(par <= seq + m.sync_overhead_s + 1e-18, "parallel slower than sequential plus barrier");
+    }
+
+    /// Thread-per-cell is never faster than chunking (§IV-A).
+    #[test]
+    fn thread_per_cell_never_wins(m in cpu_strategy(), cells in 1usize..100_000,
+                                  spawn in 1e-6f64..1e-4) {
+        let chunked = m.wave_time_s(cells, 16, 16, 1.0);
+        let tpc = m.wave_time_thread_per_cell_s(cells, 16, 16, 1.0, spawn);
+        prop_assert!(tpc >= chunked - 1e-18);
+    }
+
+    /// GPU wave time is monotone in cells and penalty; launch overhead
+    /// is a hard floor; uncoalesced access never helps.
+    #[test]
+    fn gpu_monotonicity(g in gpu_strategy(), cells in 1usize..1_000_000,
+                        ops in 1u32..256) {
+        let t = g.wave_time_s(cells, ops, 16, 1.0);
+        prop_assert!(t >= g.launch_overhead_s);
+        prop_assert!(g.wave_time_s(cells + 1, ops, 16, 1.0) >= t);
+        prop_assert!(g.wave_time_s(cells, ops, 16, g.uncoalesced_penalty) >= t);
+        prop_assert_eq!(g.wave_time_s(0, ops, 16, 1.0), 0.0);
+    }
+
+    /// Round quantization: times are flat within a round and jump at
+    /// multiples of the core count (compute-bound regime).
+    #[test]
+    fn gpu_round_quantization(g in gpu_strategy()) {
+        // Heavy compute, light memory → compute-bound.
+        let ops = 10_000u32;
+        let cores = g.total_cores();
+        let t1 = g.compute_span_s(1, ops);
+        let t_full = g.compute_span_s(cores, ops);
+        prop_assert!((t1 - t_full).abs() < 1e-18, "one round regardless of fill");
+        let t_next = g.compute_span_s(cores + 1, ops);
+        prop_assert!(t_next > t_full, "crossing the round boundary must cost");
+    }
+
+    /// Link: pinned is never slower than pageable (by construction of
+    /// the strategy — mirrors real hardware), zero bytes free, time
+    /// linear in bytes.
+    #[test]
+    fn link_properties(l in link_strategy(), bytes in 1usize..1_000_000) {
+        let pageable = l.transfer_time_s(bytes, HostMemory::Pageable);
+        let pinned = l.transfer_time_s(bytes, HostMemory::Pinned);
+        prop_assert!(pinned <= pageable + 1e-18);
+        prop_assert!(pageable > 0.0);
+        prop_assert_eq!(l.transfer_time_s(0, HostMemory::Pageable), 0.0);
+        let double = l.transfer_time_s(2 * bytes, HostMemory::Pinned);
+        // Latency amortizes: doubling bytes less than doubles time.
+        prop_assert!(double < 2.0 * pinned + 1e-18);
+    }
+
+    /// Pipelined composition never exceeds serialized composition.
+    #[test]
+    fn pipelining_never_hurts(a in 0.0f64..1e-3, b in 0.0f64..1e-3, c in 0.0f64..1e-3) {
+        prop_assert!(
+            LinkModel::pipelined_span_s(a, b, c) <= LinkModel::serialized_span_s(a, b, c) + 1e-18
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Real wavefront execution on host threads.
+//!
+//! This is the substitute for the paper's OpenMP 3.0 CPU path (§II-A,
+//! §IV-A): a few heavy-weight worker threads, each responsible for a
+//! contiguous chunk of every wave, synchronized by a barrier between
+//! waves. Unlike `hetero-sim` this engine runs on the wall clock — it is
+//! what the Criterion benchmarks measure.
+//!
+//! # Safety architecture
+//!
+//! Workers share one backing array. Within a wave each worker writes a
+//! *disjoint* chunk of that wave's contiguous range (wave-major layout),
+//! and reads only cells from strictly earlier waves — guaranteed by the
+//! pattern-compatibility check (`schedule::compatible`) and re-asserted
+//! in debug builds. A [`std::sync::Barrier`] separates waves, carrying
+//! the release/acquire edges that make earlier-wave writes visible. The
+//! one `unsafe` block below encapsulates exactly this discipline.
+
+use crossbeam::thread as cb_thread;
+use lddp_core::grid::{Grid, LayoutKind};
+use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::pattern::{classify, Pattern};
+use lddp_core::schedule::compatible;
+use lddp_core::wavefront;
+use lddp_core::{Error, Result};
+use std::sync::Barrier;
+
+/// Shared mutable cell store with externally enforced aliasing
+/// discipline (see module docs).
+struct SharedCells<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: all concurrent access goes through `read`/`write` under the
+// wave/barrier discipline documented on the module: writes within a wave
+// target pairwise-disjoint indices, reads target indices finalized before
+// the last barrier.
+unsafe impl<T: Send> Sync for SharedCells<T> {}
+
+impl<T: Copy> SharedCells<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SharedCells {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Reads a cell finalized in an earlier wave.
+    ///
+    /// # Safety
+    /// `idx < len` and no thread may be writing `idx` concurrently (it
+    /// belongs to a wave sealed by a barrier).
+    #[inline]
+    unsafe fn read(&self, idx: usize) -> T {
+        debug_assert!(idx < self.len);
+        unsafe { *self.ptr.add(idx) }
+    }
+
+    /// Writes a cell of the current wave.
+    ///
+    /// # Safety
+    /// `idx < len` and `idx` is inside the calling worker's exclusive
+    /// chunk of the current wave.
+    #[inline]
+    unsafe fn write(&self, idx: usize, v: T) {
+        debug_assert!(idx < self.len);
+        unsafe { *self.ptr.add(idx) = v };
+    }
+}
+
+/// The contiguous sub-range of `0..len` owned by worker `t` of `n`.
+fn chunk(t: usize, n: usize, len: usize) -> std::ops::Range<usize> {
+    let base = len / n;
+    let extra = len % n;
+    let start = t * base + t.min(extra);
+    let end = start + base + usize::from(t < extra);
+    start..end
+}
+
+/// A chunk-per-thread wavefront solver.
+#[derive(Debug, Clone)]
+pub struct ParallelEngine {
+    threads: usize,
+}
+
+impl ParallelEngine {
+    /// Creates an engine with the given worker count (min 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelEngine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Engine sized to the host's available parallelism.
+    pub fn host() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ParallelEngine::new(threads)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Solves the kernel under its classified canonical pattern.
+    ///
+    /// ```
+    /// use lddp_parallel::ParallelEngine;
+    /// use lddp_core::kernel::{ClosureKernel, Neighbors};
+    /// use lddp_core::cell::{ContributingSet, RepCell};
+    /// use lddp_core::wavefront::Dims;
+    ///
+    /// // Pascal's triangle as an LDDP kernel: C(i,j) = NW + N.
+    /// let k = ClosureKernel::new(
+    ///     Dims::new(8, 8),
+    ///     ContributingSet::new(&[RepCell::Nw, RepCell::N]),
+    ///     |_i, j, n: &Neighbors<u64>| match (n.nw, n.n) {
+    ///         (Some(a), Some(b)) => a + b,
+    ///         _ => u64::from(j == 0), // first row/column
+    ///     },
+    /// );
+    /// let grid = ParallelEngine::new(4).solve(&k).unwrap();
+    /// // Row i holds the binomial coefficients C(i, j).
+    /// assert_eq!(grid.get(4, 2), 6);
+    /// assert_eq!(grid.get(7, 3), 35);
+    /// ```
+    pub fn solve<K: Kernel>(&self, kernel: &K) -> Result<Grid<K::Cell>> {
+        let pattern = classify(kernel.contributing_set())
+            .map(Pattern::canonical)
+            .ok_or(Error::EmptyContributingSet)?;
+        self.solve_as(kernel, pattern)
+    }
+
+    /// Solves under an explicit compatible pattern (e.g. a `{NW}` problem
+    /// under Horizontal, §V-B).
+    pub fn solve_as<K: Kernel>(&self, kernel: &K, pattern: Pattern) -> Result<Grid<K::Cell>> {
+        if kernel.contributing_set().is_empty() {
+            return Err(Error::EmptyContributingSet);
+        }
+        if !compatible(pattern, kernel.contributing_set()) {
+            return Err(Error::PlanMismatch {
+                expected: format!("{pattern}"),
+                found: format!("{}", kernel.contributing_set()),
+            });
+        }
+        let dims = kernel.dims();
+        let layout_kind = LayoutKind::preferred_for(pattern);
+        let mut grid: Grid<K::Cell> = Grid::new(layout_kind, dims);
+        if dims.is_empty() {
+            return Ok(grid);
+        }
+        let num_waves = pattern.num_waves(dims.rows, dims.cols);
+        let threads = self.threads.min(dims.len()).max(1);
+        if threads == 1 {
+            return lddp_core::seq::solve_wavefront_as(kernel, pattern, layout_kind);
+        }
+
+        let layout = grid.layout().clone();
+        let cells = SharedCells::new(grid.as_mut_slice());
+        let barrier = Barrier::new(threads);
+        let set = kernel.contributing_set();
+
+        cb_thread::scope(|s| {
+            for t in 0..threads {
+                let cells = &cells;
+                let barrier = &barrier;
+                let layout = &layout;
+                s.spawn(move |_| {
+                    for w in 0..num_waves {
+                        let len = pattern.wave_len(dims.rows, dims.cols, w);
+                        for pos in chunk(t, threads, len) {
+                            let (i, j) = wavefront::cell_at(pattern, dims, w, pos);
+                            let mut nbrs = Neighbors::empty();
+                            for dep in set.iter() {
+                                if let Some((si, sj)) = dep.source(i, j, dims.rows, dims.cols) {
+                                    debug_assert!(
+                                        wavefront::wave_of(pattern, dims, si, sj) < w,
+                                        "dependency must be sealed"
+                                    );
+                                    // SAFETY: (si, sj) lies in a wave
+                                    // sealed by a previous barrier.
+                                    let v = unsafe { cells.read(layout.index(si, sj)) };
+                                    nbrs.set(dep, v);
+                                }
+                            }
+                            let v = kernel.compute(i, j, &nbrs);
+                            // SAFETY: `pos` is in this worker's exclusive
+                            // chunk of wave `w`; wave ranges are disjoint.
+                            unsafe { cells.write(layout.index(i, j), v) };
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        Ok(grid)
+    }
+}
+
+impl Default for ParallelEngine {
+    fn default() -> Self {
+        ParallelEngine::host()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_core::cell::{ContributingSet, RepCell};
+    use lddp_core::kernel::ClosureKernel;
+    use lddp_core::seq::solve_row_major;
+    use lddp_core::wavefront::Dims;
+
+    fn mix_kernel(
+        dims: Dims,
+        set: ContributingSet,
+    ) -> ClosureKernel<u64, impl Fn(usize, usize, &Neighbors<u64>) -> u64 + Sync> {
+        ClosureKernel::new(dims, set, move |i, j, n: &Neighbors<u64>| {
+            let mut acc = (i as u64) << 20 | (j as u64 + 7);
+            for c in RepCell::ALL {
+                if let Some(v) = n.get(c) {
+                    acc = acc.wrapping_mul(1099511628211).wrapping_add(*v);
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn chunks_tile_the_range() {
+        for n in 1..9 {
+            for len in [0usize, 1, 5, 8, 9, 100] {
+                let mut next = 0;
+                for t in 0..n {
+                    let c = chunk(t, n, len);
+                    assert_eq!(c.start, next);
+                    next = c.end;
+                }
+                assert_eq!(next, len, "threads={n} len={len}");
+                // Balanced within one cell.
+                let sizes: Vec<usize> = (0..n).map(|t| chunk(t, n, len).len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_for_all_sets_and_thread_counts() {
+        for set in ContributingSet::table_one_rows() {
+            let pattern = classify(set).unwrap();
+            if !pattern.is_canonical() {
+                continue;
+            }
+            let dims = Dims::new(13, 11);
+            let kernel = mix_kernel(dims, set);
+            let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+            for threads in [1, 2, 3, 8] {
+                let engine = ParallelEngine::new(threads);
+                let got = engine.solve(&kernel).unwrap();
+                assert_eq!(got.to_row_major(), oracle, "{set} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn thin_tables_and_tiny_tables() {
+        let set = ContributingSet::new(&[RepCell::W, RepCell::N]);
+        for (r, c) in [(1, 1), (1, 64), (64, 1), (2, 2)] {
+            let dims = Dims::new(r, c);
+            let kernel = mix_kernel(dims, set);
+            let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+            let got = ParallelEngine::new(4).solve(&kernel).unwrap();
+            assert_eq!(got.to_row_major(), oracle, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let set = ContributingSet::new(&[RepCell::N]);
+        let kernel = mix_kernel(Dims::new(0, 8), set);
+        let got = ParallelEngine::new(4).solve(&kernel).unwrap();
+        assert_eq!(got.as_slice().len(), 0);
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        let kernel = mix_kernel(Dims::new(4, 4), ContributingSet::EMPTY);
+        assert!(matches!(
+            ParallelEngine::new(2).solve(&kernel),
+            Err(Error::EmptyContributingSet)
+        ));
+    }
+
+    #[test]
+    fn incompatible_pattern_is_rejected() {
+        let set = ContributingSet::new(&[RepCell::W, RepCell::N]);
+        let kernel = mix_kernel(Dims::new(4, 4), set);
+        assert!(ParallelEngine::new(2)
+            .solve_as(&kernel, Pattern::Horizontal)
+            .is_err());
+    }
+
+    #[test]
+    fn nw_problem_under_horizontal_matches() {
+        let set = ContributingSet::new(&[RepCell::Nw]);
+        let dims = Dims::new(17, 9);
+        let kernel = mix_kernel(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let il = ParallelEngine::new(4)
+            .solve_as(&kernel, Pattern::InvertedL)
+            .unwrap();
+        let h1 = ParallelEngine::new(4)
+            .solve_as(&kernel, Pattern::Horizontal)
+            .unwrap();
+        assert_eq!(il.to_row_major(), oracle);
+        assert_eq!(h1.to_row_major(), oracle);
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_threads() {
+        let set = ContributingSet::FULL;
+        let dims = Dims::new(37, 23);
+        let kernel = mix_kernel(dims, set);
+        let base = ParallelEngine::new(2)
+            .solve(&kernel)
+            .unwrap()
+            .to_row_major();
+        for threads in [3, 5, 16] {
+            let got = ParallelEngine::new(threads).solve(&kernel).unwrap();
+            assert_eq!(got.to_row_major(), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_clamped() {
+        let set = ContributingSet::new(&[RepCell::N]);
+        let dims = Dims::new(2, 2);
+        let kernel = mix_kernel(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let got = ParallelEngine::new(64).solve(&kernel).unwrap();
+        assert_eq!(got.to_row_major(), oracle);
+    }
+
+    #[test]
+    fn larger_stress_run() {
+        let set = ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]);
+        let dims = Dims::new(257, 193);
+        let kernel = mix_kernel(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let got = ParallelEngine::new(8).solve(&kernel).unwrap();
+        assert_eq!(got.to_row_major(), oracle);
+    }
+
+    #[test]
+    fn host_engine_reports_threads() {
+        assert!(ParallelEngine::host().threads() >= 1);
+        assert_eq!(ParallelEngine::new(0).threads(), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! The checkerboard shortest-path problem — the paper's §VI-C case study
+//! (horizontal pattern, case 2).
+//!
+//! An `n × n` grid of per-cell costs; a path starts anywhere in the first
+//! row and moves to the diagonally-left-forward, straight-forward, or
+//! diagonally-right-forward neighbour each step. `cell(i,j)` depends on
+//! `NW`, `N` and `NE`, which needs two-way boundary transfers under the
+//! band partition (Table II, horizontal case 2).
+
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::grid::Grid;
+use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::wavefront::Dims;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Checkerboard kernel: minimum path cost to reach each cell.
+#[derive(Debug, Clone)]
+pub struct CheckerboardKernel {
+    rows: usize,
+    cols: usize,
+    /// Row-major per-cell costs (u8 — small integer costs, which also
+    /// keeps the device upload cheap).
+    costs: Vec<u8>,
+}
+
+impl CheckerboardKernel {
+    /// Builds the kernel from a row-major cost matrix.
+    pub fn new(rows: usize, cols: usize, costs: Vec<u8>) -> Self {
+        assert_eq!(costs.len(), rows * cols, "cost matrix shape mismatch");
+        CheckerboardKernel { rows, cols, costs }
+    }
+
+    /// Random costs in `1..=max_cost` from a seeded generator.
+    pub fn random(rows: usize, cols: usize, max_cost: u8, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs = (0..rows * cols)
+            .map(|_| rng.gen_range(1..=max_cost))
+            .collect();
+        CheckerboardKernel::new(rows, cols, costs)
+    }
+
+    /// The cost of cell `(i, j)`.
+    pub fn cost(&self, i: usize, j: usize) -> u32 {
+        self.costs[i * self.cols + j] as u32
+    }
+
+    /// Bytes of input the device needs (the cost matrix) — feeds
+    /// `ExecOptions::setup_to_gpu_bytes`.
+    pub fn input_bytes(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Cheapest cost over the last row — the answer.
+    pub fn best_cost_from(&self, grid: &Grid<u32>) -> u32 {
+        (0..self.cols)
+            .map(|j| grid.get(self.rows - 1, j))
+            .min()
+            .expect("non-empty board")
+    }
+
+    /// Reconstructs one cheapest path (top row → bottom row) from a
+    /// filled table, as column indices per row.
+    pub fn traceback(&self, grid: &Grid<u32>) -> Vec<usize> {
+        let mut path = vec![0usize; self.rows];
+        let mut j = (0..self.cols)
+            .min_by_key(|&j| grid.get(self.rows - 1, j))
+            .expect("non-empty board");
+        path[self.rows - 1] = j;
+        for i in (1..self.rows).rev() {
+            let mut best_j = None;
+            let mut best = u32::MAX;
+            for dj in [-1isize, 0, 1] {
+                let pj = j as isize + dj;
+                if pj < 0 || pj >= self.cols as isize {
+                    continue;
+                }
+                let v = grid.get(i - 1, pj as usize);
+                if v < best {
+                    best = v;
+                    best_j = Some(pj as usize);
+                }
+            }
+            j = best_j.expect("interior rows always have a predecessor");
+            path[i - 1] = j;
+        }
+        path
+    }
+}
+
+impl Kernel for CheckerboardKernel {
+    type Cell = u32;
+
+    fn dims(&self) -> Dims {
+        Dims::new(self.rows, self.cols)
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        ContributingSet::new(&[RepCell::Nw, RepCell::N, RepCell::Ne])
+    }
+
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<u32>) -> u32 {
+        if i == 0 {
+            return self.cost(i, j);
+        }
+        // min over the in-bounds predecessors; out-of-bounds are None
+        // (the recurrence's ∞ guard).
+        let best = [nbrs.nw, nbrs.n, nbrs.ne]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("row > 0 always has an in-bounds predecessor");
+        best + self.cost(i, j)
+    }
+
+    fn cost_ops(&self) -> u32 {
+        18
+    }
+
+    fn name(&self) -> &str {
+        "checkerboard"
+    }
+}
+
+/// Independent reference: straightforward row sweep.
+pub fn min_path_cost(rows: usize, cols: usize, costs: &[u8]) -> u32 {
+    assert_eq!(costs.len(), rows * cols);
+    let cost = |i: usize, j: usize| costs[i * cols + j] as u32;
+    let mut prev: Vec<u32> = (0..cols).map(|j| cost(0, j)).collect();
+    for i in 1..rows {
+        let mut cur = vec![0u32; cols];
+        for (j, slot) in cur.iter_mut().enumerate() {
+            let mut best = prev[j];
+            if j > 0 {
+                best = best.min(prev[j - 1]);
+            }
+            if j + 1 < cols {
+                best = best.min(prev[j + 1]);
+            }
+            *slot = best + cost(i, j);
+        }
+        prev = cur;
+    }
+    prev.into_iter().min().expect("non-empty board")
+}
+
+/// Exhaustive path enumeration for small boards (test oracle).
+pub fn brute_force_cost(rows: usize, cols: usize, costs: &[u8]) -> u32 {
+    fn go(rows: usize, cols: usize, costs: &[u8], i: usize, j: usize) -> u32 {
+        let c = costs[i * cols + j] as u32;
+        if i + 1 == rows {
+            return c;
+        }
+        let mut best = u32::MAX;
+        for dj in [-1isize, 0, 1] {
+            let nj = j as isize + dj;
+            if nj >= 0 && nj < cols as isize {
+                best = best.min(go(rows, cols, costs, i + 1, nj as usize));
+            }
+        }
+        c + best
+    }
+    (0..cols)
+        .map(|j| go(rows, cols, costs, 0, j))
+        .min()
+        .expect("non-empty board")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_core::pattern::{classify, Pattern};
+    use lddp_core::schedule::{transfer_need, TransferNeed};
+    use lddp_core::seq::solve_row_major;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classified_as_horizontal_case_two() {
+        let k = CheckerboardKernel::random(4, 4, 9, 1);
+        assert_eq!(classify(k.contributing_set()), Some(Pattern::Horizontal));
+        assert_eq!(
+            transfer_need(Pattern::Horizontal, k.contributing_set()).unwrap(),
+            TransferNeed::TwoWay
+        );
+    }
+
+    #[test]
+    fn tiny_board_by_hand() {
+        // costs:   1 9
+        //          9 1   → best path 1 → 1 (diagonal) = 2.
+        let k = CheckerboardKernel::new(2, 2, vec![1, 9, 9, 1]);
+        let grid = solve_row_major(&k).unwrap();
+        assert_eq!(k.best_cost_from(&grid), 2);
+        assert_eq!(k.traceback(&grid), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_column_sums_costs() {
+        let k = CheckerboardKernel::new(4, 1, vec![2, 3, 4, 5]);
+        let grid = solve_row_major(&k).unwrap();
+        assert_eq!(k.best_cost_from(&grid), 14);
+        assert_eq!(k.traceback(&grid), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn traceback_is_a_legal_cheapest_path() {
+        let k = CheckerboardKernel::random(8, 8, 9, 42);
+        let grid = solve_row_major(&k).unwrap();
+        let path = k.traceback(&grid);
+        assert_eq!(path.len(), 8);
+        let mut total = 0;
+        for (i, &j) in path.iter().enumerate() {
+            assert!(j < 8);
+            if i > 0 {
+                assert!(path[i - 1].abs_diff(j) <= 1, "illegal move at row {i}");
+            }
+            total += k.cost(i, j);
+        }
+        assert_eq!(total, k.best_cost_from(&grid), "path cost must be optimal");
+    }
+
+    proptest! {
+        #[test]
+        fn kernel_matches_reference(rows in 1usize..7, cols in 1usize..7,
+                                    seed in any::<u64>()) {
+            let k = CheckerboardKernel::random(rows, cols, 9, seed);
+            let grid = solve_row_major(&k).unwrap();
+            let expected = min_path_cost(rows, cols,
+                &(0..rows * cols).map(|idx| k.costs[idx]).collect::<Vec<_>>());
+            prop_assert_eq!(k.best_cost_from(&grid), expected);
+        }
+
+        #[test]
+        fn reference_matches_brute_force(rows in 1usize..5, cols in 1usize..5,
+                                         costs in proptest::collection::vec(1u8..9, 16)) {
+            let costs = costs[..rows * cols].to_vec();
+            prop_assert_eq!(
+                min_path_cost(rows, cols, &costs),
+                brute_force_cost(rows, cols, &costs)
+            );
+        }
+
+        /// Raising any single cost never lowers the best path cost.
+        #[test]
+        fn monotone_in_costs(seed in any::<u64>(), bump in 0usize..16) {
+            let k = CheckerboardKernel::random(4, 4, 8, seed);
+            let base = min_path_cost(4, 4, &k.costs);
+            let mut bumped = k.costs.clone();
+            bumped[bump] = bumped[bump].saturating_add(5);
+            prop_assert!(min_path_cost(4, 4, &bumped) >= base);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Dynamic time warping — the speech-processing motivation of §I
+//! (anti-diagonal pattern), with an optional Sakoe–Chiba band.
+
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::grid::Grid;
+use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::wavefront::Dims;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sentinel for unreachable cells (outside the band / before the start).
+const INF: f32 = f32::INFINITY;
+
+/// DTW kernel over two scalar time series.
+#[derive(Debug, Clone)]
+pub struct DtwKernel {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    /// Sakoe–Chiba band radius; `None` = unconstrained.
+    band: Option<usize>,
+}
+
+impl DtwKernel {
+    /// Unconstrained DTW between `a` (rows) and `b` (columns).
+    pub fn new(a: Vec<f32>, b: Vec<f32>) -> Self {
+        DtwKernel { a, b, band: None }
+    }
+
+    /// Restricts the warping path to `|i - j| ≤ radius`.
+    #[must_use]
+    pub fn with_band(mut self, radius: usize) -> Self {
+        self.band = Some(radius);
+        self
+    }
+
+    /// Random-walk test series from a seeded generator.
+    pub fn random_walk(len_a: usize, len_b: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut walk = |len: usize| {
+            let mut v = Vec::with_capacity(len);
+            let mut x = 0.0f32;
+            for _ in 0..len {
+                x += rng.gen_range(-1.0..1.0);
+                v.push(x);
+            }
+            v
+        };
+        let a = walk(len_a);
+        let b = walk(len_b);
+        DtwKernel::new(a, b)
+    }
+
+    fn in_band(&self, i: usize, j: usize) -> bool {
+        match self.band {
+            None => true,
+            Some(r) => i.abs_diff(j) <= r,
+        }
+    }
+
+    /// DTW distance from a filled table.
+    pub fn distance_from(&self, grid: &Grid<f32>) -> f32 {
+        let d = self.dims();
+        grid.get(d.rows - 1, d.cols - 1)
+    }
+}
+
+impl Kernel for DtwKernel {
+    type Cell = f32;
+
+    fn dims(&self) -> Dims {
+        Dims::new(self.a.len(), self.b.len())
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N])
+    }
+
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<f32>) -> f32 {
+        if !self.in_band(i, j) {
+            return INF;
+        }
+        let local = (self.a[i] - self.b[j]).abs();
+        if i == 0 && j == 0 {
+            return local;
+        }
+        // Out-of-bounds predecessors are None → ∞.
+        let best = [nbrs.w, nbrs.nw, nbrs.n]
+            .into_iter()
+            .flatten()
+            .fold(INF, f32::min);
+        local + best
+    }
+
+    fn cost_ops(&self) -> u32 {
+        28
+    }
+
+    fn name(&self) -> &str {
+        "dtw"
+    }
+}
+
+/// Independent full-matrix reference.
+pub fn dtw_distance(a: &[f32], b: &[f32], band: Option<usize>) -> f32 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            INF
+        };
+    }
+    let n = b.len();
+    let mut table = vec![INF; a.len() * n];
+    for i in 0..a.len() {
+        for j in 0..n {
+            if let Some(r) = band {
+                if i.abs_diff(j) > r {
+                    continue;
+                }
+            }
+            let local = (a[i] - b[j]).abs();
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let mut m = INF;
+                if j > 0 {
+                    m = m.min(table[i * n + j - 1]);
+                }
+                if i > 0 {
+                    m = m.min(table[(i - 1) * n + j]);
+                    if j > 0 {
+                        m = m.min(table[(i - 1) * n + j - 1]);
+                    }
+                }
+                m
+            };
+            table[i * n + j] = local + best;
+        }
+    }
+    table[a.len() * n - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_core::pattern::{classify, Pattern};
+    use lddp_core::seq::solve_row_major;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classified_as_anti_diagonal() {
+        let k = DtwKernel::new(vec![0.0], vec![0.0]);
+        assert_eq!(classify(k.contributing_set()), Some(Pattern::AntiDiagonal));
+    }
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let s = vec![1.0, 2.0, 3.0, 2.0, 1.0];
+        let k = DtwKernel::new(s.clone(), s);
+        let grid = solve_row_major(&k).unwrap();
+        assert_eq!(k.distance_from(&grid), 0.0);
+    }
+
+    #[test]
+    fn warping_absorbs_time_shift() {
+        // A step function and its delayed copy align perfectly.
+        let a = vec![0.0, 0.0, 1.0, 1.0, 1.0, 1.0];
+        let b = vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0];
+        let k = DtwKernel::new(a.clone(), b.clone());
+        let grid = solve_row_major(&k).unwrap();
+        assert_eq!(k.distance_from(&grid), 0.0);
+        // Euclidean (lock-step) distance would be 2.0.
+        let lockstep: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert_eq!(lockstep, 2.0);
+    }
+
+    #[test]
+    fn band_zero_is_lockstep_on_equal_lengths() {
+        let a = vec![0.0, 1.0, 0.0, 1.0];
+        let b = vec![1.0, 0.0, 1.0, 0.0];
+        let k = DtwKernel::new(a.clone(), b.clone()).with_band(0);
+        let grid = solve_row_major(&k).unwrap();
+        let lockstep: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert_eq!(k.distance_from(&grid), lockstep);
+    }
+
+    #[test]
+    fn tight_band_can_only_increase_distance() {
+        let k_free = DtwKernel::random_walk(24, 24, 5);
+        let grid = solve_row_major(&k_free).unwrap();
+        let free = k_free.distance_from(&grid);
+        let k_band = DtwKernel::random_walk(24, 24, 5).with_band(2);
+        let grid = solve_row_major(&k_band).unwrap();
+        let banded = k_band.distance_from(&grid);
+        assert!(banded >= free);
+    }
+
+    proptest! {
+        #[test]
+        fn kernel_matches_reference(
+            a in proptest::collection::vec(-10.0f32..10.0, 1..16),
+            b in proptest::collection::vec(-10.0f32..10.0, 1..16),
+            band in proptest::option::of(0usize..8),
+        ) {
+            let mut k = DtwKernel::new(a.clone(), b.clone());
+            if let Some(r) = band {
+                k = k.with_band(r);
+            }
+            let grid = solve_row_major(&k).unwrap();
+            let got = k.distance_from(&grid);
+            let expected = dtw_distance(&a, &b, band);
+            if expected.is_infinite() {
+                prop_assert!(got.is_infinite());
+            } else {
+                prop_assert!((got - expected).abs() <= 1e-3 * expected.abs().max(1.0),
+                             "{got} vs {expected}");
+            }
+        }
+
+        /// DTW is symmetric and non-negative.
+        #[test]
+        fn symmetric_nonnegative(
+            a in proptest::collection::vec(-5.0f32..5.0, 1..12),
+            b in proptest::collection::vec(-5.0f32..5.0, 1..12),
+        ) {
+            let ab = dtw_distance(&a, &b, None);
+            let ba = dtw_distance(&b, &a, None);
+            prop_assert!(ab >= 0.0);
+            prop_assert!((ab - ba).abs() <= 1e-3 * ab.abs().max(1.0));
+        }
+    }
+}

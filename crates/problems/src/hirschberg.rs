@@ -1,0 +1,114 @@
+//! Hirschberg's linear-space LCS recovery — the classic
+//! divide-and-conquer companion to the bit-parallel length algorithm:
+//! reconstructs an actual longest common subsequence in `O(min(m, n))`
+//! space and `O(m·n)` time, where the naive traceback needs the full
+//! quadratic table. Rounds out the "problem-specific excellent
+//! solutions" the paper's introduction contrasts the generic framework
+//! against.
+
+/// Last row of the LCS length table for `a` vs `b` (forward direction),
+/// in `O(|b|)` space.
+fn lcs_last_row(a: &[u8], b: &[u8]) -> Vec<u32> {
+    let mut prev = vec![0u32; b.len() + 1];
+    let mut cur = vec![0u32; b.len() + 1];
+    for &ca in a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                cur[j].max(prev[j + 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    prev
+}
+
+/// One longest common subsequence of `a` and `b`, computed in linear
+/// space with Hirschberg's divide-and-conquer.
+///
+/// ```
+/// use lddp_problems::hirschberg::lcs_string;
+/// assert_eq!(lcs_string(b"AGGTAB", b"GXTXAYB"), b"GTAB".to_vec());
+/// ```
+pub fn lcs_string(a: &[u8], b: &[u8]) -> Vec<u8> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    if a.len() == 1 {
+        return if b.contains(&a[0]) {
+            vec![a[0]]
+        } else {
+            Vec::new()
+        };
+    }
+    // Split a in half; find the column where an optimal path crosses.
+    let mid = a.len() / 2;
+    let (a_top, a_bot) = a.split_at(mid);
+    let forward = lcs_last_row(a_top, b);
+    let b_rev: Vec<u8> = b.iter().rev().copied().collect();
+    let a_bot_rev: Vec<u8> = a_bot.iter().rev().copied().collect();
+    let backward = lcs_last_row(&a_bot_rev, &b_rev);
+    let split = (0..=b.len())
+        .max_by_key(|&j| forward[j] + backward[b.len() - j])
+        .expect("non-empty range");
+    let mut left = lcs_string(a_top, &b[..split]);
+    let right = lcs_string(a_bot, &b[split..]);
+    left.extend(right);
+    left
+}
+
+/// Checks whether `sub` is a subsequence of `s`.
+pub fn is_subsequence(sub: &[u8], s: &[u8]) -> bool {
+    let mut it = s.iter();
+    sub.iter().all(|c| it.any(|x| x == c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcs::{lcs_length, lcs_length_bitparallel};
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_cases() {
+        assert_eq!(lcs_string(b"ABCBDAB", b"BDCABA").len(), 4);
+        assert_eq!(lcs_string(b"AGGTAB", b"GXTXAYB"), b"GTAB".to_vec());
+        assert_eq!(lcs_string(b"", b"abc"), Vec::<u8>::new());
+        assert_eq!(lcs_string(b"abc", b""), Vec::<u8>::new());
+        assert_eq!(lcs_string(b"same", b"same"), b"same".to_vec());
+        assert_eq!(lcs_string(b"abc", b"def"), Vec::<u8>::new());
+        assert_eq!(lcs_string(b"x", b"axa"), b"x".to_vec());
+    }
+
+    #[test]
+    fn subsequence_checker() {
+        assert!(is_subsequence(b"ace", b"abcde"));
+        assert!(!is_subsequence(b"aec", b"abcde"));
+        assert!(is_subsequence(b"", b"abc"));
+        assert!(!is_subsequence(b"a", b""));
+    }
+
+    proptest! {
+        /// The recovered string is a common subsequence of both inputs
+        /// with exactly the optimal length.
+        #[test]
+        fn recovers_an_optimal_common_subsequence(
+            a in proptest::collection::vec(0u8..4, 0..60),
+            b in proptest::collection::vec(0u8..4, 0..60),
+        ) {
+            let s = lcs_string(&a, &b);
+            prop_assert!(is_subsequence(&s, &a), "not a subsequence of a");
+            prop_assert!(is_subsequence(&s, &b), "not a subsequence of b");
+            prop_assert_eq!(s.len() as u32, lcs_length(&a, &b));
+            prop_assert_eq!(s.len() as u32, lcs_length_bitparallel(&a, &b));
+        }
+
+        /// Identical strings recover themselves.
+        #[test]
+        fn identity(a in proptest::collection::vec(any::<u8>(), 0..40)) {
+            prop_assert_eq!(lcs_string(&a, &a), a);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Levenshtein edit distance — the paper's §VI-A case study
+//! (anti-diagonal pattern).
+//!
+//! The DP table is `(m+1) × (n+1)`; `cell(i,j)` depends on `W`, `NW` and
+//! `N`, so Table I classifies it as Anti-Diagonal. Base cases
+//! (`min(i,j) = 0 → max(i,j)`) live inside the kernel function, exactly
+//! as the framework contract (§V-C) prescribes.
+
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::wavefront::Dims;
+
+/// Levenshtein kernel over two byte strings.
+///
+/// ```
+/// use lddp_problems::levenshtein::LevenshteinKernel;
+/// use lddp_core::seq::solve_row_major;
+///
+/// let k = LevenshteinKernel::new(*b"kitten", *b"sitting");
+/// let grid = solve_row_major(&k).unwrap();
+/// assert_eq!(k.distance_from(&grid), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevenshteinKernel {
+    a: Vec<u8>,
+    b: Vec<u8>,
+}
+
+impl LevenshteinKernel {
+    /// Builds the kernel for sequences `a` (rows) and `b` (columns).
+    pub fn new(a: impl Into<Vec<u8>>, b: impl Into<Vec<u8>>) -> Self {
+        LevenshteinKernel {
+            a: a.into(),
+            b: b.into(),
+        }
+    }
+
+    /// The compared sequences.
+    pub fn sequences(&self) -> (&[u8], &[u8]) {
+        (&self.a, &self.b)
+    }
+
+    /// Extracts the distance from a filled table: the bottom-right cell.
+    pub fn distance_from(&self, grid: &lddp_core::grid::Grid<u32>) -> u32 {
+        let d = self.dims();
+        grid.get(d.rows - 1, d.cols - 1)
+    }
+}
+
+impl Kernel for LevenshteinKernel {
+    type Cell = u32;
+
+    fn dims(&self) -> Dims {
+        Dims::new(self.a.len() + 1, self.b.len() + 1)
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N])
+    }
+
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<u32>) -> u32 {
+        if i == 0 || j == 0 {
+            return (i + j) as u32; // max(i, j) with min(i, j) = 0
+        }
+        let w = nbrs.w.expect("W in bounds for i,j >= 1");
+        let nw = nbrs.nw.expect("NW in bounds");
+        let n = nbrs.n.expect("N in bounds");
+        if self.a[i - 1] == self.b[j - 1] {
+            nw
+        } else {
+            1 + w.min(nw).min(n)
+        }
+    }
+
+    fn cost_ops(&self) -> u32 {
+        24 // compare + three mins + adds + index math
+    }
+
+    fn name(&self) -> &str {
+        "levenshtein"
+    }
+}
+
+/// One step of an edit script transforming `a` into `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Characters match; consume one from each.
+    Keep,
+    /// Replace `a[i]` with `b[j]`.
+    Substitute,
+    /// Insert `b[j]` into `a`.
+    Insert,
+    /// Delete `a[i]`.
+    Delete,
+}
+
+impl LevenshteinKernel {
+    /// Reconstructs one optimal edit script (in forward order) from a
+    /// filled table. The number of non-[`EditOp::Keep`] operations
+    /// equals the distance.
+    pub fn edit_script(&self, grid: &lddp_core::grid::Grid<u32>) -> Vec<EditOp> {
+        let mut ops = Vec::new();
+        let (mut i, mut j) = (self.a.len(), self.b.len());
+        while i > 0 || j > 0 {
+            let here = grid.get(i, j);
+            if i > 0 && j > 0 && self.a[i - 1] == self.b[j - 1] && grid.get(i - 1, j - 1) == here {
+                ops.push(EditOp::Keep);
+                i -= 1;
+                j -= 1;
+            } else if i > 0 && j > 0 && grid.get(i - 1, j - 1) + 1 == here {
+                ops.push(EditOp::Substitute);
+                i -= 1;
+                j -= 1;
+            } else if i > 0 && grid.get(i - 1, j) + 1 == here {
+                ops.push(EditOp::Delete);
+                i -= 1;
+            } else {
+                debug_assert!(j > 0 && grid.get(i, j - 1) + 1 == here);
+                ops.push(EditOp::Insert);
+                j -= 1;
+            }
+        }
+        ops.reverse();
+        ops
+    }
+}
+
+/// Applies an edit script to `a`, producing the target string — the
+/// executable semantics of [`LevenshteinKernel::edit_script`].
+pub fn apply_edit_script(a: &[u8], b: &[u8], ops: &[EditOp]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    for op in ops {
+        match op {
+            EditOp::Keep => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+            EditOp::Substitute => {
+                out.push(b[j]);
+                i += 1;
+                j += 1;
+            }
+            EditOp::Insert => {
+                out.push(b[j]);
+                j += 1;
+            }
+            EditOp::Delete => {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Textbook two-row reference implementation (independent of the
+/// framework), used as the oracle.
+pub fn distance(a: &[u8], b: &[u8]) -> u32 {
+    let n = b.len();
+    let mut prev: Vec<u32> = (0..=n as u32).collect();
+    let mut cur = vec![0u32; n + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb {
+                prev[j]
+            } else {
+                1 + cur[j].min(prev[j]).min(prev[j + 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_core::pattern::{classify, Pattern};
+    use lddp_core::seq::solve_row_major;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classified_as_anti_diagonal() {
+        let k = LevenshteinKernel::new(*b"abc", *b"de");
+        assert_eq!(classify(k.contributing_set()), Some(Pattern::AntiDiagonal));
+        assert_eq!(k.dims(), Dims::new(4, 3));
+    }
+
+    #[test]
+    fn known_distances() {
+        for (a, b, d) in [
+            (&b"kitten"[..], &b"sitting"[..], 3),
+            (b"flaw", b"lawn", 2),
+            (b"", b"", 0),
+            (b"", b"abc", 3),
+            (b"abc", b"", 3),
+            (b"abc", b"abc", 0),
+            (b"abcdef", b"azced", 3),
+        ] {
+            assert_eq!(distance(a, b), d, "{a:?} vs {b:?}");
+            let k = LevenshteinKernel::new(a, b);
+            let grid = solve_row_major(&k).unwrap();
+            assert_eq!(k.distance_from(&grid), d);
+        }
+    }
+
+    #[test]
+    fn kernel_table_matches_reference_everywhere() {
+        let k = LevenshteinKernel::new(*b"saturday", *b"sunday");
+        let grid = solve_row_major(&k).unwrap();
+        // Spot-check the classic table: full distance is 3.
+        assert_eq!(k.distance_from(&grid), 3);
+        // First row and column are the base cases.
+        for j in 0..k.dims().cols {
+            assert_eq!(grid.get(0, j), j as u32);
+        }
+        for i in 0..k.dims().rows {
+            assert_eq!(grid.get(i, 0), i as u32);
+        }
+    }
+
+    #[test]
+    fn edit_script_for_kitten() {
+        let k = LevenshteinKernel::new(*b"kitten", *b"sitting");
+        let grid = solve_row_major(&k).unwrap();
+        let ops = k.edit_script(&grid);
+        let cost = ops.iter().filter(|&&op| op != EditOp::Keep).count();
+        assert_eq!(cost, 3);
+        assert_eq!(apply_edit_script(b"kitten", b"sitting", &ops), b"sitting");
+    }
+
+    #[test]
+    fn edit_script_degenerate_cases() {
+        // Pure insertion and pure deletion.
+        let k = LevenshteinKernel::new(*b"", *b"abc");
+        let grid = solve_row_major(&k).unwrap();
+        assert_eq!(k.edit_script(&grid), vec![EditOp::Insert; 3]);
+        let k = LevenshteinKernel::new(*b"abc", *b"");
+        let grid = solve_row_major(&k).unwrap();
+        assert_eq!(k.edit_script(&grid), vec![EditOp::Delete; 3]);
+        let k = LevenshteinKernel::new(*b"same", *b"same");
+        let grid = solve_row_major(&k).unwrap();
+        assert_eq!(k.edit_script(&grid), vec![EditOp::Keep; 4]);
+    }
+
+    proptest! {
+        /// The reconstructed edit script really transforms a into b with
+        /// exactly `distance` paid operations.
+        #[test]
+        fn edit_script_is_valid_and_optimal(
+            a in proptest::collection::vec(0u8..4, 0..20),
+            b in proptest::collection::vec(0u8..4, 0..20),
+        ) {
+            let k = LevenshteinKernel::new(a.clone(), b.clone());
+            let grid = solve_row_major(&k).unwrap();
+            let ops = k.edit_script(&grid);
+            prop_assert_eq!(apply_edit_script(&a, &b, &ops), b.clone());
+            let cost = ops.iter().filter(|&&op| op != EditOp::Keep).count() as u32;
+            prop_assert_eq!(cost, distance(&a, &b));
+        }
+
+        /// Framework solve equals the independent two-row reference.
+        #[test]
+        fn matches_reference(a in proptest::collection::vec(0u8..4, 0..24),
+                             b in proptest::collection::vec(0u8..4, 0..24)) {
+            let k = LevenshteinKernel::new(a.clone(), b.clone());
+            let grid = solve_row_major(&k).unwrap();
+            prop_assert_eq!(k.distance_from(&grid), distance(&a, &b));
+        }
+
+        /// Metric axioms: identity, symmetry, triangle inequality.
+        #[test]
+        fn is_a_metric(a in proptest::collection::vec(0u8..3, 0..12),
+                       b in proptest::collection::vec(0u8..3, 0..12),
+                       c in proptest::collection::vec(0u8..3, 0..12)) {
+            prop_assert_eq!(distance(&a, &a), 0);
+            prop_assert_eq!(distance(&a, &b), distance(&b, &a));
+            prop_assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c));
+        }
+
+        /// Distance is bounded by the longer length and at least the
+        /// length difference.
+        #[test]
+        fn bounds(a in proptest::collection::vec(any::<u8>(), 0..20),
+                  b in proptest::collection::vec(any::<u8>(), 0..20)) {
+            let d = distance(&a, &b) as usize;
+            prop_assert!(d <= a.len().max(b.len()));
+            prop_assert!(d >= a.len().abs_diff(b.len()));
+        }
+    }
+}

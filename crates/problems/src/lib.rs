@@ -1,0 +1,44 @@
+//! # lddp-problems
+//!
+//! The paper's case-study problems as [`Kernel`](lddp_core::kernel::Kernel)
+//! implementations, each paired with an independent reference
+//! implementation that serves as its correctness oracle:
+//!
+//! - [`levenshtein`] — edit distance (§VI-A, anti-diagonal, Fig 10);
+//! - [`lcs`] — longest common subsequence (Fig 7 tuning workload) plus
+//!   the Allison–Dix bit-parallel specialized baseline;
+//! - [`dithering`] — Floyd–Steinberg error diffusion (§VI-B,
+//!   knight-move, Fig 12);
+//! - [`checkerboard`] — shortest checkerboard path (§VI-C, horizontal
+//!   case 2, Fig 13);
+//! - [`dtw`] — dynamic time warping (§I speech motivation, banded);
+//! - [`smith_waterman`] — affine-gap local alignment (§I bioinformatics
+//!   motivation);
+//! - [`synthetic`] — the exact Fig 8 / Fig 9 benchmark functions and a
+//!   dependency-mixing kernel for coverage tests.
+
+#![warn(missing_docs)]
+
+pub mod checkerboard;
+pub mod dithering;
+pub mod dtw;
+pub mod hirschberg;
+pub mod lcs;
+pub mod levenshtein;
+pub mod max_square;
+pub mod needleman_wunsch;
+pub mod seam_carving;
+pub mod smith_waterman;
+pub mod synthetic;
+pub mod weighted_edit;
+
+pub use checkerboard::CheckerboardKernel;
+pub use dithering::{DitherCell, DitherKernel};
+pub use dtw::DtwKernel;
+pub use lcs::LcsKernel;
+pub use levenshtein::LevenshteinKernel;
+pub use max_square::MaxSquareKernel;
+pub use needleman_wunsch::NeedlemanWunschKernel;
+pub use seam_carving::SeamCarvingKernel;
+pub use smith_waterman::{SmithWatermanKernel, SwCell};
+pub use weighted_edit::WeightedEditKernel;

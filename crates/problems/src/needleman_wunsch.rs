@@ -1,0 +1,263 @@
+//! Needleman–Wunsch global alignment (linear gap penalty) — the
+//! classical "pairwise sequence alignment" workload of the paper's
+//! bioinformatics motivation, complementing the local (Smith–Waterman)
+//! variant. Anti-diagonal pattern, contributing set `{W, NW, N}`.
+
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::grid::Grid;
+use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::wavefront::Dims;
+
+/// Global-alignment scoring (linear gaps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NwScoring {
+    /// Score for a matching pair.
+    pub matches: i32,
+    /// Score for a mismatching pair.
+    pub mismatch: i32,
+    /// Per-symbol gap penalty (negative).
+    pub gap: i32,
+}
+
+impl Default for NwScoring {
+    fn default() -> Self {
+        NwScoring {
+            matches: 1,
+            mismatch: -1,
+            gap: -1,
+        }
+    }
+}
+
+/// Needleman–Wunsch kernel (table `(m+1) × (n+1)`).
+#[derive(Debug, Clone)]
+pub struct NeedlemanWunschKernel {
+    a: Vec<u8>,
+    b: Vec<u8>,
+    scoring: NwScoring,
+}
+
+impl NeedlemanWunschKernel {
+    /// Builds the kernel with default scoring.
+    pub fn new(a: impl Into<Vec<u8>>, b: impl Into<Vec<u8>>) -> Self {
+        NeedlemanWunschKernel {
+            a: a.into(),
+            b: b.into(),
+            scoring: NwScoring::default(),
+        }
+    }
+
+    /// Overrides the scoring scheme.
+    #[must_use]
+    pub fn with_scoring(mut self, scoring: NwScoring) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// Global alignment score from a filled table.
+    pub fn score_from(&self, grid: &Grid<i32>) -> i32 {
+        let d = self.dims();
+        grid.get(d.rows - 1, d.cols - 1)
+    }
+
+    /// Reconstructs one optimal alignment as `(a_row, b_row)` with `-`
+    /// for gaps.
+    pub fn alignment_from(&self, grid: &Grid<i32>) -> (Vec<u8>, Vec<u8>) {
+        let s = self.scoring;
+        let (mut i, mut j) = (self.a.len(), self.b.len());
+        let mut ra = Vec::new();
+        let mut rb = Vec::new();
+        while i > 0 || j > 0 {
+            let here = grid.get(i, j);
+            if i > 0 && j > 0 {
+                let sub = if self.a[i - 1] == self.b[j - 1] {
+                    s.matches
+                } else {
+                    s.mismatch
+                };
+                if grid.get(i - 1, j - 1) + sub == here {
+                    ra.push(self.a[i - 1]);
+                    rb.push(self.b[j - 1]);
+                    i -= 1;
+                    j -= 1;
+                    continue;
+                }
+            }
+            if i > 0 && grid.get(i - 1, j) + s.gap == here {
+                ra.push(self.a[i - 1]);
+                rb.push(b'-');
+                i -= 1;
+            } else {
+                debug_assert!(j > 0 && grid.get(i, j - 1) + s.gap == here);
+                ra.push(b'-');
+                rb.push(self.b[j - 1]);
+                j -= 1;
+            }
+        }
+        ra.reverse();
+        rb.reverse();
+        (ra, rb)
+    }
+}
+
+impl Kernel for NeedlemanWunschKernel {
+    type Cell = i32;
+
+    fn dims(&self) -> Dims {
+        Dims::new(self.a.len() + 1, self.b.len() + 1)
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N])
+    }
+
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<i32>) -> i32 {
+        let s = self.scoring;
+        if i == 0 {
+            return j as i32 * s.gap;
+        }
+        if j == 0 {
+            return i as i32 * s.gap;
+        }
+        let sub = if self.a[i - 1] == self.b[j - 1] {
+            s.matches
+        } else {
+            s.mismatch
+        };
+        (nbrs.nw.expect("NW in bounds") + sub)
+            .max(nbrs.n.expect("N in bounds") + s.gap)
+            .max(nbrs.w.expect("W in bounds") + s.gap)
+    }
+
+    fn cost_ops(&self) -> u32 {
+        26
+    }
+
+    fn name(&self) -> &str {
+        "needleman-wunsch"
+    }
+}
+
+/// Independent two-row reference.
+pub fn global_score(a: &[u8], b: &[u8], s: NwScoring) -> i32 {
+    let n = b.len();
+    let mut prev: Vec<i32> = (0..=n as i32).map(|j| j * s.gap).collect();
+    let mut cur = vec![0i32; n + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = (i as i32 + 1) * s.gap;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = if ca == cb { s.matches } else { s.mismatch };
+            cur[j + 1] = (prev[j] + sub).max(prev[j + 1] + s.gap).max(cur[j] + s.gap);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::distance;
+    use lddp_core::pattern::{classify, Pattern};
+    use lddp_core::seq::solve_row_major;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classified_as_anti_diagonal() {
+        let k = NeedlemanWunschKernel::new(*b"AC", *b"GT");
+        assert_eq!(classify(k.contributing_set()), Some(Pattern::AntiDiagonal));
+    }
+
+    #[test]
+    fn identical_sequences_score_full_matches() {
+        let k = NeedlemanWunschKernel::new(*b"ACGT", *b"ACGT");
+        let grid = solve_row_major(&k).unwrap();
+        assert_eq!(k.score_from(&grid), 4);
+        let (ra, rb) = k.alignment_from(&grid);
+        assert_eq!(ra, b"ACGT");
+        assert_eq!(rb, b"ACGT");
+    }
+
+    #[test]
+    fn classic_example() {
+        // GATTACA vs GCATGCU with +1/-1/-1: optimal score 0.
+        let k = NeedlemanWunschKernel::new(*b"GATTACA", *b"GCATGCU");
+        let grid = solve_row_major(&k).unwrap();
+        assert_eq!(k.score_from(&grid), 0);
+    }
+
+    #[test]
+    fn alignment_rows_are_consistent() {
+        let k = NeedlemanWunschKernel::new(*b"ACGTTA", *b"AGTTCA");
+        let grid = solve_row_major(&k).unwrap();
+        let (ra, rb) = k.alignment_from(&grid);
+        assert_eq!(ra.len(), rb.len());
+        // Removing gaps recovers the inputs.
+        let strip = |v: &[u8]| -> Vec<u8> { v.iter().copied().filter(|&c| c != b'-').collect() };
+        assert_eq!(strip(&ra), b"ACGTTA");
+        assert_eq!(strip(&rb), b"AGTTCA");
+        // No column aligns two gaps.
+        assert!(ra.iter().zip(&rb).all(|(&x, &y)| x != b'-' || y != b'-'));
+        // Recomputing the score from the alignment matches the table.
+        let score: i32 = ra
+            .iter()
+            .zip(&rb)
+            .map(|(&x, &y)| {
+                if x == b'-' || y == b'-' {
+                    -1
+                } else if x == y {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .sum();
+        assert_eq!(score, k.score_from(&grid));
+    }
+
+    proptest! {
+        #[test]
+        fn kernel_matches_reference(
+            a in proptest::collection::vec(0u8..4, 0..20),
+            b in proptest::collection::vec(0u8..4, 0..20),
+        ) {
+            let k = NeedlemanWunschKernel::new(a.clone(), b.clone());
+            let grid = solve_row_major(&k).unwrap();
+            prop_assert_eq!(k.score_from(&grid), global_score(&a, &b, NwScoring::default()));
+        }
+
+        /// With match = 0, mismatch = gap = -1, the NW score is exactly
+        /// minus the Levenshtein distance.
+        #[test]
+        fn unit_costs_recover_edit_distance(
+            a in proptest::collection::vec(0u8..4, 0..16),
+            b in proptest::collection::vec(0u8..4, 0..16),
+        ) {
+            let scoring = NwScoring { matches: 0, mismatch: -1, gap: -1 };
+            prop_assert_eq!(
+                global_score(&a, &b, scoring),
+                -(distance(&a, &b) as i32)
+            );
+        }
+
+        /// Alignment reconstruction is always consistent and optimal.
+        #[test]
+        fn alignment_reconstruction(
+            a in proptest::collection::vec(0u8..4, 0..14),
+            b in proptest::collection::vec(0u8..4, 0..14),
+        ) {
+            let k = NeedlemanWunschKernel::new(a.clone(), b.clone());
+            let grid = solve_row_major(&k).unwrap();
+            let (ra, rb) = k.alignment_from(&grid);
+            let strip = |v: &[u8]| -> Vec<u8> {
+                v.iter().copied().filter(|&c| c != b'-').collect()
+            };
+            prop_assert_eq!(strip(&ra), a);
+            prop_assert_eq!(strip(&rb), b);
+            let score: i32 = ra.iter().zip(&rb).map(|(&x, &y)| {
+                if x == b'-' || y == b'-' { -1 } else if x == y { 1 } else { -1 }
+            }).sum();
+            prop_assert_eq!(score, k.score_from(&grid));
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Content-aware image resizing (seam carving, Avidan & Shamir) — a
+//! modern LDDP-Plus workload: the cumulative-energy map is exactly the
+//! checkerboard recurrence (`min(NW, N, NE) + energy`), i.e. horizontal
+//! pattern case 2, and the minimal vertical seam is its traceback.
+//!
+//! Demonstrates the framework's claim that *any* problem matching a
+//! Table I row plugs in with just `f` and an initialization.
+
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::grid::Grid;
+use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::wavefront::Dims;
+
+/// Cumulative-energy kernel over a grayscale image.
+#[derive(Debug, Clone)]
+pub struct SeamCarvingKernel {
+    rows: usize,
+    cols: usize,
+    /// Row-major per-pixel energy (gradient magnitude).
+    energy: Vec<u32>,
+}
+
+impl SeamCarvingKernel {
+    /// Builds the kernel from a precomputed energy map.
+    pub fn new(rows: usize, cols: usize, energy: Vec<u32>) -> Self {
+        assert_eq!(energy.len(), rows * cols, "energy map shape mismatch");
+        SeamCarvingKernel { rows, cols, energy }
+    }
+
+    /// Builds the kernel from a grayscale image using the L1 gradient
+    /// magnitude as energy.
+    pub fn from_image(rows: usize, cols: usize, image: &[u8]) -> Self {
+        assert_eq!(image.len(), rows * cols);
+        let px = |i: isize, j: isize| -> i32 {
+            let i = i.clamp(0, rows as isize - 1) as usize;
+            let j = j.clamp(0, cols as isize - 1) as usize;
+            image[i * cols + j] as i32
+        };
+        let mut energy = Vec::with_capacity(rows * cols);
+        for i in 0..rows as isize {
+            for j in 0..cols as isize {
+                let dx = (px(i, j + 1) - px(i, j - 1)).abs();
+                let dy = (px(i + 1, j) - px(i - 1, j)).abs();
+                energy.push((dx + dy) as u32);
+            }
+        }
+        SeamCarvingKernel::new(rows, cols, energy)
+    }
+
+    /// Pixel energy.
+    pub fn energy(&self, i: usize, j: usize) -> u32 {
+        self.energy[i * self.cols + j]
+    }
+
+    /// The minimal vertical seam (one column index per row, adjacent
+    /// rows differing by at most one) from a filled cumulative map.
+    pub fn min_seam(&self, grid: &Grid<u64>) -> Vec<usize> {
+        let mut seam = vec![0usize; self.rows];
+        let mut j = (0..self.cols)
+            .min_by_key(|&j| grid.get(self.rows - 1, j))
+            .expect("non-empty image");
+        seam[self.rows - 1] = j;
+        for i in (1..self.rows).rev() {
+            let mut best_j = j;
+            let mut best = u64::MAX;
+            for dj in [-1isize, 0, 1] {
+                let pj = j as isize + dj;
+                if pj < 0 || pj >= self.cols as isize {
+                    continue;
+                }
+                let v = grid.get(i - 1, pj as usize);
+                if v < best {
+                    best = v;
+                    best_j = pj as usize;
+                }
+            }
+            j = best_j;
+            seam[i - 1] = j;
+        }
+        seam
+    }
+
+    /// Total energy of a seam.
+    pub fn seam_energy(&self, seam: &[usize]) -> u64 {
+        seam.iter()
+            .enumerate()
+            .map(|(i, &j)| self.energy(i, j) as u64)
+            .sum()
+    }
+
+    /// Removes a vertical seam from a row-major image, returning the
+    /// narrowed image (`cols - 1` wide).
+    pub fn remove_seam(rows: usize, cols: usize, image: &[u8], seam: &[usize]) -> Vec<u8> {
+        assert_eq!(image.len(), rows * cols);
+        assert_eq!(seam.len(), rows);
+        let mut out = Vec::with_capacity(rows * (cols - 1));
+        for i in 0..rows {
+            for j in 0..cols {
+                if j != seam[i] {
+                    out.push(image[i * cols + j]);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Kernel for SeamCarvingKernel {
+    type Cell = u64;
+
+    fn dims(&self) -> Dims {
+        Dims::new(self.rows, self.cols)
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        ContributingSet::new(&[RepCell::Nw, RepCell::N, RepCell::Ne])
+    }
+
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<u64>) -> u64 {
+        let e = self.energy(i, j) as u64;
+        if i == 0 {
+            return e;
+        }
+        let best = [nbrs.nw, nbrs.n, nbrs.ne]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("row > 0 has a predecessor");
+        e + best
+    }
+
+    fn cost_ops(&self) -> u32 {
+        18
+    }
+
+    fn name(&self) -> &str {
+        "seam-carving"
+    }
+}
+
+/// Exhaustive minimal-seam search for small images (test oracle).
+pub fn brute_force_min_seam_energy(rows: usize, cols: usize, energy: &[u32]) -> u64 {
+    fn go(rows: usize, cols: usize, energy: &[u32], i: usize, j: usize) -> u64 {
+        let e = energy[i * cols + j] as u64;
+        if i + 1 == rows {
+            return e;
+        }
+        let mut best = u64::MAX;
+        for dj in [-1isize, 0, 1] {
+            let nj = j as isize + dj;
+            if nj >= 0 && nj < cols as isize {
+                best = best.min(go(rows, cols, energy, i + 1, nj as usize));
+            }
+        }
+        e + best
+    }
+    (0..cols)
+        .map(|j| go(rows, cols, energy, 0, j))
+        .min()
+        .expect("non-empty image")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_core::pattern::{classify, Pattern};
+    use lddp_core::seq::solve_row_major;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classified_as_horizontal() {
+        let k = SeamCarvingKernel::new(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(classify(k.contributing_set()), Some(Pattern::Horizontal));
+    }
+
+    #[test]
+    fn seam_follows_the_low_energy_column() {
+        // A cheap valley down column 2.
+        let mut energy = vec![9u32; 5 * 5];
+        for i in 0..5 {
+            energy[i * 5 + 2] = 1;
+        }
+        let k = SeamCarvingKernel::new(5, 5, energy);
+        let grid = solve_row_major(&k).unwrap();
+        let seam = k.min_seam(&grid);
+        assert_eq!(seam, vec![2; 5]);
+        assert_eq!(k.seam_energy(&seam), 5);
+    }
+
+    #[test]
+    fn seam_can_slide_diagonally() {
+        // Valley moves one column per row: (0,0),(1,1),(2,2).
+        let mut energy = vec![9u32; 9];
+        energy[0] = 0;
+        energy[3 + 1] = 0;
+        energy[6 + 2] = 0;
+        let k = SeamCarvingKernel::new(3, 3, energy);
+        let grid = solve_row_major(&k).unwrap();
+        let seam = k.min_seam(&grid);
+        assert_eq!(seam, vec![0, 1, 2]);
+        assert_eq!(k.seam_energy(&seam), 0);
+    }
+
+    #[test]
+    fn gradient_energy_is_zero_on_flat_images() {
+        let k = SeamCarvingKernel::from_image(4, 4, &[100u8; 16]);
+        assert!((0..4).all(|i| (0..4).all(|j| k.energy(i, j) == 0)));
+    }
+
+    #[test]
+    fn remove_seam_narrows_the_image() {
+        let image: Vec<u8> = (0..12).collect();
+        let seam = vec![1usize, 2, 0];
+        let out = SeamCarvingKernel::remove_seam(3, 4, &image, &seam);
+        assert_eq!(out, vec![0, 2, 3, 4, 5, 7, 9, 10, 11]);
+    }
+
+    proptest! {
+        /// The DP seam energy equals the brute-force optimum.
+        #[test]
+        fn seam_is_optimal(rows in 1usize..5, cols in 1usize..5,
+                           energy in proptest::collection::vec(0u32..20, 16)) {
+            let energy = energy[..rows * cols].to_vec();
+            let k = SeamCarvingKernel::new(rows, cols, energy.clone());
+            let grid = solve_row_major(&k).unwrap();
+            let seam = k.min_seam(&grid);
+            prop_assert_eq!(
+                k.seam_energy(&seam),
+                brute_force_min_seam_energy(rows, cols, &energy)
+            );
+        }
+
+        /// Seams are always legal paths (adjacent columns).
+        #[test]
+        fn seam_is_connected(seed in any::<u64>()) {
+            let mut rng = seed;
+            let mut next = || {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (rng >> 33) as u32 % 50
+            };
+            let energy: Vec<u32> = (0..8 * 6).map(|_| next()).collect();
+            let k = SeamCarvingKernel::new(8, 6, energy);
+            let grid = solve_row_major(&k).unwrap();
+            let seam = k.min_seam(&grid);
+            prop_assert_eq!(seam.len(), 8);
+            for w in seam.windows(2) {
+                prop_assert!(w[0].abs_diff(w[1]) <= 1);
+            }
+        }
+
+        /// Removing k seams shrinks width by k and never panics.
+        #[test]
+        fn iterated_carving(seed in any::<u64>()) {
+            let rows = 6;
+            let mut cols = 8;
+            let mut image: Vec<u8> = (0..rows * cols)
+                .map(|x| ((x as u64).wrapping_mul(seed) >> 5) as u8)
+                .collect();
+            for _ in 0..4 {
+                let k = SeamCarvingKernel::from_image(rows, cols, &image);
+                let grid = solve_row_major(&k).unwrap();
+                let seam = k.min_seam(&grid);
+                image = SeamCarvingKernel::remove_seam(rows, cols, &image, &seam);
+                cols -= 1;
+                prop_assert_eq!(image.len(), rows * cols);
+            }
+        }
+    }
+}

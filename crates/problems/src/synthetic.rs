@@ -1,0 +1,131 @@
+//! Synthetic kernels for the framework experiments — the exact functions
+//! the paper benchmarks in §V (Figs 8 and 9) plus one workload per row of
+//! Table I for exhaustive coverage tests.
+
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::kernel::{ClosureKernel, Neighbors};
+use lddp_core::wavefront::Dims;
+
+/// The Fig 8 kernel: `f(i,j) = max(cell_{i,j}, f(i-1,j-1)) + c`, a pure
+/// `{NW}` (inverted-L) dependency. The "cell value" term is modelled as a
+/// position hash so the recurrence has real data flow.
+pub fn fig8_kernel(
+    dims: Dims,
+    c: u32,
+) -> ClosureKernel<u32, impl Fn(usize, usize, &Neighbors<u32>) -> u32 + Sync> {
+    ClosureKernel::new(
+        dims,
+        ContributingSet::new(&[RepCell::Nw]),
+        move |i, j, n: &Neighbors<u32>| {
+            let own = ((i * 2654435761) ^ (j * 40503)) as u32 % 1024;
+            own.max(n.nw.unwrap_or(0)) + c
+        },
+    )
+    .with_cost_ops(16)
+    .with_name("fig8-max-nw")
+}
+
+/// The Fig 9 kernel: `f(i,j) = min(f(i-1,j-1), f(i-1,j)) + c`, horizontal
+/// pattern case 1.
+pub fn fig9_kernel(
+    dims: Dims,
+    c: u32,
+) -> ClosureKernel<u32, impl Fn(usize, usize, &Neighbors<u32>) -> u32 + Sync> {
+    ClosureKernel::new(
+        dims,
+        ContributingSet::new(&[RepCell::Nw, RepCell::N]),
+        move |i, j, n: &Neighbors<u32>| match (n.nw, n.n) {
+            (Some(a), Some(b)) => a.min(b) + c,
+            (Some(a), None) => a + c,
+            (None, Some(b)) => b + c,
+            (None, None) => ((i * 31 + j * 7) as u32) % 64,
+        },
+    )
+    .with_cost_ops(16)
+    .with_name("fig9-min-nw-n")
+}
+
+/// A dependency-mixing kernel over an arbitrary contributing set: every
+/// declared neighbour perturbs the output, so scheduling/transfer bugs
+/// change results. Used by cross-crate tests and examples.
+pub fn mix_kernel(
+    dims: Dims,
+    set: ContributingSet,
+) -> ClosureKernel<u64, impl Fn(usize, usize, &Neighbors<u64>) -> u64 + Sync> {
+    ClosureKernel::new(dims, set, move |i, j, n: &Neighbors<u64>| {
+        let mut acc = ((i as u64) << 24) ^ (j as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        for c in RepCell::ALL {
+            if let Some(v) = n.get(c) {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(*v);
+            }
+        }
+        acc
+    })
+    .with_name("mix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_core::grid::LayoutKind;
+    use lddp_core::kernel::Kernel;
+    use lddp_core::pattern::{classify, Pattern};
+    use lddp_core::seq::{solve_row_major, solve_wavefront_as};
+
+    #[test]
+    fn fig8_is_inverted_l() {
+        let k = fig8_kernel(Dims::new(8, 8), 1);
+        assert_eq!(classify(k.contributing_set()), Some(Pattern::InvertedL));
+    }
+
+    #[test]
+    fn fig9_is_horizontal() {
+        let k = fig9_kernel(Dims::new(8, 8), 1);
+        assert_eq!(classify(k.contributing_set()), Some(Pattern::Horizontal));
+    }
+
+    #[test]
+    fn fig8_solves_identically_under_both_patterns() {
+        // §V-B: inverted-L problems may run under horizontal case 1.
+        let k = fig8_kernel(Dims::new(12, 9), 3);
+        let oracle = solve_row_major(&k).unwrap().to_row_major();
+        for p in [Pattern::InvertedL, Pattern::Horizontal] {
+            let got = solve_wavefront_as(&k, p, LayoutKind::preferred_for(p)).unwrap();
+            assert_eq!(got.to_row_major(), oracle, "{p}");
+        }
+    }
+
+    #[test]
+    fn fig9_values_accumulate_per_row() {
+        // Along any column, value grows by exactly c per row once past
+        // row 0 (min of two parents, both ≥ row-1 min + c).
+        let k = fig9_kernel(Dims::new(6, 6), 5);
+        let g = solve_row_major(&k).unwrap();
+        for i in 1..6 {
+            for j in 0..6 {
+                let v = g.get(i, j);
+                let mut parents = Vec::new();
+                if j > 0 {
+                    parents.push(g.get(i - 1, j - 1));
+                }
+                parents.push(g.get(i - 1, j));
+                assert_eq!(v, parents.into_iter().min().unwrap() + 5);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_kernel_depends_on_every_declared_neighbour() {
+        // Flipping which set is declared changes the output table.
+        let dims = Dims::new(6, 6);
+        let full = solve_row_major(&mix_kernel(dims, ContributingSet::FULL))
+            .unwrap()
+            .to_row_major();
+        for c in RepCell::ALL {
+            let partial = solve_row_major(&mix_kernel(dims, ContributingSet::FULL.without(c)))
+                .unwrap()
+                .to_row_major();
+            assert_ne!(full, partial, "removing {c} must change results");
+        }
+    }
+}

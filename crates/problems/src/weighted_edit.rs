@@ -1,0 +1,218 @@
+//! Weighted edit distance (general Wagner–Fischer): per-operation
+//! costs for insertion, deletion and substitution. Same anti-diagonal
+//! LDDP structure as Levenshtein; shows that the framework consumes the
+//! whole cost-parameterized family, not just the unit-cost case.
+//!
+//! Scope note: *Damerau*–Levenshtein (adjacent transpositions) is **not**
+//! an LDDP-Plus problem — its recurrence reads `(i-2, j-2)`, which lies
+//! outside the representative set — and is deliberately absent.
+
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::grid::Grid;
+use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::wavefront::Dims;
+
+/// Operation costs (non-negative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditCosts {
+    /// Cost of inserting a symbol of `b`.
+    pub insert: u32,
+    /// Cost of deleting a symbol of `a`.
+    pub delete: u32,
+    /// Cost of substituting a mismatching pair.
+    pub substitute: u32,
+}
+
+impl Default for EditCosts {
+    fn default() -> Self {
+        EditCosts {
+            insert: 1,
+            delete: 1,
+            substitute: 1,
+        }
+    }
+}
+
+/// Weighted-edit-distance kernel over two byte strings.
+#[derive(Debug, Clone)]
+pub struct WeightedEditKernel {
+    a: Vec<u8>,
+    b: Vec<u8>,
+    costs: EditCosts,
+}
+
+impl WeightedEditKernel {
+    /// Builds the kernel with the given costs.
+    pub fn new(a: impl Into<Vec<u8>>, b: impl Into<Vec<u8>>, costs: EditCosts) -> Self {
+        WeightedEditKernel {
+            a: a.into(),
+            b: b.into(),
+            costs,
+        }
+    }
+
+    /// Distance from a filled table.
+    pub fn distance_from(&self, grid: &Grid<u32>) -> u32 {
+        let d = self.dims();
+        grid.get(d.rows - 1, d.cols - 1)
+    }
+}
+
+impl Kernel for WeightedEditKernel {
+    type Cell = u32;
+
+    fn dims(&self) -> Dims {
+        Dims::new(self.a.len() + 1, self.b.len() + 1)
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N])
+    }
+
+    fn compute(&self, i: usize, j: usize, nbrs: &Neighbors<u32>) -> u32 {
+        let c = self.costs;
+        if i == 0 {
+            return j as u32 * c.insert;
+        }
+        if j == 0 {
+            return i as u32 * c.delete;
+        }
+        let w = nbrs.w.expect("W in bounds");
+        let nw = nbrs.nw.expect("NW in bounds");
+        let n = nbrs.n.expect("N in bounds");
+        let sub = if self.a[i - 1] == self.b[j - 1] {
+            nw
+        } else {
+            nw + c.substitute
+        };
+        sub.min(w + c.insert).min(n + c.delete)
+    }
+
+    fn cost_ops(&self) -> u32 {
+        26
+    }
+
+    fn name(&self) -> &str {
+        "weighted-edit"
+    }
+}
+
+/// Independent two-row reference.
+pub fn weighted_distance(a: &[u8], b: &[u8], c: EditCosts) -> u32 {
+    let n = b.len();
+    let mut prev: Vec<u32> = (0..=n as u32).map(|j| j * c.insert).collect();
+    let mut cur = vec![0u32; n + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = (i as u32 + 1) * c.delete;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = if ca == cb {
+                prev[j]
+            } else {
+                prev[j] + c.substitute
+            };
+            cur[j + 1] = sub.min(cur[j] + c.insert).min(prev[j + 1] + c.delete);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::distance;
+    use lddp_core::pattern::{classify, Pattern};
+    use lddp_core::seq::solve_row_major;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classified_as_anti_diagonal() {
+        let k = WeightedEditKernel::new(*b"ab", *b"cd", EditCosts::default());
+        assert_eq!(classify(k.contributing_set()), Some(Pattern::AntiDiagonal));
+    }
+
+    #[test]
+    fn unit_costs_recover_levenshtein() {
+        for (a, b) in [
+            (&b"kitten"[..], &b"sitting"[..]),
+            (b"", b"abc"),
+            (b"flaw", b"lawn"),
+        ] {
+            assert_eq!(
+                weighted_distance(a, b, EditCosts::default()),
+                distance(a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn expensive_substitution_prefers_indel() {
+        // sub = 3 > insert + delete = 2: a mismatch should be resolved by
+        // delete+insert.
+        let costs = EditCosts {
+            insert: 1,
+            delete: 1,
+            substitute: 3,
+        };
+        assert_eq!(weighted_distance(b"a", b"b", costs), 2);
+        // With cheap substitution it is 1.
+        assert_eq!(weighted_distance(b"a", b"b", EditCosts::default()), 1);
+    }
+
+    #[test]
+    fn asymmetric_costs() {
+        let costs = EditCosts {
+            insert: 5,
+            delete: 1,
+            substitute: 2,
+        };
+        // a → "" uses deletes only.
+        assert_eq!(weighted_distance(b"xyz", b"", costs), 3);
+        // "" → b uses inserts only.
+        assert_eq!(weighted_distance(b"", b"xyz", costs), 15);
+    }
+
+    proptest! {
+        #[test]
+        fn kernel_matches_reference(
+            a in proptest::collection::vec(0u8..4, 0..20),
+            b in proptest::collection::vec(0u8..4, 0..20),
+            ins in 1u32..5, del in 1u32..5, sub in 1u32..7,
+        ) {
+            let costs = EditCosts { insert: ins, delete: del, substitute: sub };
+            let k = WeightedEditKernel::new(a.clone(), b.clone(), costs);
+            let grid = solve_row_major(&k).unwrap();
+            prop_assert_eq!(k.distance_from(&grid), weighted_distance(&a, &b, costs));
+        }
+
+        /// Effective substitution cost is capped by insert + delete.
+        #[test]
+        fn substitution_capped_by_indel(
+            a in proptest::collection::vec(0u8..3, 0..14),
+            b in proptest::collection::vec(0u8..3, 0..14),
+            sub in 1u32..12,
+        ) {
+            let costs = EditCosts { insert: 1, delete: 1, substitute: sub };
+            let capped = EditCosts { insert: 1, delete: 1, substitute: sub.min(2) };
+            prop_assert_eq!(
+                weighted_distance(&a, &b, costs),
+                weighted_distance(&a, &b, capped)
+            );
+        }
+
+        /// Scaling all costs scales the distance.
+        #[test]
+        fn cost_scaling(
+            a in proptest::collection::vec(0u8..4, 0..14),
+            b in proptest::collection::vec(0u8..4, 0..14),
+            k in 1u32..5,
+        ) {
+            let unit = EditCosts::default();
+            let scaled = EditCosts { insert: k, delete: k, substitute: k };
+            prop_assert_eq!(
+                weighted_distance(&a, &b, scaled),
+                k * weighted_distance(&a, &b, unit)
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The §V-A tuning procedure, visualized: sweeps `t_switch` with
+//! `t_share = 0` (the Fig 7 curve), then `t_share` at the winning
+//! `t_switch`, printing both curves as ASCII bars.
+//!
+//! ```sh
+//! cargo run --release --example autotune [n]
+//! ```
+
+use lddp::core::tuner::SweepPoint;
+use lddp::platforms::hetero_high;
+use lddp::problems::LcsKernel;
+use lddp::Framework;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bar(t: f64, max: f64) -> String {
+    let width = (t / max * 48.0).round() as usize;
+    "█".repeat(width.max(1))
+}
+
+fn print_curve(title: &str, points: &[SweepPoint]) {
+    println!("{title}");
+    let max = points.iter().map(|p| p.time).fold(0.0, f64::max);
+    let min = points
+        .iter()
+        .min_by(|a, b| a.time.total_cmp(&b.time))
+        .expect("non-empty curve");
+    for p in points {
+        let marker = if p.value == min.value {
+            "  ← optimum"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>6}  {:>9.3} ms  {}{marker}",
+            p.value,
+            p.time * 1e3,
+            bar(p.time, max)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let a: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4u8)).collect();
+    let b: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4u8)).collect();
+    let kernel = LcsKernel::new(a, b);
+
+    let fw = Framework::new(hetero_high());
+    println!(
+        "tuning LCS {n}x{n} (anti-diagonal) on {} — the paper's Fig 7 procedure\n",
+        fw.platform().name
+    );
+    let result = fw.tune(&kernel).unwrap();
+    print_curve(
+        "time vs t_switch at t_share = 0 (concave, Fig 7):",
+        &result.t_switch_curve,
+    );
+    print_curve(
+        &format!("time vs t_share at t_switch = {}:", result.params.t_switch),
+        &result.t_share_curve,
+    );
+    println!(
+        "chosen parameters: t_switch = {}, t_share = {}",
+        result.params.t_switch, result.params.t_share
+    );
+    let tuned = fw.estimate(&kernel, result.params).unwrap();
+    let cpu = fw.cpu_baseline(&kernel).unwrap();
+    let gpu = fw.gpu_baseline(&kernel).unwrap();
+    println!(
+        "tuned {:.3} ms vs CPU {:.3} ms / GPU {:.3} ms",
+        tuned * 1e3,
+        cpu * 1e3,
+        gpu * 1e3
+    );
+}

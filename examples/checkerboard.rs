@@ -1,0 +1,77 @@
+//! Checkerboard shortest path on the framework (§VI-C, horizontal
+//! case 2): solves a random cost board heterogeneously, reconstructs the
+//! optimal path, and prints the Fig 13 comparison.
+//!
+//! ```sh
+//! cargo run --release --example checkerboard [size]
+//! ```
+
+use lddp::core::grid::{Grid, LayoutKind};
+use lddp::core::kernel::Kernel;
+use lddp::platforms::{hetero_high, hetero_low};
+use lddp::problems::checkerboard::CheckerboardKernel;
+use lddp::Framework;
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+
+    let kernel = CheckerboardKernel::random(size, size, 9, 2026);
+    let fw = Framework::new(hetero_high()).with_io_bytes(kernel.input_bytes(), 0);
+    let class = fw.classify(&kernel).unwrap();
+    println!(
+        "pattern: {} (case 2) / transfers: {:?} → pinned memory",
+        class.raw_pattern, class.transfer
+    );
+
+    let solution = fw.solve(&kernel).unwrap();
+    let best = kernel.best_cost_from(&to_grid(&solution.grid, size));
+    println!(
+        "cheapest path cost on a {size}x{size} board: {best} \
+         ({:.3} ms virtual, t_share = {})",
+        solution.total_s * 1e3,
+        solution.params.t_share
+    );
+
+    // Reconstruct and display the path head on small boards.
+    let path = kernel.traceback(&to_grid(&solution.grid, size));
+    let preview: Vec<String> = path.iter().take(12).map(|j| j.to_string()).collect();
+    println!("path columns (first rows): {} ...", preview.join(" → "));
+    let path_cost: u32 = path
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| kernel.cost(i, j))
+        .sum();
+    assert_eq!(path_cost, best, "traceback must realize the optimal cost");
+
+    for platform in [hetero_high(), hetero_low()] {
+        let fw = Framework::new(platform.clone()).with_io_bytes(kernel.input_bytes(), 0);
+        let cpu = fw.cpu_baseline(&kernel).unwrap();
+        let gpu = fw.gpu_baseline(&kernel).unwrap();
+        let tuned = fw.tune(&kernel).unwrap();
+        let het = fw.estimate(&kernel, tuned.params).unwrap();
+        println!(
+            "{:<12} CPU {:>9.3} ms | GPU {:>9.3} ms | Framework {:>9.3} ms (t_share {})",
+            platform.name,
+            cpu * 1e3,
+            gpu * 1e3,
+            het * 1e3,
+            tuned.params.t_share
+        );
+    }
+    let _ = kernel.dims();
+}
+
+/// The solution grid is already row-major in user coordinates; rewrap it
+/// for the kernel's grid-based helpers.
+fn to_grid(grid: &Grid<u32>, size: usize) -> Grid<u32> {
+    let mut g = Grid::new(LayoutKind::RowMajor, lddp::core::Dims::new(size, size));
+    for i in 0..size {
+        for j in 0..size {
+            g.set(i, j, grid.get(i, j));
+        }
+    }
+    g
+}

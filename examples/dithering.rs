@@ -1,0 +1,97 @@
+//! Floyd–Steinberg dithering on the framework (§VI-B, knight-move
+//! pattern): dithers a synthetic grayscale image heterogeneously, writes
+//! before/after PGM files, and prints the Fig 12 comparison.
+//!
+//! ```sh
+//! cargo run --release --example dithering [size] [outdir]
+//! ```
+
+use lddp::core::kernel::Kernel;
+use lddp::platforms::{hetero_high, hetero_low};
+use lddp::problems::dithering::{write_pgm, DitherKernel};
+use lddp::Framework;
+use std::path::PathBuf;
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let outdir: PathBuf = std::env::args()
+        .nth(2)
+        .map(Into::into)
+        .unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&outdir).expect("create output dir");
+
+    // A radial-gradient-with-noise test image: enough structure to see
+    // the dithering pattern, fully synthetic.
+    let kernel = {
+        let mut image = Vec::with_capacity(size * size);
+        for i in 0..size {
+            for j in 0..size {
+                let di = i as f64 / size as f64 - 0.5;
+                let dj = j as f64 / size as f64 - 0.5;
+                let r = (di * di + dj * dj).sqrt() * 2.0;
+                image.push((255.0 * (1.0 - r).clamp(0.0, 1.0)) as u8);
+            }
+        }
+        DitherKernel::new(size, size, image)
+    };
+
+    // Write the input.
+    let input: Vec<u8> = (0..size)
+        .flat_map(|i| (0..size).map(move |j| (i, j)))
+        .map(|(i, j)| kernel.input(i, j) as u8)
+        .collect();
+    write_pgm(&outdir.join("dither_input.pgm"), size, size, &input).unwrap();
+
+    // Solve heterogeneously (two-way pinned transfers, Table II).
+    let fw =
+        Framework::new(hetero_high()).with_io_bytes(kernel.input_bytes(), kernel.input_bytes());
+    let class = fw.classify(&kernel).unwrap();
+    println!(
+        "pattern: {} / transfers: {:?}",
+        class.raw_pattern, class.transfer
+    );
+    let solution = fw.solve(&kernel).unwrap();
+
+    let mut out = Vec::with_capacity(size * size);
+    for i in 0..size {
+        for j in 0..size {
+            out.push(solution.grid.get(i, j).out);
+        }
+    }
+    write_pgm(&outdir.join("dither_output.pgm"), size, size, &out).unwrap();
+    println!(
+        "dithered {size}x{size} image in {:.3} ms virtual time (t_switch={}, t_share={})",
+        solution.total_s * 1e3,
+        solution.params.t_switch,
+        solution.params.t_share
+    );
+    println!(
+        "wrote {}/dither_input.pgm and dither_output.pgm",
+        outdir.display()
+    );
+
+    // Fig 12 flavour: who wins at this size on each platform?
+    for platform in [hetero_high(), hetero_low()] {
+        let fw = Framework::new(platform.clone())
+            .with_io_bytes(kernel.input_bytes(), kernel.input_bytes());
+        let cpu = fw.cpu_baseline(&kernel).unwrap();
+        let gpu = fw.gpu_baseline(&kernel).unwrap();
+        let het = fw.estimate(&kernel, solution.params).unwrap();
+        println!(
+            "{:<12} CPU {:>9.3} ms | GPU {:>9.3} ms | Framework {:>9.3} ms",
+            platform.name,
+            cpu * 1e3,
+            gpu * 1e3,
+            het * 1e3
+        );
+    }
+
+    // Sanity: mean intensity is preserved by error diffusion.
+    let mean_in: f64 = input.iter().map(|&p| p as f64).sum::<f64>() / input.len() as f64;
+    let mean_out: f64 = out.iter().map(|&p| p as f64).sum::<f64>() / out.len() as f64;
+    println!("mean intensity: input {mean_in:.2}, dithered {mean_out:.2}");
+    let _ = kernel.dims();
+}

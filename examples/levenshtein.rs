@@ -1,0 +1,71 @@
+//! Levenshtein distance on the heterogeneous framework (the paper's
+//! §VI-A case study): compares CPU-parallel, GPU and Framework virtual
+//! times across sizes on both platforms, then cross-checks the answer
+//! against the independent reference and the real thread engine.
+//!
+//! ```sh
+//! cargo run --release --example levenshtein [max_n]
+//! ```
+
+use lddp::parallel::ParallelEngine;
+use lddp::platforms::{hetero_high, hetero_low};
+use lddp::problems::levenshtein::{distance, LevenshteinKernel};
+use lddp::Framework;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_dna(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+}
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+
+    // Correctness first: a moderate instance through every engine.
+    let a = random_dna(600, 1);
+    let b = random_dna(700, 2);
+    let kernel = LevenshteinKernel::new(a.clone(), b.clone());
+    let expected = distance(&a, &b);
+    let fw = Framework::new(hetero_high());
+    let solution = fw.solve(&kernel).unwrap();
+    let d = lddp::core::kernel::Kernel::dims(&kernel);
+    assert_eq!(solution.grid.get(d.rows - 1, d.cols - 1), expected);
+    let par = ParallelEngine::host().solve(&kernel).unwrap();
+    assert_eq!(kernel.distance_from(&par), expected);
+    println!("edit distance of 600x700 random DNA: {expected} (all engines agree)\n");
+
+    // The Fig 10 sweep.
+    for platform in [hetero_high(), hetero_low()] {
+        println!("== {} (virtual times, ms)", platform.name);
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>10} {:>9}",
+            "n", "CPU", "GPU", "Framework", "t_switch", "t_share"
+        );
+        let mut n = 512;
+        while n <= max_n {
+            let a = random_dna(n, 3);
+            let b = random_dna(n, 4);
+            let kernel = LevenshteinKernel::new(a, b);
+            let fw = Framework::new(platform.clone());
+            let cpu = fw.cpu_baseline(&kernel).unwrap();
+            let gpu = fw.gpu_baseline(&kernel).unwrap();
+            let tuned = fw.tune(&kernel).unwrap();
+            let het = fw.estimate(&kernel, tuned.params).unwrap();
+            println!(
+                "{:>8} {:>12.3} {:>12.3} {:>12.3} {:>10} {:>9}",
+                n,
+                cpu * 1e3,
+                gpu * 1e3,
+                het * 1e3,
+                tuned.params.t_switch,
+                tuned.params.t_share
+            );
+            n *= 2;
+        }
+        println!();
+    }
+}

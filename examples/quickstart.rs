@@ -1,0 +1,78 @@
+//! Quickstart: define an LDDP-Plus update function, let the framework
+//! classify, tune and execute it heterogeneously.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lddp::core::kernel::{ClosureKernel, Neighbors};
+use lddp::core::{ContributingSet, Dims, RepCell};
+use lddp::platforms::hetero_high;
+use lddp::Framework;
+
+fn main() {
+    // The paper's §V-C contract: the user supplies only (1) the function
+    // f over the representative cells and (2) the initialization — here
+    // the `None` branches. This is the Fig 9 benchmark function
+    // f(i,j) = min(f(i-1,j-1), f(i-1,j)) + c.
+    let dims = Dims::new(1024, 1024);
+    let set = ContributingSet::new(&[RepCell::Nw, RepCell::N]);
+    let kernel = ClosureKernel::new(dims, set, |i, j, n: &Neighbors<u32>| {
+        match (n.nw, n.n) {
+            (Some(a), Some(b)) => a.min(b) + 1,
+            (Some(a), None) => a + 1,
+            (None, Some(b)) => b + 1,
+            // Row 0 initialization.
+            (None, None) => ((i * 31 + j * 7) % 64) as u32,
+        }
+    })
+    .with_name("quickstart-min");
+
+    let fw = Framework::new(hetero_high());
+
+    // 1. Classification (Table I).
+    let class = fw.classify(&kernel).unwrap();
+    println!("contributing set : {}", kernel_set(&kernel));
+    println!("pattern          : {}", class.raw_pattern);
+    println!(
+        "executed as      : {} ({:?} adapter)",
+        class.exec_pattern, class.adapter
+    );
+    println!("layout           : {:?}", class.layout);
+    println!("transfers        : {:?} (Table II)", class.transfer);
+
+    // 2. Empirical tuning (§V-A) + heterogeneous execution.
+    let solution = fw.solve(&kernel).unwrap();
+    println!(
+        "tuned params     : t_switch = {}, t_share = {}",
+        solution.params.t_switch, solution.params.t_share
+    );
+    println!(
+        "virtual time     : {:.3} ms on {}",
+        solution.total_s * 1e3,
+        fw.platform().name
+    );
+    println!(
+        "work split       : {:.1}% CPU busy, {:.1}% GPU busy, {} B boundary traffic",
+        1e2 * solution.breakdown.cpu_busy_s / solution.total_s,
+        1e2 * solution.breakdown.gpu_busy_s / solution.total_s,
+        solution.breakdown.bytes_to_gpu + solution.breakdown.bytes_to_cpu,
+    );
+
+    // 3. Compare with the pure baselines the paper plots.
+    let cpu = fw.cpu_baseline(&kernel).unwrap();
+    let gpu = fw.gpu_baseline(&kernel).unwrap();
+    println!("CPU parallel     : {:.3} ms", cpu * 1e3);
+    println!("GPU              : {:.3} ms", gpu * 1e3);
+    println!("Framework        : {:.3} ms", solution.total_s * 1e3);
+
+    // 4. The answer itself (bottom-right corner).
+    println!(
+        "table corner     : {}",
+        solution.grid.get(dims.rows - 1, dims.cols - 1)
+    );
+}
+
+fn kernel_set<K: lddp::core::kernel::Kernel>(k: &K) -> String {
+    format!("{}", k.contributing_set())
+}

@@ -1,0 +1,72 @@
+//! Visualizes a heterogeneous execution: the three phases of an
+//! anti-diagonal schedule show up directly in the CPU/GPU occupancy
+//! strip (CPU-only ramp, shared middle, CPU-only tail).
+//!
+//! ```sh
+//! cargo run --release --example timeline [n]
+//! ```
+
+use hetero_sim::exec::{run_hetero, ExecOptions};
+use hetero_sim::platform::hetero_high;
+use hetero_sim::report::{occupancy_strip, summarize};
+use lddp::core::kernel::Kernel;
+use lddp::core::pattern::Pattern;
+use lddp::core::schedule::Plan;
+use lddp::platforms;
+use lddp::problems::LevenshteinKernel;
+use lddp::Framework;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048);
+    let mut rng = StdRng::seed_from_u64(42);
+    let a: Vec<u8> = (0..n).map(|_| rng.gen_range(b'a'..=b'd')).collect();
+    let b: Vec<u8> = (0..n).map(|_| rng.gen_range(b'a'..=b'd')).collect();
+    let kernel = LevenshteinKernel::new(a, b);
+
+    // Tune, then re-run with the timeline recorder on.
+    let fw = Framework::new(platforms::hetero_high());
+    let tuned = fw.tune(&kernel).expect("tune");
+    let plan = Plan::new(
+        Pattern::AntiDiagonal,
+        kernel.contributing_set(),
+        kernel.dims(),
+        tuned.params,
+    )
+    .expect("plan");
+    let opts = ExecOptions {
+        record_timeline: true,
+        ..Default::default()
+    };
+    let report = run_hetero(&kernel, &plan, &hetero_high(), &opts).expect("run");
+
+    println!(
+        "Levenshtein {n}x{n}, anti-diagonal schedule, t_switch={} t_share={}\n",
+        tuned.params.t_switch, tuned.params.t_share
+    );
+    println!("{}", summarize(&report.breakdown, report.total_s));
+    println!();
+    println!("occupancy over wall time (3-phase structure of Fig 3):");
+    print!("{}", occupancy_strip(&report.timeline, 72));
+    println!();
+
+    // Phase statistics from the plan itself.
+    for span in plan.phases() {
+        let cells: usize = span
+            .waves
+            .clone()
+            .map(|w| {
+                let a = plan.assignment(w);
+                a.cpu_len() + a.gpu_len()
+            })
+            .sum();
+        println!(
+            "  {:?}: waves {:>6}..{:<6} ({} cells)",
+            span.kind, span.waves.start, span.waves.end, cells
+        );
+    }
+}

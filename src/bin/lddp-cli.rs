@@ -1,0 +1,12 @@
+//! Thin binary wrapper around [`lddp::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lddp::cli::parse(&args).and_then(lddp::cli::execute) {
+        Ok(out) => println!("{out}"),
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", lddp::cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! Command-line interface logic for the `lddp-cli` binary.
+//!
+//! Hand-rolled argument parsing (no external dependencies) kept in a
+//! library module so it is unit-testable. Commands:
+//!
+//! ```text
+//! lddp-cli classify --set W,NW,N
+//! lddp-cli solve   --problem levenshtein --n 1024 [--platform high|low]
+//!                  [--t-switch X --t-share Y]
+//! lddp-cli tune    --problem lcs --n 2048 [--refined]
+//! lddp-cli compare --problem checkerboard --n 4096
+//! ```
+
+use crate::platforms::{hetero_high, hetero_low, Platform};
+use crate::Framework;
+use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::kernel::Kernel;
+use lddp_core::pattern::classify;
+use lddp_core::schedule::ScheduleParams;
+use lddp_problems as problems;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Classify a contributing set.
+    Classify {
+        /// The set to classify.
+        set: ContributingSet,
+    },
+    /// Solve a named problem instance.
+    Solve {
+        /// Problem name.
+        problem: String,
+        /// Instance size (table side).
+        n: usize,
+        /// Platform preset name.
+        platform: String,
+        /// Optional explicit parameters (otherwise tuned).
+        params: Option<ScheduleParams>,
+    },
+    /// Tune a named problem instance.
+    Tune {
+        /// Problem name.
+        problem: String,
+        /// Instance size.
+        n: usize,
+        /// Platform preset name.
+        platform: String,
+        /// Use the ternary-search tuner.
+        refined: bool,
+    },
+    /// Solve with one-pass dynamic load balancing.
+    Balance {
+        /// Problem name.
+        problem: String,
+        /// Instance size.
+        n: usize,
+        /// Platform preset name.
+        platform: String,
+        /// CPU-only ramp length for ramp-shaped patterns.
+        t_switch: usize,
+    },
+    /// Print CPU/GPU/Framework times for a problem instance.
+    Compare {
+        /// Problem name.
+        problem: String,
+        /// Instance size.
+        n: usize,
+        /// Platform preset name.
+        platform: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Problems the CLI knows how to build.
+pub const PROBLEMS: &[&str] = &[
+    "levenshtein",
+    "lcs",
+    "dtw",
+    "checkerboard",
+    "dithering",
+    "seam",
+    "maxsquare",
+    "needleman-wunsch",
+    "smith-waterman",
+    "fig9",
+];
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    let mut set = None;
+    let mut problem = None;
+    let mut n = None;
+    let mut platform = "high".to_string();
+    let mut t_switch = None;
+    let mut t_share = None;
+    let mut refined = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--set" => {
+                let v = it.next().ok_or("--set needs a value like W,NW,N")?;
+                set = Some(parse_set(v)?);
+            }
+            "--problem" => {
+                let v = it.next().ok_or("--problem needs a name")?;
+                if !PROBLEMS.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown problem '{v}'; expected one of {}",
+                        PROBLEMS.join(", ")
+                    ));
+                }
+                problem = Some(v.clone());
+            }
+            "--n" => {
+                let v = it.next().ok_or("--n needs a number")?;
+                n = Some(v.parse::<usize>().map_err(|e| format!("--n: {e}"))?);
+            }
+            "--platform" => {
+                let v = it.next().ok_or("--platform needs high|low")?;
+                if v != "high" && v != "low" {
+                    return Err(format!("unknown platform '{v}'; expected high or low"));
+                }
+                platform = v.clone();
+            }
+            "--t-switch" => {
+                let v = it.next().ok_or("--t-switch needs a number")?;
+                t_switch = Some(v.parse::<usize>().map_err(|e| format!("--t-switch: {e}"))?);
+            }
+            "--t-share" => {
+                let v = it.next().ok_or("--t-share needs a number")?;
+                t_share = Some(v.parse::<usize>().map_err(|e| format!("--t-share: {e}"))?);
+            }
+            "--refined" => refined = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    match cmd {
+        "classify" => Ok(Command::Classify {
+            set: set.ok_or("classify requires --set")?,
+        }),
+        "solve" => {
+            let params = match (t_switch, t_share) {
+                (None, None) => None,
+                (sw, sh) => Some(ScheduleParams::new(sw.unwrap_or(0), sh.unwrap_or(0))),
+            };
+            Ok(Command::Solve {
+                problem: problem.ok_or("solve requires --problem")?,
+                n: n.unwrap_or(1024),
+                platform,
+                params,
+            })
+        }
+        "balance" => Ok(Command::Balance {
+            problem: problem.ok_or("balance requires --problem")?,
+            n: n.unwrap_or(1024),
+            platform,
+            t_switch: t_switch.unwrap_or(0),
+        }),
+        "tune" => Ok(Command::Tune {
+            problem: problem.ok_or("tune requires --problem")?,
+            n: n.unwrap_or(1024),
+            platform,
+            refined,
+        }),
+        "compare" => Ok(Command::Compare {
+            problem: problem.ok_or("compare requires --problem")?,
+            n: n.unwrap_or(1024),
+            platform,
+        }),
+        other => Err(format!("unknown command '{other}'; try help")),
+    }
+}
+
+/// Parses "W,NW,N" style contributing sets (case-insensitive).
+pub fn parse_set(text: &str) -> Result<ContributingSet, String> {
+    let mut set = ContributingSet::EMPTY;
+    for part in text.split(',') {
+        let cell = match part.trim().to_ascii_uppercase().as_str() {
+            "W" => RepCell::W,
+            "NW" => RepCell::Nw,
+            "N" => RepCell::N,
+            "NE" => RepCell::Ne,
+            other => return Err(format!("unknown representative cell '{other}'")),
+        };
+        set = set.with(cell);
+    }
+    if set.is_empty() {
+        return Err("contributing set must not be empty".into());
+    }
+    Ok(set)
+}
+
+fn platform_by_name(name: &str) -> Platform {
+    if name == "low" {
+        hetero_low()
+    } else {
+        hetero_high()
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    format!(
+        "lddp-cli — heterogeneous LDDP framework driver\n\
+         \n\
+         USAGE:\n\
+         \x20 lddp-cli classify --set W,NW,N\n\
+         \x20 lddp-cli solve   --problem <name> [--n N] [--platform high|low]\n\
+         \x20                  [--t-switch X] [--t-share Y]\n\
+         \x20 lddp-cli tune    --problem <name> [--n N] [--platform high|low] [--refined]\n\
+         \x20 lddp-cli balance --problem <name> [--n N] [--platform high|low] [--t-switch X]\n\
+         \x20 lddp-cli compare --problem <name> [--n N] [--platform high|low]\n\
+         \n\
+         PROBLEMS: {}\n",
+        PROBLEMS.join(", ")
+    )
+}
+
+/// A uniform summary of one run, ready to print.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Problem name.
+    pub problem: String,
+    /// Instance description.
+    pub instance: String,
+    /// Classified / executed patterns.
+    pub patterns: String,
+    /// Parameters used.
+    pub params: ScheduleParams,
+    /// Virtual time, ms.
+    pub hetero_ms: f64,
+    /// Headline answer (problem-specific).
+    pub answer: String,
+}
+
+impl RunSummary {
+    /// Renders the summary block.
+    pub fn render(&self) -> String {
+        format!(
+            "problem   : {}\ninstance  : {}\npattern   : {}\nparams    : t_switch={} t_share={}\n\
+             time      : {:.3} ms (virtual)\nanswer    : {}",
+            self.problem,
+            self.instance,
+            self.patterns,
+            self.params.t_switch,
+            self.params.t_share,
+            self.hetero_ms,
+            self.answer
+        )
+    }
+}
+
+/// Builds and solves the named problem, returning the summary.
+pub fn run_solve(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    params: Option<ScheduleParams>,
+) -> Result<RunSummary, String> {
+    let platform = platform_by_name(platform_name);
+    macro_rules! go {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let fw = Framework::new(platform.clone()).with_io_bytes($io.0, $io.1);
+            let params = match params {
+                Some(p) => p,
+                None => fw.tune(&kernel).map_err(|e| e.to_string())?.params,
+            };
+            let solution = fw.solve_with(&kernel, params).map_err(|e| e.to_string())?;
+            let class = &solution.classification;
+            Ok(RunSummary {
+                problem: problem.to_string(),
+                instance: format!("{n} x {n} on {}", platform.name),
+                patterns: format!("{} → executed as {}", class.raw_pattern, class.exec_pattern),
+                params: solution.params,
+                hetero_ms: solution.total_s * 1e3,
+                answer: $answer(&kernel, &solution),
+            })
+        }};
+    }
+    let seq = |seed: u64| crate::workloads::random_seq(n, 4, seed);
+    match problem {
+        "levenshtein" => go!(
+            problems::LevenshteinKernel::new(seq(1), seq(2)),
+            (2 * n, 8),
+            |k: &problems::LevenshteinKernel, s: &crate::Solution<u32>| {
+                let d = k.dims();
+                format!("edit distance = {}", s.grid.get(d.rows - 1, d.cols - 1))
+            }
+        ),
+        "lcs" => go!(
+            problems::LcsKernel::new(seq(3), seq(4)),
+            (2 * n, 8),
+            |k: &problems::LcsKernel, s: &crate::Solution<u32>| {
+                let d = k.dims();
+                format!("LCS length = {}", s.grid.get(d.rows - 1, d.cols - 1))
+            }
+        ),
+        "dtw" => go!(
+            problems::DtwKernel::random_walk(n, n, 5),
+            (8 * n, 8),
+            |_k: &problems::DtwKernel, s: &crate::Solution<f32>| {
+                format!("DTW distance = {:.3}", s.grid.get(n - 1, n - 1))
+            }
+        ),
+        "checkerboard" => go!(
+            problems::CheckerboardKernel::random(n, n, 9, 6),
+            (n * n, 0),
+            |_k: &problems::CheckerboardKernel, s: &crate::Solution<u32>| {
+                let best = (0..n).map(|j| s.grid.get(n - 1, j)).min().unwrap();
+                format!("cheapest path cost = {best}")
+            }
+        ),
+        "dithering" => go!(
+            problems::DitherKernel::noise(n, n, 7),
+            (n * n, n * n),
+            |_k: &problems::DitherKernel, s: &crate::Solution<problems::DitherCell>| {
+                let on = (0..n)
+                    .flat_map(|i| (0..n).map(move |j| (i, j)))
+                    .filter(|&(i, j)| s.grid.get(i, j).out == 255)
+                    .count();
+                format!("{on} of {} pixels on", n * n)
+            }
+        ),
+        "seam" => go!(
+            problems::SeamCarvingKernel::new(
+                n,
+                n,
+                (0..n * n)
+                    .map(|x| ((x as u64).wrapping_mul(2654435761) >> 7) as u32 % 64)
+                    .collect(),
+            ),
+            (4 * n * n, 0),
+            |_k: &problems::SeamCarvingKernel, s: &crate::Solution<u64>| {
+                let best = (0..n).map(|j| s.grid.get(n - 1, j)).min().unwrap();
+                format!("minimal seam energy = {best}")
+            }
+        ),
+        "maxsquare" => go!(
+            problems::MaxSquareKernel::random(n, n, 0.8, 8),
+            (n * n / 8, 8),
+            |_k: &problems::MaxSquareKernel, s: &crate::Solution<u32>| {
+                let mut best = 0;
+                for i in 0..n {
+                    for j in 0..n {
+                        best = best.max(s.grid.get(i, j));
+                    }
+                }
+                format!("largest all-ones square side = {best}")
+            }
+        ),
+        "needleman-wunsch" => go!(
+            problems::NeedlemanWunschKernel::new(seq(9), seq(10)),
+            (2 * n, 8),
+            |k: &problems::NeedlemanWunschKernel, s: &crate::Solution<i32>| {
+                let d = k.dims();
+                format!(
+                    "global alignment score = {}",
+                    s.grid.get(d.rows - 1, d.cols - 1)
+                )
+            }
+        ),
+        "smith-waterman" => go!(
+            problems::SmithWatermanKernel::new(seq(11), seq(12)),
+            (2 * n, 8),
+            |k: &problems::SmithWatermanKernel, s: &crate::Solution<problems::SwCell>| {
+                let d = k.dims();
+                let mut best = 0;
+                for i in 0..d.rows {
+                    for j in 0..d.cols {
+                        best = best.max(s.grid.get(i, j).best());
+                    }
+                }
+                format!("best local alignment score = {best}")
+            }
+        ),
+        "fig9" => go!(
+            problems::synthetic::fig9_kernel(lddp_core::wavefront::Dims::new(n, n), 1),
+            (0, 0),
+            |_k: &_, s: &crate::Solution<u32>| {
+                format!("corner value = {}", s.grid.get(n - 1, n - 1))
+            }
+        ),
+        other => Err(format!("unknown problem '{other}'")),
+    }
+}
+
+/// Runs `classify` and renders the result.
+pub fn run_classify(set: ContributingSet) -> Result<String, String> {
+    let raw = classify(set).ok_or("empty contributing set")?;
+    let class = lddp_core::framework::choose_execution(set).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "contributing set : {set}\npattern          : {raw}\nexecuted as      : {} \
+         (adapter: {:?})\nlayout           : {:?}\ntransfers        : {:?}",
+        class.exec_pattern, class.adapter, class.layout, class.transfer
+    ))
+}
+
+/// Runs `tune` and renders both curves.
+pub fn run_tune(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    refined: bool,
+) -> Result<String, String> {
+    // Tuning happens inside run_solve when params are None; for the tune
+    // command we want the curves, so special-case the two string
+    // problems that dominate usage and fall back to fig9 otherwise.
+    let platform = platform_by_name(platform_name);
+    let fw = Framework::new(platform);
+    macro_rules! tune_of {
+        ($k:expr) => {{
+            let kernel = $k;
+            let result = if refined {
+                fw.tune_refined(&kernel).map_err(|e| e.to_string())?
+            } else {
+                fw.tune(&kernel).map_err(|e| e.to_string())?
+            };
+            let mut out = format!(
+                "tuned params: t_switch={} t_share={}\n\nt_switch sweep (t_share=0):\n",
+                result.params.t_switch, result.params.t_share
+            );
+            for p in &result.t_switch_curve {
+                out.push_str(&format!("  {:>8}  {:>10.3} ms\n", p.value, p.time * 1e3));
+            }
+            out.push_str("\nt_share sweep:\n");
+            for p in &result.t_share_curve {
+                out.push_str(&format!("  {:>8}  {:>10.3} ms\n", p.value, p.time * 1e3));
+            }
+            Ok(out)
+        }};
+    }
+    let seq = |seed: u64| crate::workloads::random_seq(n, 4, seed);
+    match problem {
+        "levenshtein" => tune_of!(problems::LevenshteinKernel::new(seq(1), seq(2))),
+        "lcs" => tune_of!(problems::LcsKernel::new(seq(3), seq(4))),
+        "checkerboard" => tune_of!(problems::CheckerboardKernel::random(n, n, 9, 6)),
+        "dithering" => tune_of!(problems::DitherKernel::noise(n, n, 7)),
+        _ => tune_of!(problems::synthetic::fig9_kernel(
+            lddp_core::wavefront::Dims::new(n, n),
+            1
+        )),
+    }
+}
+
+/// Runs `balance`: dynamic load balancing vs the tuned static plan.
+pub fn run_balance(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    t_switch: usize,
+) -> Result<String, String> {
+    let platform = platform_by_name(platform_name);
+    macro_rules! balance_of {
+        ($k:expr) => {{
+            let kernel = $k;
+            let fw = Framework::new(platform.clone());
+            let tuned = fw.tune(&kernel).map_err(|e| e.to_string())?;
+            let static_s = fw
+                .estimate(&kernel, tuned.params)
+                .map_err(|e| e.to_string())?;
+            let balanced = fw
+                .solve_balanced(&kernel, t_switch)
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{problem} {n}x{n} on {}\n  tuned static : {:>10.3} ms (t_switch={} t_share={})\n  balanced     : {:>10.3} ms (t_switch={} avg band={})",
+                platform.name,
+                static_s * 1e3,
+                tuned.params.t_switch,
+                tuned.params.t_share,
+                balanced.total_s * 1e3,
+                balanced.params.t_switch,
+                balanced.params.t_share,
+            ))
+        }};
+    }
+    let seq = |seed: u64| crate::workloads::random_seq(n, 4, seed);
+    match problem {
+        "levenshtein" => balance_of!(problems::LevenshteinKernel::new(seq(1), seq(2))),
+        "lcs" => balance_of!(problems::LcsKernel::new(seq(3), seq(4))),
+        "checkerboard" => balance_of!(problems::CheckerboardKernel::random(n, n, 9, 6)),
+        "dithering" => balance_of!(problems::DitherKernel::noise(n, n, 7)),
+        _ => balance_of!(problems::synthetic::fig9_kernel(
+            lddp_core::wavefront::Dims::new(n, n),
+            1
+        )),
+    }
+}
+
+/// Runs `compare` and renders the CPU/GPU/Framework triple.
+pub fn run_compare(problem: &str, n: usize, platform_name: &str) -> Result<String, String> {
+    let platform = platform_by_name(platform_name);
+    macro_rules! compare_of {
+        ($k:expr, $io:expr) => {{
+            let kernel = $k;
+            let fw = Framework::new(platform.clone()).with_io_bytes($io.0, $io.1);
+            let cpu = fw.cpu_baseline(&kernel).map_err(|e| e.to_string())?;
+            let gpu = fw.gpu_baseline(&kernel).map_err(|e| e.to_string())?;
+            let tuned = fw.tune(&kernel).map_err(|e| e.to_string())?;
+            let het = fw.estimate(&kernel, tuned.params).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{problem} {n}x{n} on {}\n  CPU parallel : {:>10.3} ms\n  GPU          : {:>10.3} ms\n  Framework    : {:>10.3} ms  (t_switch={} t_share={})",
+                platform.name,
+                cpu * 1e3,
+                gpu * 1e3,
+                het * 1e3,
+                tuned.params.t_switch,
+                tuned.params.t_share
+            ))
+        }};
+    }
+    let seq = |seed: u64| crate::workloads::random_seq(n, 4, seed);
+    match problem {
+        "levenshtein" => compare_of!(problems::LevenshteinKernel::new(seq(1), seq(2)), (2 * n, 8)),
+        "lcs" => compare_of!(problems::LcsKernel::new(seq(3), seq(4)), (2 * n, 8)),
+        "checkerboard" => compare_of!(problems::CheckerboardKernel::random(n, n, 9, 6), (n * n, 0)),
+        "dithering" => compare_of!(problems::DitherKernel::noise(n, n, 7), (n * n, n * n)),
+        _ => compare_of!(
+            problems::synthetic::fig9_kernel(lddp_core::wavefront::Dims::new(n, n), 1),
+            (0, 0)
+        ),
+    }
+}
+
+/// Executes a parsed command, returning the output text.
+pub fn execute(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(usage()),
+        Command::Classify { set } => run_classify(set),
+        Command::Solve {
+            problem,
+            n,
+            platform,
+            params,
+        } => run_solve(&problem, n, &platform, params).map(|s| s.render()),
+        Command::Tune {
+            problem,
+            n,
+            platform,
+            refined,
+        } => run_tune(&problem, n, &platform, refined),
+        Command::Balance {
+            problem,
+            n,
+            platform,
+            t_switch,
+        } => run_balance(&problem, n, &platform, t_switch),
+        Command::Compare {
+            problem,
+            n,
+            platform,
+        } => run_compare(&problem, n, &platform),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_classify() {
+        let cmd = parse(&argv("classify --set W,NW,N")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Classify {
+                set: ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N])
+            }
+        );
+    }
+
+    #[test]
+    fn parse_solve_with_params() {
+        let cmd = parse(&argv(
+            "solve --problem levenshtein --n 256 --platform low --t-switch 8 --t-share 16",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                problem: "levenshtein".into(),
+                n: 256,
+                platform: "low".into(),
+                params: Some(ScheduleParams::new(8, 16)),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&argv("solve --problem nonsense")).is_err());
+        assert!(parse(&argv("solve")).is_err());
+        assert!(parse(&argv("classify")).is_err());
+        assert!(parse(&argv("classify --set X")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("solve --problem lcs --platform mid")).is_err());
+        assert!(parse(&argv("solve --problem lcs --n NaN")).is_err());
+    }
+
+    #[test]
+    fn parse_help_variants() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_set_variants() {
+        assert_eq!(
+            parse_set("w,ne").unwrap(),
+            ContributingSet::new(&[RepCell::W, RepCell::Ne])
+        );
+        assert!(parse_set("").is_err());
+        assert!(parse_set("Q").is_err());
+    }
+
+    #[test]
+    fn classify_renders_all_fields() {
+        let out = run_classify(ContributingSet::new(&[RepCell::Nw])).unwrap();
+        assert!(out.contains("Inverted-L"));
+        assert!(out.contains("executed as"));
+        assert!(out.contains("Horizontal"));
+    }
+
+    #[test]
+    fn solve_small_instances_of_every_problem() {
+        for problem in PROBLEMS {
+            let summary =
+                run_solve(problem, 48, "high", None).unwrap_or_else(|e| panic!("{problem}: {e}"));
+            assert!(summary.hetero_ms > 0.0, "{problem}");
+            assert!(!summary.answer.is_empty(), "{problem}");
+        }
+    }
+
+    #[test]
+    fn compare_and_tune_render() {
+        let out = run_compare("lcs", 64, "low").unwrap();
+        assert!(out.contains("CPU parallel"));
+        assert!(out.contains("Framework"));
+        let out = run_tune("lcs", 64, "high", false).unwrap();
+        assert!(out.contains("t_switch sweep"));
+        let out = run_tune("lcs", 64, "high", true).unwrap();
+        assert!(out.contains("tuned params"));
+    }
+
+    #[test]
+    fn balance_command_parses_and_runs() {
+        let cmd = parse(&argv("balance --problem lcs --n 64 --t-switch 4")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Balance {
+                problem: "lcs".into(),
+                n: 64,
+                platform: "high".into(),
+                t_switch: 4,
+            }
+        );
+        let out = run_balance("lcs", 64, "high", 4).unwrap();
+        assert!(out.contains("balanced"));
+        assert!(out.contains("tuned static"));
+    }
+
+    #[test]
+    fn execute_dispatches() {
+        let out = execute(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+        let out = execute(parse(&argv("classify --set NE")).unwrap()).unwrap();
+        assert!(out.contains("mInverted-L"));
+    }
+}

@@ -1,0 +1,361 @@
+//! # lddp
+//!
+//! Umbrella crate for the LDDP heterogeneous-framework reproduction
+//! (Kumar & Kothapalli, *"A Novel Heterogeneous Framework for Local
+//! Dependency Dynamic Programming Problems"*, 2015).
+//!
+//! The [`Framework`] type is the paper's §V-C contract: hand it a
+//! [`Kernel`] (the function `f` plus initialization) and it classifies
+//! the dependence pattern (Table I), picks a coalescing-friendly layout
+//! (§IV-B), applies a symmetry adapter if needed, tunes `t_switch` /
+//! `t_share` empirically (§V-A), and executes heterogeneously on a
+//! modelled CPU+GPU platform with pipelined or pinned boundary transfers
+//! (§IV-C, Table II).
+//!
+//! ```
+//! use lddp::{Framework, platforms};
+//! use lddp::problems::LevenshteinKernel;
+//!
+//! let kernel = LevenshteinKernel::new(*b"kitten", *b"sitting");
+//! let fw = Framework::new(platforms::hetero_high());
+//! let solution = fw.solve(&kernel).unwrap();
+//! assert_eq!(solution.grid.get(6, 7), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod workloads;
+
+pub use hetero_sim;
+pub use lddp_core as core;
+pub use lddp_parallel as parallel;
+pub use lddp_problems as problems;
+
+/// Platform presets re-exported for convenience.
+pub mod platforms {
+    pub use hetero_sim::platform::{hetero_high, hetero_low, xeon_phi_like, Platform};
+}
+
+use hetero_sim::exec::{run_cpu_as, run_gpu_as, run_hetero, Breakdown, ExecOptions};
+use hetero_sim::platform::Platform;
+use lddp_core::framework::{choose_execution, Adapter, Classification, TransposedKernel};
+use lddp_core::grid::{Grid, LayoutKind};
+use lddp_core::kernel::Kernel;
+use lddp_core::pattern::ProfileShape;
+use lddp_core::schedule::{Plan, ScheduleParams};
+use lddp_core::tuner::{self, TuneResult};
+use lddp_core::wavefront::Dims;
+use lddp_core::Result;
+
+/// Outcome of a heterogeneous solve: the filled table (in the caller's
+/// orientation), the virtual-time cost, and the decisions taken.
+#[derive(Debug, Clone)]
+pub struct Solution<T> {
+    /// The DP table, row-major, in the original kernel's coordinates.
+    pub grid: Grid<T>,
+    /// End-to-end virtual time on the platform, seconds.
+    pub total_s: f64,
+    /// Cost breakdown (busy times, traffic).
+    pub breakdown: Breakdown,
+    /// The framework's classification and execution choice.
+    pub classification: Classification,
+    /// The schedule parameters used.
+    pub params: ScheduleParams,
+}
+
+/// High-level driver: classify → adapt → (tune) → execute.
+#[derive(Debug, Clone)]
+pub struct Framework {
+    platform: Platform,
+    /// Asynchronous-stream pipelining for one-way transfers (§IV-C).
+    pub pipeline: bool,
+    /// Bytes of problem input uploaded before GPU participation.
+    pub setup_to_gpu_bytes: usize,
+    /// Bytes of results downloaded afterwards.
+    pub final_from_gpu_bytes: usize,
+}
+
+impl Framework {
+    /// A framework bound to a platform model.
+    pub fn new(platform: Platform) -> Self {
+        Framework {
+            platform,
+            pipeline: true,
+            setup_to_gpu_bytes: 0,
+            final_from_gpu_bytes: 0,
+        }
+    }
+
+    /// The bound platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Declares problem input/output volume for device setup accounting.
+    #[must_use]
+    pub fn with_io_bytes(mut self, to_gpu: usize, from_gpu: usize) -> Self {
+        self.setup_to_gpu_bytes = to_gpu;
+        self.final_from_gpu_bytes = from_gpu;
+        self
+    }
+
+    /// Classifies a kernel (Table I + execution choice).
+    pub fn classify<K: Kernel>(&self, kernel: &K) -> Result<Classification> {
+        choose_execution(kernel.contributing_set())
+    }
+
+    fn exec_options(&self, functional: bool) -> ExecOptions {
+        let mut opts = if functional {
+            ExecOptions::functional()
+        } else {
+            ExecOptions::default()
+        };
+        opts.pipeline = self.pipeline;
+        opts.setup_to_gpu_bytes = self.setup_to_gpu_bytes;
+        opts.final_from_gpu_bytes = self.final_from_gpu_bytes;
+        opts
+    }
+
+    /// Virtual time of a heterogeneous run with explicit parameters,
+    /// without computing cell values. The tuner's evaluation function.
+    pub fn estimate<K: Kernel>(&self, kernel: &K, params: ScheduleParams) -> Result<f64> {
+        let class = self.classify(kernel)?;
+        match class.adapter {
+            Adapter::None => self.estimate_inner(kernel, &class, params),
+            Adapter::Transpose => {
+                let t = TransposedKernel::new(kernel)?;
+                self.estimate_inner(&t, &class, params)
+            }
+            Adapter::Mirror => {
+                let m = lddp_core::framework::MirroredKernel::new(kernel)?;
+                self.estimate_inner(&m, &class, params)
+            }
+        }
+    }
+
+    fn estimate_inner<K: Kernel>(
+        &self,
+        kernel: &K,
+        class: &Classification,
+        params: ScheduleParams,
+    ) -> Result<f64> {
+        let plan = Plan::new(
+            class.exec_pattern,
+            kernel.contributing_set(),
+            kernel.dims(),
+            params,
+        )?;
+        Ok(run_hetero(kernel, &plan, &self.platform, &self.exec_options(false))?.total_s)
+    }
+
+    /// Runs the two-stage §V-A sweep and returns the tuned parameters
+    /// with both curves.
+    pub fn tune<K: Kernel>(&self, kernel: &K) -> Result<TuneResult> {
+        let class = self.classify(kernel)?;
+        let dims = self.exec_dims(kernel, &class);
+        let waves = class.exec_pattern.num_waves(dims.rows, dims.cols);
+        let switch_candidates = match class.exec_pattern.profile_shape() {
+            ProfileShape::Constant => vec![0],
+            _ => tuner::t_switch_candidates(waves),
+        };
+        let share_candidates = tuner::t_share_candidates(dims.cols);
+        tuner::tune(&switch_candidates, &share_candidates, |params| {
+            self.estimate(kernel, params)
+                .expect("candidate parameters are in range")
+        })
+    }
+
+    /// Like [`Framework::tune`], but exploits the concavity of the Fig 7
+    /// curves with a ternary search over the full integer parameter
+    /// ranges — finds finer-grained optima than the power-of-two ladder
+    /// in a comparable number of evaluations.
+    pub fn tune_refined<K: Kernel>(&self, kernel: &K) -> Result<TuneResult> {
+        let class = self.classify(kernel)?;
+        let dims = self.exec_dims(kernel, &class);
+        let waves = class.exec_pattern.num_waves(dims.rows, dims.cols);
+        let max_switch = match class.exec_pattern.profile_shape() {
+            ProfileShape::Constant => 0,
+            ProfileShape::RampUpDown => waves / 2,
+            ProfileShape::Decreasing => waves,
+        };
+        tuner::tune_concave((0, max_switch), (0, dims.cols), |params| {
+            self.estimate(kernel, params)
+                .expect("candidate parameters are in range")
+        })
+    }
+
+    /// Dimensions after the adapter (transpose swaps them).
+    fn exec_dims<K: Kernel>(&self, kernel: &K, class: &Classification) -> Dims {
+        let d = kernel.dims();
+        match class.adapter {
+            Adapter::Transpose => Dims::new(d.cols, d.rows),
+            _ => d,
+        }
+    }
+
+    /// Tunes, then solves functionally. The one-call paper workflow.
+    pub fn solve<K: Kernel>(&self, kernel: &K) -> Result<Solution<K::Cell>> {
+        let params = self.tune(kernel)?.params;
+        self.solve_with(kernel, params)
+    }
+
+    /// Solves functionally with explicit parameters.
+    pub fn solve_with<K: Kernel>(
+        &self,
+        kernel: &K,
+        params: ScheduleParams,
+    ) -> Result<Solution<K::Cell>> {
+        let class = self.classify(kernel)?;
+        match class.adapter {
+            Adapter::None => self.solve_inner(kernel, kernel, class, params, |i, j| (i, j)),
+            Adapter::Transpose => {
+                let t = TransposedKernel::new(kernel)?;
+                self.solve_inner(kernel, &t, class, params, |i, j| (j, i))
+            }
+            Adapter::Mirror => {
+                let cols = kernel.dims().cols;
+                let m = lddp_core::framework::MirroredKernel::new(kernel)?;
+                self.solve_inner(kernel, &m, class, params, move |i, j| (i, cols - 1 - j))
+            }
+        }
+    }
+
+    /// Runs `exec_kernel` heterogeneously and maps the grid back into
+    /// `user_kernel`'s coordinates via `to_exec`.
+    fn solve_inner<KU, KE>(
+        &self,
+        user_kernel: &KU,
+        exec_kernel: &KE,
+        class: Classification,
+        params: ScheduleParams,
+        to_exec: impl Fn(usize, usize) -> (usize, usize),
+    ) -> Result<Solution<KU::Cell>>
+    where
+        KU: Kernel,
+        KE: Kernel<Cell = KU::Cell>,
+    {
+        let plan = Plan::new(
+            class.exec_pattern,
+            exec_kernel.contributing_set(),
+            exec_kernel.dims(),
+            params,
+        )?;
+        let report = run_hetero(exec_kernel, &plan, &self.platform, &self.exec_options(true))?;
+        let exec_grid = report.grid.expect("functional run returns the grid");
+        let dims = user_kernel.dims();
+        let mut grid = Grid::new(LayoutKind::RowMajor, dims);
+        for i in 0..dims.rows {
+            for j in 0..dims.cols {
+                let (ei, ej) = to_exec(i, j);
+                grid.set(i, j, exec_grid.get(ei, ej));
+            }
+        }
+        Ok(Solution {
+            grid,
+            total_s: report.total_s,
+            breakdown: report.breakdown,
+            classification: class,
+            params,
+        })
+    }
+
+    /// Solves with one-pass dynamic load balancing instead of offline
+    /// tuning (the Cuenca-style heuristic — see
+    /// [`hetero_sim::balance`]): the CPU band width drifts wave-by-wave
+    /// toward the span-equalizing split. Needs no pilot runs; at scale
+    /// it typically matches or beats the tuned static plan because the
+    /// band tracks each wave's width.
+    ///
+    /// `t_switch` bounds the CPU-only ramps for ramp-shaped patterns
+    /// (pass 0 to disable; a tuned value from [`Framework::tune`] works
+    /// well). Not available for kernels needing a symmetry adapter —
+    /// transpose/mirror them explicitly first.
+    pub fn solve_balanced<K: Kernel>(
+        &self,
+        kernel: &K,
+        t_switch: usize,
+    ) -> Result<Solution<K::Cell>> {
+        let class = self.classify(kernel)?;
+        if class.adapter != Adapter::None {
+            return Err(lddp_core::Error::InvalidSchedule {
+                pattern: class.raw_pattern,
+                reason: "solve_balanced requires an adapter-free kernel; wrap it in \
+                         TransposedKernel/MirroredKernel first"
+                    .into(),
+            });
+        }
+        let config = hetero_sim::balance::BalanceConfig {
+            t_switch,
+            initial_band: 0,
+            gain: 0.5,
+        };
+        let (plan, report) = hetero_sim::balance::run_balanced(
+            kernel,
+            class.exec_pattern,
+            &self.platform,
+            &self.exec_options(true),
+            &config,
+        )?;
+        let exec_grid = report.grid.expect("functional run returns the grid");
+        let dims = kernel.dims();
+        let mut grid = Grid::new(LayoutKind::RowMajor, dims);
+        for i in 0..dims.rows {
+            for j in 0..dims.cols {
+                grid.set(i, j, exec_grid.get(i, j));
+            }
+        }
+        // Report the *average* band as the nominal t_share.
+        let bands = plan.bands();
+        let avg_band = if bands.is_empty() {
+            0
+        } else {
+            bands.iter().sum::<usize>() / bands.len()
+        };
+        Ok(Solution {
+            grid,
+            total_s: report.total_s,
+            breakdown: report.breakdown,
+            classification: class,
+            params: ScheduleParams::new(t_switch, avg_band),
+        })
+    }
+
+    /// Virtual time of the pure multicore-CPU baseline ("CPU parallel").
+    pub fn cpu_baseline<K: Kernel>(&self, kernel: &K) -> Result<f64> {
+        let class = self.classify(kernel)?;
+        let opts = ExecOptions::default();
+        match class.adapter {
+            Adapter::None => {
+                Ok(run_cpu_as(kernel, class.exec_pattern, &self.platform, &opts)?.total_s)
+            }
+            Adapter::Transpose => {
+                let t = TransposedKernel::new(kernel)?;
+                Ok(run_cpu_as(&t, class.exec_pattern, &self.platform, &opts)?.total_s)
+            }
+            Adapter::Mirror => {
+                let m = lddp_core::framework::MirroredKernel::new(kernel)?;
+                Ok(run_cpu_as(&m, class.exec_pattern, &self.platform, &opts)?.total_s)
+            }
+        }
+    }
+
+    /// Virtual time of the pure-GPU baseline.
+    pub fn gpu_baseline<K: Kernel>(&self, kernel: &K) -> Result<f64> {
+        let class = self.classify(kernel)?;
+        let opts = self.exec_options(false);
+        match class.adapter {
+            Adapter::None => {
+                Ok(run_gpu_as(kernel, class.exec_pattern, &self.platform, &opts)?.total_s)
+            }
+            Adapter::Transpose => {
+                let t = TransposedKernel::new(kernel)?;
+                Ok(run_gpu_as(&t, class.exec_pattern, &self.platform, &opts)?.total_s)
+            }
+            Adapter::Mirror => {
+                let m = lddp_core::framework::MirroredKernel::new(kernel)?;
+                Ok(run_gpu_as(&m, class.exec_pattern, &self.platform, &opts)?.total_s)
+            }
+        }
+    }
+}

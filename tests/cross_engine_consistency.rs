@@ -1,0 +1,92 @@
+//! Cross-engine consistency: for every Table I contributing set, the
+//! sequential oracle, the real thread engine, and the simulated
+//! heterogeneous framework must produce identical tables.
+
+use lddp::core::pattern::classify;
+use lddp::core::seq::solve_row_major;
+use lddp::core::ContributingSet;
+use lddp::parallel::ParallelEngine;
+use lddp::platforms::{hetero_high, hetero_low};
+use lddp::problems::synthetic::mix_kernel;
+use lddp::Framework;
+
+#[test]
+fn all_fifteen_sets_agree_across_engines() {
+    for set in ContributingSet::table_one_rows() {
+        let dims = lddp::core::Dims::new(11, 14);
+        let kernel = mix_kernel(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+
+        // Real threads (canonical pattern of the raw classification).
+        let raw = classify(set).unwrap();
+        if raw.is_canonical() {
+            let par = ParallelEngine::new(4).solve(&kernel).unwrap();
+            assert_eq!(par.to_row_major(), oracle, "threads {set}");
+        }
+
+        // Simulated heterogeneous framework, both platforms, with the
+        // tuner in the loop.
+        for platform in [hetero_high(), hetero_low()] {
+            let fw = Framework::new(platform);
+            let solution = fw.solve(&kernel).unwrap();
+            assert_eq!(solution.grid.to_row_major(), oracle, "framework {set}");
+        }
+    }
+}
+
+#[test]
+fn rectangular_extremes_agree() {
+    // Degenerate shapes: single row, single column, thin strips.
+    for (r, c) in [(1, 37), (37, 1), (2, 19), (19, 2)] {
+        for set in ContributingSet::table_one_rows() {
+            let dims = lddp::core::Dims::new(r, c);
+            let kernel = mix_kernel(dims, set);
+            let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+            let fw = Framework::new(hetero_high());
+            let solution = fw.solve(&kernel).unwrap();
+            assert_eq!(solution.grid.to_row_major(), oracle, "{set} {r}x{c}");
+        }
+    }
+}
+
+#[test]
+fn case_study_kernels_agree_between_thread_engine_and_framework() {
+    let fw = Framework::new(hetero_high());
+    let engine = ParallelEngine::new(4);
+
+    let lev = lddp::problems::LevenshteinKernel::new(*b"parallelism", *b"pipelining");
+    let a = engine.solve(&lev).unwrap().to_row_major();
+    let b = fw.solve(&lev).unwrap().grid.to_row_major();
+    assert_eq!(a, b);
+
+    let dit = lddp::problems::DitherKernel::noise(20, 30, 77);
+    let a = engine.solve(&dit).unwrap().to_row_major();
+    let b = fw.solve(&dit).unwrap().grid.to_row_major();
+    assert_eq!(a, b);
+
+    let che = lddp::problems::CheckerboardKernel::random(18, 22, 9, 4);
+    let a = engine.solve(&che).unwrap().to_row_major();
+    let b = fw.solve(&che).unwrap().grid.to_row_major();
+    assert_eq!(a, b);
+
+    let sw = lddp::problems::SmithWatermanKernel::new(*b"GATTACA", *b"GCATGCU");
+    let a = engine.solve(&sw).unwrap().to_row_major();
+    let b = fw.solve(&sw).unwrap().grid.to_row_major();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn thread_counts_do_not_change_framework_inputs() {
+    // The parallel engine's result feeds nothing back into scheduling,
+    // but assert solver outputs are invariant across thread counts for a
+    // knight-move kernel (the most complex wave geometry).
+    let kernel = lddp::problems::DitherKernel::gradient(24, 24);
+    let base = ParallelEngine::new(1)
+        .solve(&kernel)
+        .unwrap()
+        .to_row_major();
+    for threads in [2, 4, 7] {
+        let got = ParallelEngine::new(threads).solve(&kernel).unwrap();
+        assert_eq!(got.to_row_major(), base, "threads={threads}");
+    }
+}

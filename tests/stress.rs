@@ -1,0 +1,134 @@
+//! Larger randomized cross-engine stress runs: every engine in the
+//! workspace must agree on every admissible contributing set at
+//! non-toy sizes, and the full pipeline (refined tuning + functional
+//! heterogeneous solve) must hold up on a realistic instance.
+
+use lddp::core::cell::RepCell;
+use lddp::core::kernel::Kernel;
+use lddp::core::pattern::classify;
+use lddp::core::seq::solve_row_major;
+use lddp::core::ContributingSet;
+use lddp::parallel::{CacheObliviousEngine, ParallelEngine};
+use lddp::platforms::hetero_high;
+use lddp::problems::synthetic::mix_kernel;
+use lddp::Framework;
+
+#[test]
+fn every_engine_agrees_on_every_set_at_128x96() {
+    let dims = lddp::core::Dims::new(128, 96);
+    let fw = Framework::new(hetero_high());
+    let threads = ParallelEngine::new(8);
+    let quadrants = CacheObliviousEngine::default();
+    for set in ContributingSet::table_one_rows() {
+        let kernel = mix_kernel(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+
+        let solution = fw.solve(&kernel).unwrap();
+        assert_eq!(solution.grid.to_row_major(), oracle, "framework {set}");
+
+        if classify(set).unwrap().is_canonical() {
+            let got = threads.solve(&kernel).unwrap();
+            assert_eq!(got.to_row_major(), oracle, "threads {set}");
+        }
+
+        if !set.contains(RepCell::Ne) {
+            let got = quadrants.solve(&kernel).unwrap();
+            assert_eq!(got.to_row_major(), oracle, "quadrants {set}");
+        }
+    }
+}
+
+#[test]
+fn realistic_levenshtein_pipeline() {
+    // 384-symbol random DNA through the whole pipeline: refined tuning,
+    // heterogeneous solve, edit-script reconstruction and replay.
+    use lddp::problems::levenshtein::{apply_edit_script, distance, EditOp, LevenshteinKernel};
+    let a = lddp::workloads::random_seq(384, 4, 21);
+    let b = lddp::workloads::random_seq(352, 4, 22);
+    let kernel = LevenshteinKernel::new(a.clone(), b.clone());
+    let fw = Framework::new(hetero_high()).with_io_bytes(a.len() + b.len(), 8);
+    let tuned = fw.tune_refined(&kernel).unwrap();
+    let solution = fw.solve_with(&kernel, tuned.params).unwrap();
+    let d = kernel.dims();
+    let expected = distance(&a, &b);
+    assert_eq!(solution.grid.get(d.rows - 1, d.cols - 1), expected);
+
+    // Rebuild a grid the kernel helpers accept and replay the script.
+    let mut grid = lddp::core::Grid::new(lddp::core::LayoutKind::RowMajor, d);
+    for i in 0..d.rows {
+        for j in 0..d.cols {
+            grid.set(i, j, solution.grid.get(i, j));
+        }
+    }
+    let ops = kernel.edit_script(&grid);
+    assert_eq!(apply_edit_script(&a, &b, &ops), b);
+    let paid = ops.iter().filter(|&&op| op != EditOp::Keep).count() as u32;
+    assert_eq!(paid, expected);
+}
+
+#[test]
+fn hirschberg_agrees_with_framework_lcs() {
+    use lddp::problems::hirschberg::{is_subsequence, lcs_string};
+    use lddp::problems::LcsKernel;
+    let a = lddp::workloads::random_seq(300, 4, 31);
+    let b = lddp::workloads::random_seq(280, 4, 32);
+    let kernel = LcsKernel::new(a.clone(), b.clone());
+    let fw = Framework::new(hetero_high());
+    let solution = fw.solve(&kernel).unwrap();
+    let d = kernel.dims();
+    let framework_len = solution.grid.get(d.rows - 1, d.cols - 1);
+    let s = lcs_string(&a, &b);
+    assert_eq!(s.len() as u32, framework_len);
+    assert!(is_subsequence(&s, &a));
+    assert!(is_subsequence(&s, &b));
+}
+
+#[test]
+fn rectangular_stress_shapes() {
+    // Extreme aspect ratios through the framework.
+    let fw = Framework::new(hetero_high());
+    for (r, c) in [(4, 513), (513, 4), (1, 257), (257, 1), (65, 129)] {
+        let dims = lddp::core::Dims::new(r, c);
+        for set in [
+            ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]),
+            ContributingSet::FULL,
+            ContributingSet::new(&[RepCell::Nw, RepCell::Ne]),
+        ] {
+            let kernel = mix_kernel(dims, set);
+            let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+            let solution = fw.solve(&kernel).unwrap();
+            assert_eq!(solution.grid.to_row_major(), oracle, "{set} {r}x{c}");
+        }
+    }
+}
+
+#[test]
+fn multi_device_stress() {
+    use lddp::core::multi::MultiPlan;
+    use lddp::core::pattern::Pattern;
+    use lddp::hetero_sim::multi::{run_multi, MultiPlatform};
+    let dims = lddp::core::Dims::new(96, 128);
+    let platform = MultiPlatform::high_plus_phi();
+    for set in [
+        ContributingSet::new(&[RepCell::Nw, RepCell::N, RepCell::Ne]),
+        ContributingSet::FULL,
+        ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]),
+    ] {
+        let pattern = classify(set).unwrap().canonical();
+        let kernel = mix_kernel(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let t_switch = match pattern {
+            Pattern::Horizontal => 0,
+            _ => 12,
+        };
+        for boundaries in [vec![32, 80], vec![0, 64], vec![50, 50]] {
+            let plan = MultiPlan::new(pattern, set, dims, t_switch, boundaries.clone()).unwrap();
+            let report = run_multi(&kernel, &plan, &platform, true).unwrap();
+            assert_eq!(
+                report.grid.unwrap().to_row_major(),
+                oracle,
+                "{set} {boundaries:?}"
+            );
+        }
+    }
+}
