@@ -12,6 +12,7 @@
 
 use crate::error::{Error, Result};
 use crate::schedule::ScheduleParams;
+use lddp_trace::{tracks, InstantEvent, NullSink, TraceSink};
 
 /// One sampled point of a tuning sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,16 +58,36 @@ pub struct TuneResult {
 pub fn tune(
     t_switch_candidates: &[usize],
     t_share_candidates: &[usize],
+    eval: impl FnMut(ScheduleParams) -> f64,
+) -> Result<TuneResult> {
+    tune_with_sink(t_switch_candidates, t_share_candidates, eval, &NullSink)
+}
+
+/// [`tune`] with every evaluated [`SweepPoint`] recorded into `sink`:
+/// one `tuner.sweep` instant event per evaluation (args: `stage`,
+/// `value`, `time_s`) on the tuner track, a `tuner.time_s` counter
+/// series over the evaluation sequence, and a `tuner.evals` monotonic
+/// counter — enough to replay and plot the Fig 7 curves from a trace.
+pub fn tune_with_sink(
+    t_switch_candidates: &[usize],
+    t_share_candidates: &[usize],
     mut eval: impl FnMut(ScheduleParams) -> f64,
+    sink: &dyn TraceSink,
 ) -> Result<TuneResult> {
     if t_switch_candidates.is_empty() || t_share_candidates.is_empty() {
         return Err(Error::EmptyTuningRange);
     }
+    let mut seq = 0usize;
+    let mut eval = |params: ScheduleParams, stage: &'static str, value: usize| -> f64 {
+        let time = eval(params);
+        record_sweep_point(sink, &mut seq, stage, value, time);
+        time
+    };
     let t_switch_curve: Vec<SweepPoint> = t_switch_candidates
         .iter()
         .map(|&value| SweepPoint {
             value,
-            time: eval(ScheduleParams::new(value, 0)),
+            time: eval(ScheduleParams::new(value, 0), "t_switch", value),
         })
         .collect();
     let best_switch = argmin(&t_switch_curve);
@@ -74,7 +95,7 @@ pub fn tune(
         .iter()
         .map(|&value| SweepPoint {
             value,
-            time: eval(ScheduleParams::new(best_switch, value)),
+            time: eval(ScheduleParams::new(best_switch, value), "t_share", value),
         })
         .collect();
     let best_share = argmin(&t_share_curve);
@@ -83,6 +104,29 @@ pub fn tune(
         t_switch_curve,
         t_share_curve,
     })
+}
+
+/// Emits one evaluated sweep point into `sink`. The "time axis" of the
+/// tuner track is the evaluation sequence number (there is no shared
+/// clock across candidate runs).
+fn record_sweep_point(
+    sink: &dyn TraceSink,
+    seq: &mut usize,
+    stage: &'static str,
+    value: usize,
+    time_s: f64,
+) {
+    if sink.enabled() {
+        sink.instant(
+            InstantEvent::new("tuner.sweep", tracks::TUNER, *seq as f64)
+                .with_arg("stage", stage)
+                .with_arg("value", value)
+                .with_arg("time_s", time_s),
+        );
+        sink.sample(tracks::TUNER, "tuner.time_s", *seq as f64, time_s);
+        sink.count("tuner.evals", 1);
+    }
+    *seq += 1;
 }
 
 /// Like [`tune`], but exploits the concavity of the Fig 7 curves:
@@ -94,20 +138,34 @@ pub fn tune(
 pub fn tune_concave(
     t_switch_range: (usize, usize),
     t_share_range: (usize, usize),
+    eval: impl FnMut(ScheduleParams) -> f64,
+) -> Result<TuneResult> {
+    tune_concave_with_sink(t_switch_range, t_share_range, eval, &NullSink)
+}
+
+/// [`tune_concave`] with every evaluated [`SweepPoint`] recorded into
+/// `sink` — see [`tune_with_sink`] for the event catalog.
+pub fn tune_concave_with_sink(
+    t_switch_range: (usize, usize),
+    t_share_range: (usize, usize),
     mut eval: impl FnMut(ScheduleParams) -> f64,
+    sink: &dyn TraceSink,
 ) -> Result<TuneResult> {
     if t_switch_range.0 > t_switch_range.1 || t_share_range.0 > t_share_range.1 {
         return Err(Error::EmptyTuningRange);
     }
+    let mut seq = 0usize;
     let mut t_switch_curve = Vec::new();
     let best_switch = ternary_min(t_switch_range, |v| {
         let t = eval(ScheduleParams::new(v, 0));
+        record_sweep_point(sink, &mut seq, "t_switch", v, t);
         t_switch_curve.push(SweepPoint { value: v, time: t });
         t
     });
     let mut t_share_curve = Vec::new();
     let best_share = ternary_min(t_share_range, |v| {
         let t = eval(ScheduleParams::new(best_switch, v));
+        record_sweep_point(sink, &mut seq, "t_share", v, t);
         t_share_curve.push(SweepPoint { value: v, time: t });
         t
     });
@@ -352,6 +410,48 @@ mod tests {
         for curve in [&r.t_switch_curve, &r.t_share_curve] {
             assert!(curve.windows(2).all(|w| w[0].value < w[1].value));
         }
+    }
+
+    #[test]
+    fn sink_records_every_sweep_point() {
+        use lddp_trace::Recorder;
+        let rec = Recorder::new();
+        let result = tune_with_sink(&[0, 2, 4], &[0, 8], |p| (p.t_switch + p.t_share) as f64, &rec)
+            .unwrap();
+        let data = rec.snapshot();
+        // One instant + one counter sample per evaluation.
+        assert_eq!(data.instants.len(), 3 + 2);
+        assert_eq!(data.samples.len(), 3 + 2);
+        assert_eq!(data.counters["tuner.evals"], 5);
+        // Sequence numbers are the instants' timestamps, in order.
+        let ts: Vec<f64> = data.instants.iter().map(|e| e.t_s).collect();
+        assert_eq!(ts, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        // Stages recorded match the two-phase procedure.
+        let stage_of = |i: usize| match &data.instants[i].args[0].1 {
+            lddp_trace::ArgValue::Str(s) => s.clone(),
+            other => panic!("unexpected arg {other:?}"),
+        };
+        assert_eq!(stage_of(0), "t_switch");
+        assert_eq!(stage_of(4), "t_share");
+        // The traced variant agrees with the untraced one.
+        let plain = tune(&[0, 2, 4], &[0, 8], |p| (p.t_switch + p.t_share) as f64).unwrap();
+        assert_eq!(plain.params, result.params);
+    }
+
+    #[test]
+    fn concave_sink_matches_curves() {
+        use lddp_trace::Recorder;
+        let rec = Recorder::new();
+        let r = tune_concave_with_sink((0, 50), (0, 50), |p| {
+            ((p.t_switch as f64) - 20.0).powi(2) + ((p.t_share as f64) - 10.0).powi(2)
+        }, &rec)
+        .unwrap();
+        assert_eq!(r.params, ScheduleParams::new(20, 10));
+        let data = rec.snapshot();
+        // Every ternary-search probe was recorded (curves are deduped,
+        // the sink stream is not — so it has at least as many points).
+        assert!(data.instants.len() >= r.t_switch_curve.len() + r.t_share_curve.len());
+        assert_eq!(data.counters["tuner.evals"] as usize, data.instants.len());
     }
 
     #[test]

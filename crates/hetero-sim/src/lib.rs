@@ -27,6 +27,7 @@ pub mod multi;
 pub mod pipeline;
 pub mod platform;
 pub mod report;
+pub mod trace;
 
 pub use cpu::CpuModel;
 pub use exec::{access_class, run_cpu, run_gpu, run_hetero, AccessClass, ExecOptions, Report};

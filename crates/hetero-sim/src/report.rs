@@ -32,11 +32,18 @@ pub fn utilization(breakdown: &Breakdown, total_s: f64) -> Utilization {
 /// Buckets a timeline into `width` equal spans of wall time and renders
 /// one occupancy character per bucket per engine:
 /// `#` busy ≥ 75%, `+` ≥ 25%, `.` > 0, space idle.
-pub fn occupancy_strip(timeline: &[WaveRecord], width: usize) -> String {
+///
+/// `width` is clamped to the number of timeline records (more buckets
+/// than waves renders sub-wave noise and misleading trailing glyphs);
+/// the returned pair is the rendered strip and the width actually used.
+/// A wave ending exactly on a bucket boundary is attributed only to the
+/// bucket it fills — not leaked as a zero-width overlap into the next.
+pub fn occupancy_strip(timeline: &[WaveRecord], width: usize) -> (String, usize) {
     let total: f64 = timeline.iter().map(|r| r.span_s).sum();
     if total <= 0.0 || width == 0 || timeline.is_empty() {
-        return String::new();
+        return (String::new(), 0);
     }
+    let width = width.min(timeline.len());
     let bucket_span = total / width as f64;
     let mut cpu = vec![0.0f64; width];
     let mut gpu = vec![0.0f64; width];
@@ -47,17 +54,21 @@ pub fn occupancy_strip(timeline: &[WaveRecord], width: usize) -> String {
         let start = t;
         let end = t + r.span_s;
         t = end;
+        if r.span_s <= 0.0 {
+            continue;
+        }
         let b0 = ((start / bucket_span) as usize).min(width - 1);
-        let b1 = ((end / bucket_span) as usize).min(width - 1);
+        // Last bucket the wave genuinely overlaps: the one containing
+        // `end`, except when `end` sits exactly on a bucket boundary —
+        // then it is the bucket *below* (ceil − 1), not the next one.
+        let b1 = (((end / bucket_span).ceil() as usize).saturating_sub(1)).clamp(b0, width - 1);
         for b in b0..=b1 {
             let bucket_start = b as f64 * bucket_span;
             let bucket_end = bucket_start + bucket_span;
             let overlap = (end.min(bucket_end) - start.max(bucket_start)).max(0.0);
-            if r.span_s > 0.0 {
-                let frac = overlap / r.span_s;
-                cpu[b] += r.cpu_s * frac;
-                gpu[b] += r.gpu_s * frac;
-            }
+            let frac = overlap / r.span_s;
+            cpu[b] += r.cpu_s * frac;
+            gpu[b] += r.gpu_s * frac;
         }
     }
     let glyph = |busy: f64| -> char {
@@ -83,7 +94,7 @@ pub fn occupancy_strip(timeline: &[WaveRecord], width: usize) -> String {
         out.push(glyph(b));
     }
     let _ = writeln!(out, "|");
-    out
+    (out, width)
 }
 
 /// Renders a one-paragraph run summary.
@@ -156,7 +167,8 @@ mod tests {
         for w in 10..20 {
             tl.push(record(w, 0.0, 1.0, 1.0));
         }
-        let strip = occupancy_strip(&tl, 10);
+        let (strip, used) = occupancy_strip(&tl, 10);
+        assert_eq!(used, 10);
         let lines: Vec<&str> = strip.lines().collect();
         assert_eq!(lines.len(), 2);
         let cpu_line = lines[0];
@@ -172,8 +184,69 @@ mod tests {
 
     #[test]
     fn empty_timeline_renders_empty() {
-        assert_eq!(occupancy_strip(&[], 40), "");
-        assert_eq!(occupancy_strip(&[record(0, 1.0, 1.0, 1.0)], 0), "");
+        assert_eq!(occupancy_strip(&[], 40), (String::new(), 0));
+        assert_eq!(occupancy_strip(&[record(0, 1.0, 1.0, 1.0)], 0), (String::new(), 0));
+    }
+
+    #[test]
+    fn width_is_clamped_to_record_count() {
+        // 4 fully-busy waves, width 72: without clamping, proportional
+        // attribution would dilute nothing here, but the strip would
+        // imply 72 samples from 4 observations. Clamp returns 4.
+        let tl: Vec<WaveRecord> = (0..4).map(|w| record(w, 1.0, 0.0, 1.0)).collect();
+        let (strip, used) = occupancy_strip(&tl, 72);
+        assert_eq!(used, 4);
+        assert_eq!(strip, "CPU |####|\nGPU |    |\n");
+    }
+
+    #[test]
+    fn golden_half_cpu_half_gpu() {
+        let mut tl = Vec::new();
+        for w in 0..4 {
+            tl.push(record(w, 1.0, 0.0, 1.0));
+        }
+        for w in 4..8 {
+            tl.push(record(w, 0.0, 1.0, 1.0));
+        }
+        let (strip, used) = occupancy_strip(&tl, 8);
+        assert_eq!(used, 8);
+        assert_eq!(strip, "CPU |####    |\nGPU |    ####|\n");
+    }
+
+    #[test]
+    fn boundary_wave_does_not_leak_into_next_bucket() {
+        // Two waves of 1 s each, 2 buckets: wave 0 ends exactly on the
+        // bucket boundary. Its busy time must all land in bucket 0 —
+        // the old `(end / bucket_span) as usize` touched bucket 1 with
+        // a zero-width overlap.
+        let tl = vec![record(0, 1.0, 0.0, 1.0), record(1, 0.0, 1.0, 1.0)];
+        let (strip, used) = occupancy_strip(&tl, 2);
+        assert_eq!(used, 2);
+        // Bucket 1 has zero CPU busy: a space, not '.'.
+        assert_eq!(strip, "CPU |# |\nGPU | #|\n");
+    }
+
+    #[test]
+    fn zero_span_waves_are_skipped() {
+        let tl = vec![record(0, 1.0, 0.0, 1.0), record(1, 0.0, 0.0, 0.0), record(2, 1.0, 0.0, 1.0)];
+        let (strip, used) = occupancy_strip(&tl, 2);
+        assert_eq!(used, 2);
+        assert_eq!(strip, "CPU |##|\nGPU |  |\n");
+    }
+
+    #[test]
+    fn utilization_zero_wall_clock_is_finite() {
+        let u = utilization(&Breakdown::default(), 0.0);
+        assert_eq!(u.cpu, 0.0);
+        assert_eq!(u.gpu, 0.0);
+        assert_eq!(u.copy, 0.0);
+        assert_eq!(u.wall_s, 0.0);
+        // Inconsistent input (busy time but no wall time) clamps to 1.
+        let b = Breakdown {
+            cpu_busy_s: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(utilization(&b, 0.0).cpu, 1.0);
     }
 
     #[test]

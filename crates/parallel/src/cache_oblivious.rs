@@ -14,12 +14,12 @@
 //! cache-oblivious `Θ(n²/B)` miss bound without knowing the cache
 //! size.
 
-use crossbeam::thread as cb_thread;
 use lddp_core::cell::RepCell;
 use lddp_core::grid::{Grid, LayoutKind};
 use lddp_core::kernel::{Kernel, Neighbors};
 use lddp_core::wavefront::Dims;
 use lddp_core::{Error, Result};
+use std::thread::Scope;
 
 /// Base-case tile side: small enough to fit L1 comfortably, large
 /// enough to amortize recursion overhead.
@@ -141,10 +141,9 @@ impl CacheObliviousEngine {
             c1: dims.cols,
         };
         if can_fork {
-            cb_thread::scope(|s| {
+            std::thread::scope(|s| {
                 self.recurse_parallel(kernel, &cells, dims, rect, s);
-            })
-            .expect("worker panicked");
+            });
         } else {
             self.recurse_seq(kernel, &cells, dims, rect);
         }
@@ -172,13 +171,13 @@ impl CacheObliviousEngine {
         self.recurse_seq(kernel, cells, dims, q22);
     }
 
-    fn recurse_parallel<'s, K: Kernel>(
-        &'s self,
-        kernel: &'s K,
-        cells: &'s SharedCells<K::Cell>,
+    fn recurse_parallel<'scope, 'env, K: Kernel>(
+        &'scope self,
+        kernel: &'scope K,
+        cells: &'scope SharedCells<K::Cell>,
         dims: Dims,
         r: Rect,
-        scope: &cb_thread::Scope<'s>,
+        scope: &'scope Scope<'scope, 'env>,
     ) {
         if r.is_empty() {
             return;
@@ -192,17 +191,11 @@ impl CacheObliviousEngine {
         if q12.rows() * q12.cols() >= self.fork_threshold
             && q21.rows() * q21.cols() >= self.fork_threshold
         {
-            // Fork Q12; run Q21 on this thread; join via a channel.
-            let (tx, rx) = crossbeam::channel::bounded::<()>(1);
-            scope.spawn({
-                let tx = tx.clone();
-                move |inner| {
-                    self.recurse_parallel(kernel, cells, dims, q12, inner);
-                    let _ = tx.send(());
-                }
-            });
+            // Fork Q12; run Q21 on this thread; join before Q22.
+            let q12_handle =
+                scope.spawn(move || self.recurse_parallel(kernel, cells, dims, q12, scope));
             self.recurse_parallel(kernel, cells, dims, q21, scope);
-            let _ = rx.recv();
+            q12_handle.join().expect("worker panicked");
         } else {
             self.recurse_parallel(kernel, cells, dims, q12, scope);
             self.recurse_parallel(kernel, cells, dims, q21, scope);

@@ -6,6 +6,13 @@
 //! waves. Unlike `hetero-sim` this engine runs on the wall clock — it is
 //! what the Criterion benchmarks measure.
 //!
+//! [`ParallelEngine::solve_traced`] runs the same algorithm with
+//! wall-clock instrumentation: one span per non-empty (worker, wave)
+//! chunk, per-worker busy time, and a histogram of time spent waiting at
+//! the inter-wave barrier — the otherwise invisible synchronization cost
+//! of the heavy-thread design. With a disabled sink it falls through to
+//! the untraced path, so `NullSink` costs nothing.
+//!
 //! # Safety architecture
 //!
 //! Workers share one backing array. Within a wave each worker writes a
@@ -16,14 +23,16 @@
 //! the release/acquire edges that make earlier-wave writes visible. The
 //! one `unsafe` block below encapsulates exactly this discipline.
 
-use crossbeam::thread as cb_thread;
-use lddp_core::grid::{Grid, LayoutKind};
+use lddp_core::cell::ContributingSet;
+use lddp_core::grid::{Grid, Layout, LayoutKind};
 use lddp_core::kernel::{Kernel, Neighbors};
 use lddp_core::pattern::{classify, Pattern};
 use lddp_core::schedule::compatible;
-use lddp_core::wavefront;
+use lddp_core::wavefront::{self, Dims};
 use lddp_core::{Error, Result};
+use lddp_trace::{tracks, NullSink, Span, TraceSink};
 use std::sync::Barrier;
+use std::time::Instant;
 
 /// Shared mutable cell store with externally enforced aliasing
 /// discipline (see module docs).
@@ -78,6 +87,56 @@ fn chunk(t: usize, n: usize, len: usize) -> std::ops::Range<usize> {
     start..end
 }
 
+/// Computes one worker's chunk of wave `w`.
+///
+/// # Safety
+/// Caller upholds the wave/barrier discipline: `range` is this worker's
+/// exclusive slice of wave `w`, and all of wave `w`'s dependencies are
+/// sealed by an earlier barrier.
+#[inline]
+unsafe fn compute_chunk<K: Kernel>(
+    kernel: &K,
+    set: ContributingSet,
+    pattern: Pattern,
+    dims: Dims,
+    layout: &Layout,
+    cells: &SharedCells<K::Cell>,
+    w: usize,
+    range: std::ops::Range<usize>,
+) {
+    for pos in range {
+        let (i, j) = wavefront::cell_at(pattern, dims, w, pos);
+        let mut nbrs = Neighbors::empty();
+        for dep in set.iter() {
+            if let Some((si, sj)) = dep.source(i, j, dims.rows, dims.cols) {
+                debug_assert!(
+                    wavefront::wave_of(pattern, dims, si, sj) < w,
+                    "dependency must be sealed"
+                );
+                // SAFETY: (si, sj) lies in a wave sealed by a previous
+                // barrier (caller contract).
+                let v = unsafe { cells.read(layout.index(si, sj)) };
+                nbrs.set(dep, v);
+            }
+        }
+        let v = kernel.compute(i, j, &nbrs);
+        // SAFETY: `pos` is in this worker's exclusive chunk of wave `w`
+        // (caller contract); wave ranges are disjoint.
+        unsafe { cells.write(layout.index(i, j), v) };
+    }
+}
+
+/// What one worker measured about itself during a traced run.
+#[derive(Debug, Default)]
+struct WorkerTrace {
+    /// Non-empty chunks: (wave, start_s, dur_s, cells).
+    spans: Vec<(usize, f64, f64, usize)>,
+    /// Total compute time across all waves.
+    busy_s: f64,
+    /// Time spent blocked in `Barrier::wait`, one entry per wave.
+    barrier_wait_s: Vec<f64>,
+}
+
 /// A chunk-per-thread wavefront solver.
 #[derive(Debug, Clone)]
 pub struct ParallelEngine {
@@ -128,15 +187,37 @@ impl ParallelEngine {
     /// assert_eq!(grid.get(7, 3), 35);
     /// ```
     pub fn solve<K: Kernel>(&self, kernel: &K) -> Result<Grid<K::Cell>> {
-        let pattern = classify(kernel.contributing_set())
-            .map(Pattern::canonical)
-            .ok_or(Error::EmptyContributingSet)?;
-        self.solve_as(kernel, pattern)
+        self.solve_traced(kernel, &NullSink)
     }
 
     /// Solves under an explicit compatible pattern (e.g. a `{NW}` problem
     /// under Horizontal, §V-B).
     pub fn solve_as<K: Kernel>(&self, kernel: &K, pattern: Pattern) -> Result<Grid<K::Cell>> {
+        self.solve_as_traced(kernel, pattern, &NullSink)
+    }
+
+    /// [`solve`](ParallelEngine::solve) with wall-clock instrumentation
+    /// through `sink` (see module docs for what is emitted). A disabled
+    /// sink adds no work.
+    pub fn solve_traced<K: Kernel>(
+        &self,
+        kernel: &K,
+        sink: &dyn TraceSink,
+    ) -> Result<Grid<K::Cell>> {
+        let pattern = classify(kernel.contributing_set())
+            .map(Pattern::canonical)
+            .ok_or(Error::EmptyContributingSet)?;
+        self.solve_as_traced(kernel, pattern, sink)
+    }
+
+    /// [`solve_as`](ParallelEngine::solve_as) with wall-clock
+    /// instrumentation through `sink`.
+    pub fn solve_as_traced<K: Kernel>(
+        &self,
+        kernel: &K,
+        pattern: Pattern,
+        sink: &dyn TraceSink,
+    ) -> Result<Grid<K::Cell>> {
         if kernel.contributing_set().is_empty() {
             return Err(Error::EmptyContributingSet);
         }
@@ -154,7 +235,8 @@ impl ParallelEngine {
         }
         let num_waves = pattern.num_waves(dims.rows, dims.cols);
         let threads = self.threads.min(dims.len()).max(1);
-        if threads == 1 {
+        let traced = sink.enabled();
+        if threads == 1 && !traced {
             return lddp_core::seq::solve_wavefront_as(kernel, pattern, layout_kind);
         }
 
@@ -163,40 +245,92 @@ impl ParallelEngine {
         let barrier = Barrier::new(threads);
         let set = kernel.contributing_set();
 
-        cb_thread::scope(|s| {
-            for t in 0..threads {
-                let cells = &cells;
-                let barrier = &barrier;
-                let layout = &layout;
-                s.spawn(move |_| {
-                    for w in 0..num_waves {
-                        let len = pattern.wave_len(dims.rows, dims.cols, w);
-                        for pos in chunk(t, threads, len) {
-                            let (i, j) = wavefront::cell_at(pattern, dims, w, pos);
-                            let mut nbrs = Neighbors::empty();
-                            for dep in set.iter() {
-                                if let Some((si, sj)) = dep.source(i, j, dims.rows, dims.cols) {
-                                    debug_assert!(
-                                        wavefront::wave_of(pattern, dims, si, sj) < w,
-                                        "dependency must be sealed"
-                                    );
-                                    // SAFETY: (si, sj) lies in a wave
-                                    // sealed by a previous barrier.
-                                    let v = unsafe { cells.read(layout.index(si, sj)) };
-                                    nbrs.set(dep, v);
-                                }
+        if !traced {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let cells = &cells;
+                    let barrier = &barrier;
+                    let layout = &layout;
+                    s.spawn(move || {
+                        for w in 0..num_waves {
+                            let len = pattern.wave_len(dims.rows, dims.cols, w);
+                            // SAFETY: chunks of a wave are disjoint across
+                            // workers; the barrier seals each wave before
+                            // the next reads it.
+                            unsafe {
+                                compute_chunk(
+                                    kernel,
+                                    set,
+                                    pattern,
+                                    dims,
+                                    layout,
+                                    cells,
+                                    w,
+                                    chunk(t, threads, len),
+                                );
                             }
-                            let v = kernel.compute(i, j, &nbrs);
-                            // SAFETY: `pos` is in this worker's exclusive
-                            // chunk of wave `w`; wave ranges are disjoint.
-                            unsafe { cells.write(layout.index(i, j), v) };
+                            barrier.wait();
                         }
-                        barrier.wait();
-                    }
-                });
+                    });
+                }
+            });
+            return Ok(grid);
+        }
+
+        let epoch = Instant::now();
+        let worker_traces: Vec<WorkerTrace> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let cells = &cells;
+                    let barrier = &barrier;
+                    let layout = &layout;
+                    s.spawn(move || {
+                        let mut tr = WorkerTrace::default();
+                        for w in 0..num_waves {
+                            let len = pattern.wave_len(dims.rows, dims.cols, w);
+                            let my = chunk(t, threads, len);
+                            let owned = my.len();
+                            let t0 = epoch.elapsed().as_secs_f64();
+                            // SAFETY: as in the untraced path.
+                            unsafe {
+                                compute_chunk(kernel, set, pattern, dims, layout, cells, w, my);
+                            }
+                            let t1 = epoch.elapsed().as_secs_f64();
+                            barrier.wait();
+                            let t2 = epoch.elapsed().as_secs_f64();
+                            if owned > 0 {
+                                tr.spans.push((w, t0, t1 - t0, owned));
+                            }
+                            tr.busy_s += t1 - t0;
+                            tr.barrier_wait_s.push(t2 - t1);
+                        }
+                        tr
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        let total_s = epoch.elapsed().as_secs_f64();
+        for (t, tr) in worker_traces.iter().enumerate() {
+            for &(w, start_s, dur_s, owned) in &tr.spans {
+                sink.span(
+                    Span::new("wave", tracks::worker(t), start_s, dur_s)
+                        .with_arg("wave", w)
+                        .with_arg("cells", owned),
+                );
             }
-        })
-        .expect("worker panicked");
+            sink.sample(tracks::worker(t), "worker.busy_s", total_s, tr.busy_s);
+            for &wait_s in &tr.barrier_wait_s {
+                sink.observe("parallel.barrier_wait_s", wait_s);
+            }
+        }
+        sink.count("parallel.waves", num_waves as u64);
+        sink.count("parallel.cells", dims.len() as u64);
+        sink.count("parallel.workers", threads as u64);
 
         Ok(grid)
     }
@@ -215,6 +349,7 @@ mod tests {
     use lddp_core::kernel::ClosureKernel;
     use lddp_core::seq::solve_row_major;
     use lddp_core::wavefront::Dims;
+    use lddp_trace::Recorder;
 
     fn mix_kernel(
         dims: Dims,
@@ -362,5 +497,95 @@ mod tests {
     fn host_engine_reports_threads() {
         assert!(ParallelEngine::host().threads() >= 1);
         assert_eq!(ParallelEngine::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_everything() {
+        let set = ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]);
+        let dims = Dims::new(37, 29);
+        let kernel = mix_kernel(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let threads = 3;
+        let rec = Recorder::new();
+        let got = ParallelEngine::new(threads)
+            .solve_traced(&kernel, &rec)
+            .unwrap();
+        assert_eq!(got.to_row_major(), oracle);
+
+        let data = rec.snapshot();
+        let waves = Pattern::AntiDiagonal.num_waves(dims.rows, dims.cols);
+        assert_eq!(data.counters["parallel.waves"], waves as u64);
+        assert_eq!(data.counters["parallel.cells"], dims.len() as u64);
+        assert_eq!(data.counters["parallel.workers"], threads as u64);
+
+        // Every worker lane has spans, and they sum to the cell count.
+        let mut cells = 0u64;
+        for t in 0..threads {
+            let lane: Vec<_> = data
+                .spans
+                .iter()
+                .filter(|s| s.track == tracks::worker(t))
+                .collect();
+            assert!(!lane.is_empty(), "worker {t} has no spans");
+            for s in &lane {
+                assert_eq!(s.name, "wave");
+                assert!(s.dur_s >= 0.0);
+                let c = s
+                    .args
+                    .iter()
+                    .find(|(k, _)| *k == "cells")
+                    .map(|(_, v)| match v {
+                        lddp_trace::ArgValue::U64(n) => *n,
+                        _ => 0,
+                    })
+                    .unwrap();
+                assert!(c > 0, "empty chunks must not produce spans");
+                cells += c;
+            }
+            // Lane spans are time-ordered.
+            for w in lane.windows(2) {
+                assert!(w[0].start_s <= w[1].start_s);
+            }
+        }
+        assert_eq!(cells, dims.len() as u64);
+
+        // Barrier waits: one observation per (worker, wave).
+        let h = &data.histograms["parallel.barrier_wait_s"];
+        assert_eq!(h.count, (threads * waves) as u64);
+        // Per-worker busy-time samples on the worker lanes.
+        let busy: Vec<_> = data
+            .samples
+            .iter()
+            .filter(|s| s.name == "worker.busy_s")
+            .collect();
+        assert_eq!(busy.len(), threads);
+        assert!(busy.iter().all(|s| s.value >= 0.0));
+    }
+
+    #[test]
+    fn traced_single_thread_still_records() {
+        // threads == 1 normally short-circuits to the sequential solver;
+        // with a live sink it must still go through the instrumented path.
+        let set = ContributingSet::new(&[RepCell::N]);
+        let dims = Dims::new(9, 5);
+        let kernel = mix_kernel(dims, set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let rec = Recorder::new();
+        let got = ParallelEngine::new(1).solve_traced(&kernel, &rec).unwrap();
+        assert_eq!(got.to_row_major(), oracle);
+        let data = rec.snapshot();
+        assert_eq!(data.counters["parallel.workers"], 1);
+        assert!(!data.spans.is_empty());
+    }
+
+    #[test]
+    fn null_sink_takes_the_untraced_path() {
+        let set = ContributingSet::new(&[RepCell::W, RepCell::N]);
+        let kernel = mix_kernel(Dims::new(16, 16), set);
+        let a = ParallelEngine::new(4).solve(&kernel).unwrap();
+        let b = ParallelEngine::new(4)
+            .solve_traced(&kernel, &NullSink)
+            .unwrap();
+        assert_eq!(a.to_row_major(), b.to_row_major());
     }
 }

@@ -1,0 +1,127 @@
+//! Flat JSON-lines metrics dump: one self-describing JSON object per
+//! line, so benchmarks and CI can `diff`/`jq` structured run summaries
+//! instead of parsing prose. Three record types:
+//!
+//! - `{"type":"counter","name":…,"value":…}` — monotonic counters;
+//! - `{"type":"histogram","name":…,"count":…,"sum":…,"mean":…,
+//!   "buckets":[{"le":…,"count":…},…]}` — fixed-bucket histograms
+//!   (the last bucket has `"le":null`, the overflow bucket);
+//! - `{"type":"span_total","name":…,"pid":…,"count":…,"total_s":…}` —
+//!   per-(track, name) span aggregates.
+
+use crate::json::{escape, num};
+use crate::TraceData;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serializes the aggregate view of a [`TraceData`] snapshot as JSONL.
+/// Lines are sorted by (type, name) so two runs diff cleanly.
+pub fn to_jsonl(data: &TraceData) -> String {
+    let mut out = String::new();
+    for (name, value) in &data.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            escape(name),
+            value
+        );
+    }
+    for (name, h) in &data.histograms {
+        let _ = write!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"mean\":{},\"buckets\":[",
+            escape(name),
+            h.count,
+            num(h.sum),
+            num(h.mean())
+        );
+        for (i, count) in h.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match h.bounds.get(i) {
+                Some(b) => {
+                    let _ = write!(out, "{{\"le\":{},\"count\":{}}}", num(*b), count);
+                }
+                None => {
+                    let _ = write!(out, "{{\"le\":null,\"count\":{}}}", count);
+                }
+            }
+        }
+        out.push_str("]}\n");
+    }
+    // Span aggregates per (pid, name).
+    let mut totals: BTreeMap<(u32, String), (u64, f64)> = BTreeMap::new();
+    for s in &data.spans {
+        let entry = totals.entry((s.track.pid, s.name.clone())).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += s.dur_s;
+    }
+    for ((pid, name), (count, total_s)) in &totals {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span_total\",\"name\":\"{}\",\"pid\":{},\"count\":{},\"total_s\":{}}}",
+            escape(name),
+            pid,
+            count,
+            num(*total_s)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Json};
+    use crate::{tracks, Recorder, Span, TraceSink};
+
+    #[test]
+    fn every_line_is_valid_json() {
+        let rec = Recorder::new();
+        rec.count("waves", 7);
+        rec.count("cells", 4096);
+        rec.observe("barrier_wait_s", 1e-6);
+        rec.observe("barrier_wait_s", 5e-6);
+        rec.span(Span::new("wave", tracks::CPU, 0.0, 1.0));
+        rec.span(Span::new("wave", tracks::CPU, 1.0, 2.0));
+        rec.span(Span::new("copy", tracks::LINK, 0.0, 0.25));
+        let text = to_jsonl(&rec.snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        // 2 counters + 1 histogram + 2 span totals.
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            json::parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+        }
+        // The histogram line aggregates both samples.
+        let hist = lines
+            .iter()
+            .map(|l| json::parse(l).unwrap())
+            .find(|v| v.get("type").and_then(Json::as_str) == Some("histogram"))
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_f64(), Some(2.0));
+        let buckets = hist.get("buckets").unwrap().as_arr().unwrap();
+        let total: f64 = buckets
+            .iter()
+            .map(|b| b.get("count").unwrap().as_f64().unwrap())
+            .sum();
+        assert_eq!(total, 2.0);
+        assert_eq!(buckets.last().unwrap().get("le"), Some(&Json::Null));
+        // Span totals aggregate per (pid, name).
+        let wave_total = lines
+            .iter()
+            .map(|l| json::parse(l).unwrap())
+            .find(|v| {
+                v.get("type").and_then(Json::as_str) == Some("span_total")
+                    && v.get("name").and_then(Json::as_str) == Some("wave")
+            })
+            .unwrap();
+        assert_eq!(wave_total.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(wave_total.get("total_s").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_data_is_empty_output() {
+        assert_eq!(to_jsonl(&crate::TraceData::default()), "");
+    }
+}

@@ -51,7 +51,9 @@ fn main() {
     println!("{}", summarize(&report.breakdown, report.total_s));
     println!();
     println!("occupancy over wall time (3-phase structure of Fig 3):");
-    print!("{}", occupancy_strip(&report.timeline, 72));
+    let (strip, width) = occupancy_strip(&report.timeline, 72);
+    print!("{strip}");
+    println!("({width} buckets)");
     println!();
 
     // Phase statistics from the plan itself.

@@ -6,18 +6,27 @@
 //! ```text
 //! lddp-cli classify --set W,NW,N
 //! lddp-cli solve   --problem levenshtein --n 1024 [--platform high|low]
-//!                  [--t-switch X --t-share Y]
+//!                  [--t-switch X --t-share Y] [--json]
 //! lddp-cli tune    --problem lcs --n 2048 [--refined]
-//! lddp-cli compare --problem checkerboard --n 4096
+//! lddp-cli compare --problem checkerboard --n 4096 [--json]
+//! lddp-cli trace   --problem levenshtein --n 512 --out run.trace.json
+//!                  [--metrics run.metrics.jsonl]
 //! ```
+//!
+//! `trace` writes a Chrome trace-event JSON timeline (loadable in
+//! Perfetto / `chrome://tracing`, see docs/OBSERVABILITY.md); `--json`
+//! switches `solve`/`compare` to machine-readable output.
 
 use crate::platforms::{hetero_high, hetero_low, Platform};
-use crate::Framework;
+use crate::{Framework, PhaseStat};
+use hetero_sim::report::{utilization, Utilization};
 use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::kernel::Kernel;
 use lddp_core::pattern::classify;
-use lddp_core::schedule::ScheduleParams;
+use lddp_core::schedule::{PhaseKind, ScheduleParams};
 use lddp_problems as problems;
+use lddp_trace::json::{escape, num};
+use lddp_trace::{chrome, metrics, NullSink, Recorder, TraceSink};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +46,8 @@ pub enum Command {
         platform: String,
         /// Optional explicit parameters (otherwise tuned).
         params: Option<ScheduleParams>,
+        /// Emit a machine-readable JSON summary instead of text.
+        json: bool,
     },
     /// Tune a named problem instance.
     Tune {
@@ -68,6 +79,24 @@ pub enum Command {
         n: usize,
         /// Platform preset name.
         platform: String,
+        /// Emit a machine-readable JSON summary instead of text.
+        json: bool,
+    },
+    /// Solve while recording a Chrome trace-event timeline.
+    Trace {
+        /// Problem name.
+        problem: String,
+        /// Instance size.
+        n: usize,
+        /// Platform preset name.
+        platform: String,
+        /// Optional explicit parameters (otherwise tuned, with the
+        /// sweep recorded into the trace).
+        params: Option<ScheduleParams>,
+        /// Output path for the Chrome trace JSON.
+        out: String,
+        /// Optional output path for the JSON-lines metrics dump.
+        metrics: Option<String>,
     },
     /// Print usage.
     Help,
@@ -101,6 +130,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut t_switch = None;
     let mut t_share = None;
     let mut refined = false;
+    let mut json = false;
+    let mut out = None;
+    let mut metrics = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--set" => {
@@ -137,6 +169,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 t_share = Some(v.parse::<usize>().map_err(|e| format!("--t-share: {e}"))?);
             }
             "--refined" => refined = true,
+            "--json" => json = true,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                out = Some(v.clone());
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a file path")?;
+                metrics = Some(v.clone());
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -154,6 +195,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 n: n.unwrap_or(1024),
                 platform,
                 params,
+                json,
             })
         }
         "balance" => Ok(Command::Balance {
@@ -172,7 +214,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             problem: problem.ok_or("compare requires --problem")?,
             n: n.unwrap_or(1024),
             platform,
+            json,
         }),
+        "trace" => {
+            let params = match (t_switch, t_share) {
+                (None, None) => None,
+                (sw, sh) => Some(ScheduleParams::new(sw.unwrap_or(0), sh.unwrap_or(0))),
+            };
+            Ok(Command::Trace {
+                problem: problem.ok_or("trace requires --problem")?,
+                n: n.unwrap_or(512),
+                platform,
+                params,
+                out: out.unwrap_or_else(|| "run.trace.json".to_string()),
+                metrics,
+            })
+        }
         other => Err(format!("unknown command '{other}'; try help")),
     }
 }
@@ -212,10 +269,16 @@ pub fn usage() -> String {
          USAGE:\n\
          \x20 lddp-cli classify --set W,NW,N\n\
          \x20 lddp-cli solve   --problem <name> [--n N] [--platform high|low]\n\
-         \x20                  [--t-switch X] [--t-share Y]\n\
+         \x20                  [--t-switch X] [--t-share Y] [--json]\n\
          \x20 lddp-cli tune    --problem <name> [--n N] [--platform high|low] [--refined]\n\
          \x20 lddp-cli balance --problem <name> [--n N] [--platform high|low] [--t-switch X]\n\
-         \x20 lddp-cli compare --problem <name> [--n N] [--platform high|low]\n\
+         \x20 lddp-cli compare --problem <name> [--n N] [--platform high|low] [--json]\n\
+         \x20 lddp-cli trace   --problem <name> [--n N] [--platform high|low]\n\
+         \x20                  [--t-switch X] [--t-share Y]\n\
+         \x20                  [--out trace.json] [--metrics metrics.jsonl]\n\
+         \n\
+         `trace` writes a Perfetto-loadable Chrome trace-event timeline\n\
+         (see docs/OBSERVABILITY.md).\n\
          \n\
          PROBLEMS: {}\n",
         PROBLEMS.join(", ")
@@ -256,6 +319,21 @@ impl RunSummary {
     }
 }
 
+/// [`RunSummary`] plus the observability extras a traced solve yields.
+#[derive(Debug, Clone)]
+pub struct SolveOutput {
+    /// The human-readable summary block.
+    pub summary: RunSummary,
+    /// Instance size.
+    pub n: usize,
+    /// Platform preset name as requested (`high`/`low`).
+    pub platform: String,
+    /// Engine utilization over the run.
+    pub utilization: Utilization,
+    /// Per-phase cost breakdown.
+    pub phases: Vec<PhaseStat>,
+}
+
 /// Builds and solves the named problem, returning the summary.
 pub fn run_solve(
     problem: &str,
@@ -263,24 +341,44 @@ pub fn run_solve(
     platform_name: &str,
     params: Option<ScheduleParams>,
 ) -> Result<RunSummary, String> {
+    run_solve_traced(problem, n, platform_name, params, &NullSink).map(|o| o.summary)
+}
+
+/// Builds and solves the named problem with observability: tuner sweep
+/// points and the run's phase/wave/transfer events go into `sink`, and
+/// the output carries utilization + per-phase stats for rendering.
+pub fn run_solve_traced(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    params: Option<ScheduleParams>,
+    sink: &dyn TraceSink,
+) -> Result<SolveOutput, String> {
     let platform = platform_by_name(platform_name);
     macro_rules! go {
         ($kernel:expr, $io:expr, $answer:expr) => {{
             let kernel = $kernel;
             let fw = Framework::new(platform.clone()).with_io_bytes($io.0, $io.1);
-            let params = match params {
-                Some(p) => p,
-                None => fw.tune(&kernel).map_err(|e| e.to_string())?.params,
-            };
-            let solution = fw.solve_with(&kernel, params).map_err(|e| e.to_string())?;
+            let solution = fw
+                .solve_traced(&kernel, params, sink)
+                .map_err(|e| e.to_string())?;
             let class = &solution.classification;
-            Ok(RunSummary {
-                problem: problem.to_string(),
-                instance: format!("{n} x {n} on {}", platform.name),
-                patterns: format!("{} → executed as {}", class.raw_pattern, class.exec_pattern),
-                params: solution.params,
-                hetero_ms: solution.total_s * 1e3,
-                answer: $answer(&kernel, &solution),
+            Ok(SolveOutput {
+                summary: RunSummary {
+                    problem: problem.to_string(),
+                    instance: format!("{n} x {n} on {}", platform.name),
+                    patterns: format!(
+                        "{} → executed as {}",
+                        class.raw_pattern, class.exec_pattern
+                    ),
+                    params: solution.params,
+                    hetero_ms: solution.total_s * 1e3,
+                    answer: $answer(&kernel, &solution),
+                },
+                n,
+                platform: platform_name.to_string(),
+                utilization: utilization(&solution.breakdown, solution.total_s),
+                phases: solution.phases.clone(),
             })
         }};
     }
@@ -391,6 +489,82 @@ pub fn run_solve(
     }
 }
 
+/// Renders a [`SolveOutput`] as one machine-readable JSON object.
+pub fn render_solve_json(out: &SolveOutput) -> String {
+    let s = &out.summary;
+    let mut phases = String::new();
+    for (i, p) in out.phases.iter().enumerate() {
+        if i > 0 {
+            phases.push(',');
+        }
+        let kind = match p.kind {
+            PhaseKind::CpuOnly => "cpu_only",
+            PhaseKind::Shared => "shared",
+        };
+        phases.push_str(&format!(
+            "{{\"kind\":\"{}\",\"wave_lo\":{},\"wave_hi\":{},\"wall_ms\":{},\
+             \"cpu_busy_ms\":{},\"gpu_busy_ms\":{},\"copy_ms\":{}}}",
+            kind,
+            p.waves.start,
+            p.waves.end,
+            num(p.wall_s * 1e3),
+            num(p.cpu_busy_s * 1e3),
+            num(p.gpu_busy_s * 1e3),
+            num(p.copy_s * 1e3),
+        ));
+    }
+    format!(
+        "{{\"problem\":\"{}\",\"n\":{},\"platform\":\"{}\",\"pattern\":\"{}\",\
+         \"t_switch\":{},\"t_share\":{},\"total_ms\":{},\
+         \"utilization\":{{\"cpu\":{},\"gpu\":{},\"copy\":{}}},\
+         \"phases\":[{}],\"answer\":\"{}\"}}",
+        escape(&s.problem),
+        out.n,
+        escape(&out.platform),
+        escape(&s.patterns),
+        s.params.t_switch,
+        s.params.t_share,
+        num(s.hetero_ms),
+        num(out.utilization.cpu),
+        num(out.utilization.gpu),
+        num(out.utilization.copy),
+        phases,
+        escape(&s.answer),
+    )
+}
+
+/// Solves the named problem while recording a full trace, writes the
+/// Chrome trace-event JSON to `out_path` (and, optionally, the
+/// JSON-lines metrics dump to `metrics_path`), and returns a short
+/// confirmation.
+pub fn run_trace(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    params: Option<ScheduleParams>,
+    out_path: &str,
+    metrics_path: Option<&str>,
+) -> Result<String, String> {
+    let rec = Recorder::new();
+    let output = run_solve_traced(problem, n, platform_name, params, &rec)?;
+    let data = rec.into_data();
+    let trace_json = chrome::to_chrome_json(&data);
+    std::fs::write(out_path, &trace_json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    let mut msg = format!(
+        "{} spans, {} instants, {} counter series -> {out_path}\n\
+         load it at https://ui.perfetto.dev or chrome://tracing\n{}",
+        data.spans.len(),
+        data.instants.len(),
+        data.counters.len(),
+        output.summary.render(),
+    );
+    if let Some(mp) = metrics_path {
+        std::fs::write(mp, metrics::to_jsonl(&data)).map_err(|e| format!("writing {mp}: {e}"))?;
+        msg.push_str(&format!("\nmetrics   : {mp}"));
+    }
+    Ok(msg)
+}
+
 /// Runs `classify` and renders the result.
 pub fn run_classify(set: ContributingSet) -> Result<String, String> {
     let raw = classify(set).ok_or("empty contributing set")?;
@@ -493,8 +667,27 @@ pub fn run_balance(
     }
 }
 
-/// Runs `compare` and renders the CPU/GPU/Framework triple.
-pub fn run_compare(problem: &str, n: usize, platform_name: &str) -> Result<String, String> {
+/// CPU/GPU/Framework virtual times for one instance.
+#[derive(Debug, Clone)]
+pub struct CompareOutput {
+    /// Platform display name.
+    pub platform_label: String,
+    /// Pure multicore-CPU baseline, seconds.
+    pub cpu_s: f64,
+    /// Pure-GPU baseline, seconds.
+    pub gpu_s: f64,
+    /// Tuned heterogeneous framework, seconds.
+    pub framework_s: f64,
+    /// The tuned parameters the framework time used.
+    pub params: ScheduleParams,
+}
+
+/// Computes the CPU/GPU/Framework triple for `compare`.
+pub fn run_compare_data(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+) -> Result<CompareOutput, String> {
     let platform = platform_by_name(platform_name);
     macro_rules! compare_of {
         ($k:expr, $io:expr) => {{
@@ -504,15 +697,13 @@ pub fn run_compare(problem: &str, n: usize, platform_name: &str) -> Result<Strin
             let gpu = fw.gpu_baseline(&kernel).map_err(|e| e.to_string())?;
             let tuned = fw.tune(&kernel).map_err(|e| e.to_string())?;
             let het = fw.estimate(&kernel, tuned.params).map_err(|e| e.to_string())?;
-            Ok(format!(
-                "{problem} {n}x{n} on {}\n  CPU parallel : {:>10.3} ms\n  GPU          : {:>10.3} ms\n  Framework    : {:>10.3} ms  (t_switch={} t_share={})",
-                platform.name,
-                cpu * 1e3,
-                gpu * 1e3,
-                het * 1e3,
-                tuned.params.t_switch,
-                tuned.params.t_share
-            ))
+            Ok(CompareOutput {
+                platform_label: platform.name.to_string(),
+                cpu_s: cpu,
+                gpu_s: gpu,
+                framework_s: het,
+                params: tuned.params,
+            })
         }};
     }
     let seq = |seed: u64| crate::workloads::random_seq(n, 4, seed);
@@ -528,6 +719,36 @@ pub fn run_compare(problem: &str, n: usize, platform_name: &str) -> Result<Strin
     }
 }
 
+/// Runs `compare` and renders the CPU/GPU/Framework triple.
+pub fn run_compare(problem: &str, n: usize, platform_name: &str) -> Result<String, String> {
+    let c = run_compare_data(problem, n, platform_name)?;
+    Ok(format!(
+        "{problem} {n}x{n} on {}\n  CPU parallel : {:>10.3} ms\n  GPU          : {:>10.3} ms\n  Framework    : {:>10.3} ms  (t_switch={} t_share={})",
+        c.platform_label,
+        c.cpu_s * 1e3,
+        c.gpu_s * 1e3,
+        c.framework_s * 1e3,
+        c.params.t_switch,
+        c.params.t_share
+    ))
+}
+
+/// Renders `compare` results as one machine-readable JSON object.
+pub fn render_compare_json(problem: &str, n: usize, platform_name: &str, c: &CompareOutput) -> String {
+    format!(
+        "{{\"problem\":\"{}\",\"n\":{},\"platform\":\"{}\",\"cpu_ms\":{},\"gpu_ms\":{},\
+         \"framework_ms\":{},\"t_switch\":{},\"t_share\":{}}}",
+        escape(problem),
+        n,
+        escape(platform_name),
+        num(c.cpu_s * 1e3),
+        num(c.gpu_s * 1e3),
+        num(c.framework_s * 1e3),
+        c.params.t_switch,
+        c.params.t_share
+    )
+}
+
 /// Executes a parsed command, returning the output text.
 pub fn execute(cmd: Command) -> Result<String, String> {
     match cmd {
@@ -538,7 +759,15 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             n,
             platform,
             params,
-        } => run_solve(&problem, n, &platform, params).map(|s| s.render()),
+            json,
+        } => {
+            if json {
+                run_solve_traced(&problem, n, &platform, params, &NullSink)
+                    .map(|o| render_solve_json(&o))
+            } else {
+                run_solve(&problem, n, &platform, params).map(|s| s.render())
+            }
+        }
         Command::Tune {
             problem,
             n,
@@ -555,7 +784,23 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             problem,
             n,
             platform,
-        } => run_compare(&problem, n, &platform),
+            json,
+        } => {
+            if json {
+                run_compare_data(&problem, n, &platform)
+                    .map(|c| render_compare_json(&problem, n, &platform, &c))
+            } else {
+                run_compare(&problem, n, &platform)
+            }
+        }
+        Command::Trace {
+            problem,
+            n,
+            platform,
+            params,
+            out,
+            metrics,
+        } => run_trace(&problem, n, &platform, params, &out, metrics.as_deref()),
     }
 }
 
@@ -591,8 +836,54 @@ mod tests {
                 n: 256,
                 platform: "low".into(),
                 params: Some(ScheduleParams::new(8, 16)),
+                json: false,
             }
         );
+    }
+
+    #[test]
+    fn parse_trace_and_json_flags() {
+        let cmd = parse(&argv(
+            "trace --problem lcs --n 128 --out t.json --metrics m.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                problem: "lcs".into(),
+                n: 128,
+                platform: "high".into(),
+                params: None,
+                out: "t.json".into(),
+                metrics: Some("m.jsonl".into()),
+            }
+        );
+        let cmd = parse(&argv("trace --problem lcs --t-switch 8 --t-share 32")).unwrap();
+        match cmd {
+            Command::Trace { params, .. } => {
+                assert_eq!(params, Some(ScheduleParams::new(8, 32)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --out defaults; --metrics stays off unless given.
+        let cmd = parse(&argv("trace --problem lcs")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                problem: "lcs".into(),
+                n: 512,
+                platform: "high".into(),
+                params: None,
+                out: "run.trace.json".into(),
+                metrics: None,
+            }
+        );
+        let cmd = parse(&argv("solve --problem lcs --json")).unwrap();
+        assert!(matches!(cmd, Command::Solve { json: true, .. }));
+        let cmd = parse(&argv("compare --problem lcs --json")).unwrap();
+        assert!(matches!(cmd, Command::Compare { json: true, .. }));
+        assert!(parse(&argv("trace --problem lcs --out")).is_err());
+        assert!(parse(&argv("trace")).is_err());
     }
 
     #[test]
@@ -667,6 +958,85 @@ mod tests {
         let out = run_balance("lcs", 64, "high", 4).unwrap();
         assert!(out.contains("balanced"));
         assert!(out.contains("tuned static"));
+    }
+
+    #[test]
+    fn solve_json_is_parseable_and_has_phases() {
+        let out = run_solve_traced("levenshtein", 64, "high", None, &NullSink).unwrap();
+        let text = render_solve_json(&out);
+        let v = lddp_trace::json::parse(&text).unwrap();
+        assert_eq!(v.get("problem").and_then(|j| j.as_str()), Some("levenshtein"));
+        assert_eq!(v.get("n").and_then(|j| j.as_f64()), Some(64.0));
+        assert!(v.get("total_ms").and_then(|j| j.as_f64()).unwrap() > 0.0);
+        let util = v.get("utilization").unwrap();
+        assert!(util.get("cpu").and_then(|j| j.as_f64()).unwrap() > 0.0);
+        let phases = v.get("phases").and_then(|j| j.as_arr()).unwrap();
+        assert!(!phases.is_empty(), "traced solve must report phases");
+        for p in phases {
+            assert!(p.get("wall_ms").and_then(|j| j.as_f64()).unwrap() >= 0.0);
+            let kind = p.get("kind").and_then(|j| j.as_str()).unwrap();
+            assert!(kind == "cpu_only" || kind == "shared");
+        }
+        assert!(v.get("answer").and_then(|j| j.as_str()).is_some());
+    }
+
+    #[test]
+    fn compare_json_is_parseable() {
+        let c = run_compare_data("lcs", 64, "low").unwrap();
+        let text = render_compare_json("lcs", 64, "low", &c);
+        let v = lddp_trace::json::parse(&text).unwrap();
+        assert!(v.get("cpu_ms").and_then(|j| j.as_f64()).unwrap() > 0.0);
+        assert!(v.get("framework_ms").and_then(|j| j.as_f64()).unwrap() > 0.0);
+        assert_eq!(v.get("platform").and_then(|j| j.as_str()), Some("low"));
+    }
+
+    #[test]
+    fn trace_command_writes_loadable_chrome_json() {
+        let dir = std::env::temp_dir();
+        let out = dir.join("lddp_cli_test.trace.json");
+        let metrics = dir.join("lddp_cli_test.metrics.jsonl");
+        // Explicit parameters that force a shared phase, so the trace
+        // contains Link transfer spans (the tuner picks a CPU-only
+        // schedule for small Levenshtein instances).
+        let msg = run_trace(
+            "levenshtein",
+            256,
+            "high",
+            Some(ScheduleParams::new(8, 64)),
+            out.to_str().unwrap(),
+            Some(metrics.to_str().unwrap()),
+        )
+        .unwrap();
+        assert!(msg.contains("spans"));
+        let text = std::fs::read_to_string(&out).unwrap();
+        let v = lddp_trace::json::parse(&text).unwrap();
+        let events = v.get("traceEvents").and_then(|j| j.as_arr()).unwrap();
+        // Phase spans, wave spans and transfer spans all present.
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|j| j.as_str()))
+            .collect();
+        assert!(names.iter().any(|n| n.starts_with("phase.")));
+        assert!(names.iter().any(|n| *n == "wave"));
+        assert!(names.iter().any(|n| *n == "copy"));
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.lines().count() > 3);
+        for line in m.lines() {
+            lddp_trace::json::parse(line).unwrap();
+        }
+
+        // A tuned trace additionally records the sweep.
+        let msg = run_trace("levenshtein", 64, "high", None, out.to_str().unwrap(), None).unwrap();
+        assert!(msg.contains("spans"));
+        let text = std::fs::read_to_string(&out).unwrap();
+        let v = lddp_trace::json::parse(&text).unwrap();
+        let events = v.get("traceEvents").and_then(|j| j.as_arr()).unwrap();
+        assert!(events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|j| j.as_str()))
+            .any(|n| n == "tuner.sweep"));
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&metrics);
     }
 
     #[test]

@@ -31,22 +31,67 @@ pub use hetero_sim;
 pub use lddp_core as core;
 pub use lddp_parallel as parallel;
 pub use lddp_problems as problems;
+pub use lddp_trace as trace;
 
 /// Platform presets re-exported for convenience.
 pub mod platforms {
     pub use hetero_sim::platform::{hetero_high, hetero_low, xeon_phi_like, Platform};
 }
 
-use hetero_sim::exec::{run_cpu_as, run_gpu_as, run_hetero, Breakdown, ExecOptions};
+use hetero_sim::exec::{run_cpu_as, run_gpu_as, run_hetero, Breakdown, ExecOptions, WaveRecord};
 use hetero_sim::platform::Platform;
 use lddp_core::framework::{choose_execution, Adapter, Classification, TransposedKernel};
 use lddp_core::grid::{Grid, LayoutKind};
 use lddp_core::kernel::Kernel;
 use lddp_core::pattern::ProfileShape;
-use lddp_core::schedule::{Plan, ScheduleParams};
+use lddp_core::schedule::{PhaseKind, PhaseSpan, Plan, ScheduleParams};
 use lddp_core::tuner::{self, TuneResult};
 use lddp_core::wavefront::Dims;
 use lddp_core::Result;
+use lddp_trace::{NullSink, TraceSink};
+use std::ops::Range;
+
+/// Cost breakdown of one schedule phase of a heterogeneous run: how
+/// much wall (model) time the phase covered and how busy each engine
+/// was within it. Produced by [`Framework::solve_traced`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase kind (CPU-only ramp vs shared band).
+    pub kind: PhaseKind,
+    /// Wave indices covered by the phase.
+    pub waves: Range<usize>,
+    /// Model time the phase spans, seconds.
+    pub wall_s: f64,
+    /// CPU busy time within the phase.
+    pub cpu_busy_s: f64,
+    /// GPU busy time within the phase.
+    pub gpu_busy_s: f64,
+    /// Un-hidden copy time within the phase.
+    pub copy_s: f64,
+}
+
+/// Per-phase stats from a recorded timeline (ranges clamped to it).
+fn phase_stats(timeline: &[WaveRecord], phases: &[PhaseSpan]) -> Vec<PhaseStat> {
+    phases
+        .iter()
+        .filter_map(|p| {
+            let lo = p.waves.start.min(timeline.len());
+            let hi = p.waves.end.min(timeline.len());
+            if lo >= hi {
+                return None;
+            }
+            let recs = &timeline[lo..hi];
+            Some(PhaseStat {
+                kind: p.kind,
+                waves: p.waves.clone(),
+                wall_s: recs.iter().map(|r| r.span_s).sum(),
+                cpu_busy_s: recs.iter().map(|r| r.cpu_s).sum(),
+                gpu_busy_s: recs.iter().map(|r| r.gpu_s).sum(),
+                copy_s: recs.iter().map(|r| r.copy_s).sum(),
+            })
+        })
+        .collect()
+}
 
 /// Outcome of a heterogeneous solve: the filled table (in the caller's
 /// orientation), the virtual-time cost, and the decisions taken.
@@ -62,6 +107,10 @@ pub struct Solution<T> {
     pub classification: Classification,
     /// The schedule parameters used.
     pub params: ScheduleParams,
+    /// Per-phase cost breakdown. Filled by
+    /// [`Framework::solve_traced`]; empty for the untraced paths (they
+    /// skip timeline recording).
+    pub phases: Vec<PhaseStat>,
 }
 
 /// High-level driver: classify → adapt → (tune) → execute.
@@ -152,6 +201,16 @@ impl Framework {
     /// Runs the two-stage §V-A sweep and returns the tuned parameters
     /// with both curves.
     pub fn tune<K: Kernel>(&self, kernel: &K) -> Result<TuneResult> {
+        self.tune_with_sink(kernel, &NullSink)
+    }
+
+    /// [`Framework::tune`] with every evaluated sweep point recorded
+    /// into `sink` (see [`tuner::tune_with_sink`]).
+    pub fn tune_with_sink<K: Kernel>(
+        &self,
+        kernel: &K,
+        sink: &dyn TraceSink,
+    ) -> Result<TuneResult> {
         let class = self.classify(kernel)?;
         let dims = self.exec_dims(kernel, &class);
         let waves = class.exec_pattern.num_waves(dims.rows, dims.cols);
@@ -160,10 +219,15 @@ impl Framework {
             _ => tuner::t_switch_candidates(waves),
         };
         let share_candidates = tuner::t_share_candidates(dims.cols);
-        tuner::tune(&switch_candidates, &share_candidates, |params| {
-            self.estimate(kernel, params)
-                .expect("candidate parameters are in range")
-        })
+        tuner::tune_with_sink(
+            &switch_candidates,
+            &share_candidates,
+            |params| {
+                self.estimate(kernel, params)
+                    .expect("candidate parameters are in range")
+            },
+            sink,
+        )
     }
 
     /// Like [`Framework::tune`], but exploits the concavity of the Fig 7
@@ -206,23 +270,65 @@ impl Framework {
         kernel: &K,
         params: ScheduleParams,
     ) -> Result<Solution<K::Cell>> {
+        self.dispatch_solve(kernel, params, false, &NullSink)
+    }
+
+    /// Tunes (when `params` is `None`) and solves with full
+    /// observability: the run records its wave timeline, emits the
+    /// standard event set (phase/wave/transfer spans, byte counters,
+    /// tuner sweep points) into `sink`, and returns per-phase stats in
+    /// [`Solution::phases`]. Pass a
+    /// [`Recorder`](lddp_trace::Recorder) and export the snapshot with
+    /// [`lddp_trace::chrome::to_chrome_json`] to get a
+    /// Perfetto-loadable timeline.
+    pub fn solve_traced<K: Kernel>(
+        &self,
+        kernel: &K,
+        params: Option<ScheduleParams>,
+        sink: &dyn TraceSink,
+    ) -> Result<Solution<K::Cell>> {
+        let params = match params {
+            Some(p) => p,
+            None => self.tune_with_sink(kernel, sink)?.params,
+        };
+        self.dispatch_solve(kernel, params, true, sink)
+    }
+
+    fn dispatch_solve<K: Kernel>(
+        &self,
+        kernel: &K,
+        params: ScheduleParams,
+        record: bool,
+        sink: &dyn TraceSink,
+    ) -> Result<Solution<K::Cell>> {
         let class = self.classify(kernel)?;
         match class.adapter {
-            Adapter::None => self.solve_inner(kernel, kernel, class, params, |i, j| (i, j)),
+            Adapter::None => {
+                self.solve_inner(kernel, kernel, class, params, |i, j| (i, j), record, sink)
+            }
             Adapter::Transpose => {
                 let t = TransposedKernel::new(kernel)?;
-                self.solve_inner(kernel, &t, class, params, |i, j| (j, i))
+                self.solve_inner(kernel, &t, class, params, |i, j| (j, i), record, sink)
             }
             Adapter::Mirror => {
                 let cols = kernel.dims().cols;
                 let m = lddp_core::framework::MirroredKernel::new(kernel)?;
-                self.solve_inner(kernel, &m, class, params, move |i, j| (i, cols - 1 - j))
+                self.solve_inner(
+                    kernel,
+                    &m,
+                    class,
+                    params,
+                    move |i, j| (i, cols - 1 - j),
+                    record,
+                    sink,
+                )
             }
         }
     }
 
     /// Runs `exec_kernel` heterogeneously and maps the grid back into
     /// `user_kernel`'s coordinates via `to_exec`.
+    #[allow(clippy::too_many_arguments)]
     fn solve_inner<KU, KE>(
         &self,
         user_kernel: &KU,
@@ -230,6 +336,8 @@ impl Framework {
         class: Classification,
         params: ScheduleParams,
         to_exec: impl Fn(usize, usize) -> (usize, usize),
+        record: bool,
+        sink: &dyn TraceSink,
     ) -> Result<Solution<KU::Cell>>
     where
         KU: Kernel,
@@ -241,7 +349,20 @@ impl Framework {
             exec_kernel.dims(),
             params,
         )?;
-        let report = run_hetero(exec_kernel, &plan, &self.platform, &self.exec_options(true))?;
+        let mut opts = self.exec_options(true);
+        opts.record_timeline = record;
+        let report = run_hetero(exec_kernel, &plan, &self.platform, &opts)?;
+        let phases = if record {
+            hetero_sim::trace::record_run(
+                sink,
+                &report.timeline,
+                &plan.phases(),
+                report.breakdown.setup_s,
+            );
+            phase_stats(&report.timeline, &plan.phases())
+        } else {
+            Vec::new()
+        };
         let exec_grid = report.grid.expect("functional run returns the grid");
         let dims = user_kernel.dims();
         let mut grid = Grid::new(LayoutKind::RowMajor, dims);
@@ -257,6 +378,7 @@ impl Framework {
             breakdown: report.breakdown,
             classification: class,
             params,
+            phases,
         })
     }
 
@@ -318,6 +440,7 @@ impl Framework {
             breakdown: report.breakdown,
             classification: class,
             params: ScheduleParams::new(t_switch, avg_band),
+            phases: Vec::new(),
         })
     }
 
