@@ -38,6 +38,7 @@ pub mod pattern;
 pub mod schedule;
 pub mod seq;
 pub mod tuner;
+pub mod tuner_cache;
 pub mod wavefront;
 
 pub use cell::{ContributingSet, RepCell};

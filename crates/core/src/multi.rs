@@ -86,11 +86,7 @@ impl MultiPlan {
             });
         }
         let num_waves = pattern.num_waves(dims.rows, dims.cols);
-        let max_switch = match pattern.profile_shape() {
-            ProfileShape::RampUpDown => num_waves / 2,
-            ProfileShape::Decreasing => num_waves,
-            ProfileShape::Constant => 0,
-        };
+        let max_switch = crate::schedule::max_t_switch(pattern, dims);
         if t_switch > max_switch {
             return Err(Error::InvalidSchedule {
                 pattern,

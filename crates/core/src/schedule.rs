@@ -206,6 +206,30 @@ impl ScheduleParams {
     pub const fn new(t_switch: usize, t_share: usize) -> Self {
         ScheduleParams { t_switch, t_share }
     }
+
+    /// The nearest parameters legal for `pattern` on a `dims` table:
+    /// `t_switch` capped at [`max_t_switch`], `t_share` at the column
+    /// count. Lets parameters tuned on one instance (say, a cached
+    /// tuner result keyed by a dims *bucket*) be applied safely to a
+    /// nearby instance of different exact size.
+    pub fn clamped_for(self, pattern: Pattern, dims: Dims) -> ScheduleParams {
+        ScheduleParams::new(
+            self.t_switch.min(max_t_switch(pattern, dims)),
+            self.t_share.min(dims.cols),
+        )
+    }
+}
+
+/// Largest `t_switch` [`Plan::new`] accepts for `pattern` on a `dims`
+/// table: half the waves for ramp-up-down profiles (both ramps), all of
+/// them for decreasing profiles, zero for constant ones.
+pub fn max_t_switch(pattern: Pattern, dims: Dims) -> usize {
+    let num_waves = pattern.num_waves(dims.rows, dims.cols);
+    match pattern.profile_shape() {
+        ProfileShape::RampUpDown => num_waves / 2,
+        ProfileShape::Decreasing => num_waves,
+        ProfileShape::Constant => 0,
+    }
 }
 
 /// Kind of a schedule phase.

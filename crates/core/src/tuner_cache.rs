@@ -1,0 +1,189 @@
+//! A keyed cache for tuned schedule parameters — the serving-side
+//! amortization of the paper's §V-A empirical sweeps.
+//!
+//! Tuning is by far the most expensive step of a solve (tens of
+//! schedule evaluations), yet its result depends only on the executed
+//! *pattern*, the table *shape* and the *platform* — not on the cell
+//! values. A server handling many requests for the same problem family
+//! can therefore tune once and reuse: [`TuneKey`] buckets the exact
+//! dimensions to their next power of two, so any instance in the same
+//! bucket shares one `(t_switch, t_share)` artifact. Consumers must
+//! re-legalize cached parameters for the exact instance with
+//! [`ScheduleParams::clamped_for`](crate::schedule::ScheduleParams::clamped_for)
+//! (a cached `t_switch` tuned near the top of the bucket can exceed a
+//! smaller instance's wave count).
+//!
+//! The cache is thread-safe and intentionally tiny: a mutexed map plus
+//! hit/miss counters. Single-flight de-duplication is left to the
+//! caller (the serve batcher already serializes tunes per batch key).
+
+use crate::pattern::Pattern;
+use crate::schedule::ScheduleParams;
+use crate::wavefront::Dims;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache key: executed pattern + power-of-two dims bucket + platform.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TuneKey {
+    /// The canonical execution pattern (after any symmetry adapter).
+    pub pattern: Pattern,
+    /// `rows` rounded up to the next power of two.
+    pub rows_bucket: usize,
+    /// `cols` rounded up to the next power of two.
+    pub cols_bucket: usize,
+    /// Platform preset name the tune was measured on.
+    pub platform: String,
+}
+
+impl TuneKey {
+    /// Builds the key for an instance of `dims` executing as `pattern`
+    /// on `platform`.
+    pub fn new(pattern: Pattern, dims: Dims, platform: impl Into<String>) -> TuneKey {
+        TuneKey {
+            pattern,
+            rows_bucket: dims.rows.next_power_of_two(),
+            cols_bucket: dims.cols.next_power_of_two(),
+            platform: platform.into(),
+        }
+    }
+
+    /// A compact human-readable form, e.g. `AntiDiagonal/1024x1024/high`
+    /// (used as a trace-span argument).
+    pub fn label(&self) -> String {
+        format!(
+            "{:?}/{}x{}/{}",
+            self.pattern, self.rows_bucket, self.cols_bucket, self.platform
+        )
+    }
+}
+
+/// Thread-safe `TuneKey → ScheduleParams` cache with hit/miss counters.
+#[derive(Debug, Default)]
+pub struct TunerCache {
+    map: Mutex<HashMap<TuneKey, ScheduleParams>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TunerCache {
+    /// An empty cache.
+    pub fn new() -> TunerCache {
+        TunerCache::default()
+    }
+
+    /// The cached parameters for `key`, if present (counts a hit or a
+    /// miss).
+    pub fn get(&self, key: &TuneKey) -> Option<ScheduleParams> {
+        let found = self.map.lock().unwrap().get(key).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores `params` for `key` (last write wins).
+    pub fn insert(&self, key: TuneKey, params: ScheduleParams) {
+        self.map.lock().unwrap().insert(key, params);
+    }
+
+    /// The cached parameters for `key`, tuning via `tune` on a miss and
+    /// caching the result. Returns `(params, hit)`. The tune closure
+    /// runs outside the cache lock, so concurrent misses on the same
+    /// key may tune redundantly (both results are equal; last wins).
+    pub fn get_or_tune<E>(
+        &self,
+        key: &TuneKey,
+        tune: impl FnOnce() -> std::result::Result<ScheduleParams, E>,
+    ) -> std::result::Result<(ScheduleParams, bool), E> {
+        if let Some(params) = self.get(key) {
+            return Ok((params, true));
+        }
+        let params = tune()?;
+        self.insert(key.clone(), params);
+        Ok((params, false))
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_bucket_dims_to_powers_of_two() {
+        let a = TuneKey::new(Pattern::AntiDiagonal, Dims::new(700, 1000), "high");
+        let b = TuneKey::new(Pattern::AntiDiagonal, Dims::new(1024, 513), "high");
+        assert_eq!(a.rows_bucket, 1024);
+        assert_eq!(a.cols_bucket, 1024);
+        assert_eq!(a, b);
+        // Different platform or pattern → different key.
+        assert_ne!(a, TuneKey::new(Pattern::AntiDiagonal, Dims::new(700, 1000), "low"));
+        assert_ne!(a, TuneKey::new(Pattern::Horizontal, Dims::new(700, 1000), "high"));
+        assert!(a.label().contains("1024x1024/high"));
+    }
+
+    #[test]
+    fn get_or_tune_caches_and_counts() {
+        let cache = TunerCache::new();
+        let key = TuneKey::new(Pattern::Horizontal, Dims::new(64, 64), "high");
+        let mut tunes = 0;
+        let (p, hit) = cache
+            .get_or_tune(&key, || -> Result<_, ()> {
+                tunes += 1;
+                Ok(ScheduleParams::new(0, 8))
+            })
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(p, ScheduleParams::new(0, 8));
+        let (p2, hit2) = cache
+            .get_or_tune(&key, || -> Result<_, ()> {
+                tunes += 1;
+                Ok(ScheduleParams::new(0, 99))
+            })
+            .unwrap();
+        assert!(hit2);
+        assert_eq!(p2, ScheduleParams::new(0, 8));
+        assert_eq!(tunes, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn tune_errors_are_not_cached() {
+        let cache = TunerCache::new();
+        let key = TuneKey::new(Pattern::Horizontal, Dims::new(8, 8), "low");
+        let r: Result<_, String> = cache.get_or_tune(&key, || Err("boom".to_string()));
+        assert!(r.is_err());
+        assert!(cache.is_empty());
+        let (_, hit) = cache
+            .get_or_tune(&key, || -> Result<_, String> {
+                Ok(ScheduleParams::new(0, 1))
+            })
+            .unwrap();
+        assert!(!hit);
+    }
+}

@@ -32,6 +32,23 @@ pub mod smith_waterman;
 pub mod synthetic;
 pub mod weighted_edit;
 
+/// Canonical names of every DP problem this crate ships a kernel for,
+/// as drivers (the CLI, the solve server) spell them. Adding a kernel
+/// module without registering its name here fails the CLI coverage
+/// test, so the registry cannot silently drift.
+pub const NAMES: &[&str] = &[
+    "levenshtein",
+    "lcs",
+    "dtw",
+    "checkerboard",
+    "dithering",
+    "seam",
+    "maxsquare",
+    "needleman-wunsch",
+    "smith-waterman",
+    "weighted-edit",
+];
+
 pub use checkerboard::CheckerboardKernel;
 pub use dithering::{DitherCell, DitherKernel};
 pub use dtw::DtwKernel;

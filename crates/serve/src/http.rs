@@ -1,0 +1,201 @@
+//! A deliberately tiny HTTP/1.1 subset over `std::net` — just enough
+//! for the solve API and its load generator: one request per
+//! connection (`Connection: close`), `Content-Length` bodies only (no
+//! chunked encoding), ASCII headers, JSON payloads.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on accepted request bodies (1 MiB) — a crude protection against
+/// a client streaming an unbounded body at the server.
+const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Upper-case method.
+    pub method: String,
+    /// Path with query string stripped.
+    pub path: String,
+    /// Raw body (empty when absent).
+    pub body: String,
+}
+
+/// Reads one HTTP request off `stream` (which should carry a read
+/// timeout).
+pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
+    let head = read_until_blank_line(stream)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_ascii_uppercase();
+    let target = parts.next().ok_or("missing request target")?;
+    let path = target.split('?').next().unwrap_or("").to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad content-length: {e}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds the cap"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| format!("reading body: {e}"))?;
+    Ok(HttpRequest {
+        method,
+        path,
+        body: String::from_utf8(body).map_err(|_| "body is not UTF-8")?,
+    })
+}
+
+/// Reads bytes one at a time until the `\r\n\r\n` header terminator.
+/// (Byte-at-a-time keeps the body untouched for `read_exact`; request
+/// heads are tiny, so this costs nothing that matters here.)
+fn read_until_blank_line(stream: &mut TcpStream) -> Result<String, String> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() > 16 * 1024 {
+            return Err("request head too large".into());
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed mid-request".into()),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(format!("reading request: {e}")),
+        }
+    }
+    head.truncate(head.len() - 4);
+    String::from_utf8(head).map_err(|_| "request head is not UTF-8".into())
+}
+
+/// Standard reason phrase of the statuses this API emits.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response and flushes.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal HTTP client: one request, one `(status, body)` response.
+/// Used by the load generator and the CI smoke test.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_write_timeout(Some(timeout)).ok();
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body.as_bytes()))
+        .and_then(|_| stream.flush())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let text = String::from_utf8(raw).map_err(|_| "response is not UTF-8")?;
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or("response missing header terminator")?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or("response missing status code")?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_round_trips_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            let req = read_request(&mut conn).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/solve");
+            assert_eq!(req.body, r#"{"problem":"lcs"}"#);
+            write_response(&mut conn, 200, r#"{"ok":true}"#).unwrap();
+        });
+        let (status, body) = request(
+            &addr,
+            "POST",
+            "/solve?verbose=1",
+            Some(r#"{"problem":"lcs"}"#),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"ok":true}"#);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn bodyless_get_parses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let req = read_request(&mut conn).unwrap();
+            assert_eq!(req.method, "GET");
+            assert_eq!(req.path, "/healthz");
+            assert!(req.body.is_empty());
+            write_response(&mut conn, 404, "{}").unwrap();
+        });
+        let (status, _) = request(&addr, "GET", "/healthz", None, Duration::from_secs(5)).unwrap();
+        assert_eq!(status, 404);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn status_texts_cover_api_codes() {
+        for code in [200, 400, 404, 405, 429, 500, 503, 504] {
+            assert_ne!(status_text(code), "Unknown");
+        }
+        assert_eq!(status_text(999), "Unknown");
+    }
+}

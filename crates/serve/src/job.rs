@@ -1,0 +1,424 @@
+//! Request/response/rejection types of the solve service and their
+//! JSON wire forms (hand-rolled, parsed with [`lddp_trace::json`]).
+
+use lddp_core::schedule::ScheduleParams;
+use lddp_trace::json::{self, escape, num, Json};
+
+/// One solve request, as admitted into the queue.
+///
+/// `problem`/`n`/`platform` identify the instance the same way
+/// `lddp-cli solve` does; the batcher groups requests by
+/// [`SolveRequest::batch_key`] so one tuner artifact serves the group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveRequest {
+    /// Problem name (must be known to the backend).
+    pub problem: String,
+    /// Instance size (table side).
+    pub n: usize,
+    /// Platform preset name (`high` / `low`).
+    pub platform: String,
+    /// Explicit schedule parameters; `None` means "use the (cached)
+    /// tuner".
+    pub params: Option<ScheduleParams>,
+    /// Per-request deadline: if the request is still queued this many
+    /// milliseconds after admission, it is rejected instead of solved.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SolveRequest {
+    /// A request for `problem` at size `n` on the `high` platform with
+    /// tuned parameters and no deadline.
+    pub fn new(problem: impl Into<String>, n: usize) -> SolveRequest {
+        SolveRequest {
+            problem: problem.into(),
+            n,
+            platform: "high".to_string(),
+            params: None,
+            deadline_ms: None,
+        }
+    }
+
+    /// The batching key: requests with equal keys may share one batch
+    /// (and one tuner-cache artifact). Sizes are bucketed to the next
+    /// power of two; explicit parameters are part of the key so they
+    /// never mix with tuned requests.
+    pub fn batch_key(&self) -> BatchKey {
+        BatchKey {
+            problem: self.problem.clone(),
+            n_bucket: self.n.next_power_of_two(),
+            platform: self.platform.clone(),
+            params: self.params.map(|p| (p.t_switch, p.t_share)),
+        }
+    }
+
+    /// The JSON body of a `POST /solve`.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"problem\":\"{}\",\"n\":{},\"platform\":\"{}\"",
+            escape(&self.problem),
+            self.n,
+            escape(&self.platform)
+        );
+        if let Some(p) = self.params {
+            s.push_str(&format!(
+                ",\"t_switch\":{},\"t_share\":{}",
+                p.t_switch, p.t_share
+            ));
+        }
+        if let Some(d) = self.deadline_ms {
+            s.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses a `POST /solve` body. `problem` is required; `n` defaults
+    /// to 256, `platform` to `high`.
+    pub fn from_json(text: &str) -> Result<SolveRequest, String> {
+        let v = json::parse(text)?;
+        let problem = v
+            .get("problem")
+            .and_then(Json::as_str)
+            .ok_or("missing \"problem\"")?
+            .to_string();
+        let n = match v.get("n") {
+            Some(j) => {
+                let f = j.as_f64().ok_or("\"n\" must be a number")?;
+                if f < 1.0 || f.fract() != 0.0 {
+                    return Err("\"n\" must be a positive integer".into());
+                }
+                f as usize
+            }
+            None => 256,
+        };
+        let platform = v
+            .get("platform")
+            .map(|j| j.as_str().ok_or("\"platform\" must be a string"))
+            .transpose()?
+            .unwrap_or("high")
+            .to_string();
+        let int_field = |key: &str| -> Result<Option<usize>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(j) => {
+                    let f = j.as_f64().ok_or(format!("\"{key}\" must be a number"))?;
+                    if f < 0.0 || f.fract() != 0.0 {
+                        return Err(format!("\"{key}\" must be a non-negative integer"));
+                    }
+                    Ok(Some(f as usize))
+                }
+            }
+        };
+        let params = match (int_field("t_switch")?, int_field("t_share")?) {
+            (None, None) => None,
+            (sw, sh) => Some(ScheduleParams::new(sw.unwrap_or(0), sh.unwrap_or(0))),
+        };
+        let deadline_ms = int_field("deadline_ms")?.map(|d| d as u64);
+        Ok(SolveRequest {
+            problem,
+            n,
+            platform,
+            params,
+            deadline_ms,
+        })
+    }
+}
+
+/// The batch/tuner-amortization key derived from a request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Problem name.
+    pub problem: String,
+    /// Instance size bucketed to the next power of two.
+    pub n_bucket: usize,
+    /// Platform preset name.
+    pub platform: String,
+    /// Explicit parameters, when the request pins them.
+    pub params: Option<(usize, usize)>,
+}
+
+impl BatchKey {
+    /// Compact display form, used as a trace-span argument.
+    pub fn label(&self) -> String {
+        match self.params {
+            Some((sw, sh)) => format!(
+                "{}/{}/{}/{}+{}",
+                self.problem, self.n_bucket, self.platform, sw, sh
+            ),
+            None => format!("{}/{}/{}", self.problem, self.n_bucket, self.platform),
+        }
+    }
+}
+
+/// Why the admission controller (or the deadline check) refused a
+/// request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue was at capacity — backpressure.
+    QueueFull {
+        /// The configured capacity the queue was at.
+        capacity: usize,
+    },
+    /// The server is draining and admits nothing new.
+    ShuttingDown,
+    /// The request's deadline expired while it sat in the queue.
+    DeadlineExceeded {
+        /// How long the request waited, milliseconds.
+        waited_ms: u64,
+        /// The deadline it carried, milliseconds.
+        deadline_ms: u64,
+    },
+    /// The request failed validation (unknown problem, bad size…).
+    Invalid(String),
+}
+
+impl RejectReason {
+    /// Stable machine-readable code (the `error` field on the wire).
+    pub fn code(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::ShuttingDown => "shutting_down",
+            RejectReason::DeadlineExceeded { .. } => "deadline_exceeded",
+            RejectReason::Invalid(_) => "invalid",
+        }
+    }
+
+    /// Human-readable detail.
+    pub fn message(&self) -> String {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                format!("queue full ({capacity} requests); retry later")
+            }
+            RejectReason::ShuttingDown => "server is draining".to_string(),
+            RejectReason::DeadlineExceeded {
+                waited_ms,
+                deadline_ms,
+            } => format!("deadline {deadline_ms} ms exceeded after waiting {waited_ms} ms"),
+            RejectReason::Invalid(msg) => msg.clone(),
+        }
+    }
+
+    /// The HTTP status the wire API maps this rejection to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            RejectReason::QueueFull { .. } => 429,
+            RejectReason::ShuttingDown => 503,
+            RejectReason::DeadlineExceeded { .. } => 504,
+            RejectReason::Invalid(_) => 400,
+        }
+    }
+}
+
+/// How a submitted request can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Refused without solving (admission control or deadline).
+    Rejected(RejectReason),
+    /// The backend solve itself failed.
+    Backend(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Rejected(r) => r.code(),
+            ServeError::Backend(_) => "backend_error",
+        }
+    }
+
+    /// Human-readable detail.
+    pub fn message(&self) -> String {
+        match self {
+            ServeError::Rejected(r) => r.message(),
+            ServeError::Backend(msg) => msg.clone(),
+        }
+    }
+
+    /// HTTP status for the wire API (backend failures are 500s).
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::Rejected(r) => r.http_status(),
+            ServeError::Backend(_) => 500,
+        }
+    }
+
+    /// The JSON error body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"error\":\"{}\",\"message\":\"{}\"}}",
+            self.code(),
+            escape(&self.message())
+        )
+    }
+}
+
+/// A completed solve, as returned to the submitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResponse {
+    /// Server-assigned request id.
+    pub id: u64,
+    /// Echo of the requested problem.
+    pub problem: String,
+    /// Echo of the requested size.
+    pub n: usize,
+    /// The problem's headline answer (same text `lddp-cli solve`
+    /// prints), used by the load generator's oracle check.
+    pub answer: String,
+    /// Modelled (virtual) solve time on the platform, milliseconds.
+    pub virtual_ms: f64,
+    /// The schedule parameters actually executed.
+    pub params: ScheduleParams,
+    /// Wall time spent queued, milliseconds.
+    pub queue_ms: f64,
+    /// Wall time spent solving, milliseconds.
+    pub solve_ms: f64,
+    /// Number of requests in the batch this one rode in.
+    pub batch_size: usize,
+    /// Whether the batch's parameters came from the tuner cache.
+    pub cache_hit: bool,
+}
+
+impl SolveResponse {
+    /// The JSON body of a successful `POST /solve`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"problem\":\"{}\",\"n\":{},\"answer\":\"{}\",\
+             \"virtual_ms\":{},\"t_switch\":{},\"t_share\":{},\
+             \"queue_ms\":{},\"solve_ms\":{},\"batch_size\":{},\"cache_hit\":{}}}",
+            self.id,
+            escape(&self.problem),
+            self.n,
+            escape(&self.answer),
+            num(self.virtual_ms),
+            self.params.t_switch,
+            self.params.t_share,
+            num(self.queue_ms),
+            num(self.solve_ms),
+            self.batch_size,
+            self.cache_hit,
+        )
+    }
+
+    /// Parses a successful `POST /solve` body.
+    pub fn from_json(text: &str) -> Result<SolveResponse, String> {
+        let v = json::parse(text)?;
+        let f = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing number \"{key}\""))
+        };
+        let s = |key: &str| -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("missing string \"{key}\""))?
+                .to_string())
+        };
+        Ok(SolveResponse {
+            id: f("id")? as u64,
+            problem: s("problem")?,
+            n: f("n")? as usize,
+            answer: s("answer")?,
+            virtual_ms: f("virtual_ms")?,
+            params: ScheduleParams::new(f("t_switch")? as usize, f("t_share")? as usize),
+            queue_ms: f("queue_ms")?,
+            solve_ms: f("solve_ms")?,
+            batch_size: f("batch_size")? as usize,
+            cache_hit: v
+                .get("cache_hit")
+                .and_then(Json::as_bool)
+                .ok_or("missing bool \"cache_hit\"")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_json_round_trips() {
+        let mut req = SolveRequest::new("lcs", 300);
+        req.platform = "low".into();
+        req.params = Some(ScheduleParams::new(4, 16));
+        req.deadline_ms = Some(1500);
+        let back = SolveRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(req, back);
+
+        // Defaults.
+        let min = SolveRequest::from_json(r#"{"problem":"dtw"}"#).unwrap();
+        assert_eq!(min.n, 256);
+        assert_eq!(min.platform, "high");
+        assert_eq!(min.params, None);
+        assert_eq!(min.deadline_ms, None);
+    }
+
+    #[test]
+    fn request_json_rejects_garbage() {
+        assert!(SolveRequest::from_json("{}").is_err());
+        assert!(SolveRequest::from_json(r#"{"problem":"lcs","n":-4}"#).is_err());
+        assert!(SolveRequest::from_json(r#"{"problem":"lcs","n":1.5}"#).is_err());
+        assert!(SolveRequest::from_json(r#"{"problem":"lcs","platform":7}"#).is_err());
+        assert!(SolveRequest::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn batch_keys_bucket_and_separate_explicit_params() {
+        let a = SolveRequest::new("lcs", 200).batch_key();
+        let b = SolveRequest::new("lcs", 256).batch_key();
+        assert_eq!(a, b);
+        assert_eq!(a.n_bucket, 256);
+        let mut c = SolveRequest::new("lcs", 200);
+        c.params = Some(ScheduleParams::new(1, 2));
+        assert_ne!(a, c.batch_key());
+        assert!(c.batch_key().label().contains("1+2"));
+        let mut d = SolveRequest::new("lcs", 200);
+        d.platform = "low".into();
+        assert_ne!(a, d.batch_key());
+    }
+
+    #[test]
+    fn response_json_round_trips() {
+        let resp = SolveResponse {
+            id: 42,
+            problem: "levenshtein".into(),
+            n: 128,
+            answer: "edit distance = 97".into(),
+            virtual_ms: 1.5,
+            params: ScheduleParams::new(8, 64),
+            queue_ms: 0.25,
+            solve_ms: 3.75,
+            batch_size: 4,
+            cache_hit: true,
+        };
+        let back = SolveResponse::from_json(&resp.to_json()).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn reject_reasons_map_to_codes_and_statuses() {
+        let cases: Vec<(RejectReason, &str, u16)> = vec![
+            (RejectReason::QueueFull { capacity: 8 }, "queue_full", 429),
+            (RejectReason::ShuttingDown, "shutting_down", 503),
+            (
+                RejectReason::DeadlineExceeded {
+                    waited_ms: 10,
+                    deadline_ms: 5,
+                },
+                "deadline_exceeded",
+                504,
+            ),
+            (RejectReason::Invalid("bad".into()), "invalid", 400),
+        ];
+        for (r, code, status) in cases {
+            assert_eq!(r.code(), code);
+            assert_eq!(r.http_status(), status);
+            assert!(!r.message().is_empty());
+            let e = ServeError::Rejected(r);
+            assert!(e.to_json().contains(code));
+        }
+        let b = ServeError::Backend("boom".into());
+        assert_eq!(b.http_status(), 500);
+        assert_eq!(b.code(), "backend_error");
+    }
+}

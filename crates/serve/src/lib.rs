@@ -1,0 +1,335 @@
+//! # lddp-serve — a batching solve server for LDDP workloads
+//!
+//! This crate turns the one-shot `Framework::solve` path into a
+//! long-running service with the properties a shared deployment needs:
+//!
+//! - **Admission control & backpressure** — a bounded [`JobQueue`];
+//!   when it is full, requests are rejected immediately with
+//!   [`RejectReason::QueueFull`] (HTTP 429) instead of queueing without
+//!   bound. Requests may carry a deadline and are rejected with 504 if
+//!   it expires while they wait.
+//! - **Batching** — the dequeue side gathers queued requests sharing a
+//!   [`BatchKey`] (problem, size bucket, platform, pinned params) so
+//!   the expensive §V-A tuning step runs **once per batch** and its
+//!   result is amortized — backed by
+//!   [`lddp_core::tuner_cache::TunerCache`] across batches.
+//! - **Per-request tracing** — every request emits `serve.queue_wait`,
+//!   `serve.batch`, and `serve.solve` spans plus the counters in
+//!   [`lddp_trace::catalog`], so a traced serve run opens in Perfetto
+//!   with one lane per worker.
+//! - **Graceful shutdown** — `POST /shutdown` (or
+//!   [`Client::shutdown`]) closes admission, drains the queue, answers
+//!   everything in flight, then joins every thread.
+//!
+//! The crate is std-only and backend-agnostic: the actual tuning and
+//! solving sit behind [`SolveBackend`], implemented by the umbrella
+//! `lddp` crate (and by mocks in tests). Front ends: a hand-rolled
+//! HTTP/1.1 endpoint (`POST /solve`, `GET /healthz`, `GET /stats`,
+//! `POST /shutdown`) over `std::net`, and the in-process [`Client`].
+//! [`loadgen`] drives either through the same engine.
+
+pub mod http;
+pub mod job;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use job::{BatchKey, RejectReason, ServeError, SolveRequest, SolveResponse};
+pub use queue::{Job, JobQueue};
+pub use server::{BackendSolve, Client, ServeConfig, Server, SolveBackend};
+pub use stats::{LatencySummary, ServeStats, StatsSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_core::schedule::ScheduleParams;
+    use lddp_trace::{NullSink, Recorder, TraceSink};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    /// Deterministic fake backend: answers `"<problem>:<n>"`, counts
+    /// tune calls, and can be slowed down or made to fail.
+    struct MockBackend {
+        tunes: AtomicUsize,
+        solves: AtomicUsize,
+        solve_delay: Duration,
+        fail_problem: Option<&'static str>,
+    }
+
+    impl MockBackend {
+        fn new() -> MockBackend {
+            MockBackend {
+                tunes: AtomicUsize::new(0),
+                solves: AtomicUsize::new(0),
+                solve_delay: Duration::ZERO,
+                fail_problem: None,
+            }
+        }
+    }
+
+    impl SolveBackend for MockBackend {
+        fn validate(&self, req: &SolveRequest) -> Result<(), String> {
+            if req.problem == "unknown" {
+                Err(format!("unknown problem \"{}\"", req.problem))
+            } else {
+                Ok(())
+            }
+        }
+
+        fn tune(
+            &self,
+            _probe: &SolveRequest,
+            _sink: &dyn TraceSink,
+        ) -> Result<(ScheduleParams, bool), String> {
+            let prior = self.tunes.fetch_add(1, Ordering::SeqCst);
+            Ok((ScheduleParams::new(2, 16), prior > 0))
+        }
+
+        fn solve(
+            &self,
+            req: &SolveRequest,
+            params: ScheduleParams,
+            _sink: &dyn TraceSink,
+        ) -> Result<BackendSolve, String> {
+            self.solves.fetch_add(1, Ordering::SeqCst);
+            if !self.solve_delay.is_zero() {
+                std::thread::sleep(self.solve_delay);
+            }
+            if self.fail_problem == Some(req.problem.as_str()) {
+                return Err("kernel exploded".to_string());
+            }
+            Ok(BackendSolve {
+                answer: format!("{}:{}", req.problem, req.n),
+                virtual_ms: 0.5,
+                params,
+            })
+        }
+    }
+
+    #[test]
+    fn in_process_solve_round_trips() {
+        let backend = MockBackend::new();
+        let server = Server::new(ServeConfig::default(), &backend, &NullSink);
+        let resp = server
+            .run(None, |client| client.solve(SolveRequest::new("lcs", 128)))
+            .unwrap();
+        assert_eq!(resp.answer, "lcs:128");
+        assert_eq!(resp.params, ScheduleParams::new(2, 16));
+        assert!(resp.batch_size >= 1);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_admission() {
+        let backend = MockBackend::new();
+        let server = Server::new(ServeConfig::default(), &backend, &NullSink);
+        let err = server
+            .run(None, |client| client.solve(SolveRequest::new("unknown", 64)))
+            .unwrap_err();
+        assert_eq!(err.code(), "invalid");
+        assert_eq!(backend.solves.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn backend_failures_surface_as_backend_errors() {
+        let mut backend = MockBackend::new();
+        backend.fail_problem = Some("bad");
+        let server = Server::new(ServeConfig::default(), &backend, &NullSink);
+        let err = server
+            .run(None, |client| client.solve(SolveRequest::new("bad", 64)))
+            .unwrap_err();
+        assert_eq!(err.code(), "backend_error");
+        let snap = server.snapshot();
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.completed, 0);
+    }
+
+    #[test]
+    fn tune_runs_once_per_batch_and_amortizes() {
+        let backend = MockBackend::new();
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 32,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config, &backend, &NullSink);
+        server.run(None, |client| {
+            // Pile up same-key requests, then wait for them together;
+            // a single worker picks them up as (at most a few) batches.
+            let rxs: Vec<_> = (0..16)
+                .map(|_| client.submit(SolveRequest::new("lcs", 256)).unwrap())
+                .collect();
+            for rx in rxs {
+                let resp = rx.recv().unwrap().unwrap();
+                assert_eq!(resp.answer, "lcs:256");
+            }
+        });
+        let solves = backend.solves.load(Ordering::SeqCst);
+        let tunes = backend.tunes.load(Ordering::SeqCst);
+        assert_eq!(solves, 16);
+        assert!(
+            tunes < solves,
+            "tuning should be amortized: {tunes} tunes for {solves} solves"
+        );
+        let snap = server.snapshot();
+        assert_eq!(snap.completed, 16);
+        assert!(snap.mean_batch_size() > 1.0);
+    }
+
+    #[test]
+    fn queue_full_rejects_with_backpressure() {
+        let mut backend = MockBackend::new();
+        backend.solve_delay = Duration::from_millis(20);
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config, &backend, &NullSink);
+        server.run(None, |client| {
+            let mut rejected = 0;
+            let mut rxs = Vec::new();
+            for _ in 0..12 {
+                match client.submit(SolveRequest::new("lcs", 64)) {
+                    Ok(rx) => rxs.push(rx),
+                    Err(RejectReason::QueueFull { capacity }) => {
+                        assert_eq!(capacity, 2);
+                        rejected += 1;
+                    }
+                    Err(other) => panic!("unexpected rejection {other:?}"),
+                }
+            }
+            assert!(rejected > 0, "tiny queue under burst must shed load");
+            for rx in rxs {
+                rx.recv().unwrap().unwrap();
+            }
+            assert!(client.snapshot().rejected_full > 0);
+        });
+    }
+
+    #[test]
+    fn expired_deadlines_reject_instead_of_solving() {
+        let mut backend = MockBackend::new();
+        backend.solve_delay = Duration::from_millis(30);
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config, &backend, &NullSink);
+        server.run(None, |client| {
+            // First request occupies the worker; the second's 1 ms
+            // deadline expires while it queues behind it.
+            let slow = client.submit(SolveRequest::new("lcs", 64)).unwrap();
+            let mut hasty_req = SolveRequest::new("lcs", 64);
+            hasty_req.deadline_ms = Some(1);
+            let hasty = client.submit(hasty_req).unwrap();
+            slow.recv().unwrap().unwrap();
+            let err = hasty.recv().unwrap().unwrap_err();
+            assert_eq!(err.code(), "deadline_exceeded");
+        });
+        let snap = server.snapshot();
+        assert_eq!(snap.rejected_deadline, 1);
+        assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_and_then_rejects() {
+        let backend = MockBackend::new();
+        let server = Server::new(ServeConfig::default(), &backend, &NullSink);
+        server.run(None, |client| {
+            let rx = client.submit(SolveRequest::new("lcs", 64)).unwrap();
+            client.shutdown();
+            // Admitted before shutdown → still answered.
+            rx.recv().unwrap().unwrap();
+            // Admitted after → shed.
+            match client.submit(SolveRequest::new("lcs", 64)) {
+                Err(RejectReason::ShuttingDown) => {}
+                other => panic!("expected shutting_down, got {other:?}"),
+            }
+            client.wait_shutdown(); // returns immediately once draining
+        });
+    }
+
+    #[test]
+    fn traced_run_emits_queue_batch_solve_spans_and_counters() {
+        let backend = MockBackend::new();
+        let recorder = Recorder::new();
+        let server = Server::new(ServeConfig::default(), &backend, &recorder);
+        server.run(None, |client| {
+            for _ in 0..3 {
+                client.solve(SolveRequest::new("dtw", 128)).unwrap();
+            }
+        });
+        let data = recorder.into_data();
+        let span_names: Vec<&str> = data.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            lddp_trace::catalog::SPAN_QUEUE_WAIT,
+            lddp_trace::catalog::SPAN_BATCH,
+            lddp_trace::catalog::SPAN_SOLVE,
+        ] {
+            assert!(
+                span_names.contains(&expected),
+                "missing span {expected:?} in {span_names:?}"
+            );
+        }
+        for expected in [
+            lddp_trace::catalog::CTR_ACCEPTED,
+            lddp_trace::catalog::CTR_COMPLETED,
+            lddp_trace::catalog::CTR_BATCHES,
+        ] {
+            assert!(
+                data.counters.contains_key(expected),
+                "missing counter {expected:?} in {:?}",
+                data.counters.keys().collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(data.counters[lddp_trace::catalog::CTR_COMPLETED], 3);
+    }
+
+    #[test]
+    fn http_front_end_serves_all_routes() {
+        let backend = MockBackend::new();
+        let server = Server::new(ServeConfig::default(), &backend, &NullSink);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let timeout = Duration::from_secs(10);
+        server.run(Some(listener), |_client| {
+            let (status, body) = http::request(
+                &addr,
+                "POST",
+                "/solve",
+                Some(r#"{"problem":"lcs","n":96}"#),
+                timeout,
+            )
+            .unwrap();
+            assert_eq!(status, 200, "{body}");
+            let resp = SolveResponse::from_json(&body).unwrap();
+            assert_eq!(resp.answer, "lcs:96");
+
+            let (status, body) =
+                http::request(&addr, "POST", "/solve", Some(r#"{"n":5}"#), timeout).unwrap();
+            assert_eq!(status, 400, "{body}");
+
+            let (status, body) = http::request(&addr, "GET", "/healthz", None, timeout).unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+            let (status, body) = http::request(&addr, "GET", "/stats", None, timeout).unwrap();
+            assert_eq!(status, 200);
+            let v = lddp_trace::json::parse(&body).unwrap();
+            assert_eq!(v.get("completed").and_then(|j| j.as_f64()), Some(1.0));
+
+            let (status, _) = http::request(&addr, "GET", "/nope", None, timeout).unwrap();
+            assert_eq!(status, 404);
+            let (status, _) = http::request(&addr, "DELETE", "/stats", None, timeout).unwrap();
+            assert_eq!(status, 405);
+
+            let (status, body) = http::request(&addr, "POST", "/shutdown", None, timeout).unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains("draining"), "{body}");
+        });
+        // run() returning proves the drain joined every thread.
+    }
+}

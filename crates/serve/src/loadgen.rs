@@ -1,0 +1,457 @@
+//! Closed- and open-loop load generation against a solve target.
+//!
+//! *Closed loop* (no `rps`): `concurrency` workers each keep exactly one
+//! request in flight — offered load adapts to server speed, so the
+//! report measures capacity. *Open loop* (`rps` set): requests launch on
+//! a fixed schedule regardless of completions — offered load is
+//! constant, so the report measures behaviour under pressure (queueing,
+//! rejections) the way a real client population would.
+//!
+//! The target is abstracted behind [`SolveTarget`] so the same engine
+//! drives a remote server over HTTP ([`HttpTarget`]) or an in-process
+//! [`Client`](crate::Client) (zero-socket mode for tests and
+//! single-command benchmarks).
+
+use crate::http;
+use crate::job::{SolveRequest, SolveResponse};
+use crate::stats::{percentile, LatencySummary};
+use crate::Client;
+use lddp_trace::json;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Something that answers one solve request at a time.
+///
+/// Errors are `(code, message)` pairs using the server's wire codes
+/// (`queue_full`, `shutting_down`, `deadline_exceeded`, `invalid`,
+/// `backend`) plus the loadgen-local `transport` for connections that
+/// failed before an HTTP status came back.
+pub trait SolveTarget: Sync {
+    /// Executes one request, blocking until the outcome.
+    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)>;
+}
+
+/// A remote server reached over HTTP.
+pub struct HttpTarget {
+    /// `host:port` of the serving endpoint.
+    pub addr: String,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+}
+
+impl SolveTarget for HttpTarget {
+    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
+        let (status, body) =
+            http::request(&self.addr, "POST", "/solve", Some(&req.to_json()), self.timeout)
+                .map_err(|e| ("transport".to_string(), e))?;
+        if status == 200 {
+            SolveResponse::from_json(&body).map_err(|e| ("transport".to_string(), e))
+        } else {
+            let parsed = json::parse(&body).ok();
+            let field = |name: &str| {
+                parsed
+                    .as_ref()
+                    .and_then(|v| v.get(name))
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+            };
+            Err((
+                field("error").unwrap_or_else(|| format!("http_{status}")),
+                field("message").unwrap_or(body),
+            ))
+        }
+    }
+}
+
+impl SolveTarget for Client<'_, '_> {
+    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
+        self.solve(req.clone())
+            .map_err(|e| (e.code().to_string(), e.message()))
+    }
+}
+
+/// What one load run should do.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Request template; every request in the run is a clone of it.
+    pub request: SolveRequest,
+    /// Requests to send (`0` = unlimited, bounded by `duration` only).
+    pub total: usize,
+    /// Open-loop arrival rate; `None` selects closed-loop mode.
+    pub rps: Option<f64>,
+    /// Wall-clock cap on the run.
+    pub duration: Option<Duration>,
+    /// Closed-loop workers (ignored in open loop, where arrivals pace
+    /// themselves).
+    pub concurrency: usize,
+    /// Oracle answer: completed responses that disagree count as
+    /// `mismatches` (the correctness signal of a run).
+    pub expect_answer: Option<String>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            request: SolveRequest::new("lcs", 256),
+            total: 100,
+            rps: None,
+            duration: None,
+            concurrency: 4,
+            expect_answer: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    completed: usize,
+    mismatches: usize,
+    by_code: Vec<(String, usize)>,
+    total_ms: Vec<f64>,
+    queue_ms: Vec<f64>,
+    solve_ms: Vec<f64>,
+}
+
+impl Tally {
+    fn bump_code(&mut self, code: &str) {
+        if let Some(entry) = self.by_code.iter_mut().find(|(c, _)| c == code) {
+            entry.1 += 1;
+        } else {
+            self.by_code.push((code.to_string(), 1));
+        }
+    }
+}
+
+/// Outcome of one load run — what `lddp-cli loadgen` prints as JSON.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests actually launched.
+    pub sent: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Admission/deadline rejections (`queue_full`, `shutting_down`,
+    /// `deadline_exceeded`, `invalid`).
+    pub rejected: usize,
+    /// Backend/transport failures.
+    pub errors: usize,
+    /// Completed responses whose answer disagreed with the oracle.
+    pub mismatches: usize,
+    /// Per-code breakdown of every non-completed outcome.
+    pub by_code: Vec<(String, usize)>,
+    /// Run wall clock, seconds.
+    pub wall_s: f64,
+    /// Completions per second of wall clock.
+    pub throughput_rps: f64,
+    /// `rejected / sent`.
+    pub rejection_rate: f64,
+    /// End-to-end client-observed latency.
+    pub latency: LatencySummary,
+    /// Server-reported queue wait of completed requests.
+    pub queue: LatencySummary,
+    /// Server-reported solve time of completed requests.
+    pub solve: LatencySummary,
+}
+
+const REJECT_CODES: [&str; 4] = ["queue_full", "shutting_down", "deadline_exceeded", "invalid"];
+
+fn summarize(mut samples: Vec<f64>) -> LatencySummary {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    LatencySummary {
+        count: samples.len() as u64,
+        p50_ms: percentile(&samples, 0.50),
+        p95_ms: percentile(&samples, 0.95),
+        p99_ms: percentile(&samples, 0.99),
+        max_ms: samples.last().copied().unwrap_or(0.0),
+    }
+}
+
+impl LoadReport {
+    fn from_tally(tally: Tally, sent: usize, wall_s: f64) -> LoadReport {
+        let rejected = tally
+            .by_code
+            .iter()
+            .filter(|(c, _)| REJECT_CODES.contains(&c.as_str()))
+            .map(|(_, n)| n)
+            .sum();
+        let errors = tally
+            .by_code
+            .iter()
+            .filter(|(c, _)| !REJECT_CODES.contains(&c.as_str()))
+            .map(|(_, n)| n)
+            .sum();
+        LoadReport {
+            sent,
+            completed: tally.completed,
+            rejected,
+            errors,
+            mismatches: tally.mismatches,
+            by_code: tally.by_code,
+            wall_s,
+            throughput_rps: if wall_s > 0.0 {
+                tally.completed as f64 / wall_s
+            } else {
+                0.0
+            },
+            rejection_rate: if sent > 0 {
+                rejected as f64 / sent as f64
+            } else {
+                0.0
+            },
+            latency: summarize(tally.total_ms),
+            queue: summarize(tally.queue_ms),
+            solve: summarize(tally.solve_ms),
+        }
+    }
+
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let lat = |l: &LatencySummary| {
+            format!(
+                "{{\"count\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{}}}",
+                l.count,
+                json::num(l.p50_ms),
+                json::num(l.p95_ms),
+                json::num(l.p99_ms),
+                json::num(l.max_ms)
+            )
+        };
+        let codes = self
+            .by_code
+            .iter()
+            .map(|(c, n)| format!("\"{}\":{}", json::escape(c), n))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"sent\":{},\"completed\":{},\"rejected\":{},\"errors\":{},\"mismatches\":{},\
+             \"outcomes\":{{{}}},\"wall_s\":{},\"throughput_rps\":{},\"rejection_rate\":{},\
+             \"latency_ms\":{{\"total\":{},\"queue\":{},\"solve\":{}}}}}",
+            self.sent,
+            self.completed,
+            self.rejected,
+            self.errors,
+            self.mismatches,
+            codes,
+            json::num(self.wall_s),
+            json::num(self.throughput_rps),
+            json::num(self.rejection_rate),
+            lat(&self.latency),
+            lat(&self.queue),
+            lat(&self.solve),
+        )
+    }
+}
+
+fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>) {
+    let started = Instant::now();
+    let outcome = target.solve_once(&cfg.request);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut t = tally.lock().unwrap();
+    t.total_ms.push(elapsed_ms);
+    match outcome {
+        Ok(resp) => {
+            t.completed += 1;
+            t.queue_ms.push(resp.queue_ms);
+            t.solve_ms.push(resp.solve_ms);
+            if cfg
+                .expect_answer
+                .as_ref()
+                .is_some_and(|want| *want != resp.answer)
+            {
+                t.mismatches += 1;
+            }
+        }
+        Err((code, _message)) => t.bump_code(&code),
+    }
+}
+
+/// Runs one load experiment to completion and reports.
+pub fn run(target: &dyn SolveTarget, cfg: &LoadgenConfig) -> LoadReport {
+    let tally = Mutex::new(Tally::default());
+    let start = Instant::now();
+    let deadline = cfg.duration.map(|d| start + d);
+    let sent = match cfg.rps {
+        None => run_closed(target, cfg, &tally, deadline),
+        Some(rps) => run_open(target, cfg, &tally, deadline, rps),
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    LoadReport::from_tally(tally.into_inner().unwrap(), sent, wall_s)
+}
+
+fn run_closed(
+    target: &dyn SolveTarget,
+    cfg: &LoadgenConfig,
+    tally: &Mutex<Tally>,
+    deadline: Option<Instant>,
+) -> usize {
+    let next = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..cfg.concurrency.max(1) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if cfg.total > 0 && i >= cfg.total {
+                    // Give the slot back so the sent count stays exact.
+                    next.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    next.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
+                fire(target, cfg, tally);
+            });
+        }
+    });
+    next.load(Ordering::SeqCst)
+}
+
+fn run_open(
+    target: &dyn SolveTarget,
+    cfg: &LoadgenConfig,
+    tally: &Mutex<Tally>,
+    deadline: Option<Instant>,
+    rps: f64,
+) -> usize {
+    let interval = Duration::from_secs_f64(1.0 / rps.max(1e-3));
+    let start = Instant::now();
+    let mut sent = 0usize;
+    thread::scope(|s| {
+        loop {
+            if cfg.total > 0 && sent >= cfg.total {
+                break;
+            }
+            let tick = start + interval.mul_f64(sent as f64);
+            if deadline.is_some_and(|d| tick >= d) {
+                break;
+            }
+            let now = Instant::now();
+            if tick > now {
+                thread::sleep(tick - now);
+            }
+            s.spawn(|| fire(target, cfg, tally));
+            sent += 1;
+        }
+    });
+    sent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Canned {
+        answer: String,
+        fail_every: usize,
+        hits: AtomicUsize,
+    }
+
+    impl SolveTarget for Canned {
+        fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
+            let i = self.hits.fetch_add(1, Ordering::SeqCst) + 1;
+            if self.fail_every > 0 && i % self.fail_every == 0 {
+                return Err(("queue_full".into(), "full".into()));
+            }
+            Ok(SolveResponse {
+                id: i as u64,
+                problem: req.problem.clone(),
+                n: req.n,
+                answer: self.answer.clone(),
+                virtual_ms: 1.0,
+                params: lddp_core::schedule::ScheduleParams::new(0, 0),
+                queue_ms: 0.5,
+                solve_ms: 2.0,
+                batch_size: 1,
+                cache_hit: false,
+            })
+        }
+    }
+
+    #[test]
+    fn closed_loop_sends_exactly_total() {
+        let target = Canned {
+            answer: "42".into(),
+            fail_every: 0,
+            hits: AtomicUsize::new(0),
+        };
+        let cfg = LoadgenConfig {
+            total: 25,
+            concurrency: 4,
+            expect_answer: Some("42".into()),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&target, &cfg);
+        assert_eq!(report.sent, 25);
+        assert_eq!(report.completed, 25);
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.latency.count, 25);
+        assert!(report.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn rejections_and_mismatches_are_counted() {
+        let target = Canned {
+            answer: "wrong".into(),
+            fail_every: 5,
+            hits: AtomicUsize::new(0),
+        };
+        let cfg = LoadgenConfig {
+            total: 20,
+            concurrency: 2,
+            expect_answer: Some("right".into()),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&target, &cfg);
+        assert_eq!(report.sent, 20);
+        assert_eq!(report.completed, 16);
+        assert_eq!(report.rejected, 4);
+        assert_eq!(report.mismatches, 16);
+        assert!((report.rejection_rate - 0.2).abs() < 1e-12);
+        assert_eq!(report.by_code, vec![("queue_full".to_string(), 4)]);
+    }
+
+    #[test]
+    fn open_loop_paces_and_caps_by_total() {
+        let target = Canned {
+            answer: "x".into(),
+            fail_every: 0,
+            hits: AtomicUsize::new(0),
+        };
+        let cfg = LoadgenConfig {
+            total: 10,
+            rps: Some(500.0),
+            concurrency: 1,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&target, &cfg);
+        assert_eq!(report.sent, 10);
+        assert_eq!(report.completed, 10);
+        // 10 requests at 500 rps should take about 20 ms of pacing.
+        assert!(report.wall_s >= 0.015, "wall_s = {}", report.wall_s);
+    }
+
+    #[test]
+    fn report_json_parses() {
+        let target = Canned {
+            answer: "x".into(),
+            fail_every: 3,
+            hits: AtomicUsize::new(0),
+        };
+        let cfg = LoadgenConfig {
+            total: 9,
+            concurrency: 3,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&target, &cfg);
+        let v = json::parse(&report.to_json()).unwrap();
+        assert_eq!(v.get("sent").and_then(|j| j.as_f64()), Some(9.0));
+        assert!(v.get("latency_ms").and_then(|j| j.get("total")).is_some());
+        assert_eq!(
+            v.get("outcomes")
+                .and_then(|j| j.get("queue_full"))
+                .and_then(|j| j.as_f64()),
+            Some(3.0)
+        );
+    }
+}

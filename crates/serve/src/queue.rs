@@ -1,0 +1,245 @@
+//! The bounded admission queue feeding the worker pool.
+//!
+//! Admission control happens at [`JobQueue::push`]: a full queue or a
+//! closed (draining) queue rejects immediately — callers get the job
+//! back together with the [`RejectReason`] so they can answer the
+//! submitter. Workers block in [`JobQueue::pop_batch`], which pops the
+//! oldest job and then *gathers* every other queued job with the same
+//! [`BatchKey`] (up to the batch cap) so one tuner artifact is
+//! amortized across the group. FIFO order is preserved for the batch
+//! leader; gathered followers may overtake unrelated jobs — that is the
+//! throughput/fairness trade every batcher makes.
+
+use crate::job::{RejectReason, ServeError, SolveRequest, SolveResponse};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// A queued request plus everything needed to answer it later.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-assigned id.
+    pub id: u64,
+    /// The request.
+    pub req: SolveRequest,
+    /// When admission accepted it.
+    pub enqueued: Instant,
+    /// Absolute deadline derived from `req.deadline_ms`.
+    pub deadline: Option<Instant>,
+    /// One-shot reply channel back to the submitter.
+    pub tx: mpsc::Sender<Result<SolveResponse, ServeError>>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<Job>,
+    open: bool,
+}
+
+/// Bounded MPMC queue with admission control and batch-aware dequeue.
+#[derive(Debug)]
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// An open queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `job`, returning the queue depth after admission — or the
+    /// job back with the rejection when the queue is full or draining.
+    pub fn push(&self, job: Job) -> Result<usize, (Job, RejectReason)> {
+        let mut state = self.state.lock().unwrap();
+        if !state.open {
+            return Err((job, RejectReason::ShuttingDown));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((
+                job,
+                RejectReason::QueueFull {
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        state.items.push_back(job);
+        let depth = state.items.len();
+        drop(state);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until work is available, then returns the oldest job plus
+    /// up to `max_batch - 1` other queued jobs sharing its batch key.
+    /// Returns `None` once the queue is closed *and* empty (drain
+    /// complete) — the worker-pool exit signal.
+    pub fn pop_batch(&self, max_batch: usize) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if !state.items.is_empty() {
+                break;
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+        let leader = state.items.pop_front().expect("non-empty");
+        let key = leader.req.batch_key();
+        let mut batch = vec![leader];
+        let mut idx = 0;
+        while batch.len() < max_batch.max(1) && idx < state.items.len() {
+            if state.items[idx].req.batch_key() == key {
+                batch.push(state.items.remove(idx).expect("index in range"));
+            } else {
+                idx += 1;
+            }
+        }
+        Some(batch)
+    }
+
+    /// Stops admission (pushes now reject with `ShuttingDown`) and
+    /// wakes every blocked worker so the drain can complete.
+    pub fn close(&self) {
+        self.state.lock().unwrap().open = false;
+        self.cv.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether admission is still open.
+    pub fn is_open(&self) -> bool {
+        self.state.lock().unwrap().open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_core::schedule::ScheduleParams;
+
+    fn job(id: u64, problem: &str, n: usize) -> (Job, mpsc::Receiver<Result<SolveResponse, ServeError>>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                id,
+                req: SolveRequest::new(problem, n),
+                enqueued: Instant::now(),
+                deadline: None,
+                tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn push_rejects_when_full_and_when_closed() {
+        let q = JobQueue::new(2);
+        let (a, _ra) = job(1, "lcs", 64);
+        let (b, _rb) = job(2, "lcs", 64);
+        let (c, _rc) = job(3, "lcs", 64);
+        assert_eq!(q.push(a).unwrap(), 1);
+        assert_eq!(q.push(b).unwrap(), 2);
+        let (back, reason) = q.push(c).unwrap_err();
+        assert_eq!(back.id, 3);
+        assert_eq!(reason, RejectReason::QueueFull { capacity: 2 });
+        assert_eq!(q.depth(), 2);
+
+        q.close();
+        assert!(!q.is_open());
+        let (d, _rd) = job(4, "lcs", 64);
+        let (_, reason) = q.push(d).unwrap_err();
+        assert_eq!(reason, RejectReason::ShuttingDown);
+    }
+
+    #[test]
+    fn pop_batch_gathers_same_key_and_preserves_leader_order() {
+        let q = JobQueue::new(16);
+        let mut rxs = Vec::new();
+        for (id, problem, n) in [
+            (1, "lcs", 100),     // bucket 128
+            (2, "dtw", 100),     // different problem
+            (3, "lcs", 128),     // same bucket as 1
+            (4, "lcs", 300),     // bucket 512 — different
+            (5, "lcs", 70),      // bucket 128 — same as 1
+        ] {
+            let (j, rx) = job(id, problem, n);
+            rxs.push(rx);
+            q.push(j).unwrap();
+        }
+        let batch = q.pop_batch(8).unwrap();
+        let ids: Vec<u64> = batch.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        let batch = q.pop_batch(8).unwrap();
+        assert_eq!(batch[0].id, 2);
+        assert_eq!(batch.len(), 1);
+        let batch = q.pop_batch(8).unwrap();
+        assert_eq!(batch[0].id, 4);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn pop_batch_respects_max_batch() {
+        let q = JobQueue::new(16);
+        for id in 0..6 {
+            let (j, rx) = job(id, "lcs", 64);
+            std::mem::forget(rx);
+            q.push(j).unwrap();
+        }
+        assert_eq!(q.pop_batch(4).unwrap().len(), 4);
+        assert_eq!(q.pop_batch(4).unwrap().len(), 2);
+        // max_batch 0 is treated as 1.
+        let (j, rx) = job(9, "lcs", 64);
+        std::mem::forget(rx);
+        q.push(j).unwrap();
+        assert_eq!(q.pop_batch(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn explicit_params_do_not_batch_with_tuned() {
+        let q = JobQueue::new(16);
+        let (a, _ra) = job(1, "lcs", 64);
+        let (mut b, _rb) = job(2, "lcs", 64);
+        b.req.params = Some(ScheduleParams::new(2, 8));
+        q.push(a).unwrap();
+        q.push(b).unwrap();
+        assert_eq!(q.pop_batch(8).unwrap().len(), 1);
+        assert_eq!(q.pop_batch(8).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = JobQueue::new(4);
+        let (a, _ra) = job(1, "lcs", 64);
+        q.push(a).unwrap();
+        q.close();
+        // Still drains the queued job…
+        assert_eq!(q.pop_batch(4).unwrap().len(), 1);
+        // …then reports exhaustion.
+        assert!(q.pop_batch(4).is_none());
+    }
+
+    #[test]
+    fn blocked_worker_wakes_on_close() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop_batch(4));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        assert!(t.join().unwrap().is_none());
+    }
+}

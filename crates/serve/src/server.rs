@@ -1,0 +1,560 @@
+//! The serving engine: admission → bounded queue → batching worker
+//! pool → backend solve, with per-request tracing and graceful drain.
+//!
+//! A [`Server`] is wired to a [`SolveBackend`] (the thing that actually
+//! tunes and solves — `lddp::serve_backend::FrameworkBackend` in the
+//! umbrella crate, a mock in tests) and a
+//! [`TraceSink`](lddp_trace::TraceSink). [`Server::run`] owns the
+//! thread topology: it spawns the worker pool (and, given a listener,
+//! the HTTP front end) inside one `std::thread::scope`, hands the
+//! caller an in-process [`Client`], and on return of the caller's
+//! closure initiates shutdown and drains — every admitted request is
+//! answered before `run` returns.
+//!
+//! ```
+//! use lddp_serve::{BackendSolve, ServeConfig, Server, SolveBackend, SolveRequest};
+//! use lddp_core::schedule::ScheduleParams;
+//! use lddp_trace::{NullSink, TraceSink};
+//!
+//! struct Echo;
+//! impl SolveBackend for Echo {
+//!     fn tune(&self, _req: &SolveRequest, _sink: &dyn TraceSink)
+//!         -> Result<(ScheduleParams, bool), String> {
+//!         Ok((ScheduleParams::new(0, 0), false))
+//!     }
+//!     fn solve(&self, req: &SolveRequest, params: ScheduleParams, _sink: &dyn TraceSink)
+//!         -> Result<BackendSolve, String> {
+//!         Ok(BackendSolve { answer: format!("echo {}", req.n), virtual_ms: 0.1, params })
+//!     }
+//! }
+//!
+//! let backend = Echo;
+//! let server = Server::new(ServeConfig::default(), &backend, &NullSink);
+//! let answer = server
+//!     .run(None, |client| client.solve(SolveRequest::new("x", 7)).unwrap().answer);
+//! assert_eq!(answer, "echo 7");
+//! ```
+
+use crate::http;
+use crate::job::{RejectReason, ServeError, SolveRequest, SolveResponse};
+use crate::queue::{Job, JobQueue};
+use crate::stats::{ServeStats, StatsSnapshot};
+use lddp_core::schedule::ScheduleParams;
+use lddp_trace::{catalog, tracks, Span, TraceSink};
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Sizing knobs of one server.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Admission-queue capacity (requests beyond it are rejected).
+    pub queue_capacity: usize,
+    /// Most jobs one batch may carry.
+    pub max_batch: usize,
+    /// Deadline applied to requests that don't carry their own,
+    /// milliseconds (`None` = wait forever).
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 8,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// What a backend returns for one solved request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendSolve {
+    /// Headline answer text (the oracle-checkable payload).
+    pub answer: String,
+    /// Modelled solve time on the platform, milliseconds.
+    pub virtual_ms: f64,
+    /// The parameters actually executed (post-clamping).
+    pub params: ScheduleParams,
+}
+
+/// The pluggable solving side of the server.
+///
+/// `tune` runs **once per batch** with the batch leader as the probe —
+/// implementations are expected to consult a
+/// [`TunerCache`](lddp_core::tuner_cache::TunerCache) keyed by
+/// `(pattern, dims bucket, platform)` and report whether they hit.
+/// `solve` then runs once per request with the shared parameters.
+pub trait SolveBackend: Sync {
+    /// Admission-time validation; an `Err` rejects the request as
+    /// [`RejectReason::Invalid`] without queueing it.
+    fn validate(&self, _req: &SolveRequest) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Produces schedule parameters for the batch led by `probe`,
+    /// returning `(params, cache_hit)`.
+    fn tune(
+        &self,
+        probe: &SolveRequest,
+        sink: &dyn TraceSink,
+    ) -> Result<(ScheduleParams, bool), String>;
+
+    /// Solves one request with the batch's parameters.
+    fn solve(
+        &self,
+        req: &SolveRequest,
+        params: ScheduleParams,
+        sink: &dyn TraceSink,
+    ) -> Result<BackendSolve, String>;
+}
+
+/// The batching solve server. See the module docs for the lifecycle.
+pub struct Server<'a> {
+    config: ServeConfig,
+    backend: &'a dyn SolveBackend,
+    sink: &'a (dyn TraceSink + Sync),
+    queue: JobQueue,
+    stats: ServeStats,
+    epoch: Instant,
+    next_id: AtomicU64,
+    in_flight: AtomicUsize,
+    shutdown: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+impl<'a> Server<'a> {
+    /// A server wired to `backend` and `sink` (pass
+    /// [`NullSink`](lddp_trace::NullSink) for untraced serving).
+    pub fn new(
+        config: ServeConfig,
+        backend: &'a (dyn SolveBackend + 'a),
+        sink: &'a (dyn TraceSink + Sync + 'a),
+    ) -> Server<'a> {
+        let queue = JobQueue::new(config.queue_capacity);
+        Server {
+            config,
+            backend,
+            sink,
+            queue,
+            stats: ServeStats::new(),
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            in_flight: AtomicUsize::new(0),
+            shutdown: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        }
+    }
+
+    /// Runs the worker pool (and, with a listener, the HTTP front end),
+    /// executes `body` with an in-process [`Client`], then shuts down
+    /// gracefully: admission closes, queued jobs drain, every thread
+    /// joins. `body`'s return value is passed through.
+    pub fn run<R>(&self, listener: Option<TcpListener>, body: impl FnOnce(&Client<'_, 'a>) -> R) -> R {
+        thread::scope(|s| {
+            for idx in 0..self.config.workers.max(1) {
+                s.spawn(move || self.worker_loop(idx));
+            }
+            if let Some(listener) = &listener {
+                listener
+                    .set_nonblocking(true)
+                    .expect("listener supports nonblocking accept");
+                s.spawn(move || self.http_loop(s, listener));
+            }
+            let client = Client { server: self };
+            let out = body(&client);
+            self.initiate_shutdown();
+            out
+        })
+    }
+
+    /// Stops admission and wakes everything; idempotent.
+    pub fn initiate_shutdown(&self) {
+        self.queue.close();
+        *self.shutdown.lock().unwrap() = true;
+        self.shutdown_cv.notify_all();
+    }
+
+    fn is_shutdown(&self) -> bool {
+        *self.shutdown.lock().unwrap()
+    }
+
+    /// Seconds since the server epoch (span timestamps).
+    fn since_epoch(&self, t: Instant) -> f64 {
+        t.duration_since(self.epoch).as_secs_f64()
+    }
+
+    /// Point-in-time stats.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot(
+            self.queue.depth(),
+            self.in_flight.load(Ordering::Relaxed),
+            !self.queue.is_open(),
+        )
+    }
+
+    // ---- admission -------------------------------------------------
+
+    fn submit(
+        &self,
+        mut req: SolveRequest,
+    ) -> Result<mpsc::Receiver<Result<SolveResponse, ServeError>>, RejectReason> {
+        if let Err(msg) = self.backend.validate(&req) {
+            self.stats.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            if self.sink.enabled() {
+                self.sink.count(catalog::CTR_REJECTED_INVALID, 1);
+            }
+            return Err(RejectReason::Invalid(msg));
+        }
+        if req.deadline_ms.is_none() {
+            req.deadline_ms = self.config.default_deadline_ms;
+        }
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let job = Job {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            deadline: req.deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+            req,
+            enqueued: now,
+            tx,
+        };
+        match self.queue.push(job) {
+            Ok(depth) => {
+                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                if self.sink.enabled() {
+                    self.sink.count(catalog::CTR_ACCEPTED, 1);
+                    self.sink.sample(
+                        tracks::SERVE_QUEUE,
+                        catalog::SMP_QUEUE_DEPTH,
+                        self.since_epoch(now),
+                        depth as f64,
+                    );
+                }
+                Ok(rx)
+            }
+            Err((_job, reason)) => {
+                let (counter, name) = match &reason {
+                    RejectReason::QueueFull { .. } => {
+                        (&self.stats.rejected_full, catalog::CTR_REJECTED_FULL)
+                    }
+                    _ => (&self.stats.rejected_shutdown, catalog::CTR_REJECTED_SHUTDOWN),
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                if self.sink.enabled() {
+                    self.sink.count(name, 1);
+                }
+                Err(reason)
+            }
+        }
+    }
+
+    // ---- workers ---------------------------------------------------
+
+    fn worker_loop(&self, idx: usize) {
+        while let Some(batch) = self.queue.pop_batch(self.config.max_batch) {
+            self.in_flight.fetch_add(batch.len(), Ordering::SeqCst);
+            self.process_batch(idx, batch);
+        }
+    }
+
+    fn finish_job(&self, job: Job, result: Result<SolveResponse, ServeError>) {
+        // The submitter may have hung up (load generator timeout);
+        // a dead receiver is not a server error.
+        let _ = job.tx.send(result);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn process_batch(&self, worker_idx: usize, batch: Vec<Job>) {
+        let sink = self.sink;
+        let lane = tracks::serve_worker(worker_idx);
+        let picked_up = Instant::now();
+
+        // Queue-wait accounting + deadline enforcement.
+        let mut live: Vec<(Job, Duration)> = Vec::with_capacity(batch.len());
+        for job in batch {
+            let waited = picked_up.duration_since(job.enqueued);
+            if sink.enabled() {
+                sink.span(
+                    Span::new(
+                        catalog::SPAN_QUEUE_WAIT,
+                        tracks::SERVE_QUEUE,
+                        self.since_epoch(job.enqueued),
+                        waited.as_secs_f64(),
+                    )
+                    .with_arg("id", job.id)
+                    .with_arg("problem", job.req.problem.clone()),
+                );
+                sink.observe(catalog::HIST_QUEUE_WAIT, waited.as_secs_f64());
+            }
+            if job.deadline.is_some_and(|d| picked_up > d) {
+                self.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                if sink.enabled() {
+                    sink.count(catalog::CTR_REJECTED_DEADLINE, 1);
+                }
+                let reason = RejectReason::DeadlineExceeded {
+                    waited_ms: waited.as_millis() as u64,
+                    deadline_ms: job.req.deadline_ms.unwrap_or(0),
+                };
+                self.finish_job(job, Err(ServeError::Rejected(reason)));
+            } else {
+                live.push((job, waited));
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        let key = live[0].0.req.batch_key();
+        let batch_size = live.len();
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .batched_jobs
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        if sink.enabled() {
+            sink.count(catalog::CTR_BATCHES, 1);
+            sink.observe(catalog::HIST_BATCH_SIZE, batch_size as f64);
+        }
+
+        // One tune per batch — the cached §V-A artifact.
+        let (params, cache_hit) = match self.backend.tune(&live[0].0.req, sink) {
+            Ok(x) => x,
+            Err(msg) => {
+                self.stats
+                    .errors
+                    .fetch_add(batch_size as u64, Ordering::Relaxed);
+                if sink.enabled() {
+                    sink.count(catalog::CTR_ERRORS, batch_size as u64);
+                }
+                for (job, _) in live {
+                    self.finish_job(job, Err(ServeError::Backend(msg.clone())));
+                }
+                return;
+            }
+        };
+        let (tune_ctr, tune_name) = if cache_hit {
+            (&self.stats.tune_hits, catalog::CTR_TUNE_HIT)
+        } else {
+            (&self.stats.tune_misses, catalog::CTR_TUNE_MISS)
+        };
+        tune_ctr.fetch_add(1, Ordering::Relaxed);
+        if sink.enabled() {
+            sink.count(tune_name, 1);
+        }
+
+        for (job, waited) in live {
+            let solve_start = Instant::now();
+            let result = self.backend.solve(&job.req, params, sink);
+            let solve_end = Instant::now();
+            let solve = solve_end.duration_since(solve_start);
+            if sink.enabled() {
+                sink.span(
+                    Span::new(
+                        catalog::SPAN_SOLVE,
+                        lane,
+                        self.since_epoch(solve_start),
+                        solve.as_secs_f64(),
+                    )
+                    .with_arg("id", job.id)
+                    .with_arg("problem", job.req.problem.clone())
+                    .with_arg("n", job.req.n),
+                );
+            }
+            match result {
+                Ok(done) => {
+                    let total = solve_end.duration_since(job.enqueued);
+                    self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    self.stats.record_latency(
+                        total.as_secs_f64() * 1e3,
+                        waited.as_secs_f64() * 1e3,
+                        solve.as_secs_f64() * 1e3,
+                    );
+                    if sink.enabled() {
+                        sink.count(catalog::CTR_COMPLETED, 1);
+                        sink.observe(catalog::HIST_LATENCY, total.as_secs_f64());
+                    }
+                    let resp = SolveResponse {
+                        id: job.id,
+                        problem: job.req.problem.clone(),
+                        n: job.req.n,
+                        answer: done.answer,
+                        virtual_ms: done.virtual_ms,
+                        params: done.params,
+                        queue_ms: waited.as_secs_f64() * 1e3,
+                        solve_ms: solve.as_secs_f64() * 1e3,
+                        batch_size,
+                        cache_hit,
+                    };
+                    self.finish_job(job, Ok(resp));
+                }
+                Err(msg) => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    if sink.enabled() {
+                        sink.count(catalog::CTR_ERRORS, 1);
+                    }
+                    self.finish_job(job, Err(ServeError::Backend(msg)));
+                }
+            }
+        }
+
+        if sink.enabled() {
+            let batch_end = Instant::now();
+            sink.span(
+                Span::new(
+                    catalog::SPAN_BATCH,
+                    lane,
+                    self.since_epoch(picked_up),
+                    batch_end.duration_since(picked_up).as_secs_f64(),
+                )
+                .with_arg("batch", batch_size)
+                .with_arg("key", key.label())
+                .with_arg("cache_hit", if cache_hit { "true" } else { "false" }),
+            );
+        }
+    }
+
+    // ---- HTTP front end --------------------------------------------
+
+    fn http_loop<'scope>(
+        &'scope self,
+        scope: &'scope thread::Scope<'scope, '_>,
+        listener: &TcpListener,
+    ) {
+        loop {
+            if self.is_shutdown() {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    scope.spawn(move || self.handle_conn(stream));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+
+    fn handle_conn(&self, mut stream: TcpStream) {
+        stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+        stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
+        let req = match http::read_request(&mut stream) {
+            Ok(r) => r,
+            Err(msg) => {
+                let body = ServeError::Rejected(RejectReason::Invalid(msg)).to_json();
+                let _ = http::write_response(&mut stream, 400, &body);
+                return;
+            }
+        };
+        let (status, body) = self.route(&req);
+        let _ = http::write_response(&mut stream, status, &body);
+    }
+
+    /// Routes one parsed request to `(status, json_body)`.
+    fn route(&self, req: &http::HttpRequest) -> (u16, String) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/solve") => match SolveRequest::from_json(&req.body) {
+                Err(msg) => {
+                    self.stats.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+                    let e = ServeError::Rejected(RejectReason::Invalid(msg));
+                    (e.http_status(), e.to_json())
+                }
+                Ok(sreq) => match self.submit(sreq) {
+                    Err(reason) => {
+                        let e = ServeError::Rejected(reason);
+                        (e.http_status(), e.to_json())
+                    }
+                    Ok(rx) => match rx.recv() {
+                        Ok(Ok(resp)) => (200, resp.to_json()),
+                        Ok(Err(e)) => (e.http_status(), e.to_json()),
+                        Err(_) => {
+                            let e = ServeError::Backend("worker dropped the request".into());
+                            (e.http_status(), e.to_json())
+                        }
+                    },
+                },
+            },
+            ("GET", "/healthz") => (200, self.healthz_json()),
+            ("GET", "/stats") => (200, self.snapshot().to_json()),
+            ("POST", "/shutdown") => {
+                self.initiate_shutdown();
+                (200, "{\"status\":\"draining\"}".to_string())
+            }
+            (_, "/solve" | "/healthz" | "/stats" | "/shutdown") => (
+                405,
+                "{\"error\":\"method_not_allowed\",\"message\":\"wrong method for this path\"}"
+                    .to_string(),
+            ),
+            _ => (
+                404,
+                "{\"error\":\"not_found\",\"message\":\"unknown path\"}".to_string(),
+            ),
+        }
+    }
+
+    fn healthz_json(&self) -> String {
+        let draining = !self.queue.is_open();
+        format!(
+            "{{\"status\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"workers\":{}}}",
+            if draining { "draining" } else { "ok" },
+            self.queue.depth(),
+            self.in_flight.load(Ordering::Relaxed),
+            self.config.workers.max(1),
+        )
+    }
+}
+
+/// In-process handle to a running [`Server`] — the no-sockets API used
+/// by tests, the in-process load generator, and the CLI.
+pub struct Client<'s, 'a> {
+    server: &'s Server<'a>,
+}
+
+impl Client<'_, '_> {
+    /// Submits a request; the returned receiver yields the eventual
+    /// outcome. Admission rejections surface immediately as `Err`.
+    pub fn submit(
+        &self,
+        req: SolveRequest,
+    ) -> Result<mpsc::Receiver<Result<SolveResponse, ServeError>>, RejectReason> {
+        self.server.submit(req)
+    }
+
+    /// Submits and blocks for the outcome.
+    pub fn solve(&self, req: SolveRequest) -> Result<SolveResponse, ServeError> {
+        let rx = self.submit(req).map_err(ServeError::Rejected)?;
+        rx.recv()
+            .unwrap_or_else(|_| Err(ServeError::Backend("worker dropped the request".into())))
+    }
+
+    /// Point-in-time stats.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.server.snapshot()
+    }
+
+    /// The `GET /healthz` body.
+    pub fn healthz_json(&self) -> String {
+        self.server.healthz_json()
+    }
+
+    /// Initiates graceful shutdown (idempotent): admission closes,
+    /// queued work drains, `Server::run` returns once workers join.
+    pub fn shutdown(&self) {
+        self.server.initiate_shutdown()
+    }
+
+    /// Blocks until shutdown is initiated (by this client, another
+    /// thread, or `POST /shutdown`).
+    pub fn wait_shutdown(&self) {
+        let mut flag = self.server.shutdown.lock().unwrap();
+        while !*flag {
+            flag = self.server.shutdown_cv.wait(flag).unwrap();
+        }
+    }
+}

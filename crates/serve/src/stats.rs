@@ -1,0 +1,284 @@
+//! Server-side counters and latency accounting behind `GET /stats`.
+//!
+//! Counters are lock-free atomics; latency samples go into capped
+//! per-kind reservoirs (newest samples win once the cap is reached, via
+//! ring overwrite) so a long-lived server's memory stays bounded while
+//! percentiles still reflect recent traffic.
+
+use lddp_trace::json::num;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cap on each latency reservoir (samples, not bytes).
+const RESERVOIR_CAP: usize = 65536;
+
+#[derive(Debug, Default)]
+struct Reservoir {
+    samples: Vec<f64>,
+    next: usize,
+    total: u64,
+}
+
+impl Reservoir {
+    fn record(&mut self, v: f64) {
+        self.total += 1;
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(v);
+        } else {
+            self.samples[self.next] = v;
+            self.next = (self.next + 1) % RESERVOIR_CAP;
+        }
+    }
+}
+
+/// Interpolated percentile of an ascending-sorted slice (`q` in 0..=1).
+/// Returns 0 for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Live counters of one server.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) rejected_full: AtomicU64,
+    pub(crate) rejected_shutdown: AtomicU64,
+    pub(crate) rejected_deadline: AtomicU64,
+    pub(crate) rejected_invalid: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_jobs: AtomicU64,
+    pub(crate) tune_hits: AtomicU64,
+    pub(crate) tune_misses: AtomicU64,
+    total_ms: Mutex<Reservoir>,
+    queue_ms: Mutex<Reservoir>,
+    solve_ms: Mutex<Reservoir>,
+}
+
+impl ServeStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    /// Records one completed request's latency split.
+    pub(crate) fn record_latency(&self, total_ms: f64, queue_ms: f64, solve_ms: f64) {
+        self.total_ms.lock().unwrap().record(total_ms);
+        self.queue_ms.lock().unwrap().record(queue_ms);
+        self.solve_ms.lock().unwrap().record(solve_ms);
+    }
+
+    /// Point-in-time copy of every counter and latency distribution.
+    pub fn snapshot(&self, queue_depth: usize, in_flight: usize, draining: bool) -> StatsSnapshot {
+        let lat = |m: &Mutex<Reservoir>| -> LatencySummary {
+            let r = m.lock().unwrap();
+            let mut sorted = r.samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            LatencySummary {
+                count: r.total,
+                p50_ms: percentile(&sorted, 0.50),
+                p95_ms: percentile(&sorted, 0.95),
+                p99_ms: percentile(&sorted, 0.99),
+                max_ms: sorted.last().copied().unwrap_or(0.0),
+            }
+        };
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        StatsSnapshot {
+            accepted: g(&self.accepted),
+            completed: g(&self.completed),
+            errors: g(&self.errors),
+            rejected_full: g(&self.rejected_full),
+            rejected_shutdown: g(&self.rejected_shutdown),
+            rejected_deadline: g(&self.rejected_deadline),
+            rejected_invalid: g(&self.rejected_invalid),
+            batches: g(&self.batches),
+            batched_jobs: g(&self.batched_jobs),
+            tune_hits: g(&self.tune_hits),
+            tune_misses: g(&self.tune_misses),
+            queue_depth,
+            in_flight,
+            draining,
+            total: lat(&self.total_ms),
+            queue: lat(&self.queue_ms),
+            solve: lat(&self.solve_ms),
+        }
+    }
+}
+
+/// Percentile summary of one latency kind, milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Samples recorded overall (may exceed the reservoir cap).
+    pub count: u64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Largest retained sample.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{}}}",
+            self.count,
+            num(self.p50_ms),
+            num(self.p95_ms),
+            num(self.p99_ms),
+            num(self.max_ms)
+        )
+    }
+}
+
+/// What `GET /stats` serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests admitted.
+    pub accepted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests that failed in the backend.
+    pub errors: u64,
+    /// Rejections: queue at capacity.
+    pub rejected_full: u64,
+    /// Rejections: draining.
+    pub rejected_shutdown: u64,
+    /// Rejections: deadline expired in queue.
+    pub rejected_deadline: u64,
+    /// Rejections: invalid request.
+    pub rejected_invalid: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Jobs that rode in those batches.
+    pub batched_jobs: u64,
+    /// Tuner-cache hits (per batch).
+    pub tune_hits: u64,
+    /// Tuner-cache misses (per batch).
+    pub tune_misses: u64,
+    /// Jobs queued right now.
+    pub queue_depth: usize,
+    /// Jobs being solved right now.
+    pub in_flight: usize,
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// End-to-end latency (admission → reply).
+    pub total: LatencySummary,
+    /// Queue-wait latency.
+    pub queue: LatencySummary,
+    /// Solve latency.
+    pub solve: LatencySummary,
+}
+
+impl StatsSnapshot {
+    /// Total rejections across reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_full + self.rejected_shutdown + self.rejected_deadline + self.rejected_invalid
+    }
+
+    /// Mean jobs per executed batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_jobs as f64 / self.batches as f64
+        }
+    }
+
+    /// The `GET /stats` JSON body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"accepted\":{},\"completed\":{},\"errors\":{},\
+             \"rejected\":{{\"queue_full\":{},\"shutting_down\":{},\"deadline\":{},\"invalid\":{}}},\
+             \"batches\":{},\"mean_batch_size\":{},\
+             \"tuner_cache\":{{\"hits\":{},\"misses\":{}}},\
+             \"queue_depth\":{},\"in_flight\":{},\"draining\":{},\
+             \"latency_ms\":{{\"total\":{},\"queue\":{},\"solve\":{}}}}}",
+            self.accepted,
+            self.completed,
+            self.errors,
+            self.rejected_full,
+            self.rejected_shutdown,
+            self.rejected_deadline,
+            self.rejected_invalid,
+            self.batches,
+            num(self.mean_batch_size()),
+            self.tune_hits,
+            self.tune_misses,
+            self.queue_depth,
+            self.in_flight,
+            self.draining,
+            self.total.to_json(),
+            self.queue.to_json(),
+            self.solve.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_parseable_json() {
+        let stats = ServeStats::new();
+        stats.accepted.fetch_add(3, Ordering::Relaxed);
+        stats.completed.fetch_add(2, Ordering::Relaxed);
+        stats.rejected_full.fetch_add(1, Ordering::Relaxed);
+        stats.batches.fetch_add(2, Ordering::Relaxed);
+        stats.batched_jobs.fetch_add(3, Ordering::Relaxed);
+        stats.record_latency(10.0, 2.0, 8.0);
+        stats.record_latency(20.0, 4.0, 16.0);
+        let snap = stats.snapshot(1, 1, false);
+        assert_eq!(snap.rejected(), 1);
+        assert!((snap.mean_batch_size() - 1.5).abs() < 1e-12);
+        let v = lddp_trace::json::parse(&snap.to_json()).unwrap();
+        assert_eq!(v.get("accepted").and_then(|j| j.as_f64()), Some(3.0));
+        let lat = v.get("latency_ms").unwrap().get("total").unwrap();
+        assert_eq!(lat.get("count").and_then(|j| j.as_f64()), Some(2.0));
+        assert!(lat.get("p99_ms").and_then(|j| j.as_f64()).unwrap() >= 10.0);
+        assert_eq!(
+            v.get("rejected")
+                .unwrap()
+                .get("queue_full")
+                .and_then(|j| j.as_f64()),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn reservoir_overwrites_oldest_beyond_cap() {
+        let mut r = Reservoir::default();
+        for i in 0..(RESERVOIR_CAP + 10) {
+            r.record(i as f64);
+        }
+        assert_eq!(r.samples.len(), RESERVOIR_CAP);
+        assert_eq!(r.total, (RESERVOIR_CAP + 10) as u64);
+        // The first ten slots now hold the newest samples.
+        assert_eq!(r.samples[0], RESERVOIR_CAP as f64);
+    }
+}

@@ -83,6 +83,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one JSON document (trailing whitespace allowed).

@@ -76,6 +76,24 @@ pub mod tracks {
         }
     }
 
+    /// Process id of the `lddp-serve` serving subsystem (wall clock).
+    pub const SERVE_PID: u32 = 7;
+
+    /// The serve queue lane: one `serve.queue_wait` span per request,
+    /// from admission to the moment a worker picks it up.
+    pub const SERVE_QUEUE: Track = Track {
+        pid: SERVE_PID,
+        tid: 1,
+    };
+
+    /// Lane of serve worker `idx` (batch + solve spans).
+    pub fn serve_worker(idx: usize) -> Track {
+        Track {
+            pid: SERVE_PID,
+            tid: idx as u32 + 2,
+        }
+    }
+
     /// Human name of a process id, used by the exporters' metadata.
     pub fn process_name(pid: u32) -> &'static str {
         match pid {
@@ -85,9 +103,53 @@ pub mod tracks {
             4 => "Schedule",
             5 => "Tuner",
             6 => "Workers (wall clock)",
+            7 => "Serve (wall clock)",
             _ => "Track",
         }
     }
+}
+
+/// The serve subsystem's span/counter catalog: every name `lddp-serve`
+/// emits, as constants, so dashboards and tests don't drift from the
+/// instrumentation sites (see `docs/SERVING.md` for semantics).
+pub mod catalog {
+    /// Span: request sat in the admission queue (queue lane; args:
+    /// `id`, `problem`).
+    pub const SPAN_QUEUE_WAIT: &str = "serve.queue_wait";
+    /// Span: one batch execution on a worker lane (args: `batch`,
+    /// `key`, `cache_hit`).
+    pub const SPAN_BATCH: &str = "serve.batch";
+    /// Span: one request's solve within a batch (args: `id`,
+    /// `problem`, `n`).
+    pub const SPAN_SOLVE: &str = "serve.solve";
+    /// Counter: requests admitted into the queue.
+    pub const CTR_ACCEPTED: &str = "serve.accepted";
+    /// Counter: requests rejected because the queue was full.
+    pub const CTR_REJECTED_FULL: &str = "serve.rejected.queue_full";
+    /// Counter: requests rejected because the server was draining.
+    pub const CTR_REJECTED_SHUTDOWN: &str = "serve.rejected.shutting_down";
+    /// Counter: requests dropped because their deadline expired queued.
+    pub const CTR_REJECTED_DEADLINE: &str = "serve.rejected.deadline";
+    /// Counter: requests rejected as invalid at admission.
+    pub const CTR_REJECTED_INVALID: &str = "serve.rejected.invalid";
+    /// Counter: requests completed successfully.
+    pub const CTR_COMPLETED: &str = "serve.completed";
+    /// Counter: requests that failed in the backend.
+    pub const CTR_ERRORS: &str = "serve.errors";
+    /// Counter: batches executed.
+    pub const CTR_BATCHES: &str = "serve.batches";
+    /// Counter: tuner-cache hits (one per batch).
+    pub const CTR_TUNE_HIT: &str = "serve.tuner_cache.hit";
+    /// Counter: tuner-cache misses (a fresh tune ran).
+    pub const CTR_TUNE_MISS: &str = "serve.tuner_cache.miss";
+    /// Sample series: queue depth after each admission/dequeue.
+    pub const SMP_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Histogram: end-to-end request latency, seconds.
+    pub const HIST_LATENCY: &str = "serve.latency_s";
+    /// Histogram: time spent waiting in the queue, seconds.
+    pub const HIST_QUEUE_WAIT: &str = "serve.queue_wait_s";
+    /// Histogram: jobs per executed batch.
+    pub const HIST_BATCH_SIZE: &str = "serve.batch_size";
 }
 
 /// A typed span/instant argument value.

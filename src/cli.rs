@@ -11,22 +11,34 @@
 //! lddp-cli compare --problem checkerboard --n 4096 [--json]
 //! lddp-cli trace   --problem levenshtein --n 512 --out run.trace.json
 //!                  [--metrics run.metrics.jsonl]
+//! lddp-cli serve   --addr 127.0.0.1:8700 [--workers W] [--queue-cap Q]
+//!                  [--max-batch B] [--deadline-ms D] [--trace serve.trace.json]
+//! lddp-cli loadgen --problem lcs --requests 500 [--addr HOST:PORT]
+//!                  [--rps R] [--duration S] [--concurrency C] [--no-verify]
 //! ```
 //!
 //! `trace` writes a Chrome trace-event JSON timeline (loadable in
 //! Perfetto / `chrome://tracing`, see docs/OBSERVABILITY.md); `--json`
-//! switches `solve`/`compare` to machine-readable output.
+//! switches `solve`/`compare` to machine-readable output. `serve` runs
+//! the batching solve server (see docs/SERVING.md) and `loadgen` drives
+//! it — over HTTP when `--addr` is given, against an in-process server
+//! otherwise — checking every answer against the sequential oracle
+//! unless `--no-verify` is passed.
 
 use crate::platforms::{hetero_high, hetero_low, Platform};
 use crate::{Framework, PhaseStat};
 use hetero_sim::report::{utilization, Utilization};
 use lddp_core::cell::{ContributingSet, RepCell};
+use lddp_core::grid::Grid;
 use lddp_core::kernel::Kernel;
 use lddp_core::pattern::classify;
 use lddp_core::schedule::{PhaseKind, ScheduleParams};
 use lddp_problems as problems;
+use lddp_serve::loadgen::{HttpTarget, LoadgenConfig};
+use lddp_serve::{ServeConfig, Server, SolveRequest};
 use lddp_trace::json::{escape, num};
 use lddp_trace::{chrome, metrics, NullSink, Recorder, TraceSink};
+use std::time::Duration;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,11 +110,52 @@ pub enum Command {
         /// Optional output path for the JSON-lines metrics dump.
         metrics: Option<String>,
     },
+    /// Run the batching solve server (see docs/SERVING.md).
+    Serve {
+        /// Listen address (`host:port`).
+        addr: String,
+        /// Worker threads executing batches.
+        workers: usize,
+        /// Admission-queue capacity.
+        queue_cap: usize,
+        /// Most jobs one batch may carry.
+        max_batch: usize,
+        /// Default per-request deadline, milliseconds.
+        deadline_ms: Option<u64>,
+        /// Optional path for a Chrome trace of the whole serve run,
+        /// written at shutdown.
+        trace: Option<String>,
+    },
+    /// Generate load against a solve server and report latency.
+    Loadgen {
+        /// Target server (`host:port`); `None` drives an in-process
+        /// server instead.
+        addr: Option<String>,
+        /// Problem name.
+        problem: String,
+        /// Instance size.
+        n: usize,
+        /// Platform preset name.
+        platform: String,
+        /// Requests to send (0 = until `--duration` elapses).
+        requests: usize,
+        /// Open-loop arrival rate; `None` = closed loop.
+        rps: Option<f64>,
+        /// Wall-clock cap on the run, seconds.
+        duration_s: Option<f64>,
+        /// Closed-loop worker count.
+        concurrency: usize,
+        /// Per-request deadline, milliseconds.
+        deadline_ms: Option<u64>,
+        /// Skip the sequential-oracle answer check.
+        no_verify: bool,
+    },
     /// Print usage.
     Help,
 }
 
-/// Problems the CLI knows how to build.
+/// Problems the CLI knows how to build: every kernel in
+/// [`lddp_problems::NAMES`] plus the `fig9` synthetic benchmark.
 pub const PROBLEMS: &[&str] = &[
     "levenshtein",
     "lcs",
@@ -113,6 +166,7 @@ pub const PROBLEMS: &[&str] = &[
     "maxsquare",
     "needleman-wunsch",
     "smith-waterman",
+    "weighted-edit",
     "fig9",
 ];
 
@@ -133,6 +187,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut json = false;
     let mut out = None;
     let mut metrics = None;
+    let mut addr = None;
+    let mut workers = None;
+    let mut queue_cap = None;
+    let mut max_batch = None;
+    let mut deadline_ms = None;
+    let mut requests = None;
+    let mut rps = None;
+    let mut duration_s = None;
+    let mut concurrency = None;
+    let mut no_verify = false;
+    let mut trace_out = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--set" => {
@@ -177,6 +242,56 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--metrics" => {
                 let v = it.next().ok_or("--metrics needs a file path")?;
                 metrics = Some(v.clone());
+            }
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs host:port")?;
+                addr = Some(v.clone());
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a number")?;
+                workers = Some(v.parse::<usize>().map_err(|e| format!("--workers: {e}"))?);
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a number")?;
+                queue_cap = Some(v.parse::<usize>().map_err(|e| format!("--queue-cap: {e}"))?);
+            }
+            "--max-batch" => {
+                let v = it.next().ok_or("--max-batch needs a number")?;
+                max_batch = Some(v.parse::<usize>().map_err(|e| format!("--max-batch: {e}"))?);
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a number")?;
+                deadline_ms = Some(v.parse::<u64>().map_err(|e| format!("--deadline-ms: {e}"))?);
+            }
+            "--requests" => {
+                let v = it.next().ok_or("--requests needs a number")?;
+                requests = Some(v.parse::<usize>().map_err(|e| format!("--requests: {e}"))?);
+            }
+            "--rps" => {
+                let v = it.next().ok_or("--rps needs a number")?;
+                let r = v.parse::<f64>().map_err(|e| format!("--rps: {e}"))?;
+                if !r.is_finite() || r <= 0.0 {
+                    return Err("--rps must be a positive number".into());
+                }
+                rps = Some(r);
+            }
+            "--duration" => {
+                let v = it.next().ok_or("--duration needs seconds")?;
+                let d = v.parse::<f64>().map_err(|e| format!("--duration: {e}"))?;
+                if !d.is_finite() || d <= 0.0 {
+                    return Err("--duration must be positive seconds".into());
+                }
+                duration_s = Some(d);
+            }
+            "--concurrency" => {
+                let v = it.next().ok_or("--concurrency needs a number")?;
+                concurrency =
+                    Some(v.parse::<usize>().map_err(|e| format!("--concurrency: {e}"))?);
+            }
+            "--no-verify" => no_verify = true,
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a file path")?;
+                trace_out = Some(v.clone());
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -230,6 +345,32 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics,
             })
         }
+        "serve" => Ok(Command::Serve {
+            addr: addr.unwrap_or_else(|| "127.0.0.1:8700".to_string()),
+            workers: workers.unwrap_or(4),
+            queue_cap: queue_cap.unwrap_or(256),
+            max_batch: max_batch.unwrap_or(8),
+            deadline_ms,
+            trace: trace_out,
+        }),
+        "loadgen" => {
+            let requests = requests.unwrap_or(100);
+            if requests == 0 && duration_s.is_none() {
+                return Err("loadgen needs --requests > 0 or --duration".into());
+            }
+            Ok(Command::Loadgen {
+                addr,
+                problem: problem.ok_or("loadgen requires --problem")?,
+                n: n.unwrap_or(256),
+                platform,
+                requests,
+                rps,
+                duration_s,
+                concurrency: concurrency.unwrap_or(4),
+                deadline_ms,
+                no_verify,
+            })
+        }
         other => Err(format!("unknown command '{other}'; try help")),
     }
 }
@@ -276,9 +417,17 @@ pub fn usage() -> String {
          \x20 lddp-cli trace   --problem <name> [--n N] [--platform high|low]\n\
          \x20                  [--t-switch X] [--t-share Y]\n\
          \x20                  [--out trace.json] [--metrics metrics.jsonl]\n\
+         \x20 lddp-cli serve   [--addr host:port] [--workers W] [--queue-cap Q]\n\
+         \x20                  [--max-batch B] [--deadline-ms D] [--trace serve.trace.json]\n\
+         \x20 lddp-cli loadgen --problem <name> [--n N] [--platform high|low]\n\
+         \x20                  [--addr host:port] [--requests R] [--rps RATE]\n\
+         \x20                  [--duration S] [--concurrency C] [--deadline-ms D]\n\
+         \x20                  [--no-verify]\n\
          \n\
          `trace` writes a Perfetto-loadable Chrome trace-event timeline\n\
-         (see docs/OBSERVABILITY.md).\n\
+         (see docs/OBSERVABILITY.md). `serve` runs the batching solve\n\
+         server; `loadgen` drives it and prints a JSON latency report,\n\
+         checking answers against the sequential oracle (docs/SERVING.md).\n\
          \n\
          PROBLEMS: {}\n",
         PROBLEMS.join(", ")
@@ -344,6 +493,131 @@ pub fn run_solve(
     run_solve_traced(problem, n, platform_name, params, &NullSink).map(|o| o.summary)
 }
 
+/// Dispatches over the problem registry. For the named problem it binds
+/// the deterministic instance at size `n` and invokes the caller's
+/// `$go!(kernel_expr, (to_gpu_bytes, from_gpu_bytes), answer_closure)`
+/// macro, where the answer closure has type
+/// `|&Kernel, &Grid<Cell>| -> String`. Every driver that needs a
+/// per-problem kernel (hetero solve, sequential oracle, classification,
+/// tuning) goes through this one registry, so a new problem is added in
+/// exactly one place.
+macro_rules! with_problem {
+    ($problem:expr, $n:expr, $go:ident) => {{
+        let n: usize = $n;
+        let seq = |seed: u64| crate::workloads::random_seq(n, 4, seed);
+        match $problem {
+            "levenshtein" => $go!(
+                problems::LevenshteinKernel::new(seq(1), seq(2)),
+                (2 * n, 8),
+                |k: &problems::LevenshteinKernel, g: &Grid<u32>| {
+                    let d = k.dims();
+                    format!("edit distance = {}", g.get(d.rows - 1, d.cols - 1))
+                }
+            ),
+            "lcs" => $go!(
+                problems::LcsKernel::new(seq(3), seq(4)),
+                (2 * n, 8),
+                |k: &problems::LcsKernel, g: &Grid<u32>| {
+                    let d = k.dims();
+                    format!("LCS length = {}", g.get(d.rows - 1, d.cols - 1))
+                }
+            ),
+            "dtw" => $go!(
+                problems::DtwKernel::random_walk(n, n, 5),
+                (8 * n, 8),
+                |_k: &problems::DtwKernel, g: &Grid<f32>| {
+                    format!("DTW distance = {:.3}", g.get(n - 1, n - 1))
+                }
+            ),
+            "checkerboard" => $go!(
+                problems::CheckerboardKernel::random(n, n, 9, 6),
+                (n * n, 0),
+                |_k: &problems::CheckerboardKernel, g: &Grid<u32>| {
+                    let best = (0..n).map(|j| g.get(n - 1, j)).min().unwrap();
+                    format!("cheapest path cost = {best}")
+                }
+            ),
+            "dithering" => $go!(
+                problems::DitherKernel::noise(n, n, 7),
+                (n * n, n * n),
+                |_k: &problems::DitherKernel, g: &Grid<problems::DitherCell>| {
+                    let on = (0..n)
+                        .flat_map(|i| (0..n).map(move |j| (i, j)))
+                        .filter(|&(i, j)| g.get(i, j).out == 255)
+                        .count();
+                    format!("{on} of {} pixels on", n * n)
+                }
+            ),
+            "seam" => $go!(
+                problems::SeamCarvingKernel::new(
+                    n,
+                    n,
+                    (0..n * n)
+                        .map(|x| ((x as u64).wrapping_mul(2654435761) >> 7) as u32 % 64)
+                        .collect(),
+                ),
+                (4 * n * n, 0),
+                |_k: &problems::SeamCarvingKernel, g: &Grid<u64>| {
+                    let best = (0..n).map(|j| g.get(n - 1, j)).min().unwrap();
+                    format!("minimal seam energy = {best}")
+                }
+            ),
+            "maxsquare" => $go!(
+                problems::MaxSquareKernel::random(n, n, 0.8, 8),
+                (n * n / 8, 8),
+                |_k: &problems::MaxSquareKernel, g: &Grid<u32>| {
+                    let mut best = 0;
+                    for i in 0..n {
+                        for j in 0..n {
+                            best = best.max(g.get(i, j));
+                        }
+                    }
+                    format!("largest all-ones square side = {best}")
+                }
+            ),
+            "needleman-wunsch" => $go!(
+                problems::NeedlemanWunschKernel::new(seq(9), seq(10)),
+                (2 * n, 8),
+                |k: &problems::NeedlemanWunschKernel, g: &Grid<i32>| {
+                    let d = k.dims();
+                    format!("global alignment score = {}", g.get(d.rows - 1, d.cols - 1))
+                }
+            ),
+            "smith-waterman" => $go!(
+                problems::SmithWatermanKernel::new(seq(11), seq(12)),
+                (2 * n, 8),
+                |k: &problems::SmithWatermanKernel, g: &Grid<problems::SwCell>| {
+                    let d = k.dims();
+                    let mut best = 0;
+                    for i in 0..d.rows {
+                        for j in 0..d.cols {
+                            best = best.max(g.get(i, j).best());
+                        }
+                    }
+                    format!("best local alignment score = {best}")
+                }
+            ),
+            "weighted-edit" => $go!(
+                problems::WeightedEditKernel::new(
+                    seq(13),
+                    seq(14),
+                    problems::weighted_edit::EditCosts::default(),
+                ),
+                (2 * n, 8),
+                |k: &problems::WeightedEditKernel, g: &Grid<u32>| {
+                    format!("weighted edit distance = {}", k.distance_from(g))
+                }
+            ),
+            "fig9" => $go!(
+                problems::synthetic::fig9_kernel(lddp_core::wavefront::Dims::new(n, n), 1),
+                (0, 0),
+                |_k: &_, g: &Grid<u32>| { format!("corner value = {}", g.get(n - 1, n - 1)) }
+            ),
+            other => Err(format!("unknown problem '{other}'")),
+        }
+    }};
+}
+
 /// Builds and solves the named problem with observability: tuner sweep
 /// points and the run's phase/wave/transfer events go into `sink`, and
 /// the output carries utilization + per-phase stats for rendering.
@@ -373,7 +647,7 @@ pub fn run_solve_traced(
                     ),
                     params: solution.params,
                     hetero_ms: solution.total_s * 1e3,
-                    answer: $answer(&kernel, &solution),
+                    answer: $answer(&kernel, &solution.grid),
                 },
                 n,
                 platform: platform_name.to_string(),
@@ -382,111 +656,68 @@ pub fn run_solve_traced(
             })
         }};
     }
-    let seq = |seed: u64| crate::workloads::random_seq(n, 4, seed);
-    match problem {
-        "levenshtein" => go!(
-            problems::LevenshteinKernel::new(seq(1), seq(2)),
-            (2 * n, 8),
-            |k: &problems::LevenshteinKernel, s: &crate::Solution<u32>| {
-                let d = k.dims();
-                format!("edit distance = {}", s.grid.get(d.rows - 1, d.cols - 1))
-            }
-        ),
-        "lcs" => go!(
-            problems::LcsKernel::new(seq(3), seq(4)),
-            (2 * n, 8),
-            |k: &problems::LcsKernel, s: &crate::Solution<u32>| {
-                let d = k.dims();
-                format!("LCS length = {}", s.grid.get(d.rows - 1, d.cols - 1))
-            }
-        ),
-        "dtw" => go!(
-            problems::DtwKernel::random_walk(n, n, 5),
-            (8 * n, 8),
-            |_k: &problems::DtwKernel, s: &crate::Solution<f32>| {
-                format!("DTW distance = {:.3}", s.grid.get(n - 1, n - 1))
-            }
-        ),
-        "checkerboard" => go!(
-            problems::CheckerboardKernel::random(n, n, 9, 6),
-            (n * n, 0),
-            |_k: &problems::CheckerboardKernel, s: &crate::Solution<u32>| {
-                let best = (0..n).map(|j| s.grid.get(n - 1, j)).min().unwrap();
-                format!("cheapest path cost = {best}")
-            }
-        ),
-        "dithering" => go!(
-            problems::DitherKernel::noise(n, n, 7),
-            (n * n, n * n),
-            |_k: &problems::DitherKernel, s: &crate::Solution<problems::DitherCell>| {
-                let on = (0..n)
-                    .flat_map(|i| (0..n).map(move |j| (i, j)))
-                    .filter(|&(i, j)| s.grid.get(i, j).out == 255)
-                    .count();
-                format!("{on} of {} pixels on", n * n)
-            }
-        ),
-        "seam" => go!(
-            problems::SeamCarvingKernel::new(
-                n,
-                n,
-                (0..n * n)
-                    .map(|x| ((x as u64).wrapping_mul(2654435761) >> 7) as u32 % 64)
-                    .collect(),
-            ),
-            (4 * n * n, 0),
-            |_k: &problems::SeamCarvingKernel, s: &crate::Solution<u64>| {
-                let best = (0..n).map(|j| s.grid.get(n - 1, j)).min().unwrap();
-                format!("minimal seam energy = {best}")
-            }
-        ),
-        "maxsquare" => go!(
-            problems::MaxSquareKernel::random(n, n, 0.8, 8),
-            (n * n / 8, 8),
-            |_k: &problems::MaxSquareKernel, s: &crate::Solution<u32>| {
-                let mut best = 0;
-                for i in 0..n {
-                    for j in 0..n {
-                        best = best.max(s.grid.get(i, j));
-                    }
-                }
-                format!("largest all-ones square side = {best}")
-            }
-        ),
-        "needleman-wunsch" => go!(
-            problems::NeedlemanWunschKernel::new(seq(9), seq(10)),
-            (2 * n, 8),
-            |k: &problems::NeedlemanWunschKernel, s: &crate::Solution<i32>| {
-                let d = k.dims();
-                format!(
-                    "global alignment score = {}",
-                    s.grid.get(d.rows - 1, d.cols - 1)
-                )
-            }
-        ),
-        "smith-waterman" => go!(
-            problems::SmithWatermanKernel::new(seq(11), seq(12)),
-            (2 * n, 8),
-            |k: &problems::SmithWatermanKernel, s: &crate::Solution<problems::SwCell>| {
-                let d = k.dims();
-                let mut best = 0;
-                for i in 0..d.rows {
-                    for j in 0..d.cols {
-                        best = best.max(s.grid.get(i, j).best());
-                    }
-                }
-                format!("best local alignment score = {best}")
-            }
-        ),
-        "fig9" => go!(
-            problems::synthetic::fig9_kernel(lddp_core::wavefront::Dims::new(n, n), 1),
-            (0, 0),
-            |_k: &_, s: &crate::Solution<u32>| {
-                format!("corner value = {}", s.grid.get(n - 1, n - 1))
-            }
-        ),
-        other => Err(format!("unknown problem '{other}'")),
+    with_problem!(problem, n, go)
+}
+
+/// Solves the named problem on the sequential row-major reference
+/// engine and returns the same headline answer string the solve paths
+/// print. This is the oracle the serving load generator checks
+/// responses against: instances are deterministic in `(problem, n)`, so
+/// equal answers mean the heterogeneous execution computed the same
+/// table.
+pub fn run_solve_seq(problem: &str, n: usize) -> Result<String, String> {
+    macro_rules! oracle {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let _ = $io;
+            let grid = lddp_core::seq::solve_row_major(&kernel).map_err(|e| e.to_string())?;
+            Ok($answer(&kernel, &grid))
+        }};
     }
+    with_problem!(problem, n, oracle)
+}
+
+/// The execution pattern the framework classifies the named problem to
+/// — the pattern half of a [`lddp_core::tuner_cache::TuneKey`].
+pub fn classify_problem(problem: &str, n: usize) -> Result<lddp_core::pattern::Pattern, String> {
+    macro_rules! class_of {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let _ = $io;
+            // Dead call pins the answer closure's kernel-parameter type
+            // (some registry arms annotate it as `&_`).
+            if false {
+                let g = lddp_core::seq::solve_row_major(&kernel).map_err(|e| e.to_string())?;
+                let _: String = $answer(&kernel, &g);
+            }
+            let class = lddp_core::framework::choose_execution(kernel.contributing_set())
+                .map_err(|e| e.to_string())?;
+            Ok(class.exec_pattern)
+        }};
+    }
+    with_problem!(problem, n, class_of)
+}
+
+/// Runs the §V-A two-stage sweep for the named instance and returns the
+/// tuned parameters — the expensive step the serving tuner cache
+/// amortizes across batches.
+pub fn tune_params(problem: &str, n: usize, platform_name: &str) -> Result<ScheduleParams, String> {
+    let platform = platform_by_name(platform_name);
+    macro_rules! tune_of {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            // Dead call pins the answer closure's kernel-parameter type
+            // (some registry arms annotate it as `&_`).
+            if false {
+                let g = lddp_core::seq::solve_row_major(&kernel).map_err(|e| e.to_string())?;
+                let _: String = $answer(&kernel, &g);
+            }
+            let fw = Framework::new(platform.clone()).with_io_bytes($io.0, $io.1);
+            let tuned = fw.tune(&kernel).map_err(|e| e.to_string())?;
+            Ok(tuned.params)
+        }};
+    }
+    with_problem!(problem, n, tune_of)
 }
 
 /// Renders a [`SolveOutput`] as one machine-readable JSON object.
@@ -749,6 +980,112 @@ pub fn render_compare_json(problem: &str, n: usize, platform_name: &str, c: &Com
     )
 }
 
+/// Runs the batching solve server until `POST /shutdown` drains it,
+/// then returns the final stats snapshot (and writes the serve-run
+/// Chrome trace when `trace_out` is given).
+pub fn run_serve(
+    addr: &str,
+    config: ServeConfig,
+    trace_out: Option<&str>,
+) -> Result<String, String> {
+    let backend = crate::serve_backend::FrameworkBackend::new();
+    let recorder = trace_out.map(|_| Recorder::new());
+    let sink: &(dyn TraceSink + Sync) = match &recorder {
+        Some(r) => r,
+        None => &NullSink,
+    };
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    let workers = config.workers;
+    let queue_cap = config.queue_capacity;
+    let max_batch = config.max_batch;
+    let server = Server::new(config, &backend, sink);
+    let snapshot = server.run(Some(listener), |client| {
+        println!(
+            "lddp-serve listening on http://{local} (workers={workers}, queue={queue_cap}, max-batch={max_batch})"
+        );
+        println!("routes: POST /solve | GET /healthz | GET /stats | POST /shutdown");
+        client.wait_shutdown();
+        client.snapshot()
+    });
+    let mut msg = format!("drained; final stats:\n{}", snapshot.to_json());
+    if let (Some(rec), Some(path)) = (recorder, trace_out) {
+        let data = rec.into_data();
+        let trace_json = chrome::to_chrome_json(&data);
+        std::fs::write(path, &trace_json).map_err(|e| format!("writing {path}: {e}"))?;
+        msg.push_str(&format!(
+            "\ntrace     : {} spans, {} counter series -> {path}",
+            data.spans.len(),
+            data.counters.len()
+        ));
+    }
+    Ok(msg)
+}
+
+/// Loadgen knobs as parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct LoadgenOpts {
+    /// Target server; `None` = in-process.
+    pub addr: Option<String>,
+    /// Problem name.
+    pub problem: String,
+    /// Instance size.
+    pub n: usize,
+    /// Platform preset name.
+    pub platform: String,
+    /// Requests to send (0 = until duration elapses).
+    pub requests: usize,
+    /// Open-loop arrival rate.
+    pub rps: Option<f64>,
+    /// Wall-clock cap, seconds.
+    pub duration_s: Option<f64>,
+    /// Closed-loop workers.
+    pub concurrency: usize,
+    /// Per-request deadline, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Skip the oracle answer check.
+    pub no_verify: bool,
+}
+
+/// Runs one load experiment (HTTP when `addr` is set, against an
+/// in-process server otherwise) and returns the JSON report.
+pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
+    let mut request = SolveRequest::new(opts.problem.clone(), opts.n);
+    request.platform = opts.platform.clone();
+    request.deadline_ms = opts.deadline_ms;
+    let expect_answer = if opts.no_verify {
+        None
+    } else {
+        Some(run_solve_seq(&opts.problem, opts.n)?)
+    };
+    let cfg = LoadgenConfig {
+        request,
+        total: opts.requests,
+        rps: opts.rps,
+        duration: opts.duration_s.map(Duration::from_secs_f64),
+        concurrency: opts.concurrency,
+        expect_answer,
+    };
+    let report = match &opts.addr {
+        Some(addr) => {
+            let target = HttpTarget {
+                addr: addr.clone(),
+                timeout: Duration::from_secs(60),
+            };
+            lddp_serve::loadgen::run(&target, &cfg)
+        }
+        None => {
+            let backend = crate::serve_backend::FrameworkBackend::new();
+            let server = Server::new(ServeConfig::default(), &backend, &NullSink);
+            server.run(None, |client| lddp_serve::loadgen::run(client, &cfg))
+        }
+    };
+    Ok(report.to_json())
+}
+
 /// Executes a parsed command, returning the output text.
 pub fn execute(cmd: Command) -> Result<String, String> {
     match cmd {
@@ -801,6 +1138,46 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             out,
             metrics,
         } => run_trace(&problem, n, &platform, params, &out, metrics.as_deref()),
+        Command::Serve {
+            addr,
+            workers,
+            queue_cap,
+            max_batch,
+            deadline_ms,
+            trace,
+        } => run_serve(
+            &addr,
+            ServeConfig {
+                workers,
+                queue_capacity: queue_cap,
+                max_batch,
+                default_deadline_ms: deadline_ms,
+            },
+            trace.as_deref(),
+        ),
+        Command::Loadgen {
+            addr,
+            problem,
+            n,
+            platform,
+            requests,
+            rps,
+            duration_s,
+            concurrency,
+            deadline_ms,
+            no_verify,
+        } => run_loadgen(&LoadgenOpts {
+            addr,
+            problem,
+            n,
+            platform,
+            requests,
+            rps,
+            duration_s,
+            concurrency,
+            deadline_ms,
+            no_verify,
+        }),
     }
 }
 
@@ -1045,5 +1422,113 @@ mod tests {
         assert!(out.contains("USAGE"));
         let out = execute(parse(&argv("classify --set NE")).unwrap()).unwrap();
         assert!(out.contains("mInverted-L"));
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:8700".into(),
+                workers: 4,
+                queue_cap: 256,
+                max_batch: 8,
+                deadline_ms: None,
+                trace: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --addr 0.0.0.0:9000 --workers 2 --queue-cap 32 --max-batch 4 \
+                 --deadline-ms 500 --trace serve.trace.json"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: 2,
+                queue_cap: 32,
+                max_batch: 4,
+                deadline_ms: Some(500),
+                trace: Some("serve.trace.json".into()),
+            }
+        );
+        assert!(parse(&argv("serve --workers")).is_err());
+        assert!(parse(&argv("serve --queue-cap many")).is_err());
+    }
+
+    #[test]
+    fn parse_loadgen_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("loadgen --problem lcs")).unwrap(),
+            Command::Loadgen {
+                addr: None,
+                problem: "lcs".into(),
+                n: 256,
+                platform: "high".into(),
+                requests: 100,
+                rps: None,
+                duration_s: None,
+                concurrency: 4,
+                deadline_ms: None,
+                no_verify: false,
+            }
+        );
+        let cmd = parse(&argv(
+            "loadgen --addr 127.0.0.1:8700 --problem dtw --n 128 --requests 500 \
+             --rps 50 --duration 10 --concurrency 8 --deadline-ms 2000 --no-verify",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Loadgen {
+                addr: Some("127.0.0.1:8700".into()),
+                problem: "dtw".into(),
+                n: 128,
+                platform: "high".into(),
+                requests: 500,
+                rps: Some(50.0),
+                duration_s: Some(10.0),
+                concurrency: 8,
+                deadline_ms: Some(2000),
+                no_verify: true,
+            }
+        );
+        assert!(parse(&argv("loadgen")).is_err(), "requires --problem");
+        assert!(parse(&argv("loadgen --problem lcs --requests 0")).is_err());
+        assert!(parse(&argv("loadgen --problem lcs --rps -3")).is_err());
+        assert!(parse(&argv("loadgen --problem lcs --duration 0")).is_err());
+        assert!(
+            parse(&argv("loadgen --problem lcs --requests 0 --duration 2")).is_ok(),
+            "duration-bounded unlimited runs are legal"
+        );
+    }
+
+    #[test]
+    fn loadgen_in_process_reports_clean_run() {
+        let opts = LoadgenOpts {
+            addr: None,
+            problem: "lcs".into(),
+            n: 48,
+            platform: "high".into(),
+            requests: 20,
+            rps: None,
+            duration_s: None,
+            concurrency: 4,
+            deadline_ms: None,
+            no_verify: false,
+        };
+        let text = run_loadgen(&opts).unwrap();
+        let v = lddp_trace::json::parse(&text).unwrap();
+        assert_eq!(v.get("sent").and_then(|j| j.as_f64()), Some(20.0));
+        assert_eq!(v.get("completed").and_then(|j| j.as_f64()), Some(20.0));
+        assert_eq!(v.get("errors").and_then(|j| j.as_f64()), Some(0.0));
+        assert_eq!(v.get("mismatches").and_then(|j| j.as_f64()), Some(0.0));
+        let latency = v
+            .get("latency_ms")
+            .and_then(|l| l.get("total"))
+            .expect("latency summary");
+        assert!(latency.get("p50_ms").and_then(|j| j.as_f64()).is_some());
+        assert!(latency.get("p99_ms").and_then(|j| j.as_f64()).is_some());
+        assert!(v.get("rejection_rate").and_then(|j| j.as_f64()).is_some());
     }
 }

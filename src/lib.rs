@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod serve_backend;
 pub mod workloads;
 
 pub use hetero_sim;
@@ -237,12 +238,7 @@ impl Framework {
     pub fn tune_refined<K: Kernel>(&self, kernel: &K) -> Result<TuneResult> {
         let class = self.classify(kernel)?;
         let dims = self.exec_dims(kernel, &class);
-        let waves = class.exec_pattern.num_waves(dims.rows, dims.cols);
-        let max_switch = match class.exec_pattern.profile_shape() {
-            ProfileShape::Constant => 0,
-            ProfileShape::RampUpDown => waves / 2,
-            ProfileShape::Decreasing => waves,
-        };
+        let max_switch = lddp_core::schedule::max_t_switch(class.exec_pattern, dims);
         tuner::tune_concave((0, max_switch), (0, dims.cols), |params| {
             self.estimate(kernel, params)
                 .expect("candidate parameters are in range")

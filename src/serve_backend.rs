@@ -1,0 +1,175 @@
+//! The [`SolveBackend`] that wires `lddp-serve` to the [`Framework`]:
+//! validation against the CLI problem registry, §V-A tuning amortized
+//! through a [`TunerCache`], and traced heterogeneous solves.
+//!
+//! This is the dependency seam of the serving stack: `lddp-serve` only
+//! knows `lddp-core` types, so the umbrella crate (which owns the
+//! problem registry and the execution engines) supplies the backend.
+
+use crate::cli;
+use lddp_core::schedule::ScheduleParams;
+use lddp_core::tuner_cache::{TuneKey, TunerCache};
+use lddp_core::wavefront::Dims;
+use lddp_serve::{BackendSolve, SolveBackend, SolveRequest};
+use lddp_trace::TraceSink;
+
+/// Largest instance side the server accepts. Solves are O(n²) cells on
+/// a modelled platform; this cap keeps one request from monopolizing a
+/// worker for minutes.
+pub const MAX_SERVE_N: usize = 8192;
+
+/// [`SolveBackend`] over the real [`Framework`](crate::Framework)
+/// solve path, with tuned parameters cached per
+/// `(pattern, dims bucket, platform)`.
+#[derive(Debug, Default)]
+pub struct FrameworkBackend {
+    cache: TunerCache,
+}
+
+impl FrameworkBackend {
+    /// A backend with an empty tuner cache.
+    pub fn new() -> FrameworkBackend {
+        FrameworkBackend {
+            cache: TunerCache::new(),
+        }
+    }
+
+    /// The tuner cache (for stats and tests).
+    pub fn cache(&self) -> &TunerCache {
+        &self.cache
+    }
+
+    fn tune_key(&self, req: &SolveRequest) -> Result<TuneKey, String> {
+        let pattern = cli::classify_problem(&req.problem, req.n)?;
+        Ok(TuneKey::new(
+            pattern,
+            Dims::new(req.n, req.n),
+            req.platform.clone(),
+        ))
+    }
+}
+
+impl SolveBackend for FrameworkBackend {
+    fn validate(&self, req: &SolveRequest) -> Result<(), String> {
+        if !cli::PROBLEMS.contains(&req.problem.as_str()) {
+            return Err(format!(
+                "unknown problem \"{}\"; expected one of {}",
+                req.problem,
+                cli::PROBLEMS.join(", ")
+            ));
+        }
+        if req.n < 2 {
+            return Err("\"n\" must be at least 2".to_string());
+        }
+        if req.n > MAX_SERVE_N {
+            return Err(format!("\"n\" exceeds the serving cap of {MAX_SERVE_N}"));
+        }
+        if req.platform != "high" && req.platform != "low" {
+            return Err(format!(
+                "unknown platform \"{}\"; expected high or low",
+                req.platform
+            ));
+        }
+        Ok(())
+    }
+
+    fn tune(
+        &self,
+        probe: &SolveRequest,
+        _sink: &dyn TraceSink,
+    ) -> Result<(ScheduleParams, bool), String> {
+        if let Some(params) = probe.params {
+            // Pinned parameters skip tuning; never a cache hit.
+            return Ok((params, false));
+        }
+        let key = self.tune_key(probe)?;
+        self.cache.get_or_tune(&key, || {
+            cli::tune_params(&probe.problem, probe.n, &probe.platform)
+        })
+    }
+
+    fn solve(
+        &self,
+        req: &SolveRequest,
+        params: ScheduleParams,
+        sink: &dyn TraceSink,
+    ) -> Result<BackendSolve, String> {
+        // Cached (or pinned) parameters may have been produced for a
+        // different instance in the same bucket; re-legalize for this
+        // exact size before planning.
+        let pattern = cli::classify_problem(&req.problem, req.n)?;
+        let clamped = params.clamped_for(pattern, Dims::new(req.n, req.n));
+        let out = cli::run_solve_traced(&req.problem, req.n, &req.platform, Some(clamped), sink)?;
+        Ok(BackendSolve {
+            answer: out.summary.answer,
+            virtual_ms: out.summary.hetero_ms,
+            params: out.summary.params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_trace::NullSink;
+
+    #[test]
+    fn validate_enforces_registry_and_bounds() {
+        let b = FrameworkBackend::new();
+        assert!(b.validate(&SolveRequest::new("lcs", 64)).is_ok());
+        assert!(b.validate(&SolveRequest::new("nonsense", 64)).is_err());
+        assert!(b.validate(&SolveRequest::new("lcs", 1)).is_err());
+        assert!(b.validate(&SolveRequest::new("lcs", MAX_SERVE_N + 1)).is_err());
+        let mut bad_platform = SolveRequest::new("lcs", 64);
+        bad_platform.platform = "mid".into();
+        assert!(b.validate(&bad_platform).is_err());
+    }
+
+    #[test]
+    fn tune_caches_within_bucket_and_skips_pinned() {
+        let b = FrameworkBackend::new();
+        let (p1, hit1) = b.tune(&SolveRequest::new("lcs", 100), &NullSink).unwrap();
+        assert!(!hit1);
+        // 100 and 128 share the 128 bucket.
+        let (p2, hit2) = b.tune(&SolveRequest::new("lcs", 128), &NullSink).unwrap();
+        assert!(hit2);
+        assert_eq!(p1, p2);
+        assert_eq!(b.cache().len(), 1);
+
+        let mut pinned = SolveRequest::new("lcs", 100);
+        pinned.params = Some(ScheduleParams::new(3, 7));
+        let (p3, hit3) = b.tune(&pinned, &NullSink).unwrap();
+        assert!(!hit3);
+        assert_eq!(p3, ScheduleParams::new(3, 7));
+        assert_eq!(b.cache().len(), 1, "pinned params never enter the cache");
+    }
+
+    #[test]
+    fn solve_clamps_cached_params_for_smaller_instances() {
+        let b = FrameworkBackend::new();
+        // Deliberately illegal for n=32: t_switch far beyond the wave
+        // count. The backend must clamp instead of erroring.
+        let solved = b
+            .solve(
+                &SolveRequest::new("lcs", 32),
+                ScheduleParams::new(10_000, 10_000),
+                &NullSink,
+            )
+            .unwrap();
+        assert!(solved.params.t_switch <= 63);
+        assert!(solved.params.t_share <= 32);
+        assert!(!solved.answer.is_empty());
+    }
+
+    #[test]
+    fn solve_answer_matches_sequential_oracle() {
+        let b = FrameworkBackend::new();
+        for problem in ["lcs", "levenshtein", "weighted-edit", "dithering"] {
+            let req = SolveRequest::new(problem, 48);
+            let (params, _) = b.tune(&req, &NullSink).unwrap();
+            let served = b.solve(&req, params, &NullSink).unwrap();
+            let oracle = crate::cli::run_solve_seq(problem, 48).unwrap();
+            assert_eq!(served.answer, oracle, "{problem}");
+        }
+    }
+}

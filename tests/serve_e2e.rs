@@ -1,0 +1,193 @@
+//! End-to-end acceptance tests for the serving stack: a real
+//! [`FrameworkBackend`] behind [`lddp_serve::Server`], driven by the
+//! load generator — in process and over the hand-rolled HTTP front
+//! end — with answers checked against the sequential oracle and the
+//! trace export checked for the per-request span catalog.
+
+use lddp::serve_backend::FrameworkBackend;
+use lddp_serve::loadgen::{self, HttpTarget, LoadgenConfig};
+use lddp_serve::{ServeConfig, Server, SolveRequest};
+use lddp_trace::{catalog, chrome, json, NullSink, Recorder};
+use std::net::TcpListener;
+use std::time::Duration;
+
+fn config(workers: usize, queue: usize, batch: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_capacity: queue,
+        max_batch: batch,
+        default_deadline_ms: None,
+    }
+}
+
+/// The acceptance-criteria run: ≥500 requests through the real solve
+/// path with zero errors, zero rejections, and every answer equal to
+/// the sequential oracle's.
+#[test]
+fn five_hundred_request_run_is_error_free_and_oracle_checked() {
+    let oracle = lddp::cli::run_solve_seq("lcs", 64).unwrap();
+    let backend = FrameworkBackend::new();
+    let server = Server::new(config(4, 256, 8), &backend, &NullSink);
+    let report = server.run(None, |client| {
+        let cfg = LoadgenConfig {
+            request: SolveRequest::new("lcs", 64),
+            total: 500,
+            concurrency: 8,
+            expect_answer: Some(oracle.clone()),
+            ..LoadgenConfig::default()
+        };
+        loadgen::run(client, &cfg)
+    });
+
+    assert_eq!(report.sent, 500);
+    assert_eq!(report.completed, 500, "by_code: {:?}", report.by_code);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.mismatches, 0, "served answers diverged from the oracle");
+    assert_eq!(report.rejection_rate, 0.0);
+    assert!(report.throughput_rps > 0.0);
+    assert_eq!(report.latency.count, 500);
+    assert!(report.latency.p50_ms <= report.latency.p95_ms);
+    assert!(report.latency.p95_ms <= report.latency.p99_ms);
+    assert!(report.latency.p99_ms <= report.latency.max_ms);
+}
+
+/// Batching amortizes tuning: one hot key, many requests, far fewer
+/// tuner sweeps than solves.
+#[test]
+fn batches_amortize_tuning_across_the_run() {
+    let backend = FrameworkBackend::new();
+    // One worker makes the batch accounting deterministic: submissions
+    // pile up while the first batch tunes, so exactly one cold sweep.
+    let server = Server::new(config(1, 256, 16), &backend, &NullSink);
+    let snapshot = server.run(None, |client| {
+        let pending: Vec<_> = (0..64)
+            .map(|_| client.submit(SolveRequest::new("lcs", 48)).unwrap())
+            .collect();
+        for rx in pending {
+            rx.recv().unwrap().unwrap();
+        }
+        client.snapshot()
+    });
+    assert_eq!(snapshot.completed, 64);
+    assert_eq!(snapshot.tune_misses, 1, "one cold sweep for the one hot key");
+    assert!(
+        snapshot.batches < 64,
+        "expected multi-job batches, got {} batches",
+        snapshot.batches
+    );
+    assert!(snapshot.tune_hits + snapshot.tune_misses == snapshot.batches);
+}
+
+/// Mixed problems keep their own answers: interleaved submissions of
+/// different kernels all match their own oracles.
+#[test]
+fn mixed_problem_streams_stay_correct() {
+    let problems = ["lcs", "levenshtein", "weighted-edit", "dithering", "dtw"];
+    let backend = FrameworkBackend::new();
+    let server = Server::new(config(3, 256, 4), &backend, &NullSink);
+    server.run(None, |client| {
+        let pending: Vec<_> = (0..30)
+            .map(|i| {
+                let name = problems[i % problems.len()];
+                (name, client.submit(SolveRequest::new(name, 40)).unwrap())
+            })
+            .collect();
+        for (name, rx) in pending {
+            let resp = rx.recv().unwrap().unwrap();
+            let oracle = lddp::cli::run_solve_seq(name, 40).unwrap();
+            assert_eq!(resp.answer, oracle, "{name}");
+        }
+    });
+}
+
+/// The HTTP front end serves a full loadgen run, and the traced
+/// timeline exports to Chrome/Perfetto JSON carrying the queue-wait,
+/// batch, and solve spans for the served requests.
+#[test]
+fn http_run_exports_perfetto_timeline_with_serve_spans() {
+    let oracle = lddp::cli::run_solve_seq("levenshtein", 48).unwrap();
+    let backend = FrameworkBackend::new();
+    let recorder = Recorder::new();
+    let server = Server::new(config(2, 64, 4), &backend, &recorder);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let report = server.run(Some(listener), |client| {
+        let target = HttpTarget {
+            addr: addr.clone(),
+            timeout: Duration::from_secs(30),
+        };
+        let cfg = LoadgenConfig {
+            request: SolveRequest::new("levenshtein", 48),
+            total: 40,
+            concurrency: 4,
+            expect_answer: Some(oracle.clone()),
+            ..LoadgenConfig::default()
+        };
+        let report = loadgen::run(&target, &cfg);
+        client.shutdown();
+        report
+    });
+
+    assert_eq!(report.completed, 40, "by_code: {:?}", report.by_code);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.mismatches, 0);
+
+    let data = recorder.into_data();
+    for span in [
+        catalog::SPAN_QUEUE_WAIT,
+        catalog::SPAN_BATCH,
+        catalog::SPAN_SOLVE,
+    ] {
+        let count = data.spans.iter().filter(|s| s.name == span).count();
+        assert!(count > 0, "no {span} spans recorded");
+    }
+    let waits = data
+        .spans
+        .iter()
+        .filter(|s| s.name == catalog::SPAN_QUEUE_WAIT)
+        .count();
+    assert_eq!(waits, 40, "one queue-wait span per served request");
+    assert_eq!(data.counters[catalog::CTR_COMPLETED], 40);
+    assert_eq!(data.counters[catalog::CTR_ACCEPTED], 40);
+
+    // The export must be loadable: valid JSON in the Chrome trace shape
+    // (object with a traceEvents array mentioning the serve spans).
+    let exported = chrome::to_chrome_json(&data);
+    let parsed = json::parse(&exported).expect("chrome export is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .expect("traceEvents key present");
+    assert!(matches!(events, json::Json::Arr(_)));
+    assert!(exported.contains(catalog::SPAN_QUEUE_WAIT));
+    assert!(exported.contains(catalog::SPAN_SOLVE));
+}
+
+/// Backpressure under overload: a tiny queue behind a slow worker pool
+/// rejects with `queue_full` rather than stalling, and the loadgen
+/// report classifies those as rejections, not errors.
+#[test]
+fn overload_rejects_cleanly_instead_of_erroring() {
+    let backend = FrameworkBackend::new();
+    let server = Server::new(config(1, 2, 1), &backend, &NullSink);
+    let report = server.run(None, |client| {
+        let cfg = LoadgenConfig {
+            request: SolveRequest::new("lcs", 256),
+            total: 60,
+            concurrency: 16,
+            ..LoadgenConfig::default()
+        };
+        loadgen::run(client, &cfg)
+    });
+    assert_eq!(report.sent, 60);
+    assert_eq!(report.errors, 0, "overload must not surface as errors");
+    assert_eq!(report.completed + report.rejected, 60);
+    if report.rejected > 0 {
+        assert!(report.rejection_rate > 0.0);
+        assert!(report
+            .by_code
+            .iter()
+            .any(|(code, _)| code == "queue_full" || code == "deadline_exceeded"));
+    }
+}
