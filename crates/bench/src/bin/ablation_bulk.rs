@@ -1,0 +1,9 @@
+//! Ablation: bulk wave-slice kernels vs per-cell scalar dispatch, and
+//! the persistent worker pool vs spawn-per-solve, on real threads.
+use lddp_bench::figures::ablation_bulk;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[512, 1024, 2048, 4096]);
+    ablation_bulk(&sizes).emit("ablation_bulk");
+}

@@ -40,6 +40,7 @@ fn main() {
     ablation_pipeline(&[1024, 2048, 4096, 8192]).emit("ablation_pipeline");
     ablation_layout(&[1024, 2048, 4096, 8192]).emit("ablation_layout");
     ablation_bitlcs(&[512, 1024, 2048, 4096]).emit("ablation_bitlcs");
+    ablation_bulk(&[512, 1024, 2048, 4096]).emit("ablation_bulk");
     extension_phi(&[1024, 2048, 4096, 8192]).emit("extension_phi");
     println!(
         "Also available (run individually): ablation_threading, ablation_partition,\n\

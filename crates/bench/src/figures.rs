@@ -319,6 +319,69 @@ pub fn ablation_bitlcs(sizes: &[usize]) -> Figure {
     fig
 }
 
+/// Ablation (bulk execution): per-cell scalar dispatch vs bulk
+/// [`lddp_core::kernel::WaveKernel`] runs, and spawn-per-solve vs the
+/// persistent worker pool, wall-clock on LCS. The scalar and bulk
+/// columns share one pooled engine (so the delta is purely the
+/// per-cell dispatch); the spawn column pays fresh worker threads on
+/// every solve — the engine's pre-pool cost model.
+pub fn ablation_bulk(sizes: &[usize]) -> Figure {
+    let mut fig = Figure::new(
+        "Ablation — scalar per-cell vs bulk wave runs, spawned vs pooled workers (LCS, wall clock)",
+        "n",
+    );
+    let mut scalar = Series::new("scalar-pooled(ms)");
+    let mut bulk = Series::new("bulk-pooled(ms)");
+    let mut spawn = Series::new("bulk-spawned(ms)");
+    let pooled = lddp_parallel::ParallelEngine::host();
+    let scalar_engine = pooled.clone().with_bulk_enabled(false);
+    let best_ms = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    for &n in sizes {
+        let a = random_seq(n, 4, 33);
+        let b = random_seq(n, 4, 34);
+        let kernel = LcsKernel::new(a, b);
+        let reference = pooled.solve(&kernel).expect("solve");
+        let got = scalar_engine.solve(&kernel).expect("solve");
+        assert_eq!(
+            got.to_row_major(),
+            reference.to_row_major(),
+            "bulk and scalar paths diverged at n={n}"
+        );
+        let scalar_ms = best_ms(&mut || {
+            scalar_engine.solve(&kernel).expect("solve");
+        });
+        let bulk_ms = best_ms(&mut || {
+            pooled.solve(&kernel).expect("solve");
+        });
+        let spawn_ms = best_ms(&mut || {
+            lddp_parallel::ParallelEngine::new(pooled.threads())
+                .solve(&kernel)
+                .expect("solve");
+        });
+        let cells = ((n + 1) * (n + 1)) as f64;
+        println!(
+            "n={n}: scalar {:.1} Mcells/s, bulk {:.1} Mcells/s ({:.2}x), spawn-per-solve {:.2}x slower than pooled",
+            cells / scalar_ms / 1e3,
+            cells / bulk_ms / 1e3,
+            scalar_ms / bulk_ms,
+            spawn_ms / bulk_ms,
+        );
+        scalar.push(n as f64, scalar_ms);
+        bulk.push(n as f64, bulk_ms);
+        spawn.push(n as f64, spawn_ms);
+    }
+    fig.series = vec![scalar, bulk, spawn];
+    fig
+}
+
 /// Extension (§VII): the same Fig 9 experiment on a hypothetical
 /// Xeon-Phi-like accelerator.
 pub fn extension_phi(sizes: &[usize]) -> Figure {

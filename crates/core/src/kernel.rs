@@ -120,6 +120,61 @@ pub trait Kernel: Sync {
     fn name(&self) -> &str {
         "lddp-kernel"
     }
+
+    /// The kernel's bulk execution path, if it has one.
+    ///
+    /// Returning `Some(self)` opts the kernel into
+    /// [`WaveKernel::compute_run`] for the *interior* runs of each wave
+    /// (every declared neighbour in bounds); boundary cells always go
+    /// through [`Kernel::compute`]. The default (`None`) keeps the
+    /// scalar path for every existing kernel.
+    fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = Self::Cell>> {
+        None
+    }
+}
+
+/// Bulk form of a [`Kernel`]: computes a contiguous interior run of one
+/// wave in a single call, with the declared neighbours presented as
+/// plain slices — no per-cell `Option` checks, no boundary branches, so
+/// the loop body is a straight-line candidate for autovectorization.
+///
+/// A run is `out.len()` consecutive cells of one wave, in the pattern's
+/// canonical within-wave order, starting at `(i, j0)`. The pattern is
+/// the kernel's own classification (`classify(contributing_set())`),
+/// which fixes how cell `p` of the run steps from the start:
+///
+/// | pattern       | cell `p`            |
+/// |---------------|---------------------|
+/// | Anti-diagonal | `(i - p, j0 + p)`   |
+/// | Horizontal    | `(i, j0 + p)`       |
+/// | Vertical      | `(i + p, j0)`       |
+/// | Knight-move   | `(i - p, j0 + 2p)`  |
+/// | Inverted-L    | column arm `(i + p, j0)`, row arm `(i, j0 + p)` |
+/// | mInverted-L   | column arm `(i + p, j0)`, row arm `(i, j0 - p)` |
+///
+/// (An Inverted-L run never mixes arms — the engine splits at the
+/// corner.) For each direction in the contributing set, the matching
+/// slice holds the neighbour of cell `p` at index `p`; directions
+/// outside the set are passed as empty slices. Every cell of the run is
+/// interior: all declared neighbours exist, so implementations skip the
+/// base-case logic entirely. Results must be bit-identical to calling
+/// [`Kernel::compute`] cell by cell.
+pub trait WaveKernel: Kernel {
+    /// Computes the run of cells starting at `(i, j0)` into `out`.
+    // One fixed slice per representative direction beats a packed
+    // `&[&[T]; 4]` here: implementations index all four by `p` in the
+    // hot loop, and separate parameters keep them borrow-checkable.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_run(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [Self::Cell],
+        w: &[Self::Cell],
+        nw: &[Self::Cell],
+        n: &[Self::Cell],
+        ne: &[Self::Cell],
+    );
 }
 
 impl<K: Kernel + ?Sized> Kernel for &K {
@@ -143,6 +198,10 @@ impl<K: Kernel + ?Sized> Kernel for &K {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = Self::Cell>> {
+        (**self).wave_kernel()
     }
 }
 
@@ -291,6 +350,60 @@ mod tests {
         assert_eq!(k.compute(0, 0, &nbrs), 0);
         nbrs.set(RepCell::N, 10);
         assert_eq!(k.compute(1, 1, &nbrs), 12);
+    }
+
+    #[test]
+    fn wave_kernel_hook_defaults_to_none_and_forwards() {
+        let k = ClosureKernel::new(
+            Dims::new(2, 2),
+            ContributingSet::new(&[N]),
+            |_, _, _: &Neighbors<u8>| 0u8,
+        );
+        assert!(k.wave_kernel().is_none());
+        assert!((&k).wave_kernel().is_none(), "reference blanket forwards");
+    }
+
+    #[test]
+    fn wave_kernel_is_object_safe_and_reachable_through_the_hook() {
+        struct Ramp;
+        impl Kernel for Ramp {
+            type Cell = u32;
+            fn dims(&self) -> Dims {
+                Dims::new(3, 3)
+            }
+            fn contributing_set(&self) -> ContributingSet {
+                ContributingSet::new(&[RepCell::W, Nw, N])
+            }
+            fn compute(&self, i: usize, j: usize, _nbrs: &Neighbors<u32>) -> u32 {
+                (i + j) as u32
+            }
+            fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = u32>> {
+                Some(self)
+            }
+        }
+        impl WaveKernel for Ramp {
+            fn compute_run(
+                &self,
+                i: usize,
+                j0: usize,
+                out: &mut [u32],
+                _w: &[u32],
+                _nw: &[u32],
+                _n: &[u32],
+                _ne: &[u32],
+            ) {
+                // Anti-diagonal stepping: cell p is (i - p, j0 + p).
+                for (p, slot) in out.iter_mut().enumerate() {
+                    *slot = ((i - p) + (j0 + p)) as u32;
+                }
+            }
+        }
+        let k = Ramp;
+        let wk = k.wave_kernel().expect("opted in");
+        let mut out = [0u32; 2];
+        wk.compute_run(2, 1, &mut out, &[], &[], &[], &[]);
+        assert_eq!(out, [3, 3]);
+        assert!((&k).wave_kernel().is_some());
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub use cell::{ContributingSet, RepCell};
 pub use error::{Error, Result};
 pub use framework::{choose_execution, Adapter, Classification, MirroredKernel, TransposedKernel};
 pub use grid::{Grid, Layout, LayoutKind};
-pub use kernel::{ClosureKernel, Kernel, Neighbors};
+pub use kernel::{ClosureKernel, Kernel, Neighbors, WaveKernel};
 pub use pattern::{classify, Pattern, ProfileShape};
 pub use wavefront::Dims;

@@ -8,7 +8,9 @@
 //! order in which the scheduler counts off the "first `t_share` cells"
 //! assigned to the CPU (§III).
 
+use crate::cell::ContributingSet;
 use crate::pattern::Pattern;
+use std::ops::Range;
 
 /// Table dimensions, in cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -147,6 +149,128 @@ pub fn cell_at(pattern: Pattern, dims: Dims, w: usize, pos: usize) -> (usize, us
             (i, dims.cols - 1 - j)
         }
     }
+}
+
+/// One straight-line stretch of a wave: cell `p` (for `p` in
+/// `0..len`) sits at `(i0 + di*p, j0 + dj*p)`, occupying canonical
+/// positions `pos0..pos0 + len` of the wave. Every wave of every
+/// pattern is one segment, except the inverted-L shells, which are a
+/// column arm followed by a row arm.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WaveSegment {
+    pub i0: i64,
+    pub di: i64,
+    pub j0: i64,
+    pub dj: i64,
+    pub len: usize,
+    pub pos0: usize,
+}
+
+/// The ≤ 2 linear segments making up wave `w` (in canonical order).
+/// Unused slots are `None`; empty segments are omitted.
+pub(crate) fn wave_segments(pattern: Pattern, dims: Dims, w: usize) -> [Option<WaveSegment>; 2] {
+    let Dims { rows, cols } = dims;
+    if dims.is_empty() || w >= pattern.num_waves(rows, cols) {
+        return [None, None];
+    }
+    let seg = |i0: usize, di: i64, j0: usize, dj: i64, len: usize, pos0: usize| {
+        (len > 0).then_some(WaveSegment {
+            i0: i0 as i64,
+            di,
+            j0: j0 as i64,
+            dj,
+            len,
+            pos0,
+        })
+    };
+    match pattern {
+        Pattern::AntiDiagonal => {
+            let jlo = w.saturating_sub(rows - 1);
+            let len = pattern.wave_len(rows, cols, w);
+            [seg(w - jlo, -1, jlo, 1, len, 0), None]
+        }
+        Pattern::Horizontal => [seg(w, 0, 0, 1, cols, 0), None],
+        Pattern::Vertical => [seg(0, 1, w, 0, rows, 0), None],
+        Pattern::KnightMove => {
+            let jlo = jlo_knight(dims, w);
+            let len = pattern.wave_len(rows, cols, w);
+            [seg((w - jlo) / 2, -1, jlo, 2, len, 0), None]
+        }
+        Pattern::InvertedL => [
+            seg(w, 1, w, 0, rows - w, 0),
+            seg(w, 0, w + 1, 1, cols - w - 1, rows - w),
+        ],
+        Pattern::MirroredInvertedL => [
+            seg(w, 1, cols - 1 - w, 0, rows - w, 0),
+            (cols - w - 1 > 0).then(|| WaveSegment {
+                i0: w as i64,
+                di: 0,
+                j0: (cols - w - 2) as i64,
+                dj: -1,
+                len: cols - w - 1,
+                pos0: rows - w,
+            }),
+        ],
+    }
+}
+
+/// Canonical-position ranges of the cells of wave `w` whose declared
+/// neighbours (the directions in `set`) are *all* in bounds — the
+/// interior runs a bulk kernel may compute without boundary branches.
+/// At most two ranges (the arms of an inverted-L shell), in increasing
+/// position order; the wave's remaining cells are border cells.
+pub(crate) fn interior_runs(
+    pattern: Pattern,
+    dims: Dims,
+    set: ContributingSet,
+    w: usize,
+) -> Vec<Range<usize>> {
+    let mut runs = Vec::with_capacity(2);
+    for seg in wave_segments(pattern, dims, w).into_iter().flatten() {
+        // Clamp p so every `(i0 + di*p + oi, j0 + dj*p + oj)` stays
+        // inside the table; each bound is linear in p.
+        let mut lo: i64 = 0;
+        let mut hi: i64 = seg.len as i64 - 1;
+        for dep in set.iter() {
+            let (oi, oj) = dep.offset();
+            clamp_linear(&mut lo, &mut hi, seg.i0 + oi as i64, seg.di, dims.rows as i64 - 1);
+            clamp_linear(&mut lo, &mut hi, seg.j0 + oj as i64, seg.dj, dims.cols as i64 - 1);
+        }
+        if lo <= hi {
+            let start = seg.pos0 + lo as usize;
+            runs.push(start..seg.pos0 + hi as usize + 1);
+        }
+    }
+    runs
+}
+
+/// Tightens `[lo, hi]` so that `0 <= a + b*p <= max` for all `p` in it.
+fn clamp_linear(lo: &mut i64, hi: &mut i64, a: i64, b: i64, max: i64) {
+    match b.cmp(&0) {
+        std::cmp::Ordering::Equal => {
+            if a < 0 || a > max {
+                *hi = *lo - 1;
+            }
+        }
+        std::cmp::Ordering::Greater => {
+            *lo = (*lo).max(div_ceil_i64(-a, b));
+            *hi = (*hi).min(div_floor_i64(max - a, b));
+        }
+        std::cmp::Ordering::Less => {
+            *lo = (*lo).max(div_ceil_i64(a - max, -b));
+            *hi = (*hi).min(div_floor_i64(a, -b));
+        }
+    }
+}
+
+fn div_floor_i64(x: i64, y: i64) -> i64 {
+    debug_assert!(y > 0);
+    x.div_euclid(y)
+}
+
+fn div_ceil_i64(x: i64, y: i64) -> i64 {
+    debug_assert!(y > 0);
+    -(-x).div_euclid(y)
 }
 
 /// Iterates the cells of wave `w` in canonical order.
@@ -354,6 +478,70 @@ mod tests {
             wave_cells(Pattern::Vertical, dims, 2).collect::<Vec<_>>(),
             vec![(0, 2), (1, 2)]
         );
+    }
+
+    #[test]
+    fn wave_segments_reproduce_canonical_order() {
+        for p in Pattern::ALL {
+            for (r, c) in SHAPES {
+                let dims = Dims::new(r, c);
+                for w in 0..p.num_waves(r, c) {
+                    let mut cells = Vec::new();
+                    for seg in wave_segments(p, dims, w).into_iter().flatten() {
+                        assert_eq!(seg.pos0, cells.len(), "{p} {r}x{c} wave {w}");
+                        for pp in 0..seg.len as i64 {
+                            cells.push((
+                                (seg.i0 + seg.di * pp) as usize,
+                                (seg.j0 + seg.dj * pp) as usize,
+                            ));
+                        }
+                    }
+                    let expected: Vec<_> = wave_cells(p, dims, w).collect();
+                    assert_eq!(cells, expected, "{p} {r}x{c} wave {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_runs_are_exactly_the_fully_in_bounds_cells() {
+        for set in ContributingSet::table_one_rows() {
+            for p in Pattern::ALL {
+                for (r, c) in SHAPES {
+                    let dims = Dims::new(r, c);
+                    for w in 0..p.num_waves(r, c) {
+                        let runs = interior_runs(p, dims, set, w);
+                        assert!(runs.len() <= 2);
+                        // Sorted, disjoint, in-range.
+                        let mut last_end = 0;
+                        for run in &runs {
+                            assert!(run.start >= last_end && run.start < run.end);
+                            assert!(run.end <= p.wave_len(r, c, w));
+                            last_end = run.end;
+                        }
+                        // Membership matches per-cell bounds checking.
+                        for (pos, (i, j)) in wave_cells(p, dims, w).enumerate() {
+                            let in_run = runs.iter().any(|rg| rg.contains(&pos));
+                            let all_deps_in = set
+                                .iter()
+                                .all(|dep| dep.source(i, j, r, c).is_some());
+                            assert_eq!(
+                                in_run, all_deps_in,
+                                "{p} {set} {r}x{c} wave {w} pos {pos} cell ({i},{j})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_runs_of_out_of_range_waves_are_empty() {
+        let dims = Dims::new(3, 4);
+        let set = ContributingSet::new(&[RepCell::Nw]);
+        assert!(interior_runs(Pattern::AntiDiagonal, dims, set, 99).is_empty());
+        assert!(interior_runs(Pattern::AntiDiagonal, Dims::new(0, 4), set, 0).is_empty());
     }
 
     #[test]

@@ -6,6 +6,26 @@
 //! waves. Unlike `hetero-sim` this engine runs on the wall clock — it is
 //! what the Criterion benchmarks measure.
 //!
+//! Two perf-critical design points live here:
+//!
+//! * **Persistent workers.** The engine owns a lazily created
+//!   [`WorkerPool`] (long-lived threads plus a reusable sense-reversing
+//!   barrier) instead of re-spawning a `thread::scope` per solve. The
+//!   pool is created on first use and shared by every subsequent solve,
+//!   every [`tune_worker_count`](ParallelEngine::tune_worker_count)
+//!   candidate, and — through `Clone`, which shares the pool — every
+//!   batch the serving path executes.
+//! * **Bulk interior runs.** When the kernel exposes a
+//!   [`WaveKernel`] and the executed pattern equals the set's raw
+//!   classification, each worker splits its chunk of a wave into the
+//!   *interior* runs precomputed by [`Layout::interior_runs`] and the
+//!   border remainder. Interior cells have every dependency in bounds,
+//!   so whole runs are handed to [`WaveKernel::compute_run`] as plain
+//!   slices — no per-cell `Option` checks, no bounds branches, and a
+//!   shape LLVM can autovectorize. Border cells still go through the
+//!   scalar [`Kernel::compute`] path, and kernels without a `WaveKernel`
+//!   are entirely unaffected.
+//!
 //! [`ParallelEngine::solve_traced`] runs the same algorithm with
 //! wall-clock instrumentation: one span per non-empty (worker, wave)
 //! chunk, per-worker busy time, and a histogram of time spent waiting at
@@ -19,19 +39,27 @@
 //! *disjoint* chunk of that wave's contiguous range (wave-major layout),
 //! and reads only cells from strictly earlier waves — guaranteed by the
 //! pattern-compatibility check (`schedule::compatible`) and re-asserted
-//! in debug builds. A [`std::sync::Barrier`] separates waves, carrying
-//! the release/acquire edges that make earlier-wave writes visible. The
-//! one `unsafe` block below encapsulates exactly this discipline.
+//! in debug builds. The pool's [`SenseBarrier`](crate::SenseBarrier)
+//! separates waves, carrying the release/acquire edges that make
+//! earlier-wave writes visible. Bulk runs obey the same discipline in
+//! slice form: the output slice lies in the current wave's
+//! worker-exclusive range, and every dependency slice lies in a sealed
+//! earlier wave (asserted in debug builds via the layout's contiguity
+//! property). The few `unsafe` blocks below encapsulate exactly this
+//! discipline.
 
-use lddp_core::cell::ContributingSet;
+use crate::pool::WorkerPool;
+use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::{Grid, Layout, LayoutKind};
-use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
 use lddp_core::pattern::{classify, Pattern};
 use lddp_core::schedule::compatible;
+use lddp_core::tuner::SweepPoint;
 use lddp_core::wavefront::{self, Dims};
 use lddp_core::{Error, Result};
 use lddp_trace::{tracks, NullSink, Span, TraceSink};
-use std::sync::Barrier;
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Shared mutable cell store with externally enforced aliasing
@@ -41,10 +69,10 @@ struct SharedCells<T> {
     len: usize,
 }
 
-// SAFETY: all concurrent access goes through `read`/`write` under the
-// wave/barrier discipline documented on the module: writes within a wave
-// target pairwise-disjoint indices, reads target indices finalized before
-// the last barrier.
+// SAFETY: all concurrent access goes through `read`/`write`/`slice`/
+// `slice_mut` under the wave/barrier discipline documented on the
+// module: writes within a wave target pairwise-disjoint indices, reads
+// target indices finalized before the last barrier.
 unsafe impl<T: Send> Sync for SharedCells<T> {}
 
 impl<T: Copy> SharedCells<T> {
@@ -76,10 +104,36 @@ impl<T: Copy> SharedCells<T> {
         debug_assert!(idx < self.len);
         unsafe { *self.ptr.add(idx) = v };
     }
+
+    /// Borrows `base..base + len` as a slice of sealed cells.
+    ///
+    /// # Safety
+    /// The range is in bounds and every cell in it belongs to a wave
+    /// sealed by an earlier barrier (no concurrent writer).
+    #[inline]
+    unsafe fn slice(&self, base: usize, len: usize) -> &[T] {
+        debug_assert!(base + len <= self.len);
+        unsafe { std::slice::from_raw_parts(self.ptr.add(base), len) }
+    }
+
+    /// Borrows `base..base + len` mutably as the calling worker's
+    /// exclusive output run of the current wave.
+    ///
+    /// # Safety
+    /// The range is in bounds, lies entirely inside this worker's chunk
+    /// of the current wave, and does not overlap any slice handed out
+    /// for sealed waves (current-wave and earlier-wave ranges are
+    /// disjoint in a coalesced layout).
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the aliasing discipline is the caller contract
+    unsafe fn slice_mut(&self, base: usize, len: usize) -> &mut [T] {
+        debug_assert!(base + len <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(base), len) }
+    }
 }
 
 /// The contiguous sub-range of `0..len` owned by worker `t` of `n`.
-fn chunk(t: usize, n: usize, len: usize) -> std::ops::Range<usize> {
+fn chunk(t: usize, n: usize, len: usize) -> Range<usize> {
     let base = len / n;
     let extra = len % n;
     let start = t * base + t.min(extra);
@@ -87,14 +141,14 @@ fn chunk(t: usize, n: usize, len: usize) -> std::ops::Range<usize> {
     start..end
 }
 
-/// Computes one worker's chunk of wave `w`.
+/// Computes one worker's chunk of wave `w` cell by cell.
 ///
 /// # Safety
 /// Caller upholds the wave/barrier discipline: `range` is this worker's
 /// exclusive slice of wave `w`, and all of wave `w`'s dependencies are
 /// sealed by an earlier barrier.
 #[inline]
-unsafe fn compute_chunk<K: Kernel>(
+unsafe fn compute_chunk<K: Kernel + ?Sized>(
     kernel: &K,
     set: ContributingSet,
     pattern: Pattern,
@@ -102,7 +156,7 @@ unsafe fn compute_chunk<K: Kernel>(
     layout: &Layout,
     cells: &SharedCells<K::Cell>,
     w: usize,
-    range: std::ops::Range<usize>,
+    range: Range<usize>,
 ) {
     for pos in range {
         let (i, j) = wavefront::cell_at(pattern, dims, w, pos);
@@ -126,6 +180,127 @@ unsafe fn compute_chunk<K: Kernel>(
     }
 }
 
+/// Computes one contiguous interior run of wave `w` through the kernel's
+/// bulk path, materializing the dependency and output slices.
+///
+/// # Safety
+/// As [`compute_chunk`], plus: `run` must be (a sub-range of) an
+/// interior run reported by [`Layout::interior_runs`] for this
+/// `(pattern, set, w)`, so that every dependency of every cell in it is
+/// in bounds and each dependency direction occupies contiguous backing
+/// slots (the property tested in `lddp-core::grid`).
+#[allow(clippy::too_many_arguments)]
+unsafe fn compute_run_bulk<T: Copy + Send + Sync + PartialEq + std::fmt::Debug + Default>(
+    wk: &dyn WaveKernel<Cell = T>,
+    set: ContributingSet,
+    pattern: Pattern,
+    dims: Dims,
+    layout: &Layout,
+    cells: &SharedCells<T>,
+    w: usize,
+    run: Range<usize>,
+) {
+    let len = run.len();
+    if len == 0 {
+        return;
+    }
+    let (i0, j0) = wavefront::cell_at(pattern, dims, w, run.start);
+    let out_base = layout.index(i0, j0);
+    if len > 1 {
+        let (il, jl) = wavefront::cell_at(pattern, dims, w, run.end - 1);
+        debug_assert_eq!(
+            layout.index(il, jl),
+            out_base + len - 1,
+            "wave run must be contiguous in a coalesced layout"
+        );
+    }
+    let mut dep_slices: [&[T]; 4] = [&[]; 4];
+    for dep in set.iter() {
+        let (si, sj) = dep
+            .source(i0, j0, dims.rows, dims.cols)
+            .expect("interior cells have every dependency in bounds");
+        let base = layout.index(si, sj);
+        debug_assert!(wavefront::wave_of(pattern, dims, si, sj) < w);
+        if len > 1 {
+            let (il, jl) = wavefront::cell_at(pattern, dims, w, run.end - 1);
+            let (sl_i, sl_j) = dep.source(il, jl, dims.rows, dims.cols).unwrap();
+            debug_assert_eq!(
+                layout.index(sl_i, sl_j),
+                base + len - 1,
+                "dependency run must be contiguous (layout contiguity property)"
+            );
+        }
+        // SAFETY: the whole dependency run lies in sealed earlier waves
+        // (asserted above); contiguity is the layout property the
+        // interior-run decomposition guarantees.
+        let sl = unsafe { cells.slice(base, len) };
+        dep_slices[dep as usize] = sl;
+    }
+    // SAFETY: the output run is inside this worker's exclusive chunk of
+    // wave `w`; it cannot overlap the dependency slices, which live in
+    // strictly earlier waves.
+    let out = unsafe { cells.slice_mut(out_base, len) };
+    wk.compute_run(
+        i0,
+        j0,
+        out,
+        dep_slices[RepCell::W as usize],
+        dep_slices[RepCell::Nw as usize],
+        dep_slices[RepCell::N as usize],
+        dep_slices[RepCell::Ne as usize],
+    );
+}
+
+/// Computes one worker's chunk of wave `w`, routing interior runs
+/// through the bulk path when one is available and falling back to the
+/// scalar path for border cells (and entirely, when `wk` is `None`).
+///
+/// # Safety
+/// As [`compute_chunk`]; `runs` must be the interior runs of wave `w`
+/// for this `(pattern, set)` whenever `wk` is `Some`.
+#[allow(clippy::too_many_arguments)]
+unsafe fn compute_chunk_auto<K: Kernel + ?Sized>(
+    kernel: &K,
+    wk: Option<&dyn WaveKernel<Cell = K::Cell>>,
+    set: ContributingSet,
+    pattern: Pattern,
+    dims: Dims,
+    layout: &Layout,
+    runs: &[Range<usize>],
+    cells: &SharedCells<K::Cell>,
+    w: usize,
+    range: Range<usize>,
+) {
+    let Some(wk) = wk else {
+        // SAFETY: forwarded caller contract.
+        unsafe { compute_chunk(kernel, set, pattern, dims, layout, cells, w, range) };
+        return;
+    };
+    let mut pos = range.start;
+    for run in runs {
+        if run.end <= pos {
+            continue;
+        }
+        if run.start >= range.end {
+            break;
+        }
+        let lo = run.start.max(pos);
+        let hi = run.end.min(range.end);
+        if lo > pos {
+            // Border cells before this interior run.
+            // SAFETY: forwarded caller contract.
+            unsafe { compute_chunk(kernel, set, pattern, dims, layout, cells, w, pos..lo) };
+        }
+        // SAFETY: `lo..hi` is a sub-range of an interior run.
+        unsafe { compute_run_bulk(wk, set, pattern, dims, layout, cells, w, lo..hi) };
+        pos = hi;
+    }
+    if pos < range.end {
+        // SAFETY: forwarded caller contract.
+        unsafe { compute_chunk(kernel, set, pattern, dims, layout, cells, w, pos..range.end) };
+    }
+}
+
 /// What one worker measured about itself during a traced run.
 #[derive(Debug, Default)]
 struct WorkerTrace {
@@ -133,21 +308,30 @@ struct WorkerTrace {
     spans: Vec<(usize, f64, f64, usize)>,
     /// Total compute time across all waves.
     busy_s: f64,
-    /// Time spent blocked in `Barrier::wait`, one entry per wave.
+    /// Time spent blocked at the inter-wave barrier, one entry per wave.
     barrier_wait_s: Vec<f64>,
 }
 
-/// A chunk-per-thread wavefront solver.
+/// A chunk-per-thread wavefront solver backed by a persistent
+/// [`WorkerPool`].
+///
+/// Cloning the engine shares the pool: a clone solves on the same
+/// long-lived worker threads rather than spawning its own.
 #[derive(Debug, Clone)]
 pub struct ParallelEngine {
     threads: usize,
+    bulk: bool,
+    pool: OnceLock<Arc<WorkerPool>>,
 }
 
 impl ParallelEngine {
-    /// Creates an engine with the given worker count (min 1).
+    /// Creates an engine with the given worker count (min 1). Workers
+    /// are not spawned until the first solve that needs them.
     pub fn new(threads: usize) -> Self {
         ParallelEngine {
             threads: threads.max(1),
+            bulk: true,
+            pool: OnceLock::new(),
         }
     }
 
@@ -162,6 +346,26 @@ impl ParallelEngine {
     /// Worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Enables or disables the bulk [`WaveKernel`] path (on by
+    /// default). With bulk disabled every cell goes through the scalar
+    /// [`Kernel::compute`] path — useful for differential testing and
+    /// for measuring what the bulk path buys.
+    pub fn with_bulk_enabled(mut self, bulk: bool) -> Self {
+        self.bulk = bulk;
+        self
+    }
+
+    /// Whether the bulk path is enabled.
+    pub fn bulk_enabled(&self) -> bool {
+        self.bulk
+    }
+
+    /// The engine's worker pool, created on first use.
+    fn pool(&self) -> &Arc<WorkerPool> {
+        self.pool
+            .get_or_init(|| Arc::new(WorkerPool::new(self.threads)))
     }
 
     /// Solves the kernel under its classified canonical pattern.
@@ -218,13 +422,81 @@ impl ParallelEngine {
         pattern: Pattern,
         sink: &dyn TraceSink,
     ) -> Result<Grid<K::Cell>> {
-        if kernel.contributing_set().is_empty() {
+        self.solve_inner(kernel, pattern, sink, self.threads)
+    }
+
+    /// Solves with at most `active` workers drawn from the engine's
+    /// pool (clamped to `1..=threads()`). This is what a worker-count
+    /// sweep should call: every candidate reuses the same long-lived
+    /// threads instead of paying spawn/join per measurement.
+    pub fn solve_with_threads<K: Kernel>(
+        &self,
+        kernel: &K,
+        active: usize,
+    ) -> Result<Grid<K::Cell>> {
+        let pattern = classify(kernel.contributing_set())
+            .map(Pattern::canonical)
+            .ok_or(Error::EmptyContributingSet)?;
+        self.solve_inner(kernel, pattern, &NullSink, active)
+    }
+
+    /// Sweeps active worker counts over the shared pool and returns the
+    /// fastest (`best`, full sweep), measuring one solve per candidate.
+    /// Candidates are clamped to `1..=threads()` and deduplicated after
+    /// clamping; an empty candidate list sweeps `1..=threads()`. Ties
+    /// prefer the smaller worker count.
+    pub fn tune_worker_count<K: Kernel>(
+        &self,
+        kernel: &K,
+        candidates: &[usize],
+    ) -> Result<(usize, Vec<SweepPoint>)> {
+        let mut seen = Vec::new();
+        let clamped: Vec<usize> = if candidates.is_empty() {
+            (1..=self.threads).collect()
+        } else {
+            candidates.iter().map(|&c| c.clamp(1, self.threads)).collect()
+        };
+        let mut sweep = Vec::with_capacity(clamped.len());
+        for c in clamped {
+            if seen.contains(&c) {
+                continue;
+            }
+            seen.push(c);
+            let t0 = Instant::now();
+            self.solve_with_threads(kernel, c)?;
+            sweep.push(SweepPoint {
+                value: c,
+                time: t0.elapsed().as_secs_f64(),
+            });
+        }
+        let best = sweep
+            .iter()
+            .min_by(|a, b| {
+                a.time
+                    .partial_cmp(&b.time)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.value.cmp(&b.value))
+            })
+            .map(|p| p.value)
+            .expect("sweep is non-empty");
+        Ok((best, sweep))
+    }
+
+    fn solve_inner<K: Kernel>(
+        &self,
+        kernel: &K,
+        pattern: Pattern,
+        sink: &dyn TraceSink,
+        active: usize,
+    ) -> Result<Grid<K::Cell>> {
+        let set = kernel.contributing_set();
+        if set.is_empty() {
             return Err(Error::EmptyContributingSet);
         }
-        if !compatible(pattern, kernel.contributing_set()) {
+        if !compatible(pattern, set) {
             return Err(Error::PlanMismatch {
                 expected: format!("{pattern}"),
-                found: format!("{}", kernel.contributing_set()),
+                found: format!("{set}"),
             });
         }
         let dims = kernel.dims();
@@ -234,85 +506,132 @@ impl ParallelEngine {
             return Ok(grid);
         }
         let num_waves = pattern.num_waves(dims.rows, dims.cols);
-        let threads = self.threads.min(dims.len()).max(1);
+        let threads = active.min(self.threads).min(dims.len()).max(1);
         let traced = sink.enabled();
+        // The bulk path is only sound when the executed pattern is the
+        // set's own classification: only then are all of a run's
+        // dependencies in strictly earlier waves with the contiguity
+        // property `Layout::interior_runs` relies on.
+        let bulk_kernel = if self.bulk && classify(set) == Some(pattern) {
+            kernel.wave_kernel()
+        } else {
+            None
+        };
+
         if threads == 1 && !traced {
-            return lddp_core::seq::solve_wavefront_as(kernel, pattern, layout_kind);
+            if bulk_kernel.is_none() {
+                return lddp_core::seq::solve_wavefront_as(kernel, pattern, layout_kind);
+            }
+            // Single-threaded bulk: same run decomposition, no pool.
+            let layout = grid.layout().clone();
+            let cells = SharedCells::new(grid.as_mut_slice());
+            for w in 0..num_waves {
+                let len = pattern.wave_len(dims.rows, dims.cols, w);
+                let runs = layout.interior_runs(pattern, set, w);
+                // SAFETY: one thread computes waves in order; every
+                // dependency of wave `w` was written in an earlier wave.
+                unsafe {
+                    compute_chunk_auto(
+                        kernel,
+                        bulk_kernel,
+                        set,
+                        pattern,
+                        dims,
+                        &layout,
+                        &runs,
+                        &cells,
+                        w,
+                        0..len,
+                    );
+                }
+            }
+            return Ok(grid);
         }
 
         let layout = grid.layout().clone();
         let cells = SharedCells::new(grid.as_mut_slice());
-        let barrier = Barrier::new(threads);
-        let set = kernel.contributing_set();
+        // Interior runs are a function of (pattern, set, wave) only —
+        // compute them once, outside the workers.
+        let runs_by_wave: Vec<Vec<Range<usize>>> = if bulk_kernel.is_some() {
+            (0..num_waves)
+                .map(|w| layout.interior_runs(pattern, set, w))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let no_runs: Vec<Range<usize>> = Vec::new();
+        let pool = self.pool();
 
         if !traced {
-            std::thread::scope(|s| {
-                for t in 0..threads {
-                    let cells = &cells;
-                    let barrier = &barrier;
-                    let layout = &layout;
-                    s.spawn(move || {
-                        for w in 0..num_waves {
-                            let len = pattern.wave_len(dims.rows, dims.cols, w);
-                            // SAFETY: chunks of a wave are disjoint across
-                            // workers; the barrier seals each wave before
-                            // the next reads it.
-                            unsafe {
-                                compute_chunk(
-                                    kernel,
-                                    set,
-                                    pattern,
-                                    dims,
-                                    layout,
-                                    cells,
-                                    w,
-                                    chunk(t, threads, len),
-                                );
-                            }
-                            barrier.wait();
-                        }
-                    });
+            pool.run(threads, &|t| {
+                for w in 0..num_waves {
+                    let len = pattern.wave_len(dims.rows, dims.cols, w);
+                    let runs = runs_by_wave.get(w).unwrap_or(&no_runs);
+                    // SAFETY: chunks of a wave are disjoint across
+                    // workers; the pool barrier seals each wave before
+                    // the next reads it.
+                    unsafe {
+                        compute_chunk_auto(
+                            kernel,
+                            bulk_kernel,
+                            set,
+                            pattern,
+                            dims,
+                            &layout,
+                            runs,
+                            &cells,
+                            w,
+                            chunk(t, threads, len),
+                        );
+                    }
+                    pool.barrier().wait();
                 }
             });
             return Ok(grid);
         }
 
         let epoch = Instant::now();
-        let worker_traces: Vec<WorkerTrace> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let cells = &cells;
-                    let barrier = &barrier;
-                    let layout = &layout;
-                    s.spawn(move || {
-                        let mut tr = WorkerTrace::default();
-                        for w in 0..num_waves {
-                            let len = pattern.wave_len(dims.rows, dims.cols, w);
-                            let my = chunk(t, threads, len);
-                            let owned = my.len();
-                            let t0 = epoch.elapsed().as_secs_f64();
-                            // SAFETY: as in the untraced path.
-                            unsafe {
-                                compute_chunk(kernel, set, pattern, dims, layout, cells, w, my);
-                            }
-                            let t1 = epoch.elapsed().as_secs_f64();
-                            barrier.wait();
-                            let t2 = epoch.elapsed().as_secs_f64();
-                            if owned > 0 {
-                                tr.spans.push((w, t0, t1 - t0, owned));
-                            }
-                            tr.busy_s += t1 - t0;
-                            tr.barrier_wait_s.push(t2 - t1);
-                        }
-                        tr
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
+        let slots: Vec<Mutex<WorkerTrace>> = (0..threads)
+            .map(|_| Mutex::new(WorkerTrace::default()))
+            .collect();
+        pool.run(threads, &|t| {
+            let mut tr = WorkerTrace::default();
+            for w in 0..num_waves {
+                let len = pattern.wave_len(dims.rows, dims.cols, w);
+                let my = chunk(t, threads, len);
+                let owned = my.len();
+                let runs = runs_by_wave.get(w).unwrap_or(&no_runs);
+                let t0 = epoch.elapsed().as_secs_f64();
+                // SAFETY: as in the untraced path.
+                unsafe {
+                    compute_chunk_auto(
+                        kernel,
+                        bulk_kernel,
+                        set,
+                        pattern,
+                        dims,
+                        &layout,
+                        runs,
+                        &cells,
+                        w,
+                        my,
+                    );
+                }
+                let t1 = epoch.elapsed().as_secs_f64();
+                pool.barrier().wait();
+                let t2 = epoch.elapsed().as_secs_f64();
+                if owned > 0 {
+                    tr.spans.push((w, t0, t1 - t0, owned));
+                }
+                tr.busy_s += t1 - t0;
+                tr.barrier_wait_s.push(t2 - t1);
+            }
+            *slots[t].lock().unwrap() = tr;
         });
+        let worker_traces: Vec<WorkerTrace> = slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect();
 
         let total_s = epoch.elapsed().as_secs_f64();
         for (t, tr) in worker_traces.iter().enumerate() {
@@ -364,6 +683,65 @@ mod tests {
             }
             acc
         })
+    }
+
+    /// The same arithmetic as [`mix_kernel`], with a bulk path for
+    /// anti-diagonal sets. Exercises scalar/bulk equivalence.
+    struct BulkMix {
+        dims: Dims,
+        set: ContributingSet,
+    }
+
+    impl Kernel for BulkMix {
+        type Cell = u64;
+
+        fn dims(&self) -> Dims {
+            self.dims
+        }
+
+        fn contributing_set(&self) -> ContributingSet {
+            self.set
+        }
+
+        fn compute(&self, i: usize, j: usize, n: &Neighbors<u64>) -> u64 {
+            let mut acc = (i as u64) << 20 | (j as u64 + 7);
+            for c in RepCell::ALL {
+                if let Some(v) = n.get(c) {
+                    acc = acc.wrapping_mul(1099511628211).wrapping_add(*v);
+                }
+            }
+            acc
+        }
+
+        fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = u64>> {
+            // The bulk body below walks anti-diagonal runs only.
+            (classify(self.set) == Some(Pattern::AntiDiagonal)).then_some(self as _)
+        }
+    }
+
+    impl WaveKernel for BulkMix {
+        fn compute_run(
+            &self,
+            i: usize,
+            j0: usize,
+            out: &mut [u64],
+            w: &[u64],
+            nw: &[u64],
+            n: &[u64],
+            ne: &[u64],
+        ) {
+            for p in 0..out.len() {
+                let (ci, cj) = (i - p, j0 + p);
+                let mut acc = (ci as u64) << 20 | (cj as u64 + 7);
+                // Same fold order as the scalar path: W, NW, N, NE.
+                for sl in [w, nw, n, ne] {
+                    if !sl.is_empty() {
+                        acc = acc.wrapping_mul(1099511628211).wrapping_add(sl[p]);
+                    }
+                }
+                out[p] = acc;
+            }
+        }
     }
 
     #[test]
@@ -587,5 +965,147 @@ mod tests {
             .solve_traced(&kernel, &NullSink)
             .unwrap();
         assert_eq!(a.to_row_major(), b.to_row_major());
+    }
+
+    #[test]
+    fn bulk_path_matches_scalar_and_oracle() {
+        let sets = [
+            ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]),
+            ContributingSet::FULL,
+            ContributingSet::new(&[RepCell::W, RepCell::N]),
+            ContributingSet::new(&[RepCell::Nw]), // bulk hook declines: scalar fallback
+        ];
+        for set in sets {
+            for (r, c) in [(13, 11), (1, 9), (9, 1), (37, 23), (5, 64), (64, 5)] {
+                let kernel = BulkMix {
+                    dims: Dims::new(r, c),
+                    set,
+                };
+                let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+                for threads in [1, 2, 5] {
+                    let bulk = ParallelEngine::new(threads).solve(&kernel).unwrap();
+                    let scalar = ParallelEngine::new(threads)
+                        .with_bulk_enabled(false)
+                        .solve(&kernel)
+                        .unwrap();
+                    assert_eq!(bulk.to_row_major(), oracle, "{set} {r}x{c} t={threads}");
+                    assert_eq!(scalar.to_row_major(), oracle, "{set} {r}x{c} t={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_is_skipped_under_a_non_classified_pattern() {
+        // {W, NW, N} classifies AntiDiagonal; forcing another compatible
+        // execution pattern must not take the bulk path (the kernel's
+        // run body walks anti-diagonals). InvertedL is compatible with
+        // the full set's subsets? Use the {NW} kernel under Horizontal:
+        // classify({NW}) == InvertedL != Horizontal, so the gate closes
+        // even though the hook would be consulted under InvertedL.
+        let kernel = BulkMix {
+            dims: Dims::new(17, 9),
+            set: ContributingSet::new(&[RepCell::Nw]),
+        };
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let got = ParallelEngine::new(4)
+            .solve_as(&kernel, Pattern::Horizontal)
+            .unwrap();
+        assert_eq!(got.to_row_major(), oracle);
+    }
+
+    #[test]
+    fn traced_bulk_run_keeps_span_accounting() {
+        let kernel = BulkMix {
+            dims: Dims::new(37, 29),
+            set: ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]),
+        };
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let rec = Recorder::new();
+        let got = ParallelEngine::new(3).solve_traced(&kernel, &rec).unwrap();
+        assert_eq!(got.to_row_major(), oracle);
+        let data = rec.snapshot();
+        let mut cells = 0u64;
+        for s in &data.spans {
+            for (k, v) in &s.args {
+                if *k == "cells" {
+                    if let lddp_trace::ArgValue::U64(n) = v {
+                        cells += n;
+                    }
+                }
+            }
+        }
+        assert_eq!(cells, kernel.dims.len() as u64, "bulk must not lose cells");
+    }
+
+    #[test]
+    fn solve_with_threads_clamps_and_matches() {
+        let kernel = BulkMix {
+            dims: Dims::new(29, 31),
+            set: ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]),
+        };
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let engine = ParallelEngine::new(4);
+        for active in [0, 1, 3, 4, 64] {
+            let got = engine.solve_with_threads(&kernel, active).unwrap();
+            assert_eq!(got.to_row_major(), oracle, "active={active}");
+        }
+    }
+
+    #[test]
+    fn tune_worker_count_sweeps_the_shared_pool() {
+        let kernel = mix_kernel(
+            Dims::new(48, 48),
+            ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]),
+        );
+        let engine = ParallelEngine::new(4);
+        let (best, sweep) = engine.tune_worker_count(&kernel, &[1, 2, 4, 4, 9]).unwrap();
+        // 9 clamps to 4 and deduplicates: candidates are 1, 2, 4.
+        assert_eq!(
+            sweep.iter().map(|p| p.value).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        assert!(sweep.iter().all(|p| p.time >= 0.0));
+        assert!([1, 2, 4].contains(&best));
+
+        // Empty candidate list sweeps 1..=threads.
+        let (_, full) = engine.tune_worker_count(&kernel, &[]).unwrap();
+        assert_eq!(
+            full.iter().map(|p| p.value).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn clones_share_the_worker_pool() {
+        let engine = ParallelEngine::new(3);
+        let kernel = mix_kernel(
+            Dims::new(16, 16),
+            ContributingSet::new(&[RepCell::W, RepCell::N]),
+        );
+        engine.solve(&kernel).unwrap(); // force pool creation
+        let clone = engine.clone();
+        clone.solve(&kernel).unwrap();
+        assert!(Arc::ptr_eq(engine.pool(), clone.pool()));
+    }
+
+    #[test]
+    fn bulk_flag_roundtrip() {
+        let engine = ParallelEngine::new(2);
+        assert!(engine.bulk_enabled());
+        assert!(!engine.clone().with_bulk_enabled(false).bulk_enabled());
+    }
+
+    #[test]
+    fn repeated_solves_reuse_the_engine() {
+        let engine = ParallelEngine::new(3);
+        let kernel = BulkMix {
+            dims: Dims::new(33, 21),
+            set: ContributingSet::FULL,
+        };
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        for _ in 0..5 {
+            assert_eq!(engine.solve(&kernel).unwrap().to_row_major(), oracle);
+        }
     }
 }

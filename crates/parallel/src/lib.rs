@@ -12,6 +12,8 @@
 
 pub mod cache_oblivious;
 pub mod engine;
+pub mod pool;
 
 pub use cache_oblivious::CacheObliviousEngine;
 pub use engine::ParallelEngine;
+pub use pool::{SenseBarrier, WorkerPool};

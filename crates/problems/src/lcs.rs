@@ -7,7 +7,7 @@
 //! algorithm*, Inf. Process. Lett. 23(6), 1986.
 
 use lddp_core::cell::{ContributingSet, RepCell};
-use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
 use lddp_core::wavefront::Dims;
 
 /// LCS-length kernel over two byte strings (table `(m+1) × (n+1)`).
@@ -63,6 +63,34 @@ impl Kernel for LcsKernel {
 
     fn name(&self) -> &str {
         "lcs"
+    }
+
+    fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = u32>> {
+        Some(self)
+    }
+}
+
+impl WaveKernel for LcsKernel {
+    fn compute_run(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [u32],
+        w: &[u32],
+        nw: &[u32],
+        n: &[u32],
+        _ne: &[u32],
+    ) {
+        // Interior anti-diagonal run: cell p is (i - p, j0 + p) with all
+        // of W/NW/N in bounds, so i ≥ 1 and j ≥ 1 throughout — the base
+        // cases of `compute` cannot occur here.
+        for p in 0..out.len() {
+            out[p] = if self.a[i - p - 1] == self.b[j0 + p - 1] {
+                nw[p] + 1
+            } else {
+                w[p].max(n[p])
+            };
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! as the framework contract (§V-C) prescribes.
 
 use lddp_core::cell::{ContributingSet, RepCell};
-use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
 use lddp_core::wavefront::Dims;
 
 /// Levenshtein kernel over two byte strings.
@@ -78,6 +78,33 @@ impl Kernel for LevenshteinKernel {
 
     fn name(&self) -> &str {
         "levenshtein"
+    }
+
+    fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = u32>> {
+        Some(self)
+    }
+}
+
+impl WaveKernel for LevenshteinKernel {
+    fn compute_run(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [u32],
+        w: &[u32],
+        nw: &[u32],
+        n: &[u32],
+        _ne: &[u32],
+    ) {
+        // Interior anti-diagonal run: i ≥ 1 and j ≥ 1 throughout, so the
+        // base-case branch of `compute` cannot occur.
+        for p in 0..out.len() {
+            out[p] = if self.a[i - p - 1] == self.b[j0 + p - 1] {
+                nw[p]
+            } else {
+                1 + w[p].min(nw[p]).min(n[p])
+            };
+        }
     }
 }
 

@@ -5,7 +5,7 @@
 
 use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::Grid;
-use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
 use lddp_core::wavefront::Dims;
 
 /// Global-alignment scoring (linear gaps).
@@ -135,6 +135,35 @@ impl Kernel for NeedlemanWunschKernel {
 
     fn name(&self) -> &str {
         "needleman-wunsch"
+    }
+
+    fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = i32>> {
+        Some(self)
+    }
+}
+
+impl WaveKernel for NeedlemanWunschKernel {
+    fn compute_run(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [i32],
+        w: &[i32],
+        nw: &[i32],
+        n: &[i32],
+        _ne: &[i32],
+    ) {
+        // Interior anti-diagonal run: i ≥ 1 and j ≥ 1 throughout. Same
+        // max order as `compute` (NW, then N, then W).
+        let s = self.scoring;
+        for p in 0..out.len() {
+            let sub = if self.a[i - p - 1] == self.b[j0 + p - 1] {
+                s.matches
+            } else {
+                s.mismatch
+            };
+            out[p] = (nw[p] + sub).max(n[p] + s.gap).max(w[p] + s.gap);
+        }
     }
 }
 

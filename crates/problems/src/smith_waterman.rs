@@ -8,7 +8,7 @@
 
 use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::Grid;
-use lddp_core::kernel::{Kernel, Neighbors};
+use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
 use lddp_core::wavefront::Dims;
 
 /// Score floor standing in for −∞ (safe against i32 underflow).
@@ -144,6 +144,38 @@ impl Kernel for SmithWatermanKernel {
 
     fn name(&self) -> &str {
         "smith-waterman-affine"
+    }
+
+    fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = SwCell>> {
+        Some(self)
+    }
+}
+
+impl WaveKernel for SmithWatermanKernel {
+    fn compute_run(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [SwCell],
+        w: &[SwCell],
+        nw: &[SwCell],
+        n: &[SwCell],
+        _ne: &[SwCell],
+    ) {
+        // Interior anti-diagonal run: i ≥ 1 and j ≥ 1 throughout, so the
+        // base-case branch of `compute` cannot occur.
+        let s = self.scoring;
+        for p in 0..out.len() {
+            let sub = if self.a[i - p - 1] == self.b[j0 + p - 1] {
+                s.matches
+            } else {
+                s.mismatch
+            };
+            let m = nw[p].m.max(nw[p].ix).max(nw[p].iy).max(0) + sub;
+            let ix = (n[p].m + s.gap_open).max(n[p].ix + s.gap_extend);
+            let iy = (w[p].m + s.gap_open).max(w[p].iy + s.gap_extend);
+            out[p] = SwCell { m, ix, iy };
+        }
     }
 }
 

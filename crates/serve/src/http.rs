@@ -1,7 +1,7 @@
 //! A deliberately tiny HTTP/1.1 subset over `std::net` — just enough
-//! for the solve API and its load generator: one request per
-//! connection (`Connection: close`), `Content-Length` bodies only (no
-//! chunked encoding), ASCII headers, JSON payloads.
+//! for the solve API and its load generator: persistent connections
+//! (`Connection: keep-alive`, the HTTP/1.1 default), `Content-Length`
+//! bodies only (no chunked encoding), ASCII headers, JSON payloads.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -10,6 +10,11 @@ use std::time::Duration;
 /// Cap on accepted request bodies (1 MiB) — a crude protection against
 /// a client streaming an unbounded body at the server.
 const MAX_BODY: usize = 1 << 20;
+
+/// Error value for a connection that closed (or went idle past its
+/// timeout) *between* requests — a normal end of a keep-alive session,
+/// not a protocol error.
+pub(crate) const CLEAN_CLOSE: &str = "connection closed between requests";
 
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +25,9 @@ pub struct HttpRequest {
     pub path: String,
     /// Raw body (empty when absent).
     pub body: String,
+    /// Whether the client wants the connection kept open after the
+    /// response (HTTP/1.1 default unless `Connection: close`).
+    pub keep_alive: bool,
 }
 
 /// Reads one HTTP request off `stream` (which should carry a read
@@ -32,14 +40,25 @@ pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
     let method = parts.next().ok_or("missing method")?.to_ascii_uppercase();
     let target = parts.next().ok_or("missing request target")?;
     let path = target.split('?').next().unwrap_or("").to_string();
+    // Persistence is the HTTP/1.1 default; HTTP/1.0 must opt in.
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    let mut keep_alive = !version.eq_ignore_ascii_case("HTTP/1.0");
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse::<usize>()
                     .map_err(|e| format!("bad content-length: {e}"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
@@ -54,6 +73,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
         method,
         path,
         body: String::from_utf8(body).map_err(|_| "body is not UTF-8")?,
+        keep_alive,
     })
 }
 
@@ -68,8 +88,20 @@ fn read_until_blank_line(stream: &mut TcpStream) -> Result<String, String> {
             return Err("request head too large".into());
         }
         match stream.read(&mut byte) {
+            Ok(0) if head.is_empty() => return Err(CLEAN_CLOSE.into()),
             Ok(0) => return Err("connection closed mid-request".into()),
             Ok(_) => head.push(byte[0]),
+            Err(e)
+                if head.is_empty()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                // An idle keep-alive connection hitting the read timeout
+                // is a normal hang-up, not a malformed request.
+                return Err(CLEAN_CLOSE.into());
+            }
             Err(e) => return Err(format!("reading request: {e}")),
         }
     }
@@ -92,21 +124,104 @@ pub fn status_text(code: u16) -> &'static str {
     }
 }
 
-/// Writes one JSON response and flushes.
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+/// Writes one JSON response and flushes. `keep_alive` controls the
+/// advertised connection disposition; the caller owns actually keeping
+/// the socket open (or not) to match.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status,
         status_text(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
-/// Minimal HTTP client: one request, one `(status, body)` response.
-/// Used by the load generator and the CI smoke test.
+/// A persistent client connection: many requests over one TCP stream
+/// (`Connection: keep-alive`), reading each response body by its
+/// `Content-Length` instead of waiting for EOF. This is what makes a
+/// load generator measure solve latency rather than TCP handshakes.
+#[derive(Debug)]
+pub struct HttpConnection {
+    stream: TcpStream,
+    addr: String,
+}
+
+impl HttpConnection {
+    /// Dials `addr` and applies `timeout` to reads and writes.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<HttpConnection, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_read_timeout(Some(timeout)).ok();
+        stream.set_write_timeout(Some(timeout)).ok();
+        Ok(HttpConnection {
+            stream,
+            addr: addr.to_string(),
+        })
+    }
+
+    /// Sends one request and reads its response, leaving the connection
+    /// open for the next call. On any error the connection should be
+    /// dropped and redialed — a half-read stream is not reusable.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|_| self.stream.write_all(body.as_bytes()))
+            .and_then(|_| self.stream.flush())
+            .map_err(|e| format!("sending request: {e}"))?;
+
+        let head = read_until_blank_line(&mut self.stream)?;
+        let mut lines = head.split("\r\n");
+        let status = lines
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or("response missing status code")?;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad content-length: {e}"))?;
+                }
+            }
+        }
+        if content_length > MAX_BODY {
+            return Err(format!("response of {content_length} bytes exceeds the cap"));
+        }
+        let mut payload = vec![0u8; content_length];
+        self.stream
+            .read_exact(&mut payload)
+            .map_err(|e| format!("reading response body: {e}"))?;
+        let payload = String::from_utf8(payload).map_err(|_| "response is not UTF-8")?;
+        Ok((status, payload))
+    }
+}
+
+/// Minimal one-shot HTTP client: one request on a fresh connection
+/// (`Connection: close`), one `(status, body)` response read to EOF.
+/// Used by the CI smoke test; the load generator prefers pooled
+/// [`HttpConnection`]s.
 pub fn request(
     addr: &str,
     method: &str,
@@ -159,7 +274,8 @@ mod tests {
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/solve");
             assert_eq!(req.body, r#"{"problem":"lcs"}"#);
-            write_response(&mut conn, 200, r#"{"ok":true}"#).unwrap();
+            assert!(!req.keep_alive, "one-shot client sends Connection: close");
+            write_response(&mut conn, 200, r#"{"ok":true}"#, false).unwrap();
         });
         let (status, body) = request(
             &addr,
@@ -184,10 +300,52 @@ mod tests {
             assert_eq!(req.method, "GET");
             assert_eq!(req.path, "/healthz");
             assert!(req.body.is_empty());
-            write_response(&mut conn, 404, "{}").unwrap();
+            write_response(&mut conn, 404, "{}", false).unwrap();
         });
         let (status, _) = request(&addr, "GET", "/healthz", None, Duration::from_secs(5)).unwrap();
         assert_eq!(status, 404);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn persistent_connection_carries_multiple_requests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            for i in 0..3 {
+                let req = read_request(&mut conn).unwrap();
+                assert_eq!(req.method, "POST");
+                assert!(req.keep_alive, "pooled client keeps the connection");
+                write_response(&mut conn, 200, &format!("{{\"i\":{i}}}"), true).unwrap();
+            }
+            // The client hanging up afterwards is a clean close.
+            assert_eq!(read_request(&mut conn).unwrap_err(), CLEAN_CLOSE);
+        });
+        let mut conn = HttpConnection::connect(&addr, Duration::from_secs(5)).unwrap();
+        for i in 0..3 {
+            let (status, body) = conn.request("POST", "/solve", Some("{}")).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, format!("{{\"i\":{i}}}"));
+        }
+        drop(conn);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connection_close_header_is_honored_in_parsing() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let req = read_request(&mut conn).unwrap();
+            assert!(!req.keep_alive);
+            write_response(&mut conn, 200, "{}", false).unwrap();
+        });
+        // The one-shot helper labels itself Connection: close.
+        let (status, _) = request(&addr, "GET", "/x", None, Duration::from_secs(5)).unwrap();
+        assert_eq!(status, 200);
         server.join().unwrap();
     }
 

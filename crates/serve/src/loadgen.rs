@@ -33,19 +33,27 @@ pub trait SolveTarget: Sync {
     fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)>;
 }
 
-/// A remote server reached over HTTP.
+/// A remote server reached over HTTP, with a pool of keep-alive
+/// connections shared by the closed-loop workers: each request pops a
+/// warm connection (dialing only when the pool is dry) and returns it
+/// after the response, so steady-state load pays zero TCP handshakes.
 pub struct HttpTarget {
-    /// `host:port` of the serving endpoint.
-    pub addr: String,
-    /// Per-request socket timeout.
-    pub timeout: Duration,
+    addr: String,
+    timeout: Duration,
+    pool: Mutex<Vec<http::HttpConnection>>,
 }
 
-impl SolveTarget for HttpTarget {
-    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
-        let (status, body) =
-            http::request(&self.addr, "POST", "/solve", Some(&req.to_json()), self.timeout)
-                .map_err(|e| ("transport".to_string(), e))?;
+impl HttpTarget {
+    /// Creates a target for `addr` with the given per-request timeout.
+    pub fn new(addr: impl Into<String>, timeout: Duration) -> HttpTarget {
+        HttpTarget {
+            addr: addr.into(),
+            timeout,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn interpret(status: u16, body: String) -> Result<SolveResponse, (String, String)> {
         if status == 200 {
             SolveResponse::from_json(&body).map_err(|e| ("transport".to_string(), e))
         } else {
@@ -61,6 +69,32 @@ impl SolveTarget for HttpTarget {
                 field("error").unwrap_or_else(|| format!("http_{status}")),
                 field("message").unwrap_or(body),
             ))
+        }
+    }
+}
+
+impl SolveTarget for HttpTarget {
+    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
+        let payload = req.to_json();
+        // A pooled connection may be stale (server closed it); treat a
+        // transport failure on it as a miss and redial fresh instead of
+        // failing the request. The pop is bound first so the pool guard
+        // is released before the request (and the push-back) run.
+        let pooled = self.pool.lock().unwrap().pop();
+        if let Some(mut conn) = pooled {
+            if let Ok((status, body)) = conn.request("POST", "/solve", Some(&payload)) {
+                self.pool.lock().unwrap().push(conn);
+                return Self::interpret(status, body);
+            }
+        }
+        let mut conn = http::HttpConnection::connect(&self.addr, self.timeout)
+            .map_err(|e| ("transport".to_string(), e))?;
+        match conn.request("POST", "/solve", Some(&payload)) {
+            Ok((status, body)) => {
+                self.pool.lock().unwrap().push(conn);
+                Self::interpret(status, body)
+            }
+            Err(e) => Err(("transport".to_string(), e)),
         }
     }
 }

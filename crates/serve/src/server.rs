@@ -444,16 +444,26 @@ impl<'a> Server<'a> {
     fn handle_conn(&self, mut stream: TcpStream) {
         stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
         stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
-        let req = match http::read_request(&mut stream) {
-            Ok(r) => r,
-            Err(msg) => {
-                let body = ServeError::Rejected(RejectReason::Invalid(msg)).to_json();
-                let _ = http::write_response(&mut stream, 400, &body);
+        // Keep-alive loop: serve requests off this connection until the
+        // client closes it, asks for `Connection: close`, the request is
+        // malformed, or the server starts draining.
+        loop {
+            let req = match http::read_request(&mut stream) {
+                Ok(r) => r,
+                Err(msg) if msg == http::CLEAN_CLOSE => return,
+                Err(msg) => {
+                    let body = ServeError::Rejected(RejectReason::Invalid(msg)).to_json();
+                    let _ = http::write_response(&mut stream, 400, &body, false);
+                    return;
+                }
+            };
+            // /shutdown drains the server; don't hold its connection open.
+            let keep = req.keep_alive && req.path != "/shutdown" && !self.is_shutdown();
+            let (status, body) = self.route(&req);
+            if http::write_response(&mut stream, status, &body, keep).is_err() || !keep {
                 return;
             }
-        };
-        let (status, body) = self.route(&req);
-        let _ = http::write_response(&mut stream, status, &body);
+        }
     }
 
     /// Routes one parsed request to `(status, json_body)`.

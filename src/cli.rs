@@ -38,7 +38,7 @@ use lddp_serve::loadgen::{HttpTarget, LoadgenConfig};
 use lddp_serve::{ServeConfig, Server, SolveRequest};
 use lddp_trace::json::{escape, num};
 use lddp_trace::{chrome, metrics, NullSink, Recorder, TraceSink};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,6 +150,13 @@ pub enum Command {
         /// Skip the sequential-oracle answer check.
         no_verify: bool,
     },
+    /// Quick wall-clock benchmark of the real thread engine.
+    Bench {
+        /// Instance side per problem.
+        n: usize,
+        /// Optional JSON output path (also printed to stdout).
+        out: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -198,6 +205,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut concurrency = None;
     let mut no_verify = false;
     let mut trace_out = None;
+    let mut quick = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--set" => {
@@ -289,6 +297,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     Some(v.parse::<usize>().map_err(|e| format!("--concurrency: {e}"))?);
             }
             "--no-verify" => no_verify = true,
+            "--quick" => quick = true,
             "--trace" => {
                 let v = it.next().ok_or("--trace needs a file path")?;
                 trace_out = Some(v.clone());
@@ -371,6 +380,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 no_verify,
             })
         }
+        "bench" => {
+            if !quick {
+                return Err(
+                    "bench currently supports only --quick (the full suite runs under \
+                     `cargo bench`)"
+                        .into(),
+                );
+            }
+            Ok(Command::Bench {
+                n: n.unwrap_or(512),
+                out,
+            })
+        }
         other => Err(format!("unknown command '{other}'; try help")),
     }
 }
@@ -423,6 +445,7 @@ pub fn usage() -> String {
          \x20                  [--addr host:port] [--requests R] [--rps RATE]\n\
          \x20                  [--duration S] [--concurrency C] [--deadline-ms D]\n\
          \x20                  [--no-verify]\n\
+         \x20 lddp-cli bench   --quick [--n N] [--out BENCH.json]\n\
          \n\
          `trace` writes a Perfetto-loadable Chrome trace-event timeline\n\
          (see docs/OBSERVABILITY.md). `serve` runs the batching solve\n\
@@ -675,6 +698,41 @@ pub fn run_solve_seq(problem: &str, n: usize) -> Result<String, String> {
         }};
     }
     with_problem!(problem, n, oracle)
+}
+
+/// Builds and solves the named problem on a shared thread-pool engine —
+/// the serving hot path. The table is computed by `engine`'s persistent
+/// workers (reusing their threads and barrier across requests, through
+/// the bulk interior-run path where the kernel provides one), while the
+/// reported virtual time is the framework's cost-model estimate for the
+/// given parameters, so timings stay comparable with the traced solve
+/// path.
+pub fn run_solve_pooled(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    params: ScheduleParams,
+    engine: &crate::parallel::ParallelEngine,
+) -> Result<RunSummary, String> {
+    let platform = platform_by_name(platform_name);
+    macro_rules! pooled {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let fw = Framework::new(platform.clone()).with_io_bytes($io.0, $io.1);
+            let class = fw.classify(&kernel).map_err(|e| e.to_string())?;
+            let hetero_s = fw.estimate(&kernel, params).map_err(|e| e.to_string())?;
+            let grid = engine.solve(&kernel).map_err(|e| e.to_string())?;
+            Ok(RunSummary {
+                problem: problem.to_string(),
+                instance: format!("{n} x {n} on {}", platform.name),
+                patterns: format!("{} → executed as {}", class.raw_pattern, class.exec_pattern),
+                params,
+                hetero_ms: hetero_s * 1e3,
+                answer: $answer(&kernel, &grid),
+            })
+        }};
+    }
+    with_problem!(problem, n, pooled)
 }
 
 /// The execution pattern the framework classifies the named problem to
@@ -1071,10 +1129,7 @@ pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
     };
     let report = match &opts.addr {
         Some(addr) => {
-            let target = HttpTarget {
-                addr: addr.clone(),
-                timeout: Duration::from_secs(60),
-            };
+            let target = HttpTarget::new(addr.clone(), Duration::from_secs(60));
             lddp_serve::loadgen::run(&target, &cfg)
         }
         None => {
@@ -1084,6 +1139,131 @@ pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
         }
     };
     Ok(report.to_json())
+}
+
+/// Problems covered by `bench --quick`: the kernels with a bulk
+/// [`lddp_core::kernel::WaveKernel`] fast path.
+pub const BENCH_PROBLEMS: &[&str] = &[
+    "lcs",
+    "levenshtein",
+    "needleman-wunsch",
+    "smith-waterman",
+    "dtw",
+];
+
+/// Runs `f` several times and returns the best wall-clock seconds —
+/// minimum, not mean, because scheduling noise only ever adds time.
+fn best_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Quick wall-clock benchmark of the real thread engine: cells/s per
+/// problem with the bulk path on and off, pooled-vs-fresh-engine solve
+/// times, and a worker-count sweep through the shared pool. Prints (and
+/// optionally writes) one JSON object — the perf trajectory record CI
+/// archives as `BENCH_pr3.json` so future changes have a baseline.
+pub fn run_bench_quick(n: usize, out_path: Option<&str>) -> Result<String, String> {
+    let engine = crate::parallel::ParallelEngine::host();
+    let scalar_engine = engine.clone().with_bulk_enabled(false);
+    let threads = engine.threads();
+    let iters = 3;
+
+    let mut entries: Vec<String> = Vec::new();
+    for problem in BENCH_PROBLEMS {
+        macro_rules! qb {
+            ($kernel:expr, $io:expr, $answer:expr) => {{
+                let kernel = $kernel;
+                let _ = $io;
+                let d = kernel.dims();
+                let cells = (d.rows * d.cols) as f64;
+                // Warm the pool, the allocator, and the page cache once
+                // before timing; the dead call pins the answer closure's
+                // kernel-parameter type (some registry arms use `&_`).
+                let g = engine.solve(&kernel).map_err(|e| e.to_string())?;
+                if false {
+                    let _: String = $answer(&kernel, &g);
+                }
+                let bulk_s = best_secs(iters, || {
+                    engine.solve(&kernel).unwrap();
+                });
+                let scalar_s = best_secs(iters, || {
+                    scalar_engine.solve(&kernel).unwrap();
+                });
+                // A fresh engine per solve pays thread spawn + teardown
+                // — the pre-pool cost model.
+                let spawn_s = best_secs(iters, || {
+                    crate::parallel::ParallelEngine::new(threads)
+                        .solve(&kernel)
+                        .unwrap();
+                });
+                Ok(format!(
+                    "{{\"problem\":\"{}\",\"cells\":{},\
+                     \"cells_per_s_scalar\":{},\"cells_per_s_bulk\":{},\"bulk_speedup\":{},\
+                     \"solve_ms_pool\":{},\"solve_ms_spawn\":{},\"pool_speedup\":{}}}",
+                    escape(problem),
+                    num(cells),
+                    num(cells / scalar_s),
+                    num(cells / bulk_s),
+                    num(scalar_s / bulk_s),
+                    num(bulk_s * 1e3),
+                    num(spawn_s * 1e3),
+                    num(spawn_s / bulk_s),
+                ))
+            }};
+        }
+        let entry: Result<String, String> = with_problem!(*problem, n, qb);
+        entries.push(entry?);
+    }
+
+    // §V-A-style worker-count sweep, every candidate through the same
+    // pool (no fresh thread set per point).
+    let sweep: Result<String, String> = {
+        macro_rules! sweep_of {
+            ($kernel:expr, $io:expr, $answer:expr) => {{
+                let kernel = $kernel;
+                let _ = $io;
+                if false {
+                    let g = lddp_core::seq::solve_row_major(&kernel).map_err(|e| e.to_string())?;
+                    let _: String = $answer(&kernel, &g);
+                }
+                let (best, points) = engine
+                    .tune_worker_count(&kernel, &[])
+                    .map_err(|e| e.to_string())?;
+                let pts: Vec<String> = points
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "{{\"workers\":{},\"ms\":{}}}",
+                            p.value,
+                            num(p.time * 1e3)
+                        )
+                    })
+                    .collect();
+                Ok(format!(
+                    "{{\"problem\":\"lcs\",\"best_workers\":{best},\"points\":[{}]}}",
+                    pts.join(",")
+                ))
+            }};
+        }
+        with_problem!("lcs", n, sweep_of)
+    };
+
+    let json = format!(
+        "{{\"bench\":\"quick\",\"n\":{n},\"threads\":{threads},\"iters\":{iters},\
+         \"problems\":[{}],\"worker_sweep\":{}}}",
+        entries.join(","),
+        sweep?
+    );
+    if let Some(path) = out_path {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(json)
 }
 
 /// Executes a parsed command, returning the output text.
@@ -1178,6 +1358,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             deadline_ms,
             no_verify,
         }),
+        Command::Bench { n, out } => run_bench_quick(n, out.as_deref()),
     }
 }
 
@@ -1501,6 +1682,55 @@ mod tests {
             parse(&argv("loadgen --problem lcs --requests 0 --duration 2")).is_ok(),
             "duration-bounded unlimited runs are legal"
         );
+    }
+
+    #[test]
+    fn parse_bench_requires_quick() {
+        assert_eq!(
+            parse(&argv("bench --quick")).unwrap(),
+            Command::Bench { n: 512, out: None }
+        );
+        assert_eq!(
+            parse(&argv("bench --quick --n 128 --out BENCH_pr3.json")).unwrap(),
+            Command::Bench {
+                n: 128,
+                out: Some("BENCH_pr3.json".into()),
+            }
+        );
+        assert!(parse(&argv("bench")).is_err(), "full suite is cargo bench");
+    }
+
+    #[test]
+    fn quick_bench_emits_parseable_json_with_all_problems() {
+        let text = run_bench_quick(24, None).unwrap();
+        let parsed = lddp_trace::json::parse(&text).expect("bench JSON parses");
+        let problems = match parsed.get("problems") {
+            Some(lddp_trace::json::Json::Arr(items)) => items.clone(),
+            other => panic!("problems array missing: {other:?}"),
+        };
+        assert_eq!(problems.len(), BENCH_PROBLEMS.len());
+        for entry in &problems {
+            for key in [
+                "cells_per_s_scalar",
+                "cells_per_s_bulk",
+                "bulk_speedup",
+                "solve_ms_pool",
+                "solve_ms_spawn",
+                "pool_speedup",
+            ] {
+                match entry.get(key) {
+                    Some(lddp_trace::json::Json::Num(v)) => {
+                        assert!(*v > 0.0, "{key} must be positive, got {v}")
+                    }
+                    other => panic!("{key} missing or non-numeric: {other:?}"),
+                }
+            }
+        }
+        let sweep = parsed.get("worker_sweep").expect("worker_sweep present");
+        assert!(matches!(
+            sweep.get("best_workers"),
+            Some(lddp_trace::json::Json::Num(_))
+        ));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::cli;
 use lddp_core::schedule::ScheduleParams;
 use lddp_core::tuner_cache::{TuneKey, TunerCache};
 use lddp_core::wavefront::Dims;
+use lddp_parallel::ParallelEngine;
 use lddp_serve::{BackendSolve, SolveBackend, SolveRequest};
 use lddp_trace::TraceSink;
 
@@ -20,17 +21,31 @@ pub const MAX_SERVE_N: usize = 8192;
 
 /// [`SolveBackend`] over the real [`Framework`](crate::Framework)
 /// solve path, with tuned parameters cached per
-/// `(pattern, dims bucket, platform)`.
-#[derive(Debug, Default)]
+/// `(pattern, dims bucket, platform)` and tables computed on one
+/// persistent [`ParallelEngine`]: its worker pool spins up on the first
+/// request and is reused by every batch for the lifetime of the server,
+/// so steady-state serving pays no thread spawns.
+#[derive(Debug)]
 pub struct FrameworkBackend {
     cache: TunerCache,
+    engine: ParallelEngine,
+}
+
+impl Default for FrameworkBackend {
+    fn default() -> FrameworkBackend {
+        FrameworkBackend::new()
+    }
 }
 
 impl FrameworkBackend {
-    /// A backend with an empty tuner cache.
+    /// A backend with an empty tuner cache and a host-sized engine.
     pub fn new() -> FrameworkBackend {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         FrameworkBackend {
             cache: TunerCache::new(),
+            engine: ParallelEngine::new(threads),
         }
     }
 
@@ -92,18 +107,22 @@ impl SolveBackend for FrameworkBackend {
         &self,
         req: &SolveRequest,
         params: ScheduleParams,
-        sink: &dyn TraceSink,
+        _sink: &dyn TraceSink,
     ) -> Result<BackendSolve, String> {
         // Cached (or pinned) parameters may have been produced for a
         // different instance in the same bucket; re-legalize for this
         // exact size before planning.
         let pattern = cli::classify_problem(&req.problem, req.n)?;
         let clamped = params.clamped_for(pattern, Dims::new(req.n, req.n));
-        let out = cli::run_solve_traced(&req.problem, req.n, &req.platform, Some(clamped), sink)?;
+        // The table is computed on the shared pooled engine — the serve
+        // spans (queue wait, batch, solve) come from the server; the
+        // per-wave framework trace is deliberately skipped here, as it
+        // would emit thousands of spans per request.
+        let summary = cli::run_solve_pooled(&req.problem, req.n, &req.platform, clamped, &self.engine)?;
         Ok(BackendSolve {
-            answer: out.summary.answer,
-            virtual_ms: out.summary.hetero_ms,
-            params: out.summary.params,
+            answer: summary.answer,
+            virtual_ms: summary.hetero_ms,
+            params: summary.params,
         })
     }
 }

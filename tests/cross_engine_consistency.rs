@@ -75,6 +75,193 @@ fn case_study_kernels_agree_between_thread_engine_and_framework() {
     assert_eq!(a, b);
 }
 
+/// Solves `kernel` with the bulk path on and off across several thread
+/// counts and requires both to equal the sequential oracle exactly.
+fn assert_bulk_matches_scalar<K: lddp::core::kernel::Kernel>(kernel: &K, label: &str) {
+    let oracle = solve_row_major(kernel).unwrap().to_row_major();
+    for threads in [1, 2, 5] {
+        let bulk = ParallelEngine::new(threads).solve(kernel).unwrap();
+        let scalar = ParallelEngine::new(threads)
+            .with_bulk_enabled(false)
+            .solve(kernel)
+            .unwrap();
+        assert_eq!(bulk.to_row_major(), oracle, "{label} bulk threads={threads}");
+        assert_eq!(
+            scalar.to_row_major(),
+            oracle,
+            "{label} scalar threads={threads}"
+        );
+    }
+}
+
+/// Byte strings with adversarial lengths: empty vs long (degenerate 1×N
+/// and N×1 tables) and coprime non-powers-of-two.
+fn byte_pairs() -> Vec<(Vec<u8>, Vec<u8>)> {
+    let s = |n: usize, mul: usize| -> Vec<u8> { (0..n).map(|i| (i * mul % 7) as u8).collect() };
+    vec![
+        (s(0, 3), s(40, 5)),
+        (s(40, 3), s(0, 5)),
+        (s(37, 3), s(53, 5)),
+        (s(5, 1), s(5, 2)),
+    ]
+}
+
+#[test]
+fn bulk_path_is_bit_identical_for_sequence_problems() {
+    for (a, b) in byte_pairs() {
+        let label = format!("{}x{}", a.len(), b.len());
+        assert_bulk_matches_scalar(
+            &lddp::problems::LcsKernel::new(a.clone(), b.clone()),
+            &format!("lcs {label}"),
+        );
+        assert_bulk_matches_scalar(
+            &lddp::problems::LevenshteinKernel::new(a.clone(), b.clone()),
+            &format!("levenshtein {label}"),
+        );
+        assert_bulk_matches_scalar(
+            &lddp::problems::NeedlemanWunschKernel::new(a.clone(), b.clone()),
+            &format!("needleman-wunsch {label}"),
+        );
+        assert_bulk_matches_scalar(
+            &lddp::problems::SmithWatermanKernel::new(a, b),
+            &format!("smith-waterman {label}"),
+        );
+    }
+}
+
+#[test]
+fn bulk_path_is_bit_identical_for_dtw() {
+    let series = |n: usize, mul: usize| -> Vec<f32> {
+        (0..n).map(|i| (i * mul % 19) as f32 * 0.5 - 3.0).collect()
+    };
+    for (la, lb) in [(1, 43), (43, 1), (37, 54), (8, 8)] {
+        for band in [None, Some(5)] {
+            let mut kernel = lddp::problems::DtwKernel::new(series(la, 37), series(lb, 23));
+            if let Some(r) = band {
+                kernel = kernel.with_band(r);
+            }
+            let label = format!("dtw {la}x{lb} band={band:?}");
+            assert_bulk_matches_scalar(&kernel, &label);
+            // f32 tables must agree bit for bit (including ∞ cells
+            // outside the band), not merely by PartialEq.
+            let bulk = ParallelEngine::new(5).solve(&kernel).unwrap();
+            let scalar = ParallelEngine::new(5)
+                .with_bulk_enabled(false)
+                .solve(&kernel)
+                .unwrap();
+            let bits = |g: &lddp::core::grid::Grid<f32>| -> Vec<u32> {
+                g.to_row_major().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(bits(&bulk), bits(&scalar), "{label}");
+        }
+    }
+}
+
+/// A synthetic kernel with a bulk path for every canonical pattern the
+/// engine executes, using the same order-sensitive FNV-style fold as
+/// `mix_kernel` — any stepping or slicing error changes the result.
+struct MixWave {
+    dims: lddp::core::Dims,
+    set: ContributingSet,
+}
+
+impl lddp::core::kernel::Kernel for MixWave {
+    type Cell = u64;
+
+    fn dims(&self) -> lddp::core::Dims {
+        self.dims
+    }
+
+    fn contributing_set(&self) -> ContributingSet {
+        self.set
+    }
+
+    fn compute(
+        &self,
+        i: usize,
+        j: usize,
+        n: &lddp::core::kernel::Neighbors<u64>,
+    ) -> u64 {
+        let mut acc = (i as u64) << 20 | (j as u64 + 7);
+        for c in lddp::core::cell::RepCell::ALL {
+            if let Some(v) = n.get(c) {
+                acc = acc.wrapping_mul(1099511628211).wrapping_add(*v);
+            }
+        }
+        acc
+    }
+
+    fn wave_kernel(
+        &self,
+    ) -> Option<&dyn lddp::core::kernel::WaveKernel<Cell = u64>> {
+        Some(self)
+    }
+}
+
+impl lddp::core::kernel::WaveKernel for MixWave {
+    fn compute_run(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [u64],
+        w: &[u64],
+        nw: &[u64],
+        n: &[u64],
+        ne: &[u64],
+    ) {
+        use lddp::core::pattern::Pattern;
+        let pattern = classify(self.set).expect("non-empty set");
+        for p in 0..out.len() {
+            let (ci, cj) = match pattern {
+                Pattern::AntiDiagonal => (i - p, j0 + p),
+                Pattern::Horizontal => (i, j0 + p),
+                Pattern::KnightMove => (i - p, j0 + 2 * p),
+                // Runs never mix the two arms of an inverted L; the arm
+                // is determined by the starting cell: (i, j0) with
+                // j0 ≤ i starts on the column arm (j fixed), otherwise
+                // on the row arm (i fixed).
+                Pattern::InvertedL => {
+                    if j0 <= i {
+                        (i + p, j0)
+                    } else {
+                        (i, j0 + p)
+                    }
+                }
+                other => panic!("bulk never executes under {other}"),
+            };
+            let mut acc = (ci as u64) << 20 | (cj as u64 + 7);
+            // Same fold order as the scalar path: W, NW, N, NE.
+            for sl in [w, nw, n, ne] {
+                if !sl.is_empty() {
+                    acc = acc.wrapping_mul(1099511628211).wrapping_add(sl[p]);
+                }
+            }
+            out[p] = acc;
+        }
+    }
+}
+
+#[test]
+fn bulk_path_is_bit_identical_for_all_canonical_patterns() {
+    use lddp::core::cell::RepCell;
+    // One set per canonical execution pattern.
+    let sets = [
+        ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]), // anti-diagonal
+        ContributingSet::new(&[RepCell::Nw, RepCell::N, RepCell::Ne]), // horizontal
+        ContributingSet::new(&[RepCell::Nw]),                         // inverted L
+        ContributingSet::FULL,                                        // knight move
+    ];
+    for set in sets {
+        for (r, c) in [(1, 19), (19, 1), (13, 17), (37, 23)] {
+            let kernel = MixWave {
+                dims: lddp::core::Dims::new(r, c),
+                set,
+            };
+            assert_bulk_matches_scalar(&kernel, &format!("{set} {r}x{c}"));
+        }
+    }
+}
+
 #[test]
 fn thread_counts_do_not_change_framework_inputs() {
     // The parallel engine's result feeds nothing back into scheduling,

@@ -114,10 +114,7 @@ fn http_run_exports_perfetto_timeline_with_serve_spans() {
     let addr = listener.local_addr().unwrap().to_string();
 
     let report = server.run(Some(listener), |client| {
-        let target = HttpTarget {
-            addr: addr.clone(),
-            timeout: Duration::from_secs(30),
-        };
+        let target = HttpTarget::new(addr.clone(), Duration::from_secs(30));
         let cfg = LoadgenConfig {
             request: SolveRequest::new("levenshtein", 48),
             total: 40,
