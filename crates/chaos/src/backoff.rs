@@ -1,0 +1,127 @@
+//! Jittered exponential backoff.
+//!
+//! LDDP solves are pure functions of the request, so retrying a failed
+//! or torn exchange is always safe (the related wavefront literature
+//! leans on exactly this re-executability). The only question is *when*
+//! to retry; the answer here is capped exponential backoff with "equal
+//! jitter": attempt `k` sleeps uniformly in `[d/2, d)` for
+//! `d = min(cap, base << k)`, which keeps retry storms decorrelated
+//! while bounding worst-case added latency.
+
+use crate::plan::{mix64, unit_f64};
+use std::time::Duration;
+
+/// Retry schedule shared by the HTTP client and the load generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff base, milliseconds.
+    pub base_ms: u64,
+    /// Backoff cap, milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Sensible serving default: 3 attempts, 25 ms base, 400 ms cap.
+    pub fn default_serving(seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_ms: 25,
+            cap_ms: 400,
+            seed,
+        }
+    }
+
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_ms: 0,
+            cap_ms: 0,
+            seed: 0,
+        }
+    }
+
+    /// Whether a failed attempt number `attempt` (0-based) may retry.
+    pub fn may_retry(&self, attempt: u32) -> bool {
+        attempt + 1 < self.max_attempts
+    }
+
+    /// Jittered delay before retry number `attempt` (0-based: the delay
+    /// after the first failure is `delay(0)`). Deterministic in
+    /// `(seed, attempt)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if self.base_ms == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_ms
+            .checked_shl(attempt.min(32))
+            .unwrap_or(u64::MAX);
+        let d = exp.min(self.cap_ms.max(self.base_ms));
+        let h = mix64(self.seed ^ (attempt as u64).wrapping_mul(0xd1b5_4a32_d192_ed03));
+        let jittered = d / 2 + (unit_f64(h) * (d as f64 / 2.0)) as u64;
+        Duration::from_millis(jittered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_ms: 10,
+            cap_ms: 80,
+            seed: 42,
+        };
+        // Jitter keeps each delay in [d/2, d).
+        for (attempt, d) in [(0u32, 10u64), (1, 20), (2, 40), (3, 80), (6, 80)] {
+            let ms = p.delay(attempt).as_millis() as u64;
+            assert!(
+                ms >= d / 2 && ms < d,
+                "attempt {attempt}: {ms}ms outside [{}, {})",
+                d / 2,
+                d
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RetryPolicy::default_serving(7);
+        let b = RetryPolicy::default_serving(7);
+        let c = RetryPolicy::default_serving(8);
+        assert_eq!(a.delay(1), b.delay(1));
+        // Different seeds almost surely jitter differently for at least
+        // one attempt.
+        assert!((0..8).any(|k| a.delay(k) != c.delay(k)));
+    }
+
+    #[test]
+    fn attempt_budget() {
+        let p = RetryPolicy::default_serving(1);
+        assert!(p.may_retry(0));
+        assert!(p.may_retry(1));
+        assert!(!p.may_retry(2));
+        assert!(!RetryPolicy::none().may_retry(0));
+        assert_eq!(RetryPolicy::none().delay(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = RetryPolicy {
+            max_attempts: 100,
+            base_ms: 1000,
+            cap_ms: 5000,
+            seed: 3,
+        };
+        let ms = p.delay(99).as_millis() as u64;
+        assert!(ms >= 2500 && ms < 5000);
+    }
+}

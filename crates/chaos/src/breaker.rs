@@ -1,0 +1,267 @@
+//! Per-backend circuit breaker.
+//!
+//! Classic three-state machine:
+//!
+//! ```text
+//!            N consecutive failures
+//!   Closed ───────────────────────────▶ Open
+//!     ▲                                  │ open_for elapsed
+//!     │  probe succeeds                  ▼
+//!     └─────────────────────────────  HalfOpen
+//!                 probe fails ─▶ back to Open
+//! ```
+//!
+//! While `Open`, [`CircuitBreaker::allow`] rejects with the remaining
+//! cooldown so callers can emit `Retry-After`. `HalfOpen` admits a
+//! bounded number of concurrent probes; one success closes the breaker,
+//! one failure re-opens it. All time-dependent transitions take an
+//! explicit `Instant` internally so tests never sleep.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// How long Open lasts before probing.
+    pub open_for: Duration,
+    /// Concurrent probe budget while HalfOpen.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_for: Duration::from_secs(2),
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: everything admitted.
+    Closed,
+    /// Shedding: nothing admitted until the cooldown elapses.
+    Open,
+    /// Probing: a bounded number of requests admitted to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name used in health/stats JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probes_in_flight: u32,
+    opens: u64,
+}
+
+/// Thread-safe circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// Builds a closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probes_in_flight: 0,
+                opens: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admission check at `Instant::now()`; `Err` carries the suggested
+    /// `Retry-After` duration.
+    pub fn allow(&self) -> Result<(), Duration> {
+        self.allow_at(Instant::now())
+    }
+
+    /// Admission check at an explicit instant (testable form).
+    pub fn allow_at(&self, now: Instant) -> Result<(), Duration> {
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open => {
+                let opened = g.opened_at.expect("open breaker has an open timestamp");
+                let elapsed = now.saturating_duration_since(opened);
+                if elapsed >= self.cfg.open_for {
+                    g.state = BreakerState::HalfOpen;
+                    g.probes_in_flight = 1;
+                    Ok(())
+                } else {
+                    Err(self.cfg.open_for - elapsed)
+                }
+            }
+            BreakerState::HalfOpen => {
+                if g.probes_in_flight < self.cfg.half_open_probes {
+                    g.probes_in_flight += 1;
+                    Ok(())
+                } else {
+                    // Probes already in flight will decide; tell other
+                    // callers to come back after a short beat.
+                    Err(self.cfg.open_for / 2)
+                }
+            }
+        }
+    }
+
+    /// Records a successful solve; closes the breaker from HalfOpen.
+    pub fn record_success(&self) {
+        let mut g = self.lock();
+        g.consecutive_failures = 0;
+        if g.state != BreakerState::Closed {
+            g.state = BreakerState::Closed;
+            g.opened_at = None;
+        }
+        g.probes_in_flight = 0;
+    }
+
+    /// Records a failed solve at `Instant::now()`; returns `true` when
+    /// this call tripped the breaker open.
+    pub fn record_failure(&self) -> bool {
+        self.record_failure_at(Instant::now())
+    }
+
+    /// Records a failed solve at an explicit instant (testable form).
+    pub fn record_failure_at(&self, now: Instant) -> bool {
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::HalfOpen => {
+                // The probe failed: straight back to Open.
+                g.state = BreakerState::Open;
+                g.opened_at = Some(now);
+                g.probes_in_flight = 0;
+                g.opens += 1;
+                true
+            }
+            BreakerState::Open => false,
+            BreakerState::Closed => {
+                g.consecutive_failures += 1;
+                if g.consecutive_failures >= self.cfg.failure_threshold {
+                    g.state = BreakerState::Open;
+                    g.opened_at = Some(now);
+                    g.opens += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Current state (Open may still report Open even if the cooldown
+    /// has elapsed; the transition happens on the next `allow`).
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Times the breaker has transitioned to Open.
+    pub fn opens(&self) -> u64 {
+        self.lock().opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_for: Duration::from_millis(100),
+            half_open_probes: 1,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        assert!(!b.record_failure_at(t0));
+        assert!(!b.record_failure_at(t0));
+        assert!(b.record_failure_at(t0));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        let err = b.allow_at(t0).unwrap_err();
+        assert!(err <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        b.record_failure_at(t0);
+        b.record_failure_at(t0);
+        b.record_success();
+        assert!(!b.record_failure_at(t0));
+        assert!(!b.record_failure_at(t0));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure_at(t0);
+        }
+        let later = t0 + Duration::from_millis(150);
+        // First caller becomes the probe; the second is held back.
+        assert!(b.allow_at(later).is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow_at(later).is_err());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow_at(later).is_ok());
+    }
+
+    #[test]
+    fn half_open_probe_reopens_on_failure() {
+        let b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure_at(t0);
+        }
+        let later = t0 + Duration::from_millis(150);
+        assert!(b.allow_at(later).is_ok());
+        assert!(b.record_failure_at(later));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        assert!(b.allow_at(later).is_err());
+    }
+
+    #[test]
+    fn state_names_are_stable() {
+        assert_eq!(BreakerState::Closed.name(), "closed");
+        assert_eq!(BreakerState::Open.name(), "open");
+        assert_eq!(BreakerState::HalfOpen.name(), "half_open");
+    }
+}

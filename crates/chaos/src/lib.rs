@@ -1,0 +1,119 @@
+//! # lddp-chaos — deterministic fault injection and recovery primitives
+//!
+//! The paper's schedules assume both devices and every boundary transfer
+//! succeed; a long-lived serving deployment cannot. This crate supplies
+//! the *failure half* of the reproduction:
+//!
+//! - [`FaultInjector`] — a hook trait threaded through the parallel
+//!   engine, the hetero-sim executor and the HTTP serving stack. Every
+//!   method defaults to "no fault", so release paths pay one virtual
+//!   call (usually on [`NoFaults`], which the compiler sees through) and
+//!   no branches.
+//! - [`FaultPlan`] — a seeded, deterministic injector: given the same
+//!   seed and the same sequence of decision points it injects the same
+//!   faults, which makes chaos campaigns reproducible and bisectable.
+//! - [`RetryPolicy`] — jittered exponential backoff with a deterministic
+//!   per-seed jitter stream, used by the loadgen/HTTP retry path.
+//! - [`CircuitBreaker`] — a closed → open → half-open breaker used by
+//!   the server to shed load after repeated backend failures and to
+//!   surface a `degraded` health state plus `Retry-After` hints.
+//!
+//! Everything here is `std`-only and wall-clock-free except the breaker
+//! (which reasons about real elapsed time by design; its internals take
+//! explicit `Instant`s so tests stay deterministic).
+
+mod backoff;
+mod breaker;
+mod plan;
+
+pub use backoff::RetryPolicy;
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use plan::{mix64, unit_f64, FaultPlan, FaultPlanConfig, FaultReport, FaultSite};
+
+use std::time::Duration;
+
+/// Hook points where the engines consult the injector.
+///
+/// Implementations must be cheap and thread-safe: the worker-panic hook
+/// is called from every pool worker on every wave. All methods default
+/// to "no fault injected" so a plain `impl FaultInjector for X {}` is a
+/// valid no-op.
+pub trait FaultInjector: Send + Sync {
+    /// Fast gate: `false` means no hook will ever fire, letting hot
+    /// paths skip per-wave consultation entirely.
+    fn active(&self) -> bool {
+        false
+    }
+
+    /// Should pool worker `worker` panic at wave `wave`? (parallel
+    /// engine, scalar and bulk paths).
+    fn worker_panic(&self, worker: usize, wave: usize) -> bool {
+        let _ = (worker, wave);
+        false
+    }
+
+    /// Should the bulk (contiguous-run) kernel path fail at `wave`?
+    /// Injected *only* on the bulk path, so degrading bulk→scalar
+    /// genuinely recovers from it.
+    fn bulk_panic(&self, wave: usize) -> bool {
+        let _ = wave;
+        false
+    }
+
+    /// Should the simulated device (or its boundary transfer) fail at
+    /// `wave`? (hetero-sim executor).
+    fn device_fault(&self, wave: usize) -> bool {
+        let _ = wave;
+        false
+    }
+
+    /// Should the server tear this HTTP connection down mid-exchange
+    /// (reset without a response)?
+    fn torn_connection(&self) -> bool {
+        false
+    }
+
+    /// Extra latency to impose on this HTTP response, if any.
+    fn slow_connection(&self) -> Option<Duration> {
+        None
+    }
+
+    /// Stall to impose on a serve worker between queue pickup and
+    /// batch processing, if any (exercises deadline shedding).
+    fn queue_stall(&self) -> Option<Duration> {
+        None
+    }
+}
+
+/// The no-op injector used by release paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_injects_nothing() {
+        let inj = NoFaults;
+        assert!(!inj.active());
+        assert!(!inj.worker_panic(0, 0));
+        assert!(!inj.bulk_panic(3));
+        assert!(!inj.device_fault(7));
+        assert!(!inj.torn_connection());
+        assert!(inj.slow_connection().is_none());
+        assert!(inj.queue_stall().is_none());
+    }
+
+    #[test]
+    fn trait_objects_are_usable_across_threads() {
+        let inj: std::sync::Arc<dyn FaultInjector> = std::sync::Arc::new(NoFaults);
+        let inj2 = std::sync::Arc::clone(&inj);
+        std::thread::spawn(move || assert!(!inj2.worker_panic(1, 1)))
+            .join()
+            .unwrap();
+        assert!(!inj.device_fault(0));
+    }
+}

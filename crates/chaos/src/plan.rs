@@ -1,0 +1,393 @@
+//! Seeded, deterministic fault plans.
+//!
+//! A [`FaultPlan`] decides each potential fault from a pure function of
+//! `(seed, site, draw index)`: every decision point draws the next index
+//! for its site from an atomic counter and hashes it. Two runs with the
+//! same seed that reach the same decision points in the same per-site
+//! order therefore inject the same faults — concurrency may interleave
+//! *sites* differently, but each site's fault sequence is fixed, which
+//! is what makes campaign reports comparable across runs.
+
+use crate::FaultInjector;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to the unit interval `[0, 1)`.
+pub fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Decision-point categories, one draw counter each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Pool worker panics mid-wave (parallel engine).
+    WorkerPanic,
+    /// Bulk kernel path fails (recoverable by the scalar path).
+    BulkPanic,
+    /// Simulated device / boundary-transfer failure (hetero-sim).
+    DeviceFault,
+    /// HTTP connection reset without a response.
+    TornConnection,
+    /// HTTP response delayed.
+    SlowConnection,
+    /// Serve worker stalls after queue pickup.
+    QueueStall,
+}
+
+impl FaultSite {
+    /// All sites, in report order.
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::WorkerPanic,
+        FaultSite::BulkPanic,
+        FaultSite::DeviceFault,
+        FaultSite::TornConnection,
+        FaultSite::SlowConnection,
+        FaultSite::QueueStall,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::WorkerPanic => 0,
+            FaultSite::BulkPanic => 1,
+            FaultSite::DeviceFault => 2,
+            FaultSite::TornConnection => 3,
+            FaultSite::SlowConnection => 4,
+            FaultSite::QueueStall => 5,
+        }
+    }
+
+    /// Stable per-site salt folded into the hash stream.
+    fn salt(self) -> u64 {
+        // Arbitrary odd constants; changing them changes every seeded
+        // campaign, so treat them as part of the on-disk format.
+        [
+            0xa076_1d64_78bd_642f,
+            0xe703_7ed1_a0b4_28db,
+            0x8ebc_6af0_9c88_c6e3,
+            0x5899_65cc_7537_4cc3,
+            0x1d8e_4e27_c47d_124f,
+            0xeb44_acca_b455_d165,
+        ][self.index()]
+    }
+
+    /// Stable snake_case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::WorkerPanic => "worker_panic",
+            FaultSite::BulkPanic => "bulk_panic",
+            FaultSite::DeviceFault => "device_fault",
+            FaultSite::TornConnection => "torn_connection",
+            FaultSite::SlowConnection => "slow_connection",
+            FaultSite::QueueStall => "queue_stall",
+        }
+    }
+}
+
+/// Per-site injection probabilities and delay magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Probability a given `(worker, wave)` panics.
+    pub worker_panic_prob: f64,
+    /// Probability a given bulk wave fails.
+    pub bulk_panic_prob: f64,
+    /// Probability a given hetero wave suffers a device fault.
+    pub device_fault_prob: f64,
+    /// Probability an HTTP exchange is torn down without a response.
+    pub torn_conn_prob: f64,
+    /// Probability an HTTP response is delayed, and by how much.
+    pub slow_conn_prob: f64,
+    /// Delay imposed on slow connections, milliseconds.
+    pub slow_conn_ms: u64,
+    /// Probability a serve worker stalls after pickup, and for how long.
+    pub queue_stall_prob: f64,
+    /// Stall duration, milliseconds.
+    pub queue_stall_ms: u64,
+}
+
+impl FaultPlanConfig {
+    /// Nothing injected; useful as a base for struct-update syntax.
+    pub fn none() -> Self {
+        FaultPlanConfig {
+            worker_panic_prob: 0.0,
+            bulk_panic_prob: 0.0,
+            device_fault_prob: 0.0,
+            torn_conn_prob: 0.0,
+            slow_conn_prob: 0.0,
+            slow_conn_ms: 0,
+            queue_stall_prob: 0.0,
+            queue_stall_ms: 0,
+        }
+    }
+
+    /// The `--campaign quick` preset: low per-decision rates (worker
+    /// panics are drawn per worker×wave, so even 0.2% fires often on a
+    /// real solve) with short stalls, suitable for CI smoke runs.
+    pub fn quick() -> Self {
+        FaultPlanConfig {
+            worker_panic_prob: 0.002,
+            bulk_panic_prob: 0.01,
+            device_fault_prob: 0.02,
+            torn_conn_prob: 0.05,
+            slow_conn_prob: 0.05,
+            slow_conn_ms: 20,
+            queue_stall_prob: 0.05,
+            queue_stall_ms: 30,
+        }
+    }
+
+    /// The `--campaign heavy` preset: every site fires frequently.
+    pub fn heavy() -> Self {
+        FaultPlanConfig {
+            worker_panic_prob: 0.01,
+            bulk_panic_prob: 0.05,
+            device_fault_prob: 0.1,
+            torn_conn_prob: 0.15,
+            slow_conn_prob: 0.15,
+            slow_conn_ms: 50,
+            queue_stall_prob: 0.1,
+            queue_stall_ms: 60,
+        }
+    }
+
+    fn prob(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::WorkerPanic => self.worker_panic_prob,
+            FaultSite::BulkPanic => self.bulk_panic_prob,
+            FaultSite::DeviceFault => self.device_fault_prob,
+            FaultSite::TornConnection => self.torn_conn_prob,
+            FaultSite::SlowConnection => self.slow_conn_prob,
+            FaultSite::QueueStall => self.queue_stall_prob,
+        }
+    }
+}
+
+/// Injection tallies for one site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteTally {
+    /// Decision points consulted.
+    pub drawn: u64,
+    /// Faults injected.
+    pub injected: u64,
+}
+
+/// Snapshot of what a plan injected so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Seed the plan was built with.
+    pub seed: u64,
+    /// Per-site tallies, indexed in [`FaultSite::ALL`] order.
+    tallies: [SiteTally; 6],
+}
+
+impl FaultReport {
+    /// Tally for one site.
+    pub fn site(&self, site: FaultSite) -> SiteTally {
+        self.tallies[site.index()]
+    }
+
+    /// Total faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.tallies.iter().map(|t| t.injected).sum()
+    }
+
+    /// JSON object keyed by site name: `{"worker_panic":{"drawn":N,"injected":M},...}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (k, site) in FaultSite::ALL.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let t = self.site(*site);
+            out.push_str(&format!(
+                "\"{}\":{{\"drawn\":{},\"injected\":{}}}",
+                site.name(),
+                t.drawn,
+                t.injected
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A seeded deterministic [`FaultInjector`].
+///
+/// Thread-safe and lock-free: each site keeps an atomic draw counter,
+/// and the decision for draw `k` of site `s` is a pure hash of
+/// `(seed, s, k)`.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    cfg: FaultPlanConfig,
+    draws: [AtomicU64; 6],
+    injected: [AtomicU64; 6],
+}
+
+impl FaultPlan {
+    /// Builds a plan from a seed and per-site rates.
+    pub fn new(seed: u64, cfg: FaultPlanConfig) -> Self {
+        FaultPlan {
+            seed,
+            cfg,
+            draws: Default::default(),
+            injected: Default::default(),
+        }
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.cfg
+    }
+
+    /// Draws the next decision for `site`; deterministic per seed and
+    /// per-site draw order.
+    fn decide(&self, site: FaultSite) -> bool {
+        let p = self.cfg.prob(site);
+        let i = site.index();
+        let k = self.draws[i].fetch_add(1, Ordering::Relaxed);
+        if p <= 0.0 {
+            return false;
+        }
+        let h = mix64(self.seed ^ site.salt() ^ k.wrapping_mul(0x9e3779b97f4a7c15));
+        let hit = unit_f64(h) < p;
+        if hit {
+            self.injected[i].fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Snapshot of draws and injections so far.
+    pub fn report(&self) -> FaultReport {
+        let mut tallies = [SiteTally::default(); 6];
+        for (i, t) in tallies.iter_mut().enumerate() {
+            t.drawn = self.draws[i].load(Ordering::Relaxed);
+            t.injected = self.injected[i].load(Ordering::Relaxed);
+        }
+        FaultReport {
+            seed: self.seed,
+            tallies,
+        }
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn active(&self) -> bool {
+        true
+    }
+
+    fn worker_panic(&self, _worker: usize, _wave: usize) -> bool {
+        self.decide(FaultSite::WorkerPanic)
+    }
+
+    fn bulk_panic(&self, _wave: usize) -> bool {
+        self.decide(FaultSite::BulkPanic)
+    }
+
+    fn device_fault(&self, _wave: usize) -> bool {
+        self.decide(FaultSite::DeviceFault)
+    }
+
+    fn torn_connection(&self) -> bool {
+        self.decide(FaultSite::TornConnection)
+    }
+
+    fn slow_connection(&self) -> Option<Duration> {
+        if self.decide(FaultSite::SlowConnection) {
+            Some(Duration::from_millis(self.cfg.slow_conn_ms))
+        } else {
+            None
+        }
+    }
+
+    fn queue_stall(&self) -> Option<Duration> {
+        if self.decide(FaultSite::QueueStall) {
+            Some(Duration::from_millis(self.cfg.queue_stall_ms))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let a = FaultPlan::new(42, FaultPlanConfig::heavy());
+        let b = FaultPlan::new(42, FaultPlanConfig::heavy());
+        let seq_a: Vec<bool> = (0..200).map(|w| a.device_fault(w)).collect();
+        let seq_b: Vec<bool> = (0..200).map(|w| b.device_fault(w)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1, FaultPlanConfig::heavy());
+        let b = FaultPlan::new(2, FaultPlanConfig::heavy());
+        let seq_a: Vec<bool> = (0..200).map(|w| a.device_fault(w)).collect();
+        let seq_b: Vec<bool> = (0..200).map(|w| b.device_fault(w)).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::new(7, FaultPlanConfig::heavy());
+        let n = 20_000;
+        let hits = (0..n).filter(|&w| plan.device_fault(w)).count();
+        let rate = hits as f64 / n as f64;
+        assert!(
+            (rate - 0.1).abs() < 0.02,
+            "device fault rate {rate} far from configured 0.1"
+        );
+    }
+
+    #[test]
+    fn zero_prob_never_fires_but_still_draws() {
+        let plan = FaultPlan::new(3, FaultPlanConfig::none());
+        for w in 0..100 {
+            assert!(!plan.worker_panic(0, w));
+        }
+        let r = plan.report();
+        assert_eq!(r.site(FaultSite::WorkerPanic).drawn, 100);
+        assert_eq!(r.site(FaultSite::WorkerPanic).injected, 0);
+        assert_eq!(r.total_injected(), 0);
+    }
+
+    #[test]
+    fn sites_draw_independently() {
+        let plan = FaultPlan::new(9, FaultPlanConfig::heavy());
+        let _ = plan.torn_connection();
+        let _ = plan.slow_connection();
+        let _ = plan.queue_stall();
+        let r = plan.report();
+        assert_eq!(r.site(FaultSite::TornConnection).drawn, 1);
+        assert_eq!(r.site(FaultSite::SlowConnection).drawn, 1);
+        assert_eq!(r.site(FaultSite::QueueStall).drawn, 1);
+        assert_eq!(r.site(FaultSite::WorkerPanic).drawn, 0);
+    }
+
+    #[test]
+    fn report_json_names_every_site() {
+        let plan = FaultPlan::new(5, FaultPlanConfig::quick());
+        let json = plan.report().to_json();
+        for site in FaultSite::ALL {
+            assert!(json.contains(site.name()), "{json} missing {}", site.name());
+        }
+    }
+}

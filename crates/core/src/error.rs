@@ -26,6 +26,18 @@ pub enum Error {
         /// What the kernel declares.
         found: String,
     },
+    /// A kernel (or an injected fault) panicked during execution; the
+    /// panic was caught and the run isolated, but the table is unusable.
+    ExecutionPanicked {
+        /// Short description of where the panic surfaced.
+        detail: String,
+    },
+    /// The simulated device (or one of its boundary transfers) failed
+    /// mid-run; the device-side table state is lost from that wave on.
+    DeviceFault {
+        /// Wave index at which the device failed.
+        wave: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -47,6 +59,56 @@ impl fmt::Display for Error {
                     "plan mismatch: plan built for {expected}, kernel declares {found}"
                 )
             }
+            Error::ExecutionPanicked { detail } => {
+                write!(f, "execution panicked: {detail}")
+            }
+            Error::DeviceFault { wave } => {
+                write!(f, "device fault at wave {wave}: device-side state lost")
+            }
+        }
+    }
+}
+
+/// One rung taken on the graceful-degradation ladder while recovering
+/// from a fault. Recorded in `Solution`s and solve responses so callers
+/// can see *how* an answer was produced, not just that it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeStep {
+    /// Bulk (contiguous-run) kernel path failed; retried scalar.
+    BulkToScalar,
+    /// Pooled parallel execution failed; retried single-threaded.
+    ParallelToSequential,
+    /// Simulated device failed; re-ran the schedule CPU-only.
+    HeteroToCpuOnly,
+}
+
+impl DegradeStep {
+    /// Stable snake_case code used in JSON payloads and stats.
+    pub fn code(self) -> &'static str {
+        match self {
+            DegradeStep::BulkToScalar => "bulk_to_scalar",
+            DegradeStep::ParallelToSequential => "parallel_to_sequential",
+            DegradeStep::HeteroToCpuOnly => "hetero_to_cpu_only",
+        }
+    }
+
+    /// Parses a stable code back into a step.
+    pub fn from_code(code: &str) -> Option<Self> {
+        match code {
+            "bulk_to_scalar" => Some(DegradeStep::BulkToScalar),
+            "parallel_to_sequential" => Some(DegradeStep::ParallelToSequential),
+            "hetero_to_cpu_only" => Some(DegradeStep::HeteroToCpuOnly),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DegradeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeStep::BulkToScalar => write!(f, "bulk kernel path → scalar"),
+            DegradeStep::ParallelToSequential => write!(f, "pooled parallel → sequential"),
+            DegradeStep::HeteroToCpuOnly => write!(f, "heterogeneous schedule → CPU-only"),
         }
     }
 }
@@ -75,5 +137,25 @@ mod tests {
             found: "5x5".into(),
         };
         assert!(e.to_string().contains("4x4"));
+        let e = Error::ExecutionPanicked {
+            detail: "worker 3 at wave 7".into(),
+        };
+        assert!(e.to_string().contains("worker 3"));
+        assert!(Error::DeviceFault { wave: 9 }
+            .to_string()
+            .contains("wave 9"));
+    }
+
+    #[test]
+    fn degrade_step_codes_round_trip() {
+        for step in [
+            DegradeStep::BulkToScalar,
+            DegradeStep::ParallelToSequential,
+            DegradeStep::HeteroToCpuOnly,
+        ] {
+            assert_eq!(DegradeStep::from_code(step.code()), Some(step));
+            assert!(!step.to_string().is_empty());
+        }
+        assert_eq!(DegradeStep::from_code("bogus"), None);
     }
 }

@@ -374,11 +374,19 @@ mod tests {
             LayoutKind::WaveMajor(Pattern::AntiDiagonal),
             Dims::new(4, 4),
         );
-        assert!(!wave_major.interior_runs(Pattern::AntiDiagonal, set, 2).is_empty());
-        assert!(wave_major.interior_runs(Pattern::KnightMove, set, 2).is_empty());
+        assert!(!wave_major
+            .interior_runs(Pattern::AntiDiagonal, set, 2)
+            .is_empty());
+        assert!(wave_major
+            .interior_runs(Pattern::KnightMove, set, 2)
+            .is_empty());
         let row_major = Layout::new(LayoutKind::RowMajor, Dims::new(4, 4));
-        assert!(!row_major.interior_runs(Pattern::Horizontal, set, 1).is_empty());
-        assert!(row_major.interior_runs(Pattern::AntiDiagonal, set, 2).is_empty());
+        assert!(!row_major
+            .interior_runs(Pattern::Horizontal, set, 1)
+            .is_empty());
+        assert!(row_major
+            .interior_runs(Pattern::AntiDiagonal, set, 2)
+            .is_empty());
     }
 
     /// The property the bulk execution path relies on: inside an

@@ -42,7 +42,7 @@ pub mod tuner_cache;
 pub mod wavefront;
 
 pub use cell::{ContributingSet, RepCell};
-pub use error::{Error, Result};
+pub use error::{DegradeStep, Error, Result};
 pub use framework::{choose_execution, Adapter, Classification, MirroredKernel, TransposedKernel};
 pub use grid::{Grid, Layout, LayoutKind};
 pub use kernel::{ClosureKernel, Kernel, Neighbors, WaveKernel};

@@ -416,8 +416,13 @@ mod tests {
     fn sink_records_every_sweep_point() {
         use lddp_trace::Recorder;
         let rec = Recorder::new();
-        let result = tune_with_sink(&[0, 2, 4], &[0, 8], |p| (p.t_switch + p.t_share) as f64, &rec)
-            .unwrap();
+        let result = tune_with_sink(
+            &[0, 2, 4],
+            &[0, 8],
+            |p| (p.t_switch + p.t_share) as f64,
+            &rec,
+        )
+        .unwrap();
         let data = rec.snapshot();
         // One instant + one counter sample per evaluation.
         assert_eq!(data.instants.len(), 3 + 2);
@@ -442,9 +447,12 @@ mod tests {
     fn concave_sink_matches_curves() {
         use lddp_trace::Recorder;
         let rec = Recorder::new();
-        let r = tune_concave_with_sink((0, 50), (0, 50), |p| {
-            ((p.t_switch as f64) - 20.0).powi(2) + ((p.t_share as f64) - 10.0).powi(2)
-        }, &rec)
+        let r = tune_concave_with_sink(
+            (0, 50),
+            (0, 50),
+            |p| ((p.t_switch as f64) - 20.0).powi(2) + ((p.t_share as f64) - 10.0).powi(2),
+            &rec,
+        )
         .unwrap();
         assert_eq!(r.params, ScheduleParams::new(20, 10));
         let data = rec.snapshot();

@@ -139,8 +139,14 @@ mod tests {
         assert_eq!(a.cols_bucket, 1024);
         assert_eq!(a, b);
         // Different platform or pattern → different key.
-        assert_ne!(a, TuneKey::new(Pattern::AntiDiagonal, Dims::new(700, 1000), "low"));
-        assert_ne!(a, TuneKey::new(Pattern::Horizontal, Dims::new(700, 1000), "high"));
+        assert_ne!(
+            a,
+            TuneKey::new(Pattern::AntiDiagonal, Dims::new(700, 1000), "low")
+        );
+        assert_ne!(
+            a,
+            TuneKey::new(Pattern::Horizontal, Dims::new(700, 1000), "high")
+        );
         assert!(a.label().contains("1024x1024/high"));
     }
 

@@ -233,8 +233,20 @@ pub(crate) fn interior_runs(
         let mut hi: i64 = seg.len as i64 - 1;
         for dep in set.iter() {
             let (oi, oj) = dep.offset();
-            clamp_linear(&mut lo, &mut hi, seg.i0 + oi as i64, seg.di, dims.rows as i64 - 1);
-            clamp_linear(&mut lo, &mut hi, seg.j0 + oj as i64, seg.dj, dims.cols as i64 - 1);
+            clamp_linear(
+                &mut lo,
+                &mut hi,
+                seg.i0 + oi as i64,
+                seg.di,
+                dims.rows as i64 - 1,
+            );
+            clamp_linear(
+                &mut lo,
+                &mut hi,
+                seg.j0 + oj as i64,
+                seg.dj,
+                dims.cols as i64 - 1,
+            );
         }
         if lo <= hi {
             let start = seg.pos0 + lo as usize;
@@ -522,9 +534,8 @@ mod tests {
                         // Membership matches per-cell bounds checking.
                         for (pos, (i, j)) in wave_cells(p, dims, w).enumerate() {
                             let in_run = runs.iter().any(|rg| rg.contains(&pos));
-                            let all_deps_in = set
-                                .iter()
-                                .all(|dep| dep.source(i, j, r, c).is_some());
+                            let all_deps_in =
+                                set.iter().all(|dep| dep.source(i, j, r, c).is_some());
                             assert_eq!(
                                 in_run, all_deps_in,
                                 "{p} {set} {r}x{c} wave {w} pos {pos} cell ({i},{j})"

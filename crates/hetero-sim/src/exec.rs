@@ -346,6 +346,32 @@ pub fn run_hetero<K: Kernel, S: WaveSchedule>(
     platform: &Platform,
     opts: &ExecOptions,
 ) -> Result<Report<K::Cell>> {
+    run_hetero_inner(kernel, plan, platform, opts, None)
+}
+
+/// Like [`run_hetero`] with a [`FaultInjector`](lddp_chaos::FaultInjector)
+/// consulted on every wave in which the device participates (it computes
+/// cells or a boundary transfer crosses the link). An injected fault
+/// aborts the run with [`Error::DeviceFault`] — device-side table state
+/// is considered lost from that wave on, which is what the CPU-only
+/// degradation rung recovers from.
+pub fn run_hetero_injected<K: Kernel, S: WaveSchedule>(
+    kernel: &K,
+    plan: &S,
+    platform: &Platform,
+    opts: &ExecOptions,
+    injector: &dyn lddp_chaos::FaultInjector,
+) -> Result<Report<K::Cell>> {
+    run_hetero_inner(kernel, plan, platform, opts, Some(injector))
+}
+
+fn run_hetero_inner<K: Kernel, S: WaveSchedule>(
+    kernel: &K,
+    plan: &S,
+    platform: &Platform,
+    opts: &ExecOptions,
+    injector: Option<&dyn lddp_chaos::FaultInjector>,
+) -> Result<Report<K::Cell>> {
     let dims = kernel.dims();
     if plan.dims() != dims || plan.set() != kernel.contributing_set() {
         return Err(Error::PlanMismatch {
@@ -393,6 +419,13 @@ pub fn run_hetero<K: Kernel, S: WaveSchedule>(
         let transfers = plan.transfers(w);
         let bytes_to_gpu = transfers.to_gpu.len() * cell_size;
         let bytes_to_cpu = transfers.to_cpu.len() * cell_size;
+
+        if let Some(inj) = injector {
+            let device_involved = assign.gpu_len() > 0 || bytes_to_gpu > 0 || bytes_to_cpu > 0;
+            if device_involved && inj.device_fault(w) {
+                return Err(Error::DeviceFault { wave: w });
+            }
+        }
 
         if let (Some(host), Some(dev)) = (host_grid.as_mut(), dev_grid.as_mut()) {
             // Move boundary values between the grids, then compute each

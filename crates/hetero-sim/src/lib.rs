@@ -30,7 +30,10 @@ pub mod report;
 pub mod trace;
 
 pub use cpu::CpuModel;
-pub use exec::{access_class, run_cpu, run_gpu, run_hetero, AccessClass, ExecOptions, Report};
+pub use exec::{
+    access_class, run_cpu, run_gpu, run_hetero, run_hetero_injected, AccessClass, ExecOptions,
+    Report,
+};
 pub use gpu::GpuModel;
 pub use link::{HostMemory, LinkModel};
 pub use multi::{run_multi, Accelerator, MultiPlatform, MultiReport};

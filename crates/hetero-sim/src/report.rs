@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn empty_timeline_renders_empty() {
         assert_eq!(occupancy_strip(&[], 40), (String::new(), 0));
-        assert_eq!(occupancy_strip(&[record(0, 1.0, 1.0, 1.0)], 0), (String::new(), 0));
+        assert_eq!(
+            occupancy_strip(&[record(0, 1.0, 1.0, 1.0)], 0),
+            (String::new(), 0)
+        );
     }
 
     #[test]
@@ -228,7 +231,11 @@ mod tests {
 
     #[test]
     fn zero_span_waves_are_skipped() {
-        let tl = vec![record(0, 1.0, 0.0, 1.0), record(1, 0.0, 0.0, 0.0), record(2, 1.0, 0.0, 1.0)];
+        let tl = vec![
+            record(0, 1.0, 0.0, 1.0),
+            record(1, 0.0, 0.0, 0.0),
+            record(2, 1.0, 0.0, 1.0),
+        ];
         let (strip, used) = occupancy_strip(&tl, 2);
         assert_eq!(used, 2);
         assert_eq!(strip, "CPU |##|\nGPU |  |\n");

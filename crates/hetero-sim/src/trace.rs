@@ -146,7 +146,12 @@ mod tests {
         };
         let report = run_hetero(&kernel, &plan, &hetero_high(), &opts).unwrap();
         let rec = Recorder::new();
-        record_run(&rec, &report.timeline, &plan.phases(), report.breakdown.setup_s);
+        record_run(
+            &rec,
+            &report.timeline,
+            &plan.phases(),
+            report.breakdown.setup_s,
+        );
         (rec.snapshot(), report.timeline.len())
     }
 
@@ -173,8 +178,14 @@ mod tests {
     #[test]
     fn wave_spans_land_on_engine_tracks_and_cover_all_waves() {
         let (data, waves) = traced_run(Dims::new(32, 32), ScheduleParams::new(4, 8));
-        let cpu: Vec<_> = data.spans_named("wave").filter(|s| s.track == tracks::CPU).collect();
-        let gpu: Vec<_> = data.spans_named("wave").filter(|s| s.track == tracks::GPU).collect();
+        let cpu: Vec<_> = data
+            .spans_named("wave")
+            .filter(|s| s.track == tracks::CPU)
+            .collect();
+        let gpu: Vec<_> = data
+            .spans_named("wave")
+            .filter(|s| s.track == tracks::GPU)
+            .collect();
         // The CPU-only ramps (t_switch = 4 on both ends) always have CPU
         // spans; late waves whose columns all fall right of the band may
         // not. Shared waves add GPU work.
@@ -210,8 +221,13 @@ mod tests {
     fn disabled_sink_emits_nothing_and_costs_nothing() {
         let set = ContributingSet::new(&[RepCell::N]);
         let kernel = ClosureKernel::new(Dims::new(8, 8), set, |_i, _j, _n: &Neighbors<u32>| 0u32);
-        let plan = Plan::new(Pattern::Horizontal, set, Dims::new(8, 8), ScheduleParams::new(0, 4))
-            .unwrap();
+        let plan = Plan::new(
+            Pattern::Horizontal,
+            set,
+            Dims::new(8, 8),
+            ScheduleParams::new(0, 4),
+        )
+        .unwrap();
         let opts = ExecOptions {
             record_timeline: true,
             ..Default::default()
@@ -227,15 +243,19 @@ mod tests {
         let set = ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]);
         let kernel =
             ClosureKernel::new(dims, set, |_i, _j, _n: &Neighbors<u32>| 0u32).with_cost_ops(8);
-        let plan =
-            Plan::new(Pattern::AntiDiagonal, set, dims, ScheduleParams::new(4, 12)).unwrap();
+        let plan = Plan::new(Pattern::AntiDiagonal, set, dims, ScheduleParams::new(4, 12)).unwrap();
         let opts = ExecOptions {
             record_timeline: true,
             ..Default::default()
         };
         let report = run_hetero(&kernel, &plan, &hetero_high(), &opts).unwrap();
         let rec = Recorder::new();
-        record_run(&rec, &report.timeline, &plan.phases(), report.breakdown.setup_s);
+        record_run(
+            &rec,
+            &report.timeline,
+            &plan.phases(),
+            report.breakdown.setup_s,
+        );
         let data = rec.snapshot();
         assert!((data.track_busy_s(tracks::CPU) - report.breakdown.cpu_busy_s).abs() < 1e-12);
         assert!((data.track_busy_s(tracks::GPU) - report.breakdown.gpu_busy_s).abs() < 1e-12);

@@ -298,3 +298,57 @@ fn split_grids_actually_isolate_devices() {
         "undeclared dependencies must be invisible to the kernel"
     );
 }
+
+#[test]
+fn injected_device_fault_aborts_with_the_faulting_wave() {
+    use hetero_sim::exec::run_hetero_injected;
+    use lddp_core::schedule::WaveSchedule;
+    use lddp_core::Error;
+
+    struct FaultAt(usize);
+    impl lddp_chaos::FaultInjector for FaultAt {
+        fn active(&self) -> bool {
+            true
+        }
+        fn device_fault(&self, wave: usize) -> bool {
+            wave >= self.0
+        }
+    }
+
+    let set = ContributingSet::new(&[RepCell::W, RepCell::N]);
+    let dims = Dims::new(16, 16);
+    let kernel = mix_kernel(dims, set);
+    // Schedule with a shared phase so the device actually participates.
+    let plan = Plan::new(Pattern::AntiDiagonal, set, dims, ScheduleParams::new(3, 4)).unwrap();
+
+    // NoFaults and a plan that never fires leave the run untouched.
+    let clean = run_hetero(&kernel, &plan, &hetero_high(), &ExecOptions::functional()).unwrap();
+    let noop = run_hetero_injected(
+        &kernel,
+        &plan,
+        &hetero_high(),
+        &ExecOptions::functional(),
+        &lddp_chaos::NoFaults,
+    )
+    .unwrap();
+    assert_eq!(
+        clean.grid.unwrap().to_row_major(),
+        noop.grid.unwrap().to_row_major()
+    );
+
+    // An injected fault aborts with the wave it fired on, and only
+    // fires on waves in which the device participates.
+    let r = run_hetero_injected(
+        &kernel,
+        &plan,
+        &hetero_high(),
+        &ExecOptions::functional(),
+        &FaultAt(0),
+    );
+    match r {
+        Err(Error::DeviceFault { wave }) => {
+            assert!(wave < plan.num_waves(), "fault wave {wave} out of range")
+        }
+        other => panic!("expected DeviceFault, got {other:?}"),
+    }
+}

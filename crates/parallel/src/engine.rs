@@ -48,7 +48,8 @@
 //! property). The few `unsafe` blocks below encapsulate exactly this
 //! discipline.
 
-use crate::pool::WorkerPool;
+use crate::pool::{PoolError, WorkerPool};
+use lddp_chaos::FaultInjector;
 use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::{Grid, Layout, LayoutKind};
 use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
@@ -56,9 +57,10 @@ use lddp_core::pattern::{classify, Pattern};
 use lddp_core::schedule::compatible;
 use lddp_core::tuner::SweepPoint;
 use lddp_core::wavefront::{self, Dims};
-use lddp_core::{Error, Result};
+use lddp_core::{DegradeStep, Error, Result};
 use lddp_trace::{tracks, NullSink, Span, TraceSink};
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -422,7 +424,67 @@ impl ParallelEngine {
         pattern: Pattern,
         sink: &dyn TraceSink,
     ) -> Result<Grid<K::Cell>> {
-        self.solve_inner(kernel, pattern, sink, self.threads)
+        self.solve_inner(kernel, pattern, sink, self.threads, None)
+    }
+
+    /// Solves with a [`FaultInjector`] consulted on the pooled path: an
+    /// injected worker panic or bulk fault fails the solve with
+    /// [`Error::ExecutionPanicked`] instead of unwinding the caller,
+    /// and a pool left with dead workers is healed before returning.
+    /// The single-threaded shortcut path is not injectable.
+    pub fn solve_injected<K: Kernel>(
+        &self,
+        kernel: &K,
+        injector: &dyn FaultInjector,
+    ) -> Result<Grid<K::Cell>> {
+        let pattern = classify(kernel.contributing_set())
+            .map(Pattern::canonical)
+            .ok_or(Error::EmptyContributingSet)?;
+        self.solve_inner(kernel, pattern, &NullSink, self.threads, Some(injector))
+    }
+
+    /// Solves with the graceful-degradation ladder: the full
+    /// configuration first, then (when the bulk path was in play) the
+    /// scalar path, then a panic-isolated single-threaded solve that no
+    /// injector touches. Returns the grid together with the rungs taken;
+    /// an empty vector means the first attempt succeeded.
+    pub fn solve_degrading<K: Kernel>(
+        &self,
+        kernel: &K,
+        injector: &dyn FaultInjector,
+    ) -> Result<(Grid<K::Cell>, Vec<DegradeStep>)> {
+        let set = kernel.contributing_set();
+        let pattern = classify(set)
+            .map(Pattern::canonical)
+            .ok_or(Error::EmptyContributingSet)?;
+        let mut steps = Vec::new();
+        match self.solve_inner(kernel, pattern, &NullSink, self.threads, Some(injector)) {
+            Ok(g) => return Ok((g, steps)),
+            Err(Error::ExecutionPanicked { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        let bulk_in_play =
+            self.bulk && classify(set) == Some(pattern) && kernel.wave_kernel().is_some();
+        if bulk_in_play {
+            steps.push(DegradeStep::BulkToScalar);
+            let scalar = self.clone().with_bulk_enabled(false);
+            match scalar.solve_inner(kernel, pattern, &NullSink, self.threads, Some(injector)) {
+                Ok(g) => return Ok((g, steps)),
+                Err(Error::ExecutionPanicked { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        steps.push(DegradeStep::ParallelToSequential);
+        let layout = LayoutKind::preferred_for(pattern);
+        match catch_unwind(AssertUnwindSafe(|| {
+            lddp_core::seq::solve_wavefront_as(kernel, pattern, layout)
+        })) {
+            Ok(Ok(g)) => Ok((g, steps)),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(Error::ExecutionPanicked {
+                detail: "sequential fallback panicked".into(),
+            }),
+        }
     }
 
     /// Solves with at most `active` workers drawn from the engine's
@@ -437,7 +499,7 @@ impl ParallelEngine {
         let pattern = classify(kernel.contributing_set())
             .map(Pattern::canonical)
             .ok_or(Error::EmptyContributingSet)?;
-        self.solve_inner(kernel, pattern, &NullSink, active)
+        self.solve_inner(kernel, pattern, &NullSink, active, None)
     }
 
     /// Sweeps active worker counts over the shared pool and returns the
@@ -454,7 +516,10 @@ impl ParallelEngine {
         let clamped: Vec<usize> = if candidates.is_empty() {
             (1..=self.threads).collect()
         } else {
-            candidates.iter().map(|&c| c.clamp(1, self.threads)).collect()
+            candidates
+                .iter()
+                .map(|&c| c.clamp(1, self.threads))
+                .collect()
         };
         let mut sweep = Vec::with_capacity(clamped.len());
         for c in clamped {
@@ -482,12 +547,30 @@ impl ParallelEngine {
         Ok((best, sweep))
     }
 
+    /// Maps a pool-run outcome to the engine's error taxonomy, healing
+    /// the pool first if workers died so the next solve finds it usable.
+    fn map_pool_result(pool: &WorkerPool, r: std::result::Result<(), PoolError>) -> Result<()> {
+        match r {
+            Ok(()) => Ok(()),
+            Err(PoolError::JobPanicked) => Err(Error::ExecutionPanicked {
+                detail: "a pool worker panicked mid-solve".into(),
+            }),
+            Err(PoolError::PoolUnusable { dead }) => {
+                let respawned = pool.heal();
+                Err(Error::ExecutionPanicked {
+                    detail: format!("{dead} pool worker(s) died mid-solve; respawned {respawned}"),
+                })
+            }
+        }
+    }
+
     fn solve_inner<K: Kernel>(
         &self,
         kernel: &K,
         pattern: Pattern,
         sink: &dyn TraceSink,
         active: usize,
+        injector: Option<&dyn FaultInjector>,
     ) -> Result<Grid<K::Cell>> {
         let set = kernel.contributing_set();
         if set.is_empty() {
@@ -562,9 +645,23 @@ impl ParallelEngine {
         let no_runs: Vec<Range<usize>> = Vec::new();
         let pool = self.pool();
 
+        // Injected faults surface as worker panics; an inactive
+        // injector costs one branch per (worker, wave).
+        let inject = |t: usize, w: usize| {
+            if let Some(inj) = injector {
+                if bulk_kernel.is_some() && inj.bulk_panic(w) {
+                    panic!("injected bulk fault at wave {w}");
+                }
+                if inj.worker_panic(t, w) {
+                    panic!("injected worker panic: worker {t} wave {w}");
+                }
+            }
+        };
+
         if !traced {
-            pool.run(threads, &|t| {
+            let r = pool.try_run(threads, &|t| {
                 for w in 0..num_waves {
+                    inject(t, w);
                     let len = pattern.wave_len(dims.rows, dims.cols, w);
                     let runs = runs_by_wave.get(w).unwrap_or(&no_runs);
                     // SAFETY: chunks of a wave are disjoint across
@@ -587,6 +684,7 @@ impl ParallelEngine {
                     pool.barrier().wait();
                 }
             });
+            Self::map_pool_result(pool, r)?;
             return Ok(grid);
         }
 
@@ -594,9 +692,10 @@ impl ParallelEngine {
         let slots: Vec<Mutex<WorkerTrace>> = (0..threads)
             .map(|_| Mutex::new(WorkerTrace::default()))
             .collect();
-        pool.run(threads, &|t| {
+        let r = pool.try_run(threads, &|t| {
             let mut tr = WorkerTrace::default();
             for w in 0..num_waves {
+                inject(t, w);
                 let len = pattern.wave_len(dims.rows, dims.cols, w);
                 let my = chunk(t, threads, len);
                 let owned = my.len();
@@ -626,11 +725,12 @@ impl ParallelEngine {
                 tr.busy_s += t1 - t0;
                 tr.barrier_wait_s.push(t2 - t1);
             }
-            *slots[t].lock().unwrap() = tr;
+            *slots[t].lock().unwrap_or_else(|e| e.into_inner()) = tr;
         });
+        Self::map_pool_result(pool, r)?;
         let worker_traces: Vec<WorkerTrace> = slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap())
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
             .collect();
 
         let total_s = epoch.elapsed().as_secs_f64();
@@ -1107,5 +1207,107 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(engine.solve(&kernel).unwrap().to_row_major(), oracle);
         }
+    }
+
+    /// Injector that panics a specific worker at a specific wave on the
+    /// scalar/pooled path, or fails the bulk path, depending on flags.
+    struct TestInjector {
+        panic_worker: Option<(usize, usize)>,
+        bulk_fail_wave: Option<usize>,
+    }
+
+    impl lddp_chaos::FaultInjector for TestInjector {
+        fn active(&self) -> bool {
+            true
+        }
+
+        fn worker_panic(&self, worker: usize, wave: usize) -> bool {
+            self.panic_worker == Some((worker, wave))
+        }
+
+        fn bulk_panic(&self, wave: usize) -> bool {
+            self.bulk_fail_wave == Some(wave)
+        }
+    }
+
+    #[test]
+    fn injected_worker_panic_fails_the_solve_not_the_engine() {
+        let set = ContributingSet::new(&[RepCell::W, RepCell::N]);
+        let dims = Dims::new(24, 24);
+        let kernel = mix_kernel(dims, set);
+        let engine = ParallelEngine::new(3);
+        let inj = TestInjector {
+            panic_worker: Some((1, 5)),
+            bulk_fail_wave: None,
+        };
+        assert!(matches!(
+            engine.solve_injected(&kernel, &inj),
+            Err(Error::ExecutionPanicked { .. })
+        ));
+        // The same engine (and its pool) must serve the next solve.
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        assert_eq!(engine.solve(&kernel).unwrap().to_row_major(), oracle);
+    }
+
+    #[test]
+    fn degradation_recovers_bulk_fault_via_scalar() {
+        let kernel = BulkMix {
+            dims: Dims::new(29, 23),
+            set: ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]),
+        };
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let engine = ParallelEngine::new(3);
+        let inj = TestInjector {
+            panic_worker: None,
+            bulk_fail_wave: Some(2),
+        };
+        let (grid, steps) = engine.solve_degrading(&kernel, &inj).unwrap();
+        assert_eq!(grid.to_row_major(), oracle);
+        // Bulk failed, scalar succeeded: exactly one rung taken.
+        assert_eq!(steps, vec![DegradeStep::BulkToScalar]);
+    }
+
+    #[test]
+    fn degradation_falls_back_to_sequential_under_persistent_panics() {
+        struct AlwaysPanic;
+        impl lddp_chaos::FaultInjector for AlwaysPanic {
+            fn active(&self) -> bool {
+                true
+            }
+            fn worker_panic(&self, _worker: usize, wave: usize) -> bool {
+                wave == 0
+            }
+        }
+        let kernel = BulkMix {
+            dims: Dims::new(21, 19),
+            set: ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]),
+        };
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let engine = ParallelEngine::new(3);
+        let (grid, steps) = engine.solve_degrading(&kernel, &AlwaysPanic).unwrap();
+        assert_eq!(grid.to_row_major(), oracle);
+        assert_eq!(
+            steps,
+            vec![DegradeStep::BulkToScalar, DegradeStep::ParallelToSequential]
+        );
+        // And the engine still works normally afterwards.
+        assert_eq!(engine.solve(&kernel).unwrap().to_row_major(), oracle);
+    }
+
+    #[test]
+    fn no_faults_injector_changes_nothing() {
+        let set = ContributingSet::new(&[RepCell::W, RepCell::N]);
+        let kernel = mix_kernel(Dims::new(16, 16), set);
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let engine = ParallelEngine::new(3);
+        let grid = engine
+            .solve_injected(&kernel, &lddp_chaos::NoFaults)
+            .unwrap();
+        assert_eq!(grid.to_row_major(), oracle);
+        let (grid, steps) = engine
+            .solve_degrading(&kernel, &lddp_chaos::NoFaults)
+            .unwrap();
+        assert_eq!(grid.to_row_major(), oracle);
+        assert!(steps.is_empty());
     }
 }

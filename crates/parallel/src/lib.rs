@@ -16,4 +16,4 @@ pub mod pool;
 
 pub use cache_oblivious::CacheObliviousEngine;
 pub use engine::ParallelEngine;
-pub use pool::{SenseBarrier, WorkerPool};
+pub use pool::{PoolError, SenseBarrier, WorkerPool};

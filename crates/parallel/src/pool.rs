@@ -24,6 +24,47 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+/// Why a pooled run did not complete cleanly.
+///
+/// The two cases demand different reactions, which is exactly why they
+/// are separate: a [`PoolError::JobPanicked`] poisons only *that job* —
+/// the barrier re-arms and the next [`WorkerPool::try_run`] proceeds
+/// normally — while [`PoolError::PoolUnusable`] means worker threads
+/// are gone and the pool refuses further jobs until
+/// [`WorkerPool::heal`] respawns them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The job closure panicked on at least one worker. The panic was
+    /// contained: all workers unwound to the dispatch loop and the pool
+    /// remains usable.
+    JobPanicked,
+    /// `dead` worker threads have terminated (e.g. a panic payload
+    /// whose `Drop` itself panicked escaped the per-job isolation).
+    /// The pool cannot run barrier jobs until healed.
+    PoolUnusable {
+        /// Number of dead worker threads.
+        dead: usize,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::JobPanicked => {
+                write!(
+                    f,
+                    "a worker panicked while running the job; the pool re-armed"
+                )
+            }
+            PoolError::PoolUnusable { dead } => {
+                write!(f, "{dead} pool worker(s) died; heal() must respawn them")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
 /// A reusable sense-reversing spin barrier.
 ///
 /// The classic centralized barrier: arrivals count up on a shared
@@ -121,12 +162,62 @@ struct PoolShared {
     done_cv: Condvar,
     barrier: SenseBarrier,
     panicked: AtomicBool,
+    /// Worker threads that terminated instead of returning to the
+    /// dispatch loop. Non-zero means the pool is unusable until healed.
+    dead: AtomicUsize,
+    /// Indices of the dead workers, for [`WorkerPool::heal`] to respawn.
+    dead_list: Mutex<Vec<usize>>,
     threads: usize,
 }
 
+/// Runs when a worker thread *terminates* by unwinding (a panic escaped
+/// the per-job isolation, e.g. out of a panic payload's own `Drop`).
+/// Records the death and wakes the dispatcher so `try_run` reports
+/// [`PoolError::PoolUnusable`] instead of hanging on a done-count that
+/// can never be reached.
+struct DeathSentinel {
+    shared: Arc<PoolShared>,
+    t: usize,
+    armed: bool,
+}
+
+impl Drop for DeathSentinel {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.shared.barrier.poison();
+        self.shared.panicked.store(true, Ordering::Release);
+        self.shared
+            .dead_list
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(self.t);
+        self.shared.dead.fetch_add(1, Ordering::AcqRel);
+        let _done = self.shared.done.lock().unwrap_or_else(|e| e.into_inner());
+        self.shared.done_cv.notify_all();
+    }
+}
+
+fn spawn_worker(shared: &Arc<PoolShared>, t: usize, start_gen: u64) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("lddp-pool-{t}"))
+        .spawn(move || {
+            let mut sentinel = DeathSentinel {
+                shared: Arc::clone(&shared),
+                t,
+                armed: true,
+            };
+            shared.worker_loop(t, start_gen);
+            sentinel.armed = false; // clean shutdown exit
+        })
+        .expect("spawning pool worker")
+}
+
 impl PoolShared {
-    fn worker_loop(&self, t: usize) {
-        let mut last_gen = 0u64;
+    fn worker_loop(&self, t: usize, start_gen: u64) {
+        let mut last_gen = start_gen;
         loop {
             let (job, active) = {
                 let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -154,7 +245,7 @@ impl PoolShared {
             }
             let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
             *done += 1;
-            if *done == self.threads {
+            if *done + self.dead.load(Ordering::Acquire) >= self.threads {
                 self.done_cv.notify_all();
             }
         }
@@ -168,7 +259,7 @@ pub struct WorkerPool {
     /// Serializes concurrent `run` callers: the pool executes one job
     /// at a time (the job itself is what's parallel).
     run_lock: Mutex<()>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl WorkerPool {
@@ -187,21 +278,15 @@ impl WorkerPool {
             done_cv: Condvar::new(),
             barrier: SenseBarrier::new(),
             panicked: AtomicBool::new(false),
+            dead: AtomicUsize::new(0),
+            dead_list: Mutex::new(Vec::new()),
             threads,
         });
-        let handles = (0..threads)
-            .map(|t| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("lddp-pool-{t}"))
-                    .spawn(move || shared.worker_loop(t))
-                    .expect("spawning pool worker")
-            })
-            .collect();
+        let handles = (0..threads).map(|t| spawn_worker(&shared, t, 0)).collect();
         WorkerPool {
             shared,
             run_lock: Mutex::new(()),
-            handles,
+            handles: Mutex::new(handles),
         }
     }
 
@@ -224,10 +309,31 @@ impl WorkerPool {
     ///
     /// # Panics
     /// Panics if any worker panicked inside `job` (after all workers
-    /// have unwound — the pool itself stays usable).
+    /// have unwound — the pool itself stays usable) or if the pool has
+    /// dead workers. Use [`WorkerPool::try_run`] for the non-panicking
+    /// form.
     pub fn run(&self, active: usize, job: &(dyn Fn(usize) + Sync)) {
+        match self.try_run(active, job) {
+            Ok(()) => {}
+            Err(PoolError::JobPanicked) => panic!("worker panicked during a pooled run"),
+            Err(e @ PoolError::PoolUnusable { .. }) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`WorkerPool::run`] but reports failure as a value: a
+    /// panicking job yields [`PoolError::JobPanicked`] (and the pool
+    /// stays usable), dead worker threads yield
+    /// [`PoolError::PoolUnusable`] (and the pool refuses jobs until
+    /// [`WorkerPool::heal`] respawns them).
+    pub fn try_run(&self, active: usize, job: &(dyn Fn(usize) + Sync)) -> Result<(), PoolError> {
         let active = active.clamp(1, self.shared.threads);
         let _serialized = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let dead = self.shared.dead.load(Ordering::Acquire);
+        if dead > 0 {
+            // A missing participant would leave live workers spinning
+            // on the barrier forever; refuse up front.
+            return Err(PoolError::PoolUnusable { dead });
+        }
         self.shared.barrier.reset(active);
         self.shared.panicked.store(false, Ordering::Relaxed);
         // SAFETY(lifetime erasure): the raw pointer outlives its use —
@@ -248,15 +354,70 @@ impl WorkerPool {
         }
         {
             let mut done = self.shared.done.lock().unwrap_or_else(|e| e.into_inner());
-            while *done < self.shared.threads {
-                done = self.shared.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+            // Dead workers can never acknowledge; their sentinel bumps
+            // `dead` and wakes us so the sum still completes.
+            while *done + self.shared.dead.load(Ordering::Acquire) < self.shared.threads {
+                done = self
+                    .shared
+                    .done_cv
+                    .wait(done)
+                    .unwrap_or_else(|e| e.into_inner());
             }
             *done = 0;
         }
-        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).job = None;
-        if self.shared.panicked.load(Ordering::Acquire) {
-            panic!("worker panicked during a pooled run");
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .job = None;
+        let dead = self.shared.dead.load(Ordering::Acquire);
+        if dead > 0 {
+            Err(PoolError::PoolUnusable { dead })
+        } else if self.shared.panicked.load(Ordering::Acquire) {
+            Err(PoolError::JobPanicked)
+        } else {
+            Ok(())
         }
+    }
+
+    /// Number of worker threads that have terminated and not yet been
+    /// respawned.
+    pub fn dead_workers(&self) -> usize {
+        self.shared.dead.load(Ordering::Acquire)
+    }
+
+    /// Respawns any dead worker threads, restoring the pool after
+    /// [`PoolError::PoolUnusable`]. Returns how many workers were
+    /// respawned (0 on a healthy pool). Safe to call at any time; jobs
+    /// are excluded while healing runs.
+    pub fn heal(&self) -> usize {
+        let _serialized = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let dead: Vec<usize> = {
+            let mut list = self
+                .shared
+                .dead_list
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            list.drain(..).collect()
+        };
+        if dead.is_empty() {
+            return 0;
+        }
+        // New workers must ignore the generation that was current when
+        // they died, or they would try to run a job that is long gone.
+        let gen = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .generation;
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        for &t in &dead {
+            let old = std::mem::replace(&mut handles[t], spawn_worker(&self.shared, t, gen));
+            let _ = old.join();
+        }
+        self.shared.dead.fetch_sub(dead.len(), Ordering::AcqRel);
+        dead.len()
     }
 }
 
@@ -275,7 +436,8 @@ impl Drop for WorkerPool {
             st.shutdown = true;
             self.shared.job_cv.notify_all();
         }
-        for h in self.handles.drain(..) {
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        for h in handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -387,6 +549,77 @@ mod tests {
             ok.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(ok.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn try_run_reports_job_panic_without_panicking_and_pool_reuses() {
+        let pool = WorkerPool::new(3);
+        let r = pool.try_run(3, &|t| {
+            if t == 2 {
+                panic!("injected");
+            }
+            pool.barrier().wait();
+        });
+        assert_eq!(r, Err(PoolError::JobPanicked));
+        assert_eq!(pool.dead_workers(), 0);
+        // A second solve on the same pool must succeed (satellite
+        // regression: panicking kernel fails the request, not the pool).
+        let ok = AtomicUsize::new(0);
+        assert_eq!(
+            pool.try_run(3, &|_| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            }),
+            Ok(())
+        );
+        assert_eq!(ok.load(Ordering::SeqCst), 3);
+    }
+
+    /// A panic payload whose own `Drop` panics escapes the per-job
+    /// `catch_unwind` and terminates the worker thread — the one way a
+    /// pool worker can actually die.
+    struct DropBomb;
+
+    impl Drop for DropBomb {
+        fn drop(&mut self) {
+            panic!("payload bomb");
+        }
+    }
+
+    #[test]
+    fn dead_worker_is_detected_and_heal_respawns_it() {
+        let pool = WorkerPool::new(3);
+        let r = pool.try_run(3, &|t| {
+            if t == 1 {
+                std::panic::panic_any(DropBomb);
+            }
+            pool.barrier().wait();
+        });
+        assert_eq!(r, Err(PoolError::PoolUnusable { dead: 1 }));
+        assert_eq!(pool.dead_workers(), 1);
+        // Unusable pools refuse further jobs rather than hanging.
+        assert_eq!(
+            pool.try_run(3, &|_| {}),
+            Err(PoolError::PoolUnusable { dead: 1 })
+        );
+        assert_eq!(pool.heal(), 1);
+        assert_eq!(pool.dead_workers(), 0);
+        let ok = AtomicUsize::new(0);
+        assert_eq!(
+            pool.try_run(3, &|_| {
+                ok.fetch_add(1, Ordering::SeqCst);
+                pool.barrier().wait();
+            }),
+            Ok(())
+        );
+        assert_eq!(ok.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn heal_on_a_healthy_pool_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.heal(), 0);
+        pool.run(2, &|_| {});
+        assert_eq!(pool.heal(), 0);
     }
 
     #[test]

@@ -133,11 +133,29 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_ex(stream, status, body, keep_alive, None)
+}
+
+/// [`write_response`] with an optional `Retry-After` header (seconds),
+/// used by 503 rejections from an open circuit breaker to tell clients
+/// when a retry has a chance of succeeding.
+pub fn write_response_ex(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after_s: Option<u64>,
+) -> std::io::Result<()> {
+    let retry = match retry_after_s {
+        Some(s) => format!("Retry-After: {s}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         status,
         status_text(status),
         body.len(),
+        retry,
         if keep_alive { "keep-alive" } else { "close" }
     );
     stream.write_all(head.as_bytes())?;
@@ -159,8 +177,14 @@ impl HttpConnection {
     /// Dials `addr` and applies `timeout` to reads and writes.
     pub fn connect(addr: &str, timeout: Duration) -> Result<HttpConnection, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-        stream.set_read_timeout(Some(timeout)).ok();
-        stream.set_write_timeout(Some(timeout)).ok();
+        // A connection whose timeouts failed to apply would hang forever
+        // on a stalled peer — refuse it rather than limp along unbounded.
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| format!("set read timeout on {addr}: {e}"))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| format!("set write timeout on {addr}: {e}"))?;
         Ok(HttpConnection {
             stream,
             addr: addr.to_string(),
@@ -207,7 +231,9 @@ impl HttpConnection {
             }
         }
         if content_length > MAX_BODY {
-            return Err(format!("response of {content_length} bytes exceeds the cap"));
+            return Err(format!(
+                "response of {content_length} bytes exceeds the cap"
+            ));
         }
         let mut payload = vec![0u8; content_length];
         self.stream
@@ -230,8 +256,12 @@ pub fn request(
     timeout: Duration,
 ) -> Result<(u16, String), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream.set_read_timeout(Some(timeout)).ok();
-    stream.set_write_timeout(Some(timeout)).ok();
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set read timeout on {addr}: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("set write timeout on {addr}: {e}"))?;
     let body = body.unwrap_or("");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -346,6 +376,26 @@ mod tests {
         // The one-shot helper labels itself Connection: close.
         let (status, _) = request(&addr, "GET", "/x", None, Duration::from_secs(5)).unwrap();
         assert_eq!(status, 200);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = read_request(&mut conn).unwrap();
+            write_response_ex(&mut conn, 503, "{}", false, Some(7)).unwrap();
+        });
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"GET /x HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.contains("Retry-After: 7\r\n"), "{text}");
         server.join().unwrap();
     }
 

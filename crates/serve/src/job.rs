@@ -170,6 +170,13 @@ pub enum RejectReason {
     },
     /// The request failed validation (unknown problem, bad size…).
     Invalid(String),
+    /// The backend circuit breaker is open: recent solves failed and the
+    /// server is refusing work until the cool-off elapses.
+    BreakerOpen {
+        /// Suggested client wait before retrying, seconds (also sent as
+        /// the `Retry-After` header).
+        retry_after_s: u64,
+    },
 }
 
 impl RejectReason {
@@ -180,6 +187,7 @@ impl RejectReason {
             RejectReason::ShuttingDown => "shutting_down",
             RejectReason::DeadlineExceeded { .. } => "deadline_exceeded",
             RejectReason::Invalid(_) => "invalid",
+            RejectReason::BreakerOpen { .. } => "breaker_open",
         }
     }
 
@@ -195,6 +203,9 @@ impl RejectReason {
                 deadline_ms,
             } => format!("deadline {deadline_ms} ms exceeded after waiting {waited_ms} ms"),
             RejectReason::Invalid(msg) => msg.clone(),
+            RejectReason::BreakerOpen { retry_after_s } => {
+                format!("backend circuit breaker open; retry after {retry_after_s} s")
+            }
         }
     }
 
@@ -205,6 +216,16 @@ impl RejectReason {
             RejectReason::ShuttingDown => 503,
             RejectReason::DeadlineExceeded { .. } => 504,
             RejectReason::Invalid(_) => 400,
+            RejectReason::BreakerOpen { .. } => 503,
+        }
+    }
+
+    /// The `Retry-After` value (seconds) this rejection should carry,
+    /// when it has one.
+    pub fn retry_after_s(&self) -> Option<u64> {
+        match self {
+            RejectReason::BreakerOpen { retry_after_s } => Some(*retry_after_s),
+            _ => None,
         }
     }
 }
@@ -216,6 +237,18 @@ pub enum ServeError {
     Rejected(RejectReason),
     /// The backend solve itself failed.
     Backend(String),
+    /// The backend solve panicked; the panic was caught and isolated,
+    /// the worker survived, and the client gets a clean 500 instead of
+    /// a dropped connection.
+    Panicked(String),
+    /// The solve finished but blew past the server's watchdog budget;
+    /// the answer is withheld and the breaker is charged.
+    WatchdogTimeout {
+        /// How long the solve actually took, milliseconds.
+        elapsed_ms: u64,
+        /// The configured watchdog budget, milliseconds.
+        watchdog_ms: u64,
+    },
 }
 
 impl ServeError {
@@ -224,6 +257,8 @@ impl ServeError {
         match self {
             ServeError::Rejected(r) => r.code(),
             ServeError::Backend(_) => "backend_error",
+            ServeError::Panicked(_) => "backend_panic",
+            ServeError::WatchdogTimeout { .. } => "watchdog_timeout",
         }
     }
 
@@ -232,14 +267,30 @@ impl ServeError {
         match self {
             ServeError::Rejected(r) => r.message(),
             ServeError::Backend(msg) => msg.clone(),
+            ServeError::Panicked(msg) => format!("backend panicked (isolated): {msg}"),
+            ServeError::WatchdogTimeout {
+                elapsed_ms,
+                watchdog_ms,
+            } => format!("solve took {elapsed_ms} ms, over the {watchdog_ms} ms watchdog budget"),
         }
     }
 
-    /// HTTP status for the wire API (backend failures are 500s).
+    /// HTTP status for the wire API (backend failures and panics are
+    /// 500s; a watchdog overrun is a 504 like any other timeout).
     pub fn http_status(&self) -> u16 {
         match self {
             ServeError::Rejected(r) => r.http_status(),
             ServeError::Backend(_) => 500,
+            ServeError::Panicked(_) => 500,
+            ServeError::WatchdogTimeout { .. } => 504,
+        }
+    }
+
+    /// The `Retry-After` value (seconds) to attach, when any.
+    pub fn retry_after_s(&self) -> Option<u64> {
+        match self {
+            ServeError::Rejected(r) => r.retry_after_s(),
+            _ => None,
         }
     }
 
@@ -277,15 +328,26 @@ pub struct SolveResponse {
     pub batch_size: usize,
     /// Whether the batch's parameters came from the tuner cache.
     pub cache_hit: bool,
+    /// Degradation steps the backend took to produce this answer
+    /// (stable codes such as `bulk_to_scalar`); empty when the solve
+    /// ran at full configuration.
+    pub degraded: Vec<String>,
 }
 
 impl SolveResponse {
     /// The JSON body of a successful `POST /solve`.
     pub fn to_json(&self) -> String {
+        let degraded = self
+            .degraded
+            .iter()
+            .map(|d| format!("\"{}\"", escape(d)))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"id\":{},\"problem\":\"{}\",\"n\":{},\"answer\":\"{}\",\
              \"virtual_ms\":{},\"t_switch\":{},\"t_share\":{},\
-             \"queue_ms\":{},\"solve_ms\":{},\"batch_size\":{},\"cache_hit\":{}}}",
+             \"queue_ms\":{},\"solve_ms\":{},\"batch_size\":{},\"cache_hit\":{},\
+             \"degraded\":[{}]}}",
             self.id,
             escape(&self.problem),
             self.n,
@@ -297,6 +359,7 @@ impl SolveResponse {
             num(self.solve_ms),
             self.batch_size,
             self.cache_hit,
+            degraded,
         )
     }
 
@@ -328,6 +391,18 @@ impl SolveResponse {
                 .get("cache_hit")
                 .and_then(Json::as_bool)
                 .ok_or("missing bool \"cache_hit\"")?,
+            // Absent on responses from servers predating degradation
+            // reporting — treat as "not degraded".
+            degraded: v
+                .get("degraded")
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Json::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default(),
         })
     }
 }
@@ -390,9 +465,20 @@ mod tests {
             solve_ms: 3.75,
             batch_size: 4,
             cache_hit: true,
+            degraded: vec!["bulk_to_scalar".into()],
         };
         let back = SolveResponse::from_json(&resp.to_json()).unwrap();
         assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn degraded_field_is_optional_on_parse() {
+        // A response from a server predating degradation reporting.
+        let old = r#"{"id":1,"problem":"lcs","n":8,"answer":"x","virtual_ms":1,
+                      "t_switch":0,"t_share":0,"queue_ms":0,"solve_ms":1,
+                      "batch_size":1,"cache_hit":false}"#;
+        let parsed = SolveResponse::from_json(old).unwrap();
+        assert!(parsed.degraded.is_empty());
     }
 
     #[test]
@@ -409,6 +495,11 @@ mod tests {
                 504,
             ),
             (RejectReason::Invalid("bad".into()), "invalid", 400),
+            (
+                RejectReason::BreakerOpen { retry_after_s: 2 },
+                "breaker_open",
+                503,
+            ),
         ];
         for (r, code, status) in cases {
             assert_eq!(r.code(), code);
@@ -420,5 +511,25 @@ mod tests {
         let b = ServeError::Backend("boom".into());
         assert_eq!(b.http_status(), 500);
         assert_eq!(b.code(), "backend_error");
+        assert_eq!(b.retry_after_s(), None);
+    }
+
+    #[test]
+    fn panic_and_watchdog_errors_are_clean_5xx() {
+        let p = ServeError::Panicked("kernel bug".into());
+        assert_eq!(p.code(), "backend_panic");
+        assert_eq!(p.http_status(), 500);
+        assert!(p.message().contains("isolated"));
+
+        let w = ServeError::WatchdogTimeout {
+            elapsed_ms: 900,
+            watchdog_ms: 500,
+        };
+        assert_eq!(w.code(), "watchdog_timeout");
+        assert_eq!(w.http_status(), 504);
+        assert!(w.message().contains("900"));
+
+        let open = ServeError::Rejected(RejectReason::BreakerOpen { retry_after_s: 3 });
+        assert_eq!(open.retry_after_s(), Some(3));
     }
 }

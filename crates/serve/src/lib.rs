@@ -20,6 +20,12 @@
 //! - **Graceful shutdown** — `POST /shutdown` (or
 //!   [`Client::shutdown`]) closes admission, drains the queue, answers
 //!   everything in flight, then joins every thread.
+//! - **Fault isolation & degradation** — backend panics are caught per
+//!   solve (the request gets a clean 500, the worker survives), a
+//!   per-solve watchdog turns runaway solves into 504s, and a circuit
+//!   breaker refuses work with 503 + `Retry-After` after consecutive
+//!   backend failures, flipping `/healthz` to `degraded` until a
+//!   half-open probe succeeds. See `docs/ROBUSTNESS.md`.
 //!
 //! The crate is std-only and backend-agnostic: the actual tuning and
 //! solving sit behind [`SolveBackend`], implemented by the umbrella
@@ -36,7 +42,7 @@ pub mod server;
 pub mod stats;
 
 pub use job::{BatchKey, RejectReason, ServeError, SolveRequest, SolveResponse};
-pub use queue::{Job, JobQueue};
+pub use queue::{Job, JobQueue, Popped};
 pub use server::{BackendSolve, Client, ServeConfig, Server, SolveBackend};
 pub use stats::{LatencySummary, ServeStats, StatsSnapshot};
 
@@ -49,12 +55,15 @@ mod tests {
     use std::time::Duration;
 
     /// Deterministic fake backend: answers `"<problem>:<n>"`, counts
-    /// tune calls, and can be slowed down or made to fail.
+    /// tune calls, and can be slowed down, made to fail, made to
+    /// panic, or made to report a degraded solve.
     struct MockBackend {
         tunes: AtomicUsize,
         solves: AtomicUsize,
         solve_delay: Duration,
         fail_problem: Option<&'static str>,
+        panic_problem: Option<&'static str>,
+        degrade_problem: Option<&'static str>,
     }
 
     impl MockBackend {
@@ -64,6 +73,8 @@ mod tests {
                 solves: AtomicUsize::new(0),
                 solve_delay: Duration::ZERO,
                 fail_problem: None,
+                panic_problem: None,
+                degrade_problem: None,
             }
         }
     }
@@ -99,10 +110,19 @@ mod tests {
             if self.fail_problem == Some(req.problem.as_str()) {
                 return Err("kernel exploded".to_string());
             }
+            if self.panic_problem == Some(req.problem.as_str()) {
+                panic!("kernel bug in {}", req.problem);
+            }
+            let degraded = if self.degrade_problem == Some(req.problem.as_str()) {
+                vec!["bulk_to_scalar".to_string()]
+            } else {
+                vec![]
+            };
             Ok(BackendSolve {
                 answer: format!("{}:{}", req.problem, req.n),
                 virtual_ms: 0.5,
                 params,
+                degraded,
             })
         }
     }
@@ -124,7 +144,9 @@ mod tests {
         let backend = MockBackend::new();
         let server = Server::new(ServeConfig::default(), &backend, &NullSink);
         let err = server
-            .run(None, |client| client.solve(SolveRequest::new("unknown", 64)))
+            .run(None, |client| {
+                client.solve(SolveRequest::new("unknown", 64))
+            })
             .unwrap_err();
         assert_eq!(err.code(), "invalid");
         assert_eq!(backend.solves.load(Ordering::SeqCst), 0);
@@ -286,6 +308,124 @@ mod tests {
             );
         }
         assert_eq!(data.counters[lddp_trace::catalog::CTR_COMPLETED], 3);
+    }
+
+    #[test]
+    fn backend_panic_is_isolated_and_worker_survives() {
+        let mut backend = MockBackend::new();
+        backend.panic_problem = Some("boom");
+        let config = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config, &backend, &NullSink);
+        server.run(None, |client| {
+            let err = client.solve(SolveRequest::new("boom", 64)).unwrap_err();
+            assert_eq!(err.code(), "backend_panic");
+            assert_eq!(err.http_status(), 500);
+            assert!(err.message().contains("kernel bug"));
+            // The single worker caught the panic and keeps serving.
+            let ok = client.solve(SolveRequest::new("lcs", 64)).unwrap();
+            assert_eq!(ok.answer, "lcs:64");
+        });
+        let snap = server.snapshot();
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_and_rejects_503() {
+        let mut backend = MockBackend::new();
+        backend.fail_problem = Some("bad");
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            breaker_failure_threshold: 2,
+            breaker_open_ms: 60_000,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config, &backend, &NullSink);
+        server.run(None, |client| {
+            for _ in 0..2 {
+                let err = client.solve(SolveRequest::new("bad", 64)).unwrap_err();
+                assert_eq!(err.code(), "backend_error");
+            }
+            // The breaker is now open: admission refuses with 503 and a
+            // retry hint, and health reports degraded.
+            let err = client.solve(SolveRequest::new("lcs", 64)).unwrap_err();
+            assert_eq!(err.code(), "breaker_open");
+            assert_eq!(err.http_status(), 503);
+            assert!(err.retry_after_s().is_some());
+            let health = client.healthz_json();
+            assert!(health.contains("\"status\":\"degraded\""), "{health}");
+            assert!(health.contains("\"breaker\":\"open\""), "{health}");
+        });
+        let snap = server.snapshot();
+        assert_eq!(snap.breaker_opens, 1);
+        assert!(snap.rejected_breaker >= 1);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probe() {
+        let mut backend = MockBackend::new();
+        backend.fail_problem = Some("bad");
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            breaker_failure_threshold: 1,
+            breaker_open_ms: 30,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config, &backend, &NullSink);
+        server.run(None, |client| {
+            client.solve(SolveRequest::new("bad", 64)).unwrap_err();
+            // Open: immediate refusal.
+            let err = client.solve(SolveRequest::new("lcs", 64)).unwrap_err();
+            assert_eq!(err.code(), "breaker_open");
+            // After the cool-off the half-open probe goes through; its
+            // success closes the breaker again.
+            std::thread::sleep(Duration::from_millis(40));
+            let ok = client.solve(SolveRequest::new("lcs", 64)).unwrap();
+            assert_eq!(ok.answer, "lcs:64");
+            let health = client.healthz_json();
+            assert!(health.contains("\"breaker\":\"closed\""), "{health}");
+        });
+    }
+
+    #[test]
+    fn watchdog_withholds_slow_answers_as_504() {
+        let mut backend = MockBackend::new();
+        backend.solve_delay = Duration::from_millis(25);
+        let config = ServeConfig {
+            workers: 1,
+            watchdog_ms: Some(5),
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config, &backend, &NullSink);
+        server.run(None, |client| {
+            let err = client.solve(SolveRequest::new("lcs", 64)).unwrap_err();
+            assert_eq!(err.code(), "watchdog_timeout");
+            assert_eq!(err.http_status(), 504);
+        });
+        let snap = server.snapshot();
+        assert_eq!(snap.watchdog_timeouts, 1);
+        assert_eq!(snap.completed, 0);
+    }
+
+    #[test]
+    fn degraded_solves_are_reported_and_counted() {
+        let mut backend = MockBackend::new();
+        backend.degrade_problem = Some("wobbly");
+        let server = Server::new(ServeConfig::default(), &backend, &NullSink);
+        server.run(None, |client| {
+            let resp = client.solve(SolveRequest::new("wobbly", 64)).unwrap();
+            assert_eq!(resp.degraded, vec!["bulk_to_scalar".to_string()]);
+            let clean = client.solve(SolveRequest::new("lcs", 64)).unwrap();
+            assert!(clean.degraded.is_empty());
+        });
+        let snap = server.snapshot();
+        assert_eq!(snap.degraded_solves, 1);
+        assert_eq!(snap.completed, 2);
     }
 
     #[test]

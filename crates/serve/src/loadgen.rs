@@ -16,6 +16,7 @@ use crate::http;
 use crate::job::{SolveRequest, SolveResponse};
 use crate::stats::{percentile, LatencySummary};
 use crate::Client;
+use lddp_chaos::RetryPolicy;
 use lddp_trace::json;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -123,6 +124,11 @@ pub struct LoadgenConfig {
     /// Oracle answer: completed responses that disagree count as
     /// `mismatches` (the correctness signal of a run).
     pub expect_answer: Option<String>,
+    /// Retry schedule for transient failures (torn connections,
+    /// breaker rejections, panics, watchdog 504s…). The default is
+    /// [`RetryPolicy::none`]; chaos campaigns use
+    /// [`RetryPolicy::default_serving`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for LoadgenConfig {
@@ -134,6 +140,7 @@ impl Default for LoadgenConfig {
             duration: None,
             concurrency: 4,
             expect_answer: None,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -142,6 +149,8 @@ impl Default for LoadgenConfig {
 struct Tally {
     completed: usize,
     mismatches: usize,
+    retries: usize,
+    recovered: usize,
     by_code: Vec<(String, usize)>,
     total_ms: Vec<f64>,
     queue_ms: Vec<f64>,
@@ -172,6 +181,12 @@ pub struct LoadReport {
     pub errors: usize,
     /// Completed responses whose answer disagreed with the oracle.
     pub mismatches: usize,
+    /// Retry attempts made across the whole run.
+    pub retries: usize,
+    /// Requests that completed only after at least one retry, with the
+    /// final answer passing the oracle check (when one is configured) —
+    /// the "recovered from a transient fault" population.
+    pub recovered: usize,
     /// Per-code breakdown of every non-completed outcome.
     pub by_code: Vec<(String, usize)>,
     /// Run wall clock, seconds.
@@ -188,7 +203,26 @@ pub struct LoadReport {
     pub solve: LatencySummary,
 }
 
-const REJECT_CODES: [&str; 4] = ["queue_full", "shutting_down", "deadline_exceeded", "invalid"];
+const REJECT_CODES: [&str; 5] = [
+    "queue_full",
+    "shutting_down",
+    "deadline_exceeded",
+    "invalid",
+    "breaker_open",
+];
+
+/// Outcomes worth retrying: transient by construction (a retry may see
+/// a healed pool, a closed breaker, or an intact connection). `invalid`
+/// and `deadline_exceeded` are deliberately absent — they would fail
+/// again for the same reason.
+const RETRYABLE_CODES: [&str; 6] = [
+    "transport",
+    "queue_full",
+    "breaker_open",
+    "backend_panic",
+    "backend_error",
+    "watchdog_timeout",
+];
 
 fn summarize(mut samples: Vec<f64>) -> LatencySummary {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -221,6 +255,8 @@ impl LoadReport {
             rejected,
             errors,
             mismatches: tally.mismatches,
+            retries: tally.retries,
+            recovered: tally.recovered,
             by_code: tally.by_code,
             wall_s,
             throughput_rps: if wall_s > 0.0 {
@@ -259,6 +295,7 @@ impl LoadReport {
             .join(",");
         format!(
             "{{\"sent\":{},\"completed\":{},\"rejected\":{},\"errors\":{},\"mismatches\":{},\
+             \"retries\":{},\"recovered\":{},\
              \"outcomes\":{{{}}},\"wall_s\":{},\"throughput_rps\":{},\"rejection_rate\":{},\
              \"latency_ms\":{{\"total\":{},\"queue\":{},\"solve\":{}}}}}",
             self.sent,
@@ -266,6 +303,8 @@ impl LoadReport {
             self.rejected,
             self.errors,
             self.mismatches,
+            self.retries,
+            self.recovered,
             codes,
             json::num(self.wall_s),
             json::num(self.throughput_rps),
@@ -277,23 +316,51 @@ impl LoadReport {
     }
 }
 
-fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>) {
+fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>, seq: usize) {
+    // Each request gets its own jitter stream so concurrent retries
+    // decorrelate instead of thundering back in lockstep.
+    let policy = RetryPolicy {
+        seed: cfg
+            .retry
+            .seed
+            .wrapping_add((seq as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        ..cfg.retry
+    };
     let started = Instant::now();
-    let outcome = target.solve_once(&cfg.request);
+    let mut attempt = 0u32;
+    let mut retries_used = 0usize;
+    let outcome = loop {
+        let r = target.solve_once(&cfg.request);
+        match &r {
+            Err((code, _))
+                if policy.may_retry(attempt) && RETRYABLE_CODES.contains(&code.as_str()) =>
+            {
+                thread::sleep(policy.delay(attempt));
+                attempt += 1;
+                retries_used += 1;
+            }
+            _ => break r,
+        }
+    };
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     let mut t = tally.lock().unwrap();
     t.total_ms.push(elapsed_ms);
+    t.retries += retries_used;
     match outcome {
         Ok(resp) => {
             t.completed += 1;
             t.queue_ms.push(resp.queue_ms);
             t.solve_ms.push(resp.solve_ms);
-            if cfg
+            let mismatch = cfg
                 .expect_answer
                 .as_ref()
-                .is_some_and(|want| *want != resp.answer)
-            {
+                .is_some_and(|want| *want != resp.answer);
+            if mismatch {
                 t.mismatches += 1;
+            } else if retries_used > 0 {
+                // Oracle re-verification of a retried answer: only a
+                // (still-)correct late answer counts as recovered.
+                t.recovered += 1;
             }
         }
         Err((code, _message)) => t.bump_code(&code),
@@ -333,7 +400,7 @@ fn run_closed(
                     next.fetch_sub(1, Ordering::SeqCst);
                     return;
                 }
-                fire(target, cfg, tally);
+                fire(target, cfg, tally, i);
             });
         }
     });
@@ -350,22 +417,21 @@ fn run_open(
     let interval = Duration::from_secs_f64(1.0 / rps.max(1e-3));
     let start = Instant::now();
     let mut sent = 0usize;
-    thread::scope(|s| {
-        loop {
-            if cfg.total > 0 && sent >= cfg.total {
-                break;
-            }
-            let tick = start + interval.mul_f64(sent as f64);
-            if deadline.is_some_and(|d| tick >= d) {
-                break;
-            }
-            let now = Instant::now();
-            if tick > now {
-                thread::sleep(tick - now);
-            }
-            s.spawn(|| fire(target, cfg, tally));
-            sent += 1;
+    thread::scope(|s| loop {
+        if cfg.total > 0 && sent >= cfg.total {
+            break;
         }
+        let tick = start + interval.mul_f64(sent as f64);
+        if deadline.is_some_and(|d| tick >= d) {
+            break;
+        }
+        let now = Instant::now();
+        if tick > now {
+            thread::sleep(tick - now);
+        }
+        let seq = sent;
+        s.spawn(move || fire(target, cfg, tally, seq));
+        sent += 1;
     });
     sent
 }
@@ -397,6 +463,7 @@ mod tests {
                 solve_ms: 2.0,
                 batch_size: 1,
                 cache_hit: false,
+                degraded: vec![],
             })
         }
     }
@@ -465,6 +532,103 @@ mod tests {
         assert!(report.wall_s >= 0.015, "wall_s = {}", report.wall_s);
     }
 
+    /// Fails every first attempt with a retryable code; succeeds on the
+    /// retry. Odd hit numbers are the failures under 2 attempts/request.
+    struct FlakyOnce {
+        answer: String,
+        hits: AtomicUsize,
+        failures: AtomicUsize,
+    }
+
+    impl SolveTarget for FlakyOnce {
+        fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
+            let i = self.hits.fetch_add(1, Ordering::SeqCst);
+            if i % 2 == 0 {
+                self.failures.fetch_add(1, Ordering::SeqCst);
+                return Err(("backend_panic".into(), "injected".into()));
+            }
+            Ok(SolveResponse {
+                id: i as u64,
+                problem: req.problem.clone(),
+                n: req.n,
+                answer: self.answer.clone(),
+                virtual_ms: 1.0,
+                params: lddp_core::schedule::ScheduleParams::new(0, 0),
+                queue_ms: 0.1,
+                solve_ms: 0.2,
+                batch_size: 1,
+                cache_hit: false,
+                degraded: vec![],
+            })
+        }
+    }
+
+    #[test]
+    fn retries_recover_transient_failures_with_oracle_check() {
+        let target = FlakyOnce {
+            answer: "42".into(),
+            hits: AtomicUsize::new(0),
+            failures: AtomicUsize::new(0),
+        };
+        let cfg = LoadgenConfig {
+            total: 10,
+            concurrency: 1, // sequential so the fail/succeed cadence holds
+            expect_answer: Some("42".into()),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_ms: 1,
+                cap_ms: 2,
+                seed: 9,
+            },
+            ..LoadgenConfig::default()
+        };
+        let report = run(&target, &cfg);
+        assert_eq!(report.sent, 10);
+        assert_eq!(report.completed, 10, "every request recovers on retry");
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.retries, 10);
+        assert_eq!(report.recovered, 10);
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(target.failures.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn non_retryable_codes_fail_without_retry() {
+        let target = Canned {
+            answer: "x".into(),
+            fail_every: 1, // every attempt rejects
+            hits: AtomicUsize::new(0),
+        };
+        let mut cfg = LoadgenConfig {
+            total: 5,
+            concurrency: 1,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_ms: 1,
+                cap_ms: 2,
+                seed: 4,
+            },
+            ..LoadgenConfig::default()
+        };
+        // queue_full IS retryable: 5 requests * 3 attempts.
+        let report = run(&target, &cfg);
+        assert_eq!(report.rejected, 5);
+        assert_eq!(report.retries, 10);
+        assert_eq!(target.hits.load(Ordering::SeqCst), 15);
+
+        // deadline_exceeded is not retried.
+        struct AlwaysLate;
+        impl SolveTarget for AlwaysLate {
+            fn solve_once(&self, _req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
+                Err(("deadline_exceeded".into(), "too slow".into()))
+            }
+        }
+        cfg.total = 4;
+        let report = run(&AlwaysLate, &cfg);
+        assert_eq!(report.rejected, 4);
+        assert_eq!(report.retries, 0);
+    }
+
     #[test]
     fn report_json_parses() {
         let target = Canned {
@@ -480,6 +644,8 @@ mod tests {
         let report = run(&target, &cfg);
         let v = json::parse(&report.to_json()).unwrap();
         assert_eq!(v.get("sent").and_then(|j| j.as_f64()), Some(9.0));
+        assert_eq!(v.get("retries").and_then(|j| j.as_f64()), Some(0.0));
+        assert_eq!(v.get("recovered").and_then(|j| j.as_f64()), Some(0.0));
         assert!(v.get("latency_ms").and_then(|j| j.get("total")).is_some());
         assert_eq!(
             v.get("outcomes")

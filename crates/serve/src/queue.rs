@@ -31,6 +31,17 @@ pub struct Job {
     pub tx: mpsc::Sender<Result<SolveResponse, ServeError>>,
 }
 
+/// One dequeue: the live batch to solve plus the jobs shed because
+/// their deadline passed while they sat in the queue.
+#[derive(Debug)]
+pub struct Popped {
+    /// Batch-key-grouped jobs to solve; may be empty when the wake-up
+    /// only shed expired work.
+    pub batch: Vec<Job>,
+    /// Jobs whose deadline expired in the queue, in queue order.
+    pub expired: Vec<Job>,
+}
+
 #[derive(Debug, Default)]
 struct QueueState {
     items: VecDeque<Job>,
@@ -80,11 +91,16 @@ impl JobQueue {
         Ok(depth)
     }
 
-    /// Blocks until work is available, then returns the oldest job plus
-    /// up to `max_batch - 1` other queued jobs sharing its batch key.
-    /// Returns `None` once the queue is closed *and* empty (drain
+    /// Blocks until work is available, then returns the oldest *live*
+    /// job plus up to `max_batch - 1` other queued jobs sharing its
+    /// batch key — and, separately, every queued job whose deadline
+    /// expired while it waited. Expired jobs are shed *here*, at pop
+    /// time, so they never occupy a solve slot; the caller answers them
+    /// with `DeadlineExceeded` (a 504 on the wire) without solving.
+    /// The returned batch may be empty when a wake-up only shed expired
+    /// work. Returns `None` once the queue is closed *and* empty (drain
     /// complete) — the worker-pool exit signal.
-    pub fn pop_batch(&self, max_batch: usize) -> Option<Vec<Job>> {
+    pub fn pop_batch(&self, max_batch: usize) -> Option<Popped> {
         let mut state = self.state.lock().unwrap();
         loop {
             if !state.items.is_empty() {
@@ -94,6 +110,25 @@ impl JobQueue {
                 return None;
             }
             state = self.cv.wait(state).unwrap();
+        }
+        let now = Instant::now();
+        let mut expired = Vec::new();
+        let mut i = 0;
+        while i < state.items.len() {
+            match state.items[i].deadline {
+                Some(d) if d <= now => {
+                    expired.push(state.items.remove(i).expect("index in range"));
+                }
+                _ => i += 1,
+            }
+        }
+        if state.items.is_empty() {
+            // This wake only shed dead work; report it without blocking
+            // so the caller can answer the expired submitters promptly.
+            return Some(Popped {
+                batch: Vec::new(),
+                expired,
+            });
         }
         let leader = state.items.pop_front().expect("non-empty");
         let key = leader.req.batch_key();
@@ -106,7 +141,7 @@ impl JobQueue {
                 idx += 1;
             }
         }
-        Some(batch)
+        Some(Popped { batch, expired })
     }
 
     /// Stops admission (pushes now reject with `ShuttingDown`) and
@@ -132,7 +167,11 @@ mod tests {
     use super::*;
     use lddp_core::schedule::ScheduleParams;
 
-    fn job(id: u64, problem: &str, n: usize) -> (Job, mpsc::Receiver<Result<SolveResponse, ServeError>>) {
+    fn job(
+        id: u64,
+        problem: &str,
+        n: usize,
+    ) -> (Job, mpsc::Receiver<Result<SolveResponse, ServeError>>) {
         let (tx, rx) = mpsc::channel();
         (
             Job {
@@ -171,23 +210,23 @@ mod tests {
         let q = JobQueue::new(16);
         let mut rxs = Vec::new();
         for (id, problem, n) in [
-            (1, "lcs", 100),     // bucket 128
-            (2, "dtw", 100),     // different problem
-            (3, "lcs", 128),     // same bucket as 1
-            (4, "lcs", 300),     // bucket 512 — different
-            (5, "lcs", 70),      // bucket 128 — same as 1
+            (1, "lcs", 100), // bucket 128
+            (2, "dtw", 100), // different problem
+            (3, "lcs", 128), // same bucket as 1
+            (4, "lcs", 300), // bucket 512 — different
+            (5, "lcs", 70),  // bucket 128 — same as 1
         ] {
             let (j, rx) = job(id, problem, n);
             rxs.push(rx);
             q.push(j).unwrap();
         }
-        let batch = q.pop_batch(8).unwrap();
+        let batch = q.pop_batch(8).unwrap().batch;
         let ids: Vec<u64> = batch.iter().map(|j| j.id).collect();
         assert_eq!(ids, vec![1, 3, 5]);
-        let batch = q.pop_batch(8).unwrap();
+        let batch = q.pop_batch(8).unwrap().batch;
         assert_eq!(batch[0].id, 2);
         assert_eq!(batch.len(), 1);
-        let batch = q.pop_batch(8).unwrap();
+        let batch = q.pop_batch(8).unwrap().batch;
         assert_eq!(batch[0].id, 4);
         assert_eq!(q.depth(), 0);
     }
@@ -200,13 +239,13 @@ mod tests {
             std::mem::forget(rx);
             q.push(j).unwrap();
         }
-        assert_eq!(q.pop_batch(4).unwrap().len(), 4);
-        assert_eq!(q.pop_batch(4).unwrap().len(), 2);
+        assert_eq!(q.pop_batch(4).unwrap().batch.len(), 4);
+        assert_eq!(q.pop_batch(4).unwrap().batch.len(), 2);
         // max_batch 0 is treated as 1.
         let (j, rx) = job(9, "lcs", 64);
         std::mem::forget(rx);
         q.push(j).unwrap();
-        assert_eq!(q.pop_batch(0).unwrap().len(), 1);
+        assert_eq!(q.pop_batch(0).unwrap().batch.len(), 1);
     }
 
     #[test]
@@ -217,8 +256,8 @@ mod tests {
         b.req.params = Some(ScheduleParams::new(2, 8));
         q.push(a).unwrap();
         q.push(b).unwrap();
-        assert_eq!(q.pop_batch(8).unwrap().len(), 1);
-        assert_eq!(q.pop_batch(8).unwrap().len(), 1);
+        assert_eq!(q.pop_batch(8).unwrap().batch.len(), 1);
+        assert_eq!(q.pop_batch(8).unwrap().batch.len(), 1);
     }
 
     #[test]
@@ -228,9 +267,96 @@ mod tests {
         q.push(a).unwrap();
         q.close();
         // Still drains the queued job…
-        assert_eq!(q.pop_batch(4).unwrap().len(), 1);
+        assert_eq!(q.pop_batch(4).unwrap().batch.len(), 1);
         // …then reports exhaustion.
         assert!(q.pop_batch(4).is_none());
+    }
+
+    #[test]
+    fn shutdown_during_drain_serves_queued_and_rejects_new() {
+        let q = JobQueue::new(8);
+        let mut rxs = Vec::new();
+        for id in 0..5 {
+            let (j, rx) = job(id, "lcs", 64);
+            rxs.push(rx);
+            q.push(j).unwrap();
+        }
+        q.close();
+        // New work is refused mid-drain…
+        let (late, _rl) = job(99, "lcs", 64);
+        let (_, reason) = q.push(late).unwrap_err();
+        assert_eq!(reason, RejectReason::ShuttingDown);
+        // …while everything already admitted still drains, in order,
+        // with nothing lost and nothing duplicated.
+        let mut drained = Vec::new();
+        while let Some(p) = q.pop_batch(2) {
+            assert!(p.expired.is_empty());
+            drained.extend(p.batch.into_iter().map(|j| j.id));
+        }
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_at_pop_without_occupying_the_batch() {
+        let q = JobQueue::new(8);
+        let (mut dead, _rd) = job(1, "lcs", 64);
+        dead.deadline = Some(Instant::now());
+        let (live, _rl) = job(2, "lcs", 64);
+        q.push(dead).unwrap();
+        q.push(live).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let p = q.pop_batch(8).unwrap();
+        assert_eq!(p.expired.len(), 1);
+        assert_eq!(p.expired[0].id, 1);
+        assert_eq!(p.batch.len(), 1);
+        assert_eq!(p.batch[0].id, 2);
+    }
+
+    #[test]
+    fn all_expired_pop_returns_empty_batch_not_a_block() {
+        let q = JobQueue::new(8);
+        let (mut dead, _rd) = job(7, "lcs", 64);
+        dead.deadline = Some(Instant::now());
+        q.push(dead).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let p = q.pop_batch(8).unwrap();
+        assert!(p.batch.is_empty());
+        assert_eq!(p.expired.len(), 1);
+        assert_eq!(q.depth(), 0);
+    }
+
+    // Deterministic sweep standing in for a property test: across a
+    // mixed population of expired and live jobs, every job comes out
+    // exactly once, expired ones only via the shed path and live ones
+    // only via batches.
+    #[test]
+    fn deadline_sweep_conserves_jobs_and_separates_populations() {
+        let q = JobQueue::new(64);
+        let mut rxs = Vec::new();
+        for id in 0..32u64 {
+            // Vary problems so batching has real grouping work to do.
+            let problem = ["lcs", "dtw", "sw"][(id % 3) as usize];
+            let (mut j, rx) = job(id, problem, 64 + (id as usize % 4) * 64);
+            if id % 2 == 0 {
+                j.deadline = Some(Instant::now());
+            }
+            rxs.push(rx);
+            q.push(j).unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        q.close();
+        let (mut shed, mut solved) = (Vec::new(), Vec::new());
+        while let Some(p) = q.pop_batch(3) {
+            shed.extend(p.expired.into_iter().map(|j| j.id));
+            solved.extend(p.batch.into_iter().map(|j| j.id));
+        }
+        shed.sort_unstable();
+        solved.sort_unstable();
+        let evens: Vec<u64> = (0..32).filter(|i| i % 2 == 0).collect();
+        let odds: Vec<u64> = (0..32).filter(|i| i % 2 == 1).collect();
+        assert_eq!(shed, evens, "every expired job shed exactly once");
+        assert_eq!(solved, odds, "every live job batched exactly once");
     }
 
     #[test]

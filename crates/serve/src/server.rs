@@ -24,7 +24,12 @@
 //!     }
 //!     fn solve(&self, req: &SolveRequest, params: ScheduleParams, _sink: &dyn TraceSink)
 //!         -> Result<BackendSolve, String> {
-//!         Ok(BackendSolve { answer: format!("echo {}", req.n), virtual_ms: 0.1, params })
+//!         Ok(BackendSolve {
+//!             answer: format!("echo {}", req.n),
+//!             virtual_ms: 0.1,
+//!             params,
+//!             degraded: vec![],
+//!         })
 //!     }
 //! }
 //!
@@ -39,10 +44,12 @@ use crate::http;
 use crate::job::{RejectReason, ServeError, SolveRequest, SolveResponse};
 use crate::queue::{Job, JobQueue};
 use crate::stats::{ServeStats, StatsSnapshot};
+use lddp_chaos::{BreakerConfig, BreakerState, CircuitBreaker, FaultInjector};
 use lddp_core::schedule::ScheduleParams;
 use lddp_trace::{catalog, tracks, Span, TraceSink};
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
 use std::thread;
@@ -60,6 +67,16 @@ pub struct ServeConfig {
     /// Deadline applied to requests that don't carry their own,
     /// milliseconds (`None` = wait forever).
     pub default_deadline_ms: Option<u64>,
+    /// Per-solve watchdog budget, milliseconds: a solve that takes
+    /// longer gets its answer withheld and a 504, and charges the
+    /// circuit breaker (`None` = no watchdog).
+    pub watchdog_ms: Option<u64>,
+    /// Consecutive backend failures (errors, panics, watchdog
+    /// overruns) that trip the circuit breaker open.
+    pub breaker_failure_threshold: usize,
+    /// How long a tripped breaker stays open before probing again,
+    /// milliseconds.
+    pub breaker_open_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +86,9 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             max_batch: 8,
             default_deadline_ms: None,
+            watchdog_ms: None,
+            breaker_failure_threshold: 5,
+            breaker_open_ms: 2000,
         }
     }
 }
@@ -82,6 +102,9 @@ pub struct BackendSolve {
     pub virtual_ms: f64,
     /// The parameters actually executed (post-clamping).
     pub params: ScheduleParams,
+    /// Degradation steps taken to produce this answer (stable codes
+    /// such as `bulk_to_scalar`); empty for a full-configuration solve.
+    pub degraded: Vec<String>,
 }
 
 /// The pluggable solving side of the server.
@@ -122,6 +145,8 @@ pub struct Server<'a> {
     sink: &'a (dyn TraceSink + Sync),
     queue: JobQueue,
     stats: ServeStats,
+    breaker: CircuitBreaker,
+    injector: Option<&'a (dyn FaultInjector + 'a)>,
     epoch: Instant,
     next_id: AtomicU64,
     in_flight: AtomicUsize,
@@ -138,12 +163,19 @@ impl<'a> Server<'a> {
         sink: &'a (dyn TraceSink + Sync + 'a),
     ) -> Server<'a> {
         let queue = JobQueue::new(config.queue_capacity);
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: config.breaker_failure_threshold as u32,
+            open_for: Duration::from_millis(config.breaker_open_ms),
+            half_open_probes: 1,
+        });
         Server {
             config,
             backend,
             sink,
             queue,
             stats: ServeStats::new(),
+            breaker,
+            injector: None,
             epoch: Instant::now(),
             next_id: AtomicU64::new(1),
             in_flight: AtomicUsize::new(0),
@@ -152,11 +184,30 @@ impl<'a> Server<'a> {
         }
     }
 
+    /// [`Server::new`] plus a fault injector for chaos campaigns: the
+    /// server draws torn/slow connections at accept time and queue
+    /// stalls at dequeue time from it. Production servers never attach
+    /// one — the hooks cost nothing when absent.
+    pub fn with_injector(
+        config: ServeConfig,
+        backend: &'a (dyn SolveBackend + 'a),
+        sink: &'a (dyn TraceSink + Sync + 'a),
+        injector: &'a (dyn FaultInjector + 'a),
+    ) -> Server<'a> {
+        let mut server = Server::new(config, backend, sink);
+        server.injector = Some(injector);
+        server
+    }
+
     /// Runs the worker pool (and, with a listener, the HTTP front end),
     /// executes `body` with an in-process [`Client`], then shuts down
     /// gracefully: admission closes, queued jobs drain, every thread
     /// joins. `body`'s return value is passed through.
-    pub fn run<R>(&self, listener: Option<TcpListener>, body: impl FnOnce(&Client<'_, 'a>) -> R) -> R {
+    pub fn run<R>(
+        &self,
+        listener: Option<TcpListener>,
+        body: impl FnOnce(&Client<'_, 'a>) -> R,
+    ) -> R {
         thread::scope(|s| {
             for idx in 0..self.config.workers.max(1) {
                 s.spawn(move || self.worker_loop(idx));
@@ -212,6 +263,15 @@ impl<'a> Server<'a> {
             }
             return Err(RejectReason::Invalid(msg));
         }
+        if let Err(wait) = self.breaker.allow() {
+            self.stats.rejected_breaker.fetch_add(1, Ordering::Relaxed);
+            if self.sink.enabled() {
+                self.sink.count(catalog::CTR_REJECTED_BREAKER, 1);
+            }
+            return Err(RejectReason::BreakerOpen {
+                retry_after_s: wait.as_secs().max(1),
+            });
+        }
         if req.deadline_ms.is_none() {
             req.deadline_ms = self.config.default_deadline_ms;
         }
@@ -243,7 +303,10 @@ impl<'a> Server<'a> {
                     RejectReason::QueueFull { .. } => {
                         (&self.stats.rejected_full, catalog::CTR_REJECTED_FULL)
                     }
-                    _ => (&self.stats.rejected_shutdown, catalog::CTR_REJECTED_SHUTDOWN),
+                    _ => (
+                        &self.stats.rejected_shutdown,
+                        catalog::CTR_REJECTED_SHUTDOWN,
+                    ),
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
                 if self.sink.enabled() {
@@ -257,9 +320,44 @@ impl<'a> Server<'a> {
     // ---- workers ---------------------------------------------------
 
     fn worker_loop(&self, idx: usize) {
-        while let Some(batch) = self.queue.pop_batch(self.config.max_batch) {
-            self.in_flight.fetch_add(batch.len(), Ordering::SeqCst);
-            self.process_batch(idx, batch);
+        while let Some(popped) = self.queue.pop_batch(self.config.max_batch) {
+            // Injected queue stall: the worker sits on its batch, so
+            // queued deadlines keep ticking — exactly the failure a
+            // stalled dequeue path produces.
+            if let Some(inj) = self.injector {
+                if let Some(stall) = inj.queue_stall() {
+                    thread::sleep(stall);
+                }
+            }
+            self.in_flight
+                .fetch_add(popped.batch.len() + popped.expired.len(), Ordering::SeqCst);
+            // Jobs shed at pop time: answer 504 without a solve slot.
+            for job in popped.expired {
+                let waited = job.enqueued.elapsed();
+                self.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                if self.sink.enabled() {
+                    self.sink.count(catalog::CTR_REJECTED_DEADLINE, 1);
+                }
+                let reason = RejectReason::DeadlineExceeded {
+                    waited_ms: waited.as_millis() as u64,
+                    deadline_ms: job.req.deadline_ms.unwrap_or(0),
+                };
+                self.finish_job(job, Err(ServeError::Rejected(reason)));
+            }
+            if !popped.batch.is_empty() {
+                self.process_batch(idx, popped.batch);
+            }
+        }
+    }
+
+    /// Charges one backend failure to the circuit breaker, recording
+    /// the trip when this one pushes it open.
+    fn record_backend_failure(&self) {
+        if self.breaker.record_failure() {
+            self.stats.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            if self.sink.enabled() {
+                self.sink.count(catalog::CTR_BREAKER_OPEN, 1);
+            }
         }
     }
 
@@ -321,10 +419,14 @@ impl<'a> Server<'a> {
             sink.observe(catalog::HIST_BATCH_SIZE, batch_size as f64);
         }
 
-        // One tune per batch — the cached §V-A artifact.
-        let (params, cache_hit) = match self.backend.tune(&live[0].0.req, sink) {
-            Ok(x) => x,
-            Err(msg) => {
+        // One tune per batch — the cached §V-A artifact. A panicking
+        // tuner is isolated exactly like a panicking solve: the batch
+        // gets clean 500s and the worker thread survives.
+        let tuned = catch_unwind(AssertUnwindSafe(|| self.backend.tune(&live[0].0.req, sink)));
+        let (params, cache_hit) = match tuned {
+            Ok(Ok(x)) => x,
+            Ok(Err(msg)) => {
+                self.record_backend_failure();
                 self.stats
                     .errors
                     .fetch_add(batch_size as u64, Ordering::Relaxed);
@@ -333,6 +435,20 @@ impl<'a> Server<'a> {
                 }
                 for (job, _) in live {
                     self.finish_job(job, Err(ServeError::Backend(msg.clone())));
+                }
+                return;
+            }
+            Err(payload) => {
+                let msg = panic_text(payload.as_ref());
+                self.record_backend_failure();
+                self.stats
+                    .panics
+                    .fetch_add(batch_size as u64, Ordering::Relaxed);
+                if sink.enabled() {
+                    sink.count(catalog::CTR_PANICS, batch_size as u64);
+                }
+                for (job, _) in live {
+                    self.finish_job(job, Err(ServeError::Panicked(msg.clone())));
                 }
                 return;
             }
@@ -349,7 +465,9 @@ impl<'a> Server<'a> {
 
         for (job, waited) in live {
             let solve_start = Instant::now();
-            let result = self.backend.solve(&job.req, params, sink);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                self.backend.solve(&job.req, params, sink)
+            }));
             let solve_end = Instant::now();
             let solve = solve_end.duration_since(solve_start);
             if sink.enabled() {
@@ -365,10 +483,38 @@ impl<'a> Server<'a> {
                     .with_arg("n", job.req.n),
                 );
             }
-            match result {
-                Ok(done) => {
+            let elapsed_ms = solve.as_millis() as u64;
+            let overran = self
+                .config
+                .watchdog_ms
+                .is_some_and(|budget| elapsed_ms > budget);
+            match caught {
+                Ok(Ok(_)) | Ok(Err(_)) if overran => {
+                    // The solve came back (either way) but blew the
+                    // watchdog budget: withhold the answer, answer 504,
+                    // and charge the breaker — a backend this slow is
+                    // as unhealthy as a failing one.
+                    self.record_backend_failure();
+                    self.stats.watchdog_timeouts.fetch_add(1, Ordering::Relaxed);
+                    if sink.enabled() {
+                        sink.count(catalog::CTR_WATCHDOG, 1);
+                    }
+                    let err = ServeError::WatchdogTimeout {
+                        elapsed_ms,
+                        watchdog_ms: self.config.watchdog_ms.unwrap_or(0),
+                    };
+                    self.finish_job(job, Err(err));
+                }
+                Ok(Ok(done)) => {
+                    self.breaker.record_success();
                     let total = solve_end.duration_since(job.enqueued);
                     self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    if !done.degraded.is_empty() {
+                        self.stats.degraded_solves.fetch_add(1, Ordering::Relaxed);
+                        if sink.enabled() {
+                            sink.count(catalog::CTR_DEGRADED, 1);
+                        }
+                    }
                     self.stats.record_latency(
                         total.as_secs_f64() * 1e3,
                         waited.as_secs_f64() * 1e3,
@@ -389,15 +535,26 @@ impl<'a> Server<'a> {
                         solve_ms: solve.as_secs_f64() * 1e3,
                         batch_size,
                         cache_hit,
+                        degraded: done.degraded,
                     };
                     self.finish_job(job, Ok(resp));
                 }
-                Err(msg) => {
+                Ok(Err(msg)) => {
+                    self.record_backend_failure();
                     self.stats.errors.fetch_add(1, Ordering::Relaxed);
                     if sink.enabled() {
                         sink.count(catalog::CTR_ERRORS, 1);
                     }
                     self.finish_job(job, Err(ServeError::Backend(msg)));
+                }
+                Err(payload) => {
+                    let msg = panic_text(payload.as_ref());
+                    self.record_backend_failure();
+                    self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    if sink.enabled() {
+                        sink.count(catalog::CTR_PANICS, 1);
+                    }
+                    self.finish_job(job, Err(ServeError::Panicked(msg)));
                 }
             }
         }
@@ -457,66 +614,96 @@ impl<'a> Server<'a> {
                     return;
                 }
             };
+            // Injected connection faults, drawn per request: a torn
+            // connection drops the socket after reading (the client
+            // sees a reset mid-exchange and must retry); a slow one
+            // stalls before answering.
+            if let Some(inj) = self.injector {
+                if inj.torn_connection() {
+                    return;
+                }
+                if let Some(delay) = inj.slow_connection() {
+                    thread::sleep(delay);
+                }
+            }
             // /shutdown drains the server; don't hold its connection open.
             let keep = req.keep_alive && req.path != "/shutdown" && !self.is_shutdown();
-            let (status, body) = self.route(&req);
-            if http::write_response(&mut stream, status, &body, keep).is_err() || !keep {
+            let (status, body, retry_after_s) = self.route(&req);
+            let wrote = http::write_response_ex(&mut stream, status, &body, keep, retry_after_s);
+            if wrote.is_err() || !keep {
                 return;
             }
         }
     }
 
-    /// Routes one parsed request to `(status, json_body)`.
-    fn route(&self, req: &http::HttpRequest) -> (u16, String) {
+    /// Routes one parsed request to `(status, json_body, retry_after)`.
+    fn route(&self, req: &http::HttpRequest) -> (u16, String, Option<u64>) {
+        let err = |e: ServeError| (e.http_status(), e.to_json(), e.retry_after_s());
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/solve") => match SolveRequest::from_json(&req.body) {
                 Err(msg) => {
                     self.stats.rejected_invalid.fetch_add(1, Ordering::Relaxed);
-                    let e = ServeError::Rejected(RejectReason::Invalid(msg));
-                    (e.http_status(), e.to_json())
+                    err(ServeError::Rejected(RejectReason::Invalid(msg)))
                 }
                 Ok(sreq) => match self.submit(sreq) {
-                    Err(reason) => {
-                        let e = ServeError::Rejected(reason);
-                        (e.http_status(), e.to_json())
-                    }
+                    Err(reason) => err(ServeError::Rejected(reason)),
                     Ok(rx) => match rx.recv() {
-                        Ok(Ok(resp)) => (200, resp.to_json()),
-                        Ok(Err(e)) => (e.http_status(), e.to_json()),
-                        Err(_) => {
-                            let e = ServeError::Backend("worker dropped the request".into());
-                            (e.http_status(), e.to_json())
-                        }
+                        Ok(Ok(resp)) => (200, resp.to_json(), None),
+                        Ok(Err(e)) => err(e),
+                        Err(_) => err(ServeError::Backend("worker dropped the request".into())),
                     },
                 },
             },
-            ("GET", "/healthz") => (200, self.healthz_json()),
-            ("GET", "/stats") => (200, self.snapshot().to_json()),
+            ("GET", "/healthz") => (200, self.healthz_json(), None),
+            ("GET", "/stats") => (200, self.snapshot().to_json(), None),
             ("POST", "/shutdown") => {
                 self.initiate_shutdown();
-                (200, "{\"status\":\"draining\"}".to_string())
+                (200, "{\"status\":\"draining\"}".to_string(), None)
             }
             (_, "/solve" | "/healthz" | "/stats" | "/shutdown") => (
                 405,
                 "{\"error\":\"method_not_allowed\",\"message\":\"wrong method for this path\"}"
                     .to_string(),
+                None,
             ),
             _ => (
                 404,
                 "{\"error\":\"not_found\",\"message\":\"unknown path\"}".to_string(),
+                None,
             ),
         }
     }
 
     fn healthz_json(&self) -> String {
         let draining = !self.queue.is_open();
+        let breaker = self.breaker.state();
+        let status = if draining {
+            "draining"
+        } else if breaker != BreakerState::Closed {
+            "degraded"
+        } else {
+            "ok"
+        };
         format!(
-            "{{\"status\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"workers\":{}}}",
-            if draining { "draining" } else { "ok" },
+            "{{\"status\":\"{}\",\"breaker\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"workers\":{}}}",
+            status,
+            breaker.name(),
             self.queue.depth(),
             self.in_flight.load(Ordering::Relaxed),
             self.config.workers.max(1),
         )
+    }
+}
+
+/// Best-effort text of a caught panic payload (the common `&str` /
+/// `String` cases; anything else gets a placeholder).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

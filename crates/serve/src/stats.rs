@@ -58,6 +58,11 @@ pub struct ServeStats {
     pub(crate) rejected_shutdown: AtomicU64,
     pub(crate) rejected_deadline: AtomicU64,
     pub(crate) rejected_invalid: AtomicU64,
+    pub(crate) rejected_breaker: AtomicU64,
+    pub(crate) panics: AtomicU64,
+    pub(crate) watchdog_timeouts: AtomicU64,
+    pub(crate) breaker_opens: AtomicU64,
+    pub(crate) degraded_solves: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_jobs: AtomicU64,
     pub(crate) tune_hits: AtomicU64,
@@ -103,6 +108,11 @@ impl ServeStats {
             rejected_shutdown: g(&self.rejected_shutdown),
             rejected_deadline: g(&self.rejected_deadline),
             rejected_invalid: g(&self.rejected_invalid),
+            rejected_breaker: g(&self.rejected_breaker),
+            panics: g(&self.panics),
+            watchdog_timeouts: g(&self.watchdog_timeouts),
+            breaker_opens: g(&self.breaker_opens),
+            degraded_solves: g(&self.degraded_solves),
             batches: g(&self.batches),
             batched_jobs: g(&self.batched_jobs),
             tune_hits: g(&self.tune_hits),
@@ -162,6 +172,16 @@ pub struct StatsSnapshot {
     pub rejected_deadline: u64,
     /// Rejections: invalid request.
     pub rejected_invalid: u64,
+    /// Rejections: circuit breaker open.
+    pub rejected_breaker: u64,
+    /// Backend panics caught and isolated (each answered with a 500).
+    pub panics: u64,
+    /// Solves withheld for blowing the watchdog budget.
+    pub watchdog_timeouts: u64,
+    /// Circuit-breaker trips (→ open).
+    pub breaker_opens: u64,
+    /// Solves that succeeded only after degradation.
+    pub degraded_solves: u64,
     /// Batches executed.
     pub batches: u64,
     /// Jobs that rode in those batches.
@@ -187,7 +207,11 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     /// Total rejections across reasons.
     pub fn rejected(&self) -> u64 {
-        self.rejected_full + self.rejected_shutdown + self.rejected_deadline + self.rejected_invalid
+        self.rejected_full
+            + self.rejected_shutdown
+            + self.rejected_deadline
+            + self.rejected_invalid
+            + self.rejected_breaker
     }
 
     /// Mean jobs per executed batch.
@@ -203,7 +227,8 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"accepted\":{},\"completed\":{},\"errors\":{},\
-             \"rejected\":{{\"queue_full\":{},\"shutting_down\":{},\"deadline\":{},\"invalid\":{}}},\
+             \"rejected\":{{\"queue_full\":{},\"shutting_down\":{},\"deadline\":{},\"invalid\":{},\"breaker_open\":{}}},\
+             \"faults\":{{\"panics\":{},\"watchdog_timeouts\":{},\"breaker_opens\":{},\"degraded_solves\":{}}},\
              \"batches\":{},\"mean_batch_size\":{},\
              \"tuner_cache\":{{\"hits\":{},\"misses\":{}}},\
              \"queue_depth\":{},\"in_flight\":{},\"draining\":{},\
@@ -215,6 +240,11 @@ impl StatsSnapshot {
             self.rejected_shutdown,
             self.rejected_deadline,
             self.rejected_invalid,
+            self.rejected_breaker,
+            self.panics,
+            self.watchdog_timeouts,
+            self.breaker_opens,
+            self.degraded_solves,
             self.batches,
             num(self.mean_batch_size()),
             self.tune_hits,
@@ -267,6 +297,22 @@ mod tests {
                 .get("queue_full")
                 .and_then(|j| j.as_f64()),
             Some(1.0)
+        );
+        let faults = v.get("faults").expect("faults object");
+        for key in [
+            "panics",
+            "watchdog_timeouts",
+            "breaker_opens",
+            "degraded_solves",
+        ] {
+            assert!(faults.get(key).and_then(|j| j.as_f64()).is_some(), "{key}");
+        }
+        assert_eq!(
+            v.get("rejected")
+                .unwrap()
+                .get("breaker_open")
+                .and_then(|j| j.as_f64()),
+            Some(0.0)
         );
     }
 

@@ -211,10 +211,7 @@ mod tests {
     fn empty_data_still_valid() {
         let text = to_chrome_json(&TraceData::default());
         let doc = json::parse(&text).unwrap();
-        assert_eq!(
-            doc.get("traceEvents").unwrap().as_arr().unwrap().len(),
-            0
-        );
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
     }
 
     #[test]

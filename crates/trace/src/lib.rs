@@ -142,6 +142,19 @@ pub mod catalog {
     pub const CTR_TUNE_HIT: &str = "serve.tuner_cache.hit";
     /// Counter: tuner-cache misses (a fresh tune ran).
     pub const CTR_TUNE_MISS: &str = "serve.tuner_cache.miss";
+    /// Counter: requests rejected because the circuit breaker was open.
+    pub const CTR_REJECTED_BREAKER: &str = "serve.rejected.breaker_open";
+    /// Counter: backend panics caught and isolated (request got a 500,
+    /// the worker survived).
+    pub const CTR_PANICS: &str = "serve.panics";
+    /// Counter: solves whose answer was withheld because they blew the
+    /// watchdog budget.
+    pub const CTR_WATCHDOG: &str = "serve.watchdog_timeouts";
+    /// Counter: circuit-breaker trips (closed/half-open → open).
+    pub const CTR_BREAKER_OPEN: &str = "serve.breaker.opens";
+    /// Counter: solves that succeeded only after degradation (see
+    /// `docs/ROBUSTNESS.md` for the ladder).
+    pub const CTR_DEGRADED: &str = "serve.degraded";
     /// Sample series: queue depth after each admission/dequeue.
     pub const SMP_QUEUE_DEPTH: &str = "serve.queue_depth";
     /// Histogram: end-to-end request latency, seconds.

@@ -53,7 +53,9 @@ pub fn to_jsonl(data: &TraceData) -> String {
     // Span aggregates per (pid, name).
     let mut totals: BTreeMap<(u32, String), (u64, f64)> = BTreeMap::new();
     for s in &data.spans {
-        let entry = totals.entry((s.track.pid, s.name.clone())).or_insert((0, 0.0));
+        let entry = totals
+            .entry((s.track.pid, s.name.clone()))
+            .or_insert((0, 0.0));
         entry.0 += 1;
         entry.1 += s.dur_s;
     }

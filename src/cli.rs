@@ -15,6 +15,8 @@
 //!                  [--max-batch B] [--deadline-ms D] [--trace serve.trace.json]
 //! lddp-cli loadgen --problem lcs --requests 500 [--addr HOST:PORT]
 //!                  [--rps R] [--duration S] [--concurrency C] [--no-verify]
+//!                  [--retries A]
+//! lddp-cli chaos   [--seed S] [--campaign quick|heavy] [--out report.json]
 //! ```
 //!
 //! `trace` writes a Chrome trace-event JSON timeline (loadable in
@@ -23,16 +25,21 @@
 //! the batching solve server (see docs/SERVING.md) and `loadgen` drives
 //! it — over HTTP when `--addr` is given, against an in-process server
 //! otherwise — checking every answer against the sequential oracle
-//! unless `--no-verify` is passed.
+//! unless `--no-verify` is passed. `chaos` runs a seeded fault-injection
+//! campaign across the engine ladder, the hetero executor, and the
+//! serving stack (see docs/ROBUSTNESS.md), failing loudly when any
+//! recovered answer diverges from the oracle.
 
 use crate::platforms::{hetero_high, hetero_low, Platform};
 use crate::{Framework, PhaseStat};
 use hetero_sim::report::{utilization, Utilization};
+use lddp_chaos::{FaultInjector, FaultPlan, FaultPlanConfig, RetryPolicy};
 use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::Grid;
 use lddp_core::kernel::Kernel;
 use lddp_core::pattern::classify;
 use lddp_core::schedule::{PhaseKind, ScheduleParams};
+use lddp_core::DegradeStep;
 use lddp_problems as problems;
 use lddp_serve::loadgen::{HttpTarget, LoadgenConfig};
 use lddp_serve::{ServeConfig, Server, SolveRequest};
@@ -122,6 +129,8 @@ pub enum Command {
         max_batch: usize,
         /// Default per-request deadline, milliseconds.
         deadline_ms: Option<u64>,
+        /// Per-solve watchdog budget, milliseconds.
+        watchdog_ms: Option<u64>,
         /// Optional path for a Chrome trace of the whole serve run,
         /// written at shutdown.
         trace: Option<String>,
@@ -149,12 +158,23 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Skip the sequential-oracle answer check.
         no_verify: bool,
+        /// Attempts per request (1 = no retries).
+        retries: u32,
     },
     /// Quick wall-clock benchmark of the real thread engine.
     Bench {
         /// Instance side per problem.
         n: usize,
         /// Optional JSON output path (also printed to stdout).
+        out: Option<String>,
+    },
+    /// Run a seeded fault-injection campaign (see docs/ROBUSTNESS.md).
+    Chaos {
+        /// Seed for the deterministic fault plan.
+        seed: u64,
+        /// Campaign intensity: `quick` or `heavy`.
+        campaign: String,
+        /// Optional JSON report output path (also printed to stdout).
         out: Option<String>,
     },
     /// Print usage.
@@ -206,6 +226,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut no_verify = false;
     let mut trace_out = None;
     let mut quick = false;
+    let mut watchdog_ms = None;
+    let mut retries = None;
+    let mut seed = None;
+    let mut campaign = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--set" => {
@@ -261,15 +285,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             "--queue-cap" => {
                 let v = it.next().ok_or("--queue-cap needs a number")?;
-                queue_cap = Some(v.parse::<usize>().map_err(|e| format!("--queue-cap: {e}"))?);
+                queue_cap = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("--queue-cap: {e}"))?,
+                );
             }
             "--max-batch" => {
                 let v = it.next().ok_or("--max-batch needs a number")?;
-                max_batch = Some(v.parse::<usize>().map_err(|e| format!("--max-batch: {e}"))?);
+                max_batch = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("--max-batch: {e}"))?,
+                );
             }
             "--deadline-ms" => {
                 let v = it.next().ok_or("--deadline-ms needs a number")?;
-                deadline_ms = Some(v.parse::<u64>().map_err(|e| format!("--deadline-ms: {e}"))?);
+                deadline_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
             }
             "--requests" => {
                 let v = it.next().ok_or("--requests needs a number")?;
@@ -293,11 +326,39 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             "--concurrency" => {
                 let v = it.next().ok_or("--concurrency needs a number")?;
-                concurrency =
-                    Some(v.parse::<usize>().map_err(|e| format!("--concurrency: {e}"))?);
+                concurrency = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("--concurrency: {e}"))?,
+                );
             }
             "--no-verify" => no_verify = true,
             "--quick" => quick = true,
+            "--watchdog-ms" => {
+                let v = it.next().ok_or("--watchdog-ms needs a number")?;
+                watchdog_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("--watchdog-ms: {e}"))?,
+                );
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a number")?;
+                let r = v.parse::<u32>().map_err(|e| format!("--retries: {e}"))?;
+                if r == 0 {
+                    return Err("--retries counts attempts and must be at least 1".into());
+                }
+                retries = Some(r);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                seed = Some(v.parse::<u64>().map_err(|e| format!("--seed: {e}"))?);
+            }
+            "--campaign" => {
+                let v = it.next().ok_or("--campaign needs quick|heavy")?;
+                if v != "quick" && v != "heavy" {
+                    return Err(format!("unknown campaign '{v}'; expected quick or heavy"));
+                }
+                campaign = Some(v.clone());
+            }
             "--trace" => {
                 let v = it.next().ok_or("--trace needs a file path")?;
                 trace_out = Some(v.clone());
@@ -360,6 +421,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             queue_cap: queue_cap.unwrap_or(256),
             max_batch: max_batch.unwrap_or(8),
             deadline_ms,
+            watchdog_ms,
             trace: trace_out,
         }),
         "loadgen" => {
@@ -378,6 +440,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 concurrency: concurrency.unwrap_or(4),
                 deadline_ms,
                 no_verify,
+                retries: retries.unwrap_or(1),
             })
         }
         "bench" => {
@@ -393,6 +456,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 out,
             })
         }
+        "chaos" => Ok(Command::Chaos {
+            seed: seed.unwrap_or(42),
+            campaign: campaign.unwrap_or_else(|| "quick".to_string()),
+            out,
+        }),
         other => Err(format!("unknown command '{other}'; try help")),
     }
 }
@@ -440,17 +508,22 @@ pub fn usage() -> String {
          \x20                  [--t-switch X] [--t-share Y]\n\
          \x20                  [--out trace.json] [--metrics metrics.jsonl]\n\
          \x20 lddp-cli serve   [--addr host:port] [--workers W] [--queue-cap Q]\n\
-         \x20                  [--max-batch B] [--deadline-ms D] [--trace serve.trace.json]\n\
+         \x20                  [--max-batch B] [--deadline-ms D] [--watchdog-ms W]\n\
+         \x20                  [--trace serve.trace.json]\n\
          \x20 lddp-cli loadgen --problem <name> [--n N] [--platform high|low]\n\
          \x20                  [--addr host:port] [--requests R] [--rps RATE]\n\
          \x20                  [--duration S] [--concurrency C] [--deadline-ms D]\n\
-         \x20                  [--no-verify]\n\
+         \x20                  [--no-verify] [--retries A]\n\
          \x20 lddp-cli bench   --quick [--n N] [--out BENCH.json]\n\
+         \x20 lddp-cli chaos   [--seed S] [--campaign quick|heavy] [--out report.json]\n\
          \n\
          `trace` writes a Perfetto-loadable Chrome trace-event timeline\n\
          (see docs/OBSERVABILITY.md). `serve` runs the batching solve\n\
          server; `loadgen` drives it and prints a JSON latency report,\n\
          checking answers against the sequential oracle (docs/SERVING.md).\n\
+         `chaos` runs a seeded fault-injection campaign across the engine\n\
+         ladder, the hetero executor, and the serving stack, verifying\n\
+         every recovered answer against the oracle (docs/ROBUSTNESS.md).\n\
          \n\
          PROBLEMS: {}\n",
         PROBLEMS.join(", ")
@@ -735,6 +808,61 @@ pub fn run_solve_pooled(
     with_problem!(problem, n, pooled)
 }
 
+/// [`run_solve_pooled`] under fault injection — the chaos serving path.
+/// The table is computed through the engine's graceful-degradation
+/// ladder ([`solve_degrading`](crate::parallel::ParallelEngine::solve_degrading)),
+/// and a device fault drawn from the injector degrades the cost model
+/// from heterogeneous to the CPU-only baseline instead of failing the
+/// request. Returns the summary plus the wire codes of every rung taken
+/// (e.g. `"bulk_to_scalar"`); an empty vector means the fully
+/// configured path served the request.
+pub fn run_solve_pooled_chaos(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    params: ScheduleParams,
+    engine: &crate::parallel::ParallelEngine,
+    injector: &dyn FaultInjector,
+) -> Result<(RunSummary, Vec<String>), String> {
+    let platform = platform_by_name(platform_name);
+    macro_rules! chaos_pooled {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let fw = Framework::new(platform.clone()).with_io_bytes($io.0, $io.1);
+            let class = fw.classify(&kernel).map_err(|e| e.to_string())?;
+            let mut degraded: Vec<String> = Vec::new();
+            // One device-fault draw per request: the modelled device
+            // dying costs the request its heterogeneous speedup, not
+            // its answer.
+            let hetero_s = if injector.active() && injector.device_fault(0) {
+                degraded.push(DegradeStep::HeteroToCpuOnly.code().to_string());
+                fw.cpu_baseline(&kernel).map_err(|e| e.to_string())?
+            } else {
+                fw.estimate(&kernel, params).map_err(|e| e.to_string())?
+            };
+            let (grid, steps) = engine
+                .solve_degrading(&kernel, injector)
+                .map_err(|e| e.to_string())?;
+            degraded.extend(steps.iter().map(|s| s.code().to_string()));
+            Ok((
+                RunSummary {
+                    problem: problem.to_string(),
+                    instance: format!("{n} x {n} on {}", platform.name),
+                    patterns: format!(
+                        "{} → executed as {}",
+                        class.raw_pattern, class.exec_pattern
+                    ),
+                    params,
+                    hetero_ms: hetero_s * 1e3,
+                    answer: $answer(&kernel, &grid),
+                },
+                degraded,
+            ))
+        }};
+    }
+    with_problem!(problem, n, chaos_pooled)
+}
+
 /// The execution pattern the framework classifies the named problem to
 /// — the pattern half of a [`lddp_core::tuner_cache::TuneKey`].
 pub fn classify_problem(problem: &str, n: usize) -> Result<lddp_core::pattern::Pattern, String> {
@@ -985,7 +1113,9 @@ pub fn run_compare_data(
             let cpu = fw.cpu_baseline(&kernel).map_err(|e| e.to_string())?;
             let gpu = fw.gpu_baseline(&kernel).map_err(|e| e.to_string())?;
             let tuned = fw.tune(&kernel).map_err(|e| e.to_string())?;
-            let het = fw.estimate(&kernel, tuned.params).map_err(|e| e.to_string())?;
+            let het = fw
+                .estimate(&kernel, tuned.params)
+                .map_err(|e| e.to_string())?;
             Ok(CompareOutput {
                 platform_label: platform.name.to_string(),
                 cpu_s: cpu,
@@ -1023,7 +1153,12 @@ pub fn run_compare(problem: &str, n: usize, platform_name: &str) -> Result<Strin
 }
 
 /// Renders `compare` results as one machine-readable JSON object.
-pub fn render_compare_json(problem: &str, n: usize, platform_name: &str, c: &CompareOutput) -> String {
+pub fn render_compare_json(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    c: &CompareOutput,
+) -> String {
     format!(
         "{{\"problem\":\"{}\",\"n\":{},\"platform\":\"{}\",\"cpu_ms\":{},\"gpu_ms\":{},\
          \"framework_ms\":{},\"t_switch\":{},\"t_share\":{}}}",
@@ -1052,8 +1187,7 @@ pub fn run_serve(
         Some(r) => r,
         None => &NullSink,
     };
-    let listener =
-        std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
     let local = listener
         .local_addr()
         .map_err(|e| format!("local addr: {e}"))?;
@@ -1106,6 +1240,8 @@ pub struct LoadgenOpts {
     pub deadline_ms: Option<u64>,
     /// Skip the oracle answer check.
     pub no_verify: bool,
+    /// Attempts per request (1 = no retries).
+    pub retries: u32,
 }
 
 /// Runs one load experiment (HTTP when `addr` is set, against an
@@ -1119,6 +1255,14 @@ pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
     } else {
         Some(run_solve_seq(&opts.problem, opts.n)?)
     };
+    let retry = if opts.retries > 1 {
+        RetryPolicy {
+            max_attempts: opts.retries,
+            ..RetryPolicy::default_serving(opts.retries as u64)
+        }
+    } else {
+        RetryPolicy::none()
+    };
     let cfg = LoadgenConfig {
         request,
         total: opts.requests,
@@ -1126,6 +1270,7 @@ pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
         duration: opts.duration_s.map(Duration::from_secs_f64),
         concurrency: opts.concurrency,
         expect_answer,
+        retry,
     };
     let report = match &opts.addr {
         Some(addr) => {
@@ -1237,13 +1382,7 @@ pub fn run_bench_quick(n: usize, out_path: Option<&str>) -> Result<String, Strin
                     .map_err(|e| e.to_string())?;
                 let pts: Vec<String> = points
                     .iter()
-                    .map(|p| {
-                        format!(
-                            "{{\"workers\":{},\"ms\":{}}}",
-                            p.value,
-                            num(p.time * 1e3)
-                        )
-                    })
+                    .map(|p| format!("{{\"workers\":{},\"ms\":{}}}", p.value, num(p.time * 1e3)))
                     .collect();
                 Ok(format!(
                     "{{\"problem\":\"lcs\",\"best_workers\":{best},\"points\":[{}]}}",
@@ -1259,6 +1398,234 @@ pub fn run_bench_quick(n: usize, out_path: Option<&str>) -> Result<String, Strin
          \"problems\":[{}],\"worker_sweep\":{}}}",
         entries.join(","),
         sweep?
+    );
+    if let Some(path) = out_path {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(json)
+}
+
+/// Problems the chaos campaign drives through the engine's
+/// degradation ladder: a mix of kernels with a bulk fast path (where
+/// the `bulk_to_scalar` rung is reachable) and scalar-only kernels
+/// (where recovery must come from `parallel_to_sequential`).
+pub const CHAOS_PROBLEMS: &[&str] = &["lcs", "dtw", "seam", "dithering", "weighted-edit"];
+
+/// Runs a seeded fault-injection campaign and returns its JSON report.
+///
+/// Three stages, all oracle-checked (any divergence is a hard `Err`,
+/// which the binary turns into a nonzero exit):
+///
+/// 1. **Engine ladder** — repeated pooled solves under injected worker
+///    and bulk panics; every answer must match the sequential oracle
+///    regardless of which degradation rungs fired, and the shared pool
+///    must still serve a clean solve afterwards.
+/// 2. **Hetero executor** — solves under injected device faults; a
+///    fault degrades the run to the modelled CPU-only baseline and the
+///    answer must be unchanged.
+/// 3. **Serving stack** — an HTTP loadgen run against a server whose
+///    backend and front end both draw from seeded fault plans (worker
+///    panics, device faults, torn/slow connections, queue stalls),
+///    with retrying clients; completed answers must all pass the
+///    oracle and every request must be accounted for.
+pub fn run_chaos(seed: u64, campaign: &str, out_path: Option<&str>) -> Result<String, String> {
+    // The campaign injects panics by design; the default hook would
+    // spray hundreds of backtraces over the report. Silence it for the
+    // run and restore it afterwards, on success or failure alike.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = run_chaos_inner(seed, campaign, out_path);
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(prev_hook);
+    result
+}
+
+fn run_chaos_inner(seed: u64, campaign: &str, out_path: Option<&str>) -> Result<String, String> {
+    let cfg = match campaign {
+        "quick" => FaultPlanConfig::quick(),
+        "heavy" => FaultPlanConfig::heavy(),
+        other => {
+            return Err(format!(
+                "unknown campaign '{other}'; expected quick or heavy"
+            ))
+        }
+    };
+    let (ladder_iters, hetero_iters, serve_total) = if campaign == "heavy" {
+        (12usize, 16usize, 240usize)
+    } else {
+        (6, 8, 120)
+    };
+    let n = 48;
+
+    // Stage 1: the engine's degradation ladder under worker/bulk
+    // panics, every answer checked against the sequential oracle.
+    // A fixed worker count (not host-sized) for two reasons: the
+    // single-threaded shortcut path never consults the injector, so a
+    // one-core host would silently skip the whole stage; and a pinned
+    // pool makes the per-(worker, wave) draw sequence — and thus the
+    // campaign report — identical on every machine.
+    let engine = crate::parallel::ParallelEngine::new(4);
+    let ladder_plan = FaultPlan::new(seed, cfg);
+    let mut ladder_solves = 0u64;
+    let mut ladder_degraded = 0u64;
+    let mut rung_bulk = 0u64;
+    let mut rung_seq = 0u64;
+    for problem in CHAOS_PROBLEMS {
+        let oracle = run_solve_seq(problem, n)?;
+        for _ in 0..ladder_iters {
+            macro_rules! ladder {
+                ($kernel:expr, $io:expr, $answer:expr) => {{
+                    let kernel = $kernel;
+                    let _ = $io;
+                    let (grid, steps) = engine
+                        .solve_degrading(&kernel, &ladder_plan)
+                        .map_err(|e| e.to_string())?;
+                    Ok(($answer(&kernel, &grid), steps))
+                }};
+            }
+            let probe: Result<(String, Vec<DegradeStep>), String> =
+                with_problem!(*problem, n, ladder);
+            let (answer, steps) = probe?;
+            if answer != oracle {
+                return Err(format!(
+                    "chaos: degraded {problem} answer diverged from the oracle \
+                     (got \"{answer}\", want \"{oracle}\", rungs {steps:?})"
+                ));
+            }
+            ladder_solves += 1;
+            if !steps.is_empty() {
+                ladder_degraded += 1;
+            }
+            for step in &steps {
+                match step {
+                    DegradeStep::BulkToScalar => rung_bulk += 1,
+                    DegradeStep::ParallelToSequential => rung_seq += 1,
+                    DegradeStep::HeteroToCpuOnly => {}
+                }
+            }
+        }
+    }
+    // The pool must come out of the campaign healthy: one clean solve,
+    // no injector, same oracle.
+    {
+        let oracle = run_solve_seq("lcs", n)?;
+        macro_rules! health {
+            ($kernel:expr, $io:expr, $answer:expr) => {{
+                let kernel = $kernel;
+                let _ = $io;
+                let grid = engine.solve(&kernel).map_err(|e| e.to_string())?;
+                Ok($answer(&kernel, &grid))
+            }};
+        }
+        let clean: Result<String, String> = with_problem!("lcs", n, health);
+        if clean? != oracle {
+            return Err("chaos: pool unhealthy after the ladder stage".into());
+        }
+    }
+
+    // Stage 2: device faults in the hetero executor degrade to the
+    // CPU-only rung without changing the answer.
+    let hetero_plan = FaultPlan::new(seed ^ 0x9e37_79b9_7f4a_7c15, cfg);
+    let hetero_n = 64;
+    let hetero_oracle = run_solve_seq("lcs", hetero_n)?;
+    macro_rules! hetero_probe {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let fw = Framework::new(platform_by_name("high")).with_io_bytes($io.0, $io.1);
+            // Pinned rather than tuned: on instances this small the
+            // tuner often picks a CPU-only schedule, which has no
+            // device-involved waves and therefore nothing to fault.
+            // An early switch with a narrow CPU band guarantees the
+            // device participates in most waves.
+            let params = ScheduleParams::new(8, 32);
+            let mut cpu_only = 0u64;
+            for _ in 0..hetero_iters {
+                let sol = fw
+                    .solve_chaos(&kernel, params, &hetero_plan)
+                    .map_err(|e| e.to_string())?;
+                if !sol.degradation.is_empty() {
+                    cpu_only += 1;
+                }
+                let answer: String = $answer(&kernel, &sol.grid);
+                if answer != hetero_oracle {
+                    return Err(format!(
+                        "chaos: hetero answer diverged after a device fault \
+                         (got \"{answer}\", want \"{hetero_oracle}\")"
+                    ));
+                }
+            }
+            Ok(cpu_only)
+        }};
+    }
+    let cpu_only: Result<u64, String> = with_problem!("lcs", hetero_n, hetero_probe);
+    let cpu_only_reruns = cpu_only?;
+
+    // Stage 3: the serving stack over real HTTP, faults on both sides
+    // of the wire, retrying clients, oracle-checked answers.
+    let serve_oracle = run_solve_seq("lcs", n)?;
+    let backend_plan = std::sync::Arc::new(FaultPlan::new(seed ^ 0xd1b5_4a32_d192_ed03, cfg));
+    let server_plan = FaultPlan::new(seed ^ 0x94d0_49bb_1331_11eb, cfg);
+    let backend = crate::serve_backend::FrameworkBackend::with_injector(backend_plan.clone());
+    let server = Server::with_injector(
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 128,
+            max_batch: 4,
+            ..ServeConfig::default()
+        },
+        &backend,
+        &NullSink,
+        &server_plan,
+    );
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding loopback: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    let (report, snapshot) = server.run(Some(listener), |client| {
+        let target = HttpTarget::new(local.to_string(), Duration::from_secs(30));
+        let lg = LoadgenConfig {
+            request: SolveRequest::new("lcs", n),
+            total: serve_total,
+            concurrency: 4,
+            expect_answer: Some(serve_oracle.clone()),
+            retry: RetryPolicy::default_serving(seed),
+            ..LoadgenConfig::default()
+        };
+        let report = lddp_serve::loadgen::run(&target, &lg);
+        client.shutdown();
+        (report, client.snapshot())
+    });
+    if report.mismatches != 0 {
+        return Err(format!(
+            "chaos: {} served answers diverged from the oracle (report: {})",
+            report.mismatches,
+            report.to_json()
+        ));
+    }
+    if report.completed + report.rejected + report.errors != report.sent {
+        return Err(format!(
+            "chaos: request accounting leaked ({} sent vs {} completed + {} rejected + {} errors)",
+            report.sent, report.completed, report.rejected, report.errors
+        ));
+    }
+
+    let json = format!(
+        "{{\"chaos\":{{\"seed\":{seed},\"campaign\":\"{}\",\
+         \"engine\":{{\"solves\":{ladder_solves},\"degraded\":{ladder_degraded},\
+         \"rungs\":{{\"bulk_to_scalar\":{rung_bulk},\"parallel_to_sequential\":{rung_seq}}},\
+         \"pool_healthy_after\":true}},\
+         \"hetero\":{{\"solves\":{hetero_iters},\"cpu_only_reruns\":{cpu_only_reruns}}},\
+         \"serving\":{{\"report\":{},\"stats\":{}}},\
+         \"faults\":{{\"engine\":{},\"hetero\":{},\"backend\":{},\"server\":{}}},\
+         \"verdict\":\"pass\"}}}}",
+        escape(campaign),
+        report.to_json(),
+        snapshot.to_json(),
+        ladder_plan.report().to_json(),
+        hetero_plan.report().to_json(),
+        backend_plan.report().to_json(),
+        server_plan.report().to_json(),
     );
     if let Some(path) = out_path {
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
@@ -1324,6 +1691,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             queue_cap,
             max_batch,
             deadline_ms,
+            watchdog_ms,
             trace,
         } => run_serve(
             &addr,
@@ -1332,6 +1700,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 queue_capacity: queue_cap,
                 max_batch,
                 default_deadline_ms: deadline_ms,
+                watchdog_ms,
+                ..ServeConfig::default()
             },
             trace.as_deref(),
         ),
@@ -1346,6 +1716,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             concurrency,
             deadline_ms,
             no_verify,
+            retries,
         } => run_loadgen(&LoadgenOpts {
             addr,
             problem,
@@ -1357,8 +1728,14 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             concurrency,
             deadline_ms,
             no_verify,
+            retries,
         }),
         Command::Bench { n, out } => run_bench_quick(n, out.as_deref()),
+        Command::Chaos {
+            seed,
+            campaign,
+            out,
+        } => run_chaos(seed, &campaign, out.as_deref()),
     }
 }
 
@@ -1523,7 +1900,10 @@ mod tests {
         let out = run_solve_traced("levenshtein", 64, "high", None, &NullSink).unwrap();
         let text = render_solve_json(&out);
         let v = lddp_trace::json::parse(&text).unwrap();
-        assert_eq!(v.get("problem").and_then(|j| j.as_str()), Some("levenshtein"));
+        assert_eq!(
+            v.get("problem").and_then(|j| j.as_str()),
+            Some("levenshtein")
+        );
         assert_eq!(v.get("n").and_then(|j| j.as_f64()), Some(64.0));
         assert!(v.get("total_ms").and_then(|j| j.as_f64()).unwrap() > 0.0);
         let util = v.get("utilization").unwrap();
@@ -1615,13 +1995,14 @@ mod tests {
                 queue_cap: 256,
                 max_batch: 8,
                 deadline_ms: None,
+                watchdog_ms: None,
                 trace: None,
             }
         );
         assert_eq!(
             parse(&argv(
                 "serve --addr 0.0.0.0:9000 --workers 2 --queue-cap 32 --max-batch 4 \
-                 --deadline-ms 500 --trace serve.trace.json"
+                 --deadline-ms 500 --watchdog-ms 250 --trace serve.trace.json"
             ))
             .unwrap(),
             Command::Serve {
@@ -1630,11 +2011,13 @@ mod tests {
                 queue_cap: 32,
                 max_batch: 4,
                 deadline_ms: Some(500),
+                watchdog_ms: Some(250),
                 trace: Some("serve.trace.json".into()),
             }
         );
         assert!(parse(&argv("serve --workers")).is_err());
         assert!(parse(&argv("serve --queue-cap many")).is_err());
+        assert!(parse(&argv("serve --watchdog-ms soon")).is_err());
     }
 
     #[test]
@@ -1652,11 +2035,13 @@ mod tests {
                 concurrency: 4,
                 deadline_ms: None,
                 no_verify: false,
+                retries: 1,
             }
         );
         let cmd = parse(&argv(
             "loadgen --addr 127.0.0.1:8700 --problem dtw --n 128 --requests 500 \
-             --rps 50 --duration 10 --concurrency 8 --deadline-ms 2000 --no-verify",
+             --rps 50 --duration 10 --concurrency 8 --deadline-ms 2000 --no-verify \
+             --retries 3",
         ))
         .unwrap();
         assert_eq!(
@@ -1672,16 +2057,43 @@ mod tests {
                 concurrency: 8,
                 deadline_ms: Some(2000),
                 no_verify: true,
+                retries: 3,
             }
         );
         assert!(parse(&argv("loadgen")).is_err(), "requires --problem");
         assert!(parse(&argv("loadgen --problem lcs --requests 0")).is_err());
+        assert!(
+            parse(&argv("loadgen --problem lcs --retries 0")).is_err(),
+            "--retries counts attempts, so 0 is nonsense"
+        );
         assert!(parse(&argv("loadgen --problem lcs --rps -3")).is_err());
         assert!(parse(&argv("loadgen --problem lcs --duration 0")).is_err());
         assert!(
             parse(&argv("loadgen --problem lcs --requests 0 --duration 2")).is_ok(),
             "duration-bounded unlimited runs are legal"
         );
+    }
+
+    #[test]
+    fn parse_chaos_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("chaos")).unwrap(),
+            Command::Chaos {
+                seed: 42,
+                campaign: "quick".into(),
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("chaos --seed 7 --campaign heavy --out chaos.json")).unwrap(),
+            Command::Chaos {
+                seed: 7,
+                campaign: "heavy".into(),
+                out: Some("chaos.json".into()),
+            }
+        );
+        assert!(parse(&argv("chaos --campaign catastrophic")).is_err());
+        assert!(parse(&argv("chaos --seed many")).is_err());
     }
 
     #[test]
@@ -1746,6 +2158,7 @@ mod tests {
             concurrency: 4,
             deadline_ms: None,
             no_verify: false,
+            retries: 1,
         };
         let text = run_loadgen(&opts).unwrap();
         let v = lddp_trace::json::parse(&text).unwrap();

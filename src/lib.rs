@@ -29,6 +29,7 @@ pub mod serve_backend;
 pub mod workloads;
 
 pub use hetero_sim;
+pub use lddp_chaos as chaos;
 pub use lddp_core as core;
 pub use lddp_parallel as parallel;
 pub use lddp_problems as problems;
@@ -39,8 +40,11 @@ pub mod platforms {
     pub use hetero_sim::platform::{hetero_high, hetero_low, xeon_phi_like, Platform};
 }
 
-use hetero_sim::exec::{run_cpu_as, run_gpu_as, run_hetero, Breakdown, ExecOptions, WaveRecord};
+use hetero_sim::exec::{
+    run_cpu_as, run_gpu_as, run_hetero, run_hetero_injected, Breakdown, ExecOptions, WaveRecord,
+};
 use hetero_sim::platform::Platform;
+use lddp_chaos::FaultInjector;
 use lddp_core::framework::{choose_execution, Adapter, Classification, TransposedKernel};
 use lddp_core::grid::{Grid, LayoutKind};
 use lddp_core::kernel::Kernel;
@@ -48,6 +52,7 @@ use lddp_core::pattern::ProfileShape;
 use lddp_core::schedule::{PhaseKind, PhaseSpan, Plan, ScheduleParams};
 use lddp_core::tuner::{self, TuneResult};
 use lddp_core::wavefront::Dims;
+use lddp_core::DegradeStep;
 use lddp_core::Result;
 use lddp_trace::{NullSink, TraceSink};
 use std::ops::Range;
@@ -112,6 +117,10 @@ pub struct Solution<T> {
     /// [`Framework::solve_traced`]; empty for the untraced paths (they
     /// skip timeline recording).
     pub phases: Vec<PhaseStat>,
+    /// Degradation rungs taken to produce this solution, in order.
+    /// Empty for every non-chaos path and for chaos solves where the
+    /// first attempt succeeded; see [`Framework::solve_chaos`].
+    pub degradation: Vec<DegradeStep>,
 }
 
 /// High-level driver: classify → adapt → (tune) → execute.
@@ -269,6 +278,98 @@ impl Framework {
         self.dispatch_solve(kernel, params, false, &NullSink)
     }
 
+    /// Solves functionally with explicit parameters while consulting a
+    /// [`FaultInjector`] on every wave in which the modelled device
+    /// participates. An injected device fault aborts the heterogeneous
+    /// run (device-side table state is considered lost) and triggers
+    /// the framework's last degradation rung: the whole instance is
+    /// re-executed on the modelled multicore CPU, and
+    /// [`DegradeStep::HeteroToCpuOnly`] is recorded in
+    /// [`Solution::degradation`]. Answers are identical either way —
+    /// only the cost model (and the rung record) differ.
+    pub fn solve_chaos<K: Kernel>(
+        &self,
+        kernel: &K,
+        params: ScheduleParams,
+        injector: &dyn FaultInjector,
+    ) -> Result<Solution<K::Cell>> {
+        let class = self.classify(kernel)?;
+        match class.adapter {
+            Adapter::None => {
+                self.chaos_inner(kernel, kernel, class, params, |i, j| (i, j), injector)
+            }
+            Adapter::Transpose => {
+                let t = TransposedKernel::new(kernel)?;
+                self.chaos_inner(kernel, &t, class, params, |i, j| (j, i), injector)
+            }
+            Adapter::Mirror => {
+                let cols = kernel.dims().cols;
+                let m = lddp_core::framework::MirroredKernel::new(kernel)?;
+                self.chaos_inner(
+                    kernel,
+                    &m,
+                    class,
+                    params,
+                    move |i, j| (i, cols - 1 - j),
+                    injector,
+                )
+            }
+        }
+    }
+
+    /// [`Framework::solve_chaos`]'s execution half: heterogeneous run
+    /// under injection, CPU-only rerun on a device fault, grid mapped
+    /// back into `user_kernel`'s coordinates.
+    fn chaos_inner<KU, KE>(
+        &self,
+        user_kernel: &KU,
+        exec_kernel: &KE,
+        class: Classification,
+        params: ScheduleParams,
+        to_exec: impl Fn(usize, usize) -> (usize, usize),
+        injector: &dyn FaultInjector,
+    ) -> Result<Solution<KU::Cell>>
+    where
+        KU: Kernel,
+        KE: Kernel<Cell = KU::Cell>,
+    {
+        let plan = Plan::new(
+            class.exec_pattern,
+            exec_kernel.contributing_set(),
+            exec_kernel.dims(),
+            params,
+        )?;
+        let opts = self.exec_options(true);
+        let mut degradation = Vec::new();
+        let report = match run_hetero_injected(exec_kernel, &plan, &self.platform, &opts, injector)
+        {
+            Ok(r) => r,
+            Err(lddp_core::Error::DeviceFault { .. }) => {
+                degradation.push(DegradeStep::HeteroToCpuOnly);
+                run_cpu_as(exec_kernel, class.exec_pattern, &self.platform, &opts)?
+            }
+            Err(e) => return Err(e),
+        };
+        let exec_grid = report.grid.expect("functional run returns the grid");
+        let dims = user_kernel.dims();
+        let mut grid = Grid::new(LayoutKind::RowMajor, dims);
+        for i in 0..dims.rows {
+            for j in 0..dims.cols {
+                let (ei, ej) = to_exec(i, j);
+                grid.set(i, j, exec_grid.get(ei, ej));
+            }
+        }
+        Ok(Solution {
+            grid,
+            total_s: report.total_s,
+            breakdown: report.breakdown,
+            classification: class,
+            params,
+            phases: Vec::new(),
+            degradation,
+        })
+    }
+
     /// Tunes (when `params` is `None`) and solves with full
     /// observability: the run records its wave timeline, emits the
     /// standard event set (phase/wave/transfer spans, byte counters,
@@ -375,6 +476,7 @@ impl Framework {
             classification: class,
             params,
             phases,
+            degradation: Vec::new(),
         })
     }
 
@@ -437,6 +539,7 @@ impl Framework {
             classification: class,
             params: ScheduleParams::new(t_switch, avg_band),
             phases: Vec::new(),
+            degradation: Vec::new(),
         })
     }
 

@@ -7,12 +7,14 @@
 //! problem registry and the execution engines) supplies the backend.
 
 use crate::cli;
+use lddp_chaos::FaultInjector;
 use lddp_core::schedule::ScheduleParams;
 use lddp_core::tuner_cache::{TuneKey, TunerCache};
 use lddp_core::wavefront::Dims;
 use lddp_parallel::ParallelEngine;
 use lddp_serve::{BackendSolve, SolveBackend, SolveRequest};
 use lddp_trace::TraceSink;
+use std::sync::Arc;
 
 /// Largest instance side the server accepts. Solves are O(n²) cells on
 /// a modelled platform; this cap keeps one request from monopolizing a
@@ -25,10 +27,20 @@ pub const MAX_SERVE_N: usize = 8192;
 /// persistent [`ParallelEngine`]: its worker pool spins up on the first
 /// request and is reused by every batch for the lifetime of the server,
 /// so steady-state serving pays no thread spawns.
-#[derive(Debug)]
 pub struct FrameworkBackend {
     cache: TunerCache,
     engine: ParallelEngine,
+    injector: Option<Arc<dyn FaultInjector>>,
+}
+
+impl std::fmt::Debug for FrameworkBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameworkBackend")
+            .field("cache", &self.cache)
+            .field("engine", &self.engine)
+            .field("injected", &self.injector.is_some())
+            .finish()
+    }
 }
 
 impl Default for FrameworkBackend {
@@ -46,7 +58,25 @@ impl FrameworkBackend {
         FrameworkBackend {
             cache: TunerCache::new(),
             engine: ParallelEngine::new(threads),
+            injector: None,
         }
+    }
+
+    /// A backend whose solves consult `injector` — chaos campaigns
+    /// attach a seeded [`lddp_chaos::FaultPlan`] here. Injected solves
+    /// run the engine's graceful-degradation ladder and report the
+    /// rungs taken in [`BackendSolve::degraded`], so the server can
+    /// count and surface them per response.
+    pub fn with_injector(injector: Arc<dyn FaultInjector>) -> FrameworkBackend {
+        let mut backend = FrameworkBackend::new();
+        // The engine's single-threaded shortcut bypasses injection
+        // entirely, so a one-core host would mute the campaign; give an
+        // injected backend at least two workers.
+        if backend.engine.threads() < 2 {
+            backend.engine = ParallelEngine::new(2);
+        }
+        backend.injector = Some(injector);
+        backend
     }
 
     /// The tuner cache (for stats and tests).
@@ -118,11 +148,31 @@ impl SolveBackend for FrameworkBackend {
         // spans (queue wait, batch, solve) come from the server; the
         // per-wave framework trace is deliberately skipped here, as it
         // would emit thousands of spans per request.
-        let summary = cli::run_solve_pooled(&req.problem, req.n, &req.platform, clamped, &self.engine)?;
+        let (summary, degraded) = match &self.injector {
+            Some(inj) => cli::run_solve_pooled_chaos(
+                &req.problem,
+                req.n,
+                &req.platform,
+                clamped,
+                &self.engine,
+                inj.as_ref(),
+            )?,
+            None => {
+                let summary = cli::run_solve_pooled(
+                    &req.problem,
+                    req.n,
+                    &req.platform,
+                    clamped,
+                    &self.engine,
+                )?;
+                (summary, Vec::new())
+            }
+        };
         Ok(BackendSolve {
             answer: summary.answer,
             virtual_ms: summary.hetero_ms,
             params: summary.params,
+            degraded,
         })
     }
 }
@@ -138,7 +188,9 @@ mod tests {
         assert!(b.validate(&SolveRequest::new("lcs", 64)).is_ok());
         assert!(b.validate(&SolveRequest::new("nonsense", 64)).is_err());
         assert!(b.validate(&SolveRequest::new("lcs", 1)).is_err());
-        assert!(b.validate(&SolveRequest::new("lcs", MAX_SERVE_N + 1)).is_err());
+        assert!(b
+            .validate(&SolveRequest::new("lcs", MAX_SERVE_N + 1))
+            .is_err());
         let mut bad_platform = SolveRequest::new("lcs", 64);
         bad_platform.platform = "mid".into();
         assert!(b.validate(&bad_platform).is_err());

@@ -1,0 +1,199 @@
+//! Chaos acceptance test for the serving stack: a 500-request HTTP
+//! loadgen run against a server whose backend and front end both draw
+//! from seeded fault plans — worker panics and device faults inside
+//! the solve path, torn and slowed connections at the socket. The bar:
+//! every request is accounted for (completed, cleanly rejected, or a
+//! clean error — never hung or lost), every completed answer matches
+//! the sequential oracle, and the worker pool keeps serving after
+//! every injected panic.
+
+use lddp::serve_backend::FrameworkBackend;
+use lddp_chaos::{FaultPlan, FaultPlanConfig, FaultSite, RetryPolicy};
+use lddp_serve::loadgen::{self, HttpTarget, LoadgenConfig};
+use lddp_serve::{ServeConfig, Server, SolveRequest};
+use lddp_trace::NullSink;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Injected panics happen by the dozen in this test; suppress their
+/// default-hook backtraces so a real failure stays readable, and pass
+/// every other panic through to the previous hook.
+fn silence_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.contains("injected") || msg.contains("panicked") || msg.contains("poisoned") {
+            return;
+        }
+        prev(info);
+    }));
+}
+
+#[test]
+fn chaotic_500_request_run_is_accounted_oracle_checked_and_heals() {
+    silence_injected_panics();
+    let n = 48;
+    let oracle = lddp::cli::run_solve_seq("lcs", n).unwrap();
+
+    let backend_plan = Arc::new(FaultPlan::new(42, FaultPlanConfig::quick()));
+    let server_plan = FaultPlan::new(1337, FaultPlanConfig::quick());
+    let backend = FrameworkBackend::with_injector(backend_plan.clone());
+    let server = Server::with_injector(
+        ServeConfig {
+            workers: 3,
+            queue_capacity: 256,
+            max_batch: 4,
+            ..ServeConfig::default()
+        },
+        &backend,
+        &NullSink,
+        &server_plan,
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let (report, healed, snapshot) = server.run(Some(listener), |client| {
+        let target = HttpTarget::new(addr.clone(), Duration::from_secs(30));
+        let cfg = LoadgenConfig {
+            request: SolveRequest::new("lcs", n),
+            total: 500,
+            concurrency: 8,
+            expect_answer: Some(oracle.clone()),
+            retry: RetryPolicy::default_serving(42),
+            ..LoadgenConfig::default()
+        };
+        let report = loadgen::run(&target, &cfg);
+        // Pool health after the storm: the same chaotic backend must
+        // still serve. Faults may still fire (that is the point), so
+        // allow a few attempts, but at least one must come back clean
+        // and correct before shutdown.
+        let mut healed = false;
+        for _ in 0..10 {
+            match client.solve(SolveRequest::new("lcs", n)) {
+                Ok(resp) => {
+                    assert_eq!(resp.answer, oracle, "post-chaos answer diverged");
+                    healed = true;
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        // The worker decrements in-flight after handing the response
+        // back, so give the gauges a moment to settle before reading.
+        let mut snapshot = client.snapshot();
+        for _ in 0..100 {
+            if snapshot.queue_depth == 0 && snapshot.in_flight == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            snapshot = client.snapshot();
+        }
+        client.shutdown();
+        (report, healed, snapshot)
+    });
+
+    // Zero hangs: the run returned, and every request is accounted for.
+    assert_eq!(report.sent, 500);
+    assert_eq!(
+        report.completed + report.rejected + report.errors,
+        500,
+        "request accounting leaked; outcomes: {:?}",
+        report.by_code
+    );
+    // Every accepted answer matched the sequential oracle.
+    assert_eq!(
+        report.mismatches, 0,
+        "served answers diverged from the oracle"
+    );
+    // Whatever failed, failed with a clean, classified status — no
+    // mystery codes, no raw transport garbage surfacing as success.
+    let known = [
+        "queue_full",
+        "shutting_down",
+        "deadline_exceeded",
+        "invalid",
+        "breaker_open",
+        "backend_error",
+        "backend_panic",
+        "watchdog_timeout",
+        "transport",
+    ];
+    for (code, count) in &report.by_code {
+        assert!(
+            known.contains(&code.as_str()),
+            "unknown failure code {code} ({count} occurrences)"
+        );
+    }
+    assert!(healed, "no clean solve within 10 attempts after the run");
+    assert_eq!(snapshot.queue_depth, 0, "jobs left in the queue");
+    assert_eq!(snapshot.in_flight, 0, "jobs still marked in flight");
+
+    // The campaign must have actually injected the advertised faults —
+    // a silently inert plan would make every assertion above vacuous.
+    let backend_faults = backend_plan.report();
+    let panics = backend_faults.site(FaultSite::WorkerPanic).injected
+        + backend_faults.site(FaultSite::BulkPanic).injected;
+    assert!(
+        panics > 0,
+        "no worker/bulk panics injected: {backend_faults:?}"
+    );
+    assert!(
+        backend_faults.site(FaultSite::DeviceFault).drawn > 0,
+        "device-fault site never consulted: {backend_faults:?}"
+    );
+    let server_faults = server_plan.report();
+    assert!(
+        server_faults.site(FaultSite::TornConnection).injected > 0,
+        "no torn connections injected: {server_faults:?}"
+    );
+    // Panics degraded solves instead of killing requests: the server
+    // recorded degradations, and the engine healed between them (the
+    // completed count could not approach 500 otherwise).
+    assert!(snapshot.degraded_solves > 0, "no degraded solves recorded");
+    assert!(
+        report.completed > 400,
+        "retries + degradation should complete most requests; got {}",
+        report.completed
+    );
+}
+
+/// Deterministic replay: the same seeds and workload produce the same
+/// injection tallies, so a chaos failure is reproducible by seed.
+#[test]
+fn same_seed_injects_identically() {
+    silence_injected_panics();
+    let run = |seed: u64| {
+        let plan = FaultPlan::new(seed, FaultPlanConfig::quick());
+        let backend = FrameworkBackend::new();
+        let server = Server::with_injector(
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 64,
+                max_batch: 2,
+                ..ServeConfig::default()
+            },
+            &backend,
+            &NullSink,
+            &plan,
+        );
+        server.run(None, |client| {
+            for _ in 0..20 {
+                client.solve(SolveRequest::new("lcs", 32)).unwrap();
+            }
+        });
+        plan.report()
+    };
+    let a = run(9);
+    let b = run(9);
+    assert_eq!(a, b, "same seed and workload must inject identically");
+    assert!(
+        a.site(FaultSite::QueueStall).drawn > 0,
+        "serve-side stall site never consulted: {a:?}"
+    );
+}

@@ -16,7 +16,7 @@ fn config(workers: usize, queue: usize, batch: usize) -> ServeConfig {
         workers,
         queue_capacity: queue,
         max_batch: batch,
-        default_deadline_ms: None,
+        ..ServeConfig::default()
     }
 }
 
@@ -43,7 +43,10 @@ fn five_hundred_request_run_is_error_free_and_oracle_checked() {
     assert_eq!(report.completed, 500, "by_code: {:?}", report.by_code);
     assert_eq!(report.errors, 0);
     assert_eq!(report.rejected, 0);
-    assert_eq!(report.mismatches, 0, "served answers diverged from the oracle");
+    assert_eq!(
+        report.mismatches, 0,
+        "served answers diverged from the oracle"
+    );
     assert_eq!(report.rejection_rate, 0.0);
     assert!(report.throughput_rps > 0.0);
     assert_eq!(report.latency.count, 500);
@@ -70,7 +73,10 @@ fn batches_amortize_tuning_across_the_run() {
         client.snapshot()
     });
     assert_eq!(snapshot.completed, 64);
-    assert_eq!(snapshot.tune_misses, 1, "one cold sweep for the one hot key");
+    assert_eq!(
+        snapshot.tune_misses, 1,
+        "one cold sweep for the one hot key"
+    );
     assert!(
         snapshot.batches < 64,
         "expected multi-job batches, got {} batches",
@@ -153,9 +159,7 @@ fn http_run_exports_perfetto_timeline_with_serve_spans() {
     // (object with a traceEvents array mentioning the serve spans).
     let exported = chrome::to_chrome_json(&data);
     let parsed = json::parse(&exported).expect("chrome export is valid JSON");
-    let events = parsed
-        .get("traceEvents")
-        .expect("traceEvents key present");
+    let events = parsed.get("traceEvents").expect("traceEvents key present");
     assert!(matches!(events, json::Json::Arr(_)));
     assert!(exported.contains(catalog::SPAN_QUEUE_WAIT));
     assert!(exported.contains(catalog::SPAN_SOLVE));
