@@ -1,0 +1,18 @@
+//! Ablation: execution tiers (scalar / bulk / SIMD / bit-parallel)
+//! across every wave-kernel problem, on real threads.
+use lddp_bench::figures::ablation_simd;
+use lddp_bench::sizes_from_args;
+
+fn main() {
+    let sizes = sizes_from_args(&[512, 1024, 2048, 4096]);
+    let names = [
+        "ablation_simd_lcs",
+        "ablation_simd_levenshtein",
+        "ablation_simd_nw",
+        "ablation_simd_sw",
+        "ablation_simd_dtw",
+    ];
+    for (fig, name) in ablation_simd(&sizes).into_iter().zip(names) {
+        fig.emit(name);
+    }
+}

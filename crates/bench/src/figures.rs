@@ -7,14 +7,16 @@ use hetero_sim::exec::{run_cpu_as, run_gpu_as, run_hetero, ExecOptions};
 use hetero_sim::platform::{hetero_high, hetero_low, xeon_phi_like, Platform};
 use lddp::Framework;
 use lddp_core::cell::{ContributingSet, RepCell};
-use lddp_core::kernel::Kernel;
+use lddp_core::kernel::{ExecTier, Kernel};
 use lddp_core::pattern::Pattern;
 use lddp_core::schedule::{Plan, ScheduleParams};
 use lddp_core::wavefront::Dims;
 use lddp_problems::lcs::{lcs_length, lcs_length_bitparallel, LcsKernel};
 use lddp_problems::levenshtein::LevenshteinKernel;
 use lddp_problems::synthetic::{fig8_kernel, fig9_kernel};
-use lddp_problems::{CheckerboardKernel, DitherKernel};
+use lddp_problems::{
+    CheckerboardKernel, DitherKernel, DtwKernel, NeedlemanWunschKernel, SmithWatermanKernel,
+};
 use std::time::Instant;
 
 /// Both platforms, in the paper's order.
@@ -380,6 +382,115 @@ pub fn ablation_bulk(sizes: &[usize]) -> Figure {
     }
     fig.series = vec![scalar, bulk, spawn];
     fig
+}
+
+/// One execution-tier figure: scalar vs bulk vs SIMD throughput for a
+/// single problem family, every tier's table checked bit-identical to
+/// the scalar one before timing.
+fn tier_figure<K: Kernel>(
+    problem: &str,
+    sizes: &[usize],
+    pooled: &lddp_parallel::ParallelEngine,
+    make: &dyn Fn(usize) -> K,
+) -> Figure {
+    let scalar_engine = pooled.clone().with_tier(Some(ExecTier::Scalar));
+    let bulk_engine = pooled.clone().with_tier(Some(ExecTier::Bulk));
+    let simd_engine = pooled.clone().with_tier(Some(ExecTier::Simd));
+    let mut fig = Figure::new(
+        format!("Ablation — execution tiers on {problem} (wall clock)"),
+        "n",
+    );
+    let mut s_scalar = Series::new("scalar(Mcells/s)");
+    let mut s_bulk = Series::new("bulk(Mcells/s)");
+    let mut s_simd = Series::new("simd(Mcells/s)");
+    for &n in sizes {
+        let kernel = make(n);
+        let d = kernel.dims();
+        let cells = (d.rows * d.cols) as f64;
+        let reference = scalar_engine.solve(&kernel).expect("solve");
+        for engine in [&bulk_engine, &simd_engine] {
+            let got = engine.solve(&kernel).expect("solve");
+            assert_eq!(
+                got.to_row_major(),
+                reference.to_row_major(),
+                "{problem}: tiers diverged at n={n}"
+            );
+        }
+        let best_ms = |engine: &lddp_parallel::ParallelEngine| {
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let t0 = Instant::now();
+                engine.solve(&kernel).expect("solve");
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            best
+        };
+        let scalar_ms = best_ms(&scalar_engine);
+        let bulk_ms = best_ms(&bulk_engine);
+        let simd_ms = best_ms(&simd_engine);
+        println!(
+            "{problem} n={n}: scalar {:.1}, bulk {:.1}, simd {:.1} Mcells/s (simd {:.2}x over bulk)",
+            cells / scalar_ms / 1e3,
+            cells / bulk_ms / 1e3,
+            cells / simd_ms / 1e3,
+            bulk_ms / simd_ms,
+        );
+        s_scalar.push(n as f64, cells / scalar_ms / 1e3);
+        s_bulk.push(n as f64, cells / bulk_ms / 1e3);
+        s_simd.push(n as f64, cells / simd_ms / 1e3);
+    }
+    fig.series = vec![s_scalar, s_bulk, s_simd];
+    fig
+}
+
+/// Ablation (execution tiers): scalar per-cell vs bulk wave runs vs
+/// SIMD lanes across every wave-kernel problem, plus the Allison–Dix
+/// bit-parallel row kernel on LCS. All grid tiers share one pooled
+/// engine with the tier pinned, so the deltas are purely the inner
+/// loop. On hosts without a vector unit the engine downgrades the
+/// `Simd` pin and that column reads as bulk.
+pub fn ablation_simd(sizes: &[usize]) -> Vec<Figure> {
+    let pooled = lddp_parallel::ParallelEngine::host();
+    println!(
+        "simd backend: {} ({} threads)",
+        lddp_core::kernel::simd_backend(),
+        pooled.threads()
+    );
+    let mut figs = vec![
+        tier_figure("lcs", sizes, &pooled, &|n| {
+            LcsKernel::new(random_seq(n, 4, 41), random_seq(n, 4, 42))
+        }),
+        tier_figure("levenshtein", sizes, &pooled, &|n| {
+            LevenshteinKernel::new(random_seq(n, 26, 43), random_seq(n, 26, 44))
+        }),
+        tier_figure("needleman-wunsch", sizes, &pooled, &|n| {
+            NeedlemanWunschKernel::new(random_seq(n, 4, 45), random_seq(n, 4, 46))
+        }),
+        tier_figure("smith-waterman", sizes, &pooled, &|n| {
+            SmithWatermanKernel::new(random_seq(n, 4, 47), random_seq(n, 4, 48))
+        }),
+        tier_figure("dtw", sizes, &pooled, &|n| DtwKernel::random_walk(n, n, 49)),
+    ];
+    // The bit-parallel LCS kernel skips the grid entirely, so it rides
+    // on the LCS figure as a fourth series rather than a tier column.
+    let mut bitpar = Series::new("bit-parallel(Mcells/s)");
+    for &n in sizes {
+        let a = random_seq(n, 4, 41);
+        let b = random_seq(n, 4, 42);
+        let expected = lcs_length(&a, &b);
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let got = lcs_length_bitparallel(&a, &b);
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(got, expected, "bit-parallel diverged at n={n}");
+        }
+        let cells = ((n + 1) * (n + 1)) as f64;
+        println!("lcs n={n}: bit-parallel {:.1} Mcells/s", cells / best / 1e3);
+        bitpar.push(n as f64, cells / best / 1e3);
+    }
+    figs[0].series.push(bitpar);
+    figs
 }
 
 /// Extension (§VII): the same Fig 9 experiment on a hypothetical

@@ -11,6 +11,113 @@ use crate::cell::{ContributingSet, RepCell};
 use crate::wavefront::Dims;
 use std::fmt;
 
+/// How the engine retires the cells of one solve — the execution tier.
+///
+/// Tiers form a ladder of increasingly specialized inner loops over the
+/// same wavefront schedule. Every tier is required to produce results
+/// bit-identical to [`Kernel::compute`] applied cell by cell; the only
+/// difference is throughput.
+///
+/// | tier          | inner loop                                         |
+/// |---------------|----------------------------------------------------|
+/// | `Scalar`      | per-cell [`Kernel::compute`] with `Option` checks  |
+/// | `Bulk`        | slice-based [`WaveKernel::compute_run`] over runs  |
+/// | `Simd`        | [`SimdWaveKernel::compute_run_simd`] lane chunks   |
+/// | `BitParallel` | word-parallel whole-problem algorithm (no grid)    |
+///
+/// `BitParallel` is special: it computes the *answer* without
+/// materializing the DP table, so the grid-producing engine never
+/// selects it — answer-level callers (the CLI, the serving backend) do,
+/// for problems that provide one (LCS).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExecTier {
+    /// Per-cell scalar execution through [`Kernel::compute`].
+    Scalar,
+    /// Slice-based bulk runs through [`WaveKernel::compute_run`].
+    Bulk,
+    /// Runtime-dispatched vector lanes through
+    /// [`SimdWaveKernel::compute_run_simd`].
+    Simd,
+    /// Word-parallel answer-only algorithm (bit-parallel LCS).
+    BitParallel,
+}
+
+impl ExecTier {
+    /// Every tier, slowest first.
+    pub const ALL: [ExecTier; 4] = [
+        ExecTier::Scalar,
+        ExecTier::Bulk,
+        ExecTier::Simd,
+        ExecTier::BitParallel,
+    ];
+
+    /// Stable lowercase name (trace args, JSON, `LDDP_FORCE_TIER`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecTier::Scalar => "scalar",
+            ExecTier::Bulk => "bulk",
+            ExecTier::Simd => "simd",
+            ExecTier::BitParallel => "bitparallel",
+        }
+    }
+
+    /// Parses [`ExecTier::as_str`] output (case-insensitive).
+    pub fn parse(s: &str) -> Option<ExecTier> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(ExecTier::Scalar),
+            "bulk" => Some(ExecTier::Bulk),
+            "simd" => Some(ExecTier::Simd),
+            "bitparallel" | "bit-parallel" => Some(ExecTier::BitParallel),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExecTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// True when the host has a vector unit the SIMD tier can dispatch to
+/// (AVX2 on x86_64, NEON on aarch64). Checked at runtime, once per call
+/// site — the binary stays portable across feature levels.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// Name of the vector backend [`simd_available`] would dispatch to:
+/// `"avx2"`, `"neon"`, or `"scalar"` when no vector unit is usable.
+pub fn simd_backend() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            "avx2"
+        } else {
+            "scalar"
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon"
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        "scalar"
+    }
+}
+
 /// The values of the four representative cells visible to `f` when
 /// computing `cell(i, j)`.
 ///
@@ -131,6 +238,19 @@ pub trait Kernel: Sync {
     fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = Self::Cell>> {
         None
     }
+
+    /// The kernel's vectorized execution path, if it has one.
+    ///
+    /// Returning `Some(self)` opts the kernel into
+    /// [`SimdWaveKernel::compute_run_simd`] for interior runs when the
+    /// engine selects [`ExecTier::Simd`]. A kernel that opts in must
+    /// also implement [`WaveKernel`] — the SIMD tier is a refinement of
+    /// the bulk contract, and lane remainders fall back to it. The
+    /// default (`None`) keeps existing kernels on the scalar/bulk
+    /// ladder.
+    fn simd_kernel(&self) -> Option<&dyn SimdWaveKernel<Cell = Self::Cell>> {
+        None
+    }
 }
 
 /// Bulk form of a [`Kernel`]: computes a contiguous interior run of one
@@ -177,6 +297,41 @@ pub trait WaveKernel: Kernel {
     );
 }
 
+/// Vectorized form of a [`WaveKernel`]: the same run contract as
+/// [`WaveKernel::compute_run`] — same stepping table, same slice
+/// layout, same bit-identity requirement — but the implementation
+/// processes `lanes()`-wide chunks of the run in vector registers,
+/// peeling the sub-lane tail back to scalar code.
+///
+/// Implementations own their runtime dispatch: `compute_run_simd`
+/// checks the host feature set (`is_x86_feature_detected!("avx2")` on
+/// x86_64, compile-time NEON on aarch64) and falls back to
+/// [`WaveKernel::compute_run`] when no vector unit is usable, so
+/// callers may invoke it unconditionally on any host.
+pub trait SimdWaveKernel: WaveKernel {
+    /// Lane width (cells per vector step) the host backend processes.
+    /// Purely advisory — the engine rounds chunk boundaries to
+    /// multiples of it so workers hand the vector body aligned
+    /// sub-runs; any value is correct.
+    fn lanes(&self) -> usize;
+
+    /// Computes the run of cells starting at `(i, j0)` into `out`,
+    /// vector lanes first, scalar tail last. Bit-identical to
+    /// [`WaveKernel::compute_run`] (and therefore to per-cell
+    /// [`Kernel::compute`]).
+    #[allow(clippy::too_many_arguments)]
+    fn compute_run_simd(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [Self::Cell],
+        w: &[Self::Cell],
+        nw: &[Self::Cell],
+        n: &[Self::Cell],
+        ne: &[Self::Cell],
+    );
+}
+
 impl<K: Kernel + ?Sized> Kernel for &K {
     type Cell = K::Cell;
 
@@ -202,6 +357,10 @@ impl<K: Kernel + ?Sized> Kernel for &K {
 
     fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = Self::Cell>> {
         (**self).wave_kernel()
+    }
+
+    fn simd_kernel(&self) -> Option<&dyn SimdWaveKernel<Cell = Self::Cell>> {
+        (**self).simd_kernel()
     }
 }
 
@@ -404,6 +563,97 @@ mod tests {
         wk.compute_run(2, 1, &mut out, &[], &[], &[], &[]);
         assert_eq!(out, [3, 3]);
         assert!((&k).wave_kernel().is_some());
+    }
+
+    #[test]
+    fn exec_tier_names_round_trip() {
+        for tier in ExecTier::ALL {
+            assert_eq!(ExecTier::parse(tier.as_str()), Some(tier));
+            assert_eq!(format!("{tier}"), tier.as_str());
+        }
+        assert_eq!(ExecTier::parse("SIMD"), Some(ExecTier::Simd));
+        assert_eq!(ExecTier::parse("bit-parallel"), Some(ExecTier::BitParallel));
+        assert_eq!(ExecTier::parse("turbo"), None);
+    }
+
+    #[test]
+    fn simd_backend_matches_availability() {
+        // Whatever the host, the two probes must agree.
+        assert_eq!(simd_available(), simd_backend() != "scalar");
+    }
+
+    #[test]
+    fn simd_kernel_hook_defaults_to_none_and_forwards() {
+        let k = ClosureKernel::new(
+            Dims::new(2, 2),
+            ContributingSet::new(&[N]),
+            |_, _, _: &Neighbors<u8>| 0u8,
+        );
+        assert!(k.simd_kernel().is_none());
+        assert!((&k).simd_kernel().is_none(), "reference blanket forwards");
+    }
+
+    #[test]
+    fn simd_kernel_is_object_safe_and_reachable_through_the_hook() {
+        struct Ramp;
+        impl Kernel for Ramp {
+            type Cell = u32;
+            fn dims(&self) -> Dims {
+                Dims::new(3, 3)
+            }
+            fn contributing_set(&self) -> ContributingSet {
+                ContributingSet::new(&[RepCell::W, Nw, N])
+            }
+            fn compute(&self, i: usize, j: usize, _nbrs: &Neighbors<u32>) -> u32 {
+                (i + j) as u32
+            }
+            fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = u32>> {
+                Some(self)
+            }
+            fn simd_kernel(&self) -> Option<&dyn SimdWaveKernel<Cell = u32>> {
+                Some(self)
+            }
+        }
+        impl WaveKernel for Ramp {
+            fn compute_run(
+                &self,
+                i: usize,
+                j0: usize,
+                out: &mut [u32],
+                _w: &[u32],
+                _nw: &[u32],
+                _n: &[u32],
+                _ne: &[u32],
+            ) {
+                for (p, slot) in out.iter_mut().enumerate() {
+                    *slot = ((i - p) + (j0 + p)) as u32;
+                }
+            }
+        }
+        impl SimdWaveKernel for Ramp {
+            fn lanes(&self) -> usize {
+                4
+            }
+            fn compute_run_simd(
+                &self,
+                i: usize,
+                j0: usize,
+                out: &mut [u32],
+                w: &[u32],
+                nw: &[u32],
+                n: &[u32],
+                ne: &[u32],
+            ) {
+                self.compute_run(i, j0, out, w, nw, n, ne);
+            }
+        }
+        let k = Ramp;
+        let sk = k.simd_kernel().expect("opted in");
+        assert_eq!(sk.lanes(), 4);
+        let mut out = [0u32; 2];
+        sk.compute_run_simd(2, 1, &mut out, &[], &[], &[], &[]);
+        assert_eq!(out, [3, 3]);
+        assert!((&k).simd_kernel().is_some());
     }
 
     #[test]

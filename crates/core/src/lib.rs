@@ -45,6 +45,10 @@ pub use cell::{ContributingSet, RepCell};
 pub use error::{DegradeStep, Error, Result};
 pub use framework::{choose_execution, Adapter, Classification, MirroredKernel, TransposedKernel};
 pub use grid::{Grid, Layout, LayoutKind};
-pub use kernel::{ClosureKernel, Kernel, Neighbors, WaveKernel};
+pub use kernel::{
+    simd_available, simd_backend, ClosureKernel, ExecTier, Kernel, Neighbors, SimdWaveKernel,
+    WaveKernel,
+};
 pub use pattern::{classify, Pattern, ProfileShape};
+pub use tuner_cache::{TuneKey, TunedConfig, TunerCache};
 pub use wavefront::Dims;

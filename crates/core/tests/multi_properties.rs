@@ -74,9 +74,7 @@ fn plans() -> impl Iterator<Item = (MultiPlan, Pattern, ContributingSet, Dims)> 
         configs().into_iter().flat_map(move |(dims, boundaries)| {
             switches(pattern, dims).into_iter().map(move |t_switch| {
                 let plan = MultiPlan::new(pattern, s, dims, t_switch, boundaries.clone())
-                    .unwrap_or_else(|e| {
-                        panic!("{pattern} {s} {dims:?} t_switch={t_switch}: {e}")
-                    });
+                    .unwrap_or_else(|e| panic!("{pattern} {s} {dims:?} t_switch={t_switch}: {e}"));
                 (plan, pattern, s, dims)
             })
         })
@@ -119,8 +117,7 @@ fn assignment_ranges_agree_with_cell_ownership() {
     for (plan, pattern, _s, dims) in plans() {
         for w in 0..plan.num_waves() {
             let ranges = plan.assignment(w);
-            let cells: Vec<(usize, usize)> =
-                wavefront::wave_cells(pattern, dims, w).collect();
+            let cells: Vec<(usize, usize)> = wavefront::wave_cells(pattern, dims, w).collect();
             for (device, r) in ranges.iter().enumerate() {
                 for pos in r.clone() {
                     let (i, j) = cells[pos];
@@ -159,13 +156,11 @@ fn transfers_cross_owner_boundaries_exactly() {
                         "{pattern} wave {w}: shipped cell ({si},{sj}) not owned by d{}",
                         t.from
                     );
-                    let feeds_consumer =
-                        wavefront::wave_cells(pattern, dims, w).any(|(i, j)| {
-                            plan.owner(i, j) == t.to
-                                && s.iter().any(|dep| {
-                                    dep.source(i, j, dims.rows, dims.cols) == Some((si, sj))
-                                })
-                        });
+                    let feeds_consumer = wavefront::wave_cells(pattern, dims, w).any(|(i, j)| {
+                        plan.owner(i, j) == t.to
+                            && s.iter()
+                                .any(|dep| dep.source(i, j, dims.rows, dims.cols) == Some((si, sj)))
+                    });
                     assert!(
                         feeds_consumer,
                         "{pattern} wave {w}: ({si},{sj}) shipped to d{} feeds none of \

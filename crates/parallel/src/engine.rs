@@ -25,6 +25,16 @@
 //!   shape LLVM can autovectorize. Border cells still go through the
 //!   scalar [`Kernel::compute`] path, and kernels without a `WaveKernel`
 //!   are entirely unaffected.
+//! * **SIMD interior runs.** Kernels that additionally expose a
+//!   [`SimdWaveKernel`] get their interior runs routed through
+//!   [`SimdWaveKernel::compute_run_simd`] whenever the host has a
+//!   vector backend ([`simd_available`]), with worker chunk boundaries
+//!   rounded down to lane multiples so at most one partial vector per
+//!   (worker, wave) is peeled. The resolved [`ExecTier`] is recorded on
+//!   every traced wave span; `LDDP_FORCE_TIER=scalar|bulk|simd` (read
+//!   once per process) or [`ParallelEngine::with_tier`] pin the tier
+//!   for debugging and ablations, downgrading gracefully when the
+//!   pinned tier is unavailable for a kernel.
 //!
 //! [`ParallelEngine::solve_traced`] runs the same algorithm with
 //! wall-clock instrumentation: one span per non-empty (worker, wave)
@@ -48,14 +58,14 @@
 //! property). The few `unsafe` blocks below encapsulate exactly this
 //! discipline.
 
-use crate::pool::{PoolError, WorkerPool};
+use crate::pool::{chunk_aligned, PoolError, WorkerPool};
 use lddp_chaos::FaultInjector;
 use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::{Grid, Layout, LayoutKind};
-use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
+use lddp_core::kernel::{simd_available, ExecTier, Kernel, Neighbors, SimdWaveKernel, WaveKernel};
 use lddp_core::pattern::{classify, Pattern};
 use lddp_core::schedule::compatible;
-use lddp_core::tuner::SweepPoint;
+use lddp_core::tuner::{pick_tier, SweepPoint, TierPoint};
 use lddp_core::wavefront::{self, Dims};
 use lddp_core::{DegradeStep, Error, Result};
 use lddp_trace::{tracks, NullSink, Span, TraceSink};
@@ -134,15 +144,6 @@ impl<T: Copy> SharedCells<T> {
     }
 }
 
-/// The contiguous sub-range of `0..len` owned by worker `t` of `n`.
-fn chunk(t: usize, n: usize, len: usize) -> Range<usize> {
-    let base = len / n;
-    let extra = len % n;
-    let start = t * base + t.min(extra);
-    let end = start + base + usize::from(t < extra);
-    start..end
-}
-
 /// Computes one worker's chunk of wave `w` cell by cell.
 ///
 /// # Safety
@@ -182,6 +183,63 @@ unsafe fn compute_chunk<K: Kernel + ?Sized>(
     }
 }
 
+/// The bulk executor a solve resolved to: the scalar-bulk
+/// [`WaveKernel`] path or the vectorized [`SimdWaveKernel`] path. Both
+/// consume the same interior-run slices; keeping the choice in one
+/// value lets the hot loops dispatch with a single match instead of
+/// re-deriving tier logic per run.
+enum BulkExec<'a, T> {
+    Wave(&'a dyn WaveKernel<Cell = T>),
+    Simd(&'a dyn SimdWaveKernel<Cell = T>),
+}
+
+impl<T> Clone for BulkExec<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for BulkExec<'_, T> {}
+
+impl<T: Copy + Send + Sync + PartialEq + std::fmt::Debug + Default> BulkExec<'_, T> {
+    /// The lane width worker chunks should align to (1 for the scalar
+    /// bulk path).
+    fn lanes(&self) -> usize {
+        match self {
+            BulkExec::Wave(_) => 1,
+            BulkExec::Simd(k) => k.lanes().max(1),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compute_run(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [T],
+        w: &[T],
+        nw: &[T],
+        n: &[T],
+        ne: &[T],
+    ) {
+        match self {
+            BulkExec::Wave(k) => k.compute_run(i, j0, out, w, nw, n, ne),
+            BulkExec::Simd(k) => k.compute_run_simd(i, j0, out, w, nw, n, ne),
+        }
+    }
+}
+
+/// The process-wide `LDDP_FORCE_TIER` debugging override, read once.
+/// Unparseable values are treated as unset.
+fn env_forced_tier() -> Option<ExecTier> {
+    static FORCED: OnceLock<Option<ExecTier>> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("LDDP_FORCE_TIER")
+            .ok()
+            .and_then(|s| ExecTier::parse(&s))
+    })
+}
+
 /// Computes one contiguous interior run of wave `w` through the kernel's
 /// bulk path, materializing the dependency and output slices.
 ///
@@ -193,7 +251,7 @@ unsafe fn compute_chunk<K: Kernel + ?Sized>(
 /// slots (the property tested in `lddp-core::grid`).
 #[allow(clippy::too_many_arguments)]
 unsafe fn compute_run_bulk<T: Copy + Send + Sync + PartialEq + std::fmt::Debug + Default>(
-    wk: &dyn WaveKernel<Cell = T>,
+    wk: BulkExec<'_, T>,
     set: ContributingSet,
     pattern: Pattern,
     dims: Dims,
@@ -263,7 +321,7 @@ unsafe fn compute_run_bulk<T: Copy + Send + Sync + PartialEq + std::fmt::Debug +
 #[allow(clippy::too_many_arguments)]
 unsafe fn compute_chunk_auto<K: Kernel + ?Sized>(
     kernel: &K,
-    wk: Option<&dyn WaveKernel<Cell = K::Cell>>,
+    wk: Option<BulkExec<'_, K::Cell>>,
     set: ContributingSet,
     pattern: Pattern,
     dims: Dims,
@@ -323,6 +381,7 @@ struct WorkerTrace {
 pub struct ParallelEngine {
     threads: usize,
     bulk: bool,
+    tier: Option<ExecTier>,
     pool: OnceLock<Arc<WorkerPool>>,
 }
 
@@ -333,6 +392,7 @@ impl ParallelEngine {
         ParallelEngine {
             threads: threads.max(1),
             bulk: true,
+            tier: None,
             pool: OnceLock::new(),
         }
     }
@@ -362,6 +422,97 @@ impl ParallelEngine {
     /// Whether the bulk path is enabled.
     pub fn bulk_enabled(&self) -> bool {
         self.bulk
+    }
+
+    /// Pins the execution tier instead of auto-selecting the fastest
+    /// available one (`None`, the default, restores auto-selection). A
+    /// pinned tier a kernel cannot support downgrades gracefully
+    /// (`Simd → Bulk → Scalar`); pinning [`ExecTier::BitParallel`] is
+    /// equivalent to auto, because the engine solves full tables and
+    /// bit-parallel execution is an answer-only specialization the
+    /// caller must route itself. The `LDDP_FORCE_TIER` environment
+    /// variable takes precedence over this builder.
+    pub fn with_tier(mut self, tier: Option<ExecTier>) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// The pinned tier, if any (`LDDP_FORCE_TIER` not considered).
+    pub fn tier_override(&self) -> Option<ExecTier> {
+        self.tier
+    }
+
+    /// The tier a [`solve`](ParallelEngine::solve) of `kernel` will
+    /// execute on, honoring `LDDP_FORCE_TIER`, the pinned tier and the
+    /// host's vector backend. Kernels whose contributing set does not
+    /// classify run scalar.
+    pub fn select_tier<K: Kernel>(&self, kernel: &K) -> ExecTier {
+        match classify(kernel.contributing_set()).map(Pattern::canonical) {
+            Some(pattern) => self.resolve_exec(kernel, pattern).0,
+            None => ExecTier::Scalar,
+        }
+    }
+
+    /// Resolves the tier and bulk executor for solving `kernel` under
+    /// `pattern`: the requested tier (env override, then pinned tier,
+    /// then fastest-available) downgraded to what the kernel and host
+    /// actually support under this execution pattern.
+    fn resolve_exec<'k, K: Kernel + ?Sized>(
+        &self,
+        kernel: &'k K,
+        pattern: Pattern,
+    ) -> (ExecTier, Option<BulkExec<'k, K::Cell>>) {
+        let bulk_ok = self.bulk && classify(kernel.contributing_set()) == Some(pattern);
+        let wave = if bulk_ok { kernel.wave_kernel() } else { None };
+        let simd = if bulk_ok && simd_available() {
+            kernel.simd_kernel()
+        } else {
+            None
+        };
+        let auto = if simd.is_some() {
+            ExecTier::Simd
+        } else if wave.is_some() {
+            ExecTier::Bulk
+        } else {
+            ExecTier::Scalar
+        };
+        let requested = match env_forced_tier().or(self.tier) {
+            None | Some(ExecTier::BitParallel) => auto,
+            Some(forced) => auto.min(forced),
+        };
+        // A kernel may expose a SIMD hook without a scalar-bulk one;
+        // downgrade past any missing rung rather than mis-reporting.
+        let (tier, exec) = match requested {
+            ExecTier::Simd if simd.is_some() => (ExecTier::Simd, simd.map(BulkExec::Simd)),
+            ExecTier::Simd | ExecTier::Bulk if wave.is_some() => {
+                (ExecTier::Bulk, wave.map(BulkExec::Wave))
+            }
+            _ => (ExecTier::Scalar, None),
+        };
+        (tier, exec)
+    }
+
+    /// Measures one solve per *available* tier of `kernel` (scalar,
+    /// bulk, SIMD — whichever the kernel and host support) on this
+    /// engine's pool and returns the fastest together with the sweep.
+    /// Ties prefer the simpler tier. Under `LDDP_FORCE_TIER` every
+    /// candidate resolves to the forced tier, so exactly one point is
+    /// measured.
+    pub fn tune_tier<K: Kernel>(&self, kernel: &K) -> Result<(ExecTier, Vec<TierPoint>)> {
+        let mut points = Vec::new();
+        for tier in [ExecTier::Scalar, ExecTier::Bulk, ExecTier::Simd] {
+            let candidate = self.clone().with_tier(Some(tier));
+            if candidate.select_tier(kernel) != tier {
+                continue; // unavailable: would re-measure a lower tier
+            }
+            let t0 = Instant::now();
+            candidate.solve(kernel)?;
+            points.push(TierPoint {
+                tier,
+                secs: t0.elapsed().as_secs_f64(),
+            });
+        }
+        Ok((pick_tier(&points).unwrap_or(ExecTier::Scalar), points))
     }
 
     /// The engine's worker pool, created on first use.
@@ -463,8 +614,7 @@ impl ParallelEngine {
             Err(Error::ExecutionPanicked { .. }) => {}
             Err(e) => return Err(e),
         }
-        let bulk_in_play =
-            self.bulk && classify(set) == Some(pattern) && kernel.wave_kernel().is_some();
+        let bulk_in_play = self.resolve_exec(kernel, pattern).0 != ExecTier::Scalar;
         if bulk_in_play {
             steps.push(DegradeStep::BulkToScalar);
             let scalar = self.clone().with_bulk_enabled(false);
@@ -591,15 +741,13 @@ impl ParallelEngine {
         let num_waves = pattern.num_waves(dims.rows, dims.cols);
         let threads = active.min(self.threads).min(dims.len()).max(1);
         let traced = sink.enabled();
-        // The bulk path is only sound when the executed pattern is the
-        // set's own classification: only then are all of a run's
-        // dependencies in strictly earlier waves with the contiguity
-        // property `Layout::interior_runs` relies on.
-        let bulk_kernel = if self.bulk && classify(set) == Some(pattern) {
-            kernel.wave_kernel()
-        } else {
-            None
-        };
+        // The bulk and SIMD paths are only sound when the executed
+        // pattern is the set's own classification: only then are all of
+        // a run's dependencies in strictly earlier waves with the
+        // contiguity property `Layout::interior_runs` relies on
+        // (resolve_exec enforces this).
+        let (tier, bulk_kernel) = self.resolve_exec(kernel, pattern);
+        let lanes = bulk_kernel.map_or(1, |e| e.lanes());
 
         if threads == 1 && !traced {
             if bulk_kernel.is_none() {
@@ -678,7 +826,7 @@ impl ParallelEngine {
                             runs,
                             &cells,
                             w,
-                            chunk(t, threads, len),
+                            chunk_aligned(t, threads, len, lanes),
                         );
                     }
                     pool.barrier().wait();
@@ -697,7 +845,7 @@ impl ParallelEngine {
             for w in 0..num_waves {
                 inject(t, w);
                 let len = pattern.wave_len(dims.rows, dims.cols, w);
-                let my = chunk(t, threads, len);
+                let my = chunk_aligned(t, threads, len, lanes);
                 let owned = my.len();
                 let runs = runs_by_wave.get(w).unwrap_or(&no_runs);
                 let t0 = epoch.elapsed().as_secs_f64();
@@ -739,7 +887,8 @@ impl ParallelEngine {
                 sink.span(
                     Span::new("wave", tracks::worker(t), start_s, dur_s)
                         .with_arg("wave", w)
-                        .with_arg("cells", owned),
+                        .with_arg("cells", owned)
+                        .with_arg("tier", tier.as_str()),
                 );
             }
             sink.sample(tracks::worker(t), "worker.busy_s", total_s, tr.busy_s);
@@ -750,6 +899,15 @@ impl ParallelEngine {
         sink.count("parallel.waves", num_waves as u64);
         sink.count("parallel.cells", dims.len() as u64);
         sink.count("parallel.workers", threads as u64);
+        sink.count(
+            match tier {
+                ExecTier::Scalar => "parallel.tier.scalar",
+                ExecTier::Bulk => "parallel.tier.bulk",
+                ExecTier::Simd => "parallel.tier.simd",
+                ExecTier::BitParallel => "parallel.tier.bitparallel",
+            },
+            1,
+        );
 
         Ok(grid)
     }
@@ -850,13 +1008,13 @@ mod tests {
             for len in [0usize, 1, 5, 8, 9, 100] {
                 let mut next = 0;
                 for t in 0..n {
-                    let c = chunk(t, n, len);
+                    let c = chunk_aligned(t, n, len, 1);
                     assert_eq!(c.start, next);
                     next = c.end;
                 }
                 assert_eq!(next, len, "threads={n} len={len}");
                 // Balanced within one cell.
-                let sizes: Vec<usize> = (0..n).map(|t| chunk(t, n, len).len()).collect();
+                let sizes: Vec<usize> = (0..n).map(|t| chunk_aligned(t, n, len, 1).len()).collect();
                 let min = sizes.iter().min().unwrap();
                 let max = sizes.iter().max().unwrap();
                 assert!(max - min <= 1);
@@ -1194,6 +1352,196 @@ mod tests {
         let engine = ParallelEngine::new(2);
         assert!(engine.bulk_enabled());
         assert!(!engine.clone().with_bulk_enabled(false).bulk_enabled());
+    }
+
+    /// [`BulkMix`] plus a SIMD hook whose "vector" body is the bulk
+    /// body — bit-identical by construction, so it can exercise tier
+    /// dispatch, lane-aligned chunking and reporting on any host.
+    struct SimdMix(BulkMix);
+
+    impl Kernel for SimdMix {
+        type Cell = u64;
+
+        fn dims(&self) -> Dims {
+            self.0.dims
+        }
+
+        fn contributing_set(&self) -> ContributingSet {
+            self.0.set
+        }
+
+        fn compute(&self, i: usize, j: usize, n: &Neighbors<u64>) -> u64 {
+            self.0.compute(i, j, n)
+        }
+
+        fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = u64>> {
+            self.0.wave_kernel().map(|_| self as _)
+        }
+
+        fn simd_kernel(&self) -> Option<&dyn SimdWaveKernel<Cell = u64>> {
+            (classify(self.0.set) == Some(Pattern::AntiDiagonal)).then_some(self as _)
+        }
+    }
+
+    impl WaveKernel for SimdMix {
+        fn compute_run(
+            &self,
+            i: usize,
+            j0: usize,
+            out: &mut [u64],
+            w: &[u64],
+            nw: &[u64],
+            n: &[u64],
+            ne: &[u64],
+        ) {
+            self.0.compute_run(i, j0, out, w, nw, n, ne);
+        }
+    }
+
+    impl SimdWaveKernel for SimdMix {
+        fn lanes(&self) -> usize {
+            4
+        }
+
+        fn compute_run_simd(
+            &self,
+            i: usize,
+            j0: usize,
+            out: &mut [u64],
+            w: &[u64],
+            nw: &[u64],
+            n: &[u64],
+            ne: &[u64],
+        ) {
+            self.compute_run(i, j0, out, w, nw, n, ne);
+        }
+    }
+
+    fn anti_diag_set() -> ContributingSet {
+        ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N])
+    }
+
+    #[test]
+    fn tier_selection_pins_and_downgrades() {
+        let simd_mix = SimdMix(BulkMix {
+            dims: Dims::new(16, 16),
+            set: anti_diag_set(),
+        });
+        let bulk_only = BulkMix {
+            dims: Dims::new(16, 16),
+            set: anti_diag_set(),
+        };
+        let scalar_only = mix_kernel(Dims::new(16, 16), anti_diag_set());
+        let engine = ParallelEngine::new(2);
+
+        let simd_auto = if simd_available() {
+            ExecTier::Simd
+        } else {
+            ExecTier::Bulk
+        };
+        assert_eq!(engine.select_tier(&simd_mix), simd_auto);
+        assert_eq!(engine.select_tier(&bulk_only), ExecTier::Bulk);
+        assert_eq!(engine.select_tier(&scalar_only), ExecTier::Scalar);
+
+        // Pins are honored where supported and downgrade where not.
+        let pin = |t| ParallelEngine::new(2).with_tier(Some(t));
+        assert_eq!(
+            pin(ExecTier::Scalar).select_tier(&simd_mix),
+            ExecTier::Scalar
+        );
+        assert_eq!(pin(ExecTier::Bulk).select_tier(&simd_mix), ExecTier::Bulk);
+        assert_eq!(pin(ExecTier::Simd).select_tier(&bulk_only), ExecTier::Bulk);
+        assert_eq!(
+            pin(ExecTier::Simd).select_tier(&scalar_only),
+            ExecTier::Scalar
+        );
+        // A bit-parallel pin is answer-level, not an engine tier: auto.
+        assert_eq!(pin(ExecTier::BitParallel).select_tier(&simd_mix), simd_auto);
+        // Disabling bulk forces scalar regardless of pins.
+        assert_eq!(
+            pin(ExecTier::Simd)
+                .with_bulk_enabled(false)
+                .select_tier(&simd_mix),
+            ExecTier::Scalar
+        );
+        assert_eq!(engine.tier_override(), None);
+        assert_eq!(
+            engine
+                .clone()
+                .with_tier(Some(ExecTier::Simd))
+                .tier_override(),
+            Some(ExecTier::Simd)
+        );
+    }
+
+    #[test]
+    fn simd_tier_matches_oracle_across_shapes_and_threads() {
+        for (r, c) in [(13, 11), (1, 9), (9, 1), (37, 23), (5, 64), (64, 5)] {
+            let kernel = SimdMix(BulkMix {
+                dims: Dims::new(r, c),
+                set: anti_diag_set(),
+            });
+            let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+            for threads in [1, 2, 5] {
+                for tier in [None, Some(ExecTier::Scalar), Some(ExecTier::Bulk)] {
+                    let engine = ParallelEngine::new(threads).with_tier(tier);
+                    let got = engine.solve(&kernel).unwrap();
+                    assert_eq!(got.to_row_major(), oracle, "{r}x{c} t={threads} {tier:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_solve_records_the_tier() {
+        let kernel = SimdMix(BulkMix {
+            dims: Dims::new(33, 29),
+            set: anti_diag_set(),
+        });
+        let rec = Recorder::new();
+        let engine = ParallelEngine::new(3);
+        let tier = engine.select_tier(&kernel);
+        engine.solve_traced(&kernel, &rec).unwrap();
+        let data = rec.snapshot();
+        assert_eq!(data.counters[&format!("parallel.tier.{tier}")], 1);
+        let wave_spans: Vec<_> = data.spans.iter().filter(|s| s.name == "wave").collect();
+        assert!(!wave_spans.is_empty());
+        for s in wave_spans {
+            let arg = s
+                .args
+                .iter()
+                .find(|(k, _)| *k == "tier")
+                .map(|(_, v)| v.clone());
+            assert_eq!(
+                arg,
+                Some(lddp_trace::ArgValue::Str(tier.as_str().to_string())),
+                "every wave span carries the resolved tier"
+            );
+        }
+    }
+
+    #[test]
+    fn tune_tier_sweeps_available_tiers_and_picks_one() {
+        let engine = ParallelEngine::new(2);
+        let kernel = SimdMix(BulkMix {
+            dims: Dims::new(48, 48),
+            set: anti_diag_set(),
+        });
+        let (best, points) = engine.tune_tier(&kernel).unwrap();
+        let tiers: Vec<ExecTier> = points.iter().map(|p| p.tier).collect();
+        let mut expect = vec![ExecTier::Scalar, ExecTier::Bulk];
+        if simd_available() {
+            expect.push(ExecTier::Simd);
+        }
+        assert_eq!(tiers, expect);
+        assert!(points.iter().all(|p| p.secs >= 0.0));
+        assert!(tiers.contains(&best));
+
+        // A kernel without bulk hooks sweeps only the scalar tier.
+        let scalar_only = mix_kernel(Dims::new(24, 24), anti_diag_set());
+        let (best, points) = engine.tune_tier(&scalar_only).unwrap();
+        assert_eq!(best, ExecTier::Scalar);
+        assert_eq!(points.len(), 1);
     }
 
     #[test]

@@ -16,4 +16,4 @@ pub mod pool;
 
 pub use cache_oblivious::CacheObliviousEngine;
 pub use engine::ParallelEngine;
-pub use pool::{PoolError, SenseBarrier, WorkerPool};
+pub use pool::{chunk_aligned, PoolError, SenseBarrier, WorkerPool};

@@ -19,6 +19,7 @@
 //! what makes the internal lifetime erasure sound.
 
 use std::fmt;
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -64,6 +65,29 @@ impl fmt::Display for PoolError {
 }
 
 impl std::error::Error for PoolError {}
+
+/// The contiguous sub-range of `0..len` owned by worker `t` of `n`,
+/// with every *interior* boundary rounded down to a multiple of
+/// `align`. With `align = 1` this is the plain balanced split (chunks
+/// differ by at most one element); with the SIMD tier's lane width it
+/// keeps each worker's slice of a wave starting on a lane boundary, so
+/// at most one partial vector per (worker, wave) is peeled instead of
+/// one per chunk seam. The first boundary stays 0 and the last stays
+/// `len`, so the chunks always tile `0..len` exactly; when `len` is
+/// small relative to `n * align`, leading chunks may round to empty.
+pub fn chunk_aligned(t: usize, n: usize, len: usize, align: usize) -> Range<usize> {
+    let align = align.max(1);
+    let bound = |t: usize| -> usize {
+        if t >= n {
+            return len;
+        }
+        let base = len / n;
+        let extra = len % n;
+        let ideal = t * base + t.min(extra);
+        ideal / align * align
+    };
+    bound(t)..bound(t + 1)
+}
 
 /// A reusable sense-reversing spin barrier.
 ///
@@ -447,6 +471,30 @@ impl Drop for WorkerPool {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn aligned_chunks_tile_and_respect_lane_boundaries() {
+        for n in 1..7 {
+            for len in [0usize, 1, 5, 8, 24, 100, 1023] {
+                for align in [1usize, 4, 8] {
+                    let mut next = 0;
+                    for t in 0..n {
+                        let c = chunk_aligned(t, n, len, align);
+                        assert_eq!(c.start, next, "n={n} len={len} align={align} t={t}");
+                        assert!(
+                            t + 1 == n || c.end % align == 0,
+                            "interior boundary must be lane-aligned"
+                        );
+                        next = c.end;
+                    }
+                    assert_eq!(next, len, "chunks must tile 0..len");
+                }
+            }
+        }
+        // align = 0 clamps to 1 and behaves like the unaligned split.
+        assert_eq!(chunk_aligned(0, 2, 5, 0), 0..3);
+        assert_eq!(chunk_aligned(1, 2, 5, 0), 3..5);
+    }
 
     #[test]
     fn runs_exactly_the_active_workers() {

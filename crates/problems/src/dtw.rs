@@ -1,9 +1,10 @@
 //! Dynamic time warping — the speech-processing motivation of §I
 //! (anti-diagonal pattern), with an optional Sakoe–Chiba band.
 
+use crate::simd;
 use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::Grid;
-use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
+use lddp_core::kernel::{Kernel, Neighbors, SimdWaveKernel, WaveKernel};
 use lddp_core::wavefront::Dims;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,6 +103,10 @@ impl Kernel for DtwKernel {
     fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = f32>> {
         Some(self)
     }
+
+    fn simd_kernel(&self) -> Option<&dyn SimdWaveKernel<Cell = f32>> {
+        Some(self)
+    }
 }
 
 impl WaveKernel for DtwKernel {
@@ -127,6 +132,162 @@ impl WaveKernel for DtwKernel {
             } else {
                 (self.a[ci] - self.b[cj]).abs() + w[p].min(nw[p]).min(n[p])
             };
+        }
+    }
+}
+
+impl SimdWaveKernel for DtwKernel {
+    fn lanes(&self) -> usize {
+        simd::LANES
+    }
+
+    fn compute_run_simd(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [f32],
+        w: &[f32],
+        nw: &[f32],
+        n: &[f32],
+        ne: &[f32],
+    ) {
+        let len = out.len();
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let vl = len - len % 8;
+            if vl > 0 {
+                // Safety: interior run — the scalar body reads a[i - p]
+                // and b[j0 + p] for each p < vl, exactly the f32s the
+                // vector body loads.
+                unsafe { self.run_avx2(i, j0, &mut out[..vl], &w[..vl], &nw[..vl], &n[..vl]) };
+            }
+            if vl < len {
+                self.compute_run(
+                    i - vl,
+                    j0 + vl,
+                    &mut out[vl..],
+                    simd::offset(w, vl),
+                    simd::offset(nw, vl),
+                    simd::offset(n, vl),
+                    simd::offset(ne, vl),
+                );
+            }
+            return;
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            let vl = len - len % 4;
+            if vl > 0 {
+                // Safety: NEON is baseline on aarch64; bounds as above.
+                unsafe { self.run_neon(i, j0, &mut out[..vl], &w[..vl], &nw[..vl], &n[..vl]) };
+            }
+            if vl < len {
+                self.compute_run(
+                    i - vl,
+                    j0 + vl,
+                    &mut out[vl..],
+                    simd::offset(w, vl),
+                    simd::offset(nw, vl),
+                    simd::offset(n, vl),
+                    simd::offset(ne, vl),
+                );
+            }
+            return;
+        }
+        #[cfg(not(target_arch = "aarch64"))]
+        self.compute_run(i, j0, out, w, nw, n, ne);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl DtwKernel {
+    /// AVX2 body: eight anti-diagonal cells per step in f32 lanes. The
+    /// `a` samples are loaded forward from the lane-7 index and lane-
+    /// reversed (the anti-diagonal walks `a` backwards); |a - b| is a
+    /// sign-bit clear; `min_ps` matches `f32::min` bit-for-bit here
+    /// because the series are finite and the accumulated costs are
+    /// never NaN or -0.0. Out-of-band lanes blend to +∞ from an i32
+    /// compare on `|ci - cj| > r`. `out.len()` must be a multiple of 8.
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_avx2(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [f32],
+        w: &[f32],
+        nw: &[f32],
+        n: &[f32],
+    ) {
+        use std::arch::x86_64::*;
+        let rev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+        let sign = _mm256_set1_ps(-0.0);
+        let inf = _mm256_set1_ps(f32::INFINITY);
+        let lane_step = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+        let a = self.a.as_ptr();
+        let b = self.b.as_ptr();
+        let mut p = 0;
+        while p < out.len() {
+            // Lane k is cell p + k at (i - p - k, j0 + p + k).
+            let av = _mm256_permutevar8x32_ps(_mm256_loadu_ps(a.add(i - p - 7)), rev);
+            let bv = _mm256_loadu_ps(b.add(j0 + p));
+            let local = _mm256_andnot_ps(sign, _mm256_sub_ps(av, bv));
+            let wv = _mm256_loadu_ps(w.as_ptr().add(p));
+            let nwv = _mm256_loadu_ps(nw.as_ptr().add(p));
+            let nv = _mm256_loadu_ps(n.as_ptr().add(p));
+            let best = _mm256_min_ps(_mm256_min_ps(wv, nwv), nv);
+            let mut res = _mm256_add_ps(local, best);
+            if let Some(r) = self.band {
+                // ci - cj = (i - j0 - 2p) - 2k per lane.
+                let base = _mm256_set1_epi32(i as i32 - j0 as i32 - 2 * p as i32);
+                let delta = _mm256_sub_epi32(base, lane_step);
+                let oob = _mm256_cmpgt_epi32(_mm256_abs_epi32(delta), _mm256_set1_epi32(r as i32));
+                res = _mm256_blendv_ps(res, inf, _mm256_castsi256_ps(oob));
+            }
+            _mm256_storeu_ps(out.as_mut_ptr().add(p), res);
+            p += 8;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+impl DtwKernel {
+    /// NEON body: four cells per step. `out.len()` must be a multiple
+    /// of 4.
+    unsafe fn run_neon(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [f32],
+        w: &[f32],
+        nw: &[f32],
+        n: &[f32],
+    ) {
+        use std::arch::aarch64::*;
+        let inf = vdupq_n_f32(f32::INFINITY);
+        let mut p = 0;
+        while p < out.len() {
+            let ar = [
+                self.a[i - p],
+                self.a[i - p - 1],
+                self.a[i - p - 2],
+                self.a[i - p - 3],
+            ];
+            let av = vld1q_f32(ar.as_ptr());
+            let bv = vld1q_f32(self.b.as_ptr().add(j0 + p));
+            let local = vabsq_f32(vsubq_f32(av, bv));
+            let wv = vld1q_f32(w.as_ptr().add(p));
+            let nwv = vld1q_f32(nw.as_ptr().add(p));
+            let nv = vld1q_f32(n.as_ptr().add(p));
+            let best = vminq_f32(vminq_f32(wv, nwv), nv);
+            let mut res = vaddq_f32(local, best);
+            if let Some(r) = self.band {
+                let lane =
+                    |k: usize| 0u32.wrapping_sub(((i - p - k).abs_diff(j0 + p + k) > r) as u32);
+                let oob = [lane(0), lane(1), lane(2), lane(3)];
+                res = vbslq_f32(vld1q_u32(oob.as_ptr()), inf, res);
+            }
+            vst1q_f32(out.as_mut_ptr().add(p), res);
+            p += 4;
         }
     }
 }
@@ -177,6 +338,40 @@ mod tests {
     use lddp_core::pattern::{classify, Pattern};
     use lddp_core::seq::solve_row_major;
     use proptest::prelude::*;
+
+    #[test]
+    fn simd_run_matches_scalar_run_bit_for_bit() {
+        let series = |mul: u32| -> Vec<f32> {
+            (0..96u32)
+                .map(|x| (x * mul % 19) as f32 * 0.5 - 3.0)
+                .collect()
+        };
+        for band in [None, Some(3), Some(64)] {
+            let mut k = DtwKernel::new(series(7), series(11));
+            if let Some(r) = band {
+                k = k.with_band(r);
+            }
+            for len in [1usize, 3, 4, 7, 8, 9, 16, 31, 40] {
+                let (i, j0) = (len, 1);
+                let w: Vec<f32> = (0..len as u32)
+                    .map(|x| (x * 3 % 17) as f32 * 0.25)
+                    .collect();
+                let nw: Vec<f32> = (0..len as u32)
+                    .map(|x| (x * 5 % 13) as f32 * 0.25)
+                    .collect();
+                let n: Vec<f32> = (0..len as u32)
+                    .map(|x| (x * 7 % 11) as f32 * 0.25)
+                    .collect();
+                let mut scalar = vec![0f32; len];
+                let mut vector = vec![0f32; len];
+                k.compute_run(i, j0, &mut scalar, &w, &nw, &n, &[]);
+                k.compute_run_simd(i, j0, &mut vector, &w, &nw, &n, &[]);
+                let sb: Vec<u32> = scalar.iter().map(|x| x.to_bits()).collect();
+                let vb: Vec<u32> = vector.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(sb, vb, "band {band:?} len {len}");
+            }
+        }
+    }
 
     #[test]
     fn classified_as_anti_diagonal() {

@@ -6,8 +6,9 @@
 //! [1] L. Allison, T. I. Dix, *A bit-string longest-common-subsequence
 //! algorithm*, Inf. Process. Lett. 23(6), 1986.
 
+use crate::simd;
 use lddp_core::cell::{ContributingSet, RepCell};
-use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
+use lddp_core::kernel::{Kernel, Neighbors, SimdWaveKernel, WaveKernel};
 use lddp_core::wavefront::Dims;
 
 /// LCS-length kernel over two byte strings (table `(m+1) × (n+1)`).
@@ -68,6 +69,10 @@ impl Kernel for LcsKernel {
     fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = u32>> {
         Some(self)
     }
+
+    fn simd_kernel(&self) -> Option<&dyn SimdWaveKernel<Cell = u32>> {
+        Some(self)
+    }
 }
 
 impl WaveKernel for LcsKernel {
@@ -90,6 +95,134 @@ impl WaveKernel for LcsKernel {
             } else {
                 w[p].max(n[p])
             };
+        }
+    }
+}
+
+impl SimdWaveKernel for LcsKernel {
+    fn lanes(&self) -> usize {
+        simd::LANES
+    }
+
+    fn compute_run_simd(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [u32],
+        w: &[u32],
+        nw: &[u32],
+        n: &[u32],
+        ne: &[u32],
+    ) {
+        let len = out.len();
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let vl = len - len % 8;
+            if vl > 0 {
+                // Safety: every cell of the run is interior, so the
+                // scalar body reads a[i - p - 1] and b[j0 + p - 1] for
+                // each p < vl — exactly the bytes the vector body
+                // loads — and the dependency slices cover [0, vl).
+                unsafe { self.run_avx2(i, j0, &mut out[..vl], &w[..vl], &nw[..vl], &n[..vl]) };
+            }
+            if vl < len {
+                // Scalar tail: cell vl of this run is (i - vl, j0 + vl).
+                self.compute_run(
+                    i - vl,
+                    j0 + vl,
+                    &mut out[vl..],
+                    simd::offset(w, vl),
+                    simd::offset(nw, vl),
+                    simd::offset(n, vl),
+                    simd::offset(ne, vl),
+                );
+            }
+            return;
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            let vl = len - len % 4;
+            if vl > 0 {
+                // Safety: NEON is baseline on aarch64; bounds as above.
+                unsafe { self.run_neon(i, j0, &mut out[..vl], &w[..vl], &nw[..vl], &n[..vl]) };
+            }
+            if vl < len {
+                self.compute_run(
+                    i - vl,
+                    j0 + vl,
+                    &mut out[vl..],
+                    simd::offset(w, vl),
+                    simd::offset(nw, vl),
+                    simd::offset(n, vl),
+                    simd::offset(ne, vl),
+                );
+            }
+            return;
+        }
+        #[cfg(not(target_arch = "aarch64"))]
+        self.compute_run(i, j0, out, w, nw, n, ne);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl LcsKernel {
+    /// AVX2 body: eight anti-diagonal cells per step,
+    /// `eq ? nw + 1 : max(w, n)` as a widened byte-compare mask blending
+    /// two 8×u32 candidate vectors. `out.len()` must be a multiple of 8.
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_avx2(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [u32],
+        w: &[u32],
+        nw: &[u32],
+        n: &[u32],
+    ) {
+        use std::arch::x86_64::*;
+        let ones = _mm256_set1_epi32(1);
+        let a = self.a.as_ptr();
+        let b = self.b.as_ptr();
+        let mut p = 0;
+        while p < out.len() {
+            let eq = simd::x86::eq_mask_rev8(a.add(i - p - 8), b.add(j0 + p - 1));
+            let wv = _mm256_loadu_si256(w.as_ptr().add(p) as *const __m256i);
+            let nwv = _mm256_loadu_si256(nw.as_ptr().add(p) as *const __m256i);
+            let nv = _mm256_loadu_si256(n.as_ptr().add(p) as *const __m256i);
+            let taken = _mm256_add_epi32(nwv, ones);
+            let skip = _mm256_max_epu32(wv, nv);
+            let res = _mm256_blendv_epi8(skip, taken, eq);
+            _mm256_storeu_si256(out.as_mut_ptr().add(p) as *mut __m256i, res);
+            p += 8;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+impl LcsKernel {
+    /// NEON body: four cells per step. `out.len()` must be a multiple
+    /// of 4.
+    unsafe fn run_neon(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [u32],
+        w: &[u32],
+        nw: &[u32],
+        n: &[u32],
+    ) {
+        use std::arch::aarch64::*;
+        let ones = vdupq_n_u32(1);
+        let mut p = 0;
+        while p < out.len() {
+            let eq = vld1q_u32(simd::neon::eq_lanes4(&self.a, &self.b, i, j0, p).as_ptr());
+            let wv = vld1q_u32(w.as_ptr().add(p));
+            let nwv = vld1q_u32(nw.as_ptr().add(p));
+            let nv = vld1q_u32(n.as_ptr().add(p));
+            let taken = vaddq_u32(nwv, ones);
+            let skip = vmaxq_u32(wv, nv);
+            vst1q_u32(out.as_mut_ptr().add(p), vbslq_u32(eq, taken, skip));
+            p += 4;
         }
     }
 }
@@ -192,6 +325,26 @@ mod tests {
             let k = LcsKernel::new(a, b);
             let grid = solve_row_major(&k).unwrap();
             assert_eq!(k.length_from(&grid), len, "kernel {a:?} {b:?}");
+        }
+    }
+
+    #[test]
+    fn simd_run_matches_scalar_run() {
+        // Lane-unaligned lengths exercise both the vector body and the
+        // scalar tail peel.
+        let a: Vec<u8> = (0..96u32).map(|x| (x * 7 % 5) as u8).collect();
+        let b: Vec<u8> = (0..96u32).map(|x| (x * 11 % 5) as u8).collect();
+        let k = LcsKernel::new(a, b);
+        for len in [1usize, 3, 4, 7, 8, 9, 16, 31, 40] {
+            let (i, j0) = (len + 5, 3);
+            let w: Vec<u32> = (0..len as u32).map(|x| x * 3 % 17).collect();
+            let nw: Vec<u32> = (0..len as u32).map(|x| x * 5 % 13).collect();
+            let n: Vec<u32> = (0..len as u32).map(|x| x * 7 % 11).collect();
+            let mut scalar = vec![0u32; len];
+            let mut vector = vec![0u32; len];
+            k.compute_run(i, j0, &mut scalar, &w, &nw, &n, &[]);
+            k.compute_run_simd(i, j0, &mut vector, &w, &nw, &n, &[]);
+            assert_eq!(scalar, vector, "len {len}");
         }
     }
 

@@ -6,8 +6,9 @@
 //! (`min(i,j) = 0 → max(i,j)`) live inside the kernel function, exactly
 //! as the framework contract (§V-C) prescribes.
 
+use crate::simd;
 use lddp_core::cell::{ContributingSet, RepCell};
-use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
+use lddp_core::kernel::{Kernel, Neighbors, SimdWaveKernel, WaveKernel};
 use lddp_core::wavefront::Dims;
 
 /// Levenshtein kernel over two byte strings.
@@ -83,6 +84,10 @@ impl Kernel for LevenshteinKernel {
     fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = u32>> {
         Some(self)
     }
+
+    fn simd_kernel(&self) -> Option<&dyn SimdWaveKernel<Cell = u32>> {
+        Some(self)
+    }
 }
 
 impl WaveKernel for LevenshteinKernel {
@@ -104,6 +109,130 @@ impl WaveKernel for LevenshteinKernel {
             } else {
                 1 + w[p].min(nw[p]).min(n[p])
             };
+        }
+    }
+}
+
+impl SimdWaveKernel for LevenshteinKernel {
+    fn lanes(&self) -> usize {
+        simd::LANES
+    }
+
+    fn compute_run_simd(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [u32],
+        w: &[u32],
+        nw: &[u32],
+        n: &[u32],
+        ne: &[u32],
+    ) {
+        let len = out.len();
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let vl = len - len % 8;
+            if vl > 0 {
+                // Safety: interior run — the scalar body reads the same
+                // a/b bytes and slice indices the vector body loads.
+                unsafe { self.run_avx2(i, j0, &mut out[..vl], &w[..vl], &nw[..vl], &n[..vl]) };
+            }
+            if vl < len {
+                self.compute_run(
+                    i - vl,
+                    j0 + vl,
+                    &mut out[vl..],
+                    simd::offset(w, vl),
+                    simd::offset(nw, vl),
+                    simd::offset(n, vl),
+                    simd::offset(ne, vl),
+                );
+            }
+            return;
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            let vl = len - len % 4;
+            if vl > 0 {
+                // Safety: NEON is baseline on aarch64; bounds as above.
+                unsafe { self.run_neon(i, j0, &mut out[..vl], &w[..vl], &nw[..vl], &n[..vl]) };
+            }
+            if vl < len {
+                self.compute_run(
+                    i - vl,
+                    j0 + vl,
+                    &mut out[vl..],
+                    simd::offset(w, vl),
+                    simd::offset(nw, vl),
+                    simd::offset(n, vl),
+                    simd::offset(ne, vl),
+                );
+            }
+            return;
+        }
+        #[cfg(not(target_arch = "aarch64"))]
+        self.compute_run(i, j0, out, w, nw, n, ne);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl LevenshteinKernel {
+    /// AVX2 body: eight anti-diagonal cells per step,
+    /// `eq ? nw : 1 + min(w, nw, n)` via a widened byte-compare mask.
+    /// `out.len()` must be a multiple of 8.
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_avx2(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [u32],
+        w: &[u32],
+        nw: &[u32],
+        n: &[u32],
+    ) {
+        use std::arch::x86_64::*;
+        let ones = _mm256_set1_epi32(1);
+        let a = self.a.as_ptr();
+        let b = self.b.as_ptr();
+        let mut p = 0;
+        while p < out.len() {
+            let eq = simd::x86::eq_mask_rev8(a.add(i - p - 8), b.add(j0 + p - 1));
+            let wv = _mm256_loadu_si256(w.as_ptr().add(p) as *const __m256i);
+            let nwv = _mm256_loadu_si256(nw.as_ptr().add(p) as *const __m256i);
+            let nv = _mm256_loadu_si256(n.as_ptr().add(p) as *const __m256i);
+            let m3 = _mm256_min_epu32(_mm256_min_epu32(wv, nwv), nv);
+            let skip = _mm256_add_epi32(m3, ones);
+            let res = _mm256_blendv_epi8(skip, nwv, eq);
+            _mm256_storeu_si256(out.as_mut_ptr().add(p) as *mut __m256i, res);
+            p += 8;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+impl LevenshteinKernel {
+    /// NEON body: four cells per step. `out.len()` must be a multiple
+    /// of 4.
+    unsafe fn run_neon(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [u32],
+        w: &[u32],
+        nw: &[u32],
+        n: &[u32],
+    ) {
+        use std::arch::aarch64::*;
+        let ones = vdupq_n_u32(1);
+        let mut p = 0;
+        while p < out.len() {
+            let eq = vld1q_u32(simd::neon::eq_lanes4(&self.a, &self.b, i, j0, p).as_ptr());
+            let wv = vld1q_u32(w.as_ptr().add(p));
+            let nwv = vld1q_u32(nw.as_ptr().add(p));
+            let nv = vld1q_u32(n.as_ptr().add(p));
+            let skip = vaddq_u32(vminq_u32(vminq_u32(wv, nwv), nv), ones);
+            vst1q_u32(out.as_mut_ptr().add(p), vbslq_u32(eq, nwv, skip));
+            p += 4;
         }
     }
 }
@@ -207,6 +336,24 @@ mod tests {
     use lddp_core::pattern::{classify, Pattern};
     use lddp_core::seq::solve_row_major;
     use proptest::prelude::*;
+
+    #[test]
+    fn simd_run_matches_scalar_run() {
+        let a: Vec<u8> = (0..96u32).map(|x| (x * 7 % 5) as u8).collect();
+        let b: Vec<u8> = (0..96u32).map(|x| (x * 11 % 5) as u8).collect();
+        let k = LevenshteinKernel::new(a, b);
+        for len in [1usize, 3, 4, 7, 8, 9, 16, 31, 40] {
+            let (i, j0) = (len + 5, 3);
+            let w: Vec<u32> = (0..len as u32).map(|x| x * 3 % 17).collect();
+            let nw: Vec<u32> = (0..len as u32).map(|x| x * 5 % 13).collect();
+            let n: Vec<u32> = (0..len as u32).map(|x| x * 7 % 11).collect();
+            let mut scalar = vec![0u32; len];
+            let mut vector = vec![0u32; len];
+            k.compute_run(i, j0, &mut scalar, &w, &nw, &n, &[]);
+            k.compute_run_simd(i, j0, &mut vector, &w, &nw, &n, &[]);
+            assert_eq!(scalar, vector, "len {len}");
+        }
+    }
 
     #[test]
     fn classified_as_anti_diagonal() {

@@ -28,6 +28,7 @@ pub mod levenshtein;
 pub mod max_square;
 pub mod needleman_wunsch;
 pub mod seam_carving;
+mod simd;
 pub mod smith_waterman;
 pub mod synthetic;
 pub mod weighted_edit;

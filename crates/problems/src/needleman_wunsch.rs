@@ -3,9 +3,10 @@
 //! bioinformatics motivation, complementing the local (Smith–Waterman)
 //! variant. Anti-diagonal pattern, contributing set `{W, NW, N}`.
 
+use crate::simd;
 use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::Grid;
-use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
+use lddp_core::kernel::{Kernel, Neighbors, SimdWaveKernel, WaveKernel};
 use lddp_core::wavefront::Dims;
 
 /// Global-alignment scoring (linear gaps).
@@ -140,6 +141,10 @@ impl Kernel for NeedlemanWunschKernel {
     fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = i32>> {
         Some(self)
     }
+
+    fn simd_kernel(&self) -> Option<&dyn SimdWaveKernel<Cell = i32>> {
+        Some(self)
+    }
 }
 
 impl WaveKernel for NeedlemanWunschKernel {
@@ -167,6 +172,142 @@ impl WaveKernel for NeedlemanWunschKernel {
     }
 }
 
+impl SimdWaveKernel for NeedlemanWunschKernel {
+    fn lanes(&self) -> usize {
+        simd::LANES
+    }
+
+    fn compute_run_simd(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [i32],
+        w: &[i32],
+        nw: &[i32],
+        n: &[i32],
+        ne: &[i32],
+    ) {
+        let len = out.len();
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let vl = len - len % 8;
+            if vl > 0 {
+                // Safety: interior run — the scalar body reads the same
+                // a/b bytes and slice indices the vector body loads.
+                unsafe { self.run_avx2(i, j0, &mut out[..vl], &w[..vl], &nw[..vl], &n[..vl]) };
+            }
+            if vl < len {
+                self.compute_run(
+                    i - vl,
+                    j0 + vl,
+                    &mut out[vl..],
+                    simd::offset(w, vl),
+                    simd::offset(nw, vl),
+                    simd::offset(n, vl),
+                    simd::offset(ne, vl),
+                );
+            }
+            return;
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            let vl = len - len % 4;
+            if vl > 0 {
+                // Safety: NEON is baseline on aarch64; bounds as above.
+                unsafe { self.run_neon(i, j0, &mut out[..vl], &w[..vl], &nw[..vl], &n[..vl]) };
+            }
+            if vl < len {
+                self.compute_run(
+                    i - vl,
+                    j0 + vl,
+                    &mut out[vl..],
+                    simd::offset(w, vl),
+                    simd::offset(nw, vl),
+                    simd::offset(n, vl),
+                    simd::offset(ne, vl),
+                );
+            }
+            return;
+        }
+        #[cfg(not(target_arch = "aarch64"))]
+        self.compute_run(i, j0, out, w, nw, n, ne);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl NeedlemanWunschKernel {
+    /// AVX2 body: eight anti-diagonal cells per step. The substitution
+    /// score is a blend of the match/mismatch splats on the widened
+    /// byte-compare mask; the three candidates reduce with signed
+    /// 32-bit max in the same order as `compute` (NW, N, W).
+    /// `out.len()` must be a multiple of 8.
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_avx2(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [i32],
+        w: &[i32],
+        nw: &[i32],
+        n: &[i32],
+    ) {
+        use std::arch::x86_64::*;
+        let s = self.scoring;
+        let mat = _mm256_set1_epi32(s.matches);
+        let mis = _mm256_set1_epi32(s.mismatch);
+        let gap = _mm256_set1_epi32(s.gap);
+        let a = self.a.as_ptr();
+        let b = self.b.as_ptr();
+        let mut p = 0;
+        while p < out.len() {
+            let eq = simd::x86::eq_mask_rev8(a.add(i - p - 8), b.add(j0 + p - 1));
+            let wv = _mm256_loadu_si256(w.as_ptr().add(p) as *const __m256i);
+            let nwv = _mm256_loadu_si256(nw.as_ptr().add(p) as *const __m256i);
+            let nv = _mm256_loadu_si256(n.as_ptr().add(p) as *const __m256i);
+            let sub = _mm256_blendv_epi8(mis, mat, eq);
+            let diag = _mm256_add_epi32(nwv, sub);
+            let up = _mm256_add_epi32(nv, gap);
+            let left = _mm256_add_epi32(wv, gap);
+            let res = _mm256_max_epi32(_mm256_max_epi32(diag, up), left);
+            _mm256_storeu_si256(out.as_mut_ptr().add(p) as *mut __m256i, res);
+            p += 8;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+impl NeedlemanWunschKernel {
+    /// NEON body: four cells per step. `out.len()` must be a multiple
+    /// of 4.
+    unsafe fn run_neon(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [i32],
+        w: &[i32],
+        nw: &[i32],
+        n: &[i32],
+    ) {
+        use std::arch::aarch64::*;
+        let s = self.scoring;
+        let mat = vdupq_n_s32(s.matches);
+        let mis = vdupq_n_s32(s.mismatch);
+        let gap = vdupq_n_s32(s.gap);
+        let mut p = 0;
+        while p < out.len() {
+            let eq = vld1q_u32(simd::neon::eq_lanes4(&self.a, &self.b, i, j0, p).as_ptr());
+            let wv = vld1q_s32(w.as_ptr().add(p));
+            let nwv = vld1q_s32(nw.as_ptr().add(p));
+            let nv = vld1q_s32(n.as_ptr().add(p));
+            let sub = vbslq_s32(eq, mat, mis);
+            let diag = vaddq_s32(nwv, sub);
+            let res = vmaxq_s32(vmaxq_s32(diag, vaddq_s32(nv, gap)), vaddq_s32(wv, gap));
+            vst1q_s32(out.as_mut_ptr().add(p), res);
+            p += 4;
+        }
+    }
+}
+
 /// Independent two-row reference.
 pub fn global_score(a: &[u8], b: &[u8], s: NwScoring) -> i32 {
     let n = b.len();
@@ -190,6 +331,24 @@ mod tests {
     use lddp_core::pattern::{classify, Pattern};
     use lddp_core::seq::solve_row_major;
     use proptest::prelude::*;
+
+    #[test]
+    fn simd_run_matches_scalar_run() {
+        let a: Vec<u8> = (0..96u32).map(|x| (x * 7 % 5) as u8).collect();
+        let b: Vec<u8> = (0..96u32).map(|x| (x * 11 % 5) as u8).collect();
+        let k = NeedlemanWunschKernel::new(a, b);
+        for len in [1usize, 3, 4, 7, 8, 9, 16, 31, 40] {
+            let (i, j0) = (len + 5, 3);
+            let w: Vec<i32> = (0..len as i32).map(|x| x * 3 % 17 - 8).collect();
+            let nw: Vec<i32> = (0..len as i32).map(|x| x * 5 % 13 - 6).collect();
+            let n: Vec<i32> = (0..len as i32).map(|x| x * 7 % 11 - 5).collect();
+            let mut scalar = vec![0i32; len];
+            let mut vector = vec![0i32; len];
+            k.compute_run(i, j0, &mut scalar, &w, &nw, &n, &[]);
+            k.compute_run_simd(i, j0, &mut vector, &w, &nw, &n, &[]);
+            assert_eq!(scalar, vector, "len {len}");
+        }
+    }
 
     #[test]
     fn classified_as_anti_diagonal() {

@@ -1,0 +1,120 @@
+//! Shared plumbing for the [`SimdWaveKernel`] implementations.
+//!
+//! Every vectorized kernel in this crate follows the same shape: a safe
+//! `compute_run_simd` wrapper that picks the host backend at runtime
+//! (AVX2 on x86_64, NEON on aarch64, the scalar bulk path everywhere
+//! else), hands full lane-width chunks to an `unsafe` vector body, and
+//! peels the sub-lane tail back to `compute_run`. The helpers here are
+//! the pieces those bodies share; the bodies themselves live next to
+//! the kernels they vectorize, because they read the kernels' private
+//! fields.
+//!
+//! [`SimdWaveKernel`]: lddp_core::kernel::SimdWaveKernel
+
+/// Lane width (cells per vector step) of the integer/f32 kernels on
+/// this target: 8 with AVX2's 256-bit registers, 4 with NEON's 128-bit
+/// ones, 1 where no vector backend exists.
+#[cfg(target_arch = "x86_64")]
+pub(crate) const LANES: usize = 8;
+/// Lane width (cells per vector step) of the integer/f32 kernels on
+/// this target.
+#[cfg(target_arch = "aarch64")]
+pub(crate) const LANES: usize = 4;
+/// Lane width (cells per vector step) of the integer/f32 kernels on
+/// this target.
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub(crate) const LANES: usize = 1;
+
+/// `&s[off..]`, tolerating slices shorter than `off` (the undeclared
+/// neighbour directions arrive as empty slices and must stay empty when
+/// the tail of a run is re-offset for scalar peeling).
+pub(crate) fn offset<T>(s: &[T], off: usize) -> &[T] {
+    s.get(off..).unwrap_or(&[])
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    //! AVX2 helpers for the anti-diagonal string kernels.
+
+    use std::arch::x86_64::*;
+
+    /// Eight lanes of all-ones/all-zero `u32`: lane `k` reports whether
+    /// the `a` and `b` characters of anti-diagonal cell `p0 + k` match.
+    ///
+    /// On an anti-diagonal run the `a` index *decreases* with `p`
+    /// (`a[i - p - 1]`) while the `b` index increases (`b[j0 + p - 1]`),
+    /// so the eight `a` bytes are loaded from the lowest address and
+    /// byte-reversed before the compare. `a_rev` must point at
+    /// `a[i - p0 - 8]` (the byte of lane 7); `b_fwd` at
+    /// `b[j0 + p0 - 1]` (the byte of lane 0).
+    ///
+    /// # Safety
+    /// Eight bytes must be readable at both pointers, and the host must
+    /// support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn eq_mask_rev8(a_rev: *const u8, b_fwd: *const u8) -> __m256i {
+        let av = _mm_loadl_epi64(a_rev as *const __m128i);
+        let bv = _mm_loadl_epi64(b_fwd as *const __m128i);
+        // Output byte k takes input byte 7 - k; the high 8 bytes of the
+        // control have their sign bit set, zeroing lanes we never read.
+        let rev = _mm_set_epi8(-1, -1, -1, -1, -1, -1, -1, -1, 0, 1, 2, 3, 4, 5, 6, 7);
+        let eq = _mm_cmpeq_epi8(_mm_shuffle_epi8(av, rev), bv);
+        // Sign-extend 0x00/0xFF bytes to full-width u32 masks.
+        _mm256_cvtepi8_epi32(eq)
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon {
+    //! NEON helpers for the anti-diagonal string kernels.
+
+    /// Four lanes of all-ones/all-zero `u32`: lane `k` reports whether
+    /// the `a` and `b` characters of anti-diagonal cell `p0 + k` match
+    /// (`a[i - (p0 + k) - 1]` vs `b[j0 + (p0 + k) - 1]`). The compare
+    /// itself is scalar — the win on NEON comes from vectorizing the
+    /// min/max/add arithmetic, and four byte compares don't justify a
+    /// shuffle dance.
+    #[inline]
+    pub(crate) fn eq_lanes4(a: &[u8], b: &[u8], i: usize, j0: usize, p: usize) -> [u32; 4] {
+        let lane = |k: usize| 0u32.wrapping_sub((a[i - p - k - 1] == b[j0 + p + k - 1]) as u32);
+        [lane(0), lane(1), lane(2), lane(3)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_clamps_short_slices() {
+        let s = [1u32, 2, 3];
+        assert_eq!(offset(&s, 1), &[2, 3]);
+        assert_eq!(offset(&s, 3), &[] as &[u32]);
+        assert_eq!(offset::<u32>(&[], 2), &[] as &[u32]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn eq_mask_reverses_a_and_widens() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        // a is consumed in reverse, b forward: with i = 9, j0 = 1,
+        // p0 = 0, lane k compares a[8 - k] against b[k].
+        let a: Vec<u8> = (0..16).collect();
+        let b: Vec<u8> = vec![8, 9, 6, 42, 4, 3, 99, 1];
+        let expect = [true, false, true, false, true, true, false, true];
+        let mut lanes = [0u32; 8];
+        unsafe {
+            let m = x86::eq_mask_rev8(a.as_ptr().add(1), b.as_ptr());
+            std::arch::x86_64::_mm256_storeu_si256(
+                lanes.as_mut_ptr() as *mut std::arch::x86_64::__m256i,
+                m,
+            );
+        }
+        for (k, &want) in expect.iter().enumerate() {
+            assert_eq!(lanes[k] == u32::MAX, want, "lane {k}");
+            assert!(lanes[k] == 0 || lanes[k] == u32::MAX);
+        }
+    }
+}

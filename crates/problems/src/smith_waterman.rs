@@ -6,9 +6,10 @@
 //! packing them into one composite cell keeps the problem a single-table
 //! LDDP instance with contributing set `{W, NW, N}` — anti-diagonal.
 
+use crate::simd;
 use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::Grid;
-use lddp_core::kernel::{Kernel, Neighbors, WaveKernel};
+use lddp_core::kernel::{Kernel, Neighbors, SimdWaveKernel, WaveKernel};
 use lddp_core::wavefront::Dims;
 
 /// Score floor standing in for −∞ (safe against i32 underflow).
@@ -17,6 +18,11 @@ const NEG: i32 = i32::MIN / 4;
 /// Composite affine-gap cell: best scores ending in a match/mismatch
 /// (`m`), a gap in `a` (`ix`, vertical extension), or a gap in `b`
 /// (`iy`, horizontal extension).
+///
+/// `repr(C)` pins the `m`/`ix`/`iy` field order so the SIMD tier can
+/// gather the three planes from the array-of-structs layout with fixed
+/// strides.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwCell {
     /// Best local score ending at `(i, j)` with `a[i-1]` aligned to
@@ -149,6 +155,10 @@ impl Kernel for SmithWatermanKernel {
     fn wave_kernel(&self) -> Option<&dyn WaveKernel<Cell = SwCell>> {
         Some(self)
     }
+
+    fn simd_kernel(&self) -> Option<&dyn SimdWaveKernel<Cell = SwCell>> {
+        Some(self)
+    }
 }
 
 impl WaveKernel for SmithWatermanKernel {
@@ -175,6 +185,124 @@ impl WaveKernel for SmithWatermanKernel {
             let ix = (n[p].m + s.gap_open).max(n[p].ix + s.gap_extend);
             let iy = (w[p].m + s.gap_open).max(w[p].iy + s.gap_extend);
             out[p] = SwCell { m, ix, iy };
+        }
+    }
+}
+
+impl SimdWaveKernel for SmithWatermanKernel {
+    fn lanes(&self) -> usize {
+        // The composite cell vectorizes on x86_64 only (AVX2 gathers
+        // pull the m/ix/iy planes out of the AoS layout); aarch64 has
+        // no gather and falls back to the bulk path.
+        #[cfg(target_arch = "x86_64")]
+        {
+            8
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            1
+        }
+    }
+
+    fn compute_run_simd(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [SwCell],
+        w: &[SwCell],
+        nw: &[SwCell],
+        n: &[SwCell],
+        ne: &[SwCell],
+    ) {
+        let len = out.len();
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let vl = len - len % 8;
+            if vl > 0 {
+                // Safety: interior run — the scalar body reads the same
+                // a/b bytes and the gathers stay inside the w/nw/n
+                // slices (stride-3 i32 offsets over [p, p + 8) cells).
+                unsafe { self.run_avx2(i, j0, &mut out[..vl], &w[..vl], &nw[..vl], &n[..vl]) };
+            }
+            if vl < len {
+                self.compute_run(
+                    i - vl,
+                    j0 + vl,
+                    &mut out[vl..],
+                    simd::offset(w, vl),
+                    simd::offset(nw, vl),
+                    simd::offset(n, vl),
+                    simd::offset(ne, vl),
+                );
+            }
+            return;
+        }
+        self.compute_run(i, j0, out, w, nw, n, ne);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl SmithWatermanKernel {
+    /// AVX2 body: eight composite cells per step. The three score
+    /// planes are gathered from the 12-byte AoS cells with stride-3
+    /// i32 indices, updated with signed max/add lanes in the same
+    /// order as `compute`, and scattered back through small stack
+    /// buffers (AVX2 has gathers but no scatters). `out.len()` must be
+    /// a multiple of 8.
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_avx2(
+        &self,
+        i: usize,
+        j0: usize,
+        out: &mut [SwCell],
+        w: &[SwCell],
+        nw: &[SwCell],
+        n: &[SwCell],
+    ) {
+        use std::arch::x86_64::*;
+        let s = self.scoring;
+        let mat = _mm256_set1_epi32(s.matches);
+        let mis = _mm256_set1_epi32(s.mismatch);
+        let go = _mm256_set1_epi32(s.gap_open);
+        let ge = _mm256_set1_epi32(s.gap_extend);
+        let zero = _mm256_setzero_si256();
+        // i32 offsets of the `m` field of cells p .. p+7 (stride 3).
+        let idx = _mm256_setr_epi32(0, 3, 6, 9, 12, 15, 18, 21);
+        let a = self.a.as_ptr();
+        let b = self.b.as_ptr();
+        let mut p = 0;
+        while p < out.len() {
+            let eq = simd::x86::eq_mask_rev8(a.add(i - p - 8), b.add(j0 + p - 1));
+            let nw_base = nw.as_ptr().add(p) as *const i32;
+            let n_base = n.as_ptr().add(p) as *const i32;
+            let w_base = w.as_ptr().add(p) as *const i32;
+            let nw_m = _mm256_i32gather_epi32::<4>(nw_base, idx);
+            let nw_ix = _mm256_i32gather_epi32::<4>(nw_base.add(1), idx);
+            let nw_iy = _mm256_i32gather_epi32::<4>(nw_base.add(2), idx);
+            let n_m = _mm256_i32gather_epi32::<4>(n_base, idx);
+            let n_ix = _mm256_i32gather_epi32::<4>(n_base.add(1), idx);
+            let w_m = _mm256_i32gather_epi32::<4>(w_base, idx);
+            let w_iy = _mm256_i32gather_epi32::<4>(w_base.add(2), idx);
+            let sub = _mm256_blendv_epi8(mis, mat, eq);
+            let best_nw =
+                _mm256_max_epi32(_mm256_max_epi32(nw_m, nw_ix), _mm256_max_epi32(nw_iy, zero));
+            let m_out = _mm256_add_epi32(best_nw, sub);
+            let ix_out = _mm256_max_epi32(_mm256_add_epi32(n_m, go), _mm256_add_epi32(n_ix, ge));
+            let iy_out = _mm256_max_epi32(_mm256_add_epi32(w_m, go), _mm256_add_epi32(w_iy, ge));
+            let mut ms = [0i32; 8];
+            let mut ixs = [0i32; 8];
+            let mut iys = [0i32; 8];
+            _mm256_storeu_si256(ms.as_mut_ptr() as *mut __m256i, m_out);
+            _mm256_storeu_si256(ixs.as_mut_ptr() as *mut __m256i, ix_out);
+            _mm256_storeu_si256(iys.as_mut_ptr() as *mut __m256i, iy_out);
+            for k in 0..8 {
+                out[p + k] = SwCell {
+                    m: ms[k],
+                    ix: ixs[k],
+                    iy: iys[k],
+                };
+            }
+            p += 8;
         }
     }
 }
@@ -213,6 +341,29 @@ mod tests {
     use lddp_core::pattern::{classify, Pattern};
     use lddp_core::seq::solve_row_major;
     use proptest::prelude::*;
+
+    #[test]
+    fn simd_run_matches_scalar_run() {
+        let a: Vec<u8> = (0..96u32).map(|x| (x * 7 % 5) as u8).collect();
+        let b: Vec<u8> = (0..96u32).map(|x| (x * 11 % 5) as u8).collect();
+        let k = SmithWatermanKernel::new(a, b);
+        let cell = |x: i32| SwCell {
+            m: x * 3 % 9,
+            ix: if x % 4 == 0 { NEG } else { x % 7 - 3 },
+            iy: if x % 5 == 0 { NEG } else { x % 6 - 2 },
+        };
+        for len in [1usize, 3, 4, 7, 8, 9, 16, 31, 40] {
+            let (i, j0) = (len + 5, 3);
+            let w: Vec<SwCell> = (0..len as i32).map(cell).collect();
+            let nw: Vec<SwCell> = (0..len as i32).map(|x| cell(x + 1)).collect();
+            let n: Vec<SwCell> = (0..len as i32).map(|x| cell(x + 2)).collect();
+            let mut scalar = vec![SwCell::default(); len];
+            let mut vector = vec![SwCell::default(); len];
+            k.compute_run(i, j0, &mut scalar, &w, &nw, &n, &[]);
+            k.compute_run_simd(i, j0, &mut vector, &w, &nw, &n, &[]);
+            assert_eq!(scalar, vector, "len {len}");
+        }
+    }
 
     #[test]
     fn classified_as_anti_diagonal() {

@@ -1,6 +1,7 @@
 //! Request/response/rejection types of the solve service and their
 //! JSON wire forms (hand-rolled, parsed with [`lddp_trace::json`]).
 
+use lddp_core::kernel::ExecTier;
 use lddp_core::schedule::ScheduleParams;
 use lddp_trace::json::{self, escape, num, Json};
 
@@ -320,6 +321,8 @@ pub struct SolveResponse {
     pub virtual_ms: f64,
     /// The schedule parameters actually executed.
     pub params: ScheduleParams,
+    /// The execution tier the solve ran on.
+    pub tier: ExecTier,
     /// Wall time spent queued, milliseconds.
     pub queue_ms: f64,
     /// Wall time spent solving, milliseconds.
@@ -345,7 +348,7 @@ impl SolveResponse {
             .join(",");
         format!(
             "{{\"id\":{},\"problem\":\"{}\",\"n\":{},\"answer\":\"{}\",\
-             \"virtual_ms\":{},\"t_switch\":{},\"t_share\":{},\
+             \"virtual_ms\":{},\"t_switch\":{},\"t_share\":{},\"tier\":\"{}\",\
              \"queue_ms\":{},\"solve_ms\":{},\"batch_size\":{},\"cache_hit\":{},\
              \"degraded\":[{}]}}",
             self.id,
@@ -355,6 +358,7 @@ impl SolveResponse {
             num(self.virtual_ms),
             self.params.t_switch,
             self.params.t_share,
+            self.tier.as_str(),
             num(self.queue_ms),
             num(self.solve_ms),
             self.batch_size,
@@ -384,6 +388,13 @@ impl SolveResponse {
             answer: s("answer")?,
             virtual_ms: f("virtual_ms")?,
             params: ScheduleParams::new(f("t_switch")? as usize, f("t_share")? as usize),
+            // Absent on responses from servers predating tier
+            // reporting — those always ran the scalar/bulk CPU path.
+            tier: v
+                .get("tier")
+                .and_then(Json::as_str)
+                .and_then(ExecTier::parse)
+                .unwrap_or(ExecTier::Bulk),
             queue_ms: f("queue_ms")?,
             solve_ms: f("solve_ms")?,
             batch_size: f("batch_size")? as usize,
@@ -461,6 +472,7 @@ mod tests {
             answer: "edit distance = 97".into(),
             virtual_ms: 1.5,
             params: ScheduleParams::new(8, 64),
+            tier: ExecTier::Simd,
             queue_ms: 0.25,
             solve_ms: 3.75,
             batch_size: 4,
@@ -479,6 +491,8 @@ mod tests {
                       "batch_size":1,"cache_hit":false}"#;
         let parsed = SolveResponse::from_json(old).unwrap();
         assert!(parsed.degraded.is_empty());
+        // Same for the tier field: old servers ran the bulk CPU path.
+        assert_eq!(parsed.tier, ExecTier::Bulk);
     }
 
     #[test]

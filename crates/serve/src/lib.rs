@@ -49,7 +49,9 @@ pub use stats::{LatencySummary, ServeStats, StatsSnapshot};
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lddp_core::kernel::ExecTier;
     use lddp_core::schedule::ScheduleParams;
+    use lddp_core::tuner_cache::TunedConfig;
     use lddp_trace::{NullSink, Recorder, TraceSink};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
@@ -92,15 +94,16 @@ mod tests {
             &self,
             _probe: &SolveRequest,
             _sink: &dyn TraceSink,
-        ) -> Result<(ScheduleParams, bool), String> {
+        ) -> Result<(TunedConfig, bool), String> {
             let prior = self.tunes.fetch_add(1, Ordering::SeqCst);
-            Ok((ScheduleParams::new(2, 16), prior > 0))
+            let config = TunedConfig::new(ScheduleParams::new(2, 16), ExecTier::Simd);
+            Ok((config, prior > 0))
         }
 
         fn solve(
             &self,
             req: &SolveRequest,
-            params: ScheduleParams,
+            config: TunedConfig,
             _sink: &dyn TraceSink,
         ) -> Result<BackendSolve, String> {
             self.solves.fetch_add(1, Ordering::SeqCst);
@@ -121,7 +124,8 @@ mod tests {
             Ok(BackendSolve {
                 answer: format!("{}:{}", req.problem, req.n),
                 virtual_ms: 0.5,
-                params,
+                params: config.params,
+                tier: config.tier,
                 degraded,
             })
         }
@@ -136,6 +140,7 @@ mod tests {
             .unwrap();
         assert_eq!(resp.answer, "lcs:128");
         assert_eq!(resp.params, ScheduleParams::new(2, 16));
+        assert_eq!(resp.tier, ExecTier::Simd);
         assert!(resp.batch_size >= 1);
     }
 
@@ -308,6 +313,7 @@ mod tests {
             );
         }
         assert_eq!(data.counters[lddp_trace::catalog::CTR_COMPLETED], 3);
+        assert_eq!(data.counters[lddp_trace::catalog::CTR_TIER_SIMD], 3);
     }
 
     #[test]

@@ -459,6 +459,7 @@ mod tests {
                 answer: self.answer.clone(),
                 virtual_ms: 1.0,
                 params: lddp_core::schedule::ScheduleParams::new(0, 0),
+                tier: lddp_core::kernel::ExecTier::Bulk,
                 queue_ms: 0.5,
                 solve_ms: 2.0,
                 batch_size: 1,
@@ -554,6 +555,7 @@ mod tests {
                 answer: self.answer.clone(),
                 virtual_ms: 1.0,
                 params: lddp_core::schedule::ScheduleParams::new(0, 0),
+                tier: lddp_core::kernel::ExecTier::Bulk,
                 queue_ms: 0.1,
                 solve_ms: 0.2,
                 batch_size: 1,

@@ -13,21 +13,24 @@
 //!
 //! ```
 //! use lddp_serve::{BackendSolve, ServeConfig, Server, SolveBackend, SolveRequest};
+//! use lddp_core::kernel::ExecTier;
 //! use lddp_core::schedule::ScheduleParams;
+//! use lddp_core::tuner_cache::TunedConfig;
 //! use lddp_trace::{NullSink, TraceSink};
 //!
 //! struct Echo;
 //! impl SolveBackend for Echo {
 //!     fn tune(&self, _req: &SolveRequest, _sink: &dyn TraceSink)
-//!         -> Result<(ScheduleParams, bool), String> {
-//!         Ok((ScheduleParams::new(0, 0), false))
+//!         -> Result<(TunedConfig, bool), String> {
+//!         Ok((TunedConfig::new(ScheduleParams::new(0, 0), ExecTier::Scalar), false))
 //!     }
-//!     fn solve(&self, req: &SolveRequest, params: ScheduleParams, _sink: &dyn TraceSink)
+//!     fn solve(&self, req: &SolveRequest, config: TunedConfig, _sink: &dyn TraceSink)
 //!         -> Result<BackendSolve, String> {
 //!         Ok(BackendSolve {
 //!             answer: format!("echo {}", req.n),
 //!             virtual_ms: 0.1,
-//!             params,
+//!             params: config.params,
+//!             tier: config.tier,
 //!             degraded: vec![],
 //!         })
 //!     }
@@ -45,7 +48,9 @@ use crate::job::{RejectReason, ServeError, SolveRequest, SolveResponse};
 use crate::queue::{Job, JobQueue};
 use crate::stats::{ServeStats, StatsSnapshot};
 use lddp_chaos::{BreakerConfig, BreakerState, CircuitBreaker, FaultInjector};
+use lddp_core::kernel::ExecTier;
 use lddp_core::schedule::ScheduleParams;
+use lddp_core::tuner_cache::TunedConfig;
 use lddp_trace::{catalog, tracks, Span, TraceSink};
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
@@ -102,6 +107,9 @@ pub struct BackendSolve {
     pub virtual_ms: f64,
     /// The parameters actually executed (post-clamping).
     pub params: ScheduleParams,
+    /// The execution tier the solve actually ran on (may be lower than
+    /// the tuned tier if the host or kernel cannot support it).
+    pub tier: ExecTier,
     /// Degradation steps taken to produce this answer (stable codes
     /// such as `bulk_to_scalar`); empty for a full-configuration solve.
     pub degraded: Vec<String>,
@@ -121,19 +129,19 @@ pub trait SolveBackend: Sync {
         Ok(())
     }
 
-    /// Produces schedule parameters for the batch led by `probe`,
-    /// returning `(params, cache_hit)`.
+    /// Produces the tuned schedule parameters and execution tier for
+    /// the batch led by `probe`, returning `(config, cache_hit)`.
     fn tune(
         &self,
         probe: &SolveRequest,
         sink: &dyn TraceSink,
-    ) -> Result<(ScheduleParams, bool), String>;
+    ) -> Result<(TunedConfig, bool), String>;
 
-    /// Solves one request with the batch's parameters.
+    /// Solves one request with the batch's tuned configuration.
     fn solve(
         &self,
         req: &SolveRequest,
-        params: ScheduleParams,
+        config: TunedConfig,
         sink: &dyn TraceSink,
     ) -> Result<BackendSolve, String>;
 }
@@ -423,7 +431,7 @@ impl<'a> Server<'a> {
         // tuner is isolated exactly like a panicking solve: the batch
         // gets clean 500s and the worker thread survives.
         let tuned = catch_unwind(AssertUnwindSafe(|| self.backend.tune(&live[0].0.req, sink)));
-        let (params, cache_hit) = match tuned {
+        let (config, cache_hit) = match tuned {
             Ok(Ok(x)) => x,
             Ok(Err(msg)) => {
                 self.record_backend_failure();
@@ -466,7 +474,7 @@ impl<'a> Server<'a> {
         for (job, waited) in live {
             let solve_start = Instant::now();
             let caught = catch_unwind(AssertUnwindSafe(|| {
-                self.backend.solve(&job.req, params, sink)
+                self.backend.solve(&job.req, config, sink)
             }));
             let solve_end = Instant::now();
             let solve = solve_end.duration_since(solve_start);
@@ -520,8 +528,18 @@ impl<'a> Server<'a> {
                         waited.as_secs_f64() * 1e3,
                         solve.as_secs_f64() * 1e3,
                     );
+                    let (tier_ctr, tier_name) = match done.tier {
+                        ExecTier::Scalar => (&self.stats.tier_scalar, catalog::CTR_TIER_SCALAR),
+                        ExecTier::Bulk => (&self.stats.tier_bulk, catalog::CTR_TIER_BULK),
+                        ExecTier::Simd => (&self.stats.tier_simd, catalog::CTR_TIER_SIMD),
+                        ExecTier::BitParallel => {
+                            (&self.stats.tier_bitparallel, catalog::CTR_TIER_BITPARALLEL)
+                        }
+                    };
+                    tier_ctr.fetch_add(1, Ordering::Relaxed);
                     if sink.enabled() {
                         sink.count(catalog::CTR_COMPLETED, 1);
+                        sink.count(tier_name, 1);
                         sink.observe(catalog::HIST_LATENCY, total.as_secs_f64());
                     }
                     let resp = SolveResponse {
@@ -531,6 +549,7 @@ impl<'a> Server<'a> {
                         answer: done.answer,
                         virtual_ms: done.virtual_ms,
                         params: done.params,
+                        tier: done.tier,
                         queue_ms: waited.as_secs_f64() * 1e3,
                         solve_ms: solve.as_secs_f64() * 1e3,
                         batch_size,

@@ -67,6 +67,10 @@ pub struct ServeStats {
     pub(crate) batched_jobs: AtomicU64,
     pub(crate) tune_hits: AtomicU64,
     pub(crate) tune_misses: AtomicU64,
+    pub(crate) tier_scalar: AtomicU64,
+    pub(crate) tier_bulk: AtomicU64,
+    pub(crate) tier_simd: AtomicU64,
+    pub(crate) tier_bitparallel: AtomicU64,
     total_ms: Mutex<Reservoir>,
     queue_ms: Mutex<Reservoir>,
     solve_ms: Mutex<Reservoir>,
@@ -117,6 +121,10 @@ impl ServeStats {
             batched_jobs: g(&self.batched_jobs),
             tune_hits: g(&self.tune_hits),
             tune_misses: g(&self.tune_misses),
+            tier_scalar: g(&self.tier_scalar),
+            tier_bulk: g(&self.tier_bulk),
+            tier_simd: g(&self.tier_simd),
+            tier_bitparallel: g(&self.tier_bitparallel),
             queue_depth,
             in_flight,
             draining,
@@ -190,6 +198,14 @@ pub struct StatsSnapshot {
     pub tune_hits: u64,
     /// Tuner-cache misses (per batch).
     pub tune_misses: u64,
+    /// Solves that ran on the scalar cell-at-a-time tier.
+    pub tier_scalar: u64,
+    /// Solves that ran on the bulk run-at-a-time tier.
+    pub tier_bulk: u64,
+    /// Solves that ran on the SIMD lane tier.
+    pub tier_simd: u64,
+    /// Solves that ran on the bit-parallel tier.
+    pub tier_bitparallel: u64,
     /// Jobs queued right now.
     pub queue_depth: usize,
     /// Jobs being solved right now.
@@ -231,6 +247,7 @@ impl StatsSnapshot {
              \"faults\":{{\"panics\":{},\"watchdog_timeouts\":{},\"breaker_opens\":{},\"degraded_solves\":{}}},\
              \"batches\":{},\"mean_batch_size\":{},\
              \"tuner_cache\":{{\"hits\":{},\"misses\":{}}},\
+             \"tiers\":{{\"scalar\":{},\"bulk\":{},\"simd\":{},\"bitparallel\":{}}},\
              \"queue_depth\":{},\"in_flight\":{},\"draining\":{},\
              \"latency_ms\":{{\"total\":{},\"queue\":{},\"solve\":{}}}}}",
             self.accepted,
@@ -249,6 +266,10 @@ impl StatsSnapshot {
             num(self.mean_batch_size()),
             self.tune_hits,
             self.tune_misses,
+            self.tier_scalar,
+            self.tier_bulk,
+            self.tier_simd,
+            self.tier_bitparallel,
             self.queue_depth,
             self.in_flight,
             self.draining,
@@ -281,6 +302,7 @@ mod tests {
         stats.rejected_full.fetch_add(1, Ordering::Relaxed);
         stats.batches.fetch_add(2, Ordering::Relaxed);
         stats.batched_jobs.fetch_add(3, Ordering::Relaxed);
+        stats.tier_simd.fetch_add(2, Ordering::Relaxed);
         stats.record_latency(10.0, 2.0, 8.0);
         stats.record_latency(20.0, 4.0, 16.0);
         let snap = stats.snapshot(1, 1, false);
@@ -314,6 +336,11 @@ mod tests {
                 .and_then(|j| j.as_f64()),
             Some(0.0)
         );
+        let tiers = v.get("tiers").expect("tiers object");
+        assert_eq!(tiers.get("simd").and_then(|j| j.as_f64()), Some(2.0));
+        for key in ["scalar", "bulk", "bitparallel"] {
+            assert_eq!(tiers.get(key).and_then(|j| j.as_f64()), Some(0.0), "{key}");
+        }
     }
 
     #[test]

@@ -155,6 +155,14 @@ pub mod catalog {
     /// Counter: solves that succeeded only after degradation (see
     /// `docs/ROBUSTNESS.md` for the ladder).
     pub const CTR_DEGRADED: &str = "serve.degraded";
+    /// Counter: solves executed on the scalar cell-at-a-time tier.
+    pub const CTR_TIER_SCALAR: &str = "serve.tier.scalar";
+    /// Counter: solves executed on the bulk run-at-a-time tier.
+    pub const CTR_TIER_BULK: &str = "serve.tier.bulk";
+    /// Counter: solves executed on the SIMD lane tier.
+    pub const CTR_TIER_SIMD: &str = "serve.tier.simd";
+    /// Counter: solves executed on the bit-parallel tier.
+    pub const CTR_TIER_BITPARALLEL: &str = "serve.tier.bitparallel";
     /// Sample series: queue depth after each admission/dequeue.
     pub const SMP_QUEUE_DEPTH: &str = "serve.queue_depth";
     /// Histogram: end-to-end request latency, seconds.

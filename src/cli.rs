@@ -13,6 +13,7 @@
 //!                  [--metrics run.metrics.jsonl]
 //! lddp-cli serve   --addr 127.0.0.1:8700 [--workers W] [--queue-cap Q]
 //!                  [--max-batch B] [--deadline-ms D] [--trace serve.trace.json]
+//!                  [--tune-cache cache.json]
 //! lddp-cli loadgen --problem lcs --requests 500 [--addr HOST:PORT]
 //!                  [--rps R] [--duration S] [--concurrency C] [--no-verify]
 //!                  [--retries A]
@@ -36,9 +37,10 @@ use hetero_sim::report::{utilization, Utilization};
 use lddp_chaos::{FaultInjector, FaultPlan, FaultPlanConfig, RetryPolicy};
 use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::Grid;
-use lddp_core::kernel::Kernel;
+use lddp_core::kernel::{ExecTier, Kernel};
 use lddp_core::pattern::classify;
 use lddp_core::schedule::{PhaseKind, ScheduleParams};
+use lddp_core::tuner_cache::TunedConfig;
 use lddp_core::DegradeStep;
 use lddp_problems as problems;
 use lddp_serve::loadgen::{HttpTarget, LoadgenConfig};
@@ -134,6 +136,9 @@ pub enum Command {
         /// Optional path for a Chrome trace of the whole serve run,
         /// written at shutdown.
         trace: Option<String>,
+        /// Optional tuner-cache persistence file: loaded (if present)
+        /// before serving, written back on graceful drain.
+        tune_cache: Option<String>,
     },
     /// Generate load against a solve server and report latency.
     Loadgen {
@@ -230,6 +235,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut retries = None;
     let mut seed = None;
     let mut campaign = None;
+    let mut tune_cache = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--set" => {
@@ -363,6 +369,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or("--trace needs a file path")?;
                 trace_out = Some(v.clone());
             }
+            "--tune-cache" => {
+                let v = it.next().ok_or("--tune-cache needs a file path")?;
+                tune_cache = Some(v.clone());
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -423,6 +433,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             deadline_ms,
             watchdog_ms,
             trace: trace_out,
+            tune_cache,
         }),
         "loadgen" => {
             let requests = requests.unwrap_or(100);
@@ -509,7 +520,7 @@ pub fn usage() -> String {
          \x20                  [--out trace.json] [--metrics metrics.jsonl]\n\
          \x20 lddp-cli serve   [--addr host:port] [--workers W] [--queue-cap Q]\n\
          \x20                  [--max-batch B] [--deadline-ms D] [--watchdog-ms W]\n\
-         \x20                  [--trace serve.trace.json]\n\
+         \x20                  [--trace serve.trace.json] [--tune-cache cache.json]\n\
          \x20 lddp-cli loadgen --problem <name> [--n N] [--platform high|low]\n\
          \x20                  [--addr host:port] [--requests R] [--rps RATE]\n\
          \x20                  [--duration S] [--concurrency C] [--deadline-ms D]\n\
@@ -519,8 +530,11 @@ pub fn usage() -> String {
          \n\
          `trace` writes a Perfetto-loadable Chrome trace-event timeline\n\
          (see docs/OBSERVABILITY.md). `serve` runs the batching solve\n\
-         server; `loadgen` drives it and prints a JSON latency report,\n\
+         server (`--tune-cache` persists tuned params + tier across\n\
+         restarts); `loadgen` drives it and prints a JSON latency report,\n\
          checking answers against the sequential oracle (docs/SERVING.md).\n\
+         Set LDDP_FORCE_TIER=scalar|bulk|simd|bitparallel to cap the\n\
+         execution tier of every engine in the process.\n\
          `chaos` runs a seeded fault-injection campaign across the engine\n\
          ladder, the hetero executor, and the serving stack, verifying\n\
          every recovered answer against the oracle (docs/ROBUSTNESS.md).\n\
@@ -541,6 +555,8 @@ pub struct RunSummary {
     pub patterns: String,
     /// Parameters used.
     pub params: ScheduleParams,
+    /// Execution tier the table was (or would be) computed on.
+    pub tier: ExecTier,
     /// Virtual time, ms.
     pub hetero_ms: f64,
     /// Headline answer (problem-specific).
@@ -552,12 +568,13 @@ impl RunSummary {
     pub fn render(&self) -> String {
         format!(
             "problem   : {}\ninstance  : {}\npattern   : {}\nparams    : t_switch={} t_share={}\n\
-             time      : {:.3} ms (virtual)\nanswer    : {}",
+             tier      : {}\ntime      : {:.3} ms (virtual)\nanswer    : {}",
             self.problem,
             self.instance,
             self.patterns,
             self.params.t_switch,
             self.params.t_share,
+            self.tier,
             self.hetero_ms,
             self.answer
         )
@@ -742,6 +759,7 @@ pub fn run_solve_traced(
                         class.raw_pattern, class.exec_pattern
                     ),
                     params: solution.params,
+                    tier: solution.tier,
                     hetero_ms: solution.total_s * 1e3,
                     answer: $answer(&kernel, &solution.grid),
                 },
@@ -776,36 +794,78 @@ pub fn run_solve_seq(problem: &str, n: usize) -> Result<String, String> {
 /// Builds and solves the named problem on a shared thread-pool engine —
 /// the serving hot path. The table is computed by `engine`'s persistent
 /// workers (reusing their threads and barrier across requests, through
-/// the bulk interior-run path where the kernel provides one), while the
-/// reported virtual time is the framework's cost-model estimate for the
-/// given parameters, so timings stay comparable with the traced solve
-/// path.
+/// the bulk or SIMD interior-run path where the kernel provides one),
+/// while the reported virtual time is the framework's cost-model
+/// estimate for the given parameters, so timings stay comparable with
+/// the traced solve path.
+///
+/// `tier` pins the execution tier (a cached tuner decision); `None`
+/// lets the engine pick. [`ExecTier::BitParallel`] is honored for
+/// `lcs`, where the answer is a length, not a table — the bit-parallel
+/// row kernel computes it without materializing the grid; every other
+/// problem downgrades it to the best grid tier.
 pub fn run_solve_pooled(
     problem: &str,
     n: usize,
     platform_name: &str,
     params: ScheduleParams,
+    tier: Option<ExecTier>,
     engine: &crate::parallel::ParallelEngine,
 ) -> Result<RunSummary, String> {
     let platform = platform_by_name(platform_name);
+    if tier == Some(ExecTier::BitParallel) && problem == "lcs" {
+        return run_solve_bitparallel_lcs(n, platform_name, params);
+    }
+    let engine = engine.clone().with_tier(tier);
     macro_rules! pooled {
         ($kernel:expr, $io:expr, $answer:expr) => {{
             let kernel = $kernel;
             let fw = Framework::new(platform.clone()).with_io_bytes($io.0, $io.1);
             let class = fw.classify(&kernel).map_err(|e| e.to_string())?;
             let hetero_s = fw.estimate(&kernel, params).map_err(|e| e.to_string())?;
+            let exec_tier = engine.select_tier(&kernel);
             let grid = engine.solve(&kernel).map_err(|e| e.to_string())?;
             Ok(RunSummary {
                 problem: problem.to_string(),
                 instance: format!("{n} x {n} on {}", platform.name),
                 patterns: format!("{} → executed as {}", class.raw_pattern, class.exec_pattern),
                 params,
+                tier: exec_tier,
                 hetero_ms: hetero_s * 1e3,
                 answer: $answer(&kernel, &grid),
             })
         }};
     }
     with_problem!(problem, n, pooled)
+}
+
+/// The `lcs` instance solved by the bit-parallel row kernel
+/// ([`problems::lcs::lcs_length_bitparallel`]): the length comes out of
+/// machine-word bit operations, no DP grid is materialized. Instance
+/// seeds match the registry's `lcs` arm, so the answer string is
+/// identical to every grid path's.
+fn run_solve_bitparallel_lcs(
+    n: usize,
+    platform_name: &str,
+    params: ScheduleParams,
+) -> Result<RunSummary, String> {
+    let platform = platform_by_name(platform_name);
+    let a = crate::workloads::random_seq(n, 4, 3);
+    let b = crate::workloads::random_seq(n, 4, 4);
+    let kernel = problems::LcsKernel::new(a.clone(), b.clone());
+    let fw = Framework::new(platform.clone()).with_io_bytes(2 * n, 8);
+    let class = fw.classify(&kernel).map_err(|e| e.to_string())?;
+    let hetero_s = fw.estimate(&kernel, params).map_err(|e| e.to_string())?;
+    let len = problems::lcs::lcs_length_bitparallel(&a, &b);
+    Ok(RunSummary {
+        problem: "lcs".to_string(),
+        instance: format!("{n} x {n} on {}", platform.name),
+        patterns: format!("{} → executed as {}", class.raw_pattern, class.exec_pattern),
+        params,
+        tier: ExecTier::BitParallel,
+        hetero_ms: hetero_s * 1e3,
+        answer: format!("LCS length = {len}"),
+    })
 }
 
 /// [`run_solve_pooled`] under fault injection — the chaos serving path.
@@ -816,15 +876,20 @@ pub fn run_solve_pooled(
 /// request. Returns the summary plus the wire codes of every rung taken
 /// (e.g. `"bulk_to_scalar"`); an empty vector means the fully
 /// configured path served the request.
+#[allow(clippy::too_many_arguments)]
 pub fn run_solve_pooled_chaos(
     problem: &str,
     n: usize,
     platform_name: &str,
     params: ScheduleParams,
+    tier: Option<ExecTier>,
     engine: &crate::parallel::ParallelEngine,
     injector: &dyn FaultInjector,
 ) -> Result<(RunSummary, Vec<String>), String> {
     let platform = platform_by_name(platform_name);
+    // Under injection every solve must be able to walk the degradation
+    // ladder, so a bit-parallel pin falls back to the grid tiers here.
+    let engine = engine.clone().with_tier(tier);
     macro_rules! chaos_pooled {
         ($kernel:expr, $io:expr, $answer:expr) => {{
             let kernel = $kernel;
@@ -840,6 +905,7 @@ pub fn run_solve_pooled_chaos(
             } else {
                 fw.estimate(&kernel, params).map_err(|e| e.to_string())?
             };
+            let exec_tier = engine.select_tier(&kernel);
             let (grid, steps) = engine
                 .solve_degrading(&kernel, injector)
                 .map_err(|e| e.to_string())?;
@@ -853,6 +919,7 @@ pub fn run_solve_pooled_chaos(
                         class.raw_pattern, class.exec_pattern
                     ),
                     params,
+                    tier: exec_tier,
                     hetero_ms: hetero_s * 1e3,
                     answer: $answer(&kernel, &grid),
                 },
@@ -906,6 +973,77 @@ pub fn tune_params(problem: &str, n: usize, platform_name: &str) -> Result<Sched
     with_problem!(problem, n, tune_of)
 }
 
+/// The execution tier `engine` selects for the named instance, with no
+/// measurement — availability-based (pattern + fast-path hooks + host
+/// SIMD support). Used where a tier is needed without paying for the
+/// wall-clock sweep (pinned-parameter serving requests, JSON output).
+pub fn select_tier(
+    problem: &str,
+    n: usize,
+    engine: &crate::parallel::ParallelEngine,
+) -> Result<ExecTier, String> {
+    macro_rules! tier_of {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let _ = $io;
+            // Dead call pins the answer closure's kernel-parameter type
+            // (some registry arms annotate it as `&_`).
+            if false {
+                let g = lddp_core::seq::solve_row_major(&kernel).map_err(|e| e.to_string())?;
+                let _: String = $answer(&kernel, &g);
+            }
+            Ok(engine.select_tier(&kernel))
+        }};
+    }
+    with_problem!(problem, n, tier_of)
+}
+
+/// The full tuning step the serving cache amortizes: the §V-A parameter
+/// sweep plus a wall-clock execution-tier sweep on `engine`
+/// ([`ParallelEngine::tune_tier`](crate::parallel::ParallelEngine::tune_tier)).
+/// For `lcs` the bit-parallel row kernel joins the sweep as a fourth
+/// candidate — it computes the answer without a grid, so it competes on
+/// the same best-of-wall-clock terms as the grid tiers.
+pub fn tune_config(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    engine: &crate::parallel::ParallelEngine,
+) -> Result<TunedConfig, String> {
+    let params = tune_params(problem, n, platform_name)?;
+    macro_rules! tier_of {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let _ = $io;
+            // Dead call pins the answer closure's kernel-parameter type
+            // (some registry arms annotate it as `&_`).
+            if false {
+                let g = lddp_core::seq::solve_row_major(&kernel).map_err(|e| e.to_string())?;
+                let _: String = $answer(&kernel, &g);
+            }
+            engine.tune_tier(&kernel).map_err(|e| e.to_string())
+        }};
+    }
+    let (mut tier, points): (ExecTier, Vec<lddp_core::tuner::TierPoint>) =
+        with_problem!(problem, n, tier_of)?;
+    if problem == "lcs" {
+        let grid_secs = points
+            .iter()
+            .find(|p| p.tier == tier)
+            .map(|p| p.secs)
+            .unwrap_or(f64::INFINITY);
+        let a = crate::workloads::random_seq(n, 4, 3);
+        let b = crate::workloads::random_seq(n, 4, 4);
+        let bp_secs = best_secs(1, || {
+            std::hint::black_box(problems::lcs::lcs_length_bitparallel(&a, &b));
+        });
+        if bp_secs < grid_secs {
+            tier = ExecTier::BitParallel;
+        }
+    }
+    Ok(TunedConfig::new(params, tier))
+}
+
 /// Renders a [`SolveOutput`] as one machine-readable JSON object.
 pub fn render_solve_json(out: &SolveOutput) -> String {
     let s = &out.summary;
@@ -932,7 +1070,7 @@ pub fn render_solve_json(out: &SolveOutput) -> String {
     }
     format!(
         "{{\"problem\":\"{}\",\"n\":{},\"platform\":\"{}\",\"pattern\":\"{}\",\
-         \"t_switch\":{},\"t_share\":{},\"total_ms\":{},\
+         \"t_switch\":{},\"t_share\":{},\"tier\":\"{}\",\"total_ms\":{},\
          \"utilization\":{{\"cpu\":{},\"gpu\":{},\"copy\":{}}},\
          \"phases\":[{}],\"answer\":\"{}\"}}",
         escape(&s.problem),
@@ -941,6 +1079,7 @@ pub fn render_solve_json(out: &SolveOutput) -> String {
         escape(&s.patterns),
         s.params.t_switch,
         s.params.t_share,
+        s.tier.as_str(),
         num(s.hetero_ms),
         num(out.utilization.cpu),
         num(out.utilization.gpu),
@@ -1180,8 +1319,20 @@ pub fn run_serve(
     addr: &str,
     config: ServeConfig,
     trace_out: Option<&str>,
+    tune_cache: Option<&str>,
 ) -> Result<String, String> {
     let backend = crate::serve_backend::FrameworkBackend::new();
+    let mut prewarmed = 0;
+    if let Some(path) = tune_cache {
+        // A missing file just means a first run — start cold and
+        // create the file at drain.
+        if std::path::Path::new(path).exists() {
+            prewarmed = backend
+                .cache()
+                .load_from(path)
+                .map_err(|e| format!("loading tuner cache {path}: {e}"))?;
+        }
+    }
     let recorder = trace_out.map(|_| Recorder::new());
     let sink: &(dyn TraceSink + Sync) = match &recorder {
         Some(r) => r,
@@ -1199,11 +1350,24 @@ pub fn run_serve(
         println!(
             "lddp-serve listening on http://{local} (workers={workers}, queue={queue_cap}, max-batch={max_batch})"
         );
+        if let Some(path) = tune_cache {
+            println!("tune-cache: {path} ({prewarmed} entries pre-warmed)");
+        }
         println!("routes: POST /solve | GET /healthz | GET /stats | POST /shutdown");
         client.wait_shutdown();
         client.snapshot()
     });
     let mut msg = format!("drained; final stats:\n{}", snapshot.to_json());
+    if let Some(path) = tune_cache {
+        backend
+            .cache()
+            .save_to(path)
+            .map_err(|e| format!("writing tuner cache {path}: {e}"))?;
+        msg.push_str(&format!(
+            "\ntune-cache: {} entries -> {path}",
+            backend.cache().len()
+        ));
+    }
     if let (Some(rec), Some(path)) = (recorder, trace_out) {
         let data = rec.into_data();
         let trace_json = chrome::to_chrome_json(&data);
@@ -1309,13 +1473,16 @@ fn best_secs(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// Quick wall-clock benchmark of the real thread engine: cells/s per
-/// problem with the bulk path on and off, pooled-vs-fresh-engine solve
+/// problem across the execution tiers (scalar, bulk, SIMD, and — for
+/// `lcs` — the bit-parallel row kernel), pooled-vs-fresh-engine solve
 /// times, and a worker-count sweep through the shared pool. Prints (and
 /// optionally writes) one JSON object — the perf trajectory record CI
-/// archives as `BENCH_pr3.json` so future changes have a baseline.
+/// archives as `BENCH_pr5.json` so future changes have a baseline.
 pub fn run_bench_quick(n: usize, out_path: Option<&str>) -> Result<String, String> {
     let engine = crate::parallel::ParallelEngine::host();
     let scalar_engine = engine.clone().with_bulk_enabled(false);
+    let bulk_engine = engine.clone().with_tier(Some(ExecTier::Bulk));
+    let simd_engine = engine.clone().with_tier(Some(ExecTier::Simd));
     let threads = engine.threads();
     let iters = 3;
 
@@ -1334,8 +1501,17 @@ pub fn run_bench_quick(n: usize, out_path: Option<&str>) -> Result<String, Strin
                 if false {
                     let _: String = $answer(&kernel, &g);
                 }
-                let bulk_s = best_secs(iters, || {
+                let auto_s = best_secs(iters, || {
                     engine.solve(&kernel).unwrap();
+                });
+                let bulk_s = best_secs(iters, || {
+                    bulk_engine.solve(&kernel).unwrap();
+                });
+                // On hosts without SIMD support (or for kernels without
+                // a SIMD hook) this measures the downgraded tier — the
+                // recorded "tier" key says which one actually ran.
+                let simd_s = best_secs(iters, || {
+                    simd_engine.solve(&kernel).unwrap();
                 });
                 let scalar_s = best_secs(iters, || {
                     scalar_engine.solve(&kernel).unwrap();
@@ -1347,18 +1523,33 @@ pub fn run_bench_quick(n: usize, out_path: Option<&str>) -> Result<String, Strin
                         .solve(&kernel)
                         .unwrap();
                 });
+                let bitparallel = if *problem == "lcs" {
+                    let a = crate::workloads::random_seq(n, 4, 3);
+                    let b = crate::workloads::random_seq(n, 4, 4);
+                    let bp_s = best_secs(iters, || {
+                        std::hint::black_box(problems::lcs::lcs_length_bitparallel(&a, &b));
+                    });
+                    format!(",\"cells_per_s_bitparallel\":{}", num(cells / bp_s))
+                } else {
+                    String::new()
+                };
                 Ok(format!(
-                    "{{\"problem\":\"{}\",\"cells\":{},\
-                     \"cells_per_s_scalar\":{},\"cells_per_s_bulk\":{},\"bulk_speedup\":{},\
+                    "{{\"problem\":\"{}\",\"cells\":{},\"tier\":\"{}\",\
+                     \"cells_per_s_scalar\":{},\"cells_per_s_bulk\":{},\"cells_per_s_simd\":{},\
+                     \"bulk_speedup\":{},\"simd_speedup\":{}{},\
                      \"solve_ms_pool\":{},\"solve_ms_spawn\":{},\"pool_speedup\":{}}}",
                     escape(problem),
                     num(cells),
+                    engine.select_tier(&kernel).as_str(),
                     num(cells / scalar_s),
                     num(cells / bulk_s),
+                    num(cells / simd_s),
                     num(scalar_s / bulk_s),
-                    num(bulk_s * 1e3),
+                    num(bulk_s / simd_s),
+                    bitparallel,
+                    num(auto_s * 1e3),
                     num(spawn_s * 1e3),
-                    num(spawn_s / bulk_s),
+                    num(spawn_s / auto_s),
                 ))
             }};
         }
@@ -1395,7 +1586,8 @@ pub fn run_bench_quick(n: usize, out_path: Option<&str>) -> Result<String, Strin
 
     let json = format!(
         "{{\"bench\":\"quick\",\"n\":{n},\"threads\":{threads},\"iters\":{iters},\
-         \"problems\":[{}],\"worker_sweep\":{}}}",
+         \"simd\":\"{}\",\"problems\":[{}],\"worker_sweep\":{}}}",
+        lddp_core::kernel::simd_backend(),
         entries.join(","),
         sweep?
     );
@@ -1693,6 +1885,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             deadline_ms,
             watchdog_ms,
             trace,
+            tune_cache,
         } => run_serve(
             &addr,
             ServeConfig {
@@ -1704,6 +1897,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 ..ServeConfig::default()
             },
             trace.as_deref(),
+            tune_cache.as_deref(),
         ),
         Command::Loadgen {
             addr,
@@ -1905,6 +2099,8 @@ mod tests {
             Some("levenshtein")
         );
         assert_eq!(v.get("n").and_then(|j| j.as_f64()), Some(64.0));
+        let tier = v.get("tier").and_then(|j| j.as_str()).expect("tier key");
+        assert!(ExecTier::parse(tier).is_some(), "unknown tier {tier:?}");
         assert!(v.get("total_ms").and_then(|j| j.as_f64()).unwrap() > 0.0);
         let util = v.get("utilization").unwrap();
         assert!(util.get("cpu").and_then(|j| j.as_f64()).unwrap() > 0.0);
@@ -1997,12 +2193,14 @@ mod tests {
                 deadline_ms: None,
                 watchdog_ms: None,
                 trace: None,
+                tune_cache: None,
             }
         );
         assert_eq!(
             parse(&argv(
                 "serve --addr 0.0.0.0:9000 --workers 2 --queue-cap 32 --max-batch 4 \
-                 --deadline-ms 500 --watchdog-ms 250 --trace serve.trace.json"
+                 --deadline-ms 500 --watchdog-ms 250 --trace serve.trace.json \
+                 --tune-cache tc.json"
             ))
             .unwrap(),
             Command::Serve {
@@ -2013,8 +2211,10 @@ mod tests {
                 deadline_ms: Some(500),
                 watchdog_ms: Some(250),
                 trace: Some("serve.trace.json".into()),
+                tune_cache: Some("tc.json".into()),
             }
         );
+        assert!(parse(&argv("serve --tune-cache")).is_err());
         assert!(parse(&argv("serve --workers")).is_err());
         assert!(parse(&argv("serve --queue-cap many")).is_err());
         assert!(parse(&argv("serve --watchdog-ms soon")).is_err());
@@ -2125,7 +2325,9 @@ mod tests {
             for key in [
                 "cells_per_s_scalar",
                 "cells_per_s_bulk",
+                "cells_per_s_simd",
                 "bulk_speedup",
+                "simd_speedup",
                 "solve_ms_pool",
                 "solve_ms_spawn",
                 "pool_speedup",
@@ -2137,12 +2339,69 @@ mod tests {
                     other => panic!("{key} missing or non-numeric: {other:?}"),
                 }
             }
+            let tier = entry.get("tier").and_then(|j| j.as_str()).expect("tier");
+            assert!(ExecTier::parse(tier).is_some(), "unknown tier {tier:?}");
+            let is_lcs = entry.get("problem").and_then(|j| j.as_str()) == Some("lcs");
+            assert_eq!(
+                entry.get("cells_per_s_bitparallel").is_some(),
+                is_lcs,
+                "bit-parallel throughput is reported exactly for lcs"
+            );
         }
+        assert!(parsed.get("simd").and_then(|j| j.as_str()).is_some());
         let sweep = parsed.get("worker_sweep").expect("worker_sweep present");
         assert!(matches!(
             sweep.get("best_workers"),
             Some(lddp_trace::json::Json::Num(_))
         ));
+    }
+
+    #[test]
+    fn pooled_solve_honors_tier_pins_and_bitparallel_matches() {
+        let engine = crate::parallel::ParallelEngine::new(2);
+        let params = ScheduleParams::new(4, 16);
+        let auto = run_solve_pooled("lcs", 64, "high", params, None, &engine).unwrap();
+        let scalar =
+            run_solve_pooled("lcs", 64, "high", params, Some(ExecTier::Scalar), &engine).unwrap();
+        assert_eq!(scalar.tier, ExecTier::Scalar);
+        assert_eq!(scalar.answer, auto.answer);
+        let bp = run_solve_pooled(
+            "lcs",
+            64,
+            "high",
+            params,
+            Some(ExecTier::BitParallel),
+            &engine,
+        )
+        .unwrap();
+        assert_eq!(bp.tier, ExecTier::BitParallel);
+        assert_eq!(bp.answer, auto.answer);
+        // Only lcs has a bit-parallel kernel; everything else downgrades
+        // the pin to the best available grid tier.
+        let lev = run_solve_pooled(
+            "levenshtein",
+            64,
+            "high",
+            params,
+            Some(ExecTier::BitParallel),
+            &engine,
+        )
+        .unwrap();
+        assert_ne!(lev.tier, ExecTier::BitParallel);
+        assert!(lev.answer.contains("edit distance"));
+    }
+
+    #[test]
+    fn tune_config_sweeps_tiers_and_returns_a_reachable_one() {
+        let engine = crate::parallel::ParallelEngine::new(1);
+        let config = tune_config("levenshtein", 48, "high", &engine).unwrap();
+        // Levenshtein has no bit-parallel kernel, so the sweep can only
+        // land on a grid tier the engine can actually execute.
+        assert_ne!(config.tier, ExecTier::BitParallel);
+        // The winner came from the sweep's candidates, which stop at the
+        // best tier the engine can reach for this kernel.
+        let reachable = select_tier("levenshtein", 48, &engine).unwrap();
+        assert!(config.tier <= reachable);
     }
 
     #[test]

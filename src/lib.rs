@@ -47,7 +47,7 @@ use hetero_sim::platform::Platform;
 use lddp_chaos::FaultInjector;
 use lddp_core::framework::{choose_execution, Adapter, Classification, TransposedKernel};
 use lddp_core::grid::{Grid, LayoutKind};
-use lddp_core::kernel::Kernel;
+use lddp_core::kernel::{ExecTier, Kernel};
 use lddp_core::pattern::ProfileShape;
 use lddp_core::schedule::{PhaseKind, PhaseSpan, Plan, ScheduleParams};
 use lddp_core::tuner::{self, TuneResult};
@@ -99,6 +99,14 @@ fn phase_stats(timeline: &[WaveRecord], phases: &[PhaseSpan]) -> Vec<PhaseStat> 
         .collect()
 }
 
+/// The execution tier the host's [`parallel::ParallelEngine`] selects
+/// for `kernel` — what a wall-clock solve of the same instance runs on.
+/// Pool-free and cheap: tier selection only inspects the kernel's
+/// pattern and fast-path hooks plus host SIMD support.
+fn host_tier<K: Kernel>(kernel: &K) -> ExecTier {
+    lddp_parallel::ParallelEngine::new(1).select_tier(kernel)
+}
+
 /// Outcome of a heterogeneous solve: the filled table (in the caller's
 /// orientation), the virtual-time cost, and the decisions taken.
 #[derive(Debug, Clone)]
@@ -113,6 +121,11 @@ pub struct Solution<T> {
     pub classification: Classification,
     /// The schedule parameters used.
     pub params: ScheduleParams,
+    /// The execution tier the host's thread engine selects for this
+    /// kernel (scalar / bulk / SIMD). The virtual-time simulation is
+    /// tier-agnostic — this reports what a wall-clock solve of the same
+    /// kernel uses, so CLI and serving output agree on one label.
+    pub tier: ExecTier,
     /// Per-phase cost breakdown. Filled by
     /// [`Framework::solve_traced`]; empty for the untraced paths (they
     /// skip timeline recording).
@@ -365,6 +378,7 @@ impl Framework {
             breakdown: report.breakdown,
             classification: class,
             params,
+            tier: host_tier(user_kernel),
             phases: Vec::new(),
             degradation,
         })
@@ -475,6 +489,7 @@ impl Framework {
             breakdown: report.breakdown,
             classification: class,
             params,
+            tier: host_tier(user_kernel),
             phases,
             degradation: Vec::new(),
         })
@@ -538,6 +553,7 @@ impl Framework {
             breakdown: report.breakdown,
             classification: class,
             params: ScheduleParams::new(t_switch, avg_band),
+            tier: host_tier(kernel),
             phases: Vec::new(),
             degradation: Vec::new(),
         })

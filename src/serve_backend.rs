@@ -8,8 +8,7 @@
 
 use crate::cli;
 use lddp_chaos::FaultInjector;
-use lddp_core::schedule::ScheduleParams;
-use lddp_core::tuner_cache::{TuneKey, TunerCache};
+use lddp_core::tuner_cache::{TuneKey, TunedConfig, TunerCache};
 use lddp_core::wavefront::Dims;
 use lddp_parallel::ParallelEngine;
 use lddp_serve::{BackendSolve, SolveBackend, SolveRequest};
@@ -122,28 +121,31 @@ impl SolveBackend for FrameworkBackend {
         &self,
         probe: &SolveRequest,
         _sink: &dyn TraceSink,
-    ) -> Result<(ScheduleParams, bool), String> {
+    ) -> Result<(TunedConfig, bool), String> {
         if let Some(params) = probe.params {
-            // Pinned parameters skip tuning; never a cache hit.
-            return Ok((params, false));
+            // Pinned parameters skip tuning; never a cache hit. The tier
+            // is still the engine's own pick — requests pin schedule
+            // parameters, not execution machinery.
+            let tier = cli::select_tier(&probe.problem, probe.n, &self.engine)?;
+            return Ok((TunedConfig::new(params, tier), false));
         }
         let key = self.tune_key(probe)?;
         self.cache.get_or_tune(&key, || {
-            cli::tune_params(&probe.problem, probe.n, &probe.platform)
+            cli::tune_config(&probe.problem, probe.n, &probe.platform, &self.engine)
         })
     }
 
     fn solve(
         &self,
         req: &SolveRequest,
-        params: ScheduleParams,
+        config: TunedConfig,
         _sink: &dyn TraceSink,
     ) -> Result<BackendSolve, String> {
         // Cached (or pinned) parameters may have been produced for a
         // different instance in the same bucket; re-legalize for this
         // exact size before planning.
         let pattern = cli::classify_problem(&req.problem, req.n)?;
-        let clamped = params.clamped_for(pattern, Dims::new(req.n, req.n));
+        let clamped = config.params.clamped_for(pattern, Dims::new(req.n, req.n));
         // The table is computed on the shared pooled engine — the serve
         // spans (queue wait, batch, solve) come from the server; the
         // per-wave framework trace is deliberately skipped here, as it
@@ -154,6 +156,7 @@ impl SolveBackend for FrameworkBackend {
                 req.n,
                 &req.platform,
                 clamped,
+                Some(config.tier),
                 &self.engine,
                 inj.as_ref(),
             )?,
@@ -163,6 +166,7 @@ impl SolveBackend for FrameworkBackend {
                     req.n,
                     &req.platform,
                     clamped,
+                    Some(config.tier),
                     &self.engine,
                 )?;
                 (summary, Vec::new())
@@ -172,6 +176,7 @@ impl SolveBackend for FrameworkBackend {
             answer: summary.answer,
             virtual_ms: summary.hetero_ms,
             params: summary.params,
+            tier: summary.tier,
             degraded,
         })
     }
@@ -180,6 +185,8 @@ impl SolveBackend for FrameworkBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lddp_core::kernel::ExecTier;
+    use lddp_core::schedule::ScheduleParams;
     use lddp_trace::NullSink;
 
     #[test]
@@ -199,19 +206,19 @@ mod tests {
     #[test]
     fn tune_caches_within_bucket_and_skips_pinned() {
         let b = FrameworkBackend::new();
-        let (p1, hit1) = b.tune(&SolveRequest::new("lcs", 100), &NullSink).unwrap();
+        let (c1, hit1) = b.tune(&SolveRequest::new("lcs", 100), &NullSink).unwrap();
         assert!(!hit1);
         // 100 and 128 share the 128 bucket.
-        let (p2, hit2) = b.tune(&SolveRequest::new("lcs", 128), &NullSink).unwrap();
+        let (c2, hit2) = b.tune(&SolveRequest::new("lcs", 128), &NullSink).unwrap();
         assert!(hit2);
-        assert_eq!(p1, p2);
+        assert_eq!(c1, c2);
         assert_eq!(b.cache().len(), 1);
 
         let mut pinned = SolveRequest::new("lcs", 100);
         pinned.params = Some(ScheduleParams::new(3, 7));
-        let (p3, hit3) = b.tune(&pinned, &NullSink).unwrap();
+        let (c3, hit3) = b.tune(&pinned, &NullSink).unwrap();
         assert!(!hit3);
-        assert_eq!(p3, ScheduleParams::new(3, 7));
+        assert_eq!(c3.params, ScheduleParams::new(3, 7));
         assert_eq!(b.cache().len(), 1, "pinned params never enter the cache");
     }
 
@@ -223,7 +230,7 @@ mod tests {
         let solved = b
             .solve(
                 &SolveRequest::new("lcs", 32),
-                ScheduleParams::new(10_000, 10_000),
+                TunedConfig::new(ScheduleParams::new(10_000, 10_000), ExecTier::Bulk),
                 &NullSink,
             )
             .unwrap();
@@ -237,10 +244,25 @@ mod tests {
         let b = FrameworkBackend::new();
         for problem in ["lcs", "levenshtein", "weighted-edit", "dithering"] {
             let req = SolveRequest::new(problem, 48);
-            let (params, _) = b.tune(&req, &NullSink).unwrap();
-            let served = b.solve(&req, params, &NullSink).unwrap();
+            let (config, _) = b.tune(&req, &NullSink).unwrap();
+            let served = b.solve(&req, config, &NullSink).unwrap();
             let oracle = crate::cli::run_solve_seq(problem, 48).unwrap();
             assert_eq!(served.answer, oracle, "{problem}");
         }
+    }
+
+    #[test]
+    fn bitparallel_config_serves_the_oracle_answer_for_lcs() {
+        let b = FrameworkBackend::new();
+        let served = b
+            .solve(
+                &SolveRequest::new("lcs", 80),
+                TunedConfig::new(ScheduleParams::new(4, 16), ExecTier::BitParallel),
+                &NullSink,
+            )
+            .unwrap();
+        assert_eq!(served.tier, ExecTier::BitParallel);
+        let oracle = crate::cli::run_solve_seq("lcs", 80).unwrap();
+        assert_eq!(served.answer, oracle);
     }
 }

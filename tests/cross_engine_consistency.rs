@@ -85,7 +85,11 @@ fn assert_bulk_matches_scalar<K: lddp::core::kernel::Kernel>(kernel: &K, label: 
             .with_bulk_enabled(false)
             .solve(kernel)
             .unwrap();
-        assert_eq!(bulk.to_row_major(), oracle, "{label} bulk threads={threads}");
+        assert_eq!(
+            bulk.to_row_major(),
+            oracle,
+            "{label} bulk threads={threads}"
+        );
         assert_eq!(
             scalar.to_row_major(),
             oracle,
@@ -103,7 +107,124 @@ fn byte_pairs() -> Vec<(Vec<u8>, Vec<u8>)> {
         (s(40, 3), s(0, 5)),
         (s(37, 3), s(53, 5)),
         (s(5, 1), s(5, 2)),
+        // Lane-unaligned: one short of / one past the widest SIMD
+        // width, so head/tail peeling covers every remainder.
+        (s(33, 3), s(9, 5)),
+        (s(63, 2), s(65, 3)),
     ]
+}
+
+/// Solves `kernel` at every pinned execution tier across several
+/// thread counts and requires each result to equal the sequential
+/// oracle exactly. A pin the host cannot honor (no vector unit, no
+/// SIMD kernel) downgrades inside the engine, so every row runs on
+/// every machine without conditional compilation.
+fn assert_tiers_match_oracle<K: lddp::core::kernel::Kernel>(kernel: &K, label: &str) {
+    use lddp::core::kernel::ExecTier;
+    let oracle = solve_row_major(kernel).unwrap().to_row_major();
+    for tier in [ExecTier::Scalar, ExecTier::Bulk, ExecTier::Simd] {
+        for threads in [1, 2, 5] {
+            let got = ParallelEngine::new(threads)
+                .with_tier(Some(tier))
+                .solve(kernel)
+                .unwrap();
+            assert_eq!(
+                got.to_row_major(),
+                oracle,
+                "{label} tier={tier} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simd_tier_is_bit_identical_for_sequence_problems() {
+    for (a, b) in byte_pairs() {
+        let label = format!("{}x{}", a.len(), b.len());
+        assert_tiers_match_oracle(
+            &lddp::problems::LcsKernel::new(a.clone(), b.clone()),
+            &format!("lcs {label}"),
+        );
+        assert_tiers_match_oracle(
+            &lddp::problems::LevenshteinKernel::new(a.clone(), b.clone()),
+            &format!("levenshtein {label}"),
+        );
+        assert_tiers_match_oracle(
+            &lddp::problems::NeedlemanWunschKernel::new(a.clone(), b.clone()),
+            &format!("needleman-wunsch {label}"),
+        );
+        assert_tiers_match_oracle(
+            &lddp::problems::SmithWatermanKernel::new(a, b),
+            &format!("smith-waterman {label}"),
+        );
+    }
+}
+
+#[test]
+fn simd_tier_is_bit_identical_for_dtw() {
+    use lddp::core::kernel::ExecTier;
+    let series = |n: usize, mul: usize| -> Vec<f32> {
+        (0..n).map(|i| (i * mul % 19) as f32 * 0.5 - 3.0).collect()
+    };
+    let bits = |g: &lddp::core::grid::Grid<f32>| -> Vec<u32> {
+        g.to_row_major().iter().map(|v| v.to_bits()).collect()
+    };
+    for (la, lb) in [(1, 43), (43, 1), (37, 54), (8, 8), (33, 65)] {
+        for band in [None, Some(5)] {
+            let mut kernel = lddp::problems::DtwKernel::new(series(la, 37), series(lb, 23));
+            if let Some(r) = band {
+                kernel = kernel.with_band(r);
+            }
+            let label = format!("dtw {la}x{lb} band={band:?}");
+            assert_tiers_match_oracle(&kernel, &label);
+            // f32 tables must agree bit for bit (including ∞ cells
+            // outside the band), not merely by PartialEq.
+            let reference = bits(
+                &ParallelEngine::new(1)
+                    .with_tier(Some(ExecTier::Scalar))
+                    .solve(&kernel)
+                    .unwrap(),
+            );
+            for tier in [ExecTier::Bulk, ExecTier::Simd] {
+                for threads in [1, 5] {
+                    let got = ParallelEngine::new(threads)
+                        .with_tier(Some(tier))
+                        .solve(&kernel)
+                        .unwrap();
+                    assert_eq!(
+                        bits(&got),
+                        reference,
+                        "{label} tier={tier} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bitparallel_lcs_tier_matches_grid_engines() {
+    use lddp::problems::lcs::{lcs_length, lcs_length_bitparallel};
+    let check = |a: &[u8], b: &[u8]| {
+        let kernel = lddp::problems::LcsKernel::new(a.to_vec(), b.to_vec());
+        let grid = ParallelEngine::new(3).solve(&kernel).unwrap();
+        let expected = kernel.length_from(&grid);
+        let label = format!("{}x{}", a.len(), b.len());
+        assert_eq!(
+            lcs_length_bitparallel(a, b),
+            expected,
+            "bit-parallel {label}"
+        );
+        assert_eq!(lcs_length(a, b), expected, "row oracle {label}");
+    };
+    for (a, b) in byte_pairs() {
+        check(&a, &b);
+    }
+    // Lengths past one u64 word so the multi-word carry chain of the
+    // bit-parallel rows is exercised too.
+    let s = |n: usize, mul: usize| -> Vec<u8> { (0..n).map(|i| (i * mul % 5) as u8).collect() };
+    check(&s(131, 3), &s(257, 7));
+    check(&s(64, 3), &s(65, 7));
 }
 
 #[test]
@@ -176,12 +297,7 @@ impl lddp::core::kernel::Kernel for MixWave {
         self.set
     }
 
-    fn compute(
-        &self,
-        i: usize,
-        j: usize,
-        n: &lddp::core::kernel::Neighbors<u64>,
-    ) -> u64 {
+    fn compute(&self, i: usize, j: usize, n: &lddp::core::kernel::Neighbors<u64>) -> u64 {
         let mut acc = (i as u64) << 20 | (j as u64 + 7);
         for c in lddp::core::cell::RepCell::ALL {
             if let Some(v) = n.get(c) {
@@ -191,9 +307,7 @@ impl lddp::core::kernel::Kernel for MixWave {
         acc
     }
 
-    fn wave_kernel(
-        &self,
-    ) -> Option<&dyn lddp::core::kernel::WaveKernel<Cell = u64>> {
+    fn wave_kernel(&self) -> Option<&dyn lddp::core::kernel::WaveKernel<Cell = u64>> {
         Some(self)
     }
 }

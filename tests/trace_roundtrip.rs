@@ -64,7 +64,10 @@ fn chrome_export_round_trips_count_and_order() {
         .collect();
     assert_eq!(xs.len(), data.spans.len());
     for (x, span) in xs.iter().zip(&data.spans) {
-        assert_eq!(x.get("name").and_then(|j| j.as_str()), Some(span.name.as_str()));
+        assert_eq!(
+            x.get("name").and_then(|j| j.as_str()),
+            Some(span.name.as_str())
+        );
         let ts = x.get("ts").and_then(|j| j.as_f64()).unwrap();
         assert!((ts - span.start_s * 1e6).abs() < 1e-6);
         let pid = x.get("pid").and_then(|j| j.as_f64()).unwrap();
@@ -117,16 +120,21 @@ fn parallel_engine_histogram_flows_through_the_same_sink() {
             .wrapping_add(n.nw.unwrap_or(j as u64))
     });
     let rec = Recorder::new();
-    rec.register_histogram("parallel.barrier_wait_s", vec![1e-7, 1e-6, 1e-5, 1e-4, 1e-3]);
+    rec.register_histogram(
+        "parallel.barrier_wait_s",
+        vec![1e-7, 1e-6, 1e-5, 1e-4, 1e-3],
+    );
     ParallelEngine::new(2).solve_traced(&kernel, &rec).unwrap();
     let data = rec.snapshot();
     let h = &data.histograms["parallel.barrier_wait_s"];
     assert!(h.count > 0, "barrier waits must be observed");
     assert_eq!(h.counts.len(), 6);
-    assert!(data
-        .samples
-        .iter()
-        .filter(|s| s.name == "worker.busy_s")
-        .count() == 2);
+    assert!(
+        data.samples
+            .iter()
+            .filter(|s| s.name == "worker.busy_s")
+            .count()
+            == 2
+    );
     assert!(data.counters["parallel.waves"] > 0);
 }
