@@ -122,6 +122,6 @@ mod tests {
             seed: 3,
         };
         let ms = p.delay(99).as_millis() as u64;
-        assert!(ms >= 2500 && ms < 5000);
+        assert!((2500..5000).contains(&ms));
     }
 }

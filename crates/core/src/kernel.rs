@@ -519,7 +519,11 @@ mod tests {
             |_, _, _: &Neighbors<u8>| 0u8,
         );
         assert!(k.wave_kernel().is_none());
-        assert!((&k).wave_kernel().is_none(), "reference blanket forwards");
+        let kr = &k;
+        assert!(
+            Kernel::wave_kernel(&kr).is_none(),
+            "reference blanket forwards"
+        );
     }
 
     #[test]
@@ -562,7 +566,8 @@ mod tests {
         let mut out = [0u32; 2];
         wk.compute_run(2, 1, &mut out, &[], &[], &[], &[]);
         assert_eq!(out, [3, 3]);
-        assert!((&k).wave_kernel().is_some());
+        let kr = &k;
+        assert!(Kernel::wave_kernel(&kr).is_some());
     }
 
     #[test]
@@ -590,7 +595,11 @@ mod tests {
             |_, _, _: &Neighbors<u8>| 0u8,
         );
         assert!(k.simd_kernel().is_none());
-        assert!((&k).simd_kernel().is_none(), "reference blanket forwards");
+        let kr = &k;
+        assert!(
+            Kernel::simd_kernel(&kr).is_none(),
+            "reference blanket forwards"
+        );
     }
 
     #[test]
@@ -653,7 +662,8 @@ mod tests {
         let mut out = [0u32; 2];
         sk.compute_run_simd(2, 1, &mut out, &[], &[], &[], &[]);
         assert_eq!(out, [3, 3]);
-        assert!((&k).simd_kernel().is_some());
+        let kr = &k;
+        assert!(Kernel::simd_kernel(&kr).is_some());
     }
 
     #[test]

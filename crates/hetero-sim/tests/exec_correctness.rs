@@ -302,7 +302,6 @@ fn split_grids_actually_isolate_devices() {
 #[test]
 fn injected_device_fault_aborts_with_the_faulting_wave() {
     use hetero_sim::exec::run_hetero_injected;
-    use lddp_core::schedule::WaveSchedule;
     use lddp_core::Error;
 
     struct FaultAt(usize);

@@ -68,6 +68,7 @@ use lddp_core::schedule::compatible;
 use lddp_core::tuner::{pick_tier, SweepPoint, TierPoint};
 use lddp_core::wavefront::{self, Dims};
 use lddp_core::{DegradeStep, Error, Result};
+use lddp_trace::live::LiveRegistry;
 use lddp_trace::{tracks, NullSink, Span, TraceSink};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -151,6 +152,7 @@ impl<T: Copy> SharedCells<T> {
 /// exclusive slice of wave `w`, and all of wave `w`'s dependencies are
 /// sealed by an earlier barrier.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 unsafe fn compute_chunk<K: Kernel + ?Sized>(
     kernel: &K,
     set: ContributingSet,
@@ -382,6 +384,7 @@ pub struct ParallelEngine {
     threads: usize,
     bulk: bool,
     tier: Option<ExecTier>,
+    live: Option<Arc<LiveRegistry>>,
     pool: OnceLock<Arc<WorkerPool>>,
 }
 
@@ -393,6 +396,7 @@ impl ParallelEngine {
             threads: threads.max(1),
             bulk: true,
             tier: None,
+            live: None,
             pool: OnceLock::new(),
         }
     }
@@ -440,6 +444,27 @@ impl ParallelEngine {
     /// The pinned tier, if any (`LDDP_FORCE_TIER` not considered).
     pub fn tier_override(&self) -> Option<ExecTier> {
         self.tier
+    }
+
+    /// Attaches a [`LiveRegistry`]: every pooled solve records pool
+    /// utilization into it (`lddp_pool_*` families — per-worker busy
+    /// seconds, barrier-wait histogram, solves by tier, waves, cells)
+    /// regardless of whether a [`TraceSink`] is attached. Injected
+    /// faults additionally count under
+    /// `lddp_chaos_injected_total{site=worker_panic|bulk_panic}`.
+    ///
+    /// Attaching a registry routes solves through the instrumented
+    /// path (per-wave wall-clock timestamps), so it is not free —
+    /// though the cost is per *wave*, not per cell, and disappears
+    /// into the noise for all but trivially small grids.
+    pub fn with_live(mut self, live: Arc<LiveRegistry>) -> Self {
+        self.live = Some(live);
+        self
+    }
+
+    /// The attached live registry, if any.
+    pub fn live_registry(&self) -> Option<&Arc<LiveRegistry>> {
+        self.live.as_ref()
     }
 
     /// The tier a [`solve`](ParallelEngine::solve) of `kernel` will
@@ -740,7 +765,10 @@ impl ParallelEngine {
         }
         let num_waves = pattern.num_waves(dims.rows, dims.cols);
         let threads = active.min(self.threads).min(dims.len()).max(1);
-        let traced = sink.enabled();
+        let live = self.live.as_deref();
+        // A live registry forces the instrumented path too: it needs
+        // the same per-wave timestamps the sink does.
+        let traced = sink.enabled() || live.is_some();
         // The bulk and SIMD paths are only sound when the executed
         // pattern is the set's own classification: only then are all of
         // a run's dependencies in strictly earlier waves with the
@@ -795,12 +823,24 @@ impl ParallelEngine {
 
         // Injected faults surface as worker panics; an inactive
         // injector costs one branch per (worker, wave).
+        let chaos_injected = |site: &str| {
+            if let Some(live) = live {
+                live.counter(
+                    "lddp_chaos_injected_total",
+                    &[("site", site)],
+                    "Faults injected by the attached chaos plan, by site.",
+                )
+                .inc();
+            }
+        };
         let inject = |t: usize, w: usize| {
             if let Some(inj) = injector {
                 if bulk_kernel.is_some() && inj.bulk_panic(w) {
+                    chaos_injected("bulk_panic");
                     panic!("injected bulk fault at wave {w}");
                 }
                 if inj.worker_panic(t, w) {
+                    chaos_injected("worker_panic");
                     panic!("injected worker panic: worker {t} wave {w}");
                 }
             }
@@ -837,18 +877,24 @@ impl ParallelEngine {
         }
 
         let epoch = Instant::now();
+        // Spans only feed the sink; on a live-registry-only run, skip
+        // collecting them (the registry needs just the aggregates).
+        let want_spans = sink.enabled();
         let slots: Vec<Mutex<WorkerTrace>> = (0..threads)
             .map(|_| Mutex::new(WorkerTrace::default()))
             .collect();
         let r = pool.try_run(threads, &|t| {
             let mut tr = WorkerTrace::default();
+            // Two clock reads per wave, not three: each wave starts at
+            // the previous wave's barrier exit (the inter-wave setup it
+            // absorbs into busy time is tens of nanoseconds).
+            let mut t0 = epoch.elapsed().as_secs_f64();
             for w in 0..num_waves {
                 inject(t, w);
                 let len = pattern.wave_len(dims.rows, dims.cols, w);
                 let my = chunk_aligned(t, threads, len, lanes);
                 let owned = my.len();
                 let runs = runs_by_wave.get(w).unwrap_or(&no_runs);
-                let t0 = epoch.elapsed().as_secs_f64();
                 // SAFETY: as in the untraced path.
                 unsafe {
                     compute_chunk_auto(
@@ -867,11 +913,12 @@ impl ParallelEngine {
                 let t1 = epoch.elapsed().as_secs_f64();
                 pool.barrier().wait();
                 let t2 = epoch.elapsed().as_secs_f64();
-                if owned > 0 {
+                if want_spans && owned > 0 {
                     tr.spans.push((w, t0, t1 - t0, owned));
                 }
                 tr.busy_s += t1 - t0;
                 tr.barrier_wait_s.push(t2 - t1);
+                t0 = t2;
             }
             *slots[t].lock().unwrap_or_else(|e| e.into_inner()) = tr;
         });
@@ -882,32 +929,66 @@ impl ParallelEngine {
             .collect();
 
         let total_s = epoch.elapsed().as_secs_f64();
-        for (t, tr) in worker_traces.iter().enumerate() {
-            for &(w, start_s, dur_s, owned) in &tr.spans {
-                sink.span(
-                    Span::new("wave", tracks::worker(t), start_s, dur_s)
-                        .with_arg("wave", w)
-                        .with_arg("cells", owned)
-                        .with_arg("tier", tier.as_str()),
-                );
+        if sink.enabled() {
+            for (t, tr) in worker_traces.iter().enumerate() {
+                for &(w, start_s, dur_s, owned) in &tr.spans {
+                    sink.span(
+                        Span::new("wave", tracks::worker(t), start_s, dur_s)
+                            .with_arg("wave", w)
+                            .with_arg("cells", owned)
+                            .with_arg("tier", tier.as_str()),
+                    );
+                }
+                sink.sample(tracks::worker(t), "worker.busy_s", total_s, tr.busy_s);
+                for &wait_s in &tr.barrier_wait_s {
+                    sink.observe("parallel.barrier_wait_s", wait_s);
+                }
             }
-            sink.sample(tracks::worker(t), "worker.busy_s", total_s, tr.busy_s);
-            for &wait_s in &tr.barrier_wait_s {
-                sink.observe("parallel.barrier_wait_s", wait_s);
-            }
+            sink.count("parallel.waves", num_waves as u64);
+            sink.count("parallel.cells", dims.len() as u64);
+            sink.count("parallel.workers", threads as u64);
+            sink.count(
+                match tier {
+                    ExecTier::Scalar => "parallel.tier.scalar",
+                    ExecTier::Bulk => "parallel.tier.bulk",
+                    ExecTier::Simd => "parallel.tier.simd",
+                    ExecTier::BitParallel => "parallel.tier.bitparallel",
+                },
+                1,
+            );
         }
-        sink.count("parallel.waves", num_waves as u64);
-        sink.count("parallel.cells", dims.len() as u64);
-        sink.count("parallel.workers", threads as u64);
-        sink.count(
-            match tier {
-                ExecTier::Scalar => "parallel.tier.scalar",
-                ExecTier::Bulk => "parallel.tier.bulk",
-                ExecTier::Simd => "parallel.tier.simd",
-                ExecTier::BitParallel => "parallel.tier.bitparallel",
-            },
-            1,
-        );
+        if let Some(live) = live {
+            let waits = live.histogram(
+                "lddp_pool_barrier_wait_seconds",
+                &[],
+                "Time pool workers spent blocked at the inter-wave barrier.",
+            );
+            for (t, tr) in worker_traces.iter().enumerate() {
+                live.fcounter(
+                    "lddp_pool_worker_busy_seconds_total",
+                    &[("worker", &t.to_string())],
+                    "Cumulative compute time per pool worker.",
+                )
+                .add(tr.busy_s);
+                for &wait_s in &tr.barrier_wait_s {
+                    waits.observe(wait_s);
+                }
+            }
+            live.counter(
+                "lddp_pool_solves_total",
+                &[("tier", tier.as_str())],
+                "Pooled solves completed, by execution tier.",
+            )
+            .inc();
+            live.counter("lddp_pool_waves_total", &[], "Waves executed by the pool.")
+                .add(num_waves as u64);
+            live.counter(
+                "lddp_pool_cells_total",
+                &[],
+                "Grid cells computed by the pool.",
+            )
+            .add(dims.len() as u64);
+        }
 
         Ok(grid)
     }
@@ -1640,6 +1721,70 @@ mod tests {
         );
         // And the engine still works normally afterwards.
         assert_eq!(engine.solve(&kernel).unwrap().to_row_major(), oracle);
+    }
+
+    #[test]
+    fn live_registry_records_pool_families() {
+        let set = ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]);
+        let kernel = BulkMix {
+            dims: Dims::new(29, 23),
+            set,
+        };
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        let reg = Arc::new(lddp_trace::live::LiveRegistry::new());
+        let engine = ParallelEngine::new(3).with_live(Arc::clone(&reg));
+        // The instrumented path a live registry forces must still be
+        // correct, with a NullSink and with 1 active worker.
+        assert_eq!(engine.solve(&kernel).unwrap().to_row_major(), oracle);
+        assert_eq!(
+            engine
+                .solve_with_threads(&kernel, 1)
+                .unwrap()
+                .to_row_major(),
+            oracle
+        );
+        let text = reg.to_prometheus();
+        let series = lddp_trace::live::parse_prometheus(&text);
+        let get = |name: &str| {
+            series
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing series {name} in:\n{text}"))
+        };
+        let waves = classify(kernel.contributing_set())
+            .map(Pattern::canonical)
+            .unwrap()
+            .num_waves(29, 23) as f64;
+        assert_eq!(get("lddp_pool_waves_total"), 2.0 * waves);
+        assert_eq!(get("lddp_pool_cells_total"), (2 * 29 * 23) as f64);
+        assert!(get("lddp_pool_worker_busy_seconds_total{worker=\"0\"}") >= 0.0);
+        assert!(get("lddp_pool_barrier_wait_seconds_count") >= waves);
+        // Two solves, whatever tier each resolved to.
+        let solves: f64 = series
+            .iter()
+            .filter(|(n, _)| n.starts_with("lddp_pool_solves_total"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(solves, 2.0);
+    }
+
+    #[test]
+    fn live_registry_counts_injected_faults() {
+        let set = ContributingSet::new(&[RepCell::W, RepCell::N]);
+        let kernel = mix_kernel(Dims::new(24, 24), set);
+        let reg = Arc::new(lddp_trace::live::LiveRegistry::new());
+        let engine = ParallelEngine::new(3).with_live(Arc::clone(&reg));
+        let inj = TestInjector {
+            panic_worker: Some((1, 5)),
+            bulk_fail_wave: None,
+        };
+        assert!(engine.solve_injected(&kernel, &inj).is_err());
+        let text = reg.to_prometheus();
+        assert!(
+            text.contains("lddp_chaos_injected_total{site=\"worker_panic\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

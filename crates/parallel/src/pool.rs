@@ -482,7 +482,7 @@ mod tests {
                         let c = chunk_aligned(t, n, len, align);
                         assert_eq!(c.start, next, "n={n} len={len} align={align} t={t}");
                         assert!(
-                            t + 1 == n || c.end % align == 0,
+                            t + 1 == n || c.end.is_multiple_of(align),
                             "interior boundary must be lane-aligned"
                         );
                         next = c.end;

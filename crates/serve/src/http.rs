@@ -23,11 +23,24 @@ pub struct HttpRequest {
     pub method: String,
     /// Path with query string stripped.
     pub path: String,
+    /// Raw query string (no leading `?`; empty when absent).
+    pub query: String,
     /// Raw body (empty when absent).
     pub body: String,
     /// Whether the client wants the connection kept open after the
     /// response (HTTP/1.1 default unless `Connection: close`).
     pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// The value of query parameter `name`, if present
+    /// (`last_ms=500&x=1` → `param("last_ms") == Some("500")`).
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// Reads one HTTP request off `stream` (which should carry a read
@@ -39,7 +52,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
     let mut parts = request_line.split_whitespace();
     let method = parts.next().ok_or("missing method")?.to_ascii_uppercase();
     let target = parts.next().ok_or("missing request target")?;
-    let path = target.split('?').next().unwrap_or("").to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     // Persistence is the HTTP/1.1 default; HTTP/1.0 must opt in.
     let version = parts.next().unwrap_or("HTTP/1.1");
     let mut keep_alive = !version.eq_ignore_ascii_case("HTTP/1.0");
@@ -72,6 +88,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
     Ok(HttpRequest {
         method,
         path,
+        query,
         body: String::from_utf8(body).map_err(|_| "body is not UTF-8")?,
         keep_alive,
     })
@@ -146,18 +163,53 @@ pub fn write_response_ex(
     keep_alive: bool,
     retry_after_s: Option<u64>,
 ) -> std::io::Result<()> {
-    let retry = match retry_after_s {
-        Some(s) => format!("Retry-After: {s}\r\n"),
-        None => String::new(),
+    let opts = ResponseOptions {
+        retry_after_s,
+        ..ResponseOptions::default()
     };
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
+    write_response_opts(stream, status, body, keep_alive, &opts)
+}
+
+/// Non-default response headers for [`write_response_opts`].
+#[derive(Debug, Clone, Default)]
+pub struct ResponseOptions {
+    /// `Content-Type` override (`application/json` when `None` — the
+    /// API's default; `/metrics` sets the Prometheus text type).
+    pub content_type: Option<&'static str>,
+    /// `Retry-After` seconds, emitted by breaker-open 503s.
+    pub retry_after_s: Option<u64>,
+    /// Extra `(name, value)` headers, e.g. `X-LDDP-Trace-Id`. Names
+    /// and values must be valid ASCII header text; no escaping is
+    /// applied.
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+/// The fully general response writer: status, body, connection
+/// disposition, plus whatever [`ResponseOptions`] carries.
+pub fn write_response_opts(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    opts: &ResponseOptions,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         status_text(status),
+        opts.content_type.unwrap_or("application/json"),
         body.len(),
-        retry,
-        if keep_alive { "keep-alive" } else { "close" }
     );
+    if let Some(s) = opts.retry_after_s {
+        head.push_str(&format!("Retry-After: {s}\r\n"));
+    }
+    for (name, value) in &opts.extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "Connection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    ));
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -255,6 +307,18 @@ pub fn request(
     body: Option<&str>,
     timeout: Duration,
 ) -> Result<(u16, String), String> {
+    request_with_head(addr, method, path, body, timeout).map(|(status, _, body)| (status, body))
+}
+
+/// [`request`], also returning the raw response head (status line and
+/// headers) so callers can inspect headers like `X-LDDP-Trace-Id`.
+pub fn request_with_head(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<(u16, String, String), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(timeout))
@@ -285,7 +349,7 @@ pub fn request(
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or("response missing status code")?;
-    Ok((status, payload.to_string()))
+    Ok((status, head.to_string(), payload.to_string()))
 }
 
 #[cfg(test)]
@@ -396,6 +460,58 @@ mod tests {
         stream.read_to_end(&mut raw).unwrap();
         let text = String::from_utf8(raw).unwrap();
         assert!(text.contains("Retry-After: 7\r\n"), "{text}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn query_string_is_captured_and_parsed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let req = read_request(&mut conn).unwrap();
+            assert_eq!(req.path, "/debug/trace");
+            assert_eq!(req.query, "last_ms=500&full=");
+            assert_eq!(req.param("last_ms"), Some("500"));
+            assert_eq!(req.param("full"), Some(""));
+            assert_eq!(req.param("missing"), None);
+            write_response(&mut conn, 200, "{}", false).unwrap();
+        });
+        let (status, _) = request(
+            &addr,
+            "GET",
+            "/debug/trace?last_ms=500&full=",
+            None,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn response_options_emit_content_type_and_extra_headers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = read_request(&mut conn).unwrap();
+            let opts = ResponseOptions {
+                content_type: Some("text/plain; version=0.0.4"),
+                retry_after_s: None,
+                extra_headers: vec![("X-LDDP-Trace-Id", "00ff00ff00ff00ff".to_string())],
+            };
+            write_response_opts(&mut conn, 200, "ok 1\n", false, &opts).unwrap();
+        });
+        let (status, head, body) =
+            request_with_head(&addr, "GET", "/metrics", None, Duration::from_secs(5)).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            head.contains("Content-Type: text/plain; version=0.0.4"),
+            "{head}"
+        );
+        assert!(head.contains("X-LDDP-Trace-Id: 00ff00ff00ff00ff"), "{head}");
+        assert_eq!(body, "ok 1\n");
         server.join().unwrap();
     }
 

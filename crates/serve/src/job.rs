@@ -327,6 +327,16 @@ pub struct SolveResponse {
     pub queue_ms: f64,
     /// Wall time spent solving, milliseconds.
     pub solve_ms: f64,
+    /// Wall time the batcher spent assembling the batch this request
+    /// rode in (drain + group), milliseconds.
+    pub batch_ms: f64,
+    /// Wall time spent resolving schedule parameters for the batch
+    /// (tuner-cache lookup or sweep), milliseconds.
+    pub tune_ms: f64,
+    /// Per-request trace id, assigned at admission and threaded through
+    /// queue → batch → tune → solve. Also sent as the `X-LDDP-Trace-Id`
+    /// response header; correlates with `GET /debug/trace` spans.
+    pub trace_id: String,
     /// Number of requests in the batch this one rode in.
     pub batch_size: usize,
     /// Whether the batch's parameters came from the tuner cache.
@@ -347,11 +357,15 @@ impl SolveResponse {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"id\":{},\"problem\":\"{}\",\"n\":{},\"answer\":\"{}\",\
+            "{{\"id\":{},\"trace_id\":\"{}\",\"problem\":\"{}\",\"n\":{},\
+             \"answer\":\"{}\",\
              \"virtual_ms\":{},\"t_switch\":{},\"t_share\":{},\"tier\":\"{}\",\
              \"queue_ms\":{},\"solve_ms\":{},\"batch_size\":{},\"cache_hit\":{},\
-             \"degraded\":[{}]}}",
+             \"degraded\":[{}],\
+             \"timings\":{{\"queue_wait_ms\":{},\"batch_ms\":{},\
+             \"tune_ms\":{},\"solve_ms\":{},\"tier\":\"{}\"}}}}",
             self.id,
+            escape(&self.trace_id),
             escape(&self.problem),
             self.n,
             escape(&self.answer),
@@ -364,6 +378,11 @@ impl SolveResponse {
             self.batch_size,
             self.cache_hit,
             degraded,
+            num(self.queue_ms),
+            num(self.batch_ms),
+            num(self.tune_ms),
+            num(self.solve_ms),
+            self.tier.as_str(),
         )
     }
 
@@ -397,6 +416,23 @@ impl SolveResponse {
                 .unwrap_or(ExecTier::Bulk),
             queue_ms: f("queue_ms")?,
             solve_ms: f("solve_ms")?,
+            // The timings breakdown and trace id are absent on responses
+            // from servers predating trace propagation.
+            batch_ms: v
+                .get("timings")
+                .and_then(|t| t.get("batch_ms"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            tune_ms: v
+                .get("timings")
+                .and_then(|t| t.get("tune_ms"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            trace_id: v
+                .get("trace_id")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
             batch_size: f("batch_size")? as usize,
             cache_hit: v
                 .get("cache_hit")
@@ -475,11 +511,17 @@ mod tests {
             tier: ExecTier::Simd,
             queue_ms: 0.25,
             solve_ms: 3.75,
+            batch_ms: 0.5,
+            tune_ms: 1.25,
+            trace_id: "00f1e2d3c4b5a697".into(),
             batch_size: 4,
             cache_hit: true,
             degraded: vec!["bulk_to_scalar".into()],
         };
-        let back = SolveResponse::from_json(&resp.to_json()).unwrap();
+        let json = resp.to_json();
+        assert!(json.contains("\"timings\":{"));
+        assert!(json.contains("\"queue_wait_ms\":0.25"));
+        let back = SolveResponse::from_json(&json).unwrap();
         assert_eq!(resp, back);
     }
 
@@ -493,6 +535,10 @@ mod tests {
         assert!(parsed.degraded.is_empty());
         // Same for the tier field: old servers ran the bulk CPU path.
         assert_eq!(parsed.tier, ExecTier::Bulk);
+        // And the trace/timings fields, which predate trace propagation.
+        assert!(parsed.trace_id.is_empty());
+        assert_eq!(parsed.batch_ms, 0.0);
+        assert_eq!(parsed.tune_ms, 0.0);
     }
 
     #[test]

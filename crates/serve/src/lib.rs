@@ -14,9 +14,17 @@
 //!   result is amortized — backed by
 //!   [`lddp_core::tuner_cache::TunerCache`] across batches.
 //! - **Per-request tracing** — every request emits `serve.queue_wait`,
-//!   `serve.batch`, and `serve.solve` spans plus the counters in
-//!   [`lddp_trace::catalog`], so a traced serve run opens in Perfetto
-//!   with one lane per worker.
+//!   `serve.batch`, `serve.tune`, and `serve.solve` spans plus the
+//!   counters in [`lddp_trace::catalog`], so a traced serve run opens
+//!   in Perfetto with one lane per worker. Each request also gets a
+//!   trace id at admission, returned in the response body and the
+//!   `X-LDDP-Trace-Id` header.
+//! - **Live telemetry** — counters, gauges, and latency sketches
+//!   publish into a [`lddp_trace::live::LiveRegistry`] behind
+//!   `GET /metrics` (Prometheus text exposition), and an always-on
+//!   flight recorder keeps the last few thousand spans for
+//!   `GET /debug/trace` (Chrome trace JSON) — no sink, flag, or
+//!   restart required. See `docs/OBSERVABILITY.md`.
 //! - **Graceful shutdown** — `POST /shutdown` (or
 //!   [`Client::shutdown`]) closes admission, drains the queue, answers
 //!   everything in flight, then joins every thread.
@@ -31,8 +39,9 @@
 //! solving sit behind [`SolveBackend`], implemented by the umbrella
 //! `lddp` crate (and by mocks in tests). Front ends: a hand-rolled
 //! HTTP/1.1 endpoint (`POST /solve`, `GET /healthz`, `GET /stats`,
-//! `POST /shutdown`) over `std::net`, and the in-process [`Client`].
-//! [`loadgen`] drives either through the same engine.
+//! `GET /metrics`, `GET /debug/trace`, `POST /shutdown`) over
+//! `std::net`, and the in-process [`Client`]. [`loadgen`] drives
+//! either through the same engine.
 
 pub mod http;
 pub mod job;
@@ -435,6 +444,46 @@ mod tests {
     }
 
     #[test]
+    fn responses_carry_trace_ids_and_timings() {
+        let backend = MockBackend::new();
+        let mut server = Server::new(ServeConfig::default(), &backend, &NullSink);
+        server.set_trace_seed(7);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let timeout = Duration::from_secs(10);
+        server.run(Some(listener), |client| {
+            // In-process path: the response itself carries the id.
+            let resp = client.solve(SolveRequest::new("lcs", 64)).unwrap();
+            assert_eq!(resp.trace_id.len(), 16);
+            assert!(resp.trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+            assert!(resp.tune_ms >= 0.0 && resp.batch_ms >= 0.0);
+
+            // HTTP path: body and X-LDDP-Trace-Id header agree.
+            let (status, head, body) = http::request_with_head(
+                &addr,
+                "POST",
+                "/solve",
+                Some(r#"{"problem":"lcs","n":64}"#),
+                timeout,
+            )
+            .unwrap();
+            assert_eq!(status, 200, "{body}");
+            let wire = SolveResponse::from_json(&body).unwrap();
+            assert!(
+                head.contains(&format!("X-LDDP-Trace-Id: {}", wire.trace_id)),
+                "{head}"
+            );
+            assert_ne!(wire.trace_id, resp.trace_id, "ids are per-request");
+            let v = lddp_trace::json::parse(&body).unwrap();
+            let timings = v.get("timings").expect("timings object");
+            for key in ["queue_wait_ms", "batch_ms", "tune_ms", "solve_ms"] {
+                assert!(timings.get(key).and_then(|j| j.as_f64()).is_some(), "{key}");
+            }
+            assert_eq!(timings.get("tier").and_then(|j| j.as_str()), Some("simd"));
+        });
+    }
+
+    #[test]
     fn http_front_end_serves_all_routes() {
         let backend = MockBackend::new();
         let server = Server::new(ServeConfig::default(), &backend, &NullSink);
@@ -467,9 +516,26 @@ mod tests {
             let v = lddp_trace::json::parse(&body).unwrap();
             assert_eq!(v.get("completed").and_then(|j| j.as_f64()), Some(1.0));
 
+            let (status, head, body) =
+                http::request_with_head(&addr, "GET", "/metrics", None, timeout).unwrap();
+            assert_eq!(status, 200);
+            assert!(
+                head.contains("Content-Type: text/plain; version=0.0.4"),
+                "{head}"
+            );
+            assert!(body.contains("lddp_serve_completed_total 1"), "{body}");
+            assert!(body.contains("lddp_serve_queue_depth 0"), "{body}");
+
+            let (status, body) =
+                http::request(&addr, "GET", "/debug/trace?last_ms=60000", None, timeout).unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains("\"serve.solve\""), "{body}");
+
             let (status, _) = http::request(&addr, "GET", "/nope", None, timeout).unwrap();
             assert_eq!(status, 404);
             let (status, _) = http::request(&addr, "DELETE", "/stats", None, timeout).unwrap();
+            assert_eq!(status, 405);
+            let (status, _) = http::request(&addr, "POST", "/metrics", None, timeout).unwrap();
             assert_eq!(status, 405);
 
             let (status, body) = http::request(&addr, "POST", "/shutdown", None, timeout).unwrap();

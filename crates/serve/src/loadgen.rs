@@ -201,6 +201,37 @@ pub struct LoadReport {
     pub queue: LatencySummary,
     /// Server-reported solve time of completed requests.
     pub solve: LatencySummary,
+    /// Per-series `/metrics` movement across the run (`after - before`
+    /// scrape values, series that did not move dropped). Empty when the
+    /// driver did not scrape — in-process runs or a server without the
+    /// endpoint.
+    pub server_metrics_delta: Vec<(String, f64)>,
+}
+
+/// Scrapes `GET /metrics` at `addr` and parses the Prometheus text
+/// exposition into `(series, value)` pairs.
+pub fn scrape_metrics(addr: &str, timeout: Duration) -> Result<Vec<(String, f64)>, String> {
+    let (status, body) = http::request(addr, "GET", "/metrics", None, timeout)?;
+    if status != 200 {
+        return Err(format!("GET /metrics returned HTTP {status}"));
+    }
+    Ok(lddp_trace::live::parse_prometheus(&body))
+}
+
+/// Per-series `after - before` of two scrapes, dropping series that did
+/// not move. Series first seen in `after` count from zero.
+pub fn metrics_delta(before: &[(String, f64)], after: &[(String, f64)]) -> Vec<(String, f64)> {
+    after
+        .iter()
+        .filter_map(|(series, v)| {
+            let base = before
+                .iter()
+                .find(|(b, _)| b == series)
+                .map_or(0.0, |(_, bv)| *bv);
+            let delta = v - base;
+            (delta != 0.0).then(|| (series.clone(), delta))
+        })
+        .collect()
 }
 
 const REJECT_CODES: [&str; 5] = [
@@ -272,6 +303,7 @@ impl LoadReport {
             latency: summarize(tally.total_ms),
             queue: summarize(tally.queue_ms),
             solve: summarize(tally.solve_ms),
+            server_metrics_delta: Vec::new(),
         }
     }
 
@@ -293,11 +325,18 @@ impl LoadReport {
             .map(|(c, n)| format!("\"{}\":{}", json::escape(c), n))
             .collect::<Vec<_>>()
             .join(",");
+        let deltas = self
+            .server_metrics_delta
+            .iter()
+            .map(|(series, d)| format!("\"{}\":{}", json::escape(series), json::num(*d)))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"sent\":{},\"completed\":{},\"rejected\":{},\"errors\":{},\"mismatches\":{},\
              \"retries\":{},\"recovered\":{},\
              \"outcomes\":{{{}}},\"wall_s\":{},\"throughput_rps\":{},\"rejection_rate\":{},\
-             \"latency_ms\":{{\"total\":{},\"queue\":{},\"solve\":{}}}}}",
+             \"latency_ms\":{{\"total\":{},\"queue\":{},\"solve\":{}}},\
+             \"server_metrics_delta\":{{{}}}}}",
             self.sent,
             self.completed,
             self.rejected,
@@ -312,6 +351,7 @@ impl LoadReport {
             lat(&self.latency),
             lat(&self.queue),
             lat(&self.solve),
+            deltas,
         )
     }
 }
@@ -449,7 +489,7 @@ mod tests {
     impl SolveTarget for Canned {
         fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
             let i = self.hits.fetch_add(1, Ordering::SeqCst) + 1;
-            if self.fail_every > 0 && i % self.fail_every == 0 {
+            if self.fail_every > 0 && i.is_multiple_of(self.fail_every) {
                 return Err(("queue_full".into(), "full".into()));
             }
             Ok(SolveResponse {
@@ -462,6 +502,9 @@ mod tests {
                 tier: lddp_core::kernel::ExecTier::Bulk,
                 queue_ms: 0.5,
                 solve_ms: 2.0,
+                batch_ms: 0.1,
+                tune_ms: 0.2,
+                trace_id: format!("{i:016x}"),
                 batch_size: 1,
                 cache_hit: false,
                 degraded: vec![],
@@ -544,7 +587,7 @@ mod tests {
     impl SolveTarget for FlakyOnce {
         fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
             let i = self.hits.fetch_add(1, Ordering::SeqCst);
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 self.failures.fetch_add(1, Ordering::SeqCst);
                 return Err(("backend_panic".into(), "injected".into()));
             }
@@ -558,6 +601,9 @@ mod tests {
                 tier: lddp_core::kernel::ExecTier::Bulk,
                 queue_ms: 0.1,
                 solve_ms: 0.2,
+                batch_ms: 0.0,
+                tune_ms: 0.0,
+                trace_id: format!("{i:016x}"),
                 batch_size: 1,
                 cache_hit: false,
                 degraded: vec![],
@@ -629,6 +675,40 @@ mod tests {
         let report = run(&AlwaysLate, &cfg);
         assert_eq!(report.rejected, 4);
         assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn metrics_delta_subtracts_and_drops_unmoved_series() {
+        let before = vec![
+            ("lddp_serve_accepted_total".to_string(), 10.0),
+            ("lddp_serve_queue_depth".to_string(), 3.0),
+            ("lddp_serve_solves_total{tier=\"bulk\"}".to_string(), 4.0),
+        ];
+        let after = vec![
+            ("lddp_serve_accepted_total".to_string(), 25.0),
+            ("lddp_serve_queue_depth".to_string(), 3.0),
+            ("lddp_serve_solves_total{tier=\"bulk\"}".to_string(), 9.0),
+            ("lddp_serve_errors_total".to_string(), 2.0),
+        ];
+        let delta = metrics_delta(&before, &after);
+        assert_eq!(
+            delta,
+            vec![
+                ("lddp_serve_accepted_total".to_string(), 15.0),
+                ("lddp_serve_solves_total{tier=\"bulk\"}".to_string(), 5.0),
+                ("lddp_serve_errors_total".to_string(), 2.0),
+            ]
+        );
+        // The delta serializes into the report JSON (labels escaped).
+        let mut report = LoadReport::from_tally(Tally::default(), 0, 1.0);
+        report.server_metrics_delta = delta;
+        let v = json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            v.get("server_metrics_delta")
+                .and_then(|j| j.get("lddp_serve_accepted_total"))
+                .and_then(|j| j.as_f64()),
+            Some(15.0)
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@ use std::time::Instant;
 pub struct Job {
     /// Server-assigned id.
     pub id: u64,
+    /// Per-request trace id, assigned at admission; rendered as
+    /// `{:016x}` on the wire and threaded through every span the
+    /// request produces.
+    pub trace_id: u64,
     /// The request.
     pub req: SolveRequest,
     /// When admission accepted it.
@@ -71,6 +75,10 @@ impl JobQueue {
 
     /// Admits `job`, returning the queue depth after admission — or the
     /// job back with the rejection when the queue is full or draining.
+    // Returning the job by value on rejection is the point of the API
+    // (the caller still owns it and must answer its responder), so the
+    // large Err variant is deliberate.
+    #[allow(clippy::result_large_err)]
     pub fn push(&self, job: Job) -> Result<usize, (Job, RejectReason)> {
         let mut state = self.state.lock().unwrap();
         if !state.open {
@@ -176,6 +184,7 @@ mod tests {
         (
             Job {
                 id,
+                trace_id: id.wrapping_mul(0x9e37),
                 req: SolveRequest::new(problem, n),
                 enqueued: Instant::now(),
                 deadline: None,

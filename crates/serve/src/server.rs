@@ -43,20 +43,21 @@
 //! assert_eq!(answer, "echo 7");
 //! ```
 
-use crate::http;
+use crate::http::{self, ResponseOptions};
 use crate::job::{RejectReason, ServeError, SolveRequest, SolveResponse};
 use crate::queue::{Job, JobQueue};
 use crate::stats::{ServeStats, StatsSnapshot};
-use lddp_chaos::{BreakerConfig, BreakerState, CircuitBreaker, FaultInjector};
+use lddp_chaos::{mix64, BreakerConfig, BreakerState, CircuitBreaker, FaultInjector};
 use lddp_core::kernel::ExecTier;
 use lddp_core::schedule::ScheduleParams;
 use lddp_core::tuner_cache::TunedConfig;
-use lddp_trace::{catalog, tracks, Span, TraceSink};
+use lddp_trace::live::LiveRegistry;
+use lddp_trace::{catalog, chrome, tracks, Span, TraceSink};
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -153,6 +154,8 @@ pub struct Server<'a> {
     sink: &'a (dyn TraceSink + Sync),
     queue: JobQueue,
     stats: ServeStats,
+    live: Arc<LiveRegistry>,
+    trace_seed: u64,
     breaker: CircuitBreaker,
     injector: Option<&'a (dyn FaultInjector + 'a)>,
     epoch: Instant,
@@ -176,12 +179,15 @@ impl<'a> Server<'a> {
             open_for: Duration::from_millis(config.breaker_open_ms),
             half_open_probes: 1,
         });
+        let live = Arc::new(LiveRegistry::new());
         Server {
             config,
             backend,
             sink,
             queue,
-            stats: ServeStats::new(),
+            stats: ServeStats::with_registry(&live),
+            live,
+            trace_seed: 0x1dd9_7e1e_3e72_90aa,
             breaker,
             injector: None,
             epoch: Instant::now(),
@@ -190,6 +196,29 @@ impl<'a> Server<'a> {
             shutdown: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         }
+    }
+
+    /// Replaces the server's private [`LiveRegistry`] with a shared one
+    /// so other components (engine pool, tuner, chaos plan) publish
+    /// into the same `/metrics` exposition. Call before [`Server::run`]:
+    /// the serve metric families re-register on the new registry and
+    /// counts recorded so far stay behind on the old one.
+    pub fn attach_live(&mut self, live: Arc<LiveRegistry>) {
+        self.stats = ServeStats::with_registry(&live);
+        self.live = live;
+    }
+
+    /// The live registry this server publishes into (shared after
+    /// [`Server::attach_live`]).
+    pub fn live(&self) -> &Arc<LiveRegistry> {
+        &self.live
+    }
+
+    /// Seeds per-request trace-id generation (ids are
+    /// `mix64(seed + request_id)`), making wire-visible trace ids
+    /// reproducible in tests and chaos campaigns.
+    pub fn set_trace_seed(&mut self, seed: u64) {
+        self.trace_seed = seed;
     }
 
     /// [`Server::new`] plus a fault injector for chaos campaigns: the
@@ -227,9 +256,15 @@ impl<'a> Server<'a> {
                 s.spawn(move || self.http_loop(s, listener));
             }
             let client = Client { server: self };
-            let out = body(&client);
+            // A panicking body (a failed assertion in a test closure)
+            // must still shut the server down, or the scope would join
+            // workers that never see the signal and deadlock.
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&client)));
             self.initiate_shutdown();
-            out
+            match out {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         })
     }
 
@@ -265,14 +300,14 @@ impl<'a> Server<'a> {
         mut req: SolveRequest,
     ) -> Result<mpsc::Receiver<Result<SolveResponse, ServeError>>, RejectReason> {
         if let Err(msg) = self.backend.validate(&req) {
-            self.stats.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            self.stats.rejected_invalid.inc();
             if self.sink.enabled() {
                 self.sink.count(catalog::CTR_REJECTED_INVALID, 1);
             }
             return Err(RejectReason::Invalid(msg));
         }
         if let Err(wait) = self.breaker.allow() {
-            self.stats.rejected_breaker.fetch_add(1, Ordering::Relaxed);
+            self.stats.rejected_breaker.inc();
             if self.sink.enabled() {
                 self.sink.count(catalog::CTR_REJECTED_BREAKER, 1);
             }
@@ -285,8 +320,10 @@ impl<'a> Server<'a> {
         }
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let job = Job {
-            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            id,
+            trace_id: mix64(self.trace_seed.wrapping_add(id)),
             deadline: req.deadline_ms.map(|ms| now + Duration::from_millis(ms)),
             req,
             enqueued: now,
@@ -294,7 +331,7 @@ impl<'a> Server<'a> {
         };
         match self.queue.push(job) {
             Ok(depth) => {
-                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                self.stats.accepted.inc();
                 if self.sink.enabled() {
                     self.sink.count(catalog::CTR_ACCEPTED, 1);
                     self.sink.sample(
@@ -316,7 +353,7 @@ impl<'a> Server<'a> {
                         catalog::CTR_REJECTED_SHUTDOWN,
                     ),
                 };
-                counter.fetch_add(1, Ordering::Relaxed);
+                counter.inc();
                 if self.sink.enabled() {
                     self.sink.count(name, 1);
                 }
@@ -328,12 +365,18 @@ impl<'a> Server<'a> {
     // ---- workers ---------------------------------------------------
 
     fn worker_loop(&self, idx: usize) {
+        let busy = self.live.fcounter(
+            "lddp_serve_worker_busy_seconds_total",
+            &[("worker", &idx.to_string())],
+            "Wall-clock seconds this serve worker spent processing batches.",
+        );
         while let Some(popped) = self.queue.pop_batch(self.config.max_batch) {
             // Injected queue stall: the worker sits on its batch, so
             // queued deadlines keep ticking — exactly the failure a
             // stalled dequeue path produces.
             if let Some(inj) = self.injector {
                 if let Some(stall) = inj.queue_stall() {
+                    self.chaos_injected("queue_stall");
                     thread::sleep(stall);
                 }
             }
@@ -342,7 +385,7 @@ impl<'a> Server<'a> {
             // Jobs shed at pop time: answer 504 without a solve slot.
             for job in popped.expired {
                 let waited = job.enqueued.elapsed();
-                self.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                self.stats.rejected_deadline.inc();
                 if self.sink.enabled() {
                     self.sink.count(catalog::CTR_REJECTED_DEADLINE, 1);
                 }
@@ -353,16 +396,31 @@ impl<'a> Server<'a> {
                 self.finish_job(job, Err(ServeError::Rejected(reason)));
             }
             if !popped.batch.is_empty() {
+                let picked_up = Instant::now();
                 self.process_batch(idx, popped.batch);
+                busy.add(picked_up.elapsed().as_secs_f64());
             }
         }
+    }
+
+    /// Bumps the per-site injected-fault counter (only called when a
+    /// chaos fault actually fires, so production servers never pay the
+    /// registry lookup).
+    fn chaos_injected(&self, site: &str) {
+        self.live
+            .counter(
+                "lddp_chaos_injected_total",
+                &[("site", site)],
+                "Faults injected by the attached chaos plan, by site.",
+            )
+            .inc();
     }
 
     /// Charges one backend failure to the circuit breaker, recording
     /// the trip when this one pushes it open.
     fn record_backend_failure(&self) {
         if self.breaker.record_failure() {
-            self.stats.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            self.stats.breaker_opens.inc();
             if self.sink.enabled() {
                 self.sink.count(catalog::CTR_BREAKER_OPEN, 1);
             }
@@ -385,21 +443,22 @@ impl<'a> Server<'a> {
         let mut live: Vec<(Job, Duration)> = Vec::with_capacity(batch.len());
         for job in batch {
             let waited = picked_up.duration_since(job.enqueued);
+            let wait_span = Span::new(
+                catalog::SPAN_QUEUE_WAIT,
+                tracks::SERVE_QUEUE,
+                self.since_epoch(job.enqueued),
+                waited.as_secs_f64(),
+            )
+            .with_arg("id", job.id)
+            .with_arg("trace_id", format!("{:016x}", job.trace_id))
+            .with_arg("problem", job.req.problem.clone());
+            self.live.flight().record_span(wait_span.clone());
             if sink.enabled() {
-                sink.span(
-                    Span::new(
-                        catalog::SPAN_QUEUE_WAIT,
-                        tracks::SERVE_QUEUE,
-                        self.since_epoch(job.enqueued),
-                        waited.as_secs_f64(),
-                    )
-                    .with_arg("id", job.id)
-                    .with_arg("problem", job.req.problem.clone()),
-                );
+                sink.span(wait_span);
                 sink.observe(catalog::HIST_QUEUE_WAIT, waited.as_secs_f64());
             }
             if job.deadline.is_some_and(|d| picked_up > d) {
-                self.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                self.stats.rejected_deadline.inc();
                 if sink.enabled() {
                     sink.count(catalog::CTR_REJECTED_DEADLINE, 1);
                 }
@@ -418,10 +477,9 @@ impl<'a> Server<'a> {
 
         let key = live[0].0.req.batch_key();
         let batch_size = live.len();
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .batched_jobs
-            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        self.stats.batches.inc();
+        self.stats.batched_jobs.add(batch_size as u64);
+        self.stats.batch_size.observe(batch_size as f64);
         if sink.enabled() {
             sink.count(catalog::CTR_BATCHES, 1);
             sink.observe(catalog::HIST_BATCH_SIZE, batch_size as f64);
@@ -430,14 +488,17 @@ impl<'a> Server<'a> {
         // One tune per batch — the cached §V-A artifact. A panicking
         // tuner is isolated exactly like a panicking solve: the batch
         // gets clean 500s and the worker thread survives.
+        let tune_start = Instant::now();
+        // Assembly cost charged to every rider: queue pickup to tune
+        // start (grouping, queue-wait accounting, deadline shedding).
+        let batch_wait = tune_start.duration_since(picked_up);
         let tuned = catch_unwind(AssertUnwindSafe(|| self.backend.tune(&live[0].0.req, sink)));
+        let tune_wait = tune_start.elapsed();
         let (config, cache_hit) = match tuned {
             Ok(Ok(x)) => x,
             Ok(Err(msg)) => {
                 self.record_backend_failure();
-                self.stats
-                    .errors
-                    .fetch_add(batch_size as u64, Ordering::Relaxed);
+                self.stats.errors.add(batch_size as u64);
                 if sink.enabled() {
                     sink.count(catalog::CTR_ERRORS, batch_size as u64);
                 }
@@ -449,9 +510,7 @@ impl<'a> Server<'a> {
             Err(payload) => {
                 let msg = panic_text(payload.as_ref());
                 self.record_backend_failure();
-                self.stats
-                    .panics
-                    .fetch_add(batch_size as u64, Ordering::Relaxed);
+                self.stats.panics.add(batch_size as u64);
                 if sink.enabled() {
                     sink.count(catalog::CTR_PANICS, batch_size as u64);
                 }
@@ -461,14 +520,31 @@ impl<'a> Server<'a> {
                 return;
             }
         };
-        let (tune_ctr, tune_name) = if cache_hit {
-            (&self.stats.tune_hits, catalog::CTR_TUNE_HIT)
+        let tune_ctr = if cache_hit {
+            &self.stats.tune_hits
         } else {
-            (&self.stats.tune_misses, catalog::CTR_TUNE_MISS)
+            &self.stats.tune_misses
         };
-        tune_ctr.fetch_add(1, Ordering::Relaxed);
+        tune_ctr.inc();
+        let tune_span = Span::new(
+            catalog::SPAN_TUNE,
+            lane,
+            self.since_epoch(tune_start),
+            tune_wait.as_secs_f64(),
+        )
+        .with_arg("key", key.label())
+        .with_arg("cache_hit", if cache_hit { "true" } else { "false" });
+        self.live.flight().record_span(tune_span.clone());
         if sink.enabled() {
-            sink.count(tune_name, 1);
+            sink.span(tune_span);
+            sink.count(
+                if cache_hit {
+                    catalog::CTR_TUNE_HIT
+                } else {
+                    catalog::CTR_TUNE_MISS
+                },
+                1,
+            );
         }
 
         for (job, waited) in live {
@@ -478,18 +554,19 @@ impl<'a> Server<'a> {
             }));
             let solve_end = Instant::now();
             let solve = solve_end.duration_since(solve_start);
+            let solve_span = Span::new(
+                catalog::SPAN_SOLVE,
+                lane,
+                self.since_epoch(solve_start),
+                solve.as_secs_f64(),
+            )
+            .with_arg("id", job.id)
+            .with_arg("trace_id", format!("{:016x}", job.trace_id))
+            .with_arg("problem", job.req.problem.clone())
+            .with_arg("n", job.req.n);
+            self.live.flight().record_span(solve_span.clone());
             if sink.enabled() {
-                sink.span(
-                    Span::new(
-                        catalog::SPAN_SOLVE,
-                        lane,
-                        self.since_epoch(solve_start),
-                        solve.as_secs_f64(),
-                    )
-                    .with_arg("id", job.id)
-                    .with_arg("problem", job.req.problem.clone())
-                    .with_arg("n", job.req.n),
-                );
+                sink.span(solve_span);
             }
             let elapsed_ms = solve.as_millis() as u64;
             let overran = self
@@ -503,7 +580,7 @@ impl<'a> Server<'a> {
                     // and charge the breaker — a backend this slow is
                     // as unhealthy as a failing one.
                     self.record_backend_failure();
-                    self.stats.watchdog_timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.stats.watchdog_timeouts.inc();
                     if sink.enabled() {
                         sink.count(catalog::CTR_WATCHDOG, 1);
                     }
@@ -516,9 +593,9 @@ impl<'a> Server<'a> {
                 Ok(Ok(done)) => {
                     self.breaker.record_success();
                     let total = solve_end.duration_since(job.enqueued);
-                    self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    self.stats.completed.inc();
                     if !done.degraded.is_empty() {
-                        self.stats.degraded_solves.fetch_add(1, Ordering::Relaxed);
+                        self.stats.degraded_solves.inc();
                         if sink.enabled() {
                             sink.count(catalog::CTR_DEGRADED, 1);
                         }
@@ -528,6 +605,20 @@ impl<'a> Server<'a> {
                         waited.as_secs_f64() * 1e3,
                         solve.as_secs_f64() * 1e3,
                     );
+                    self.live
+                        .counter(
+                            "lddp_serve_problem_solves_total",
+                            &[("problem", &job.req.problem)],
+                            "Completed solves by problem.",
+                        )
+                        .inc();
+                    self.live
+                        .histogram(
+                            "lddp_serve_problem_latency_seconds",
+                            &[("problem", &job.req.problem)],
+                            "End-to-end latency (admission to answer) by problem, seconds.",
+                        )
+                        .observe(total.as_secs_f64());
                     let (tier_ctr, tier_name) = match done.tier {
                         ExecTier::Scalar => (&self.stats.tier_scalar, catalog::CTR_TIER_SCALAR),
                         ExecTier::Bulk => (&self.stats.tier_bulk, catalog::CTR_TIER_BULK),
@@ -536,7 +627,7 @@ impl<'a> Server<'a> {
                             (&self.stats.tier_bitparallel, catalog::CTR_TIER_BITPARALLEL)
                         }
                     };
-                    tier_ctr.fetch_add(1, Ordering::Relaxed);
+                    tier_ctr.inc();
                     if sink.enabled() {
                         sink.count(catalog::CTR_COMPLETED, 1);
                         sink.count(tier_name, 1);
@@ -552,6 +643,9 @@ impl<'a> Server<'a> {
                         tier: done.tier,
                         queue_ms: waited.as_secs_f64() * 1e3,
                         solve_ms: solve.as_secs_f64() * 1e3,
+                        batch_ms: batch_wait.as_secs_f64() * 1e3,
+                        tune_ms: tune_wait.as_secs_f64() * 1e3,
+                        trace_id: format!("{:016x}", job.trace_id),
                         batch_size,
                         cache_hit,
                         degraded: done.degraded,
@@ -560,7 +654,7 @@ impl<'a> Server<'a> {
                 }
                 Ok(Err(msg)) => {
                     self.record_backend_failure();
-                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    self.stats.errors.inc();
                     if sink.enabled() {
                         sink.count(catalog::CTR_ERRORS, 1);
                     }
@@ -569,7 +663,7 @@ impl<'a> Server<'a> {
                 Err(payload) => {
                     let msg = panic_text(payload.as_ref());
                     self.record_backend_failure();
-                    self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    self.stats.panics.inc();
                     if sink.enabled() {
                         sink.count(catalog::CTR_PANICS, 1);
                     }
@@ -578,19 +672,19 @@ impl<'a> Server<'a> {
             }
         }
 
+        let batch_end = Instant::now();
+        let batch_span = Span::new(
+            catalog::SPAN_BATCH,
+            lane,
+            self.since_epoch(picked_up),
+            batch_end.duration_since(picked_up).as_secs_f64(),
+        )
+        .with_arg("batch", batch_size)
+        .with_arg("key", key.label())
+        .with_arg("cache_hit", if cache_hit { "true" } else { "false" });
+        self.live.flight().record_span(batch_span.clone());
         if sink.enabled() {
-            let batch_end = Instant::now();
-            sink.span(
-                Span::new(
-                    catalog::SPAN_BATCH,
-                    lane,
-                    self.since_epoch(picked_up),
-                    batch_end.duration_since(picked_up).as_secs_f64(),
-                )
-                .with_arg("batch", batch_size)
-                .with_arg("key", key.label())
-                .with_arg("cache_hit", if cache_hit { "true" } else { "false" }),
-            );
+            sink.span(batch_span);
         }
     }
 
@@ -639,58 +733,136 @@ impl<'a> Server<'a> {
             // stalls before answering.
             if let Some(inj) = self.injector {
                 if inj.torn_connection() {
+                    self.chaos_injected("torn_connection");
                     return;
                 }
                 if let Some(delay) = inj.slow_connection() {
+                    self.chaos_injected("slow_connection");
                     thread::sleep(delay);
                 }
             }
             // /shutdown drains the server; don't hold its connection open.
             let keep = req.keep_alive && req.path != "/shutdown" && !self.is_shutdown();
-            let (status, body, retry_after_s) = self.route(&req);
-            let wrote = http::write_response_ex(&mut stream, status, &body, keep, retry_after_s);
+            let (status, body, opts) = self.route(&req);
+            let wrote = http::write_response_opts(&mut stream, status, &body, keep, &opts);
             if wrote.is_err() || !keep {
                 return;
             }
         }
     }
 
-    /// Routes one parsed request to `(status, json_body, retry_after)`.
-    fn route(&self, req: &http::HttpRequest) -> (u16, String, Option<u64>) {
-        let err = |e: ServeError| (e.http_status(), e.to_json(), e.retry_after_s());
+    /// Routes one parsed request to `(status, body, response options)`.
+    fn route(&self, req: &http::HttpRequest) -> (u16, String, ResponseOptions) {
+        let err = |e: ServeError| {
+            let opts = ResponseOptions {
+                retry_after_s: e.retry_after_s(),
+                ..ResponseOptions::default()
+            };
+            (e.http_status(), e.to_json(), opts)
+        };
+        let ok = |body: String| (200, body, ResponseOptions::default());
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/solve") => match SolveRequest::from_json(&req.body) {
                 Err(msg) => {
-                    self.stats.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+                    self.stats.rejected_invalid.inc();
                     err(ServeError::Rejected(RejectReason::Invalid(msg)))
                 }
                 Ok(sreq) => match self.submit(sreq) {
                     Err(reason) => err(ServeError::Rejected(reason)),
                     Ok(rx) => match rx.recv() {
-                        Ok(Ok(resp)) => (200, resp.to_json(), None),
+                        Ok(Ok(resp)) => {
+                            let opts = ResponseOptions {
+                                extra_headers: vec![("X-LDDP-Trace-Id", resp.trace_id.clone())],
+                                ..ResponseOptions::default()
+                            };
+                            (200, resp.to_json(), opts)
+                        }
                         Ok(Err(e)) => err(e),
                         Err(_) => err(ServeError::Backend("worker dropped the request".into())),
                     },
                 },
             },
-            ("GET", "/healthz") => (200, self.healthz_json(), None),
-            ("GET", "/stats") => (200, self.snapshot().to_json(), None),
+            ("GET", "/healthz") => ok(self.healthz_json()),
+            ("GET", "/stats") => ok(self.snapshot().to_json()),
+            ("GET", "/metrics") => (
+                200,
+                self.metrics_text(),
+                ResponseOptions {
+                    content_type: Some("text/plain; version=0.0.4"),
+                    ..ResponseOptions::default()
+                },
+            ),
+            ("GET", "/debug/trace") => {
+                let last_ms = req
+                    .param("last_ms")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(10_000);
+                ok(self.debug_trace_json(last_ms))
+            }
             ("POST", "/shutdown") => {
                 self.initiate_shutdown();
-                (200, "{\"status\":\"draining\"}".to_string(), None)
+                ok("{\"status\":\"draining\"}".to_string())
             }
-            (_, "/solve" | "/healthz" | "/stats" | "/shutdown") => (
+            (_, "/solve" | "/healthz" | "/stats" | "/metrics" | "/debug/trace" | "/shutdown") => (
                 405,
                 "{\"error\":\"method_not_allowed\",\"message\":\"wrong method for this path\"}"
                     .to_string(),
-                None,
+                ResponseOptions::default(),
             ),
             _ => (
                 404,
                 "{\"error\":\"not_found\",\"message\":\"unknown path\"}".to_string(),
-                None,
+                ResponseOptions::default(),
             ),
         }
+    }
+
+    /// The `GET /metrics` body: sets the scrape-time gauges (queue
+    /// depth, in-flight, drain and breaker state), then renders the
+    /// whole registry as Prometheus text exposition.
+    pub fn metrics_text(&self) -> String {
+        self.live
+            .gauge(
+                "lddp_serve_queue_depth",
+                &[],
+                "Jobs currently waiting in the admission queue.",
+            )
+            .set(self.queue.depth() as f64);
+        self.live
+            .gauge(
+                "lddp_serve_in_flight",
+                &[],
+                "Jobs popped from the queue and not yet answered.",
+            )
+            .set(self.in_flight.load(Ordering::Relaxed) as f64);
+        self.live
+            .gauge(
+                "lddp_serve_draining",
+                &[],
+                "1 while the server is draining (admission closed), else 0.",
+            )
+            .set(if self.queue.is_open() { 0.0 } else { 1.0 });
+        self.live
+            .gauge(
+                "lddp_serve_breaker_state",
+                &[],
+                "Circuit breaker state: 0 closed, 1 half-open, 2 open.",
+            )
+            .set(match self.breaker.state() {
+                BreakerState::Closed => 0.0,
+                BreakerState::HalfOpen => 1.0,
+                BreakerState::Open => 2.0,
+            });
+        self.live.to_prometheus()
+    }
+
+    /// The `GET /debug/trace` body: every flight-recorder event that
+    /// ended within the last `last_ms` milliseconds, exported as Chrome
+    /// trace JSON (load it in Perfetto / `chrome://tracing`).
+    pub fn debug_trace_json(&self, last_ms: u64) -> String {
+        let since = self.since_epoch(Instant::now()) - last_ms as f64 / 1e3;
+        let data = self.live.flight().snapshot_since(since);
+        chrome::to_chrome_json(&data)
     }
 
     fn healthz_json(&self) -> String {
@@ -757,6 +929,17 @@ impl Client<'_, '_> {
     /// The `GET /healthz` body.
     pub fn healthz_json(&self) -> String {
         self.server.healthz_json()
+    }
+
+    /// The `GET /metrics` body (Prometheus text exposition).
+    pub fn metrics_text(&self) -> String {
+        self.server.metrics_text()
+    }
+
+    /// The `GET /debug/trace` body for the last `last_ms` milliseconds
+    /// (Chrome trace JSON from the flight recorder).
+    pub fn debug_trace_json(&self, last_ms: u64) -> String {
+        self.server.debug_trace_json(last_ms)
     }
 
     /// Initiates graceful shutdown (idempotent): admission closes,

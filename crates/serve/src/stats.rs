@@ -1,45 +1,27 @@
 //! Server-side counters and latency accounting behind `GET /stats`.
 //!
-//! Counters are lock-free atomics; latency samples go into capped
-//! per-kind reservoirs (newest samples win once the cap is reached, via
-//! ring overwrite) so a long-lived server's memory stays bounded while
-//! percentiles still reflect recent traffic.
+//! Counters are sharded lock-free atomics and latency distributions are
+//! log-linear [`HistogramSketch`]es — O(1) memory in request count, so
+//! a long-lived server never grows, and the same objects double as the
+//! `/metrics` series when the stats are built from a [`LiveRegistry`]
+//! (one source of truth; `/stats` and `/metrics` can never disagree).
 
 use lddp_trace::json::num;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use lddp_trace::live::{Counter, HistogramSketch, LiveRegistry};
+use std::sync::Arc;
 
-/// Cap on each latency reservoir (samples, not bytes).
-const RESERVOIR_CAP: usize = 65536;
-
-#[derive(Debug, Default)]
-struct Reservoir {
-    samples: Vec<f64>,
-    next: usize,
-    total: u64,
-}
-
-impl Reservoir {
-    fn record(&mut self, v: f64) {
-        self.total += 1;
-        if self.samples.len() < RESERVOIR_CAP {
-            self.samples.push(v);
-        } else {
-            self.samples[self.next] = v;
-            self.next = (self.next + 1) % RESERVOIR_CAP;
-        }
-    }
-}
-
-/// Interpolated percentile of an ascending-sorted slice (`q` in 0..=1).
-/// Returns 0 for an empty slice.
+/// Interpolated percentile of an ascending-sorted slice (`q` clamped
+/// to 0..=1, `NaN` treated as 0). Returns 0 for an empty slice and the
+/// element itself for a single-element slice — never indexes out of
+/// bounds.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = (pos.floor() as usize).min(sorted.len() - 1);
+    let hi = (pos.ceil() as usize).min(sorted.len() - 1);
     if lo == hi {
         sorted[lo]
     } else {
@@ -48,89 +30,206 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
-/// Live counters of one server.
-#[derive(Debug, Default)]
+/// Live counters and latency sketches of one server.
+///
+/// Every instrument is an `Arc` handle; [`ServeStats::new`] creates
+/// standalone instruments (tests, embedded servers without a scrape
+/// endpoint), while [`ServeStats::with_registry`] registers the same
+/// instruments under their `/metrics` family names so one increment
+/// feeds both `/stats` and the Prometheus exposition.
+#[derive(Debug)]
 pub struct ServeStats {
-    pub(crate) accepted: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) errors: AtomicU64,
-    pub(crate) rejected_full: AtomicU64,
-    pub(crate) rejected_shutdown: AtomicU64,
-    pub(crate) rejected_deadline: AtomicU64,
-    pub(crate) rejected_invalid: AtomicU64,
-    pub(crate) rejected_breaker: AtomicU64,
-    pub(crate) panics: AtomicU64,
-    pub(crate) watchdog_timeouts: AtomicU64,
-    pub(crate) breaker_opens: AtomicU64,
-    pub(crate) degraded_solves: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) batched_jobs: AtomicU64,
-    pub(crate) tune_hits: AtomicU64,
-    pub(crate) tune_misses: AtomicU64,
-    pub(crate) tier_scalar: AtomicU64,
-    pub(crate) tier_bulk: AtomicU64,
-    pub(crate) tier_simd: AtomicU64,
-    pub(crate) tier_bitparallel: AtomicU64,
-    total_ms: Mutex<Reservoir>,
-    queue_ms: Mutex<Reservoir>,
-    solve_ms: Mutex<Reservoir>,
+    pub(crate) accepted: Arc<Counter>,
+    pub(crate) completed: Arc<Counter>,
+    pub(crate) errors: Arc<Counter>,
+    pub(crate) rejected_full: Arc<Counter>,
+    pub(crate) rejected_shutdown: Arc<Counter>,
+    pub(crate) rejected_deadline: Arc<Counter>,
+    pub(crate) rejected_invalid: Arc<Counter>,
+    pub(crate) rejected_breaker: Arc<Counter>,
+    pub(crate) panics: Arc<Counter>,
+    pub(crate) watchdog_timeouts: Arc<Counter>,
+    pub(crate) breaker_opens: Arc<Counter>,
+    pub(crate) degraded_solves: Arc<Counter>,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) batched_jobs: Arc<Counter>,
+    pub(crate) tune_hits: Arc<Counter>,
+    pub(crate) tune_misses: Arc<Counter>,
+    pub(crate) tier_scalar: Arc<Counter>,
+    pub(crate) tier_bulk: Arc<Counter>,
+    pub(crate) tier_simd: Arc<Counter>,
+    pub(crate) tier_bitparallel: Arc<Counter>,
+    /// Jobs per executed batch.
+    pub(crate) batch_size: Arc<HistogramSketch>,
+    /// End-to-end latency, seconds.
+    total_s: Arc<HistogramSketch>,
+    /// Queue-wait latency, seconds.
+    queue_s: Arc<HistogramSketch>,
+    /// Solve latency, seconds.
+    solve_s: Arc<HistogramSketch>,
+}
+
+impl Default for ServeStats {
+    fn default() -> ServeStats {
+        ServeStats::new()
+    }
 }
 
 impl ServeStats {
-    /// Fresh zeroed stats.
+    /// Fresh zeroed stats on standalone instruments.
     pub fn new() -> ServeStats {
-        ServeStats::default()
+        ServeStats {
+            accepted: Arc::new(Counter::new()),
+            completed: Arc::new(Counter::new()),
+            errors: Arc::new(Counter::new()),
+            rejected_full: Arc::new(Counter::new()),
+            rejected_shutdown: Arc::new(Counter::new()),
+            rejected_deadline: Arc::new(Counter::new()),
+            rejected_invalid: Arc::new(Counter::new()),
+            rejected_breaker: Arc::new(Counter::new()),
+            panics: Arc::new(Counter::new()),
+            watchdog_timeouts: Arc::new(Counter::new()),
+            breaker_opens: Arc::new(Counter::new()),
+            degraded_solves: Arc::new(Counter::new()),
+            batches: Arc::new(Counter::new()),
+            batched_jobs: Arc::new(Counter::new()),
+            tune_hits: Arc::new(Counter::new()),
+            tune_misses: Arc::new(Counter::new()),
+            tier_scalar: Arc::new(Counter::new()),
+            tier_bulk: Arc::new(Counter::new()),
+            tier_simd: Arc::new(Counter::new()),
+            tier_bitparallel: Arc::new(Counter::new()),
+            batch_size: Arc::new(HistogramSketch::new()),
+            total_s: Arc::new(HistogramSketch::new()),
+            queue_s: Arc::new(HistogramSketch::new()),
+            solve_s: Arc::new(HistogramSketch::new()),
+        }
     }
 
-    /// Records one completed request's latency split.
+    /// Stats whose instruments live in `registry` under their
+    /// `/metrics` family names, so the Prometheus exposition and the
+    /// `/stats` JSON report the same numbers.
+    pub fn with_registry(registry: &LiveRegistry) -> ServeStats {
+        let rej = |reason: &str| {
+            registry.counter(
+                "lddp_serve_rejected_total",
+                &[("reason", reason)],
+                "Requests rejected at admission or in queue, by reason.",
+            )
+        };
+        let fault = |kind: &str| {
+            registry.counter(
+                "lddp_serve_faults_total",
+                &[("kind", kind)],
+                "Faults absorbed by the serving stack, by kind.",
+            )
+        };
+        let tune = |result: &str| {
+            registry.counter(
+                "lddp_serve_tuner_cache_total",
+                &[("result", result)],
+                "Tuner-cache lookups per batch, by result.",
+            )
+        };
+        let tier = |tier: &str| {
+            registry.counter(
+                "lddp_serve_solves_total",
+                &[("tier", tier)],
+                "Completed solves by execution tier.",
+            )
+        };
+        let lat = |kind: &str| {
+            registry.histogram(
+                "lddp_serve_latency_seconds",
+                &[("kind", kind)],
+                "Per-request latency split, seconds.",
+            )
+        };
+        ServeStats {
+            accepted: registry.counter(
+                "lddp_serve_accepted_total",
+                &[],
+                "Requests admitted to the queue.",
+            ),
+            completed: registry.counter(
+                "lddp_serve_completed_total",
+                &[],
+                "Requests completed successfully.",
+            ),
+            errors: registry.counter(
+                "lddp_serve_errors_total",
+                &[],
+                "Requests that failed in the backend.",
+            ),
+            rejected_full: rej("queue_full"),
+            rejected_shutdown: rej("shutting_down"),
+            rejected_deadline: rej("deadline"),
+            rejected_invalid: rej("invalid"),
+            rejected_breaker: rej("breaker_open"),
+            panics: fault("panic"),
+            watchdog_timeouts: fault("watchdog_timeout"),
+            breaker_opens: fault("breaker_open"),
+            degraded_solves: fault("degraded"),
+            batches: registry.counter("lddp_serve_batches_total", &[], "Batches executed."),
+            batched_jobs: registry.counter(
+                "lddp_serve_batched_jobs_total",
+                &[],
+                "Jobs that rode in executed batches.",
+            ),
+            tune_hits: tune("hit"),
+            tune_misses: tune("miss"),
+            tier_scalar: tier("scalar"),
+            tier_bulk: tier("bulk"),
+            tier_simd: tier("simd"),
+            tier_bitparallel: tier("bitparallel"),
+            batch_size: registry.histogram(
+                "lddp_serve_batch_size",
+                &[],
+                "Jobs per executed batch.",
+            ),
+            total_s: lat("total"),
+            queue_s: lat("queue_wait"),
+            solve_s: lat("solve"),
+        }
+    }
+
+    /// Records one completed request's latency split (milliseconds in,
+    /// stored as seconds).
     pub(crate) fn record_latency(&self, total_ms: f64, queue_ms: f64, solve_ms: f64) {
-        self.total_ms.lock().unwrap().record(total_ms);
-        self.queue_ms.lock().unwrap().record(queue_ms);
-        self.solve_ms.lock().unwrap().record(solve_ms);
+        self.total_s.observe(total_ms * 1e-3);
+        self.queue_s.observe(queue_ms * 1e-3);
+        self.solve_s.observe(solve_ms * 1e-3);
     }
 
     /// Point-in-time copy of every counter and latency distribution.
     pub fn snapshot(&self, queue_depth: usize, in_flight: usize, draining: bool) -> StatsSnapshot {
-        let lat = |m: &Mutex<Reservoir>| -> LatencySummary {
-            let r = m.lock().unwrap();
-            let mut sorted = r.samples.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            LatencySummary {
-                count: r.total,
-                p50_ms: percentile(&sorted, 0.50),
-                p95_ms: percentile(&sorted, 0.95),
-                p99_ms: percentile(&sorted, 0.99),
-                max_ms: sorted.last().copied().unwrap_or(0.0),
-            }
-        };
-        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
         StatsSnapshot {
-            accepted: g(&self.accepted),
-            completed: g(&self.completed),
-            errors: g(&self.errors),
-            rejected_full: g(&self.rejected_full),
-            rejected_shutdown: g(&self.rejected_shutdown),
-            rejected_deadline: g(&self.rejected_deadline),
-            rejected_invalid: g(&self.rejected_invalid),
-            rejected_breaker: g(&self.rejected_breaker),
-            panics: g(&self.panics),
-            watchdog_timeouts: g(&self.watchdog_timeouts),
-            breaker_opens: g(&self.breaker_opens),
-            degraded_solves: g(&self.degraded_solves),
-            batches: g(&self.batches),
-            batched_jobs: g(&self.batched_jobs),
-            tune_hits: g(&self.tune_hits),
-            tune_misses: g(&self.tune_misses),
-            tier_scalar: g(&self.tier_scalar),
-            tier_bulk: g(&self.tier_bulk),
-            tier_simd: g(&self.tier_simd),
-            tier_bitparallel: g(&self.tier_bitparallel),
+            accepted: self.accepted.get(),
+            completed: self.completed.get(),
+            errors: self.errors.get(),
+            rejected_full: self.rejected_full.get(),
+            rejected_shutdown: self.rejected_shutdown.get(),
+            rejected_deadline: self.rejected_deadline.get(),
+            rejected_invalid: self.rejected_invalid.get(),
+            rejected_breaker: self.rejected_breaker.get(),
+            panics: self.panics.get(),
+            watchdog_timeouts: self.watchdog_timeouts.get(),
+            breaker_opens: self.breaker_opens.get(),
+            degraded_solves: self.degraded_solves.get(),
+            batches: self.batches.get(),
+            batched_jobs: self.batched_jobs.get(),
+            tune_hits: self.tune_hits.get(),
+            tune_misses: self.tune_misses.get(),
+            tier_scalar: self.tier_scalar.get(),
+            tier_bulk: self.tier_bulk.get(),
+            tier_simd: self.tier_simd.get(),
+            tier_bitparallel: self.tier_bitparallel.get(),
             queue_depth,
             in_flight,
             draining,
-            total: lat(&self.total_ms),
-            queue: lat(&self.queue_ms),
-            solve: lat(&self.solve_ms),
+            total: LatencySummary::from_sketch(&self.total_s),
+            queue: LatencySummary::from_sketch(&self.queue_s),
+            solve: LatencySummary::from_sketch(&self.solve_s),
         }
     }
 }
@@ -138,19 +237,31 @@ impl ServeStats {
 /// Percentile summary of one latency kind, milliseconds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencySummary {
-    /// Samples recorded overall (may exceed the reservoir cap).
+    /// Samples recorded.
     pub count: u64,
-    /// Median.
+    /// Median (sketch estimate, relative error ≤
+    /// [`lddp_trace::live::SKETCH_RELATIVE_ERROR`]).
     pub p50_ms: f64,
-    /// 95th percentile.
+    /// 95th percentile (sketch estimate).
     pub p95_ms: f64,
-    /// 99th percentile.
+    /// 99th percentile (sketch estimate).
     pub p99_ms: f64,
-    /// Largest retained sample.
+    /// Exact largest sample.
     pub max_ms: f64,
 }
 
 impl LatencySummary {
+    /// The summary of a seconds-valued sketch, reported in ms.
+    pub(crate) fn from_sketch(sketch: &HistogramSketch) -> LatencySummary {
+        LatencySummary {
+            count: sketch.count(),
+            p50_ms: sketch.quantile(0.50) * 1e3,
+            p95_ms: sketch.quantile(0.95) * 1e3,
+            p99_ms: sketch.quantile(0.99) * 1e3,
+            max_ms: sketch.max() * 1e3,
+        }
+    }
+
     fn to_json(&self) -> String {
         format!(
             "{{\"count\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{}}}",
@@ -290,19 +401,34 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 1.0), 4.0);
         assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_edge_cases_never_index_out_of_bounds() {
+        // Empty input → 0.0 at every q.
+        assert_eq!(percentile(&[], 0.0), 0.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[], 1.0), 0.0);
+        // Single element → the element, regardless of q.
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[7.0], 1.0), 7.0);
+        // Out-of-range and non-finite q clamp instead of panicking.
+        assert_eq!(percentile(&[1.0, 2.0], -3.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 17.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0], f64::NAN), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], f64::INFINITY), 2.0);
     }
 
     #[test]
     fn snapshot_serializes_parseable_json() {
         let stats = ServeStats::new();
-        stats.accepted.fetch_add(3, Ordering::Relaxed);
-        stats.completed.fetch_add(2, Ordering::Relaxed);
-        stats.rejected_full.fetch_add(1, Ordering::Relaxed);
-        stats.batches.fetch_add(2, Ordering::Relaxed);
-        stats.batched_jobs.fetch_add(3, Ordering::Relaxed);
-        stats.tier_simd.fetch_add(2, Ordering::Relaxed);
+        stats.accepted.add(3);
+        stats.completed.add(2);
+        stats.rejected_full.add(1);
+        stats.batches.add(2);
+        stats.batched_jobs.add(3);
+        stats.tier_simd.add(2);
         stats.record_latency(10.0, 2.0, 8.0);
         stats.record_latency(20.0, 4.0, 16.0);
         let snap = stats.snapshot(1, 1, false);
@@ -343,15 +469,45 @@ mod tests {
         }
     }
 
+    /// The sketch replaces the old sample reservoir: memory stays fixed
+    /// no matter how many samples arrive, the count is exact, and the
+    /// percentiles stay within the sketch's documented relative error.
     #[test]
-    fn reservoir_overwrites_oldest_beyond_cap() {
-        let mut r = Reservoir::default();
-        for i in 0..(RESERVOIR_CAP + 10) {
-            r.record(i as f64);
+    fn latency_sketch_is_bounded_and_accurate() {
+        use lddp_trace::live::SKETCH_RELATIVE_ERROR;
+        let stats = ServeStats::new();
+        let n = 200_000u64;
+        for i in 1..=n {
+            // 1 µs … 200 ms, uniform in index.
+            let ms = i as f64 * 1e-3;
+            stats.record_latency(ms, ms * 0.25, ms * 0.5);
         }
-        assert_eq!(r.samples.len(), RESERVOIR_CAP);
-        assert_eq!(r.total, (RESERVOIR_CAP + 10) as u64);
-        // The first ten slots now hold the newest samples.
-        assert_eq!(r.samples[0], RESERVOIR_CAP as f64);
+        let snap = stats.snapshot(0, 0, false);
+        assert_eq!(snap.total.count, n);
+        let exact_p50 = (n / 2) as f64 * 1e-3;
+        let rel = (snap.total.p50_ms - exact_p50).abs() / exact_p50;
+        assert!(rel <= SKETCH_RELATIVE_ERROR + 1e-9, "rel={rel}");
+        assert!((snap.total.max_ms - n as f64 * 1e-3).abs() < 1e-9);
+        assert!(snap.total.p50_ms <= snap.total.p95_ms);
+        assert!(snap.total.p95_ms <= snap.total.p99_ms);
+        assert!(snap.total.p99_ms <= snap.total.max_ms + 1e-12);
+    }
+
+    /// Registry-backed stats are the same objects the exposition
+    /// renders: incrementing through `ServeStats` shows up in
+    /// `to_prometheus` with no copy step.
+    #[test]
+    fn registry_backed_stats_feed_the_exposition() {
+        let registry = LiveRegistry::new();
+        let stats = ServeStats::with_registry(&registry);
+        stats.accepted.add(4);
+        stats.rejected_breaker.add(1);
+        stats.tier_bulk.add(2);
+        stats.record_latency(12.0, 1.0, 10.0);
+        let text = registry.to_prometheus();
+        assert!(text.contains("lddp_serve_accepted_total 4\n"), "{text}");
+        assert!(text.contains("lddp_serve_rejected_total{reason=\"breaker_open\"} 1\n"));
+        assert!(text.contains("lddp_serve_solves_total{tier=\"bulk\"} 2\n"));
+        assert!(text.contains("lddp_serve_latency_seconds_count{kind=\"total\"} 1\n"));
     }
 }

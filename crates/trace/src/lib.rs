@@ -34,6 +34,7 @@
 
 pub mod chrome;
 pub mod json;
+pub mod live;
 pub mod metrics;
 
 use std::collections::BTreeMap;
@@ -122,6 +123,9 @@ pub mod catalog {
     /// Span: one request's solve within a batch (args: `id`,
     /// `problem`, `n`).
     pub const SPAN_SOLVE: &str = "serve.solve";
+    /// Span: the once-per-batch parameter resolution (tuner-cache
+    /// lookup or sweep) on a worker lane (args: `key`, `cache_hit`).
+    pub const SPAN_TUNE: &str = "serve.tune";
     /// Counter: requests admitted into the queue.
     pub const CTR_ACCEPTED: &str = "serve.accepted";
     /// Counter: requests rejected because the queue was full.
@@ -357,6 +361,31 @@ impl Histogram {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`q` clamped to 0..=1) from the bucket
+    /// counts: the inclusive upper bound of the bucket holding the
+    /// rank. Overflow-bucket ranks report the last finite bound (the
+    /// histogram does not track an exact max). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound_idx = idx.min(self.bounds.len().saturating_sub(1));
+                return self.bounds.get(bound_idx).copied().unwrap_or(0.0);
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
     }
 }
 

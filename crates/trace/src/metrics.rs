@@ -4,7 +4,8 @@
 //!
 //! - `{"type":"counter","name":…,"value":…}` — monotonic counters;
 //! - `{"type":"histogram","name":…,"count":…,"sum":…,"mean":…,
-//!   "buckets":[{"le":…,"count":…},…]}` — fixed-bucket histograms
+//!   "p50":…,"p95":…,"p99":…,"buckets":[{"le":…,"count":…},…]}` —
+//!   fixed-bucket histograms with bucket-bound quantile summaries
 //!   (the last bucket has `"le":null`, the overflow bucket);
 //! - `{"type":"span_total","name":…,"pid":…,"count":…,"total_s":…}` —
 //!   per-(track, name) span aggregates.
@@ -29,11 +30,14 @@ pub fn to_jsonl(data: &TraceData) -> String {
     for (name, h) in &data.histograms {
         let _ = write!(
             out,
-            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"mean\":{},\"buckets\":[",
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
             escape(name),
             h.count,
             num(h.sum),
-            num(h.mean())
+            num(h.mean()),
+            num(h.quantile(0.50)),
+            num(h.quantile(0.95)),
+            num(h.quantile(0.99))
         );
         for (i, count) in h.counts.iter().enumerate() {
             if i > 0 {
@@ -102,6 +106,13 @@ mod tests {
             .find(|v| v.get("type").and_then(Json::as_str) == Some("histogram"))
             .unwrap();
         assert_eq!(hist.get("count").unwrap().as_f64(), Some(2.0));
+        // Quantile summaries ride along: both samples fall in the
+        // 1e-6 ≤ v ≤ 1.6e-5 region of the default bounds, so the
+        // reported quantiles land on small bucket bounds.
+        let p50 = hist.get("p50").unwrap().as_f64().unwrap();
+        let p99 = hist.get("p99").unwrap().as_f64().unwrap();
+        assert!(p50 > 0.0 && p50 <= p99, "p50={p50} p99={p99}");
+        assert!(p99 <= 1e-4);
         let buckets = hist.get("buckets").unwrap().as_arr().unwrap();
         let total: f64 = buckets
             .iter()

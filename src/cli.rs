@@ -1321,7 +1321,11 @@ pub fn run_serve(
     trace_out: Option<&str>,
     tune_cache: Option<&str>,
 ) -> Result<String, String> {
-    let backend = crate::serve_backend::FrameworkBackend::new();
+    // One registry shared by the server and the backend, so serve-side
+    // and pool/tuner-side series land in the same /metrics exposition.
+    let live = std::sync::Arc::new(lddp_trace::live::LiveRegistry::new());
+    let backend =
+        crate::serve_backend::FrameworkBackend::new().with_live(std::sync::Arc::clone(&live));
     let mut prewarmed = 0;
     if let Some(path) = tune_cache {
         // A missing file just means a first run — start cold and
@@ -1345,7 +1349,8 @@ pub fn run_serve(
     let workers = config.workers;
     let queue_cap = config.queue_capacity;
     let max_batch = config.max_batch;
-    let server = Server::new(config, &backend, sink);
+    let mut server = Server::new(config, &backend, sink);
+    server.attach_live(live);
     let snapshot = server.run(Some(listener), |client| {
         println!(
             "lddp-serve listening on http://{local} (workers={workers}, queue={queue_cap}, max-batch={max_batch})"
@@ -1353,7 +1358,10 @@ pub fn run_serve(
         if let Some(path) = tune_cache {
             println!("tune-cache: {path} ({prewarmed} entries pre-warmed)");
         }
-        println!("routes: POST /solve | GET /healthz | GET /stats | POST /shutdown");
+        println!(
+            "routes: POST /solve | GET /healthz | GET /stats | GET /metrics | \
+             GET /debug/trace | POST /shutdown"
+        );
         client.wait_shutdown();
         client.snapshot()
     });
@@ -1438,13 +1446,35 @@ pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
     };
     let report = match &opts.addr {
         Some(addr) => {
+            // Bracket the run with /metrics scrapes so the report can
+            // carry the server-side counter deltas this load caused. A
+            // failed scrape (old server, transient error) degrades to a
+            // report without the delta rather than failing the run.
+            let scrape_timeout = Duration::from_secs(5);
             let target = HttpTarget::new(addr.clone(), Duration::from_secs(60));
-            lddp_serve::loadgen::run(&target, &cfg)
+            let before = lddp_serve::loadgen::scrape_metrics(addr, scrape_timeout).ok();
+            let mut report = lddp_serve::loadgen::run(&target, &cfg);
+            if let (Some(before), Ok(after)) = (
+                before,
+                lddp_serve::loadgen::scrape_metrics(addr, scrape_timeout),
+            ) {
+                report.server_metrics_delta = lddp_serve::loadgen::metrics_delta(&before, &after);
+            }
+            report
         }
         None => {
-            let backend = crate::serve_backend::FrameworkBackend::new();
-            let server = Server::new(ServeConfig::default(), &backend, &NullSink);
-            server.run(None, |client| lddp_serve::loadgen::run(client, &cfg))
+            let live = std::sync::Arc::new(lddp_trace::live::LiveRegistry::new());
+            let backend = crate::serve_backend::FrameworkBackend::new()
+                .with_live(std::sync::Arc::clone(&live));
+            let mut server = Server::new(ServeConfig::default(), &backend, &NullSink);
+            server.attach_live(live);
+            server.run(None, |client| {
+                let before = lddp_trace::live::parse_prometheus(&client.metrics_text());
+                let mut report = lddp_serve::loadgen::run(client, &cfg);
+                let after = lddp_trace::live::parse_prometheus(&client.metrics_text());
+                report.server_metrics_delta = lddp_serve::loadgen::metrics_delta(&before, &after);
+                report
+            })
         }
     };
     Ok(report.to_json())
@@ -1479,7 +1509,11 @@ fn best_secs(iters: usize, mut f: impl FnMut()) -> f64 {
 /// optionally writes) one JSON object — the perf trajectory record CI
 /// archives as `BENCH_pr5.json` so future changes have a baseline.
 pub fn run_bench_quick(n: usize, out_path: Option<&str>) -> Result<String, String> {
-    let engine = crate::parallel::ParallelEngine::host();
+    // Bench with a live registry attached — the numbers CI compares
+    // against the baseline must include the telemetry the serving path
+    // always pays, not a telemetry-free best case.
+    let live = std::sync::Arc::new(lddp_trace::live::LiveRegistry::new());
+    let engine = crate::parallel::ParallelEngine::host().with_live(live);
     let scalar_engine = engine.clone().with_bulk_enabled(false);
     let bulk_engine = engine.clone().with_tier(Some(ExecTier::Bulk));
     let simd_engine = engine.clone().with_tier(Some(ExecTier::Simd));
@@ -2151,8 +2185,8 @@ mod tests {
             .filter_map(|e| e.get("name").and_then(|j| j.as_str()))
             .collect();
         assert!(names.iter().any(|n| n.starts_with("phase.")));
-        assert!(names.iter().any(|n| *n == "wave"));
-        assert!(names.iter().any(|n| *n == "copy"));
+        assert!(names.contains(&"wave"));
+        assert!(names.contains(&"copy"));
         let m = std::fs::read_to_string(&metrics).unwrap();
         assert!(m.lines().count() > 3);
         for line in m.lines() {

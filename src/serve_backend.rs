@@ -12,6 +12,7 @@ use lddp_core::tuner_cache::{TuneKey, TunedConfig, TunerCache};
 use lddp_core::wavefront::Dims;
 use lddp_parallel::ParallelEngine;
 use lddp_serve::{BackendSolve, SolveBackend, SolveRequest};
+use lddp_trace::live::LiveRegistry;
 use lddp_trace::TraceSink;
 use std::sync::Arc;
 
@@ -30,6 +31,7 @@ pub struct FrameworkBackend {
     cache: TunerCache,
     engine: ParallelEngine,
     injector: Option<Arc<dyn FaultInjector>>,
+    live: Option<Arc<LiveRegistry>>,
 }
 
 impl std::fmt::Debug for FrameworkBackend {
@@ -58,7 +60,20 @@ impl FrameworkBackend {
             cache: TunerCache::new(),
             engine: ParallelEngine::new(threads),
             injector: None,
+            live: None,
         }
+    }
+
+    /// Attaches a [`LiveRegistry`]: the pooled engine records its
+    /// `lddp_pool_*` utilization families into it on every solve, and
+    /// tuning sweeps executed on a cache miss count under
+    /// `lddp_tuner_sweeps_total`. Pass the server's own registry
+    /// (`Server::live`) so backend and server series land in the same
+    /// `/metrics` exposition.
+    pub fn with_live(mut self, live: Arc<LiveRegistry>) -> FrameworkBackend {
+        self.engine = self.engine.with_live(Arc::clone(&live));
+        self.live = Some(live);
+        self
     }
 
     /// A backend whose solves consult `injector` — chaos campaigns
@@ -131,6 +146,14 @@ impl SolveBackend for FrameworkBackend {
         }
         let key = self.tune_key(probe)?;
         self.cache.get_or_tune(&key, || {
+            if let Some(live) = &self.live {
+                live.counter(
+                    "lddp_tuner_sweeps_total",
+                    &[],
+                    "Full tuning sweeps executed on a tuner-cache miss.",
+                )
+                .inc();
+            }
             cli::tune_config(&probe.problem, probe.n, &probe.platform, &self.engine)
         })
     }
@@ -249,6 +272,22 @@ mod tests {
             let oracle = crate::cli::run_solve_seq(problem, 48).unwrap();
             assert_eq!(served.answer, oracle, "{problem}");
         }
+    }
+
+    #[test]
+    fn live_registry_counts_tuner_sweeps_and_pool_solves() {
+        let reg = Arc::new(LiveRegistry::new());
+        let b = FrameworkBackend::new().with_live(Arc::clone(&reg));
+        let req = SolveRequest::new("lcs", 100);
+        let (config, hit) = b.tune(&req, &NullSink).unwrap();
+        assert!(!hit);
+        // Same bucket: served from the cache, no second sweep.
+        let (_, hit2) = b.tune(&SolveRequest::new("lcs", 128), &NullSink).unwrap();
+        assert!(hit2);
+        b.solve(&req, config, &NullSink).unwrap();
+        let text = reg.to_prometheus();
+        assert!(text.contains("lddp_tuner_sweeps_total 1"), "{text}");
+        assert!(text.contains("lddp_pool_solves_total"), "{text}");
     }
 
     #[test]

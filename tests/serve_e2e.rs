@@ -165,6 +165,122 @@ fn http_run_exports_perfetto_timeline_with_serve_spans() {
     assert!(exported.contains(catalog::SPAN_SOLVE));
 }
 
+/// The live-telemetry acceptance path over real HTTP: a mid-run
+/// `/metrics` scrape agrees with `/stats`, every solve response carries
+/// a trace id (header and body timings block), and `/debug/trace`
+/// exports a just-completed request's spans.
+#[test]
+fn live_metrics_trace_ids_and_flight_recorder_over_http() {
+    use lddp_serve::http;
+    use lddp_trace::live::parse_prometheus;
+
+    let oracle = lddp::cli::run_solve_seq("lcs", 48).unwrap();
+    // One registry shared by server and backend, exactly as `lddp-cli
+    // serve` wires it.
+    let live = std::sync::Arc::new(lddp_trace::live::LiveRegistry::new());
+    let backend = FrameworkBackend::new().with_live(std::sync::Arc::clone(&live));
+    let mut server = Server::new(config(2, 64, 4), &backend, &NullSink);
+    server.attach_live(live);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    server.run(Some(listener), |client| {
+        let timeout = Duration::from_secs(30);
+        let cfg = LoadgenConfig {
+            request: SolveRequest::new("lcs", 48),
+            total: 20,
+            concurrency: 4,
+            expect_answer: Some(oracle.clone()),
+            ..LoadgenConfig::default()
+        };
+        let target = HttpTarget::new(addr.clone(), timeout);
+        let report = loadgen::run(&target, &cfg);
+        assert_eq!(report.completed, 20, "by_code: {:?}", report.by_code);
+
+        // One more request by hand to inspect the raw response.
+        let (status, head, body) = http::request_with_head(
+            &addr,
+            "POST",
+            "/solve",
+            Some(&SolveRequest::new("lcs", 48).to_json()),
+            timeout,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let trace_id = head
+            .lines()
+            .find_map(|l| l.strip_prefix("X-LDDP-Trace-Id: "))
+            .expect("solve response carries the trace-id header")
+            .trim()
+            .to_string();
+        assert_eq!(trace_id.len(), 16, "hex-rendered u64: {trace_id}");
+        assert!(
+            body.contains(&format!("\"trace_id\":\"{trace_id}\"")),
+            "header and body trace ids must match: {head}\n{body}"
+        );
+        assert!(body.contains("\"timings\":{"), "{body}");
+        assert!(body.contains("\"queue_wait_ms\":"), "{body}");
+
+        // Mid-run scrape: the server is still live (not draining), and
+        // with no requests in flight /metrics and /stats must agree.
+        let (ms, metrics) = http::request(&addr, "GET", "/metrics", None, timeout).unwrap();
+        let (ss, stats) = http::request(&addr, "GET", "/stats", None, timeout).unwrap();
+        assert_eq!((ms, ss), (200, 200));
+        let series = parse_prometheus(&metrics);
+        let metric = |name: &str| {
+            series
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing series {name} in:\n{metrics}"))
+        };
+        let stats = lddp_trace::json::parse(&stats).expect("/stats is valid JSON");
+        for (series_name, stats_key) in [
+            ("lddp_serve_accepted_total", "accepted"),
+            ("lddp_serve_completed_total", "completed"),
+            ("lddp_serve_queue_depth", "queue_depth"),
+        ] {
+            let from_stats = stats
+                .get(stats_key)
+                .and_then(lddp_trace::json::Json::as_f64)
+                .unwrap_or_else(|| panic!("/stats missing {stats_key}"));
+            assert_eq!(
+                metric(series_name),
+                from_stats,
+                "{series_name} disagrees with /stats {stats_key}"
+            );
+        }
+        assert_eq!(metric("lddp_serve_completed_total"), 21.0);
+        // Backend families share the exposition: pool solves ran, and
+        // the single hot tune key cost at most one sweep per worker
+        // (two workers can race the same cache miss).
+        assert!(metrics.contains("lddp_pool_solves_total"), "{metrics}");
+        let sweeps = metric("lddp_tuner_sweeps_total");
+        assert!(
+            (1.0..=2.0).contains(&sweeps),
+            "expected 1-2 tuner sweeps for one hot key, got {sweeps}"
+        );
+
+        // The flight recorder must still hold the hand-made request:
+        // its solve span, findable by trace id, exports as Chrome JSON.
+        let (ts, trace) =
+            http::request(&addr, "GET", "/debug/trace?last_ms=60000", None, timeout).unwrap();
+        assert_eq!(ts, 200);
+        let parsed = json::parse(&trace).expect("/debug/trace is valid JSON");
+        assert!(matches!(
+            parsed.get("traceEvents"),
+            Some(json::Json::Arr(_))
+        ));
+        assert!(trace.contains(catalog::SPAN_SOLVE), "{trace}");
+        assert!(
+            trace.contains(&trace_id),
+            "just-completed request's spans missing from /debug/trace"
+        );
+
+        client.shutdown();
+    });
+}
+
 /// Backpressure under overload: a tiny queue behind a slow worker pool
 /// rejects with `queue_full` rather than stalling, and the loadgen
 /// report classifies those as rejections, not errors.

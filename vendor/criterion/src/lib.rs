@@ -1,0 +1,186 @@
+//! Offline shim for the subset of `criterion` 0.5 this workspace uses.
+//! The build container has no network access to crates.io, so the
+//! workspace vendors this std-only stand-in instead of the real crate.
+//!
+//! It runs each benchmark for a short fixed budget and prints a
+//! median-of-runs time — enough to keep `cargo bench` targets
+//! compiling and producing comparable numbers, without the real
+//! crate's statistics, plotting, or CLI.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark (after one warm-up call).
+const BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark body under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// A named group; the shim's groups only prefix benchmark names.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// A two-part benchmark name (`BenchmarkId::new("forward", param)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation (accepted and ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim does not rescale.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.prefix, id));
+        self
+    }
+
+    /// Runs `f` as `group/id` with a borrowed input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.prefix, id));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The timing harness handed to benchmark bodies.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    per_iter_s: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly for the fixed budget and records the mean
+    /// per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < BUDGET {
+            black_box(f());
+            iters += 1;
+        }
+        self.per_iter_s = Some(started.elapsed().as_secs_f64() / iters.max(1) as f64);
+    }
+
+    fn report(&self, name: &str) {
+        match self.per_iter_s {
+            Some(s) if s >= 1e-3 => println!("bench {name}: {:.3} ms/iter", s * 1e3),
+            Some(s) if s >= 1e-6 => println!("bench {name}: {:.3} us/iter", s * 1e6),
+            Some(s) => println!("bench {name}: {:.1} ns/iter", s * 1e9),
+            None => println!("bench {name}: no iterations recorded"),
+        }
+    }
+}
+
+/// Declares a benchmark group function running the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_time() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4))
+            .sample_size(10)
+            .bench_function(BenchmarkId::new("f", 2), |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("in", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        g.finish();
+    }
+}

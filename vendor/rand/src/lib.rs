@@ -1,0 +1,236 @@
+//! Offline shim for the subset of `rand` 0.8 this workspace uses:
+//! [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen`, `gen_range`, `gen_bool`. The build container has no
+//! network access to crates.io, so the workspace vendors this std-only
+//! stand-in instead of the real crate.
+//!
+//! The generator is SplitMix64 — deterministic per seed, statistically
+//! fine for workload generation, **not** the real `StdRng` stream.
+//! Everything in this repo derives expected answers from the same
+//! generated inputs (sequential oracles), so only self-consistency
+//! matters, not stream compatibility.
+
+/// A deterministic 64-bit generator (SplitMix64 core).
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding entry point (`rand` exposes more constructors; the repo only
+/// uses `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// A generator seeded from a single word.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Named generator types.
+
+    /// The workspace's stand-in for `rand::rngs::StdRng`: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut rng = StdRng { state: seed };
+            // Warm up so nearby seeds diverge immediately.
+            use super::RngCore;
+            rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait SampleUniform: Sized {
+    /// A uniformly distributed value over the type's natural domain
+    /// (full integer range; `[0,1)` for floats).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        f64::sample_standard(rng) as f32
+    }
+}
+
+/// Types drawable from a bounded range (drives the generic
+/// [`SampleRange`] impls; the generic shape is what lets `{float}`
+/// literals unify with the surrounding expression's type).
+pub trait SampleBounded: Copy {
+    /// A uniform draw from `[start, end)` (`inclusive` widens to
+    /// `[start, end]`). Panics on an empty range, like the real crate.
+    fn sample_between<R: RngCore + ?Sized>(
+        start: Self,
+        end: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_bounded_int {
+    ($($t:ty),*) => {$(
+        impl SampleBounded for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                start: $t,
+                end: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = (end as i128 - start as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "gen_range: empty range");
+                let v = (rng.next_u64() as u128) % span as u128;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_bounded_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_bounded_float {
+    ($($t:ty),*) => {$(
+        impl SampleBounded for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                start: $t,
+                end: $t,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                assert!(start < end, "gen_range: empty range");
+                let unit = f64::sample_standard(rng) as $t;
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+impl_bounded_float!(f32, f64);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// A uniform draw from the range (panics on an empty range, like
+    /// the real crate).
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleBounded> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleBounded> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// The user-facing generator methods, blanket-implemented for any
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A value from the type's standard distribution.
+    fn gen<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// A uniform draw from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+}
