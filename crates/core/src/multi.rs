@@ -476,4 +476,66 @@ mod tests {
             assert!(a[1].is_empty() && a[2].is_empty());
         }
     }
+
+    #[test]
+    fn one_row_grid_splits_across_devices() {
+        // The degenerate band case the serve path can hit with cached
+        // parameters: a 1×n table where every wave holds one cell.
+        // Assignments must still tile and every cell must have exactly
+        // one owner.
+        let p = plan3(Pattern::AntiDiagonal, &[W], (1, 12), 0, &[4, 8]);
+        assert_eq!(p.num_waves(), 12);
+        for w in 0..12 {
+            let a = p.assignment(w);
+            let total: usize = a.iter().map(|r| r.len()).sum();
+            assert_eq!(total, 1, "wave {w} holds exactly one cell");
+        }
+        assert_eq!(p.cell_counts(), vec![4, 4, 4]);
+        // Owners follow the bands left to right.
+        assert_eq!(p.owner(0, 0), 0);
+        assert_eq!(p.owner(0, 4), 1);
+        assert_eq!(p.owner(0, 11), 2);
+    }
+
+    #[test]
+    fn width_one_bands_stay_legal() {
+        // Boundaries [1, 2]: devices 0 and 1 each own a single column.
+        let p = plan3(Pattern::AntiDiagonal, &[W, Nw, N], (6, 8), 0, &[1, 2]);
+        assert_eq!(p.devices(), 3);
+        for i in 0..6 {
+            assert_eq!(p.owner(i, 0), 0);
+            assert_eq!(p.owner(i, 1), 1);
+            for j in 2..8 {
+                assert_eq!(p.owner(i, j), 2);
+            }
+        }
+        // Every wave's ranges tile the wave and every transfer moves
+        // between adjacent devices only.
+        for w in 0..p.num_waves() {
+            let a = p.assignment(w);
+            let len = Pattern::AntiDiagonal.wave_len(6, 8, w);
+            assert_eq!(a.iter().map(|r| r.len()).sum::<usize>(), len);
+            for t in p.transfers(w) {
+                assert!(t.from.abs_diff(t.to) == 1, "wave {w}: {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_boundaries_make_an_empty_band() {
+        // A zero-width band (equal boundaries) is legal: the middle
+        // device simply never owns a cell, which is what the fleet's
+        // even split produces when devices outnumber columns.
+        let p = plan3(Pattern::Horizontal, &[Nw, N], (4, 2), 0, &[1, 1]);
+        assert_eq!(p.devices(), 3);
+        for i in 0..4 {
+            assert_eq!(p.owner(i, 0), 0);
+            assert_eq!(
+                p.owner(i, 1),
+                2,
+                "column at the tied boundary skips the empty band"
+            );
+        }
+        assert_eq!(p.cell_counts(), vec![4, 0, 4]);
+    }
 }

@@ -1,0 +1,234 @@
+//! Cost-aware placement: earliest predicted completion over per-pool
+//! backlogs.
+//!
+//! The dispatcher holds one backlog accumulator per fleet member — the
+//! sum of the predicted (model) durations of every batch placed there
+//! and not yet finished. A new batch arrives with one cost-model
+//! estimate per platform (computed by the caller with the §IV model and
+//! the tuner cache's parameters for that platform); the dispatcher
+//! scores each platform as `backlog + estimate` and places the batch on
+//! the argmin — the pool predicted to *complete* it first, not the one
+//! that would *run* it fastest in isolation. Ties break toward the
+//! lowest index, which makes placement a pure function of the
+//! (place/begin/finish) event sequence: replaying the same request
+//! stream reproduces the same placements exactly.
+
+use std::sync::Mutex;
+
+/// The dispatcher's verdict for one batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Index of the chosen platform in the fleet's member order.
+    pub platform: usize,
+    /// The §IV estimate for the batch on that platform, seconds.
+    pub predicted_s: f64,
+    /// The platform's backlog at decision time (excluding this batch),
+    /// seconds.
+    pub backlog_s: f64,
+}
+
+/// Earliest-predicted-completion placement over per-pool backlogs.
+#[derive(Debug)]
+pub struct Dispatcher {
+    backlogs: Mutex<Vec<f64>>,
+}
+
+impl Dispatcher {
+    /// A dispatcher for `platforms` pools, all initially idle.
+    pub fn new(platforms: usize) -> Dispatcher {
+        assert!(platforms > 0, "a fleet needs at least one platform");
+        Dispatcher {
+            backlogs: Mutex::new(vec![0.0; platforms]),
+        }
+    }
+
+    /// Number of pools this dispatcher scores over.
+    pub fn num_platforms(&self) -> usize {
+        self.backlogs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Scores every platform as `backlog + estimate` and returns the
+    /// argmin. Platforms whose estimate is not finite are skipped (a
+    /// cost-model failure must not absorb all traffic); if every
+    /// estimate is non-finite the batch falls back to platform 0.
+    /// Does **not** reserve capacity — pair with [`Dispatcher::begin`]
+    /// once the placement is acted on.
+    ///
+    /// # Panics
+    /// If `est_s.len()` differs from the pool count.
+    pub fn place(&self, est_s: &[f64]) -> Placement {
+        let backlogs = self.backlogs.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(
+            est_s.len(),
+            backlogs.len(),
+            "one estimate per fleet platform"
+        );
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (&est, &backlog)) in est_s.iter().zip(backlogs.iter()).enumerate() {
+            if !est.is_finite() {
+                continue;
+            }
+            let completion = backlog + est;
+            // Strict `<` keeps ties on the lowest index.
+            if best.is_none_or(|(_, b)| completion < b) {
+                best = Some((i, completion));
+            }
+        }
+        let platform = best.map_or(0, |(i, _)| i);
+        Placement {
+            platform,
+            predicted_s: if est_s[platform].is_finite() {
+                est_s[platform]
+            } else {
+                0.0
+            },
+            backlog_s: backlogs[platform],
+        }
+    }
+
+    /// Charges `est_s` seconds of predicted work to `platform`'s
+    /// backlog. Call when a placed batch starts executing (or is
+    /// committed to the pool's queue).
+    pub fn begin(&self, platform: usize, est_s: f64) {
+        let mut backlogs = self.backlogs.lock().unwrap_or_else(|e| e.into_inner());
+        if est_s.is_finite() && est_s > 0.0 {
+            backlogs[platform] += est_s;
+        }
+    }
+
+    /// Releases `est_s` seconds of predicted work from `platform`'s
+    /// backlog, clamped at zero (float cancellation must never leave a
+    /// phantom negative queue).
+    pub fn finish(&self, platform: usize, est_s: f64) {
+        let mut backlogs = self.backlogs.lock().unwrap_or_else(|e| e.into_inner());
+        if est_s.is_finite() && est_s > 0.0 {
+            backlogs[platform] = (backlogs[platform] - est_s).max(0.0);
+        }
+    }
+
+    /// Current backlog of one pool, seconds.
+    pub fn backlog(&self, platform: usize) -> f64 {
+        self.backlogs.lock().unwrap_or_else(|e| e.into_inner())[platform]
+    }
+
+    /// Snapshot of every pool's backlog, in member order.
+    pub fn backlogs(&self) -> Vec<f64> {
+        self.backlogs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_fleet_takes_the_cheapest_platform() {
+        let d = Dispatcher::new(3);
+        let p = d.place(&[2.0, 0.5, 1.0]);
+        assert_eq!(p.platform, 1);
+        assert_eq!(p.predicted_s, 0.5);
+        assert_eq!(p.backlog_s, 0.0);
+    }
+
+    #[test]
+    fn backlog_diverts_to_a_slower_but_idle_platform() {
+        let d = Dispatcher::new(2);
+        // Platform 0 runs the job in 1s but has 5s queued; platform 1
+        // needs 2s and is idle — earliest completion wins.
+        d.begin(0, 5.0);
+        let p = d.place(&[1.0, 2.0]);
+        assert_eq!(p.platform, 1);
+        assert_eq!(p.backlog_s, 0.0);
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_index() {
+        let d = Dispatcher::new(3);
+        let p = d.place(&[1.0, 1.0, 1.0]);
+        assert_eq!(p.platform, 0);
+        d.begin(0, 1.0);
+        // Now 0 completes at 2.0, the others at 1.0: tie between 1 & 2.
+        assert_eq!(d.place(&[1.0, 1.0, 1.0]).platform, 1);
+    }
+
+    #[test]
+    fn finish_releases_and_clamps_at_zero() {
+        let d = Dispatcher::new(2);
+        d.begin(0, 1.5);
+        assert_eq!(d.backlog(0), 1.5);
+        d.finish(0, 1.0);
+        assert!((d.backlog(0) - 0.5).abs() < 1e-12);
+        d.finish(0, 10.0);
+        assert_eq!(d.backlog(0), 0.0);
+        // Negative / non-finite charges are ignored outright.
+        d.begin(1, f64::NAN);
+        d.begin(1, -3.0);
+        assert_eq!(d.backlog(1), 0.0);
+    }
+
+    #[test]
+    fn non_finite_estimates_are_skipped() {
+        let d = Dispatcher::new(3);
+        let p = d.place(&[f64::NAN, 4.0, f64::INFINITY]);
+        assert_eq!(p.platform, 1);
+        // All-broken cost model: fall back to platform 0 with a zero
+        // prediction rather than poisoning the backlog with NaN.
+        let p = d.place(&[f64::NAN, f64::INFINITY, f64::NAN]);
+        assert_eq!(p.platform, 0);
+        assert_eq!(p.predicted_s, 0.0);
+    }
+
+    #[test]
+    fn placement_is_deterministic_over_a_replayed_stream() {
+        // The same (estimates, begin, finish) event sequence must yield
+        // identical placements on a fresh dispatcher — the property the
+        // fleet's routing-determinism guarantee reduces to.
+        let stream: Vec<[f64; 3]> = (0..40)
+            .map(|i| {
+                let f = |k: u64| ((i as u64 * 2654435761 + k) % 97) as f64 / 10.0 + 0.1;
+                [f(1), f(2), f(3)]
+            })
+            .collect();
+        let run = || {
+            let d = Dispatcher::new(3);
+            let mut placements = Vec::new();
+            for (i, est) in stream.iter().enumerate() {
+                let p = d.place(est);
+                d.begin(p.platform, p.predicted_s);
+                placements.push(p.platform);
+                // Retire an older batch every third event.
+                if i % 3 == 2 {
+                    d.finish(p.platform, p.predicted_s);
+                }
+            }
+            placements
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sustained_load_spreads_across_platforms() {
+        // With begin() feedback, a stream of identical batches cannot
+        // pile onto one pool: backlog pushes later batches elsewhere.
+        let d = Dispatcher::new(3);
+        let mut used = [false; 3];
+        for _ in 0..9 {
+            let p = d.place(&[1.0, 1.2, 1.4]);
+            d.begin(p.platform, p.predicted_s);
+            used[p.platform] = true;
+        }
+        assert!(used.iter().all(|&u| u), "backlogs: {:?}", d.backlogs());
+    }
+
+    #[test]
+    #[should_panic(expected = "one estimate per fleet platform")]
+    fn estimate_count_must_match_pool_count() {
+        Dispatcher::new(2).place(&[1.0]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-platform fleet observability.
+//!
+//! Every placement decision and completed solve is recorded twice: in
+//! plain atomics (so `/stats` works even without a live registry) and,
+//! when a [`LiveRegistry`] is attached, as `lddp_fleet_*` families with
+//! a `platform` label. The acceptance-critical family is
+//! `lddp_fleet_completion_ratio`: the dispatcher's predicted-vs-actual
+//! distribution (wall seconds ÷ predicted model seconds), the signal
+//! that tells an operator whether the §IV cost model still ranks the
+//! pools usefully.
+
+use lddp_trace::live::LiveRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters and histograms for one fleet, indexed by platform.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    live: Option<Arc<LiveRegistry>>,
+    names: Vec<String>,
+    placements: Vec<AtomicU64>,
+    solves: Vec<AtomicU64>,
+    degraded: Vec<AtomicU64>,
+    splits: AtomicU64,
+}
+
+impl FleetMetrics {
+    /// Metrics for the platforms named in `names` (fleet member order).
+    pub fn new(names: Vec<String>) -> FleetMetrics {
+        let n = names.len();
+        FleetMetrics {
+            live: None,
+            names,
+            placements: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            solves: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            degraded: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            splits: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a live registry and eagerly registers every
+    /// `lddp_fleet_*` family for every platform, so `/metrics` exposes
+    /// the full shape from the first scrape (zero-valued series, not
+    /// absent ones).
+    pub fn attach_live(&mut self, live: Arc<LiveRegistry>) {
+        for name in &self.names {
+            let labels = [("platform", name.as_str())];
+            live.counter(
+                "lddp_fleet_placements_total",
+                &labels,
+                "Batches the dispatcher placed on each fleet platform.",
+            );
+            live.counter(
+                "lddp_fleet_solves_total",
+                &labels,
+                "Solves completed on each fleet platform.",
+            );
+            live.counter(
+                "lddp_fleet_degraded_total",
+                &labels,
+                "Fleet solves that took at least one degradation rung.",
+            );
+            live.gauge(
+                "lddp_fleet_backlog_seconds",
+                &labels,
+                "Predicted seconds of work queued per fleet platform.",
+            );
+            live.histogram(
+                "lddp_fleet_predicted_seconds",
+                &labels,
+                "Dispatcher-predicted batch completion time, model seconds.",
+            );
+            live.histogram(
+                "lddp_fleet_actual_seconds",
+                &labels,
+                "Measured wall time of fleet-placed solves, seconds.",
+            );
+            live.histogram(
+                "lddp_fleet_completion_ratio",
+                &labels,
+                "Actual wall seconds divided by dispatcher-predicted seconds.",
+            );
+        }
+        live.counter(
+            "lddp_fleet_multiplan_splits_total",
+            &[],
+            "Large grids solved as cross-device MultiPlan band splits.",
+        );
+        live.histogram(
+            "lddp_fleet_split_devices",
+            &[],
+            "Device count of each cross-device MultiPlan split.",
+        );
+        self.live = Some(live);
+    }
+
+    /// Platform names, in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn label_of(&self, idx: usize) -> [(&str, &str); 1] {
+        [("platform", self.names[idx].as_str())]
+    }
+
+    /// Records one placement decision on platform `idx`.
+    pub fn on_place(&self, idx: usize, predicted_s: f64) {
+        self.placements[idx].fetch_add(1, Ordering::Relaxed);
+        if let Some(live) = &self.live {
+            live.counter("lddp_fleet_placements_total", &self.label_of(idx), "")
+                .inc();
+            live.histogram("lddp_fleet_predicted_seconds", &self.label_of(idx), "")
+                .observe(predicted_s);
+        }
+    }
+
+    /// Records one completed solve on platform `idx` with its measured
+    /// wall time against the dispatcher's prediction.
+    pub fn on_finish(&self, idx: usize, predicted_s: f64, actual_s: f64, degraded: bool) {
+        self.solves[idx].fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.degraded[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(live) = &self.live {
+            let labels = self.label_of(idx);
+            live.counter("lddp_fleet_solves_total", &labels, "").inc();
+            if degraded {
+                live.counter("lddp_fleet_degraded_total", &labels, "").inc();
+            }
+            live.histogram("lddp_fleet_actual_seconds", &labels, "")
+                .observe(actual_s);
+            if predicted_s > 0.0 && predicted_s.is_finite() && actual_s.is_finite() {
+                live.histogram("lddp_fleet_completion_ratio", &labels, "")
+                    .observe(actual_s / predicted_s);
+            }
+        }
+    }
+
+    /// Publishes platform `idx`'s current backlog to the gauge family.
+    pub fn set_backlog(&self, idx: usize, backlog_s: f64) {
+        if let Some(live) = &self.live {
+            live.gauge("lddp_fleet_backlog_seconds", &self.label_of(idx), "")
+                .set(backlog_s);
+        }
+    }
+
+    /// Records one cross-device MultiPlan split over `devices` devices.
+    pub fn on_split(&self, devices: usize) {
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        if let Some(live) = &self.live {
+            live.counter("lddp_fleet_multiplan_splits_total", &[], "")
+                .inc();
+            live.histogram("lddp_fleet_split_devices", &[], "")
+                .observe(devices as f64);
+        }
+    }
+
+    /// Placements recorded for platform `idx`.
+    pub fn placements(&self, idx: usize) -> u64 {
+        self.placements[idx].load(Ordering::Relaxed)
+    }
+
+    /// Solves completed on platform `idx`.
+    pub fn solves(&self, idx: usize) -> u64 {
+        self.solves[idx].load(Ordering::Relaxed)
+    }
+
+    /// Degraded solves on platform `idx`.
+    pub fn degraded(&self, idx: usize) -> u64 {
+        self.degraded[idx].load(Ordering::Relaxed)
+    }
+
+    /// Cross-device splits recorded fleet-wide.
+    pub fn splits(&self) -> u64 {
+        self.splits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_trace::live::parse_prometheus;
+
+    fn metrics_with_registry() -> (FleetMetrics, Arc<LiveRegistry>) {
+        let mut m = FleetMetrics::new(vec!["alpha".into(), "beta".into()]);
+        let live = Arc::new(LiveRegistry::new());
+        m.attach_live(Arc::clone(&live));
+        (m, live)
+    }
+
+    #[test]
+    fn families_are_registered_before_any_event() {
+        let (_m, live) = metrics_with_registry();
+        let text = live.to_prometheus();
+        for family in [
+            "lddp_fleet_placements_total{platform=\"alpha\"} 0",
+            "lddp_fleet_placements_total{platform=\"beta\"} 0",
+            "lddp_fleet_solves_total{platform=\"alpha\"} 0",
+            "lddp_fleet_degraded_total{platform=\"beta\"} 0",
+            "lddp_fleet_backlog_seconds{platform=\"alpha\"} 0",
+            "lddp_fleet_predicted_seconds_count{platform=\"beta\"} 0",
+            "lddp_fleet_actual_seconds_count{platform=\"alpha\"} 0",
+            "lddp_fleet_completion_ratio_count{platform=\"alpha\"} 0",
+            "lddp_fleet_multiplan_splits_total 0",
+            "lddp_fleet_split_devices_count 0",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn events_land_in_both_atomics_and_registry() {
+        let (m, live) = metrics_with_registry();
+        m.on_place(0, 0.25);
+        m.on_place(1, 0.5);
+        m.on_place(1, 0.5);
+        m.on_finish(1, 0.5, 1.0, false);
+        m.on_finish(1, 0.5, 0.25, true);
+        m.on_split(3);
+        m.set_backlog(0, 2.5);
+        assert_eq!(m.placements(0), 1);
+        assert_eq!(m.placements(1), 2);
+        assert_eq!(m.solves(1), 2);
+        assert_eq!(m.degraded(1), 1);
+        assert_eq!(m.splits(), 1);
+        let series = parse_prometheus(&live.to_prometheus());
+        let get = |name: &str| {
+            series
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(get("lddp_fleet_placements_total{platform=\"beta\"}"), 2.0);
+        assert_eq!(get("lddp_fleet_solves_total{platform=\"beta\"}"), 2.0);
+        assert_eq!(get("lddp_fleet_degraded_total{platform=\"beta\"}"), 1.0);
+        assert_eq!(get("lddp_fleet_backlog_seconds{platform=\"alpha\"}"), 2.5);
+        assert_eq!(
+            get("lddp_fleet_completion_ratio_count{platform=\"beta\"}"),
+            2.0
+        );
+        assert_eq!(get("lddp_fleet_multiplan_splits_total"), 1.0);
+        assert_eq!(get("lddp_fleet_split_devices_count"), 1.0);
+    }
+
+    #[test]
+    fn completion_ratio_skips_unusable_predictions() {
+        let (m, live) = metrics_with_registry();
+        m.on_finish(0, 0.0, 1.0, false);
+        m.on_finish(0, f64::NAN, 1.0, false);
+        let series = parse_prometheus(&live.to_prometheus());
+        let ratio = series
+            .iter()
+            .find(|(n, _)| n == "lddp_fleet_completion_ratio_count{platform=\"alpha\"}")
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert_eq!(ratio, 0.0);
+        // The solves themselves still count.
+        assert_eq!(m.solves(0), 2);
+    }
+}

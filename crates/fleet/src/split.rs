@@ -1,0 +1,158 @@
+//! Cross-device band splitting for `MultiPlan` serving.
+//!
+//! A large grid placed on the fleet can be partitioned into `k` column
+//! bands — one per simulated device — with
+//! [`MultiPlan`](lddp_core::multi::MultiPlan) carrying the ownership
+//! map and boundary transfers. The helpers here produce the boundary
+//! vector and, crucially, re-legalize the tuned
+//! [`ScheduleParams`] **per band**: a cached `t_share` tuned on the
+//! whole grid can exceed a narrow band's width, and a `t_switch` tuned
+//! on the full wave count can exceed a degenerate band's legal maximum.
+//! Clamping against the whole grid only (the pre-fleet behaviour) would
+//! hand an illegal parameter pair to the band executor.
+
+use lddp_core::pattern::Pattern;
+use lddp_core::schedule::ScheduleParams;
+use lddp_core::wavefront::Dims;
+
+/// Even k-way column-band boundaries for a `cols`-wide grid:
+/// `devices - 1` ascending exclusive upper bounds, as
+/// [`MultiPlan::new`](lddp_core::multi::MultiPlan::new) expects.
+/// Bands differ by at most one column; with more devices than columns
+/// the surplus devices get empty bands (legal — they simply never own
+/// cells).
+pub fn split_bands(cols: usize, devices: usize) -> Vec<usize> {
+    assert!(devices > 0, "a split needs at least one device");
+    (1..devices).map(|d| d * cols / devices).collect()
+}
+
+/// The width of each band delimited by `boundaries` over `cols`
+/// columns (`boundaries.len() + 1` entries).
+pub fn band_widths(boundaries: &[usize], cols: usize) -> Vec<usize> {
+    let mut widths = Vec::with_capacity(boundaries.len() + 1);
+    let mut lo = 0;
+    for &b in boundaries.iter().chain(std::iter::once(&cols)) {
+        widths.push(b.saturating_sub(lo));
+        lo = lo.max(b);
+    }
+    widths
+}
+
+/// Re-legalizes `params` for every band of a split: each band is
+/// clamped against its **own** `rows × width` dims via
+/// [`ScheduleParams::clamped_for`], not against the whole grid. Returns
+/// one parameter pair per band, in band order.
+pub fn per_band_params(
+    params: ScheduleParams,
+    pattern: Pattern,
+    rows: usize,
+    boundaries: &[usize],
+    cols: usize,
+) -> Vec<ScheduleParams> {
+    band_widths(boundaries, cols)
+        .into_iter()
+        .map(|width| params.clamped_for(pattern, Dims::new(rows, width)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_core::schedule::max_t_switch;
+
+    #[test]
+    fn boundaries_tile_evenly() {
+        assert_eq!(split_bands(12, 3), vec![4, 8]);
+        assert_eq!(split_bands(10, 3), vec![3, 6]);
+        assert_eq!(split_bands(7, 1), Vec::<usize>::new());
+        assert_eq!(band_widths(&split_bands(10, 3), 10), vec![3, 3, 4]);
+        // Widths always differ by at most one and sum to cols.
+        for cols in [1usize, 5, 31, 100, 1100] {
+            for devices in 1..=6 {
+                let w = band_widths(&split_bands(cols, devices), cols);
+                assert_eq!(w.len(), devices);
+                assert_eq!(w.iter().sum::<usize>(), cols);
+                let (min, max) = (w.iter().min().unwrap(), w.iter().max().unwrap());
+                assert!(max - min <= 1, "cols={cols} devices={devices}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_devices_than_columns_yields_empty_bands() {
+        let b = split_bands(2, 4);
+        assert_eq!(b.len(), 3);
+        let w = band_widths(&b, 2);
+        assert_eq!(w.iter().sum::<usize>(), 2);
+        assert_eq!(w.iter().filter(|&&x| x == 0).count(), 2);
+    }
+
+    #[test]
+    fn params_are_legal_for_each_band_not_just_the_grid() {
+        // Tuned on the whole 64-wide grid: t_share = 48 is legal there
+        // but wider than every band of a 3-way split.
+        let tuned = ScheduleParams::new(10, 48);
+        let boundaries = split_bands(64, 3);
+        let per_band = per_band_params(tuned, Pattern::Horizontal, 40, &boundaries, 64);
+        assert_eq!(per_band.len(), 3);
+        for (p, width) in per_band.iter().zip(band_widths(&boundaries, 64)) {
+            assert!(
+                p.t_share <= width,
+                "t_share {} > band width {width}",
+                p.t_share
+            );
+            assert!(p.t_switch <= max_t_switch(Pattern::Horizontal, Dims::new(40, width)));
+        }
+    }
+
+    #[test]
+    fn non_pow2_band_widths_clamp_anti_diagonal_switch() {
+        // 3-way split of 50 columns: bands of 16/17/17, none pow2.
+        // Anti-diagonal max_t_switch is waves/2 of the *band*, far
+        // below the whole-grid value the cache was tuned against.
+        let rows = 9;
+        let tuned = ScheduleParams::new(25, 50);
+        let boundaries = split_bands(50, 3);
+        for (p, width) in per_band_params(tuned, Pattern::AntiDiagonal, rows, &boundaries, 50)
+            .iter()
+            .zip(band_widths(&boundaries, 50))
+        {
+            let band_max = max_t_switch(Pattern::AntiDiagonal, Dims::new(rows, width));
+            assert!(p.t_switch <= band_max);
+            assert!(p.t_share <= width);
+            // The clamp actually fired: the grid-tuned value was
+            // illegal for the band.
+            assert!(25 > band_max && 50 > width);
+        }
+    }
+
+    #[test]
+    fn degenerate_single_row_band_is_relegalized() {
+        // The regression of record: a 1-row grid split into width-1
+        // bands. Every pattern's per-band maximum collapses to (at
+        // most) a handful of waves; grid-tuned parameters must clamp
+        // all the way down rather than reach the executor illegal.
+        for pattern in [
+            Pattern::AntiDiagonal,
+            Pattern::Horizontal,
+            Pattern::InvertedL,
+        ] {
+            let tuned = ScheduleParams::new(1000, 1000);
+            let boundaries = split_bands(3, 3); // three width-1 bands
+            for p in per_band_params(tuned, pattern, 1, &boundaries, 3) {
+                let dims = Dims::new(1, 1);
+                assert!(p.t_switch <= max_t_switch(pattern, dims), "{pattern}");
+                assert!(p.t_share <= 1, "{pattern}");
+            }
+        }
+        // Zero-width (empty) bands clamp t_share to zero.
+        let empty = per_band_params(
+            ScheduleParams::new(8, 8),
+            Pattern::Horizontal,
+            1,
+            &split_bands(2, 4),
+            2,
+        );
+        assert!(empty.iter().any(|p| p.t_share == 0));
+    }
+}

@@ -37,4 +37,4 @@ pub use exec::{
 pub use gpu::GpuModel;
 pub use link::{HostMemory, LinkModel};
 pub use multi::{run_multi, Accelerator, MultiPlatform, MultiReport};
-pub use platform::{hetero_high, hetero_low, xeon_phi_like, Platform};
+pub use platform::{cpu_only, hetero_high, hetero_low, xeon_phi_like, Platform};

@@ -117,6 +117,34 @@ pub fn xeon_phi_like() -> Platform {
     }
 }
 
+/// A host with no usable accelerator — the third member of the serving
+/// fleet. The CPU is the Hetero-High part; the "GPU" slot is filled
+/// with a token device so weak (one core, high launch overhead, thin
+/// link) that every tuned schedule collapses onto the CPU. Modelling it
+/// this way keeps the §IV cost model and the tuner applicable unchanged:
+/// a CPU-only box is simply a platform where sharing never pays.
+pub fn cpu_only() -> Platform {
+    Platform {
+        name: "CPU-Only",
+        cpu: hetero_high().cpu,
+        gpu: GpuModel {
+            smx: 1,
+            cores_per_smx: 1,
+            clock_ghz: 0.1,
+            launch_overhead_s: 1.0e-3,
+            mem_bw_gbps: 0.5,
+            uncoalesced_penalty: 8.0,
+            warp: 1,
+        },
+        link: LinkModel {
+            pageable_latency_s: 1.0e-3,
+            pageable_bw_gbps: 0.1,
+            pinned_latency_s: 1.0e-3,
+            pinned_bw_gbps: 0.1,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +202,20 @@ mod tests {
             low.cpu.wave_time_s(wide, 16, 16, 1.0) / low.gpu.wave_time_s(wide, 16, 16, 1.0);
         assert!(high_ratio > low_ratio);
         assert!(low_ratio > 1.0);
+    }
+
+    /// The CPU-only preset's token device must lose to the CPU at every
+    /// wave width — otherwise a tuner on that platform could schedule
+    /// work onto a device the host doesn't have.
+    #[test]
+    fn cpu_only_device_never_wins() {
+        let p = cpu_only();
+        for cells in [1usize, 64, 4096, 1 << 20] {
+            assert!(
+                p.cpu.wave_time_s(cells, 16, 16, 1.0) < p.gpu.wave_time_s(cells, 16, 16, 1.0),
+                "CPU-Only: the token device won a wave of {cells} cells"
+            );
+        }
     }
 
     #[test]

@@ -467,6 +467,23 @@ impl ParallelEngine {
         self.live.as_ref()
     }
 
+    /// Workers of the engine's shared pool that have died (panicked or
+    /// otherwise terminated) and not yet been healed. Zero when the
+    /// pool is healthy — including before the pool's lazy creation,
+    /// since a pool that doesn't exist yet has nothing wrong with it.
+    /// This is the readiness signal fleet `/healthz` reports per
+    /// platform pool.
+    pub fn pool_dead_workers(&self) -> usize {
+        self.pool.get().map_or(0, |p| p.dead_workers())
+    }
+
+    /// Respawns any dead workers in the shared pool (no-op while the
+    /// pool is healthy or not yet created). Returns how many workers
+    /// were respawned.
+    pub fn heal_pool(&self) -> usize {
+        self.pool.get().map_or(0, |p| p.heal())
+    }
+
     /// The tier a [`solve`](ParallelEngine::solve) of `kernel` will
     /// execute on, honoring `LDDP_FORCE_TIER`, the pinned tier and the
     /// host's vector backend. Kernels whose contributing set does not
@@ -803,6 +820,109 @@ impl ParallelEngine {
                         0..len,
                     );
                 }
+            }
+            return Ok(grid);
+        }
+
+        // Single thread, instrumented, no injector: the pool cannot win
+        // with one worker — dispatching to it would pay job hand-off,
+        // a spin barrier per wave, and a worker context switch for no
+        // parallelism. Compute inline on the calling thread and emit
+        // the same spans and live families from here. (Faulted runs
+        // stay on the pool so injected panics keep their isolation and
+        // per-(worker, wave) draw sequence.)
+        if threads == 1 && injector.is_none() {
+            let layout = grid.layout().clone();
+            let cells = SharedCells::new(grid.as_mut_slice());
+            let epoch = Instant::now();
+            let want_spans = sink.enabled();
+            let mut spans: Vec<(usize, f64, f64, usize)> = Vec::new();
+            let mut t0 = 0.0;
+            for w in 0..num_waves {
+                let len = pattern.wave_len(dims.rows, dims.cols, w);
+                let runs = if bulk_kernel.is_some() {
+                    layout.interior_runs(pattern, set, w)
+                } else {
+                    Vec::new()
+                };
+                // SAFETY: as in the untraced single-threaded path.
+                unsafe {
+                    compute_chunk_auto(
+                        kernel,
+                        bulk_kernel,
+                        set,
+                        pattern,
+                        dims,
+                        &layout,
+                        &runs,
+                        &cells,
+                        w,
+                        0..len,
+                    );
+                }
+                // Per-wave clocks only when spans are wanted; a live
+                // registry needs just the whole-solve aggregates.
+                if want_spans {
+                    let t1 = epoch.elapsed().as_secs_f64();
+                    if len > 0 {
+                        spans.push((w, t0, t1 - t0, len));
+                    }
+                    t0 = t1;
+                }
+            }
+            let busy_s = epoch.elapsed().as_secs_f64();
+            if want_spans {
+                for &(w, start_s, dur_s, owned) in &spans {
+                    sink.span(
+                        Span::new("wave", tracks::worker(0), start_s, dur_s)
+                            .with_arg("wave", w)
+                            .with_arg("cells", owned)
+                            .with_arg("tier", tier.as_str()),
+                    );
+                }
+                sink.sample(tracks::worker(0), "worker.busy_s", busy_s, busy_s);
+                sink.count("parallel.waves", num_waves as u64);
+                sink.count("parallel.cells", dims.len() as u64);
+                sink.count("parallel.workers", 1);
+                sink.count(
+                    match tier {
+                        ExecTier::Scalar => "parallel.tier.scalar",
+                        ExecTier::Bulk => "parallel.tier.bulk",
+                        ExecTier::Simd => "parallel.tier.simd",
+                        ExecTier::BitParallel => "parallel.tier.bitparallel",
+                    },
+                    1,
+                );
+            }
+            if let Some(live) = live {
+                // Register the barrier family too (zero observations:
+                // no barrier ran) so the exposition keeps its shape
+                // regardless of thread count.
+                live.histogram(
+                    "lddp_pool_barrier_wait_seconds",
+                    &[],
+                    "Time pool workers spent blocked at the inter-wave barrier.",
+                );
+                live.fcounter(
+                    "lddp_pool_worker_busy_seconds_total",
+                    &[("worker", "0")],
+                    "Cumulative compute time per pool worker.",
+                )
+                .add(busy_s);
+                live.counter(
+                    "lddp_pool_solves_total",
+                    &[("tier", tier.as_str())],
+                    "Pooled solves completed, by execution tier.",
+                )
+                .inc();
+                live.counter("lddp_pool_waves_total", &[], "Waves executed by the pool.")
+                    .add(num_waves as u64);
+                live.counter(
+                    "lddp_pool_cells_total",
+                    &[],
+                    "Grid cells computed by the pool.",
+                )
+                .add(dims.len() as u64);
             }
             return Ok(grid);
         }
@@ -1767,6 +1887,53 @@ mod tests {
             .map(|&(_, v)| v)
             .sum();
         assert_eq!(solves, 2.0);
+    }
+
+    /// BENCH_pr5 regression: at 1 thread the engine must not stand up
+    /// the persistent worker pool even when a live registry or trace
+    /// sink forces the instrumented path. The pool's job hand-off and
+    /// per-wave spin barrier made `pool_speedup < 1` on a single core
+    /// while the families it records stayed mandatory for serving.
+    #[test]
+    fn single_thread_instrumented_solve_skips_the_pool() {
+        let set = ContributingSet::new(&[RepCell::W, RepCell::Nw, RepCell::N]);
+        let kernel = BulkMix {
+            dims: Dims::new(24, 20),
+            set,
+        };
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+
+        let reg = Arc::new(lddp_trace::live::LiveRegistry::new());
+        let engine = ParallelEngine::new(1).with_live(Arc::clone(&reg));
+        assert_eq!(engine.solve(&kernel).unwrap().to_row_major(), oracle);
+        assert!(
+            engine.pool.get().is_none(),
+            "1-thread live solve created the worker pool"
+        );
+        let text = reg.to_prometheus();
+        // Whole-solve aggregates still land…
+        assert!(text.contains("lddp_pool_waves_total"), "{text}");
+        assert!(text.contains("lddp_pool_cells_total"), "{text}");
+        assert!(
+            text.contains("lddp_pool_worker_busy_seconds_total{worker=\"0\"}"),
+            "{text}"
+        );
+        // …and the barrier family keeps its exposition shape with zero
+        // observations (no barrier ran).
+        assert!(
+            text.contains("lddp_pool_barrier_wait_seconds_count 0"),
+            "{text}"
+        );
+
+        // Tracing at 1 thread records wave spans without the pool too.
+        let rec = Recorder::new();
+        let engine = ParallelEngine::new(1);
+        let got = engine.solve_traced(&kernel, &rec).unwrap();
+        assert_eq!(got.to_row_major(), oracle);
+        assert!(engine.pool.get().is_none());
+        // New accessors report a pool that was never created as healthy.
+        assert_eq!(engine.pool_dead_workers(), 0);
+        assert_eq!(engine.heal_pool(), 0);
     }
 
     #[test]

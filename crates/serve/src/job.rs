@@ -345,6 +345,14 @@ pub struct SolveResponse {
     /// (stable codes such as `bulk_to_scalar`); empty when the solve
     /// ran at full configuration.
     pub degraded: Vec<String>,
+    /// Fleet platform the dispatcher placed this solve on
+    /// ("hetero-high", …); empty when the server runs a single
+    /// backend without a fleet.
+    pub placed_on: String,
+    /// Simulated devices that cooperated on the grid: 1 for ordinary
+    /// solves, >1 when the grid ran as a cross-device `MultiPlan`
+    /// band split.
+    pub devices: usize,
 }
 
 impl SolveResponse {
@@ -362,6 +370,7 @@ impl SolveResponse {
              \"virtual_ms\":{},\"t_switch\":{},\"t_share\":{},\"tier\":\"{}\",\
              \"queue_ms\":{},\"solve_ms\":{},\"batch_size\":{},\"cache_hit\":{},\
              \"degraded\":[{}],\
+             \"placed_on\":\"{}\",\"devices\":{},\
              \"timings\":{{\"queue_wait_ms\":{},\"batch_ms\":{},\
              \"tune_ms\":{},\"solve_ms\":{},\"tier\":\"{}\"}}}}",
             self.id,
@@ -378,6 +387,8 @@ impl SolveResponse {
             self.batch_size,
             self.cache_hit,
             degraded,
+            escape(&self.placed_on),
+            self.devices,
             num(self.queue_ms),
             num(self.batch_ms),
             num(self.tune_ms),
@@ -450,6 +461,17 @@ impl SolveResponse {
                         .collect()
                 })
                 .unwrap_or_default(),
+            // Absent on responses from servers predating fleet serving
+            // — those solved on their single backend platform.
+            placed_on: v
+                .get("placed_on")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            devices: v
+                .get("devices")
+                .and_then(Json::as_f64)
+                .map_or(1, |d| (d as usize).max(1)),
         })
     }
 }
@@ -517,6 +539,8 @@ mod tests {
             batch_size: 4,
             cache_hit: true,
             degraded: vec!["bulk_to_scalar".into()],
+            placed_on: "hetero-low".into(),
+            devices: 3,
         };
         let json = resp.to_json();
         assert!(json.contains("\"timings\":{"));
@@ -539,6 +563,9 @@ mod tests {
         assert!(parsed.trace_id.is_empty());
         assert_eq!(parsed.batch_ms, 0.0);
         assert_eq!(parsed.tune_ms, 0.0);
+        // And the fleet fields, which predate fleet serving.
+        assert!(parsed.placed_on.is_empty());
+        assert_eq!(parsed.devices, 1);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod stats;
 
 pub use job::{BatchKey, RejectReason, ServeError, SolveRequest, SolveResponse};
 pub use queue::{Job, JobQueue, Popped};
-pub use server::{BackendSolve, Client, ServeConfig, Server, SolveBackend};
+pub use server::{BackendSolve, BatchPlan, Client, PoolHealth, ServeConfig, Server, SolveBackend};
 pub use stats::{LatencySummary, ServeStats, StatsSnapshot};
 
 #[cfg(test)]
@@ -136,6 +136,8 @@ mod tests {
                 params: config.params,
                 tier: config.tier,
                 degraded,
+                placed_on: None,
+                devices: 1,
             })
         }
     }

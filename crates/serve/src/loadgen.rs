@@ -129,6 +129,13 @@ pub struct LoadgenConfig {
     /// [`RetryPolicy::none`]; chaos campaigns use
     /// [`RetryPolicy::default_serving`].
     pub retry: RetryPolicy,
+    /// Size mix for heterogeneous fleet runs: `(n, oracle)` pairs
+    /// cycled round-robin by request sequence number, each overriding
+    /// `request.n` and `expect_answer` for its turn. Empty (the
+    /// default) means every request uses the template unchanged —
+    /// mixed sizes are what exercise a fleet's dispatcher, since
+    /// uniform requests all score identically.
+    pub mix: Vec<(usize, Option<String>)>,
 }
 
 impl Default for LoadgenConfig {
@@ -141,6 +148,7 @@ impl Default for LoadgenConfig {
             concurrency: 4,
             expect_answer: None,
             retry: RetryPolicy::none(),
+            mix: Vec::new(),
         }
     }
 }
@@ -155,6 +163,8 @@ struct Tally {
     total_ms: Vec<f64>,
     queue_ms: Vec<f64>,
     solve_ms: Vec<f64>,
+    placements: Vec<(String, usize)>,
+    multiplan_splits: usize,
 }
 
 impl Tally {
@@ -163,6 +173,14 @@ impl Tally {
             entry.1 += 1;
         } else {
             self.by_code.push((code.to_string(), 1));
+        }
+    }
+
+    fn bump_placement(&mut self, platform: &str) {
+        if let Some(entry) = self.placements.iter_mut().find(|(p, _)| p == platform) {
+            entry.1 += 1;
+        } else {
+            self.placements.push((platform.to_string(), 1));
         }
     }
 }
@@ -206,6 +224,12 @@ pub struct LoadReport {
     /// driver did not scrape — in-process runs or a server without the
     /// endpoint.
     pub server_metrics_delta: Vec<(String, f64)>,
+    /// Completions per fleet platform, from the `placed_on` response
+    /// field. Empty against a non-fleet server (no placement reported).
+    pub fleet_placements: Vec<(String, usize)>,
+    /// Completions solved as a cross-device `MultiPlan` split
+    /// (`devices > 1` in the response).
+    pub multiplan_splits: usize,
 }
 
 /// Scrapes `GET /metrics` at `addr` and parses the Prometheus text
@@ -304,6 +328,8 @@ impl LoadReport {
             queue: summarize(tally.queue_ms),
             solve: summarize(tally.solve_ms),
             server_metrics_delta: Vec::new(),
+            fleet_placements: tally.placements,
+            multiplan_splits: tally.multiplan_splits,
         }
     }
 
@@ -331,11 +357,18 @@ impl LoadReport {
             .map(|(series, d)| format!("\"{}\":{}", json::escape(series), json::num(*d)))
             .collect::<Vec<_>>()
             .join(",");
+        let placements = self
+            .fleet_placements
+            .iter()
+            .map(|(p, n)| format!("\"{}\":{}", json::escape(p), n))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"sent\":{},\"completed\":{},\"rejected\":{},\"errors\":{},\"mismatches\":{},\
              \"retries\":{},\"recovered\":{},\
              \"outcomes\":{{{}}},\"wall_s\":{},\"throughput_rps\":{},\"rejection_rate\":{},\
              \"latency_ms\":{{\"total\":{},\"queue\":{},\"solve\":{}}},\
+             \"fleet\":{{\"placements\":{{{}}},\"multiplan_splits\":{}}},\
              \"server_metrics_delta\":{{{}}}}}",
             self.sent,
             self.completed,
@@ -351,6 +384,8 @@ impl LoadReport {
             lat(&self.latency),
             lat(&self.queue),
             lat(&self.solve),
+            placements,
+            self.multiplan_splits,
             deltas,
         )
     }
@@ -366,11 +401,21 @@ fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>, seq
             .wrapping_add((seq as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
         ..cfg.retry
     };
+    // Size mix: the sequence number (not arrival order) picks the slot,
+    // so the request stream is deterministic under any concurrency.
+    let (request, expect) = if cfg.mix.is_empty() {
+        (cfg.request.clone(), cfg.expect_answer.clone())
+    } else {
+        let (n, oracle) = &cfg.mix[seq % cfg.mix.len()];
+        let mut r = cfg.request.clone();
+        r.n = *n;
+        (r, oracle.clone())
+    };
     let started = Instant::now();
     let mut attempt = 0u32;
     let mut retries_used = 0usize;
     let outcome = loop {
-        let r = target.solve_once(&cfg.request);
+        let r = target.solve_once(&request);
         match &r {
             Err((code, _))
                 if policy.may_retry(attempt) && RETRYABLE_CODES.contains(&code.as_str()) =>
@@ -391,10 +436,13 @@ fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>, seq
             t.completed += 1;
             t.queue_ms.push(resp.queue_ms);
             t.solve_ms.push(resp.solve_ms);
-            let mismatch = cfg
-                .expect_answer
-                .as_ref()
-                .is_some_and(|want| *want != resp.answer);
+            if !resp.placed_on.is_empty() {
+                t.bump_placement(&resp.placed_on);
+            }
+            if resp.devices > 1 {
+                t.multiplan_splits += 1;
+            }
+            let mismatch = expect.as_ref().is_some_and(|want| *want != resp.answer);
             if mismatch {
                 t.mismatches += 1;
             } else if retries_used > 0 {
@@ -508,6 +556,13 @@ mod tests {
                 batch_size: 1,
                 cache_hit: false,
                 degraded: vec![],
+                placed_on: if req.n >= 64 {
+                    "hetero-high"
+                } else {
+                    "cpu-only"
+                }
+                .to_string(),
+                devices: if req.n >= 512 { 3 } else { 1 },
             })
         }
     }
@@ -607,6 +662,8 @@ mod tests {
                 batch_size: 1,
                 cache_hit: false,
                 degraded: vec![],
+                placed_on: String::new(),
+                devices: 1,
             })
         }
     }
@@ -708,6 +765,54 @@ mod tests {
                 .and_then(|j| j.get("lddp_serve_accepted_total"))
                 .and_then(|j| j.as_f64()),
             Some(15.0)
+        );
+    }
+
+    #[test]
+    fn size_mix_cycles_and_fleet_placements_are_tallied() {
+        let target = Canned {
+            answer: "42".into(),
+            fail_every: 0,
+            hits: AtomicUsize::new(0),
+        };
+        let cfg = LoadgenConfig {
+            total: 12,
+            concurrency: 3,
+            mix: vec![
+                (48, Some("42".into())),
+                (96, Some("42".into())),
+                (1100, Some("42".into())),
+            ],
+            ..LoadgenConfig::default()
+        };
+        let report = run(&target, &cfg);
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.mismatches, 0);
+        // 12 requests over a 3-slot mix: 4× n=48 (placed on cpu-only by
+        // the canned target), 8× n∈{96, 1100} (hetero-high), and the 4
+        // n=1100 responses claim a 3-device split.
+        let find = |p: &str| {
+            report
+                .fleet_placements
+                .iter()
+                .find(|(q, _)| q == p)
+                .map_or(0, |(_, n)| *n)
+        };
+        assert_eq!(find("cpu-only"), 4);
+        assert_eq!(find("hetero-high"), 8);
+        assert_eq!(report.multiplan_splits, 4);
+        let v = json::parse(&report.to_json()).unwrap();
+        let fleet = v.get("fleet").expect("report has a fleet section");
+        assert_eq!(
+            fleet.get("multiplan_splits").and_then(|j| j.as_f64()),
+            Some(4.0)
+        );
+        assert_eq!(
+            fleet
+                .get("placements")
+                .and_then(|p| p.get("cpu-only"))
+                .and_then(|j| j.as_f64()),
+            Some(4.0)
         );
     }
 

@@ -32,6 +32,8 @@
 //!             params: config.params,
 //!             tier: config.tier,
 //!             degraded: vec![],
+//!             placed_on: None,
+//!             devices: 1,
 //!         })
 //!     }
 //! }
@@ -114,6 +116,40 @@ pub struct BackendSolve {
     /// Degradation steps taken to produce this answer (stable codes
     /// such as `bulk_to_scalar`); empty for a full-configuration solve.
     pub degraded: Vec<String>,
+    /// Fleet platform this solve actually ran on, when the backend is
+    /// a fleet (`None` for single-platform backends; the server falls
+    /// back to the batch plan's placement).
+    pub placed_on: Option<String>,
+    /// Simulated devices that cooperated on the grid (1 = ordinary
+    /// solve, >1 = cross-device `MultiPlan` band split).
+    pub devices: usize,
+}
+
+/// The batch-level decision a backend makes before per-request solves:
+/// the tuned configuration plus, for fleet backends, where the batch
+/// was placed and what completion the dispatcher predicted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPlan {
+    /// Tuned schedule parameters and execution tier for the batch.
+    pub config: TunedConfig,
+    /// Whether `config` came from the tuner cache.
+    pub cache_hit: bool,
+    /// Fleet platform the dispatcher chose (`None` without a fleet).
+    pub placement: Option<String>,
+    /// The dispatcher's predicted completion time for one batch
+    /// member, model seconds (`None` without a fleet).
+    pub predicted_s: Option<f64>,
+}
+
+/// Readiness of one backend worker pool, surfaced through `/healthz`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Pool name ("hetero-high", …).
+    pub platform: String,
+    /// `true` when every worker of the pool is alive.
+    pub ready: bool,
+    /// Dead workers awaiting a heal.
+    pub dead_workers: usize,
 }
 
 /// The pluggable solving side of the server.
@@ -145,6 +181,45 @@ pub trait SolveBackend: Sync {
         config: TunedConfig,
         sink: &dyn TraceSink,
     ) -> Result<BackendSolve, String>;
+
+    /// Produces the full batch plan: tuned configuration plus, for
+    /// fleet backends, the dispatcher's placement and predicted
+    /// completion. The default wraps [`SolveBackend::tune`] with no
+    /// placement, so single-platform backends need not implement it.
+    fn plan(&self, probe: &SolveRequest, sink: &dyn TraceSink) -> Result<BatchPlan, String> {
+        let (config, cache_hit) = self.tune(probe, sink)?;
+        Ok(BatchPlan {
+            config,
+            cache_hit,
+            placement: None,
+            predicted_s: None,
+        })
+    }
+
+    /// Solves one request under a batch plan. The default ignores the
+    /// placement half and delegates to [`SolveBackend::solve`]; fleet
+    /// backends override it to execute on the placed pool (and to
+    /// route large grids through cross-device `MultiPlan` splits).
+    fn solve_placed(
+        &self,
+        req: &SolveRequest,
+        plan: &BatchPlan,
+        sink: &dyn TraceSink,
+    ) -> Result<BackendSolve, String> {
+        self.solve(req, plan.config, sink)
+    }
+
+    /// Per-pool readiness for `/healthz`. Empty (the default) means
+    /// the backend has no distinguishable pools to report.
+    fn pool_health(&self) -> Vec<PoolHealth> {
+        Vec::new()
+    }
+
+    /// A JSON object describing fleet state, spliced into `/stats`
+    /// under the `"fleet"` key. `None` (the default) omits the key.
+    fn fleet_stats_json(&self) -> Option<String> {
+        None
+    }
 }
 
 /// The batching solve server. See the module docs for the lifecycle.
@@ -492,9 +567,9 @@ impl<'a> Server<'a> {
         // Assembly cost charged to every rider: queue pickup to tune
         // start (grouping, queue-wait accounting, deadline shedding).
         let batch_wait = tune_start.duration_since(picked_up);
-        let tuned = catch_unwind(AssertUnwindSafe(|| self.backend.tune(&live[0].0.req, sink)));
+        let tuned = catch_unwind(AssertUnwindSafe(|| self.backend.plan(&live[0].0.req, sink)));
         let tune_wait = tune_start.elapsed();
-        let (config, cache_hit) = match tuned {
+        let plan = match tuned {
             Ok(Ok(x)) => x,
             Ok(Err(msg)) => {
                 self.record_backend_failure();
@@ -520,13 +595,14 @@ impl<'a> Server<'a> {
                 return;
             }
         };
+        let cache_hit = plan.cache_hit;
         let tune_ctr = if cache_hit {
             &self.stats.tune_hits
         } else {
             &self.stats.tune_misses
         };
         tune_ctr.inc();
-        let tune_span = Span::new(
+        let mut tune_span = Span::new(
             catalog::SPAN_TUNE,
             lane,
             self.since_epoch(tune_start),
@@ -534,6 +610,9 @@ impl<'a> Server<'a> {
         )
         .with_arg("key", key.label())
         .with_arg("cache_hit", if cache_hit { "true" } else { "false" });
+        if let Some(placement) = &plan.placement {
+            tune_span = tune_span.with_arg("placed_on", placement.clone());
+        }
         self.live.flight().record_span(tune_span.clone());
         if sink.enabled() {
             sink.span(tune_span);
@@ -550,7 +629,7 @@ impl<'a> Server<'a> {
         for (job, waited) in live {
             let solve_start = Instant::now();
             let caught = catch_unwind(AssertUnwindSafe(|| {
-                self.backend.solve(&job.req, config, sink)
+                self.backend.solve_placed(&job.req, &plan, sink)
             }));
             let solve_end = Instant::now();
             let solve = solve_end.duration_since(solve_start);
@@ -649,6 +728,11 @@ impl<'a> Server<'a> {
                         batch_size,
                         cache_hit,
                         degraded: done.degraded,
+                        placed_on: done
+                            .placed_on
+                            .or_else(|| plan.placement.clone())
+                            .unwrap_or_default(),
+                        devices: done.devices.max(1),
                     };
                     self.finish_job(job, Ok(resp));
                 }
@@ -783,7 +867,7 @@ impl<'a> Server<'a> {
                 },
             },
             ("GET", "/healthz") => ok(self.healthz_json()),
-            ("GET", "/stats") => ok(self.snapshot().to_json()),
+            ("GET", "/stats") => ok(self.stats_json()),
             ("GET", "/metrics") => (
                 200,
                 self.metrics_text(),
@@ -865,24 +949,52 @@ impl<'a> Server<'a> {
         chrome::to_chrome_json(&data)
     }
 
+    /// The `GET /stats` body: the snapshot, plus the backend's fleet
+    /// section under `"fleet"` when it reports one.
+    pub fn stats_json(&self) -> String {
+        let mut body = self.snapshot().to_json();
+        if let Some(fleet) = self.backend.fleet_stats_json() {
+            debug_assert!(body.ends_with('}'));
+            body.truncate(body.len() - 1);
+            body.push_str(&format!(",\"fleet\":{fleet}}}"));
+        }
+        body
+    }
+
     fn healthz_json(&self) -> String {
         let draining = !self.queue.is_open();
         let breaker = self.breaker.state();
+        let pools = self.backend.pool_health();
+        let unhealed = pools.iter().any(|p| !p.ready);
         let status = if draining {
             "draining"
-        } else if breaker != BreakerState::Closed {
+        } else if breaker != BreakerState::Closed || unhealed {
             "degraded"
         } else {
             "ok"
         };
-        format!(
-            "{{\"status\":\"{}\",\"breaker\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"workers\":{}}}",
+        let mut body = format!(
+            "{{\"status\":\"{}\",\"breaker\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"workers\":{}",
             status,
             breaker.name(),
             self.queue.depth(),
             self.in_flight.load(Ordering::Relaxed),
             self.config.workers.max(1),
-        )
+        );
+        if !pools.is_empty() {
+            let entries: Vec<String> = pools
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"platform\":\"{}\",\"ready\":{},\"dead_workers\":{}}}",
+                        p.platform, p.ready, p.dead_workers
+                    )
+                })
+                .collect();
+            body.push_str(&format!(",\"fleet\":[{}]", entries.join(",")));
+        }
+        body.push('}');
+        body
     }
 }
 
@@ -929,6 +1041,11 @@ impl Client<'_, '_> {
     /// The `GET /healthz` body.
     pub fn healthz_json(&self) -> String {
         self.server.healthz_json()
+    }
+
+    /// The `GET /stats` body (snapshot plus any fleet section).
+    pub fn stats_json(&self) -> String {
+        self.server.stats_json()
     }
 
     /// The `GET /metrics` body (Prometheus text exposition).

@@ -31,7 +31,7 @@
 //! serving stack (see docs/ROBUSTNESS.md), failing loudly when any
 //! recovered answer diverges from the oracle.
 
-use crate::platforms::{hetero_high, hetero_low, Platform};
+use crate::platforms::{cpu_only, hetero_high, hetero_low, Platform};
 use crate::{Framework, PhaseStat};
 use hetero_sim::report::{utilization, Utilization};
 use lddp_chaos::{FaultInjector, FaultPlan, FaultPlanConfig, RetryPolicy};
@@ -44,7 +44,7 @@ use lddp_core::tuner_cache::TunedConfig;
 use lddp_core::DegradeStep;
 use lddp_problems as problems;
 use lddp_serve::loadgen::{HttpTarget, LoadgenConfig};
-use lddp_serve::{ServeConfig, Server, SolveRequest};
+use lddp_serve::{ServeConfig, Server, SolveBackend, SolveRequest};
 use lddp_trace::json::{escape, num};
 use lddp_trace::{chrome, metrics, NullSink, Recorder, TraceSink};
 use std::time::{Duration, Instant};
@@ -139,6 +139,10 @@ pub enum Command {
         /// Optional tuner-cache persistence file: loaded (if present)
         /// before serving, written back on graceful drain.
         tune_cache: Option<String>,
+        /// Serve through the heterogeneous worker-pool fleet (cost-aware
+        /// dispatcher over the platform presets, cross-device MultiPlan
+        /// splits for large grids).
+        fleet: bool,
     },
     /// Generate load against a solve server and report latency.
     Loadgen {
@@ -165,6 +169,11 @@ pub enum Command {
         no_verify: bool,
         /// Attempts per request (1 = no retries).
         retries: u32,
+        /// Instance-size mix cycled round-robin across requests
+        /// (empty = every request uses `n`).
+        mix: Vec<usize>,
+        /// Drive the in-process server with the fleet backend.
+        fleet: bool,
     },
     /// Quick wall-clock benchmark of the real thread engine.
     Bench {
@@ -236,6 +245,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut seed = None;
     let mut campaign = None;
     let mut tune_cache = None;
+    let mut fleet = false;
+    let mut mix: Vec<usize> = Vec::new();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--set" => {
@@ -257,9 +268,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 n = Some(v.parse::<usize>().map_err(|e| format!("--n: {e}"))?);
             }
             "--platform" => {
-                let v = it.next().ok_or("--platform needs high|low")?;
-                if v != "high" && v != "low" {
-                    return Err(format!("unknown platform '{v}'; expected high or low"));
+                let v = it.next().ok_or("--platform needs high|low|cpu-only")?;
+                if v != "high" && v != "low" && v != "cpu-only" {
+                    return Err(format!(
+                        "unknown platform '{v}'; expected high, low, or cpu-only"
+                    ));
                 }
                 platform = v.clone();
             }
@@ -373,6 +386,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or("--tune-cache needs a file path")?;
                 tune_cache = Some(v.clone());
             }
+            "--fleet" => fleet = true,
+            "--mix" => {
+                let v = it.next().ok_or("--mix needs sizes like 48,96,1100")?;
+                mix = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("--mix: {e}")))
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if mix.is_empty() || mix.iter().any(|&m| m < 2) {
+                    return Err("--mix sizes must each be at least 2".into());
+                }
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -434,11 +458,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             watchdog_ms,
             trace: trace_out,
             tune_cache,
+            fleet,
         }),
         "loadgen" => {
             let requests = requests.unwrap_or(100);
             if requests == 0 && duration_s.is_none() {
                 return Err("loadgen needs --requests > 0 or --duration".into());
+            }
+            if fleet && addr.is_some() {
+                return Err(
+                    "loadgen --fleet drives the in-process server; point --addr at a \
+                     `serve --fleet` instance instead"
+                        .into(),
+                );
             }
             Ok(Command::Loadgen {
                 addr,
@@ -452,6 +484,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 deadline_ms,
                 no_verify,
                 retries: retries.unwrap_or(1),
+                mix,
+                fleet,
             })
         }
         "bench" => {
@@ -496,10 +530,10 @@ pub fn parse_set(text: &str) -> Result<ContributingSet, String> {
 }
 
 fn platform_by_name(name: &str) -> Platform {
-    if name == "low" {
-        hetero_low()
-    } else {
-        hetero_high()
+    match name {
+        "low" => hetero_low(),
+        "cpu" | "cpu-only" => cpu_only(),
+        _ => hetero_high(),
     }
 }
 
@@ -521,18 +555,23 @@ pub fn usage() -> String {
          \x20 lddp-cli serve   [--addr host:port] [--workers W] [--queue-cap Q]\n\
          \x20                  [--max-batch B] [--deadline-ms D] [--watchdog-ms W]\n\
          \x20                  [--trace serve.trace.json] [--tune-cache cache.json]\n\
+         \x20                  [--fleet]\n\
          \x20 lddp-cli loadgen --problem <name> [--n N] [--platform high|low]\n\
          \x20                  [--addr host:port] [--requests R] [--rps RATE]\n\
          \x20                  [--duration S] [--concurrency C] [--deadline-ms D]\n\
-         \x20                  [--no-verify] [--retries A]\n\
+         \x20                  [--no-verify] [--retries A] [--mix 48,96,1100] [--fleet]\n\
          \x20 lddp-cli bench   --quick [--n N] [--out BENCH.json]\n\
          \x20 lddp-cli chaos   [--seed S] [--campaign quick|heavy] [--out report.json]\n\
          \n\
          `trace` writes a Perfetto-loadable Chrome trace-event timeline\n\
          (see docs/OBSERVABILITY.md). `serve` runs the batching solve\n\
          server (`--tune-cache` persists tuned params + tier across\n\
-         restarts); `loadgen` drives it and prints a JSON latency report,\n\
-         checking answers against the sequential oracle (docs/SERVING.md).\n\
+         restarts; `--fleet` serves through the heterogeneous worker-pool\n\
+         fleet with a cost-aware dispatcher and cross-device MultiPlan\n\
+         splits, see docs/FLEET.md); `loadgen` drives it and prints a\n\
+         JSON latency report, checking answers against the sequential\n\
+         oracle (docs/SERVING.md); `--mix` cycles requests through a\n\
+         size mix to exercise the fleet dispatcher.\n\
          Set LDDP_FORCE_TIER=scalar|bulk|simd|bitparallel to cap the\n\
          execution tier of every engine in the process.\n\
          `chaos` runs a seeded fault-injection campaign across the engine\n\
@@ -930,6 +969,128 @@ pub fn run_solve_pooled_chaos(
     with_problem!(problem, n, chaos_pooled)
 }
 
+/// The §IV cost model's virtual-time estimate for one instance on one
+/// platform preset with the given (already legalized) parameters — the
+/// scoring input of the fleet dispatcher, which compares this estimate
+/// across every pool before placing a batch.
+pub fn estimate_virtual(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    params: ScheduleParams,
+) -> Result<f64, String> {
+    let platform = platform_by_name(platform_name);
+    macro_rules! est_of {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            // Dead call pins the answer closure's kernel-parameter type
+            // (some registry arms annotate it as `&_`).
+            if false {
+                let g = lddp_core::seq::solve_row_major(&kernel).map_err(|e| e.to_string())?;
+                let _: String = $answer(&kernel, &g);
+            }
+            let fw = Framework::new(platform.clone()).with_io_bytes($io.0, $io.1);
+            let class = fw.classify(&kernel).map_err(|e| e.to_string())?;
+            let legal = params.clamped_for(class.exec_pattern, kernel.dims());
+            fw.estimate(&kernel, legal).map_err(|e| e.to_string())
+        }};
+    }
+    with_problem!(problem, n, est_of)
+}
+
+/// The simulated device set cross-device splits run on: the Hetero-High
+/// CPU as device 0, then the fleet's two GPUs (K20 and GT650M) cycled
+/// until `devices` are filled.
+fn fleet_multi_platform(devices: usize) -> hetero_sim::multi::MultiPlatform {
+    let high = hetero_high();
+    let low = hetero_low();
+    let accels = (1..devices)
+        .map(|d| {
+            if d % 2 == 1 {
+                hetero_sim::multi::Accelerator {
+                    name: "K20".into(),
+                    gpu: high.gpu.clone(),
+                    link: high.link.clone(),
+                }
+            } else {
+                hetero_sim::multi::Accelerator {
+                    name: "GT650M".into(),
+                    gpu: low.gpu.clone(),
+                    link: low.link.clone(),
+                }
+            }
+        })
+        .collect();
+    hetero_sim::multi::MultiPlatform {
+        name: "fleet multi-device".into(),
+        cpu: high.cpu,
+        accels,
+    }
+}
+
+/// Solves one instance as a `devices`-way cross-device [`MultiPlan`]
+/// column-band split (§VII made concrete): even band boundaries, the
+/// tuned `t_switch` re-legalized **per band** (satellite of the fleet
+/// work — a parameter tuned on the whole grid can be illegal for a
+/// narrow band), functional execution with per-device grids, and the
+/// reassembled table's answer. Problems whose raw pattern needs a
+/// kernel adapter (transposed/mirrored execution) have no direct band
+/// split and return `Err` — callers fall back to a pooled solve.
+///
+/// [`MultiPlan`]: lddp_core::multi::MultiPlan
+pub fn run_solve_multi(
+    problem: &str,
+    n: usize,
+    params: ScheduleParams,
+    devices: usize,
+) -> Result<RunSummary, String> {
+    if devices < 2 {
+        return Err("a cross-device split needs at least 2 devices".into());
+    }
+    let platform = fleet_multi_platform(devices);
+    macro_rules! multi_of {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let _ = $io;
+            let set = kernel.contributing_set();
+            let raw = classify(set).ok_or("empty contributing set")?;
+            if !raw.is_canonical() {
+                return Err(format!(
+                    "problem '{problem}' executes {raw} through an adapter; \
+                     no direct cross-device band split"
+                ));
+            }
+            let dims = kernel.dims();
+            let boundaries = crate::fleet::split_bands(dims.cols, devices);
+            // Per-band re-legalization: the plan carries one t_switch,
+            // so take the strictest of the per-band clamps (each band
+            // checked against its own rows × width dims, not the grid).
+            let t_switch =
+                crate::fleet::per_band_params(params, raw, dims.rows, &boundaries, dims.cols)
+                    .iter()
+                    .map(|p| p.t_switch)
+                    .chain(std::iter::once(params.clamped_for(raw, dims).t_switch))
+                    .min()
+                    .unwrap_or(0);
+            let plan = lddp_core::multi::MultiPlan::new(raw, set, dims, t_switch, boundaries)
+                .map_err(|e| e.to_string())?;
+            let report = hetero_sim::multi::run_multi(&kernel, &plan, &platform, true)
+                .map_err(|e| e.to_string())?;
+            let grid = report.grid.expect("functional multi run returns a grid");
+            Ok(RunSummary {
+                problem: problem.to_string(),
+                instance: format!("{n} x {n} split {}-way on {}", devices, platform.name),
+                patterns: format!("{raw} → {} column bands", devices),
+                params: ScheduleParams::new(t_switch, params.t_share),
+                tier: ExecTier::Scalar,
+                hetero_ms: report.total_s * 1e3,
+                answer: $answer(&kernel, &grid),
+            })
+        }};
+    }
+    with_problem!(problem, n, multi_of)
+}
+
 /// The execution pattern the framework classifies the named problem to
 /// — the pattern half of a [`lddp_core::tuner_cache::TuneKey`].
 pub fn classify_problem(problem: &str, n: usize) -> Result<lddp_core::pattern::Pattern, String> {
@@ -1314,25 +1475,64 @@ pub fn render_compare_json(
 
 /// Runs the batching solve server until `POST /shutdown` drains it,
 /// then returns the final stats snapshot (and writes the serve-run
-/// Chrome trace when `trace_out` is given).
+/// Chrome trace when `trace_out` is given). `fleet` swaps the single
+/// [`FrameworkBackend`](crate::serve_backend::FrameworkBackend) for
+/// the heterogeneous worker-pool fleet
+/// ([`FleetBackend`](crate::fleet_backend::FleetBackend)).
 pub fn run_serve(
     addr: &str,
     config: ServeConfig,
     trace_out: Option<&str>,
     tune_cache: Option<&str>,
+    fleet: bool,
 ) -> Result<String, String> {
     // One registry shared by the server and the backend, so serve-side
-    // and pool/tuner-side series land in the same /metrics exposition.
+    // and pool/tuner/fleet-side series land in the same /metrics
+    // exposition.
     let live = std::sync::Arc::new(lddp_trace::live::LiveRegistry::new());
-    let backend =
-        crate::serve_backend::FrameworkBackend::new().with_live(std::sync::Arc::clone(&live));
+    if fleet {
+        let backend =
+            crate::fleet_backend::FleetBackend::new().with_live(std::sync::Arc::clone(&live));
+        serve_with(
+            addr,
+            config,
+            trace_out,
+            tune_cache,
+            &backend,
+            backend.cache(),
+            live,
+        )
+    } else {
+        let backend =
+            crate::serve_backend::FrameworkBackend::new().with_live(std::sync::Arc::clone(&live));
+        serve_with(
+            addr,
+            config,
+            trace_out,
+            tune_cache,
+            &backend,
+            backend.cache(),
+            live,
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_with(
+    addr: &str,
+    config: ServeConfig,
+    trace_out: Option<&str>,
+    tune_cache: Option<&str>,
+    backend: &dyn SolveBackend,
+    cache: &lddp_core::tuner_cache::TunerCache,
+    live: std::sync::Arc<lddp_trace::live::LiveRegistry>,
+) -> Result<String, String> {
     let mut prewarmed = 0;
     if let Some(path) = tune_cache {
         // A missing file just means a first run — start cold and
         // create the file at drain.
         if std::path::Path::new(path).exists() {
-            prewarmed = backend
-                .cache()
+            prewarmed = cache
                 .load_from(path)
                 .map_err(|e| format!("loading tuner cache {path}: {e}"))?;
         }
@@ -1349,12 +1549,24 @@ pub fn run_serve(
     let workers = config.workers;
     let queue_cap = config.queue_capacity;
     let max_batch = config.max_batch;
-    let mut server = Server::new(config, &backend, sink);
+    let pools = backend.pool_health();
+    let mut server = Server::new(config, backend, sink);
     server.attach_live(live);
     let snapshot = server.run(Some(listener), |client| {
         println!(
             "lddp-serve listening on http://{local} (workers={workers}, queue={queue_cap}, max-batch={max_batch})"
         );
+        if !pools.is_empty() {
+            println!(
+                "fleet: {} pools ({})",
+                pools.len(),
+                pools
+                    .iter()
+                    .map(|p| p.platform.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
         if let Some(path) = tune_cache {
             println!("tune-cache: {path} ({prewarmed} entries pre-warmed)");
         }
@@ -1367,14 +1579,10 @@ pub fn run_serve(
     });
     let mut msg = format!("drained; final stats:\n{}", snapshot.to_json());
     if let Some(path) = tune_cache {
-        backend
-            .cache()
+        cache
             .save_to(path)
             .map_err(|e| format!("writing tuner cache {path}: {e}"))?;
-        msg.push_str(&format!(
-            "\ntune-cache: {} entries -> {path}",
-            backend.cache().len()
-        ));
+        msg.push_str(&format!("\ntune-cache: {} entries -> {path}", cache.len()));
     }
     if let (Some(rec), Some(path)) = (recorder, trace_out) {
         let data = rec.into_data();
@@ -1414,6 +1622,10 @@ pub struct LoadgenOpts {
     pub no_verify: bool,
     /// Attempts per request (1 = no retries).
     pub retries: u32,
+    /// Instance-size mix cycled round-robin (empty = uniform `n`).
+    pub mix: Vec<usize>,
+    /// Drive the in-process server with the fleet backend.
+    pub fleet: bool,
 }
 
 /// Runs one load experiment (HTTP when `addr` is set, against an
@@ -1427,6 +1639,17 @@ pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
     } else {
         Some(run_solve_seq(&opts.problem, opts.n)?)
     };
+    // A size mix carries one oracle per size — each request is checked
+    // against the answer for *its* instance, not the template's.
+    let mut mix: Vec<(usize, Option<String>)> = Vec::with_capacity(opts.mix.len());
+    for &size in &opts.mix {
+        let oracle = if opts.no_verify {
+            None
+        } else {
+            Some(run_solve_seq(&opts.problem, size)?)
+        };
+        mix.push((size, oracle));
+    }
     let retry = if opts.retries > 1 {
         RetryPolicy {
             max_attempts: opts.retries,
@@ -1443,6 +1666,7 @@ pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
         concurrency: opts.concurrency,
         expect_answer,
         retry,
+        mix,
     };
     let report = match &opts.addr {
         Some(addr) => {
@@ -1461,6 +1685,20 @@ pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
                 report.server_metrics_delta = lddp_serve::loadgen::metrics_delta(&before, &after);
             }
             report
+        }
+        None if opts.fleet => {
+            let live = std::sync::Arc::new(lddp_trace::live::LiveRegistry::new());
+            let backend =
+                crate::fleet_backend::FleetBackend::new().with_live(std::sync::Arc::clone(&live));
+            let mut server = Server::new(ServeConfig::default(), &backend, &NullSink);
+            server.attach_live(live);
+            server.run(None, |client| {
+                let before = lddp_trace::live::parse_prometheus(&client.metrics_text());
+                let mut report = lddp_serve::loadgen::run(client, &cfg);
+                let after = lddp_trace::live::parse_prometheus(&client.metrics_text());
+                report.server_metrics_delta = lddp_serve::loadgen::metrics_delta(&before, &after);
+                report
+            })
         }
         None => {
             let live = std::sync::Arc::new(lddp_trace::live::LiveRegistry::new());
@@ -1920,6 +2158,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             watchdog_ms,
             trace,
             tune_cache,
+            fleet,
         } => run_serve(
             &addr,
             ServeConfig {
@@ -1932,6 +2171,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             },
             trace.as_deref(),
             tune_cache.as_deref(),
+            fleet,
         ),
         Command::Loadgen {
             addr,
@@ -1945,6 +2185,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             deadline_ms,
             no_verify,
             retries,
+            mix,
+            fleet,
         } => run_loadgen(&LoadgenOpts {
             addr,
             problem,
@@ -1957,6 +2199,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             deadline_ms,
             no_verify,
             retries,
+            mix,
+            fleet,
         }),
         Command::Bench { n, out } => run_bench_quick(n, out.as_deref()),
         Command::Chaos {
@@ -2228,13 +2472,14 @@ mod tests {
                 watchdog_ms: None,
                 trace: None,
                 tune_cache: None,
+                fleet: false,
             }
         );
         assert_eq!(
             parse(&argv(
                 "serve --addr 0.0.0.0:9000 --workers 2 --queue-cap 32 --max-batch 4 \
                  --deadline-ms 500 --watchdog-ms 250 --trace serve.trace.json \
-                 --tune-cache tc.json"
+                 --tune-cache tc.json --fleet"
             ))
             .unwrap(),
             Command::Serve {
@@ -2246,6 +2491,7 @@ mod tests {
                 watchdog_ms: Some(250),
                 trace: Some("serve.trace.json".into()),
                 tune_cache: Some("tc.json".into()),
+                fleet: true,
             }
         );
         assert!(parse(&argv("serve --tune-cache")).is_err());
@@ -2270,12 +2516,14 @@ mod tests {
                 deadline_ms: None,
                 no_verify: false,
                 retries: 1,
+                mix: vec![],
+                fleet: false,
             }
         );
         let cmd = parse(&argv(
             "loadgen --addr 127.0.0.1:8700 --problem dtw --n 128 --requests 500 \
              --rps 50 --duration 10 --concurrency 8 --deadline-ms 2000 --no-verify \
-             --retries 3",
+             --retries 3 --mix 48,96,1100",
         ))
         .unwrap();
         assert_eq!(
@@ -2292,8 +2540,24 @@ mod tests {
                 deadline_ms: Some(2000),
                 no_verify: true,
                 retries: 3,
+                mix: vec![48, 96, 1100],
+                fleet: false,
             }
         );
+        match parse(&argv("loadgen --problem lcs --fleet")).unwrap() {
+            Command::Loadgen { fleet, addr, .. } => {
+                assert!(fleet);
+                assert!(addr.is_none());
+            }
+            other => panic!("expected Loadgen, got {other:?}"),
+        }
+        assert!(
+            parse(&argv("loadgen --addr 127.0.0.1:8700 --problem lcs --fleet")).is_err(),
+            "--fleet is the in-process server's; a remote server chooses its own backend"
+        );
+        assert!(parse(&argv("loadgen --problem lcs --mix")).is_err());
+        assert!(parse(&argv("loadgen --problem lcs --mix 48,banana")).is_err());
+        assert!(parse(&argv("loadgen --problem lcs --mix 48,1")).is_err());
         assert!(parse(&argv("loadgen")).is_err(), "requires --problem");
         assert!(parse(&argv("loadgen --problem lcs --requests 0")).is_err());
         assert!(
@@ -2452,6 +2716,8 @@ mod tests {
             deadline_ms: None,
             no_verify: false,
             retries: 1,
+            mix: vec![],
+            fleet: false,
         };
         let text = run_loadgen(&opts).unwrap();
         let v = lddp_trace::json::parse(&text).unwrap();

@@ -1,0 +1,474 @@
+//! The fleet [`SolveBackend`]: a heterogeneous worker-pool fleet behind
+//! `lddp-serve`. Every admitted batch is scored with the §IV cost model
+//! once per fleet platform (tuned parameters per platform, amortized
+//! through the [`TunerCache`]) and placed by the
+//! [`Dispatcher`](lddp_fleet::Dispatcher) on the pool with the earliest
+//! predicted completion — backlog plus estimate, not raw speed. Large
+//! grids are additionally routed through a cross-device
+//! [`MultiPlan`](lddp_core::multi::MultiPlan) column-band split, so one
+//! table spans several simulated devices and reassembles
+//! oracle-identically.
+//!
+//! Like [`FrameworkBackend`](crate::serve_backend::FrameworkBackend),
+//! this lives in the umbrella crate because it needs both the problem
+//! registry (`cli`) and the execution engines; `lddp-fleet` itself is
+//! mechanism-only.
+
+use crate::cli;
+use lddp_chaos::FaultInjector;
+use lddp_core::tuner_cache::{TuneKey, TunedConfig, TunerCache};
+use lddp_core::wavefront::Dims;
+use lddp_fleet::{default_fleet, Fleet};
+use lddp_serve::{BackendSolve, BatchPlan, PoolHealth, SolveBackend, SolveRequest};
+use lddp_trace::live::LiveRegistry;
+use lddp_trace::TraceSink;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Grid side at or above which a fleet-placed solve is attempted as a
+/// cross-device MultiPlan band split instead of running whole on the
+/// placed pool. Below this, the split's boundary copies cost more than
+/// the bands save.
+pub const FLEET_MULTI_N: usize = 512;
+
+/// Devices a cross-device split spans: the CPU plus a K20- and a
+/// GT650M-class accelerator (see `cli::fleet_multi_platform`).
+pub const FLEET_SPLIT_DEVICES: usize = 3;
+
+/// [`SolveBackend`] over a [`Fleet`] of per-platform worker pools and a
+/// cost-aware dispatcher. Tuned configurations are cached per
+/// `(pattern, dims bucket, fleet platform)` so each platform's estimate
+/// uses parameters tuned for *that* platform.
+pub struct FleetBackend {
+    cache: TunerCache,
+    fleet: Fleet,
+    injector: Option<Arc<dyn FaultInjector>>,
+    live: Option<Arc<LiveRegistry>>,
+}
+
+impl std::fmt::Debug for FleetBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetBackend")
+            .field("cache", &self.cache)
+            .field("platforms", &self.fleet.metrics().names())
+            .field("injected", &self.injector.is_some())
+            .finish()
+    }
+}
+
+impl Default for FleetBackend {
+    fn default() -> FleetBackend {
+        FleetBackend::new()
+    }
+}
+
+/// The cost-model platform name behind a fleet member: the §IV model
+/// knows "high", "low" and "cpu-only"; the fleet names its members
+/// after the presets.
+fn cost_platform(fleet_name: &str) -> &str {
+    match fleet_name {
+        "hetero-low" => "low",
+        "cpu-only" => "cpu-only",
+        _ => "high",
+    }
+}
+
+impl FleetBackend {
+    /// A backend over [`default_fleet`] with an empty tuner cache.
+    pub fn new() -> FleetBackend {
+        FleetBackend {
+            cache: TunerCache::new(),
+            fleet: Fleet::new(default_fleet()),
+            injector: None,
+            live: None,
+        }
+    }
+
+    /// Attaches a [`LiveRegistry`]: every `lddp_fleet_*` family is
+    /// registered eagerly and tuner-cache misses count under
+    /// `lddp_tuner_sweeps_total`. Pass the server's own registry so
+    /// fleet and serve series share one `/metrics` exposition.
+    pub fn with_live(mut self, live: Arc<LiveRegistry>) -> FleetBackend {
+        self.fleet = self.fleet.with_live(Arc::clone(&live));
+        self.live = Some(live);
+        self
+    }
+
+    /// A backend whose fleet-placed solves consult `injector` — chaos
+    /// campaigns attach a seeded [`lddp_chaos::FaultPlan`] here, so the
+    /// graceful-degradation ladder applies per placed platform. Every
+    /// pool gets at least two workers: the engines' single-threaded
+    /// shortcut bypasses injection entirely, which on a one-core host
+    /// would mute the campaign.
+    pub fn with_injector(injector: Arc<dyn FaultInjector>) -> FleetBackend {
+        let specs = default_fleet()
+            .into_iter()
+            .map(|mut s| {
+                s.threads = s.threads.max(2);
+                s
+            })
+            .collect();
+        FleetBackend {
+            cache: TunerCache::new(),
+            fleet: Fleet::new(specs),
+            injector: Some(injector),
+            live: None,
+        }
+    }
+
+    /// The tuner cache (for persistence, stats and tests).
+    pub fn cache(&self) -> &TunerCache {
+        &self.cache
+    }
+
+    /// The fleet (for stats and tests).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Tuned configuration for `probe` on fleet member `idx`, cached
+    /// per `(pattern, dims bucket, fleet platform name)`. Pinned
+    /// parameters skip tuning (never a cache hit) but still take the
+    /// placed engine's own tier pick.
+    fn tuned_for(&self, probe: &SolveRequest, idx: usize) -> Result<(TunedConfig, bool), String> {
+        let pool = self.fleet.pool(idx);
+        if let Some(params) = probe.params {
+            let tier = cli::select_tier(&probe.problem, probe.n, &pool.engine)?;
+            return Ok((TunedConfig::new(params, tier), false));
+        }
+        let pattern = cli::classify_problem(&probe.problem, probe.n)?;
+        let key = TuneKey::new(pattern, Dims::new(probe.n, probe.n), pool.spec.name.clone());
+        self.cache.get_or_tune(&key, || {
+            if let Some(live) = &self.live {
+                live.counter(
+                    "lddp_tuner_sweeps_total",
+                    &[],
+                    "Full tuning sweeps executed on a tuner-cache miss.",
+                )
+                .inc();
+            }
+            cli::tune_config(
+                &probe.problem,
+                probe.n,
+                cost_platform(&pool.spec.name),
+                &pool.engine,
+            )
+        })
+    }
+
+    /// Executes one placed request: large grids first try the
+    /// cross-device MultiPlan split (skipped under fault injection so
+    /// chaos campaigns exercise the pools' degradation ladder), then
+    /// the placed pool. Returns `(summary, degraded rungs, devices)`.
+    fn solve_on(
+        &self,
+        req: &SolveRequest,
+        idx: usize,
+        params: lddp_core::schedule::ScheduleParams,
+        tier: lddp_core::kernel::ExecTier,
+    ) -> Result<(cli::RunSummary, Vec<String>, usize), String> {
+        if req.n >= FLEET_MULTI_N && self.injector.is_none() {
+            // An Err here (e.g. a pattern the k-way band split cannot
+            // express) is not fatal — the placed pool solves it whole.
+            if let Ok(summary) =
+                cli::run_solve_multi(&req.problem, req.n, params, FLEET_SPLIT_DEVICES)
+            {
+                return Ok((summary, Vec::new(), FLEET_SPLIT_DEVICES));
+            }
+        }
+        let pool = self.fleet.pool(idx);
+        let platform = cost_platform(&pool.spec.name);
+        match &self.injector {
+            Some(inj) => {
+                let (summary, degraded) = cli::run_solve_pooled_chaos(
+                    &req.problem,
+                    req.n,
+                    platform,
+                    params,
+                    Some(tier),
+                    &pool.engine,
+                    inj.as_ref(),
+                )?;
+                Ok((summary, degraded, 1))
+            }
+            None => {
+                let summary = cli::run_solve_pooled(
+                    &req.problem,
+                    req.n,
+                    platform,
+                    params,
+                    Some(tier),
+                    &pool.engine,
+                )?;
+                Ok((summary, Vec::new(), 1))
+            }
+        }
+    }
+}
+
+impl SolveBackend for FleetBackend {
+    fn validate(&self, req: &SolveRequest) -> Result<(), String> {
+        if !cli::PROBLEMS.contains(&req.problem.as_str()) {
+            return Err(format!(
+                "unknown problem \"{}\"; expected one of {}",
+                req.problem,
+                cli::PROBLEMS.join(", ")
+            ));
+        }
+        if req.n < 2 {
+            return Err("\"n\" must be at least 2".to_string());
+        }
+        if req.n > crate::serve_backend::MAX_SERVE_N {
+            return Err(format!(
+                "\"n\" exceeds the serving cap of {}",
+                crate::serve_backend::MAX_SERVE_N
+            ));
+        }
+        // In fleet mode the request's platform is a cost-model hint the
+        // dispatcher overrides; any fleet preset name is admissible.
+        if req.platform != "high" && req.platform != "low" && req.platform != "cpu-only" {
+            return Err(format!(
+                "unknown platform \"{}\"; expected high, low, or cpu-only",
+                req.platform
+            ));
+        }
+        Ok(())
+    }
+
+    fn tune(
+        &self,
+        probe: &SolveRequest,
+        _sink: &dyn TraceSink,
+    ) -> Result<(TunedConfig, bool), String> {
+        // Without a placement decision the fleet's reference platform
+        // is member 0 (hetero-high); `plan` is the real entry point.
+        self.tuned_for(probe, 0)
+    }
+
+    fn plan(&self, probe: &SolveRequest, _sink: &dyn TraceSink) -> Result<BatchPlan, String> {
+        // One tuned configuration and one §IV estimate per platform:
+        // the dispatcher ranks completion times, not platforms.
+        let mut configs = Vec::with_capacity(self.fleet.len());
+        let mut estimates = Vec::with_capacity(self.fleet.len());
+        for idx in 0..self.fleet.len() {
+            let (config, hit) = self.tuned_for(probe, idx)?;
+            let est = cli::estimate_virtual(
+                &probe.problem,
+                probe.n,
+                cost_platform(&self.fleet.pool(idx).spec.name),
+                config.params,
+            )?;
+            configs.push((config, hit));
+            estimates.push(est);
+        }
+        let placement = self.fleet.dispatcher().place(&estimates);
+        let (config, cache_hit) = configs[placement.platform];
+        self.fleet
+            .metrics()
+            .on_place(placement.platform, placement.predicted_s);
+        Ok(BatchPlan {
+            config,
+            cache_hit,
+            placement: Some(self.fleet.pool(placement.platform).spec.name.clone()),
+            predicted_s: Some(placement.predicted_s),
+        })
+    }
+
+    fn solve(
+        &self,
+        req: &SolveRequest,
+        config: TunedConfig,
+        sink: &dyn TraceSink,
+    ) -> Result<BackendSolve, String> {
+        // Direct `solve` (no placement) still goes through the fleet:
+        // synthesize a single-request plan so backlog accounting and
+        // metrics stay consistent.
+        let plan = self.plan(req, sink)?;
+        let plan = BatchPlan { config, ..plan };
+        self.solve_placed(req, &plan, sink)
+    }
+
+    fn solve_placed(
+        &self,
+        req: &SolveRequest,
+        plan: &BatchPlan,
+        _sink: &dyn TraceSink,
+    ) -> Result<BackendSolve, String> {
+        let idx = plan
+            .placement
+            .as_deref()
+            .and_then(|name| self.fleet.index_of(name))
+            .unwrap_or(0);
+        let predicted = plan.predicted_s.unwrap_or(0.0);
+        // Cached (or pinned) parameters may come from a different
+        // instance in the same bucket; re-legalize for this exact size.
+        let pattern = cli::classify_problem(&req.problem, req.n)?;
+        let clamped = plan
+            .config
+            .params
+            .clamped_for(pattern, Dims::new(req.n, req.n));
+
+        // Backlog brackets the solve so concurrent placements see this
+        // pool's in-flight work; metrics record the outcome either way.
+        self.fleet.dispatcher().begin(idx, predicted);
+        self.fleet
+            .metrics()
+            .set_backlog(idx, self.fleet.dispatcher().backlog(idx));
+        let started = Instant::now();
+        let result = self.solve_on(req, idx, clamped, plan.config.tier);
+        let actual = started.elapsed().as_secs_f64();
+        self.fleet.dispatcher().finish(idx, predicted);
+        self.fleet
+            .metrics()
+            .set_backlog(idx, self.fleet.dispatcher().backlog(idx));
+
+        let (summary, degraded, devices) = result?;
+        if devices > 1 {
+            self.fleet.metrics().on_split(devices);
+        }
+        self.fleet
+            .metrics()
+            .on_finish(idx, predicted, actual, !degraded.is_empty());
+        Ok(BackendSolve {
+            answer: summary.answer,
+            virtual_ms: summary.hetero_ms,
+            params: summary.params,
+            tier: summary.tier,
+            degraded,
+            placed_on: Some(self.fleet.pool(idx).spec.name.clone()),
+            devices,
+        })
+    }
+
+    fn pool_health(&self) -> Vec<PoolHealth> {
+        self.fleet
+            .health()
+            .into_iter()
+            .map(|s| PoolHealth {
+                platform: s.platform,
+                ready: s.ready,
+                dead_workers: s.dead_workers,
+            })
+            .collect()
+    }
+
+    fn fleet_stats_json(&self) -> Option<String> {
+        Some(self.fleet.stats_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lddp_chaos::{FaultPlan, FaultPlanConfig};
+    use lddp_trace::NullSink;
+
+    #[test]
+    fn validate_accepts_fleet_platform_hints() {
+        let b = FleetBackend::new();
+        assert!(b.validate(&SolveRequest::new("lcs", 64)).is_ok());
+        let mut low = SolveRequest::new("lcs", 64);
+        low.platform = "cpu-only".into();
+        assert!(b.validate(&low).is_ok());
+        let mut bad = SolveRequest::new("lcs", 64);
+        bad.platform = "tpu".into();
+        assert!(b.validate(&bad).is_err());
+        assert!(b.validate(&SolveRequest::new("nonsense", 64)).is_err());
+        assert!(b.validate(&SolveRequest::new("lcs", 1)).is_err());
+    }
+
+    #[test]
+    fn plan_places_and_records_metrics() {
+        let b = FleetBackend::new();
+        let plan = b.plan(&SolveRequest::new("lcs", 64), &NullSink).unwrap();
+        let name = plan.placement.expect("fleet plans always place");
+        let idx = b.fleet().index_of(&name).unwrap();
+        assert!(plan.predicted_s.unwrap().is_finite());
+        assert_eq!(b.fleet().metrics().placements(idx), 1);
+        // One tuned config per platform entered the cache.
+        assert_eq!(b.cache().len(), b.fleet().len());
+    }
+
+    #[test]
+    fn placement_is_deterministic_over_a_replayed_stream() {
+        let sizes = [48usize, 96, 64, 200, 48, 150, 96, 300, 64, 48];
+        let run = || {
+            let b = FleetBackend::new();
+            sizes
+                .iter()
+                .map(|&n| {
+                    let req = SolveRequest::new("lcs", n);
+                    let plan = b.plan(&req, &NullSink).unwrap();
+                    b.solve_placed(&req, &plan, &NullSink).unwrap().placed_on
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn placed_solves_match_the_sequential_oracle() {
+        let b = FleetBackend::new();
+        for problem in ["lcs", "checkerboard", "dithering"] {
+            let req = SolveRequest::new(problem, 48);
+            let plan = b.plan(&req, &NullSink).unwrap();
+            let served = b.solve_placed(&req, &plan, &NullSink).unwrap();
+            let oracle = cli::run_solve_seq(problem, 48).unwrap();
+            assert_eq!(served.answer, oracle, "{problem}");
+            assert_eq!(served.devices, 1);
+            assert!(served.placed_on.is_some());
+        }
+        // Backlog fully released after the batch drained.
+        for i in 0..b.fleet().len() {
+            assert_eq!(b.fleet().dispatcher().backlog(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn large_grids_split_across_devices_and_reassemble() {
+        let b = FleetBackend::new();
+        let req = SolveRequest::new("lcs", FLEET_MULTI_N);
+        let plan = b.plan(&req, &NullSink).unwrap();
+        let served = b.solve_placed(&req, &plan, &NullSink).unwrap();
+        assert_eq!(served.devices, FLEET_SPLIT_DEVICES);
+        assert_eq!(b.fleet().metrics().splits(), 1);
+        let oracle = cli::run_solve_seq("lcs", FLEET_MULTI_N).unwrap();
+        assert_eq!(served.answer, oracle, "cross-device reassembly");
+    }
+
+    #[test]
+    fn injected_backend_degrades_on_the_placed_pool() {
+        let plan_cfg = FaultPlanConfig {
+            device_fault_prob: 1.0,
+            ..FaultPlanConfig::none()
+        };
+        let injector = Arc::new(FaultPlan::new(7, plan_cfg));
+        let b = FleetBackend::with_injector(injector);
+        let req = SolveRequest::new("lcs", 48);
+        let plan = b.plan(&req, &NullSink).unwrap();
+        let served = b.solve_placed(&req, &plan, &NullSink).unwrap();
+        assert!(
+            !served.degraded.is_empty(),
+            "certain device fault must take a degradation rung"
+        );
+        let idx = b
+            .fleet()
+            .index_of(served.placed_on.as_deref().unwrap())
+            .unwrap();
+        assert_eq!(b.fleet().metrics().degraded(idx), 1);
+        let oracle = cli::run_solve_seq("lcs", 48).unwrap();
+        assert_eq!(served.answer, oracle, "degraded solve stays correct");
+    }
+
+    #[test]
+    fn health_and_stats_surface_every_platform() {
+        let b = FleetBackend::new();
+        let health = b.pool_health();
+        assert_eq!(health.len(), 3);
+        assert!(health.iter().all(|h| h.ready));
+        let stats = b.fleet_stats_json().unwrap();
+        for name in ["hetero-high", "hetero-low", "cpu-only"] {
+            assert!(stats.contains(name), "{stats}");
+        }
+    }
+}

@@ -25,19 +25,21 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod fleet_backend;
 pub mod serve_backend;
 pub mod workloads;
 
 pub use hetero_sim;
 pub use lddp_chaos as chaos;
 pub use lddp_core as core;
+pub use lddp_fleet as fleet;
 pub use lddp_parallel as parallel;
 pub use lddp_problems as problems;
 pub use lddp_trace as trace;
 
 /// Platform presets re-exported for convenience.
 pub mod platforms {
-    pub use hetero_sim::platform::{hetero_high, hetero_low, xeon_phi_like, Platform};
+    pub use hetero_sim::platform::{cpu_only, hetero_high, hetero_low, xeon_phi_like, Platform};
 }
 
 use hetero_sim::exec::{

@@ -201,6 +201,8 @@ impl SolveBackend for FrameworkBackend {
             params: summary.params,
             tier: summary.tier,
             degraded,
+            placed_on: None,
+            devices: 1,
         })
     }
 }
