@@ -79,6 +79,57 @@ impl fmt::Display for ExecTier {
     }
 }
 
+/// How a solve materializes the DP table — the memory axis orthogonal
+/// to [`ExecTier`].
+///
+/// | mode      | working set                | output                     |
+/// |-----------|----------------------------|----------------------------|
+/// | `Full`    | the whole `O(n·m)` table   | every cell (traceback-ready)|
+/// | `Rolling` | the live wavefronts, `O(n+m)` | scores / captured bands |
+///
+/// `Rolling` is score-only at the engine level; tracebacks in rolling
+/// mode go through the Hirschberg-style divide and conquer built on top
+/// of it (`lddp-problems::hirschberg`). The tuner picks the mode from a
+/// memory model (full-table bytes vs the platform budget), and the
+/// serving path accepts it as a per-request override.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryMode {
+    /// Materialize the full table (traceback available from the grid).
+    #[default]
+    Full,
+    /// Keep only the live wavefronts; answers come from captured
+    /// corners/rows/maxima (see `rolling`).
+    Rolling,
+}
+
+impl MemoryMode {
+    /// Every mode, largest working set first.
+    pub const ALL: [MemoryMode; 2] = [MemoryMode::Full, MemoryMode::Rolling];
+
+    /// Stable lowercase name (trace args, JSON, tuner cache).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MemoryMode::Full => "full",
+            MemoryMode::Rolling => "rolling",
+        }
+    }
+
+    /// Parses [`MemoryMode::as_str`] output (case-insensitive).
+    pub fn parse(s: &str) -> Option<MemoryMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" => Some(MemoryMode::Full),
+            "rolling" => Some(MemoryMode::Rolling),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MemoryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// True when the host has a vector unit the SIMD tier can dispatch to
 /// (AVX2 on x86_64, NEON on aarch64). Checked at runtime, once per call
 /// site — the binary stays portable across feature levels.

@@ -35,6 +35,7 @@ pub mod grid;
 pub mod kernel;
 pub mod multi;
 pub mod pattern;
+pub mod rolling;
 pub mod schedule;
 pub mod seq;
 pub mod tuner;

@@ -24,7 +24,7 @@
 //! process restarts (the serve binary pre-warms from it on start and
 //! flushes it on graceful drain).
 
-use crate::kernel::ExecTier;
+use crate::kernel::{ExecTier, MemoryMode};
 use crate::pattern::Pattern;
 use crate::schedule::ScheduleParams;
 use crate::wavefront::Dims;
@@ -77,12 +77,27 @@ pub struct TunedConfig {
     pub params: ScheduleParams,
     /// The execution tier to run the bucket's solves on.
     pub tier: ExecTier,
+    /// How the bucket's solves materialize the table. `Rolling` is
+    /// chosen when the memory model says the full table busts the
+    /// platform budget (and the problem supports wave-band execution).
+    pub memory_mode: MemoryMode,
 }
 
 impl TunedConfig {
-    /// Convenience constructor.
+    /// Convenience constructor (full-table mode).
     pub const fn new(params: ScheduleParams, tier: ExecTier) -> TunedConfig {
-        TunedConfig { params, tier }
+        TunedConfig {
+            params,
+            tier,
+            memory_mode: MemoryMode::Full,
+        }
+    }
+
+    /// Sets the memory mode.
+    #[must_use]
+    pub const fn with_memory_mode(mut self, mode: MemoryMode) -> TunedConfig {
+        self.memory_mode = mode;
+        self
     }
 }
 
@@ -172,7 +187,8 @@ impl TunerCache {
                 format!(
                     concat!(
                         "{{\"pattern\":\"{}\",\"rows_bucket\":{},\"cols_bucket\":{},",
-                        "\"platform\":\"{}\",\"t_switch\":{},\"t_share\":{},\"tier\":\"{}\"}}"
+                        "\"platform\":\"{}\",\"t_switch\":{},\"t_share\":{},\"tier\":\"{}\",",
+                        "\"memory_mode\":\"{}\"}}"
                     ),
                     escape(&format!("{:?}", k.pattern)),
                     k.rows_bucket,
@@ -181,6 +197,7 @@ impl TunerCache {
                     c.params.t_switch,
                     c.params.t_share,
                     c.tier.as_str(),
+                    c.memory_mode.as_str(),
                 )
             })
             .collect();
@@ -243,9 +260,17 @@ fn decode_entry(e: &Json) -> Option<(TuneKey, TunedConfig)> {
         cols_bucket: field("cols_bucket")?,
         platform: e.get("platform")?.as_str()?.to_string(),
     };
+    // `memory_mode` is tolerated absent (caches written before the
+    // rolling tier default to full-table mode), but a present,
+    // unrecognized value rejects the entry like any other bad field.
+    let memory_mode = match e.get("memory_mode") {
+        None => MemoryMode::Full,
+        Some(v) => MemoryMode::parse(v.as_str()?)?,
+    };
     let config = TunedConfig {
         params: ScheduleParams::new(field("t_switch")?, field("t_share")?),
         tier: ExecTier::parse(e.get("tier")?.as_str()?)?,
+        memory_mode,
     };
     Some((key, config))
 }
@@ -388,6 +413,40 @@ mod tests {
             cache.get(&TuneKey::new(Pattern::Horizontal, Dims::new(16, 8), "p")),
             Some(cfg(1, 2, ExecTier::BitParallel))
         );
+    }
+
+    #[test]
+    fn memory_mode_round_trips_and_defaults_to_full() {
+        let cache = TunerCache::new();
+        let key = TuneKey::new(Pattern::AntiDiagonal, Dims::new(8192, 8192), "low");
+        cache.insert(
+            key.clone(),
+            cfg(4, 16, ExecTier::Simd).with_memory_mode(MemoryMode::Rolling),
+        );
+        let text = cache.save_json();
+        assert!(text.contains("\"memory_mode\":\"rolling\""), "{text}");
+        let restored = TunerCache::new();
+        assert_eq!(restored.load_json(&text), Ok(1));
+        assert_eq!(restored.get(&key).unwrap().memory_mode, MemoryMode::Rolling);
+        assert_eq!(restored.save_json(), text);
+        // A cache written before the rolling tier has no memory_mode
+        // field: the entry still loads, defaulting to full-table mode.
+        // A present-but-unknown value skips the entry like other junk.
+        let legacy = concat!(
+            "{\"version\":1,\"entries\":[",
+            "{\"pattern\":\"Horizontal\",\"rows_bucket\":8,\"cols_bucket\":8,",
+            "\"platform\":\"p\",\"t_switch\":0,\"t_share\":4,\"tier\":\"bulk\"},",
+            "{\"pattern\":\"Horizontal\",\"rows_bucket\":16,\"cols_bucket\":8,",
+            "\"platform\":\"p\",\"t_switch\":0,\"t_share\":4,\"tier\":\"bulk\",",
+            "\"memory_mode\":\"paged\"}",
+            "]}"
+        );
+        let tolerant = TunerCache::new();
+        assert_eq!(tolerant.load_json(legacy), Ok(1));
+        let loaded = tolerant
+            .get(&TuneKey::new(Pattern::Horizontal, Dims::new(8, 8), "p"))
+            .unwrap();
+        assert_eq!(loaded.memory_mode, MemoryMode::Full);
     }
 
     #[test]

@@ -64,6 +64,7 @@ use lddp_core::cell::{ContributingSet, RepCell};
 use lddp_core::grid::{Grid, Layout, LayoutKind};
 use lddp_core::kernel::{simd_available, ExecTier, Kernel, Neighbors, SimdWaveKernel, WaveKernel};
 use lddp_core::pattern::{classify, Pattern};
+use lddp_core::rolling;
 use lddp_core::schedule::compatible;
 use lddp_core::tuner::{pick_tier, SweepPoint, TierPoint};
 use lddp_core::wavefront::{self, Dims};
@@ -477,6 +478,13 @@ impl ParallelEngine {
         self.pool.get().map_or(0, |p| p.dead_workers())
     }
 
+    /// True once a solve has spun up the worker pool. Single-worker
+    /// plans compute inline and must leave this false — the regression
+    /// guard for the "pool handoff at one thread" overhead class.
+    pub fn pool_started(&self) -> bool {
+        self.pool.get().is_some()
+    }
+
     /// Respawns any dead workers in the shared pool (no-op while the
     /// pool is healthy or not yet created). Returns how many workers
     /// were respawned.
@@ -679,6 +687,345 @@ impl ParallelEngine {
         }
     }
 
+    /// Solves in rolling (wave-band) memory mode: no grid is
+    /// materialized, only a ring of three band buffers
+    /// (`O(rows + cols)` bytes) plus the captured answers — the
+    /// bottom-right corner and, when `best_of` is given, the arg-best
+    /// cell under that score (the Smith–Waterman endpoint). Interior
+    /// runs execute on the same resolved tier as a full-table solve;
+    /// workers split each wave's interior run exactly as they split
+    /// full-table waves. Non-anti-diagonal kernels are rejected with
+    /// [`Error::PlanMismatch`].
+    pub fn solve_rolling<K: Kernel>(
+        &self,
+        kernel: &K,
+        best_of: Option<fn(&K::Cell) -> i64>,
+    ) -> Result<RollingSolve<K::Cell>> {
+        self.solve_rolling_inner(kernel, best_of, None)
+    }
+
+    /// [`solve_rolling`](ParallelEngine::solve_rolling) with a
+    /// [`FaultInjector`] consulted per (worker, wave), mirroring
+    /// [`solve_injected`](ParallelEngine::solve_injected).
+    pub fn solve_rolling_injected<K: Kernel>(
+        &self,
+        kernel: &K,
+        best_of: Option<fn(&K::Cell) -> i64>,
+        injector: &dyn FaultInjector,
+    ) -> Result<RollingSolve<K::Cell>> {
+        self.solve_rolling_inner(kernel, best_of, Some(injector))
+    }
+
+    /// Rolling-mode counterpart of
+    /// [`solve_degrading`](ParallelEngine::solve_degrading): full
+    /// configuration, then scalar tier, then a panic-isolated
+    /// sequential band walk no injector touches.
+    pub fn solve_rolling_degrading<K: Kernel>(
+        &self,
+        kernel: &K,
+        best_of: Option<fn(&K::Cell) -> i64>,
+        injector: &dyn FaultInjector,
+    ) -> Result<(RollingSolve<K::Cell>, Vec<DegradeStep>)> {
+        let mut steps = Vec::new();
+        match self.solve_rolling_inner(kernel, best_of, Some(injector)) {
+            Ok(r) => return Ok((r, steps)),
+            Err(Error::ExecutionPanicked { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        if self.resolve_exec(kernel, Pattern::AntiDiagonal).0 != ExecTier::Scalar {
+            steps.push(DegradeStep::BulkToScalar);
+            let scalar = self.clone().with_bulk_enabled(false);
+            match scalar.solve_rolling_inner(kernel, best_of, Some(injector)) {
+                Ok(r) => return Ok((r, steps)),
+                Err(Error::ExecutionPanicked { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        steps.push(DegradeStep::ParallelToSequential);
+        match catch_unwind(AssertUnwindSafe(|| {
+            Self::rolling_sequential(kernel, Some(ExecTier::Scalar), best_of)
+        })) {
+            Ok(Ok(r)) => Ok((r, steps)),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(Error::ExecutionPanicked {
+                detail: "sequential rolling fallback panicked".into(),
+            }),
+        }
+    }
+
+    /// One inline band walk on the calling thread, capturing corner
+    /// and arg-best through the core visitor.
+    fn rolling_sequential<K: Kernel>(
+        kernel: &K,
+        tier: Option<ExecTier>,
+        best_of: Option<fn(&K::Cell) -> i64>,
+    ) -> Result<RollingSolve<K::Cell>> {
+        let dims = kernel.dims();
+        let last = (dims.rows + dims.cols).saturating_sub(2);
+        let mut corner = None;
+        let mut best: Option<(i64, usize, usize, K::Cell)> = None;
+        let stats = rolling::solve_waves(kernel, tier, |w, j_lo, cells| {
+            if w == last {
+                corner = cells.last().copied();
+            }
+            if let Some(score) = best_of {
+                for (p, c) in cells.iter().enumerate() {
+                    let s = score(c);
+                    if best.is_none_or(|(bs, ..)| s > bs) {
+                        best = Some((s, w - (j_lo + p), j_lo + p, *c));
+                    }
+                }
+            }
+        })?;
+        Ok(RollingSolve {
+            corner,
+            best: best.map(|(_, i, j, c)| (i, j, c)),
+            tier: stats.tier,
+            waves: stats.waves,
+            peak_bytes: stats.peak_bytes,
+        })
+    }
+
+    /// Updates the live families a rolling solve contributes to (the
+    /// pool counters keep their full-table semantics; rolling adds the
+    /// working-set gauge with its own memory-mode label).
+    fn record_rolling_live(&self, tier: ExecTier, waves: usize, cells: usize, peak_bytes: usize) {
+        if let Some(live) = self.live.as_deref() {
+            live.gauge(
+                "lddp_engine_table_bytes",
+                &[("memory_mode", "rolling")],
+                "Peak DP working-set bytes of the most recent solve, by memory mode.",
+            )
+            .set(peak_bytes as f64);
+            live.counter(
+                "lddp_pool_solves_total",
+                &[("tier", tier.as_str())],
+                "Pooled solves completed, by execution tier.",
+            )
+            .inc();
+            live.counter("lddp_pool_waves_total", &[], "Waves executed by the pool.")
+                .add(waves as u64);
+            live.counter(
+                "lddp_pool_cells_total",
+                &[],
+                "Grid cells computed by the pool.",
+            )
+            .add(cells as u64);
+        }
+    }
+
+    fn solve_rolling_inner<K: Kernel>(
+        &self,
+        kernel: &K,
+        best_of: Option<fn(&K::Cell) -> i64>,
+        injector: Option<&dyn FaultInjector>,
+    ) -> Result<RollingSolve<K::Cell>> {
+        let set = kernel.contributing_set();
+        if set.is_empty() {
+            return Err(Error::EmptyContributingSet);
+        }
+        if !rolling::supports_rolling(kernel) {
+            return Err(Error::PlanMismatch {
+                expected: "anti-diagonal contributing set (rolling wave-band mode)".into(),
+                found: format!("{set}"),
+            });
+        }
+        let dims = kernel.dims();
+        let (tier, _) = self.resolve_exec(kernel, Pattern::AntiDiagonal);
+        if dims.is_empty() {
+            return Ok(RollingSolve {
+                corner: None,
+                best: None,
+                tier,
+                waves: 0,
+                peak_bytes: 0,
+            });
+        }
+        let (rows, cols) = (dims.rows, dims.cols);
+        let band = rows.min(cols);
+        let threads = self.threads.min(band).max(1);
+
+        // One worker: compute inline — the pool cannot win (same
+        // reasoning as the full-table single-thread bypasses). Faulted
+        // runs stay on the pool for panic isolation.
+        if threads == 1 && injector.is_none() {
+            let r = Self::rolling_sequential(kernel, Some(tier), best_of)?;
+            self.record_rolling_live(r.tier, r.waves, dims.len(), r.peak_bytes);
+            return Ok(r);
+        }
+
+        let num_waves = rows + cols - 1;
+        let mut b0 = vec![K::Cell::default(); band];
+        let mut b1 = vec![K::Cell::default(); band];
+        let mut b2 = vec![K::Cell::default(); band];
+        let ring = [
+            SharedCells::new(&mut b0[..]),
+            SharedCells::new(&mut b1[..]),
+            SharedCells::new(&mut b2[..]),
+        ];
+        let has_w = set.contains(RepCell::W);
+        let has_nw = set.contains(RepCell::Nw);
+        let has_n = set.contains(RepCell::N);
+        let wave_body = kernel.wave_kernel();
+        let simd_body = kernel.simd_kernel();
+        let lanes = if tier == ExecTier::Simd {
+            simd_body.map_or(1, |s| s.lanes())
+        } else {
+            1
+        };
+        type Captured<C> = (Option<C>, Option<(i64, usize, usize, C)>);
+        let captured: Mutex<Captured<K::Cell>> = Mutex::new((None, None));
+        let live = self.live.as_deref();
+        let pool = self.pool();
+        let chaos_injected = |site: &str| {
+            if let Some(live) = live {
+                live.counter(
+                    "lddp_chaos_injected_total",
+                    &[("site", site)],
+                    "Faults injected by the attached chaos plan, by site.",
+                )
+                .inc();
+            }
+        };
+        let inject = |t: usize, w: usize| {
+            if let Some(inj) = injector {
+                if tier != ExecTier::Scalar && inj.bulk_panic(w) {
+                    chaos_injected("bulk_panic");
+                    panic!("injected bulk fault at wave {w}");
+                }
+                if inj.worker_panic(t, w) {
+                    chaos_injected("worker_panic");
+                    panic!("injected worker panic: worker {t} wave {w}");
+                }
+            }
+        };
+
+        let r = pool.try_run(threads, &|t| {
+            for w in 0..num_waves {
+                inject(t, w);
+                let j_lo = w.saturating_sub(rows - 1);
+                let j_hi = (cols - 1).min(w);
+                let len = j_hi - j_lo + 1;
+                let j_lo1 = (w.saturating_sub(1)).saturating_sub(rows - 1);
+                let j_lo2 = (w.saturating_sub(2)).saturating_sub(rows - 1);
+                let cur = &ring[w % 3];
+                let prev1 = &ring[(w + 2) % 3];
+                let prev2 = &ring[(w + 1) % 3];
+                // SAFETY (all ring accesses in this wave): wave `w`
+                // writes only slot `w % 3`; its dependencies live in
+                // waves `w-1`/`w-2`, i.e. the other two slots, sealed by
+                // the barriers of those waves. Writes within the wave
+                // are pairwise disjoint across workers (chunks plus the
+                // worker-0-only border cells).
+                let scalar_cell = |j: usize| unsafe {
+                    let i = w - j;
+                    let mut nb = Neighbors::empty();
+                    if j > 0 {
+                        if has_w {
+                            nb.w = Some(prev1.read(j - 1 - j_lo1));
+                        }
+                        if has_nw && i > 0 {
+                            nb.nw = Some(prev2.read(j - 1 - j_lo2));
+                        }
+                    }
+                    if has_n && i > 0 {
+                        nb.n = Some(prev1.read(j - j_lo1));
+                    }
+                    cur.write(j - j_lo, kernel.compute(i, j, &nb));
+                };
+                if tier == ExecTier::Scalar {
+                    for p in chunk_aligned(t, threads, len, 1) {
+                        scalar_cell(j_lo + p);
+                    }
+                } else {
+                    // Interior columns (every dependency in bounds)
+                    // form one contiguous run; at most the first and
+                    // last wave cells are border cells.
+                    let ji_lo = j_lo.max(1);
+                    let ji_hi = j_hi.min(w.saturating_sub(1));
+                    if t == 0 {
+                        for j in j_lo..ji_lo {
+                            scalar_cell(j);
+                        }
+                        for j in (ji_hi + 1)..=j_hi {
+                            scalar_cell(j);
+                        }
+                    }
+                    let ilen = (ji_hi + 1).saturating_sub(ji_lo);
+                    let my = chunk_aligned(t, threads, ilen, lanes);
+                    if !my.is_empty() {
+                        let count = my.len();
+                        let js = ji_lo + my.start;
+                        let i0 = w - js;
+                        // SAFETY: `out` is this worker's exclusive range
+                        // of the current slot; dependency slices read
+                        // slots sealed by earlier barriers.
+                        unsafe {
+                            let out = cur.slice_mut(js - j_lo, count);
+                            let empty: &[K::Cell] = &[];
+                            let w_run = if has_w {
+                                prev1.slice(js - 1 - j_lo1, count)
+                            } else {
+                                empty
+                            };
+                            let n_run = if has_n {
+                                prev1.slice(js - j_lo1, count)
+                            } else {
+                                empty
+                            };
+                            let nw_run = if has_nw {
+                                prev2.slice(js - 1 - j_lo2, count)
+                            } else {
+                                empty
+                            };
+                            if tier == ExecTier::Simd {
+                                simd_body
+                                    .expect("Simd tier implies simd_kernel")
+                                    .compute_run_simd(i0, js, out, w_run, nw_run, n_run, empty);
+                            } else {
+                                wave_body
+                                    .expect("Bulk tier implies wave_kernel")
+                                    .compute_run(i0, js, out, w_run, nw_run, n_run, empty);
+                            }
+                        }
+                    }
+                }
+                pool.barrier().wait();
+                if t == 0 {
+                    // SAFETY: wave `w` is sealed by the barrier above.
+                    // Slot `w % 3` is next written by wave `w + 3`,
+                    // which no worker reaches before worker 0 passes
+                    // the `w + 1` and `w + 2` barriers — i.e. after
+                    // this capture completes.
+                    let cells = unsafe { cur.slice(0, len) };
+                    let mut cap = captured.lock().unwrap_or_else(|e| e.into_inner());
+                    if w == num_waves - 1 {
+                        cap.0 = cells.last().copied();
+                    }
+                    if let Some(score) = best_of {
+                        for (p, c) in cells.iter().enumerate() {
+                            let s = score(c);
+                            if cap.1.is_none_or(|(bs, ..)| s > bs) {
+                                cap.1 = Some((s, w - (j_lo + p), j_lo + p, *c));
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        Self::map_pool_result(pool, r)?;
+        let (corner, best) = captured.into_inner().unwrap_or_else(|e| e.into_inner());
+        let peak_bytes = 3 * band * std::mem::size_of::<K::Cell>();
+        self.record_rolling_live(tier, num_waves, dims.len(), peak_bytes);
+        Ok(RollingSolve {
+            corner,
+            best: best.map(|(_, i, j, c)| (i, j, c)),
+            tier,
+            waves: num_waves,
+            peak_bytes,
+        })
+    }
+
     /// Solves with at most `active` workers drawn from the engine's
     /// pool (clamped to `1..=threads()`). This is what a worker-count
     /// sweep should call: every candidate reuses the same long-lived
@@ -783,6 +1130,14 @@ impl ParallelEngine {
         let num_waves = pattern.num_waves(dims.rows, dims.cols);
         let threads = active.min(self.threads).min(dims.len()).max(1);
         let live = self.live.as_deref();
+        if let Some(live) = live {
+            live.gauge(
+                "lddp_engine_table_bytes",
+                &[("memory_mode", "full")],
+                "Peak DP working-set bytes of the most recent solve, by memory mode.",
+            )
+            .set((dims.len() * std::mem::size_of::<K::Cell>()) as f64);
+        }
         // A live registry forces the instrumented path too: it needs
         // the same per-wave timestamps the sink does.
         let traced = sink.enabled() || live.is_some();
@@ -1118,6 +1473,27 @@ impl Default for ParallelEngine {
     fn default() -> Self {
         ParallelEngine::host()
     }
+}
+
+/// Result of a rolling (wave-band) solve. There is no grid — that is
+/// the point: only the answers the caller asked the band walk to
+/// capture, plus what the solve used.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RollingSolve<C> {
+    /// Bottom-right cell (`None` only for empty tables) — the answer
+    /// cell for corner-answer problems.
+    pub corner: Option<C>,
+    /// `(i, j, cell)` of the arg-best cell under the requested score
+    /// (ties to the earliest cell in wave order), when one was
+    /// requested.
+    pub best: Option<(usize, usize, C)>,
+    /// Tier the interior runs executed on.
+    pub tier: ExecTier,
+    /// Waves walked.
+    pub waves: usize,
+    /// Peak working-set bytes: the three ring bands. This is what the
+    /// `lddp_engine_table_bytes{memory_mode="rolling"}` gauge reports.
+    pub peak_bytes: usize,
 }
 
 #[cfg(test)]
@@ -1969,5 +2345,165 @@ mod tests {
             .unwrap();
         assert_eq!(grid.to_row_major(), oracle);
         assert!(steps.is_empty());
+    }
+
+    /// Score used by rolling arg-best tests (and analogous to the
+    /// Smith–Waterman endpoint scan).
+    fn cell_score(c: &u64) -> i64 {
+        (*c % 100_003) as i64
+    }
+
+    #[test]
+    fn rolling_matches_full_table_for_all_tiers_and_threads() {
+        for (rows, cols) in [
+            (1, 1),
+            (1, 17),
+            (17, 1),
+            (2, 2),
+            (13, 29),
+            (29, 13),
+            (31, 31),
+        ] {
+            let kernel = SimdMix(BulkMix {
+                dims: Dims::new(rows, cols),
+                set: anti_diag_set(),
+            });
+            let grid = solve_row_major(&kernel).unwrap();
+            let want_corner = grid.get(rows - 1, cols - 1);
+            let mut want_best = i64::MIN;
+            for i in 0..rows {
+                for j in 0..cols {
+                    want_best = want_best.max(cell_score(&grid.get(i, j)));
+                }
+            }
+            for threads in [1, 2, 3, 5] {
+                for tier in [
+                    None,
+                    Some(ExecTier::Scalar),
+                    Some(ExecTier::Bulk),
+                    Some(ExecTier::Simd),
+                ] {
+                    let engine = ParallelEngine::new(threads).with_tier(tier);
+                    let r = engine.solve_rolling(&kernel, Some(cell_score)).unwrap();
+                    let label = format!("{rows}x{cols} threads={threads} tier={tier:?}");
+                    assert_eq!(r.corner, Some(want_corner), "corner {label}");
+                    let (bi, bj, bc) = r.best.expect("best captured");
+                    assert_eq!(bc, grid.get(bi, bj), "best cell mismatch {label}");
+                    assert_eq!(cell_score(&bc), want_best, "best score {label}");
+                    assert_eq!(r.waves, rows + cols - 1, "{label}");
+                    assert_eq!(r.peak_bytes, 3 * rows.min(cols) * 8, "{label}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_rejects_non_antidiagonal_sets() {
+        let kernel = mix_kernel(Dims::new(8, 8), ContributingSet::new(&[RepCell::W]));
+        let engine = ParallelEngine::new(2);
+        assert!(matches!(
+            engine.solve_rolling(&kernel, None),
+            Err(Error::PlanMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rolling_degrades_under_injection_and_stays_exact() {
+        let kernel = SimdMix(BulkMix {
+            dims: Dims::new(25, 21),
+            set: anti_diag_set(),
+        });
+        let grid = solve_row_major(&kernel).unwrap();
+        let want = grid.get(24, 20);
+
+        // A bulk-path fault degrades to the scalar tier.
+        let engine = ParallelEngine::new(3);
+        let inj = TestInjector {
+            panic_worker: None,
+            bulk_fail_wave: Some(3),
+        };
+        let (r, steps) = engine
+            .solve_rolling_degrading(&kernel, Some(cell_score), &inj)
+            .unwrap();
+        assert_eq!(r.corner, Some(want));
+        assert!(r.best.is_some());
+        assert_eq!(steps, vec![DegradeStep::BulkToScalar]);
+
+        // Persistent worker panics fall back to the sequential walk.
+        struct AlwaysPanic;
+        impl lddp_chaos::FaultInjector for AlwaysPanic {
+            fn active(&self) -> bool {
+                true
+            }
+            fn worker_panic(&self, _worker: usize, wave: usize) -> bool {
+                wave == 0
+            }
+        }
+        let (r, steps) = engine
+            .solve_rolling_degrading(&kernel, None, &AlwaysPanic)
+            .unwrap();
+        assert_eq!(r.corner, Some(want));
+        assert_eq!(
+            steps,
+            vec![DegradeStep::BulkToScalar, DegradeStep::ParallelToSequential]
+        );
+        // A plain injected rolling solve surfaces the panic as an error
+        // and leaves the engine healthy.
+        assert!(matches!(
+            engine.solve_rolling_injected(&kernel, None, &AlwaysPanic),
+            Err(Error::ExecutionPanicked { .. })
+        ));
+        assert_eq!(engine.pool_dead_workers(), 0);
+        assert_eq!(
+            engine.solve_rolling(&kernel, None).unwrap().corner,
+            Some(want)
+        );
+    }
+
+    #[test]
+    fn single_worker_solves_never_start_the_pool() {
+        let kernel = BulkMix {
+            dims: Dims::new(24, 20),
+            set: anti_diag_set(),
+        };
+        let oracle = solve_row_major(&kernel).unwrap().to_row_major();
+        // threads = 1 engine: grid and rolling solves both stay inline.
+        let engine = ParallelEngine::new(1);
+        assert_eq!(engine.solve(&kernel).unwrap().to_row_major(), oracle);
+        engine.solve_rolling(&kernel, None).unwrap();
+        assert!(!engine.pool_started(), "1-worker plan spun up the pool");
+        // A wider engine clamped to one active worker also stays inline…
+        let wide = ParallelEngine::new(4);
+        wide.solve_with_threads(&kernel, 1).unwrap();
+        assert!(!wide.pool_started(), "active=1 plan spun up the pool");
+        // …and only a genuinely multi-worker plan pays for the pool.
+        wide.solve(&kernel).unwrap();
+        assert!(wide.pool_started());
+    }
+
+    #[test]
+    fn live_registry_records_table_bytes_by_memory_mode() {
+        let kernel = BulkMix {
+            dims: Dims::new(40, 30),
+            set: anti_diag_set(),
+        };
+        let reg = Arc::new(lddp_trace::live::LiveRegistry::new());
+        let engine = ParallelEngine::new(2).with_live(Arc::clone(&reg));
+        engine.solve(&kernel).unwrap();
+        engine.solve_rolling(&kernel, None).unwrap();
+        let text = reg.to_prometheus();
+        let series = lddp_trace::live::parse_prometheus(&text);
+        let get = |name: &str| {
+            series
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing series {name} in:\n{text}"))
+        };
+        let full = get("lddp_engine_table_bytes{memory_mode=\"full\"}");
+        let rolling_bytes = get("lddp_engine_table_bytes{memory_mode=\"rolling\"}");
+        assert_eq!(full, (40 * 30 * 8) as f64);
+        assert_eq!(rolling_bytes, (3 * 30 * 8) as f64);
+        assert!(rolling_bytes < full);
     }
 }

@@ -1,10 +1,22 @@
-//! Hirschberg's linear-space LCS recovery — the classic
-//! divide-and-conquer companion to the bit-parallel length algorithm:
-//! reconstructs an actual longest common subsequence in `O(min(m, n))`
-//! space and `O(m·n)` time, where the naive traceback needs the full
-//! quadratic table. Rounds out the "problem-specific excellent
-//! solutions" the paper's introduction contrasts the generic framework
-//! against.
+//! Hirschberg-style linear-space traceback for every wave problem.
+//!
+//! The classic divide-and-conquer recovers a full alignment/path in
+//! `O(n + m)` space and `O(n·m)` time by splitting the first sequence
+//! at its midpoint, running a *score-only* forward pass over the top
+//! half and a backward pass over the reversed bottom half, and
+//! recursing on the two sub-rectangles that meet at the best crossing
+//! column. The naive traceback needs the full quadratic table.
+//!
+//! This module provides that recovery for all five wave problems. The
+//! original two-row LCS implementation ([`lcs_string`]) is kept as a
+//! standalone reference; the kernel-backed variants
+//! ([`lcs_string_rolling`], [`levenshtein_ops`], [`nw_alignment`],
+//! [`sw_alignment`], [`dtw_path`]) run their score-only passes through
+//! [`lddp_core::rolling`], so the forward/backward sweeps reuse the
+//! engine's bulk/SIMD wave bodies and honor an [`ExecTier`] request.
+//! Smith–Waterman composes Huang–Miller endpoint discovery with a
+//! Myers–Miller affine-gap global glue; DTW splices warp-path halves
+//! with a shared-cell correction at the crossing row.
 
 /// Last row of the LCS length table for `a` vs `b` (forward direction),
 /// in `O(|b|)` space.
@@ -65,6 +77,441 @@ pub fn is_subsequence(sub: &[u8], s: &[u8]) -> bool {
     sub.iter().all(|c| it.any(|x| x == c))
 }
 
+use lddp_core::kernel::{ExecTier, Kernel};
+use lddp_core::{rolling, seq};
+
+use crate::dtw::DtwKernel;
+use crate::lcs::LcsKernel;
+use crate::levenshtein::{EditOp, LevenshteinKernel};
+use crate::needleman_wunsch::{NeedlemanWunschKernel, NwScoring};
+use crate::smith_waterman::{Scoring, SmithWatermanKernel, SwCell};
+
+fn rev(s: &[u8]) -> Vec<u8> {
+    s.iter().rev().copied().collect()
+}
+
+/// Last grid row of `kernel`, computed through the rolling wave-band
+/// score-only path (three live bands, engine-tier wave bodies).
+fn last_row_of<K: Kernel>(kernel: &K, tier: Option<ExecTier>) -> Vec<K::Cell> {
+    let rows = kernel.dims().rows;
+    rolling::solve_row(kernel, rows - 1, tier)
+        .expect("wave kernels classify anti-diagonal")
+        .0
+}
+
+/// One longest common subsequence, recovered in linear space with the
+/// score-only passes running through the rolling wave-band engine path
+/// (so `tier` selects scalar/bulk/SIMD wave bodies). Split selection
+/// matches [`lcs_string`] exactly, so the two agree byte-for-byte.
+pub fn lcs_string_rolling(a: &[u8], b: &[u8], tier: Option<ExecTier>) -> Vec<u8> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    if a.len() == 1 {
+        return if b.contains(&a[0]) {
+            vec![a[0]]
+        } else {
+            Vec::new()
+        };
+    }
+    let mid = a.len() / 2;
+    let forward = last_row_of(&LcsKernel::new(&a[..mid], b), tier);
+    let backward = last_row_of(&LcsKernel::new(rev(&a[mid..]), rev(b)), tier);
+    let split = (0..=b.len())
+        .max_by_key(|&j| forward[j] + backward[b.len() - j])
+        .expect("non-empty range");
+    let mut left = lcs_string_rolling(&a[..mid], &b[..split], tier);
+    left.extend(lcs_string_rolling(&a[mid..], &b[split..], tier));
+    left
+}
+
+/// An optimal edit script turning `a` into `b`, recovered in linear
+/// space: forward/backward Levenshtein rows via the rolling path, full
+/// tables only for `|a| ≤ 1` or `|b| ≤ 1` base cases (O(n + m) cells).
+pub fn levenshtein_ops(a: &[u8], b: &[u8], tier: Option<ExecTier>) -> Vec<EditOp> {
+    if a.len() <= 1 || b.len() <= 1 {
+        let k = LevenshteinKernel::new(a, b);
+        let grid = seq::solve_row_major(&k).expect("non-empty contributing set");
+        return k.edit_script(&grid);
+    }
+    let mid = a.len() / 2;
+    let forward = last_row_of(&LevenshteinKernel::new(&a[..mid], b), tier);
+    let backward = last_row_of(&LevenshteinKernel::new(rev(&a[mid..]), rev(b)), tier);
+    let split = (0..=b.len())
+        .min_by_key(|&j| forward[j] + backward[b.len() - j])
+        .expect("non-empty range");
+    let mut ops = levenshtein_ops(&a[..mid], &b[..split], tier);
+    ops.extend(levenshtein_ops(&a[mid..], &b[split..], tier));
+    ops
+}
+
+/// An optimal global alignment (gapped rows for `a` and `b`) under
+/// linear gap scoring `s`, recovered in linear space via midpoint
+/// splits on rolling score rows.
+pub fn nw_alignment(
+    a: &[u8],
+    b: &[u8],
+    s: NwScoring,
+    tier: Option<ExecTier>,
+) -> (Vec<u8>, Vec<u8>) {
+    if a.len() <= 1 || b.len() <= 1 {
+        let k = NeedlemanWunschKernel::new(a, b).with_scoring(s);
+        let grid = seq::solve_row_major(&k).expect("non-empty contributing set");
+        return k.alignment_from(&grid);
+    }
+    let mid = a.len() / 2;
+    let fwd_kernel = NeedlemanWunschKernel::new(&a[..mid], b).with_scoring(s);
+    let bwd_kernel = NeedlemanWunschKernel::new(rev(&a[mid..]), rev(b)).with_scoring(s);
+    let forward = last_row_of(&fwd_kernel, tier);
+    let backward = last_row_of(&bwd_kernel, tier);
+    let split = (0..=b.len())
+        .max_by_key(|&j| forward[j] + backward[b.len() - j])
+        .expect("non-empty range");
+    let (mut ra, mut rb) = nw_alignment(&a[..mid], &b[..split], s, tier);
+    let (ta, tb) = nw_alignment(&a[mid..], &b[split..], s, tier);
+    ra.extend(ta);
+    rb.extend(tb);
+    (ra, rb)
+}
+
+// ---------------------------------------------------------------------------
+// Smith–Waterman: Huang–Miller endpoints + Myers–Miller affine glue.
+// ---------------------------------------------------------------------------
+
+/// A best local alignment recovered in linear space.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SwAlignment {
+    /// Optimal local-alignment score (0 when no positive-scoring pair
+    /// exists; the rows are empty in that case).
+    pub score: i32,
+    /// Half-open aligned span in `a`.
+    pub a_range: (usize, usize),
+    /// Half-open aligned span in `b`.
+    pub b_range: (usize, usize),
+    /// `a`'s aligned row, `b'-'`-padded at gaps.
+    pub row_a: Vec<u8>,
+    /// `b`'s aligned row, `b'-'`-padded at gaps.
+    pub row_b: Vec<u8>,
+}
+
+/// Forward Gotoh rows over `y` for all of `x` (score-maximising,
+/// affine gaps `open + (k-1)·extend`, matching the Smith–Waterman
+/// kernel's recurrence). Returns the last row of `cc` (best score, any
+/// end state) and `dd` (best score ending in an `x`-gap, that gap's
+/// open charge included). `lead_free` waives the open charge of a
+/// deletion run that starts the alignment (a vertical gap continuing
+/// from above a Myers–Miller split).
+fn affine_rows(x: &[u8], y: &[u8], s: Scoring, lead_free: bool) -> (Vec<i64>, Vec<i64>) {
+    const NEG: i64 = i64::MIN / 4;
+    let (o, e) = (s.gap_open as i64, s.gap_extend as i64);
+    let n = y.len();
+    let mut cc = vec![0i64; n + 1];
+    let mut dd = vec![NEG; n + 1];
+    for (j, c) in cc.iter_mut().enumerate().skip(1) {
+        *c = o + (j as i64 - 1) * e;
+    }
+    for (i, &xi) in x.iter().enumerate() {
+        let mut diag = cc[0];
+        cc[0] = if lead_free {
+            (i as i64 + 1) * e
+        } else {
+            o + i as i64 * e
+        };
+        dd[0] = cc[0];
+        let mut ii = NEG;
+        for (j, &yj) in y.iter().enumerate() {
+            let jj = j + 1;
+            dd[jj] = (cc[jj] + o).max(dd[jj] + e);
+            ii = (cc[jj - 1] + o).max(ii + e);
+            let sub = if xi == yj { s.matches } else { s.mismatch } as i64;
+            let m = diag + sub;
+            diag = cc[jj];
+            cc[jj] = m.max(dd[jj]).max(ii);
+        }
+    }
+    (cc, dd)
+}
+
+/// Best "anchored" score `max over (i, j)` of the *global* affine
+/// alignment of `x[..i]` vs `y[..j]` — i.e. alignments forced to start
+/// at the origin with a free end. Returns `(score, i, j)`.
+fn best_anchored(x: &[u8], y: &[u8], s: Scoring) -> (i64, usize, usize) {
+    const NEG: i64 = i64::MIN / 4;
+    let (o, e) = (s.gap_open as i64, s.gap_extend as i64);
+    let n = y.len();
+    let mut cc = vec![0i64; n + 1];
+    let mut dd = vec![NEG; n + 1];
+    for (j, c) in cc.iter_mut().enumerate().skip(1) {
+        *c = o + (j as i64 - 1) * e;
+    }
+    let mut best = (0i64, 0usize, 0usize);
+    for (i, &xi) in x.iter().enumerate() {
+        let mut diag = cc[0];
+        cc[0] = o + i as i64 * e;
+        dd[0] = cc[0];
+        let mut ii = NEG;
+        for (j, &yj) in y.iter().enumerate() {
+            let jj = j + 1;
+            dd[jj] = (cc[jj] + o).max(dd[jj] + e);
+            ii = (cc[jj - 1] + o).max(ii + e);
+            let sub = if xi == yj { s.matches } else { s.mismatch } as i64;
+            let m = diag + sub;
+            diag = cc[jj];
+            cc[jj] = m.max(dd[jj]).max(ii);
+            if cc[jj] > best.0 {
+                best = (cc[jj], i + 1, jj);
+            }
+        }
+    }
+    best
+}
+
+/// Myers–Miller linear-space global affine-gap alignment. Appends the
+/// gapped rows of `x` and `y` to `out_a`/`out_b`. `top_free` /
+/// `bot_free` waive the gap-open charge of a leading / trailing
+/// deletion run (it continues a vertical gap across the recursion
+/// boundary), which keeps split scores exact when a gap straddles the
+/// midpoint row.
+fn mm_align(
+    x: &[u8],
+    y: &[u8],
+    s: Scoring,
+    top_free: bool,
+    bot_free: bool,
+    out_a: &mut Vec<u8>,
+    out_b: &mut Vec<u8>,
+) {
+    let (o, e) = (s.gap_open as i64, s.gap_extend as i64);
+    if x.is_empty() {
+        out_a.extend(std::iter::repeat_n(b'-', y.len()));
+        out_b.extend_from_slice(y);
+        return;
+    }
+    if y.is_empty() {
+        out_a.extend_from_slice(x);
+        out_b.extend(std::iter::repeat_n(b'-', x.len()));
+        return;
+    }
+    if x.len() == 1 {
+        // Either delete x[0] and insert all of y, or align x[0] with
+        // some y[k] between two insert runs. The lone deletion's open
+        // charge is waived when it can merge with a boundary gap.
+        let gap = |k: i64| if k == 0 { 0 } else { o + (k - 1) * e };
+        let del = if top_free || bot_free { e } else { o };
+        let mut best = del + gap(y.len() as i64);
+        let mut best_k: Option<usize> = None;
+        for (k, &yk) in y.iter().enumerate() {
+            let sub = if x[0] == yk { s.matches } else { s.mismatch } as i64;
+            let v = gap(k as i64) + sub + gap((y.len() - k - 1) as i64);
+            if v > best {
+                best = v;
+                best_k = Some(k);
+            }
+        }
+        match best_k {
+            Some(k) => {
+                out_a.extend(std::iter::repeat_n(b'-', k));
+                out_b.extend_from_slice(&y[..k]);
+                out_a.push(x[0]);
+                out_b.push(y[k]);
+                out_a.extend(std::iter::repeat_n(b'-', y.len() - k - 1));
+                out_b.extend_from_slice(&y[k + 1..]);
+            }
+            None if bot_free && !top_free => {
+                // Deletion last, so it abuts the continuing gap below.
+                out_a.extend(std::iter::repeat_n(b'-', y.len()));
+                out_b.extend_from_slice(y);
+                out_a.push(x[0]);
+                out_b.push(b'-');
+            }
+            None => {
+                out_a.push(x[0]);
+                out_b.push(b'-');
+                out_a.extend(std::iter::repeat_n(b'-', y.len()));
+                out_b.extend_from_slice(y);
+            }
+        }
+        return;
+    }
+    let mid = x.len() / 2;
+    let n = y.len();
+    // Score rows are dropped before recursing, keeping space linear.
+    let (split, through_gap) = {
+        let (cc_f, dd_f) = affine_rows(&x[..mid], y, s, top_free);
+        let (cc_r, dd_r) = affine_rows(&rev(&x[mid..]), &rev(y), s, bot_free);
+        let mut best = i64::MIN;
+        let mut at = (0usize, false);
+        for j in 0..=n {
+            let type1 = cc_f[j] + cc_r[n - j];
+            if type1 > best {
+                best = type1;
+                at = (j, false);
+            }
+            // A vertical gap crossing the midpoint row is charged open
+            // on both sides; refund one (open - extend).
+            let type2 = dd_f[j] + dd_r[n - j] - (o - e);
+            if type2 > best {
+                best = type2;
+                at = (j, true);
+            }
+        }
+        at
+    };
+    if through_gap {
+        mm_align(&x[..mid - 1], &y[..split], s, top_free, true, out_a, out_b);
+        out_a.push(x[mid - 1]);
+        out_b.push(b'-');
+        out_a.push(x[mid]);
+        out_b.push(b'-');
+        mm_align(&x[mid + 1..], &y[split..], s, true, bot_free, out_a, out_b);
+    } else {
+        mm_align(&x[..mid], &y[..split], s, top_free, false, out_a, out_b);
+        mm_align(&x[mid..], &y[split..], s, false, bot_free, out_a, out_b);
+    }
+}
+
+/// A best local alignment under affine-gap scoring `s`, recovered in
+/// linear space (Huang & Miller 1991): the end point comes from a
+/// rolling score-only sweep ([`rolling::solve_best`] over
+/// [`SwCell::best`]), the start point from an anchored sweep over the
+/// reversed prefixes, and the aligned rows from a Myers–Miller global
+/// glue over the spanned sub-rectangle.
+pub fn sw_alignment(a: &[u8], b: &[u8], s: Scoring, tier: Option<ExecTier>) -> SwAlignment {
+    let k = SmithWatermanKernel::new(a, b).with_scoring(s);
+    let (best, _) = rolling::solve_best(&k, tier, |c: &SwCell| c.best() as i64)
+        .expect("wave kernels classify anti-diagonal");
+    let Some((ie, je, cell)) = best else {
+        return SwAlignment::default();
+    };
+    let score = cell.best();
+    if score <= 0 {
+        return SwAlignment::default();
+    }
+    // Optimal local alignments never end in a gap, so (ie, je) consumes
+    // a[ie-1], b[je-1]; anchor the reversed problem there to find the
+    // start. Its max equals `score` because spans map one-to-one.
+    let (rscore, rlen_a, rlen_b) = best_anchored(&rev(&a[..ie]), &rev(&b[..je]), s);
+    debug_assert_eq!(rscore, score as i64);
+    let (a0, b0) = (ie - rlen_a, je - rlen_b);
+    let mut row_a = Vec::new();
+    let mut row_b = Vec::new();
+    mm_align(
+        &a[a0..ie],
+        &b[b0..je],
+        s,
+        false,
+        false,
+        &mut row_a,
+        &mut row_b,
+    );
+    SwAlignment {
+        score,
+        a_range: (a0, ie),
+        b_range: (b0, je),
+        row_a,
+        row_b,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DTW: warp-path recovery with a shared-cell split correction.
+// ---------------------------------------------------------------------------
+
+fn rev_f32(s: &[f32]) -> Vec<f32> {
+    s.iter().rev().copied().collect()
+}
+
+/// An optimal warp path and the DTW distance, in linear space. The
+/// distance comes from the rolling forward pass (bit-identical to the
+/// full-table engine); the path from recursive midpoint splits where
+/// the crossing cell's local cost — counted by both the forward and
+/// backward half — is subtracted once. Unbanded only (a Sakoe–Chiba
+/// band can sever the returned path); returns `None` on empty input.
+pub fn dtw_path(
+    a: &[f32],
+    b: &[f32],
+    tier: Option<ExecTier>,
+) -> Option<(Vec<(usize, usize)>, f32)> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let k = DtwKernel::new(a.to_vec(), b.to_vec());
+    let (corner, _) = rolling::solve_corner(&k, tier).expect("wave kernels classify anti-diagonal");
+    let distance = corner.expect("non-empty grid has a corner");
+    let mut path = Vec::new();
+    dtw_path_rec(a, b, 0, 0, tier, &mut path);
+    Some((path, distance))
+}
+
+fn dtw_path_rec(
+    a: &[f32],
+    b: &[f32],
+    off_i: usize,
+    off_j: usize,
+    tier: Option<ExecTier>,
+    out: &mut Vec<(usize, usize)>,
+) {
+    if a.len() <= 2 || b.len() <= 2 {
+        // One dimension is ≤ 2, so the full table is O(n + m) cells.
+        let k = DtwKernel::new(a.to_vec(), b.to_vec());
+        let grid = seq::solve_row_major(&k).expect("non-empty contributing set");
+        let (mut i, mut j) = (a.len() - 1, b.len() - 1);
+        let start = out.len();
+        out.push((off_i + i, off_j + j));
+        while i > 0 || j > 0 {
+            // The cell was computed as local + min(preds); re-derive
+            // that min rather than comparing against cell - local,
+            // which is not exact in floating point.
+            let mut next = (f32::INFINITY, i, j);
+            let mut consider = |ci: usize, cj: usize| {
+                let v = grid.get(ci, cj);
+                if v < next.0 {
+                    next = (v, ci, cj);
+                }
+            };
+            if i > 0 && j > 0 {
+                consider(i - 1, j - 1);
+            }
+            if i > 0 {
+                consider(i - 1, j);
+            }
+            if j > 0 {
+                consider(i, j - 1);
+            }
+            (i, j) = (next.1, next.2);
+            out.push((off_i + i, off_j + j));
+        }
+        out[start..].reverse();
+        return;
+    }
+    let mid = a.len() / 2;
+    let split = {
+        let forward = last_row_of(&DtwKernel::new(a[..=mid].to_vec(), b.to_vec()), tier);
+        let backward = last_row_of(&DtwKernel::new(rev_f32(&a[mid..]), rev_f32(b)), tier);
+        let n = b.len();
+        let mut best = (f32::INFINITY, 0usize);
+        for (j, &f) in forward.iter().enumerate() {
+            // Both halves include the crossing cell's local cost.
+            let v = f + backward[n - 1 - j] - (a[mid] - b[j]).abs();
+            if v < best.0 {
+                best = (v, j);
+            }
+        }
+        best.1
+    };
+    dtw_path_rec(&a[..=mid], &b[..=split], off_i, off_j, tier, out);
+    // The prefix ends at the crossing cell and the suffix starts there.
+    out.pop();
+    dtw_path_rec(
+        &a[mid..],
+        &b[split..],
+        off_i + mid,
+        off_j + split,
+        tier,
+        out,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +556,188 @@ mod tests {
         #[test]
         fn identity(a in proptest::collection::vec(any::<u8>(), 0..40)) {
             prop_assert_eq!(lcs_string(&a, &a), a);
+        }
+    }
+
+    use crate::dtw::dtw_distance;
+    use crate::levenshtein::{self, apply_edit_script};
+    use crate::needleman_wunsch::global_score;
+    use crate::smith_waterman::best_local_score;
+
+    /// Tier choices exercised by the recovery proptests: engine auto,
+    /// plus each forced rung (rolling downgrades unavailable ones).
+    fn tier_choice(t: usize) -> Option<ExecTier> {
+        [
+            None,
+            Some(ExecTier::Scalar),
+            Some(ExecTier::Bulk),
+            Some(ExecTier::Simd),
+        ][t % 4]
+    }
+
+    /// Affine-gap score of a gapped row pair, charging `gap_open` for
+    /// the first residue of each maximal gap run and `gap_extend` for
+    /// the rest — the Smith–Waterman kernel's cost model.
+    fn affine_rows_score(row_a: &[u8], row_b: &[u8], s: Scoring) -> i64 {
+        assert_eq!(row_a.len(), row_b.len());
+        let mut total = 0i64;
+        let (mut in_del, mut in_ins) = (false, false);
+        for (&x, &y) in row_a.iter().zip(row_b) {
+            assert!(x != b'-' || y != b'-', "gap aligned to gap");
+            if x == b'-' {
+                total += if in_ins { s.gap_extend } else { s.gap_open } as i64;
+                (in_del, in_ins) = (false, true);
+            } else if y == b'-' {
+                total += if in_del { s.gap_extend } else { s.gap_open } as i64;
+                (in_del, in_ins) = (true, false);
+            } else {
+                total += if x == y { s.matches } else { s.mismatch } as i64;
+                (in_del, in_ins) = (false, false);
+            }
+        }
+        total
+    }
+
+    fn degap(row: &[u8]) -> Vec<u8> {
+        row.iter().copied().filter(|&c| c != b'-').collect()
+    }
+
+    #[test]
+    fn levenshtein_ops_known_and_degenerate_shapes() {
+        // 1 × m, n × 1, and odd-length splits all hit base cases.
+        for (a, b) in [
+            (&b""[..], &b""[..]),
+            (b"", b"abc"),
+            (b"abc", b""),
+            (b"x", b"abcdefg"),
+            (b"abcdefg", b"x"),
+            (b"kitten", b"sitting"),
+            (b"abcdefghijk", b"acefgik"),
+        ] {
+            let ops = levenshtein_ops(a, b, Some(ExecTier::Scalar));
+            let cost = ops.iter().filter(|op| !matches!(op, EditOp::Keep)).count() as u32;
+            assert_eq!(cost, levenshtein::distance(a, b));
+            assert_eq!(apply_edit_script(a, b, &ops), b.to_vec());
+        }
+    }
+
+    #[test]
+    fn sw_alignment_empty_and_all_mismatch_inputs() {
+        let s = Scoring::default();
+        assert_eq!(sw_alignment(b"", b"", s, None), SwAlignment::default());
+        assert_eq!(sw_alignment(b"abc", b"", s, None), SwAlignment::default());
+        let no_hit = sw_alignment(b"aaa", b"bbb", s, None);
+        assert_eq!(no_hit.score, 0);
+        assert!(no_hit.row_a.is_empty());
+    }
+
+    #[test]
+    fn dtw_path_degenerate_shapes() {
+        for (a, b) in [
+            (vec![1.0f32], vec![2.0f32, 3.0, 4.0]),
+            (vec![1.0, 2.0, 3.0], vec![5.0]),
+            (vec![0.5], vec![0.5]),
+            (vec![1.0, 3.0, 2.0, 4.0, 0.0], vec![1.0, 2.0, 4.0]),
+        ] {
+            let (path, dist) = dtw_path(&a, &b, Some(ExecTier::Scalar)).unwrap();
+            assert_eq!(dist, dtw_distance(&a, &b, None));
+            assert_eq!(path[0], (0, 0));
+            assert_eq!(*path.last().unwrap(), (a.len() - 1, b.len() - 1));
+        }
+        assert!(dtw_path(&[], &[1.0], None).is_none());
+    }
+
+    proptest! {
+        /// The rolling-band Hirschberg recovers the same bytes as the
+        /// two-row reference on every tier.
+        #[test]
+        fn lcs_rolling_matches_reference(
+            a in proptest::collection::vec(0u8..4, 0..40),
+            b in proptest::collection::vec(0u8..4, 0..40),
+            t in 0usize..4,
+        ) {
+            prop_assert_eq!(lcs_string_rolling(&a, &b, tier_choice(t)), lcs_string(&a, &b));
+        }
+
+        /// Linear-space edit scripts are optimal and replay correctly.
+        #[test]
+        fn levenshtein_ops_are_optimal(
+            a in proptest::collection::vec(0u8..4, 0..40),
+            b in proptest::collection::vec(0u8..4, 0..40),
+            t in 0usize..4,
+        ) {
+            let ops = levenshtein_ops(&a, &b, tier_choice(t));
+            let cost = ops.iter().filter(|op| !matches!(op, EditOp::Keep)).count() as u32;
+            prop_assert_eq!(cost, levenshtein::distance(&a, &b));
+            prop_assert_eq!(apply_edit_script(&a, &b, &ops), b);
+        }
+
+        /// Linear-space global alignments score exactly the optimum.
+        #[test]
+        fn nw_alignment_is_optimal(
+            a in proptest::collection::vec(0u8..4, 0..40),
+            b in proptest::collection::vec(0u8..4, 0..40),
+            t in 0usize..4,
+        ) {
+            let s = NwScoring::default();
+            let (ra, rb) = nw_alignment(&a, &b, s, tier_choice(t));
+            prop_assert_eq!(ra.len(), rb.len());
+            prop_assert_eq!(degap(&ra), a.clone());
+            prop_assert_eq!(degap(&rb), b.clone());
+            let mut score = 0i64;
+            for (&x, &y) in ra.iter().zip(&rb) {
+                prop_assert!(x != b'-' || y != b'-');
+                score += if x == b'-' || y == b'-' {
+                    s.gap
+                } else if x == y {
+                    s.matches
+                } else {
+                    s.mismatch
+                } as i64;
+            }
+            prop_assert_eq!(score, global_score(&a, &b, s) as i64);
+        }
+
+        /// Linear-space local alignments hit the Gotoh optimum: the
+        /// reported score matches the oracle, and re-scoring the glued
+        /// rows under affine gap charges reproduces it exactly.
+        #[test]
+        fn sw_alignment_is_optimal(
+            a in proptest::collection::vec(0u8..4, 0..40),
+            b in proptest::collection::vec(0u8..4, 0..40),
+            t in 0usize..4,
+        ) {
+            let s = Scoring::default();
+            let out = sw_alignment(&a, &b, s, tier_choice(t));
+            prop_assert_eq!(out.score, best_local_score(&a, &b, s));
+            if out.score > 0 {
+                prop_assert_eq!(affine_rows_score(&out.row_a, &out.row_b, s), out.score as i64);
+                prop_assert_eq!(degap(&out.row_a), a[out.a_range.0..out.a_range.1].to_vec());
+                prop_assert_eq!(degap(&out.row_b), b[out.b_range.0..out.b_range.1].to_vec());
+            }
+        }
+
+        /// Warp paths are monotone, span corner to corner, and cost
+        /// (nearly) the returned distance; the distance itself is
+        /// bit-identical to the reference.
+        #[test]
+        fn dtw_path_is_valid_and_tight(
+            a in proptest::collection::vec(0u8..8, 1..30),
+            b in proptest::collection::vec(0u8..8, 1..30),
+            t in 0usize..4,
+        ) {
+            let a: Vec<f32> = a.into_iter().map(f32::from).collect();
+            let b: Vec<f32> = b.into_iter().map(f32::from).collect();
+            let (path, dist) = dtw_path(&a, &b, tier_choice(t)).unwrap();
+            prop_assert_eq!(dist, dtw_distance(&a, &b, None));
+            prop_assert_eq!(path[0], (0, 0));
+            prop_assert_eq!(*path.last().unwrap(), (a.len() - 1, b.len() - 1));
+            for w in path.windows(2) {
+                let (di, dj) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+                prop_assert!(di <= 1 && dj <= 1 && di + dj >= 1, "bad step {:?}", w);
+            }
+            let cost: f32 = path.iter().map(|&(i, j)| (a[i] - b[j]).abs()).sum();
+            prop_assert!((cost - dist).abs() <= 1e-3 * dist.max(1.0), "path cost {cost} vs {dist}");
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Request/response/rejection types of the solve service and their
 //! JSON wire forms (hand-rolled, parsed with [`lddp_trace::json`]).
 
-use lddp_core::kernel::ExecTier;
+use lddp_core::kernel::{ExecTier, MemoryMode};
 use lddp_core::schedule::ScheduleParams;
 use lddp_trace::json::{self, escape, num, Json};
 
@@ -24,6 +24,10 @@ pub struct SolveRequest {
     /// Per-request deadline: if the request is still queued this many
     /// milliseconds after admission, it is rejected instead of solved.
     pub deadline_ms: Option<u64>,
+    /// Memory-mode pin: `Some(Rolling)` requests the score-only
+    /// wave-band path, `Some(Full)` pins the materialized table,
+    /// `None` accepts the tuner's budget-based choice.
+    pub memory_mode: Option<MemoryMode>,
 }
 
 impl SolveRequest {
@@ -36,6 +40,7 @@ impl SolveRequest {
             platform: "high".to_string(),
             params: None,
             deadline_ms: None,
+            memory_mode: None,
         }
     }
 
@@ -49,6 +54,7 @@ impl SolveRequest {
             n_bucket: self.n.next_power_of_two(),
             platform: self.platform.clone(),
             params: self.params.map(|p| (p.t_switch, p.t_share)),
+            memory: self.memory_mode,
         }
     }
 
@@ -68,6 +74,9 @@ impl SolveRequest {
         }
         if let Some(d) = self.deadline_ms {
             s.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
+        if let Some(m) = self.memory_mode {
+            s.push_str(&format!(",\"memory_mode\":\"{}\"", m.as_str()));
         }
         s.push('}');
         s
@@ -115,12 +124,23 @@ impl SolveRequest {
             (sw, sh) => Some(ScheduleParams::new(sw.unwrap_or(0), sh.unwrap_or(0))),
         };
         let deadline_ms = int_field("deadline_ms")?.map(|d| d as u64);
+        let memory_mode = match v.get("memory_mode") {
+            None => None,
+            Some(j) => {
+                let text = j.as_str().ok_or("\"memory_mode\" must be a string")?;
+                Some(
+                    MemoryMode::parse(text)
+                        .ok_or("\"memory_mode\" must be \"full\" or \"rolling\"")?,
+                )
+            }
+        };
         Ok(SolveRequest {
             problem,
             n,
             platform,
             params,
             deadline_ms,
+            memory_mode,
         })
     }
 }
@@ -136,18 +156,27 @@ pub struct BatchKey {
     pub platform: String,
     /// Explicit parameters, when the request pins them.
     pub params: Option<(usize, usize)>,
+    /// Memory-mode pin, when the request carries one — pinned-rolling
+    /// requests never share a batch (and a tuner artifact) with
+    /// full-table ones.
+    pub memory: Option<MemoryMode>,
 }
 
 impl BatchKey {
     /// Compact display form, used as a trace-span argument.
     pub fn label(&self) -> String {
-        match self.params {
+        let mut label = match self.params {
             Some((sw, sh)) => format!(
                 "{}/{}/{}/{}+{}",
                 self.problem, self.n_bucket, self.platform, sw, sh
             ),
             None => format!("{}/{}/{}", self.problem, self.n_bucket, self.platform),
+        };
+        if let Some(m) = self.memory {
+            label.push('/');
+            label.push_str(m.as_str());
         }
+        label
     }
 }
 
@@ -323,6 +352,12 @@ pub struct SolveResponse {
     pub params: ScheduleParams,
     /// The execution tier the solve ran on.
     pub tier: ExecTier,
+    /// Memory mode the solve ran in (`full` table or `rolling`
+    /// wave-bands).
+    pub memory_mode: MemoryMode,
+    /// Peak DP working-set bytes of the solve: the full table, or the
+    /// rolling band ring.
+    pub table_bytes: usize,
     /// Wall time spent queued, milliseconds.
     pub queue_ms: f64,
     /// Wall time spent solving, milliseconds.
@@ -372,7 +407,8 @@ impl SolveResponse {
              \"degraded\":[{}],\
              \"placed_on\":\"{}\",\"devices\":{},\
              \"timings\":{{\"queue_wait_ms\":{},\"batch_ms\":{},\
-             \"tune_ms\":{},\"solve_ms\":{},\"tier\":\"{}\"}}}}",
+             \"tune_ms\":{},\"solve_ms\":{},\"tier\":\"{}\",\
+             \"memory_mode\":\"{}\",\"table_bytes\":{}}}}}",
             self.id,
             escape(&self.trace_id),
             escape(&self.problem),
@@ -394,6 +430,8 @@ impl SolveResponse {
             num(self.tune_ms),
             num(self.solve_ms),
             self.tier.as_str(),
+            self.memory_mode.as_str(),
+            self.table_bytes,
         )
     }
 
@@ -425,6 +463,19 @@ impl SolveResponse {
                 .and_then(Json::as_str)
                 .and_then(ExecTier::parse)
                 .unwrap_or(ExecTier::Bulk),
+            // Absent on responses from servers predating memory-mode
+            // reporting — those always materialized the full table.
+            memory_mode: v
+                .get("timings")
+                .and_then(|t| t.get("memory_mode"))
+                .and_then(Json::as_str)
+                .and_then(MemoryMode::parse)
+                .unwrap_or(MemoryMode::Full),
+            table_bytes: v
+                .get("timings")
+                .and_then(|t| t.get("table_bytes"))
+                .and_then(Json::as_f64)
+                .map_or(0, |b| b as usize),
             queue_ms: f("queue_ms")?,
             solve_ms: f("solve_ms")?,
             // The timings breakdown and trace id are absent on responses
@@ -495,6 +546,19 @@ mod tests {
         assert_eq!(min.platform, "high");
         assert_eq!(min.params, None);
         assert_eq!(min.deadline_ms, None);
+        assert_eq!(min.memory_mode, None);
+
+        // The memory-mode pin rides the wire and the batch key.
+        let mut rolling = SolveRequest::new("lcs", 4096);
+        rolling.memory_mode = Some(MemoryMode::Rolling);
+        let back = SolveRequest::from_json(&rolling.to_json()).unwrap();
+        assert_eq!(back.memory_mode, Some(MemoryMode::Rolling));
+        assert_ne!(
+            rolling.batch_key(),
+            SolveRequest::new("lcs", 4096).batch_key()
+        );
+        assert!(rolling.batch_key().label().ends_with("/rolling"));
+        assert!(SolveRequest::from_json(r#"{"problem":"lcs","memory_mode":"sideways"}"#).is_err());
     }
 
     #[test]
@@ -531,6 +595,8 @@ mod tests {
             virtual_ms: 1.5,
             params: ScheduleParams::new(8, 64),
             tier: ExecTier::Simd,
+            memory_mode: MemoryMode::Rolling,
+            table_bytes: 98316,
             queue_ms: 0.25,
             solve_ms: 3.75,
             batch_ms: 0.5,
@@ -566,6 +632,9 @@ mod tests {
         // And the fleet fields, which predate fleet serving.
         assert!(parsed.placed_on.is_empty());
         assert_eq!(parsed.devices, 1);
+        // And the memory fields, which predate the rolling tier.
+        assert_eq!(parsed.memory_mode, MemoryMode::Full);
+        assert_eq!(parsed.table_bytes, 0);
     }
 
     #[test]

@@ -135,6 +135,8 @@ mod tests {
                 virtual_ms: 0.5,
                 params: config.params,
                 tier: config.tier,
+                memory_mode: config.memory_mode,
+                table_bytes: 0,
                 degraded,
                 placed_on: None,
                 devices: 1,

@@ -548,6 +548,8 @@ mod tests {
                 virtual_ms: 1.0,
                 params: lddp_core::schedule::ScheduleParams::new(0, 0),
                 tier: lddp_core::kernel::ExecTier::Bulk,
+                memory_mode: lddp_core::kernel::MemoryMode::Full,
+                table_bytes: 0,
                 queue_ms: 0.5,
                 solve_ms: 2.0,
                 batch_ms: 0.1,
@@ -654,6 +656,8 @@ mod tests {
                 virtual_ms: 1.0,
                 params: lddp_core::schedule::ScheduleParams::new(0, 0),
                 tier: lddp_core::kernel::ExecTier::Bulk,
+                memory_mode: lddp_core::kernel::MemoryMode::Full,
+                table_bytes: 0,
                 queue_ms: 0.1,
                 solve_ms: 0.2,
                 batch_ms: 0.0,

@@ -31,6 +31,8 @@
 //!             virtual_ms: 0.1,
 //!             params: config.params,
 //!             tier: config.tier,
+//!             memory_mode: config.memory_mode,
+//!             table_bytes: 0,
 //!             degraded: vec![],
 //!             placed_on: None,
 //!             devices: 1,
@@ -50,7 +52,7 @@ use crate::job::{RejectReason, ServeError, SolveRequest, SolveResponse};
 use crate::queue::{Job, JobQueue};
 use crate::stats::{ServeStats, StatsSnapshot};
 use lddp_chaos::{mix64, BreakerConfig, BreakerState, CircuitBreaker, FaultInjector};
-use lddp_core::kernel::ExecTier;
+use lddp_core::kernel::{ExecTier, MemoryMode};
 use lddp_core::schedule::ScheduleParams;
 use lddp_core::tuner_cache::TunedConfig;
 use lddp_trace::live::LiveRegistry;
@@ -113,6 +115,12 @@ pub struct BackendSolve {
     /// The execution tier the solve actually ran on (may be lower than
     /// the tuned tier if the host or kernel cannot support it).
     pub tier: ExecTier,
+    /// Memory mode the solve ran in: `Full` materialized the table,
+    /// `Rolling` kept only the live wave-band ring.
+    pub memory_mode: MemoryMode,
+    /// Peak DP working-set bytes of the solve (full table or band
+    /// ring), echoed into the response's timings breakdown.
+    pub table_bytes: usize,
     /// Degradation steps taken to produce this answer (stable codes
     /// such as `bulk_to_scalar`); empty for a full-configuration solve.
     pub degraded: Vec<String>,
@@ -720,6 +728,8 @@ impl<'a> Server<'a> {
                         virtual_ms: done.virtual_ms,
                         params: done.params,
                         tier: done.tier,
+                        memory_mode: done.memory_mode,
+                        table_bytes: done.table_bytes,
                         queue_ms: waited.as_secs_f64() * 1e3,
                         solve_ms: solve.as_secs_f64() * 1e3,
                         batch_ms: batch_wait.as_secs_f64() * 1e3,

@@ -16,6 +16,7 @@
 
 use crate::cli;
 use lddp_chaos::FaultInjector;
+use lddp_core::kernel::MemoryMode;
 use lddp_core::tuner_cache::{TuneKey, TunedConfig, TunerCache};
 use lddp_core::wavefront::Dims;
 use lddp_fleet::{default_fleet, Fleet};
@@ -134,11 +135,17 @@ impl FleetBackend {
         let pool = self.fleet.pool(idx);
         if let Some(params) = probe.params {
             let tier = cli::select_tier(&probe.problem, probe.n, &pool.engine)?;
-            return Ok((TunedConfig::new(params, tier), false));
+            let memory = probe.memory_mode.unwrap_or_else(|| {
+                cli::choose_memory_mode(&probe.problem, probe.n, cost_platform(&pool.spec.name))
+            });
+            return Ok((
+                TunedConfig::new(params, tier).with_memory_mode(memory),
+                false,
+            ));
         }
         let pattern = cli::classify_problem(&probe.problem, probe.n)?;
         let key = TuneKey::new(pattern, Dims::new(probe.n, probe.n), pool.spec.name.clone());
-        self.cache.get_or_tune(&key, || {
+        let (config, hit) = self.cache.get_or_tune(&key, || {
             if let Some(live) = &self.live {
                 live.counter(
                     "lddp_tuner_sweeps_total",
@@ -153,7 +160,14 @@ impl FleetBackend {
                 cost_platform(&pool.spec.name),
                 &pool.engine,
             )
-        })
+        })?;
+        // A per-request memory-mode pin overrides the tuner's per-pool
+        // budget choice without touching the cached artifact.
+        let config = match probe.memory_mode {
+            Some(memory) => config.with_memory_mode(memory),
+            None => config,
+        };
+        Ok((config, hit))
     }
 
     /// Executes one placed request: large grids first try the
@@ -166,8 +180,15 @@ impl FleetBackend {
         idx: usize,
         params: lddp_core::schedule::ScheduleParams,
         tier: lddp_core::kernel::ExecTier,
+        memory: MemoryMode,
     ) -> Result<(cli::RunSummary, Vec<String>, usize), String> {
-        if req.n >= FLEET_MULTI_N && self.injector.is_none() {
+        let rolling = memory == MemoryMode::Rolling
+            && cli::rolling_supported(&req.problem)
+            && tier != lddp_core::kernel::ExecTier::BitParallel;
+        // Rolling solves never materialize a grid, so there is nothing
+        // for a cross-device MultiPlan split to band — they always run
+        // whole on the placed pool.
+        if req.n >= FLEET_MULTI_N && self.injector.is_none() && !rolling {
             // An Err here (e.g. a pattern the k-way band split cannot
             // express) is not fatal — the placed pool solves it whole.
             if let Ok(summary) =
@@ -178,8 +199,20 @@ impl FleetBackend {
         }
         let pool = self.fleet.pool(idx);
         let platform = cost_platform(&pool.spec.name);
-        match &self.injector {
-            Some(inj) => {
+        match (&self.injector, rolling) {
+            (Some(inj), true) => {
+                let (summary, degraded) = cli::run_solve_rolling_chaos(
+                    &req.problem,
+                    req.n,
+                    platform,
+                    params,
+                    Some(tier),
+                    &pool.engine,
+                    inj.as_ref(),
+                )?;
+                Ok((summary, degraded, 1))
+            }
+            (Some(inj), false) => {
                 let (summary, degraded) = cli::run_solve_pooled_chaos(
                     &req.problem,
                     req.n,
@@ -191,7 +224,18 @@ impl FleetBackend {
                 )?;
                 Ok((summary, degraded, 1))
             }
-            None => {
+            (None, true) => {
+                let summary = cli::run_solve_rolling(
+                    &req.problem,
+                    req.n,
+                    platform,
+                    params,
+                    Some(tier),
+                    &pool.engine,
+                )?;
+                Ok((summary, Vec::new(), 1))
+            }
+            (None, false) => {
                 let summary = cli::run_solve_pooled(
                     &req.problem,
                     req.n,
@@ -230,6 +274,12 @@ impl SolveBackend for FleetBackend {
             return Err(format!(
                 "unknown platform \"{}\"; expected high, low, or cpu-only",
                 req.platform
+            ));
+        }
+        if req.memory_mode == Some(MemoryMode::Rolling) && !cli::rolling_supported(&req.problem) {
+            return Err(format!(
+                "problem \"{}\" has no rolling-mode solve (its answer needs the full table)",
+                req.problem
             ));
         }
         Ok(())
@@ -315,7 +365,7 @@ impl SolveBackend for FleetBackend {
             .metrics()
             .set_backlog(idx, self.fleet.dispatcher().backlog(idx));
         let started = Instant::now();
-        let result = self.solve_on(req, idx, clamped, plan.config.tier);
+        let result = self.solve_on(req, idx, clamped, plan.config.tier, plan.config.memory_mode);
         let actual = started.elapsed().as_secs_f64();
         self.fleet.dispatcher().finish(idx, predicted);
         self.fleet
@@ -334,6 +384,8 @@ impl SolveBackend for FleetBackend {
             virtual_ms: summary.hetero_ms,
             params: summary.params,
             tier: summary.tier,
+            memory_mode: summary.memory_mode,
+            table_bytes: summary.table_bytes,
             degraded,
             placed_on: Some(self.fleet.pool(idx).spec.name.clone()),
             devices,

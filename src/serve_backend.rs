@@ -8,6 +8,7 @@
 
 use crate::cli;
 use lddp_chaos::FaultInjector;
+use lddp_core::kernel::{ExecTier, MemoryMode};
 use lddp_core::tuner_cache::{TuneKey, TunedConfig, TunerCache};
 use lddp_core::wavefront::Dims;
 use lddp_parallel::ParallelEngine;
@@ -129,6 +130,12 @@ impl SolveBackend for FrameworkBackend {
                 req.platform
             ));
         }
+        if req.memory_mode == Some(MemoryMode::Rolling) && !cli::rolling_supported(&req.problem) {
+            return Err(format!(
+                "problem \"{}\" has no rolling-mode solve (its answer needs the full table)",
+                req.problem
+            ));
+        }
         Ok(())
     }
 
@@ -140,12 +147,19 @@ impl SolveBackend for FrameworkBackend {
         if let Some(params) = probe.params {
             // Pinned parameters skip tuning; never a cache hit. The tier
             // is still the engine's own pick — requests pin schedule
-            // parameters, not execution machinery.
+            // parameters, not execution machinery. The memory mode is
+            // the request's pin, or the tuner's budget model.
             let tier = cli::select_tier(&probe.problem, probe.n, &self.engine)?;
-            return Ok((TunedConfig::new(params, tier), false));
+            let memory = probe.memory_mode.unwrap_or_else(|| {
+                cli::choose_memory_mode(&probe.problem, probe.n, &probe.platform)
+            });
+            return Ok((
+                TunedConfig::new(params, tier).with_memory_mode(memory),
+                false,
+            ));
         }
         let key = self.tune_key(probe)?;
-        self.cache.get_or_tune(&key, || {
+        let (config, hit) = self.cache.get_or_tune(&key, || {
             if let Some(live) = &self.live {
                 live.counter(
                     "lddp_tuner_sweeps_total",
@@ -155,7 +169,15 @@ impl SolveBackend for FrameworkBackend {
                 .inc();
             }
             cli::tune_config(&probe.problem, probe.n, &probe.platform, &self.engine)
-        })
+        })?;
+        // A per-request memory-mode pin overrides the tuner's choice for
+        // this batch without touching the cached artifact (the batch key
+        // keeps pinned and unpinned requests apart).
+        let config = match probe.memory_mode {
+            Some(memory) => config.with_memory_mode(memory),
+            None => config,
+        };
+        Ok((config, hit))
     }
 
     fn solve(
@@ -172,9 +194,14 @@ impl SolveBackend for FrameworkBackend {
         // The table is computed on the shared pooled engine — the serve
         // spans (queue wait, batch, solve) come from the server; the
         // per-wave framework trace is deliberately skipped here, as it
-        // would emit thousands of spans per request.
-        let (summary, degraded) = match &self.injector {
-            Some(inj) => cli::run_solve_pooled_chaos(
+        // would emit thousands of spans per request. Rolling-mode
+        // batches route through the score-only wave-band path instead
+        // of materializing the grid.
+        let rolling = config.memory_mode == MemoryMode::Rolling
+            && cli::rolling_supported(&req.problem)
+            && config.tier != ExecTier::BitParallel;
+        let (summary, degraded) = match (&self.injector, rolling) {
+            (Some(inj), true) => cli::run_solve_rolling_chaos(
                 &req.problem,
                 req.n,
                 &req.platform,
@@ -183,7 +210,27 @@ impl SolveBackend for FrameworkBackend {
                 &self.engine,
                 inj.as_ref(),
             )?,
-            None => {
+            (Some(inj), false) => cli::run_solve_pooled_chaos(
+                &req.problem,
+                req.n,
+                &req.platform,
+                clamped,
+                Some(config.tier),
+                &self.engine,
+                inj.as_ref(),
+            )?,
+            (None, true) => {
+                let summary = cli::run_solve_rolling(
+                    &req.problem,
+                    req.n,
+                    &req.platform,
+                    clamped,
+                    Some(config.tier),
+                    &self.engine,
+                )?;
+                (summary, Vec::new())
+            }
+            (None, false) => {
                 let summary = cli::run_solve_pooled(
                     &req.problem,
                     req.n,
@@ -200,6 +247,8 @@ impl SolveBackend for FrameworkBackend {
             virtual_ms: summary.hetero_ms,
             params: summary.params,
             tier: summary.tier,
+            memory_mode: summary.memory_mode,
+            table_bytes: summary.table_bytes,
             degraded,
             placed_on: None,
             devices: 1,
@@ -290,6 +339,45 @@ mod tests {
         let text = reg.to_prometheus();
         assert!(text.contains("lddp_tuner_sweeps_total 1"), "{text}");
         assert!(text.contains("lddp_pool_solves_total"), "{text}");
+    }
+
+    #[test]
+    fn validate_rejects_rolling_pin_on_full_table_problems() {
+        let b = FrameworkBackend::new();
+        let mut req = SolveRequest::new("dithering", 64);
+        req.memory_mode = Some(MemoryMode::Rolling);
+        assert!(b.validate(&req).is_err());
+        req.memory_mode = Some(MemoryMode::Full);
+        assert!(b.validate(&req).is_ok());
+        let mut wave = SolveRequest::new("lcs", 64);
+        wave.memory_mode = Some(MemoryMode::Rolling);
+        assert!(b.validate(&wave).is_ok());
+    }
+
+    #[test]
+    fn rolling_mode_serves_the_oracle_answer_with_band_sized_tables() {
+        let b = FrameworkBackend::new();
+        for problem in [
+            "lcs",
+            "levenshtein",
+            "dtw",
+            "needleman-wunsch",
+            "smith-waterman",
+        ] {
+            let req = SolveRequest::new(problem, 48);
+            let config = TunedConfig::new(ScheduleParams::new(4, 16), ExecTier::Bulk)
+                .with_memory_mode(MemoryMode::Rolling);
+            let served = b.solve(&req, config, &NullSink).unwrap();
+            assert_eq!(served.memory_mode, MemoryMode::Rolling, "{problem}");
+            // Three band buffers of ≤ 49 cells each, not a 49×49 grid.
+            assert!(
+                served.table_bytes <= 3 * 49 * 12,
+                "{problem}: {} bytes",
+                served.table_bytes
+            );
+            let oracle = crate::cli::run_solve_seq(problem, 48).unwrap();
+            assert_eq!(served.answer, oracle, "{problem}");
+        }
     }
 
     #[test]

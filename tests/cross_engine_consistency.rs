@@ -2,6 +2,7 @@
 //! sequential oracle, the real thread engine, and the simulated
 //! heterogeneous framework must produce identical tables.
 
+use lddp::core::kernel::Kernel;
 use lddp::core::pattern::classify;
 use lddp::core::seq::solve_row_major;
 use lddp::core::ContributingSet;
@@ -374,6 +375,142 @@ fn bulk_path_is_bit_identical_for_all_canonical_patterns() {
             assert_bulk_matches_scalar(&kernel, &format!("{set} {r}x{c}"));
         }
     }
+}
+
+/// Solves `kernel` in rolling (wave-band) memory mode at every pinned
+/// execution tier across several thread counts and requires the
+/// captured corner cell to equal the full-table oracle's corner
+/// exactly — and the peak working set to stay band-sized.
+fn assert_rolling_corner_matches_oracle<K>(kernel: &K, label: &str)
+where
+    K: lddp::core::kernel::Kernel,
+    K::Cell: PartialEq + std::fmt::Debug,
+{
+    use lddp::core::kernel::ExecTier;
+    let d = kernel.dims();
+    let grid = solve_row_major(kernel).unwrap();
+    let want = grid.get(d.rows - 1, d.cols - 1);
+    let band_bytes = lddp::core::rolling::rolling_bytes(kernel);
+    for tier in [
+        None,
+        Some(ExecTier::Scalar),
+        Some(ExecTier::Bulk),
+        Some(ExecTier::Simd),
+    ] {
+        for threads in [1, 2, 5] {
+            let got = ParallelEngine::new(threads)
+                .with_tier(tier)
+                .solve_rolling(kernel, None)
+                .unwrap();
+            assert_eq!(
+                got.corner,
+                Some(want),
+                "{label} tier={tier:?} threads={threads}"
+            );
+            assert_eq!(got.waves, d.rows + d.cols - 1, "{label} waves");
+            assert!(
+                got.peak_bytes <= band_bytes,
+                "{label} peak {} > band {}",
+                got.peak_bytes,
+                band_bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn rolling_mode_corner_matches_full_table_for_sequence_problems() {
+    for (a, b) in byte_pairs() {
+        let label = format!("{}x{}", a.len(), b.len());
+        assert_rolling_corner_matches_oracle(
+            &lddp::problems::LcsKernel::new(a.clone(), b.clone()),
+            &format!("lcs {label}"),
+        );
+        assert_rolling_corner_matches_oracle(
+            &lddp::problems::LevenshteinKernel::new(a.clone(), b.clone()),
+            &format!("levenshtein {label}"),
+        );
+        assert_rolling_corner_matches_oracle(
+            &lddp::problems::NeedlemanWunschKernel::new(a, b),
+            &format!("needleman-wunsch {label}"),
+        );
+    }
+}
+
+#[test]
+fn rolling_mode_corner_matches_full_table_for_dtw() {
+    let series = |n: usize, mul: usize| -> Vec<f32> {
+        (0..n).map(|i| (i * mul % 19) as f32 * 0.5 - 3.0).collect()
+    };
+    for (la, lb) in [(1, 43), (43, 1), (37, 54), (8, 8), (33, 65)] {
+        let kernel = lddp::problems::DtwKernel::new(series(la, 37), series(lb, 23));
+        // f32 corners must agree bit for bit: RollingSolve's corner is
+        // compared with `==`, so also check the payload bits.
+        let d = kernel.dims();
+        let want = solve_row_major(&kernel)
+            .unwrap()
+            .get(d.rows - 1, d.cols - 1);
+        let got = ParallelEngine::new(3).solve_rolling(&kernel, None).unwrap();
+        assert_eq!(got.corner.unwrap().to_bits(), want.to_bits(), "{la}x{lb}");
+        assert_rolling_corner_matches_oracle(&kernel, &format!("dtw {la}x{lb}"));
+    }
+}
+
+#[test]
+fn rolling_mode_arg_best_matches_full_table_for_smith_waterman() {
+    for (a, b) in byte_pairs() {
+        let kernel = lddp::problems::SmithWatermanKernel::new(a.clone(), b.clone());
+        let want = solve_row_major(&kernel)
+            .unwrap()
+            .to_row_major()
+            .iter()
+            .map(|c| c.best())
+            .max()
+            .unwrap_or(0);
+        for threads in [1, 2, 5] {
+            let got = ParallelEngine::new(threads)
+                .solve_rolling(&kernel, Some(|c: &lddp::problems::SwCell| c.best() as i64))
+                .unwrap();
+            let best = got.best.map(|(_, _, c)| c.best()).unwrap_or(0);
+            assert_eq!(best, want, "sw {}x{}", a.len(), b.len());
+        }
+    }
+}
+
+#[test]
+fn rolling_mode_rejects_non_wavefront_kernels() {
+    // Dithering schedules as a knight move — there is no anti-diagonal
+    // band to roll, so the engine must refuse rather than miscompute.
+    let kernel = lddp::problems::DitherKernel::gradient(9, 12);
+    assert!(ParallelEngine::new(2).solve_rolling(&kernel, None).is_err());
+}
+
+#[test]
+fn rolling_mode_survives_chaos_with_oracle_answers() {
+    use lddp::chaos::{FaultPlan, FaultPlanConfig};
+    let s = |n: usize, mul: usize| -> Vec<u8> { (0..n).map(|i| (i * mul % 7) as u8).collect() };
+    let kernel = lddp::problems::LcsKernel::new(s(61, 3), s(47, 5));
+    let d = kernel.dims();
+    let want = solve_row_major(&kernel)
+        .unwrap()
+        .get(d.rows - 1, d.cols - 1);
+    let cfg = FaultPlanConfig {
+        worker_panic_prob: 0.02,
+        bulk_panic_prob: 0.1,
+        ..FaultPlanConfig::none()
+    };
+    let mut degradations = 0usize;
+    for seed in 0..24u64 {
+        let plan = FaultPlan::new(seed, cfg);
+        let (got, steps) = ParallelEngine::new(4)
+            .solve_rolling_degrading(&kernel, None, &plan)
+            .unwrap();
+        assert_eq!(got.corner, Some(want), "seed {seed} steps {steps:?}");
+        degradations += steps.len();
+    }
+    // With these rates the ladder must actually fire somewhere in the
+    // campaign — otherwise the test silently stopped exercising it.
+    assert!(degradations > 0, "no degradation rung ever fired");
 }
 
 #[test]
