@@ -83,6 +83,14 @@ pub trait FaultInjector: Send + Sync {
     fn queue_stall(&self) -> Option<Duration> {
         None
     }
+
+    /// Should this admission be amplified into a synthetic batch-class
+    /// arrival burst, and by how many clones? Consulted once per
+    /// admitted request; exercises tenant quotas and the brownout
+    /// ladder under seeded, reproducible overload.
+    fn admission_storm(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The no-op injector used by release paths.
@@ -105,6 +113,7 @@ mod tests {
         assert!(!inj.torn_connection());
         assert!(inj.slow_connection().is_none());
         assert!(inj.queue_stall().is_none());
+        assert!(inj.admission_storm().is_none());
     }
 
     #[test]

@@ -41,17 +41,20 @@ pub enum FaultSite {
     SlowConnection,
     /// Serve worker stalls after queue pickup.
     QueueStall,
+    /// Admission amplified into a synthetic batch-class arrival burst.
+    AdmissionStorm,
 }
 
 impl FaultSite {
     /// All sites, in report order.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::WorkerPanic,
         FaultSite::BulkPanic,
         FaultSite::DeviceFault,
         FaultSite::TornConnection,
         FaultSite::SlowConnection,
         FaultSite::QueueStall,
+        FaultSite::AdmissionStorm,
     ];
 
     fn index(self) -> usize {
@@ -62,6 +65,7 @@ impl FaultSite {
             FaultSite::TornConnection => 3,
             FaultSite::SlowConnection => 4,
             FaultSite::QueueStall => 5,
+            FaultSite::AdmissionStorm => 6,
         }
     }
 
@@ -76,6 +80,7 @@ impl FaultSite {
             0x5899_65cc_7537_4cc3,
             0x1d8e_4e27_c47d_124f,
             0xeb44_acca_b455_d165,
+            0x2f1b_9d4a_6c83_e507,
         ][self.index()]
     }
 
@@ -88,6 +93,7 @@ impl FaultSite {
             FaultSite::TornConnection => "torn_connection",
             FaultSite::SlowConnection => "slow_connection",
             FaultSite::QueueStall => "queue_stall",
+            FaultSite::AdmissionStorm => "admission_storm",
         }
     }
 }
@@ -111,6 +117,11 @@ pub struct FaultPlanConfig {
     pub queue_stall_prob: f64,
     /// Stall duration, milliseconds.
     pub queue_stall_ms: u64,
+    /// Probability an admitted request is amplified into a synthetic
+    /// batch-class arrival burst.
+    pub admission_storm_prob: f64,
+    /// Number of synthetic batch clones per storm.
+    pub admission_storm_burst: usize,
 }
 
 impl FaultPlanConfig {
@@ -125,6 +136,8 @@ impl FaultPlanConfig {
             slow_conn_ms: 0,
             queue_stall_prob: 0.0,
             queue_stall_ms: 0,
+            admission_storm_prob: 0.0,
+            admission_storm_burst: 0,
         }
     }
 
@@ -141,6 +154,8 @@ impl FaultPlanConfig {
             slow_conn_ms: 20,
             queue_stall_prob: 0.05,
             queue_stall_ms: 30,
+            admission_storm_prob: 0.02,
+            admission_storm_burst: 4,
         }
     }
 
@@ -155,6 +170,8 @@ impl FaultPlanConfig {
             slow_conn_ms: 50,
             queue_stall_prob: 0.1,
             queue_stall_ms: 60,
+            admission_storm_prob: 0.05,
+            admission_storm_burst: 8,
         }
     }
 
@@ -166,6 +183,7 @@ impl FaultPlanConfig {
             FaultSite::TornConnection => self.torn_conn_prob,
             FaultSite::SlowConnection => self.slow_conn_prob,
             FaultSite::QueueStall => self.queue_stall_prob,
+            FaultSite::AdmissionStorm => self.admission_storm_prob,
         }
     }
 }
@@ -185,7 +203,7 @@ pub struct FaultReport {
     /// Seed the plan was built with.
     pub seed: u64,
     /// Per-site tallies, indexed in [`FaultSite::ALL`] order.
-    tallies: [SiteTally; 6],
+    tallies: [SiteTally; 7],
 }
 
 impl FaultReport {
@@ -228,8 +246,8 @@ impl FaultReport {
 pub struct FaultPlan {
     seed: u64,
     cfg: FaultPlanConfig,
-    draws: [AtomicU64; 6],
-    injected: [AtomicU64; 6],
+    draws: [AtomicU64; 7],
+    injected: [AtomicU64; 7],
 }
 
 impl FaultPlan {
@@ -272,7 +290,7 @@ impl FaultPlan {
 
     /// Snapshot of draws and injections so far.
     pub fn report(&self) -> FaultReport {
-        let mut tallies = [SiteTally::default(); 6];
+        let mut tallies = [SiteTally::default(); 7];
         for (i, t) in tallies.iter_mut().enumerate() {
             t.drawn = self.draws[i].load(Ordering::Relaxed);
             t.injected = self.injected[i].load(Ordering::Relaxed);
@@ -316,6 +334,14 @@ impl FaultInjector for FaultPlan {
     fn queue_stall(&self) -> Option<Duration> {
         if self.decide(FaultSite::QueueStall) {
             Some(Duration::from_millis(self.cfg.queue_stall_ms))
+        } else {
+            None
+        }
+    }
+
+    fn admission_storm(&self) -> Option<usize> {
+        if self.decide(FaultSite::AdmissionStorm) && self.cfg.admission_storm_burst > 0 {
+            Some(self.cfg.admission_storm_burst)
         } else {
             None
         }
@@ -380,6 +406,27 @@ mod tests {
         assert_eq!(r.site(FaultSite::SlowConnection).drawn, 1);
         assert_eq!(r.site(FaultSite::QueueStall).drawn, 1);
         assert_eq!(r.site(FaultSite::WorkerPanic).drawn, 0);
+    }
+
+    #[test]
+    fn admission_storm_is_seeded_and_sized() {
+        let cfg = FaultPlanConfig {
+            admission_storm_prob: 1.0,
+            admission_storm_burst: 5,
+            ..FaultPlanConfig::none()
+        };
+        let plan = FaultPlan::new(11, cfg);
+        assert_eq!(plan.admission_storm(), Some(5));
+        let r = plan.report();
+        assert_eq!(r.site(FaultSite::AdmissionStorm).drawn, 1);
+        assert_eq!(r.site(FaultSite::AdmissionStorm).injected, 1);
+        // Same seed, same decisions.
+        let a = FaultPlan::new(23, FaultPlanConfig::heavy());
+        let b = FaultPlan::new(23, FaultPlanConfig::heavy());
+        let seq_a: Vec<_> = (0..200).map(|_| a.admission_storm()).collect();
+        let seq_b: Vec<_> = (0..200).map(|_| b.admission_storm()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|s| s == &Some(8)));
     }
 
     #[test]

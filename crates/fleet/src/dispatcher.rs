@@ -27,10 +27,18 @@ pub struct Placement {
     pub backlog_s: f64,
 }
 
+/// Service classes the dispatcher accounts backlog under: index 0 is
+/// interactive, index 1 is batch (mirroring `lddp-serve`'s priority
+/// classes). Placement scores the *total* backlog — a pool drowning in
+/// batch work is genuinely slow for interactive work too — but the
+/// split is kept so operators can see which class owns a backlog.
+pub const BACKLOG_CLASSES: usize = 2;
+
 /// Earliest-predicted-completion placement over per-pool backlogs.
 #[derive(Debug)]
 pub struct Dispatcher {
-    backlogs: Mutex<Vec<f64>>,
+    /// Per platform, per service class, predicted seconds in flight.
+    backlogs: Mutex<Vec<[f64; BACKLOG_CLASSES]>>,
 }
 
 impl Dispatcher {
@@ -38,7 +46,7 @@ impl Dispatcher {
     pub fn new(platforms: usize) -> Dispatcher {
         assert!(platforms > 0, "a fleet needs at least one platform");
         Dispatcher {
-            backlogs: Mutex::new(vec![0.0; platforms]),
+            backlogs: Mutex::new(vec![[0.0; BACKLOG_CLASSES]; platforms]),
         }
     }
 
@@ -67,11 +75,11 @@ impl Dispatcher {
             "one estimate per fleet platform"
         );
         let mut best: Option<(usize, f64)> = None;
-        for (i, (&est, &backlog)) in est_s.iter().zip(backlogs.iter()).enumerate() {
+        for (i, (&est, classes)) in est_s.iter().zip(backlogs.iter()).enumerate() {
             if !est.is_finite() {
                 continue;
             }
-            let completion = backlog + est;
+            let completion = classes.iter().sum::<f64>() + est;
             // Strict `<` keeps ties on the lowest index.
             if best.is_none_or(|(_, b)| completion < b) {
                 best = Some((i, completion));
@@ -85,41 +93,67 @@ impl Dispatcher {
             } else {
                 0.0
             },
-            backlog_s: backlogs[platform],
+            backlog_s: backlogs[platform].iter().sum(),
         }
     }
 
     /// Charges `est_s` seconds of predicted work to `platform`'s
     /// backlog. Call when a placed batch starts executing (or is
-    /// committed to the pool's queue).
+    /// committed to the pool's queue). Work charged this way is
+    /// accounted to the interactive class; use
+    /// [`Dispatcher::begin_for`] to attribute it explicitly.
     pub fn begin(&self, platform: usize, est_s: f64) {
+        self.begin_for(platform, est_s, 0);
+    }
+
+    /// [`Dispatcher::begin`] with an explicit service class
+    /// (0 interactive, 1 batch; out-of-range clamps to the last).
+    pub fn begin_for(&self, platform: usize, est_s: f64, class: usize) {
         let mut backlogs = self.backlogs.lock().unwrap_or_else(|e| e.into_inner());
         if est_s.is_finite() && est_s > 0.0 {
-            backlogs[platform] += est_s;
+            backlogs[platform][class.min(BACKLOG_CLASSES - 1)] += est_s;
         }
     }
 
     /// Releases `est_s` seconds of predicted work from `platform`'s
     /// backlog, clamped at zero (float cancellation must never leave a
-    /// phantom negative queue).
+    /// phantom negative queue). Releases from the interactive class;
+    /// use [`Dispatcher::finish_for`] to attribute explicitly.
     pub fn finish(&self, platform: usize, est_s: f64) {
+        self.finish_for(platform, est_s, 0);
+    }
+
+    /// [`Dispatcher::finish`] with an explicit service class.
+    pub fn finish_for(&self, platform: usize, est_s: f64, class: usize) {
         let mut backlogs = self.backlogs.lock().unwrap_or_else(|e| e.into_inner());
         if est_s.is_finite() && est_s > 0.0 {
-            backlogs[platform] = (backlogs[platform] - est_s).max(0.0);
+            let slot = &mut backlogs[platform][class.min(BACKLOG_CLASSES - 1)];
+            *slot = (*slot - est_s).max(0.0);
         }
     }
 
-    /// Current backlog of one pool, seconds.
+    /// Current backlog of one pool, seconds, summed across classes.
     pub fn backlog(&self, platform: usize) -> f64 {
         self.backlogs.lock().unwrap_or_else(|e| e.into_inner())[platform]
+            .iter()
+            .sum()
     }
 
-    /// Snapshot of every pool's backlog, in member order.
+    /// Current backlog of one pool attributed to one service class,
+    /// seconds.
+    pub fn class_backlog(&self, platform: usize, class: usize) -> f64 {
+        self.backlogs.lock().unwrap_or_else(|e| e.into_inner())[platform]
+            [class.min(BACKLOG_CLASSES - 1)]
+    }
+
+    /// Snapshot of every pool's total backlog, in member order.
     pub fn backlogs(&self) -> Vec<f64> {
         self.backlogs
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .clone()
+            .iter()
+            .map(|classes| classes.iter().sum())
+            .collect()
     }
 }
 
@@ -230,5 +264,27 @@ mod tests {
     #[should_panic(expected = "one estimate per fleet platform")]
     fn estimate_count_must_match_pool_count() {
         Dispatcher::new(2).place(&[1.0]);
+    }
+
+    #[test]
+    fn class_backlogs_split_but_score_together() {
+        let d = Dispatcher::new(2);
+        d.begin_for(0, 1.0, 0);
+        d.begin_for(0, 2.0, 1);
+        assert_eq!(d.class_backlog(0, 0), 1.0);
+        assert_eq!(d.class_backlog(0, 1), 2.0);
+        // Placement sees the pool's total (3.0), not either slice.
+        assert_eq!(d.backlog(0), 3.0);
+        let p = d.place(&[1.0, 2.5]);
+        assert_eq!(p.platform, 1, "total backlog diverts despite class split");
+        assert_eq!(p.backlog_s, 0.0);
+        // Releases are per class and clamp independently.
+        d.finish_for(0, 5.0, 1);
+        assert_eq!(d.class_backlog(0, 1), 0.0);
+        assert_eq!(d.class_backlog(0, 0), 1.0);
+        // Out-of-range classes clamp to the last slot instead of
+        // panicking (forward compatibility with more classes).
+        d.begin_for(1, 1.0, 9);
+        assert_eq!(d.class_backlog(1, 1), 1.0);
     }
 }

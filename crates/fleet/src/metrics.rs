@@ -65,6 +65,13 @@ impl FleetMetrics {
                 &labels,
                 "Predicted seconds of work queued per fleet platform.",
             );
+            for class in ["interactive", "batch"] {
+                live.gauge(
+                    "lddp_fleet_class_backlog_seconds",
+                    &[("platform", name.as_str()), ("class", class)],
+                    "Predicted seconds of work queued per fleet platform, by service class.",
+                );
+            }
             live.histogram(
                 "lddp_fleet_predicted_seconds",
                 &labels,
@@ -144,6 +151,19 @@ impl FleetMetrics {
         }
     }
 
+    /// Publishes platform `idx`'s backlog attributed to one service
+    /// class (`"interactive"` or `"batch"`).
+    pub fn set_class_backlog(&self, idx: usize, class: &str, backlog_s: f64) {
+        if let Some(live) = &self.live {
+            live.gauge(
+                "lddp_fleet_class_backlog_seconds",
+                &[("platform", self.names[idx].as_str()), ("class", class)],
+                "",
+            )
+            .set(backlog_s);
+        }
+    }
+
     /// Records one cross-device MultiPlan split over `devices` devices.
     pub fn on_split(&self, devices: usize) {
         self.splits.fetch_add(1, Ordering::Relaxed);
@@ -198,6 +218,8 @@ mod tests {
             "lddp_fleet_solves_total{platform=\"alpha\"} 0",
             "lddp_fleet_degraded_total{platform=\"beta\"} 0",
             "lddp_fleet_backlog_seconds{platform=\"alpha\"} 0",
+            "lddp_fleet_class_backlog_seconds{platform=\"alpha\",class=\"interactive\"} 0",
+            "lddp_fleet_class_backlog_seconds{platform=\"beta\",class=\"batch\"} 0",
             "lddp_fleet_predicted_seconds_count{platform=\"beta\"} 0",
             "lddp_fleet_actual_seconds_count{platform=\"alpha\"} 0",
             "lddp_fleet_completion_ratio_count{platform=\"alpha\"} 0",
@@ -218,6 +240,7 @@ mod tests {
         m.on_finish(1, 0.5, 0.25, true);
         m.on_split(3);
         m.set_backlog(0, 2.5);
+        m.set_class_backlog(0, "batch", 1.5);
         assert_eq!(m.placements(0), 1);
         assert_eq!(m.placements(1), 2);
         assert_eq!(m.solves(1), 2);
@@ -235,6 +258,10 @@ mod tests {
         assert_eq!(get("lddp_fleet_solves_total{platform=\"beta\"}"), 2.0);
         assert_eq!(get("lddp_fleet_degraded_total{platform=\"beta\"}"), 1.0);
         assert_eq!(get("lddp_fleet_backlog_seconds{platform=\"alpha\"}"), 2.5);
+        assert_eq!(
+            get("lddp_fleet_class_backlog_seconds{platform=\"alpha\",class=\"batch\"}"),
+            1.5
+        );
         assert_eq!(
             get("lddp_fleet_completion_ratio_count{platform=\"beta\"}"),
             2.0

@@ -252,6 +252,20 @@ impl HttpConnection {
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), String> {
+        self.request_ex(method, path, body)
+            .map(|(status, body, _)| (status, body))
+    }
+
+    /// [`HttpConnection::request`], also returning the parsed
+    /// `Retry-After` header (whole seconds) when the server sent one —
+    /// how backpressure rejections (429/503) tell clients when a retry
+    /// has a chance.
+    pub fn request_ex(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String, Option<u64>), String> {
         let body = body.unwrap_or("");
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
@@ -272,13 +286,19 @@ impl HttpConnection {
             .and_then(|s| s.parse::<u16>().ok())
             .ok_or("response missing status code")?;
         let mut content_length = 0usize;
+        let mut retry_after_s = None;
         for line in lines {
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
                     content_length = value
                         .trim()
                         .parse::<usize>()
                         .map_err(|e| format!("bad content-length: {e}"))?;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    // Only the delta-seconds form; an unparseable value
+                    // (e.g. an HTTP-date) degrades to "no hint".
+                    retry_after_s = value.trim().parse::<u64>().ok();
                 }
             }
         }
@@ -292,7 +312,7 @@ impl HttpConnection {
             .read_exact(&mut payload)
             .map_err(|e| format!("reading response body: {e}"))?;
         let payload = String::from_utf8(payload).map_err(|_| "response is not UTF-8")?;
-        Ok((status, payload))
+        Ok((status, payload, retry_after_s))
     }
 }
 
@@ -460,6 +480,30 @@ mod tests {
         stream.read_to_end(&mut raw).unwrap();
         let text = String::from_utf8(raw).unwrap();
         assert!(text.contains("Retry-After: 7\r\n"), "{text}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pooled_connection_parses_retry_after() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            let _ = read_request(&mut conn).unwrap();
+            write_response_ex(&mut conn, 429, "{}", true, Some(3)).unwrap();
+            let _ = read_request(&mut conn).unwrap();
+            write_response(&mut conn, 200, "{}", true).unwrap();
+        });
+        let mut conn = HttpConnection::connect(&addr, Duration::from_secs(5)).unwrap();
+        let (status, _, retry) = conn.request_ex("POST", "/solve", Some("{}")).unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(retry, Some(3));
+        // A response without the header reports None.
+        let (status, _, retry) = conn.request_ex("POST", "/solve", Some("{}")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(retry, None);
+        drop(conn);
         server.join().unwrap();
     }
 

@@ -5,6 +5,47 @@ use lddp_core::kernel::{ExecTier, MemoryMode};
 use lddp_core::schedule::ScheduleParams;
 use lddp_trace::json::{self, escape, num, Json};
 
+/// Request service class. Interactive traffic is latency-sensitive and
+/// never shed while batch work remains sheddable; batch traffic is
+/// throughput work that absorbs every overload response first (separate
+/// queue budget, brownout shedding, concurrency caps, forced rolling
+/// memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive foreground traffic (the default).
+    #[default]
+    Interactive,
+    /// Throughput-oriented background traffic; first to be shed.
+    Batch,
+}
+
+impl Priority {
+    /// Stable wire/metric-label name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(text: &str) -> Option<Priority> {
+        match text {
+            "interactive" => Some(Priority::Interactive),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+
+    /// Dense index for per-class arrays (interactive first).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+        }
+    }
+}
+
 /// One solve request, as admitted into the queue.
 ///
 /// `problem`/`n`/`platform` identify the instance the same way
@@ -28,6 +69,12 @@ pub struct SolveRequest {
     /// wave-band path, `Some(Full)` pins the materialized table,
     /// `None` accepts the tuner's budget-based choice.
     pub memory_mode: Option<MemoryMode>,
+    /// Service class; defaults to [`Priority::Interactive`].
+    pub priority: Priority,
+    /// Submitting tenant, for quota accounting and weighted-fair batch
+    /// formation. Empty means "unattributed" (still one fair-share
+    /// bucket of its own).
+    pub tenant: String,
 }
 
 impl SolveRequest {
@@ -41,6 +88,8 @@ impl SolveRequest {
             params: None,
             deadline_ms: None,
             memory_mode: None,
+            priority: Priority::Interactive,
+            tenant: String::new(),
         }
     }
 
@@ -55,6 +104,7 @@ impl SolveRequest {
             platform: self.platform.clone(),
             params: self.params.map(|p| (p.t_switch, p.t_share)),
             memory: self.memory_mode,
+            priority: self.priority,
         }
     }
 
@@ -77,6 +127,12 @@ impl SolveRequest {
         }
         if let Some(m) = self.memory_mode {
             s.push_str(&format!(",\"memory_mode\":\"{}\"", m.as_str()));
+        }
+        if self.priority != Priority::Interactive {
+            s.push_str(&format!(",\"priority\":\"{}\"", self.priority.as_str()));
+        }
+        if !self.tenant.is_empty() {
+            s.push_str(&format!(",\"tenant\":\"{}\"", escape(&self.tenant)));
         }
         s.push('}');
         s
@@ -134,6 +190,19 @@ impl SolveRequest {
                 )
             }
         };
+        let priority = match v.get("priority") {
+            None => Priority::Interactive,
+            Some(j) => {
+                let text = j.as_str().ok_or("\"priority\" must be a string")?;
+                Priority::parse(text).ok_or("\"priority\" must be \"interactive\" or \"batch\"")?
+            }
+        };
+        let tenant = v
+            .get("tenant")
+            .map(|j| j.as_str().ok_or("\"tenant\" must be a string"))
+            .transpose()?
+            .unwrap_or("")
+            .to_string();
         Ok(SolveRequest {
             problem,
             n,
@@ -141,6 +210,8 @@ impl SolveRequest {
             params,
             deadline_ms,
             memory_mode,
+            priority,
+            tenant,
         })
     }
 }
@@ -160,6 +231,11 @@ pub struct BatchKey {
     /// requests never share a batch (and a tuner artifact) with
     /// full-table ones.
     pub memory: Option<MemoryMode>,
+    /// Service class: interactive and batch traffic never share a
+    /// batch, so a brownout action on a batch never delays an
+    /// interactive rider. Tenants are deliberately *not* part of the
+    /// key — fair gathering across tenants happens inside a batch.
+    pub priority: Priority,
 }
 
 impl BatchKey {
@@ -175,6 +251,10 @@ impl BatchKey {
         if let Some(m) = self.memory {
             label.push('/');
             label.push_str(m.as_str());
+        }
+        if self.priority == Priority::Batch {
+            label.push('/');
+            label.push_str(self.priority.as_str());
         }
         label
     }
@@ -207,6 +287,32 @@ pub enum RejectReason {
         /// the `Retry-After` header).
         retry_after_s: u64,
     },
+    /// The §IV cost estimate says the solve cannot finish inside the
+    /// request's own deadline, so admission refuses it up front instead
+    /// of wasting a solve slot on a doomed request.
+    DeadlineInfeasible {
+        /// Modelled solve time for the instance, milliseconds.
+        estimate_ms: u64,
+        /// The deadline the request carried, milliseconds.
+        deadline_ms: u64,
+    },
+    /// The tenant exhausted its admission quota (token bucket).
+    TenantQuota {
+        /// The over-quota tenant.
+        tenant: String,
+        /// Suggested wait until a token refills, seconds (also sent as
+        /// the `Retry-After` header).
+        retry_after_s: u64,
+    },
+    /// The brownout ladder is shedding this service class under
+    /// sustained overload.
+    BrownoutShed {
+        /// Current brownout level (1..).
+        level: u8,
+        /// Suggested client wait, seconds (also the `Retry-After`
+        /// header).
+        retry_after_s: u64,
+    },
 }
 
 impl RejectReason {
@@ -218,6 +324,9 @@ impl RejectReason {
             RejectReason::DeadlineExceeded { .. } => "deadline_exceeded",
             RejectReason::Invalid(_) => "invalid",
             RejectReason::BreakerOpen { .. } => "breaker_open",
+            RejectReason::DeadlineInfeasible { .. } => "deadline_infeasible",
+            RejectReason::TenantQuota { .. } => "tenant_quota",
+            RejectReason::BrownoutShed { .. } => "brownout_shed",
         }
     }
 
@@ -236,6 +345,22 @@ impl RejectReason {
             RejectReason::BreakerOpen { retry_after_s } => {
                 format!("backend circuit breaker open; retry after {retry_after_s} s")
             }
+            RejectReason::DeadlineInfeasible {
+                estimate_ms,
+                deadline_ms,
+            } => format!(
+                "estimated solve time {estimate_ms} ms cannot meet the {deadline_ms} ms deadline"
+            ),
+            RejectReason::TenantQuota {
+                tenant,
+                retry_after_s,
+            } => format!("tenant \"{tenant}\" over admission quota; retry after {retry_after_s} s"),
+            RejectReason::BrownoutShed {
+                level,
+                retry_after_s,
+            } => format!(
+                "brownout level {level}: batch-class admissions shed; retry after {retry_after_s} s"
+            ),
         }
     }
 
@@ -247,14 +372,22 @@ impl RejectReason {
             RejectReason::DeadlineExceeded { .. } => 504,
             RejectReason::Invalid(_) => 400,
             RejectReason::BreakerOpen { .. } => 503,
+            RejectReason::DeadlineInfeasible { .. } => 504,
+            RejectReason::TenantQuota { .. } => 429,
+            RejectReason::BrownoutShed { .. } => 503,
         }
     }
 
     /// The `Retry-After` value (seconds) this rejection should carry,
-    /// when it has one.
+    /// when it has one. Backpressure rejections (`queue_full`,
+    /// `tenant_quota`, `brownout_shed`, `breaker_open`) all carry one
+    /// so well-behaved clients pace themselves instead of hammering.
     pub fn retry_after_s(&self) -> Option<u64> {
         match self {
-            RejectReason::BreakerOpen { retry_after_s } => Some(*retry_after_s),
+            RejectReason::BreakerOpen { retry_after_s }
+            | RejectReason::TenantQuota { retry_after_s, .. }
+            | RejectReason::BrownoutShed { retry_after_s, .. } => Some(*retry_after_s),
+            RejectReason::QueueFull { .. } => Some(1),
             _ => None,
         }
     }
@@ -559,6 +692,21 @@ mod tests {
         );
         assert!(rolling.batch_key().label().ends_with("/rolling"));
         assert!(SolveRequest::from_json(r#"{"problem":"lcs","memory_mode":"sideways"}"#).is_err());
+
+        // Priority and tenant ride the wire; defaults stay off it so old
+        // servers keep parsing new clients' default-class requests.
+        let mut qos = SolveRequest::new("lcs", 64);
+        qos.priority = Priority::Batch;
+        qos.tenant = "acme".into();
+        let body = qos.to_json();
+        assert!(body.contains("\"priority\":\"batch\""));
+        assert!(body.contains("\"tenant\":\"acme\""));
+        let back = SolveRequest::from_json(&body).unwrap();
+        assert_eq!(back, qos);
+        let plain = SolveRequest::new("lcs", 64).to_json();
+        assert!(!plain.contains("priority"));
+        assert!(!plain.contains("tenant"));
+        assert!(SolveRequest::from_json(r#"{"problem":"lcs","priority":"urgent"}"#).is_err());
     }
 
     #[test]
@@ -656,6 +804,30 @@ mod tests {
                 "breaker_open",
                 503,
             ),
+            (
+                RejectReason::DeadlineInfeasible {
+                    estimate_ms: 900,
+                    deadline_ms: 100,
+                },
+                "deadline_infeasible",
+                504,
+            ),
+            (
+                RejectReason::TenantQuota {
+                    tenant: "acme".into(),
+                    retry_after_s: 2,
+                },
+                "tenant_quota",
+                429,
+            ),
+            (
+                RejectReason::BrownoutShed {
+                    level: 1,
+                    retry_after_s: 1,
+                },
+                "brownout_shed",
+                503,
+            ),
         ];
         for (r, code, status) in cases {
             assert_eq!(r.code(), code);
@@ -668,6 +840,49 @@ mod tests {
         assert_eq!(b.http_status(), 500);
         assert_eq!(b.code(), "backend_error");
         assert_eq!(b.retry_after_s(), None);
+
+        // Every backpressure rejection carries a Retry-After hint.
+        assert_eq!(
+            RejectReason::QueueFull { capacity: 8 }.retry_after_s(),
+            Some(1)
+        );
+        assert_eq!(
+            RejectReason::TenantQuota {
+                tenant: "t".into(),
+                retry_after_s: 3
+            }
+            .retry_after_s(),
+            Some(3)
+        );
+        assert_eq!(
+            RejectReason::BrownoutShed {
+                level: 2,
+                retry_after_s: 1
+            }
+            .retry_after_s(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn priority_classes_parse_and_separate_batch_keys() {
+        assert_eq!(Priority::parse("interactive"), Some(Priority::Interactive));
+        assert_eq!(Priority::parse("batch"), Some(Priority::Batch));
+        assert_eq!(Priority::parse("bulk"), None);
+        assert_eq!(Priority::default(), Priority::Interactive);
+        assert_eq!(Priority::Interactive.index(), 0);
+        assert_eq!(Priority::Batch.index(), 1);
+
+        // Classes never share a batch (or a tuner artifact slot).
+        let fg = SolveRequest::new("lcs", 64);
+        let mut bg = SolveRequest::new("lcs", 64);
+        bg.priority = Priority::Batch;
+        assert_ne!(fg.batch_key(), bg.batch_key());
+        assert!(bg.batch_key().label().ends_with("/batch"));
+        // Tenants DO share a batch: fairness happens inside it.
+        let mut other = bg.clone();
+        other.tenant = "acme".into();
+        assert_eq!(bg.batch_key(), other.batch_key());
     }
 
     #[test]

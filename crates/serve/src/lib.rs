@@ -25,6 +25,13 @@
 //!   flight recorder keeps the last few thousand spans for
 //!   `GET /debug/trace` (Chrome trace JSON) — no sink, flag, or
 //!   restart required. See `docs/OBSERVABILITY.md`.
+//! - **Quality of service** — two service classes
+//!   (`interactive`/`batch`) with separate queue budgets, EDF ordering
+//!   within each class, per-tenant admission quotas (`429
+//!   tenant_quota`), §IV cost-model feasibility rejection of
+//!   un-meetable deadlines (`504 deadline_infeasible`), and a
+//!   [`brownout`] ladder that sheds batch work in graduated steps
+//!   under sustained queue pressure. See `docs/SERVING.md`.
 //! - **Graceful shutdown** — `POST /shutdown` (or
 //!   [`Client::shutdown`]) closes admission, drains the queue, answers
 //!   everything in flight, then joins every thread.
@@ -43,6 +50,7 @@
 //! `std::net`, and the in-process [`Client`]. [`loadgen`] drives
 //! either through the same engine.
 
+pub mod brownout;
 pub mod http;
 pub mod job;
 pub mod loadgen;
@@ -50,7 +58,8 @@ pub mod queue;
 pub mod server;
 pub mod stats;
 
-pub use job::{BatchKey, RejectReason, ServeError, SolveRequest, SolveResponse};
+pub use brownout::{Brownout, BrownoutConfig};
+pub use job::{BatchKey, Priority, RejectReason, ServeError, SolveRequest, SolveResponse};
 pub use queue::{Job, JobQueue, Popped};
 pub use server::{BackendSolve, BatchPlan, Client, PoolHealth, ServeConfig, Server, SolveBackend};
 pub use stats::{LatencySummary, ServeStats, StatsSnapshot};
@@ -58,7 +67,7 @@ pub use stats::{LatencySummary, ServeStats, StatsSnapshot};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lddp_core::kernel::ExecTier;
+    use lddp_core::kernel::{ExecTier, MemoryMode};
     use lddp_core::schedule::ScheduleParams;
     use lddp_core::tuner_cache::TunedConfig;
     use lddp_trace::{NullSink, Recorder, TraceSink};
@@ -67,7 +76,9 @@ mod tests {
 
     /// Deterministic fake backend: answers `"<problem>:<n>"`, counts
     /// tune calls, and can be slowed down, made to fail, made to
-    /// panic, or made to report a degraded solve.
+    /// panic, or made to report a degraded solve. For QoS tests it can
+    /// also report a fixed §IV cost estimate and rolling support, and
+    /// it counts tune probes that arrived pinned to rolling memory.
     struct MockBackend {
         tunes: AtomicUsize,
         solves: AtomicUsize,
@@ -75,6 +86,9 @@ mod tests {
         fail_problem: Option<&'static str>,
         panic_problem: Option<&'static str>,
         degrade_problem: Option<&'static str>,
+        estimate_ms: Option<f64>,
+        rolling_ok: bool,
+        rolling_probes: AtomicUsize,
     }
 
     impl MockBackend {
@@ -86,6 +100,9 @@ mod tests {
                 fail_problem: None,
                 panic_problem: None,
                 degrade_problem: None,
+                estimate_ms: None,
+                rolling_ok: false,
+                rolling_probes: AtomicUsize::new(0),
             }
         }
     }
@@ -101,12 +118,23 @@ mod tests {
 
         fn tune(
             &self,
-            _probe: &SolveRequest,
+            probe: &SolveRequest,
             _sink: &dyn TraceSink,
         ) -> Result<(TunedConfig, bool), String> {
+            if probe.memory_mode == Some(MemoryMode::Rolling) {
+                self.rolling_probes.fetch_add(1, Ordering::SeqCst);
+            }
             let prior = self.tunes.fetch_add(1, Ordering::SeqCst);
             let config = TunedConfig::new(ScheduleParams::new(2, 16), ExecTier::Simd);
             Ok((config, prior > 0))
+        }
+
+        fn estimate_ms(&self, _req: &SolveRequest) -> Option<f64> {
+            self.estimate_ms
+        }
+
+        fn supports_rolling(&self, _req: &SolveRequest) -> bool {
+            self.rolling_ok
         }
 
         fn solve(
@@ -259,9 +287,12 @@ mod tests {
         };
         let server = Server::new(config, &backend, &NullSink);
         server.run(None, |client| {
-            // First request occupies the worker; the second's 1 ms
-            // deadline expires while it queues behind it.
+            // First request occupies the worker (the sleep lets it be
+            // picked up — EDF would otherwise pop the deadline-carrying
+            // job first); the second's 1 ms deadline then expires while
+            // it queues behind the in-flight solve.
             let slow = client.submit(SolveRequest::new("lcs", 64)).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
             let mut hasty_req = SolveRequest::new("lcs", 64);
             hasty_req.deadline_ms = Some(1);
             let hasty = client.submit(hasty_req).unwrap();
@@ -547,5 +578,227 @@ mod tests {
             assert!(body.contains("draining"), "{body}");
         });
         // run() returning proves the drain joined every thread.
+    }
+
+    #[test]
+    fn infeasible_deadlines_fail_fast_without_solving() {
+        let mut backend = MockBackend::new();
+        backend.estimate_ms = Some(5_000.0);
+        let server = Server::new(ServeConfig::default(), &backend, &NullSink);
+        server.run(None, |client| {
+            // The §IV estimate (5 s) outruns the 50 ms deadline:
+            // rejected at admission, no solve slot spent.
+            let mut req = SolveRequest::new("lcs", 64);
+            req.deadline_ms = Some(50);
+            let err = client.solve(req).unwrap_err();
+            assert_eq!(err.code(), "deadline_infeasible");
+            assert_eq!(err.http_status(), 504);
+            // Deadline-free requests skip the feasibility check.
+            let ok = client.solve(SolveRequest::new("lcs", 64)).unwrap();
+            assert_eq!(ok.answer, "lcs:64");
+        });
+        assert_eq!(backend.solves.load(Ordering::SeqCst), 1);
+        let snap = server.snapshot();
+        assert_eq!(snap.rejected_infeasible, 1);
+        assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_over_rate_submitters() {
+        let backend = MockBackend::new();
+        let config = ServeConfig {
+            tenant_quota_rps: Some(0.1),
+            tenant_quota_burst: 2.0,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config, &backend, &NullSink);
+        server.run(None, |client| {
+            let tenant_req = || {
+                let mut r = SolveRequest::new("lcs", 64);
+                r.tenant = "acme".to_string();
+                r
+            };
+            // Burst of 2 goes through; the third is over quota.
+            client.solve(tenant_req()).unwrap();
+            client.solve(tenant_req()).unwrap();
+            let err = client.solve(tenant_req()).unwrap_err();
+            assert_eq!(err.code(), "tenant_quota");
+            assert_eq!(err.http_status(), 429);
+            assert!(err.retry_after_s().unwrap_or(0) >= 1);
+            // Unattributed requests are not quota'd.
+            for _ in 0..5 {
+                client.solve(SolveRequest::new("lcs", 64)).unwrap();
+            }
+        });
+        let snap = server.snapshot();
+        assert_eq!(snap.rejected_tenant, 1);
+        assert_eq!(snap.completed, 7);
+        let metrics = server.metrics_text();
+        assert!(
+            metrics.contains("lddp_serve_tenant_total{tenant=\"acme\",outcome=\"accepted\"} 2"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("lddp_serve_tenant_total{tenant=\"acme\",outcome=\"rejected\"} 1"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn brownout_ladder_sheds_batch_and_recovers() {
+        let mut backend = MockBackend::new();
+        backend.solve_delay = Duration::from_millis(20);
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            queue_capacity: 8,
+            batch_queue_capacity: Some(8),
+            brownout: BrownoutConfig {
+                high_watermark: 0.5,
+                low_watermark: 0.25,
+                engage_after: 3,
+                disengage_after: 3,
+                max_level: 1,
+            },
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config, &backend, &NullSink);
+        server.run(None, |client| {
+            // Flood the interactive class: the pushes alone hold fill
+            // above the high watermark long enough to engage level 1.
+            let rxs: Vec<_> = (0..8)
+                .map(|_| client.submit(SolveRequest::new("lcs", 64)).unwrap())
+                .collect();
+            // Batch admissions are now shed; interactive never is.
+            let mut batch_req = SolveRequest::new("lcs", 64);
+            batch_req.priority = Priority::Batch;
+            match client.submit(batch_req) {
+                Err(RejectReason::BrownoutShed {
+                    level,
+                    retry_after_s,
+                }) => {
+                    assert_eq!(level, 1);
+                    assert!(retry_after_s >= 1);
+                }
+                other => panic!("expected brownout shed, got {other:?}"),
+            }
+            // Drain; dequeue-side observations walk the ladder back
+            // down with hysteresis.
+            for rx in rxs {
+                rx.recv().unwrap().unwrap();
+            }
+            let mut batch_req = SolveRequest::new("lcs", 64);
+            batch_req.priority = Priority::Batch;
+            let ok = client.solve(batch_req).unwrap();
+            assert_eq!(ok.answer, "lcs:64");
+        });
+        let snap = server.snapshot();
+        assert_eq!(snap.brownout_level, 0, "ladder fully disengaged");
+        assert!(snap.brownout_engaged >= 1);
+        assert!(snap.brownout_disengaged >= 1);
+        assert_eq!(snap.rejected_brownout, 1);
+        assert_eq!(snap.class_accepted[0], 8);
+        assert_eq!(snap.class_accepted[1], 1);
+        assert_eq!(snap.class_shed[1], 1);
+        assert_eq!(snap.class_shed[0], 0, "interactive is never brownout-shed");
+    }
+
+    #[test]
+    fn brownout_level_three_forces_rolling_on_batch_solves() {
+        struct StallOnce(AtomicUsize);
+        impl lddp_chaos::FaultInjector for StallOnce {
+            fn active(&self) -> bool {
+                true
+            }
+            fn queue_stall(&self) -> Option<Duration> {
+                if self.0.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Some(Duration::from_millis(80))
+                } else {
+                    None
+                }
+            }
+        }
+        let mut backend = MockBackend::new();
+        backend.rolling_ok = true;
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            queue_capacity: 8,
+            batch_queue_capacity: Some(8),
+            brownout: BrownoutConfig {
+                high_watermark: 0.05,
+                low_watermark: 0.01,
+                engage_after: 1,
+                disengage_after: 100,
+                max_level: 3,
+            },
+            ..ServeConfig::default()
+        };
+        let injector = StallOnce(AtomicUsize::new(0));
+        let server = Server::with_injector(config, &backend, &NullSink, &injector);
+        server.run(None, |client| {
+            // The batch job is admitted at level 0 and picked up
+            // immediately — where the injected stall parks the worker.
+            let mut batch_req = SolveRequest::new("lcs", 64);
+            batch_req.priority = Priority::Batch;
+            let batch_rx = client.submit(batch_req).unwrap();
+            // While it sits, interactive pushes climb the ladder to
+            // level 3 (every observation engages).
+            let rxs: Vec<_> = (0..3)
+                .map(|_| client.submit(SolveRequest::new("lcs", 64)).unwrap())
+                .collect();
+            batch_rx.recv().unwrap().unwrap();
+            for rx in rxs {
+                rx.recv().unwrap().unwrap();
+            }
+        });
+        // Exactly the batch batch was pinned to rolling; the
+        // interactive batches tuned unpinned even at level 3.
+        assert_eq!(backend.rolling_probes.load(Ordering::SeqCst), 1);
+        let metrics = server.metrics_text();
+        assert!(
+            metrics.contains("lddp_serve_brownout_forced_rolling_total 1"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn admission_storm_floods_batch_class_without_touching_submitter() {
+        struct StormOnce(AtomicUsize);
+        impl lddp_chaos::FaultInjector for StormOnce {
+            fn active(&self) -> bool {
+                true
+            }
+            fn admission_storm(&self) -> Option<usize> {
+                if self.0.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Some(3)
+                } else {
+                    None
+                }
+            }
+        }
+        let backend = MockBackend::new();
+        let injector = StormOnce(AtomicUsize::new(0));
+        let server = Server::with_injector(ServeConfig::default(), &backend, &NullSink, &injector);
+        server.run(None, |client| {
+            // The carrying request still succeeds; the storm rides in
+            // as synthetic batch-class arrivals on a reserved tenant.
+            let resp = client.solve(SolveRequest::new("lcs", 64)).unwrap();
+            assert_eq!(resp.answer, "lcs:64");
+        });
+        let snap = server.snapshot();
+        assert_eq!(snap.class_accepted[1], 3, "storm clones are batch class");
+        assert_eq!(snap.class_accepted[0], 1);
+        assert_eq!(snap.completed, 4, "drain answers the storm clones too");
+        let metrics = server.metrics_text();
+        assert!(
+            metrics.contains("lddp_chaos_injected_total{site=\"admission_storm\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics
+                .contains("lddp_serve_tenant_total{tenant=\"chaos-storm\",outcome=\"accepted\"} 3"),
+            "{metrics}"
+        );
     }
 }

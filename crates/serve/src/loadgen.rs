@@ -23,15 +23,35 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
+/// A failed solve attempt, in the server's wire vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetError {
+    /// Wire code (`queue_full`, `tenant_quota`, `brownout_shed`,
+    /// `deadline_exceeded`…) plus the loadgen-local `transport` for
+    /// connections that failed before an HTTP status came back.
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// The server's `Retry-After` hint, seconds, when the rejection
+    /// carried one (backpressure 429/503s do).
+    pub retry_after_s: Option<u64>,
+}
+
+impl TargetError {
+    /// An error with no retry hint.
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> TargetError {
+        TargetError {
+            code: code.into(),
+            message: message.into(),
+            retry_after_s: None,
+        }
+    }
+}
+
 /// Something that answers one solve request at a time.
-///
-/// Errors are `(code, message)` pairs using the server's wire codes
-/// (`queue_full`, `shutting_down`, `deadline_exceeded`, `invalid`,
-/// `backend`) plus the loadgen-local `transport` for connections that
-/// failed before an HTTP status came back.
 pub trait SolveTarget: Sync {
     /// Executes one request, blocking until the outcome.
-    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)>;
+    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, TargetError>;
 }
 
 /// A remote server reached over HTTP, with a pool of keep-alive
@@ -54,9 +74,13 @@ impl HttpTarget {
         }
     }
 
-    fn interpret(status: u16, body: String) -> Result<SolveResponse, (String, String)> {
+    fn interpret(
+        status: u16,
+        body: String,
+        retry_after_s: Option<u64>,
+    ) -> Result<SolveResponse, TargetError> {
         if status == 200 {
-            SolveResponse::from_json(&body).map_err(|e| ("transport".to_string(), e))
+            SolveResponse::from_json(&body).map_err(|e| TargetError::new("transport", e))
         } else {
             let parsed = json::parse(&body).ok();
             let field = |name: &str| {
@@ -66,16 +90,17 @@ impl HttpTarget {
                     .and_then(|v| v.as_str())
                     .map(str::to_string)
             };
-            Err((
-                field("error").unwrap_or_else(|| format!("http_{status}")),
-                field("message").unwrap_or(body),
-            ))
+            Err(TargetError {
+                code: field("error").unwrap_or_else(|| format!("http_{status}")),
+                message: field("message").unwrap_or(body),
+                retry_after_s,
+            })
         }
     }
 }
 
 impl SolveTarget for HttpTarget {
-    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
+    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, TargetError> {
         let payload = req.to_json();
         // A pooled connection may be stale (server closed it); treat a
         // transport failure on it as a miss and redial fresh instead of
@@ -83,27 +108,30 @@ impl SolveTarget for HttpTarget {
         // is released before the request (and the push-back) run.
         let pooled = self.pool.lock().unwrap().pop();
         if let Some(mut conn) = pooled {
-            if let Ok((status, body)) = conn.request("POST", "/solve", Some(&payload)) {
+            if let Ok((status, body, retry)) = conn.request_ex("POST", "/solve", Some(&payload)) {
                 self.pool.lock().unwrap().push(conn);
-                return Self::interpret(status, body);
+                return Self::interpret(status, body, retry);
             }
         }
         let mut conn = http::HttpConnection::connect(&self.addr, self.timeout)
-            .map_err(|e| ("transport".to_string(), e))?;
-        match conn.request("POST", "/solve", Some(&payload)) {
-            Ok((status, body)) => {
+            .map_err(|e| TargetError::new("transport", e))?;
+        match conn.request_ex("POST", "/solve", Some(&payload)) {
+            Ok((status, body, retry)) => {
                 self.pool.lock().unwrap().push(conn);
-                Self::interpret(status, body)
+                Self::interpret(status, body, retry)
             }
-            Err(e) => Err(("transport".to_string(), e)),
+            Err(e) => Err(TargetError::new("transport", e)),
         }
     }
 }
 
 impl SolveTarget for Client<'_, '_> {
-    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
-        self.solve(req.clone())
-            .map_err(|e| (e.code().to_string(), e.message()))
+    fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, TargetError> {
+        self.solve(req.clone()).map_err(|e| TargetError {
+            code: e.code().to_string(),
+            message: e.message(),
+            retry_after_s: e.retry_after_s(),
+        })
     }
 }
 
@@ -159,6 +187,7 @@ struct Tally {
     mismatches: usize,
     retries: usize,
     recovered: usize,
+    retry_after_honored: usize,
     by_code: Vec<(String, usize)>,
     total_ms: Vec<f64>,
     queue_ms: Vec<f64>,
@@ -205,6 +234,9 @@ pub struct LoadReport {
     /// final answer passing the oracle check (when one is configured) —
     /// the "recovered from a transient fault" population.
     pub recovered: usize,
+    /// Retry pauses that followed a server `Retry-After` hint instead
+    /// of the jittered backoff schedule.
+    pub retry_after_honored: usize,
     /// Per-code breakdown of every non-completed outcome.
     pub by_code: Vec<(String, usize)>,
     /// Run wall clock, seconds.
@@ -258,26 +290,38 @@ pub fn metrics_delta(before: &[(String, f64)], after: &[(String, f64)]) -> Vec<(
         .collect()
 }
 
-const REJECT_CODES: [&str; 5] = [
+const REJECT_CODES: [&str; 8] = [
     "queue_full",
     "shutting_down",
     "deadline_exceeded",
+    "deadline_infeasible",
     "invalid",
     "breaker_open",
+    "tenant_quota",
+    "brownout_shed",
 ];
 
 /// Outcomes worth retrying: transient by construction (a retry may see
-/// a healed pool, a closed breaker, or an intact connection). `invalid`
-/// and `deadline_exceeded` are deliberately absent — they would fail
-/// again for the same reason.
-const RETRYABLE_CODES: [&str; 6] = [
+/// a healed pool, a closed breaker, a refilled quota bucket, a
+/// disengaged brownout, or an intact connection). `invalid`,
+/// `deadline_exceeded`, and `deadline_infeasible` are deliberately
+/// absent — they would fail again for the same reason.
+const RETRYABLE_CODES: [&str; 8] = [
     "transport",
     "queue_full",
     "breaker_open",
+    "tenant_quota",
+    "brownout_shed",
     "backend_panic",
     "backend_error",
     "watchdog_timeout",
 ];
+
+/// Ceiling on an honored `Retry-After` pause. Servers under brownout
+/// suggest seconds-scale waits; a load generator that slept a full
+/// server-suggested minute would stop generating load. Long hints are
+/// clamped, short ones honored exactly.
+const RETRY_AFTER_CAP: Duration = Duration::from_secs(2);
 
 fn summarize(mut samples: Vec<f64>) -> LatencySummary {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -312,6 +356,7 @@ impl LoadReport {
             mismatches: tally.mismatches,
             retries: tally.retries,
             recovered: tally.recovered,
+            retry_after_honored: tally.retry_after_honored,
             by_code: tally.by_code,
             wall_s,
             throughput_rps: if wall_s > 0.0 {
@@ -365,7 +410,7 @@ impl LoadReport {
             .join(",");
         format!(
             "{{\"sent\":{},\"completed\":{},\"rejected\":{},\"errors\":{},\"mismatches\":{},\
-             \"retries\":{},\"recovered\":{},\
+             \"retries\":{},\"recovered\":{},\"retry_after_honored\":{},\
              \"outcomes\":{{{}}},\"wall_s\":{},\"throughput_rps\":{},\"rejection_rate\":{},\
              \"latency_ms\":{{\"total\":{},\"queue\":{},\"solve\":{}}},\
              \"fleet\":{{\"placements\":{{{}}},\"multiplan_splits\":{}}},\
@@ -377,6 +422,7 @@ impl LoadReport {
             self.mismatches,
             self.retries,
             self.recovered,
+            self.retry_after_honored,
             codes,
             json::num(self.wall_s),
             json::num(self.throughput_rps),
@@ -414,13 +460,21 @@ fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>, seq
     let started = Instant::now();
     let mut attempt = 0u32;
     let mut retries_used = 0usize;
+    let mut hints_honored = 0usize;
     let outcome = loop {
         let r = target.solve_once(&request);
         match &r {
-            Err((code, _))
-                if policy.may_retry(attempt) && RETRYABLE_CODES.contains(&code.as_str()) =>
-            {
-                thread::sleep(policy.delay(attempt));
+            Err(e) if policy.may_retry(attempt) && RETRYABLE_CODES.contains(&e.code.as_str()) => {
+                // A server-provided Retry-After beats blind jittered
+                // backoff: the server knows when the quota refills or
+                // the brownout re-evaluates, the client is guessing.
+                match e.retry_after_s {
+                    Some(s) => {
+                        hints_honored += 1;
+                        thread::sleep(Duration::from_secs(s).min(RETRY_AFTER_CAP));
+                    }
+                    None => thread::sleep(policy.delay(attempt)),
+                }
                 attempt += 1;
                 retries_used += 1;
             }
@@ -431,6 +485,7 @@ fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>, seq
     let mut t = tally.lock().unwrap();
     t.total_ms.push(elapsed_ms);
     t.retries += retries_used;
+    t.retry_after_honored += hints_honored;
     match outcome {
         Ok(resp) => {
             t.completed += 1;
@@ -451,7 +506,7 @@ fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>, seq
                 t.recovered += 1;
             }
         }
-        Err((code, _message)) => t.bump_code(&code),
+        Err(e) => t.bump_code(&e.code),
     }
 }
 
@@ -535,10 +590,10 @@ mod tests {
     }
 
     impl SolveTarget for Canned {
-        fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
+        fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, TargetError> {
             let i = self.hits.fetch_add(1, Ordering::SeqCst) + 1;
             if self.fail_every > 0 && i.is_multiple_of(self.fail_every) {
-                return Err(("queue_full".into(), "full".into()));
+                return Err(TargetError::new("queue_full", "full"));
             }
             Ok(SolveResponse {
                 id: i as u64,
@@ -642,11 +697,11 @@ mod tests {
     }
 
     impl SolveTarget for FlakyOnce {
-        fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
+        fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, TargetError> {
             let i = self.hits.fetch_add(1, Ordering::SeqCst);
             if i.is_multiple_of(2) {
                 self.failures.fetch_add(1, Ordering::SeqCst);
-                return Err(("backend_panic".into(), "injected".into()));
+                return Err(TargetError::new("backend_panic", "injected"));
             }
             Ok(SolveResponse {
                 id: i as u64,
@@ -728,14 +783,86 @@ mod tests {
         // deadline_exceeded is not retried.
         struct AlwaysLate;
         impl SolveTarget for AlwaysLate {
-            fn solve_once(&self, _req: &SolveRequest) -> Result<SolveResponse, (String, String)> {
-                Err(("deadline_exceeded".into(), "too slow".into()))
+            fn solve_once(&self, _req: &SolveRequest) -> Result<SolveResponse, TargetError> {
+                Err(TargetError::new("deadline_exceeded", "too slow"))
             }
         }
         cfg.total = 4;
         let report = run(&AlwaysLate, &cfg);
         assert_eq!(report.rejected, 4);
         assert_eq!(report.retries, 0);
+
+        // deadline_infeasible is a final verdict too: the cost model
+        // will produce the same estimate on every attempt.
+        struct NeverFeasible;
+        impl SolveTarget for NeverFeasible {
+            fn solve_once(&self, _req: &SolveRequest) -> Result<SolveResponse, TargetError> {
+                Err(TargetError::new(
+                    "deadline_infeasible",
+                    "estimate 5s > 10ms",
+                ))
+            }
+        }
+        let report = run(&NeverFeasible, &cfg);
+        assert_eq!(report.rejected, 4);
+        assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn retry_after_hints_preempt_jittered_backoff() {
+        // Rejects twice with a Retry-After hint, then succeeds — the
+        // pause schedule must come from the hint, not the policy.
+        struct HintedFlaky {
+            hits: AtomicUsize,
+        }
+        impl SolveTarget for HintedFlaky {
+            fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, TargetError> {
+                let i = self.hits.fetch_add(1, Ordering::SeqCst);
+                if i < 2 {
+                    return Err(TargetError {
+                        code: "tenant_quota".into(),
+                        message: "over quota".into(),
+                        retry_after_s: Some(0), // "now" — keeps the test fast
+                    });
+                }
+                Canned {
+                    answer: "42".into(),
+                    fail_every: 0,
+                    hits: AtomicUsize::new(i),
+                }
+                .solve_once(req)
+            }
+        }
+        let target = HintedFlaky {
+            hits: AtomicUsize::new(0),
+        };
+        let cfg = LoadgenConfig {
+            total: 1,
+            concurrency: 1,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                // A hint-ignoring implementation would sleep ~4s here
+                // and trip the assertion below.
+                base_ms: 2_000,
+                cap_ms: 2_000,
+                seed: 7,
+            },
+            ..LoadgenConfig::default()
+        };
+        let started = Instant::now();
+        let report = run(&target, &cfg);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "Retry-After 0 should preempt the 2s backoff schedule"
+        );
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.retry_after_honored, 2);
+        let v = json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            v.get("retry_after_honored").and_then(|j| j.as_f64()),
+            Some(2.0)
+        );
     }
 
     #[test]

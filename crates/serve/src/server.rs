@@ -47,8 +47,9 @@
 //! assert_eq!(answer, "echo 7");
 //! ```
 
+use crate::brownout::{Brownout, BrownoutConfig};
 use crate::http::{self, ResponseOptions};
-use crate::job::{RejectReason, ServeError, SolveRequest, SolveResponse};
+use crate::job::{Priority, RejectReason, ServeError, SolveRequest, SolveResponse};
 use crate::queue::{Job, JobQueue};
 use crate::stats::{ServeStats, StatsSnapshot};
 use lddp_chaos::{mix64, BreakerConfig, BreakerState, CircuitBreaker, FaultInjector};
@@ -57,10 +58,11 @@ use lddp_core::schedule::ScheduleParams;
 use lddp_core::tuner_cache::TunedConfig;
 use lddp_trace::live::LiveRegistry;
 use lddp_trace::{catalog, chrome, tracks, Span, TraceSink};
+use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -87,6 +89,19 @@ pub struct ServeConfig {
     /// How long a tripped breaker stays open before probing again,
     /// milliseconds.
     pub breaker_open_ms: u64,
+    /// Admission budget of the batch service class (`None` = half of
+    /// `queue_capacity`, at least 1). The interactive class always gets
+    /// the full `queue_capacity`.
+    pub batch_queue_capacity: Option<usize>,
+    /// Per-tenant admission quota, requests per second (`None` = no
+    /// quotas). Enforced as a token bucket per distinct `tenant`
+    /// value; over-quota requests get `429 tenant_quota`.
+    pub tenant_quota_rps: Option<f64>,
+    /// Token-bucket burst: how many back-to-back requests a tenant may
+    /// land before the per-second rate applies.
+    pub tenant_quota_burst: f64,
+    /// Brownout-ladder watermarks and dwell counts.
+    pub brownout: BrownoutConfig,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +114,10 @@ impl Default for ServeConfig {
             watchdog_ms: None,
             breaker_failure_threshold: 5,
             breaker_open_ms: 2000,
+            batch_queue_capacity: None,
+            tenant_quota_rps: None,
+            tenant_quota_burst: 8.0,
+            brownout: BrownoutConfig::default(),
         }
     }
 }
@@ -217,6 +236,22 @@ pub trait SolveBackend: Sync {
         self.solve(req, plan.config, sink)
     }
 
+    /// Cheap modelled solve-time estimate for `req`, milliseconds (the
+    /// paper's §IV cost model). Admission uses it to reject requests
+    /// whose deadline cannot possibly be met (`504
+    /// deadline_infeasible`) without spending a solve slot. `None` (the
+    /// default) disables feasibility checking.
+    fn estimate_ms(&self, _req: &SolveRequest) -> Option<f64> {
+        None
+    }
+
+    /// Whether `req`'s problem supports the rolling (wave-band) memory
+    /// mode — consulted before the brownout ladder forces rolling onto
+    /// batch-class solves. `false` (the default) opts out.
+    fn supports_rolling(&self, _req: &SolveRequest) -> bool {
+        false
+    }
+
     /// Per-pool readiness for `/healthz`. Empty (the default) means
     /// the backend has no distinguishable pools to report.
     fn pool_health(&self) -> Vec<PoolHealth> {
@@ -244,8 +279,23 @@ pub struct Server<'a> {
     epoch: Instant,
     next_id: AtomicU64,
     in_flight: AtomicUsize,
+    /// The brownout ladder's state machine, fed queue-fill
+    /// observations at admission and dequeue.
+    brownout: Mutex<Brownout>,
+    /// The ladder's current level, published for lock-free reads on
+    /// the admission and worker hot paths.
+    brownout_level: AtomicU8,
+    /// Per-tenant admission token buckets (lazily created).
+    tenants: Mutex<HashMap<String, TenantBucket>>,
     shutdown: Mutex<bool>,
     shutdown_cv: Condvar,
+}
+
+/// One tenant's admission token bucket.
+#[derive(Debug)]
+struct TenantBucket {
+    tokens: f64,
+    last: Instant,
 }
 
 impl<'a> Server<'a> {
@@ -256,13 +306,17 @@ impl<'a> Server<'a> {
         backend: &'a (dyn SolveBackend + 'a),
         sink: &'a (dyn TraceSink + Sync + 'a),
     ) -> Server<'a> {
-        let queue = JobQueue::new(config.queue_capacity);
+        let batch_budget = config
+            .batch_queue_capacity
+            .unwrap_or((config.queue_capacity / 2).max(1));
+        let queue = JobQueue::with_budgets(config.queue_capacity, batch_budget);
         let breaker = CircuitBreaker::new(BreakerConfig {
             failure_threshold: config.breaker_failure_threshold as u32,
             open_for: Duration::from_millis(config.breaker_open_ms),
             half_open_probes: 1,
         });
         let live = Arc::new(LiveRegistry::new());
+        let brownout = Brownout::new(config.brownout);
         Server {
             config,
             backend,
@@ -276,6 +330,9 @@ impl<'a> Server<'a> {
             epoch: Instant::now(),
             next_id: AtomicU64::new(1),
             in_flight: AtomicUsize::new(0),
+            brownout: Mutex::new(brownout),
+            brownout_level: AtomicU8::new(0),
+            tenants: Mutex::new(HashMap::new()),
             shutdown: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         }
@@ -373,14 +430,100 @@ impl<'a> Server<'a> {
             self.queue.depth(),
             self.in_flight.load(Ordering::Relaxed),
             !self.queue.is_open(),
+            self.brownout_level.load(Ordering::Relaxed),
         )
+    }
+
+    /// Current brownout-ladder level (0 = normal service).
+    pub fn brownout_level(&self) -> u8 {
+        self.brownout_level.load(Ordering::Relaxed)
+    }
+
+    /// Feeds the ladder one queue-fill observation, publishing the new
+    /// level and recording any transition in the stats, the flight
+    /// recorder, and the trace sink.
+    fn observe_pressure(&self) {
+        let fill = self.queue.fill();
+        let transition = {
+            let mut ladder = self.brownout.lock().unwrap();
+            let t = ladder.observe(fill);
+            if t.is_some() {
+                self.brownout_level.store(ladder.level(), Ordering::Relaxed);
+            }
+            t
+        };
+        if let Some(t) = transition {
+            if t.to > t.from {
+                self.stats.brownout_engaged.inc();
+            } else {
+                self.stats.brownout_disengaged.inc();
+            }
+            let span = Span::new(
+                catalog::SPAN_BROWNOUT,
+                tracks::SERVE_QUEUE,
+                self.since_epoch(Instant::now()),
+                0.0,
+            )
+            .with_arg("from", t.from as u64)
+            .with_arg("to", t.to as u64);
+            self.live.flight().record_span(span.clone());
+            if self.sink.enabled() {
+                self.sink.span(span);
+            }
+        }
+    }
+
+    /// Bumps the per-tenant outcome counter (skipped for unattributed
+    /// requests so the family stays low-cardinality by default).
+    fn tenant_outcome(&self, tenant: &str, outcome: &str) {
+        if tenant.is_empty() {
+            return;
+        }
+        self.live
+            .counter(
+                "lddp_serve_tenant_total",
+                &[("tenant", tenant), ("outcome", outcome)],
+                "Per-tenant request outcomes at admission.",
+            )
+            .inc();
+    }
+
+    /// Checks (and charges) the submitting tenant's token bucket.
+    /// `Ok` when quotas are off, the request is unattributed (no
+    /// `tenant` field — quotas meter named tenants only), or a token
+    /// was available.
+    fn check_tenant_quota(&self, tenant: &str) -> Result<(), u64> {
+        let Some(rps) = self.config.tenant_quota_rps else {
+            return Ok(());
+        };
+        if rps <= 0.0 || tenant.is_empty() {
+            return Ok(());
+        }
+        let burst = self.config.tenant_quota_burst.max(1.0);
+        let now = Instant::now();
+        let mut tenants = self.tenants.lock().unwrap();
+        let bucket = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantBucket {
+                tokens: burst,
+                last: now,
+            });
+        let dt = now.duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + dt * rps).min(burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(((1.0 - bucket.tokens) / rps).ceil().max(1.0) as u64)
+        }
     }
 
     // ---- admission -------------------------------------------------
 
     fn submit(
         &self,
-        mut req: SolveRequest,
+        req: SolveRequest,
     ) -> Result<mpsc::Receiver<Result<SolveResponse, ServeError>>, RejectReason> {
         if let Err(msg) = self.backend.validate(&req) {
             self.stats.rejected_invalid.inc();
@@ -398,12 +541,88 @@ impl<'a> Server<'a> {
                 retry_after_s: wait.as_secs().max(1),
             });
         }
+        // Injected admission storm: a seeded burst of synthetic
+        // batch-class arrivals rides in on this (valid) request,
+        // attributed to a reserved tenant. The clones take the normal
+        // admission path — brownout shedding and class budgets apply —
+        // with their receivers dropped, so answers evaporate without a
+        // submitter. This is the overload the brownout ladder exists
+        // to contain, made reproducible.
+        if let Some(inj) = self.injector {
+            if let Some(burst) = inj.admission_storm() {
+                self.chaos_injected("admission_storm");
+                for _ in 0..burst {
+                    let mut clone = req.clone();
+                    clone.priority = Priority::Batch;
+                    clone.tenant = "chaos-storm".to_string();
+                    let _ = self.admit(clone);
+                }
+            }
+        }
+        if let Err(retry_after_s) = self.check_tenant_quota(&req.tenant) {
+            self.stats.rejected_tenant.inc();
+            if self.sink.enabled() {
+                self.sink.count(catalog::CTR_REJECTED_TENANT, 1);
+            }
+            self.tenant_outcome(&req.tenant, "rejected");
+            return Err(RejectReason::TenantQuota {
+                tenant: req.tenant.clone(),
+                retry_after_s,
+            });
+        }
+        self.admit(req)
+    }
+
+    /// Post-validation admission: deadline defaulting, §IV
+    /// feasibility, brownout shedding, and the queue push — shared by
+    /// real submissions and injected storm arrivals.
+    fn admit(
+        &self,
+        mut req: SolveRequest,
+    ) -> Result<mpsc::Receiver<Result<SolveResponse, ServeError>>, RejectReason> {
+        let class = req.priority.index();
         if req.deadline_ms.is_none() {
             req.deadline_ms = self.config.default_deadline_ms;
+        }
+        // §IV feasibility: if the cost model says the solve alone
+        // outruns the deadline, fail fast instead of letting the
+        // request queue, solve, and time out anyway.
+        if let Some(deadline_ms) = req.deadline_ms {
+            if let Some(estimate) = self.backend.estimate_ms(&req) {
+                if estimate.is_finite() && estimate > deadline_ms as f64 {
+                    self.stats.rejected_infeasible.inc();
+                    self.stats.class_shed[class].inc();
+                    if self.sink.enabled() {
+                        self.sink.count(catalog::CTR_REJECTED_INFEASIBLE, 1);
+                    }
+                    self.tenant_outcome(&req.tenant, "rejected");
+                    return Err(RejectReason::DeadlineInfeasible {
+                        estimate_ms: estimate.ceil() as u64,
+                        deadline_ms,
+                    });
+                }
+            }
+        }
+        // Brownout level ≥ 1: the batch class is shed at admission.
+        // Interactive traffic is never shed by the ladder.
+        let level = self.brownout_level();
+        if level >= 1 && req.priority == Priority::Batch {
+            self.stats.rejected_brownout.inc();
+            self.stats.class_shed[class].inc();
+            if self.sink.enabled() {
+                self.sink.count(catalog::CTR_REJECTED_BROWNOUT, 1);
+            }
+            self.tenant_outcome(&req.tenant, "rejected");
+            self.observe_pressure();
+            return Err(RejectReason::BrownoutShed {
+                level,
+                retry_after_s: 1,
+            });
         }
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let tenant = req.tenant.clone();
         let job = Job {
             id,
             trace_id: mix64(self.trace_seed.wrapping_add(id)),
@@ -412,9 +631,11 @@ impl<'a> Server<'a> {
             enqueued: now,
             tx,
         };
-        match self.queue.push(job) {
+        let out = match self.queue.push(job) {
             Ok(depth) => {
                 self.stats.accepted.inc();
+                self.stats.class_accepted[class].inc();
+                self.tenant_outcome(&tenant, "accepted");
                 if self.sink.enabled() {
                     self.sink.count(catalog::CTR_ACCEPTED, 1);
                     self.sink.sample(
@@ -429,6 +650,7 @@ impl<'a> Server<'a> {
             Err((_job, reason)) => {
                 let (counter, name) = match &reason {
                     RejectReason::QueueFull { .. } => {
+                        self.stats.class_shed[class].inc();
                         (&self.stats.rejected_full, catalog::CTR_REJECTED_FULL)
                     }
                     _ => (
@@ -437,12 +659,17 @@ impl<'a> Server<'a> {
                     ),
                 };
                 counter.inc();
+                self.tenant_outcome(&tenant, "rejected");
                 if self.sink.enabled() {
                     self.sink.count(name, 1);
                 }
                 Err(reason)
             }
-        }
+        };
+        // Every admission attempt is a pressure observation — floods
+        // climb the ladder even when nothing is being dequeued.
+        self.observe_pressure();
+        out
     }
 
     // ---- workers ---------------------------------------------------
@@ -453,7 +680,21 @@ impl<'a> Server<'a> {
             &[("worker", &idx.to_string())],
             "Wall-clock seconds this serve worker spent processing batches.",
         );
-        while let Some(popped) = self.queue.pop_batch(self.config.max_batch) {
+        loop {
+            // Brownout level ≥ 2 caps batch concurrency: only worker 0
+            // still takes batch-class work, so interactive batches
+            // always find a free worker while the backlog drains.
+            let allow_batch = self.brownout_level() < 2 || idx == 0;
+            let Some(popped) = self
+                .queue
+                .pop_batch_filtered(self.config.max_batch, allow_batch)
+            else {
+                return;
+            };
+            // Every dequeue is a pressure observation — this is what
+            // walks the ladder back down as the flood drains, even
+            // with no new admissions arriving.
+            self.observe_pressure();
             // Injected queue stall: the worker sits on its batch, so
             // queued deadlines keep ticking — exactly the failure a
             // stalled dequeue path produces.
@@ -469,6 +710,7 @@ impl<'a> Server<'a> {
             for job in popped.expired {
                 let waited = job.enqueued.elapsed();
                 self.stats.rejected_deadline.inc();
+                self.stats.class_shed[job.req.priority.index()].inc();
                 if self.sink.enabled() {
                     self.sink.count(catalog::CTR_REJECTED_DEADLINE, 1);
                 }
@@ -542,6 +784,7 @@ impl<'a> Server<'a> {
             }
             if job.deadline.is_some_and(|d| picked_up > d) {
                 self.stats.rejected_deadline.inc();
+                self.stats.class_shed[job.req.priority.index()].inc();
                 if sink.enabled() {
                     sink.count(catalog::CTR_REJECTED_DEADLINE, 1);
                 }
@@ -568,6 +811,26 @@ impl<'a> Server<'a> {
             sink.observe(catalog::HIST_BATCH_SIZE, batch_size as f64);
         }
 
+        // Brownout level ≥ 3: force the rolling (wave-band) memory
+        // mode onto batch-class solves that support it — smaller
+        // tables, lower peak memory — by pinning the mode on the tune
+        // probe. Interactive batches and explicit pins are untouched.
+        let mut probe = live[0].0.req.clone();
+        if self.brownout_level() >= 3
+            && probe.priority == Priority::Batch
+            && probe.memory_mode.is_none()
+            && self.backend.supports_rolling(&probe)
+        {
+            probe.memory_mode = Some(MemoryMode::Rolling);
+            self.live
+                .counter(
+                    "lddp_serve_brownout_forced_rolling_total",
+                    &[],
+                    "Batch-class batches forced to rolling memory by the brownout ladder.",
+                )
+                .inc();
+        }
+
         // One tune per batch — the cached §V-A artifact. A panicking
         // tuner is isolated exactly like a panicking solve: the batch
         // gets clean 500s and the worker thread survives.
@@ -575,7 +838,7 @@ impl<'a> Server<'a> {
         // Assembly cost charged to every rider: queue pickup to tune
         // start (grouping, queue-wait accounting, deadline shedding).
         let batch_wait = tune_start.duration_since(picked_up);
-        let tuned = catch_unwind(AssertUnwindSafe(|| self.backend.plan(&live[0].0.req, sink)));
+        let tuned = catch_unwind(AssertUnwindSafe(|| self.backend.plan(&probe, sink)));
         let tune_wait = tune_start.elapsed();
         let plan = match tuned {
             Ok(Ok(x)) => x,
@@ -681,6 +944,9 @@ impl<'a> Server<'a> {
                     self.breaker.record_success();
                     let total = solve_end.duration_since(job.enqueued);
                     self.stats.completed.inc();
+                    let class = job.req.priority.index();
+                    self.stats.class_completed[class].inc();
+                    self.stats.class_latency_s[class].observe(total.as_secs_f64());
                     if !done.degraded.is_empty() {
                         self.stats.degraded_solves.inc();
                         if sink.enabled() {
@@ -947,6 +1213,23 @@ impl<'a> Server<'a> {
                 BreakerState::HalfOpen => 1.0,
                 BreakerState::Open => 2.0,
             });
+        self.live
+            .gauge(
+                "lddp_serve_brownout_level",
+                &[],
+                "Brownout-ladder level: 0 normal, 1 shed batch, 2 cap batch \
+                 concurrency, 3 force rolling memory on batch solves.",
+            )
+            .set(self.brownout_level() as f64);
+        for class in [Priority::Interactive, Priority::Batch] {
+            self.live
+                .gauge(
+                    "lddp_serve_class_queue_depth",
+                    &[("class", class.as_str())],
+                    "Jobs currently waiting in the admission queue, by service class.",
+                )
+                .set(self.queue.class_depth(class) as f64);
+        }
         self.live.to_prometheus()
     }
 

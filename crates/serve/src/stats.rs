@@ -47,6 +47,9 @@ pub struct ServeStats {
     pub(crate) rejected_deadline: Arc<Counter>,
     pub(crate) rejected_invalid: Arc<Counter>,
     pub(crate) rejected_breaker: Arc<Counter>,
+    pub(crate) rejected_infeasible: Arc<Counter>,
+    pub(crate) rejected_tenant: Arc<Counter>,
+    pub(crate) rejected_brownout: Arc<Counter>,
     pub(crate) panics: Arc<Counter>,
     pub(crate) watchdog_timeouts: Arc<Counter>,
     pub(crate) breaker_opens: Arc<Counter>,
@@ -59,6 +62,18 @@ pub struct ServeStats {
     pub(crate) tier_bulk: Arc<Counter>,
     pub(crate) tier_simd: Arc<Counter>,
     pub(crate) tier_bitparallel: Arc<Counter>,
+    /// Per-class accepted counters, indexed by
+    /// [`Priority::index`](crate::job::Priority::index).
+    pub(crate) class_accepted: [Arc<Counter>; 2],
+    /// Per-class completed counters.
+    pub(crate) class_completed: [Arc<Counter>; 2],
+    /// Per-class shed counters (deadline sheds, brownout sheds, and
+    /// class-budget queue-full rejections).
+    pub(crate) class_shed: [Arc<Counter>; 2],
+    /// Brownout ladder climbs (level went up).
+    pub(crate) brownout_engaged: Arc<Counter>,
+    /// Brownout ladder descents (level went down).
+    pub(crate) brownout_disengaged: Arc<Counter>,
     /// Jobs per executed batch.
     pub(crate) batch_size: Arc<HistogramSketch>,
     /// End-to-end latency, seconds.
@@ -67,6 +82,8 @@ pub struct ServeStats {
     queue_s: Arc<HistogramSketch>,
     /// Solve latency, seconds.
     solve_s: Arc<HistogramSketch>,
+    /// Per-class end-to-end latency, seconds.
+    pub(crate) class_latency_s: [Arc<HistogramSketch>; 2],
 }
 
 impl Default for ServeStats {
@@ -87,6 +104,9 @@ impl ServeStats {
             rejected_deadline: Arc::new(Counter::new()),
             rejected_invalid: Arc::new(Counter::new()),
             rejected_breaker: Arc::new(Counter::new()),
+            rejected_infeasible: Arc::new(Counter::new()),
+            rejected_tenant: Arc::new(Counter::new()),
+            rejected_brownout: Arc::new(Counter::new()),
             panics: Arc::new(Counter::new()),
             watchdog_timeouts: Arc::new(Counter::new()),
             breaker_opens: Arc::new(Counter::new()),
@@ -99,10 +119,19 @@ impl ServeStats {
             tier_bulk: Arc::new(Counter::new()),
             tier_simd: Arc::new(Counter::new()),
             tier_bitparallel: Arc::new(Counter::new()),
+            class_accepted: [Arc::new(Counter::new()), Arc::new(Counter::new())],
+            class_completed: [Arc::new(Counter::new()), Arc::new(Counter::new())],
+            class_shed: [Arc::new(Counter::new()), Arc::new(Counter::new())],
+            brownout_engaged: Arc::new(Counter::new()),
+            brownout_disengaged: Arc::new(Counter::new()),
             batch_size: Arc::new(HistogramSketch::new()),
             total_s: Arc::new(HistogramSketch::new()),
             queue_s: Arc::new(HistogramSketch::new()),
             solve_s: Arc::new(HistogramSketch::new()),
+            class_latency_s: [
+                Arc::new(HistogramSketch::new()),
+                Arc::new(HistogramSketch::new()),
+            ],
         }
     }
 
@@ -145,6 +174,27 @@ impl ServeStats {
                 "Per-request latency split, seconds.",
             )
         };
+        let class = |class: &str, outcome: &str| {
+            registry.counter(
+                "lddp_serve_class_total",
+                &[("class", class), ("outcome", outcome)],
+                "Per-service-class request outcomes.",
+            )
+        };
+        let class_lat = |class: &str| {
+            registry.histogram(
+                "lddp_serve_class_latency_seconds",
+                &[("class", class)],
+                "End-to-end latency by service class, seconds.",
+            )
+        };
+        let brownout = |direction: &str| {
+            registry.counter(
+                "lddp_serve_brownout_transitions_total",
+                &[("direction", direction)],
+                "Brownout-ladder level transitions, by direction.",
+            )
+        };
         ServeStats {
             accepted: registry.counter(
                 "lddp_serve_accepted_total",
@@ -166,6 +216,9 @@ impl ServeStats {
             rejected_deadline: rej("deadline"),
             rejected_invalid: rej("invalid"),
             rejected_breaker: rej("breaker_open"),
+            rejected_infeasible: rej("deadline_infeasible"),
+            rejected_tenant: rej("tenant_quota"),
+            rejected_brownout: rej("brownout_shed"),
             panics: fault("panic"),
             watchdog_timeouts: fault("watchdog_timeout"),
             breaker_opens: fault("breaker_open"),
@@ -182,6 +235,14 @@ impl ServeStats {
             tier_bulk: tier("bulk"),
             tier_simd: tier("simd"),
             tier_bitparallel: tier("bitparallel"),
+            class_accepted: [class("interactive", "accepted"), class("batch", "accepted")],
+            class_completed: [
+                class("interactive", "completed"),
+                class("batch", "completed"),
+            ],
+            class_shed: [class("interactive", "shed"), class("batch", "shed")],
+            brownout_engaged: brownout("engage"),
+            brownout_disengaged: brownout("disengage"),
             batch_size: registry.histogram(
                 "lddp_serve_batch_size",
                 &[],
@@ -190,6 +251,7 @@ impl ServeStats {
             total_s: lat("total"),
             queue_s: lat("queue_wait"),
             solve_s: lat("solve"),
+            class_latency_s: [class_lat("interactive"), class_lat("batch")],
         }
     }
 
@@ -202,7 +264,13 @@ impl ServeStats {
     }
 
     /// Point-in-time copy of every counter and latency distribution.
-    pub fn snapshot(&self, queue_depth: usize, in_flight: usize, draining: bool) -> StatsSnapshot {
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        in_flight: usize,
+        draining: bool,
+        brownout_level: u8,
+    ) -> StatsSnapshot {
         StatsSnapshot {
             accepted: self.accepted.get(),
             completed: self.completed.get(),
@@ -212,6 +280,9 @@ impl ServeStats {
             rejected_deadline: self.rejected_deadline.get(),
             rejected_invalid: self.rejected_invalid.get(),
             rejected_breaker: self.rejected_breaker.get(),
+            rejected_infeasible: self.rejected_infeasible.get(),
+            rejected_tenant: self.rejected_tenant.get(),
+            rejected_brownout: self.rejected_brownout.get(),
             panics: self.panics.get(),
             watchdog_timeouts: self.watchdog_timeouts.get(),
             breaker_opens: self.breaker_opens.get(),
@@ -227,9 +298,19 @@ impl ServeStats {
             queue_depth,
             in_flight,
             draining,
+            brownout_level,
+            class_accepted: [self.class_accepted[0].get(), self.class_accepted[1].get()],
+            class_completed: [self.class_completed[0].get(), self.class_completed[1].get()],
+            class_shed: [self.class_shed[0].get(), self.class_shed[1].get()],
+            brownout_engaged: self.brownout_engaged.get(),
+            brownout_disengaged: self.brownout_disengaged.get(),
             total: LatencySummary::from_sketch(&self.total_s),
             queue: LatencySummary::from_sketch(&self.queue_s),
             solve: LatencySummary::from_sketch(&self.solve_s),
+            class_latency: [
+                LatencySummary::from_sketch(&self.class_latency_s[0]),
+                LatencySummary::from_sketch(&self.class_latency_s[1]),
+            ],
         }
     }
 }
@@ -293,6 +374,12 @@ pub struct StatsSnapshot {
     pub rejected_invalid: u64,
     /// Rejections: circuit breaker open.
     pub rejected_breaker: u64,
+    /// Rejections: §IV estimate says the deadline cannot be met.
+    pub rejected_infeasible: u64,
+    /// Rejections: tenant over admission quota.
+    pub rejected_tenant: u64,
+    /// Rejections: brownout ladder shedding batch-class admissions.
+    pub rejected_brownout: u64,
     /// Backend panics caught and isolated (each answered with a 500).
     pub panics: u64,
     /// Solves withheld for blowing the watchdog budget.
@@ -323,12 +410,26 @@ pub struct StatsSnapshot {
     pub in_flight: usize,
     /// Whether the server is draining.
     pub draining: bool,
+    /// Current brownout-ladder level (0 = normal service).
+    pub brownout_level: u8,
+    /// Requests admitted, by class (interactive, batch).
+    pub class_accepted: [u64; 2],
+    /// Requests completed, by class.
+    pub class_completed: [u64; 2],
+    /// Requests shed (deadline, brownout, class budget), by class.
+    pub class_shed: [u64; 2],
+    /// Brownout-ladder climbs recorded.
+    pub brownout_engaged: u64,
+    /// Brownout-ladder descents recorded.
+    pub brownout_disengaged: u64,
     /// End-to-end latency (admission → reply).
     pub total: LatencySummary,
     /// Queue-wait latency.
     pub queue: LatencySummary,
     /// Solve latency.
     pub solve: LatencySummary,
+    /// End-to-end latency by class (interactive, batch).
+    pub class_latency: [LatencySummary; 2],
 }
 
 impl StatsSnapshot {
@@ -339,6 +440,9 @@ impl StatsSnapshot {
             + self.rejected_deadline
             + self.rejected_invalid
             + self.rejected_breaker
+            + self.rejected_infeasible
+            + self.rejected_tenant
+            + self.rejected_brownout
     }
 
     /// Mean jobs per executed batch.
@@ -352,10 +456,22 @@ impl StatsSnapshot {
 
     /// The `GET /stats` JSON body.
     pub fn to_json(&self) -> String {
+        let class = |i: usize| {
+            format!(
+                "{{\"accepted\":{},\"completed\":{},\"shed\":{},\"latency_ms\":{}}}",
+                self.class_accepted[i],
+                self.class_completed[i],
+                self.class_shed[i],
+                self.class_latency[i].to_json()
+            )
+        };
         format!(
             "{{\"accepted\":{},\"completed\":{},\"errors\":{},\
-             \"rejected\":{{\"queue_full\":{},\"shutting_down\":{},\"deadline\":{},\"invalid\":{},\"breaker_open\":{}}},\
+             \"rejected\":{{\"queue_full\":{},\"shutting_down\":{},\"deadline\":{},\"invalid\":{},\"breaker_open\":{},\
+             \"deadline_infeasible\":{},\"tenant_quota\":{},\"brownout_shed\":{}}},\
              \"faults\":{{\"panics\":{},\"watchdog_timeouts\":{},\"breaker_opens\":{},\"degraded_solves\":{}}},\
+             \"qos\":{{\"brownout_level\":{},\"brownout_engaged\":{},\"brownout_disengaged\":{},\
+             \"interactive\":{},\"batch\":{}}},\
              \"batches\":{},\"mean_batch_size\":{},\
              \"tuner_cache\":{{\"hits\":{},\"misses\":{}}},\
              \"tiers\":{{\"scalar\":{},\"bulk\":{},\"simd\":{},\"bitparallel\":{}}},\
@@ -369,10 +485,18 @@ impl StatsSnapshot {
             self.rejected_deadline,
             self.rejected_invalid,
             self.rejected_breaker,
+            self.rejected_infeasible,
+            self.rejected_tenant,
+            self.rejected_brownout,
             self.panics,
             self.watchdog_timeouts,
             self.breaker_opens,
             self.degraded_solves,
+            self.brownout_level,
+            self.brownout_engaged,
+            self.brownout_disengaged,
+            class(0),
+            class(1),
             self.batches,
             num(self.mean_batch_size()),
             self.tune_hits,
@@ -431,8 +555,11 @@ mod tests {
         stats.tier_simd.add(2);
         stats.record_latency(10.0, 2.0, 8.0);
         stats.record_latency(20.0, 4.0, 16.0);
-        let snap = stats.snapshot(1, 1, false);
-        assert_eq!(snap.rejected(), 1);
+        stats.class_accepted[0].add(2);
+        stats.class_shed[1].add(1);
+        stats.rejected_tenant.add(1);
+        let snap = stats.snapshot(1, 1, false, 2);
+        assert_eq!(snap.rejected(), 2);
         assert!((snap.mean_batch_size() - 1.5).abs() < 1e-12);
         let v = lddp_trace::json::parse(&snap.to_json()).unwrap();
         assert_eq!(v.get("accepted").and_then(|j| j.as_f64()), Some(3.0));
@@ -467,6 +594,23 @@ mod tests {
         for key in ["scalar", "bulk", "bitparallel"] {
             assert_eq!(tiers.get(key).and_then(|j| j.as_f64()), Some(0.0), "{key}");
         }
+        // The QoS section: brownout level and per-class outcomes.
+        let qos = v.get("qos").expect("qos object");
+        assert_eq!(
+            qos.get("brownout_level").and_then(|j| j.as_f64()),
+            Some(2.0)
+        );
+        let fg = qos.get("interactive").expect("interactive class");
+        assert_eq!(fg.get("accepted").and_then(|j| j.as_f64()), Some(2.0));
+        let bg = qos.get("batch").expect("batch class");
+        assert_eq!(bg.get("shed").and_then(|j| j.as_f64()), Some(1.0));
+        assert_eq!(
+            v.get("rejected")
+                .unwrap()
+                .get("tenant_quota")
+                .and_then(|j| j.as_f64()),
+            Some(1.0)
+        );
     }
 
     /// The sketch replaces the old sample reservoir: memory stays fixed
@@ -482,7 +626,7 @@ mod tests {
             let ms = i as f64 * 1e-3;
             stats.record_latency(ms, ms * 0.25, ms * 0.5);
         }
-        let snap = stats.snapshot(0, 0, false);
+        let snap = stats.snapshot(0, 0, false, 0);
         assert_eq!(snap.total.count, n);
         let exact_p50 = (n / 2) as f64 * 1e-3;
         let rel = (snap.total.p50_ms - exact_p50).abs() / exact_p50;
@@ -504,10 +648,19 @@ mod tests {
         stats.rejected_breaker.add(1);
         stats.tier_bulk.add(2);
         stats.record_latency(12.0, 1.0, 10.0);
+        stats.class_accepted[1].add(3);
+        stats.class_latency_s[0].observe(0.012);
+        stats.brownout_engaged.inc();
         let text = registry.to_prometheus();
         assert!(text.contains("lddp_serve_accepted_total 4\n"), "{text}");
         assert!(text.contains("lddp_serve_rejected_total{reason=\"breaker_open\"} 1\n"));
         assert!(text.contains("lddp_serve_solves_total{tier=\"bulk\"} 2\n"));
         assert!(text.contains("lddp_serve_latency_seconds_count{kind=\"total\"} 1\n"));
+        assert!(
+            text.contains("lddp_serve_class_total{class=\"batch\",outcome=\"accepted\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("lddp_serve_class_latency_seconds_count{class=\"interactive\"} 1\n"));
+        assert!(text.contains("lddp_serve_brownout_transitions_total{direction=\"engage\"} 1\n"));
     }
 }

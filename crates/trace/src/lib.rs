@@ -175,6 +175,16 @@ pub mod catalog {
     pub const HIST_QUEUE_WAIT: &str = "serve.queue_wait_s";
     /// Histogram: jobs per executed batch.
     pub const HIST_BATCH_SIZE: &str = "serve.batch_size";
+    /// Counter: requests rejected up front because the §IV estimate
+    /// cannot meet their deadline.
+    pub const CTR_REJECTED_INFEASIBLE: &str = "serve.rejected.deadline_infeasible";
+    /// Counter: requests rejected because the tenant was over quota.
+    pub const CTR_REJECTED_TENANT: &str = "serve.rejected.tenant_quota";
+    /// Counter: batch-class requests shed by the brownout ladder.
+    pub const CTR_REJECTED_BROWNOUT: &str = "serve.rejected.brownout_shed";
+    /// Span (zero-duration marker): one brownout-ladder level
+    /// transition on the queue lane (args: `from`, `to`).
+    pub const SPAN_BROWNOUT: &str = "serve.brownout";
 }
 
 /// A typed span/instant argument value.

@@ -45,7 +45,7 @@ use lddp_core::tuner_cache::TunedConfig;
 use lddp_core::DegradeStep;
 use lddp_problems as problems;
 use lddp_serve::loadgen::{HttpTarget, LoadgenConfig};
-use lddp_serve::{ServeConfig, Server, SolveBackend, SolveRequest};
+use lddp_serve::{Priority, ServeConfig, Server, SolveBackend, SolveRequest};
 use lddp_trace::json::{escape, num};
 use lddp_trace::{chrome, metrics, NullSink, Recorder, TraceSink};
 use std::time::{Duration, Instant};
@@ -128,8 +128,15 @@ pub enum Command {
         addr: String,
         /// Worker threads executing batches.
         workers: usize,
-        /// Admission-queue capacity.
+        /// Admission-queue capacity (interactive class).
         queue_cap: usize,
+        /// Batch-class queue capacity (`None` = same as `queue_cap`).
+        batch_queue_cap: Option<usize>,
+        /// Per-tenant admission quota, requests/second (`None` = no
+        /// quotas).
+        tenant_rps: Option<f64>,
+        /// Token-bucket burst size for tenant quotas.
+        tenant_burst: Option<f64>,
         /// Most jobs one batch may carry.
         max_batch: usize,
         /// Default per-request deadline, milliseconds.
@@ -175,6 +182,10 @@ pub enum Command {
         /// Instance-size mix cycled round-robin across requests
         /// (empty = every request uses `n`).
         mix: Vec<usize>,
+        /// Service class stamped on every request.
+        priority: Priority,
+        /// Tenant name stamped on every request (empty = unattributed).
+        tenant: String,
         /// Drive the in-process server with the fleet backend.
         fleet: bool,
     },
@@ -255,6 +266,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut memory = None;
     let mut rolling = false;
     let mut mix: Vec<usize> = Vec::new();
+    let mut batch_queue_cap = None;
+    let mut tenant_rps = None;
+    let mut tenant_burst = None;
+    let mut priority = None;
+    let mut tenant = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--set" => {
@@ -412,6 +428,41 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     return Err("--mix sizes must each be at least 2".into());
                 }
             }
+            "--batch-queue-cap" => {
+                let v = it.next().ok_or("--batch-queue-cap needs a number")?;
+                batch_queue_cap = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("--batch-queue-cap: {e}"))?,
+                );
+            }
+            "--tenant-rps" => {
+                let v = it.next().ok_or("--tenant-rps needs a rate")?;
+                let r = v.parse::<f64>().map_err(|e| format!("--tenant-rps: {e}"))?;
+                if !r.is_finite() || r <= 0.0 {
+                    return Err("--tenant-rps must be a positive rate".into());
+                }
+                tenant_rps = Some(r);
+            }
+            "--tenant-burst" => {
+                let v = it.next().ok_or("--tenant-burst needs a number")?;
+                let b = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("--tenant-burst: {e}"))?;
+                if !b.is_finite() || b < 1.0 {
+                    return Err("--tenant-burst must be at least 1".into());
+                }
+                tenant_burst = Some(b);
+            }
+            "--priority" => {
+                let v = it.next().ok_or("--priority needs interactive|batch")?;
+                priority = Some(Priority::parse(v).ok_or_else(|| {
+                    format!("unknown priority '{v}'; expected interactive or batch")
+                })?);
+            }
+            "--tenant" => {
+                let v = it.next().ok_or("--tenant needs a name")?;
+                tenant = Some(v.clone());
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -469,6 +520,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             addr: addr.unwrap_or_else(|| "127.0.0.1:8700".to_string()),
             workers: workers.unwrap_or(4),
             queue_cap: queue_cap.unwrap_or(256),
+            batch_queue_cap,
+            tenant_rps,
+            tenant_burst,
             max_batch: max_batch.unwrap_or(8),
             deadline_ms,
             watchdog_ms,
@@ -501,6 +555,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 no_verify,
                 retries: retries.unwrap_or(1),
                 mix,
+                priority: priority.unwrap_or_default(),
+                tenant: tenant.unwrap_or_default(),
                 fleet,
             })
         }
@@ -571,13 +627,15 @@ pub fn usage() -> String {
          \x20                  [--t-switch X] [--t-share Y]\n\
          \x20                  [--out trace.json] [--metrics metrics.jsonl]\n\
          \x20 lddp-cli serve   [--addr host:port] [--workers W] [--queue-cap Q]\n\
+         \x20                  [--batch-queue-cap Q] [--tenant-rps R] [--tenant-burst B]\n\
          \x20                  [--max-batch B] [--deadline-ms D] [--watchdog-ms W]\n\
          \x20                  [--trace serve.trace.json] [--tune-cache cache.json]\n\
          \x20                  [--fleet]\n\
          \x20 lddp-cli loadgen --problem <name> [--n N] [--platform high|low]\n\
          \x20                  [--addr host:port] [--requests R] [--rps RATE]\n\
          \x20                  [--duration S] [--concurrency C] [--deadline-ms D]\n\
-         \x20                  [--no-verify] [--retries A] [--mix 48,96,1100] [--fleet]\n\
+         \x20                  [--no-verify] [--retries A] [--mix 48,96,1100]\n\
+         \x20                  [--priority interactive|batch] [--tenant NAME] [--fleet]\n\
          \x20 lddp-cli bench   --quick|--rolling [--n N] [--out BENCH.json]\n\
          \x20 lddp-cli chaos   [--seed S] [--campaign quick|heavy] [--out report.json]\n\
          \n\
@@ -589,7 +647,10 @@ pub fn usage() -> String {
          splits, see docs/FLEET.md); `loadgen` drives it and prints a\n\
          JSON latency report, checking answers against the sequential\n\
          oracle (docs/SERVING.md); `--mix` cycles requests through a\n\
-         size mix to exercise the fleet dispatcher.\n\
+         size mix to exercise the fleet dispatcher; `--priority` and\n\
+         `--tenant` stamp every request with a QoS class / tenant for\n\
+         overload experiments (`serve --tenant-rps` meters named\n\
+         tenants, `--batch-queue-cap` bounds the batch class).\n\
          Set LDDP_FORCE_TIER=scalar|bulk|simd|bitparallel to cap the\n\
          execution tier of every engine in the process.\n\
          `solve --memory rolling` keeps only the live wavefronts\n\
@@ -1934,6 +1995,10 @@ pub struct LoadgenOpts {
     pub retries: u32,
     /// Instance-size mix cycled round-robin (empty = uniform `n`).
     pub mix: Vec<usize>,
+    /// Service class stamped on every request.
+    pub priority: Priority,
+    /// Tenant name stamped on every request (empty = unattributed).
+    pub tenant: String,
     /// Drive the in-process server with the fleet backend.
     pub fleet: bool,
 }
@@ -1944,6 +2009,8 @@ pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
     let mut request = SolveRequest::new(opts.problem.clone(), opts.n);
     request.platform = opts.platform.clone();
     request.deadline_ms = opts.deadline_ms;
+    request.priority = opts.priority;
+    request.tenant = opts.tenant.clone();
     let expect_answer = if opts.no_verify {
         None
     } else {
@@ -2590,6 +2657,9 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             addr,
             workers,
             queue_cap,
+            batch_queue_cap,
+            tenant_rps,
+            tenant_burst,
             max_batch,
             deadline_ms,
             watchdog_ms,
@@ -2601,6 +2671,10 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             ServeConfig {
                 workers,
                 queue_capacity: queue_cap,
+                batch_queue_capacity: batch_queue_cap,
+                tenant_quota_rps: tenant_rps,
+                tenant_quota_burst: tenant_burst
+                    .unwrap_or(ServeConfig::default().tenant_quota_burst),
                 max_batch,
                 default_deadline_ms: deadline_ms,
                 watchdog_ms,
@@ -2623,6 +2697,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             no_verify,
             retries,
             mix,
+            priority,
+            tenant,
             fleet,
         } => run_loadgen(&LoadgenOpts {
             addr,
@@ -2637,6 +2713,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             no_verify,
             retries,
             mix,
+            priority,
+            tenant,
             fleet,
         }),
         Command::Bench { n, rolling, out } => {
@@ -2920,6 +2998,9 @@ mod tests {
                 addr: "127.0.0.1:8700".into(),
                 workers: 4,
                 queue_cap: 256,
+                batch_queue_cap: None,
+                tenant_rps: None,
+                tenant_burst: None,
                 max_batch: 8,
                 deadline_ms: None,
                 watchdog_ms: None,
@@ -2931,6 +3012,7 @@ mod tests {
         assert_eq!(
             parse(&argv(
                 "serve --addr 0.0.0.0:9000 --workers 2 --queue-cap 32 --max-batch 4 \
+                 --batch-queue-cap 16 --tenant-rps 5 --tenant-burst 10 \
                  --deadline-ms 500 --watchdog-ms 250 --trace serve.trace.json \
                  --tune-cache tc.json --fleet"
             ))
@@ -2939,6 +3021,9 @@ mod tests {
                 addr: "0.0.0.0:9000".into(),
                 workers: 2,
                 queue_cap: 32,
+                batch_queue_cap: Some(16),
+                tenant_rps: Some(5.0),
+                tenant_burst: Some(10.0),
                 max_batch: 4,
                 deadline_ms: Some(500),
                 watchdog_ms: Some(250),
@@ -2951,6 +3036,8 @@ mod tests {
         assert!(parse(&argv("serve --workers")).is_err());
         assert!(parse(&argv("serve --queue-cap many")).is_err());
         assert!(parse(&argv("serve --watchdog-ms soon")).is_err());
+        assert!(parse(&argv("serve --tenant-rps 0")).is_err());
+        assert!(parse(&argv("serve --tenant-burst 0.5")).is_err());
     }
 
     #[test]
@@ -2970,13 +3057,15 @@ mod tests {
                 no_verify: false,
                 retries: 1,
                 mix: vec![],
+                priority: Priority::Interactive,
+                tenant: String::new(),
                 fleet: false,
             }
         );
         let cmd = parse(&argv(
             "loadgen --addr 127.0.0.1:8700 --problem dtw --n 128 --requests 500 \
              --rps 50 --duration 10 --concurrency 8 --deadline-ms 2000 --no-verify \
-             --retries 3 --mix 48,96,1100",
+             --retries 3 --mix 48,96,1100 --priority batch --tenant acme",
         ))
         .unwrap();
         assert_eq!(
@@ -2994,9 +3083,12 @@ mod tests {
                 no_verify: true,
                 retries: 3,
                 mix: vec![48, 96, 1100],
+                priority: Priority::Batch,
+                tenant: "acme".into(),
                 fleet: false,
             }
         );
+        assert!(parse(&argv("loadgen --problem lcs --priority urgent")).is_err());
         match parse(&argv("loadgen --problem lcs --fleet")).unwrap() {
             Command::Loadgen { fleet, addr, .. } => {
                 assert!(fleet);
@@ -3185,6 +3277,8 @@ mod tests {
             no_verify: false,
             retries: 1,
             mix: vec![],
+            priority: Priority::Interactive,
+            tenant: String::new(),
             fleet: false,
         };
         let text = run_loadgen(&opts).unwrap();

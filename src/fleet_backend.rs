@@ -122,6 +122,19 @@ impl FleetBackend {
         &self.cache
     }
 
+    /// Publishes pool `idx`'s total and per-class backlog gauges after
+    /// a begin/finish event touching `class`.
+    fn publish_backlog(&self, idx: usize, class: usize) {
+        let dispatcher = self.fleet.dispatcher();
+        self.fleet
+            .metrics()
+            .set_backlog(idx, dispatcher.backlog(idx));
+        let name = if class == 0 { "interactive" } else { "batch" };
+        self.fleet
+            .metrics()
+            .set_class_backlog(idx, name, dispatcher.class_backlog(idx, class));
+    }
+
     /// The fleet (for stats and tests).
     pub fn fleet(&self) -> &Fleet {
         &self.fleet
@@ -324,6 +337,33 @@ impl SolveBackend for FleetBackend {
         })
     }
 
+    fn estimate_ms(&self, req: &SolveRequest) -> Option<f64> {
+        // Feasibility against the *best* fleet member: admission must
+        // not reject work some pool could still finish in time. Pinned
+        // parameters are honoured; otherwise a nominal probe keeps
+        // admission cheap (no tuning sweep). Virtual milliseconds, the
+        // §IV model's clock.
+        let params = req
+            .params
+            .unwrap_or_else(|| lddp_core::schedule::ScheduleParams::new(2, 16));
+        (0..self.fleet.len())
+            .filter_map(|idx| {
+                cli::estimate_virtual(
+                    &req.problem,
+                    req.n,
+                    cost_platform(&self.fleet.pool(idx).spec.name),
+                    params,
+                )
+                .ok()
+            })
+            .min_by(|a, b| a.total_cmp(b))
+            .map(|s| s * 1e3)
+    }
+
+    fn supports_rolling(&self, req: &SolveRequest) -> bool {
+        cli::rolling_supported(&req.problem)
+    }
+
     fn solve(
         &self,
         req: &SolveRequest,
@@ -359,18 +399,16 @@ impl SolveBackend for FleetBackend {
             .clamped_for(pattern, Dims::new(req.n, req.n));
 
         // Backlog brackets the solve so concurrent placements see this
-        // pool's in-flight work; metrics record the outcome either way.
-        self.fleet.dispatcher().begin(idx, predicted);
-        self.fleet
-            .metrics()
-            .set_backlog(idx, self.fleet.dispatcher().backlog(idx));
+        // pool's in-flight work, attributed to the request's service
+        // class; metrics record the outcome either way.
+        let class = req.priority.index();
+        self.fleet.dispatcher().begin_for(idx, predicted, class);
+        self.publish_backlog(idx, class);
         let started = Instant::now();
         let result = self.solve_on(req, idx, clamped, plan.config.tier, plan.config.memory_mode);
         let actual = started.elapsed().as_secs_f64();
-        self.fleet.dispatcher().finish(idx, predicted);
-        self.fleet
-            .metrics()
-            .set_backlog(idx, self.fleet.dispatcher().backlog(idx));
+        self.fleet.dispatcher().finish_for(idx, predicted, class);
+        self.publish_backlog(idx, class);
 
         let (summary, degraded, devices) = result?;
         if devices > 1 {
@@ -510,6 +548,42 @@ mod tests {
         assert_eq!(b.fleet().metrics().degraded(idx), 1);
         let oracle = cli::run_solve_seq("lcs", 48).unwrap();
         assert_eq!(served.answer, oracle, "degraded solve stays correct");
+    }
+
+    #[test]
+    fn estimate_takes_the_cheapest_fleet_member() {
+        let b = FleetBackend::new();
+        let est = b.estimate_ms(&SolveRequest::new("lcs", 128)).unwrap();
+        assert!(est.is_finite() && est > 0.0);
+        // The minimum over members can never exceed any single member.
+        for idx in 0..b.fleet().len() {
+            let member = cli::estimate_virtual(
+                "lcs",
+                128,
+                cost_platform(&b.fleet().pool(idx).spec.name),
+                lddp_core::schedule::ScheduleParams::new(2, 16),
+            )
+            .unwrap()
+                * 1e3;
+            assert!(est <= member + 1e-9);
+        }
+        assert!(b.supports_rolling(&SolveRequest::new("lcs", 64)));
+        assert!(!b.supports_rolling(&SolveRequest::new("dithering", 64)));
+    }
+
+    #[test]
+    fn batch_class_backlog_is_attributed_and_released() {
+        let b = FleetBackend::new();
+        let mut req = SolveRequest::new("lcs", 48);
+        req.priority = lddp_serve::Priority::Batch;
+        let plan = b.plan(&req, &NullSink).unwrap();
+        b.solve_placed(&req, &plan, &NullSink).unwrap();
+        // Fully released after the solve, in both the class slice and
+        // the total.
+        for i in 0..b.fleet().len() {
+            assert_eq!(b.fleet().dispatcher().class_backlog(i, 1), 0.0);
+            assert_eq!(b.fleet().dispatcher().backlog(i), 0.0);
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::cli;
 use lddp_chaos::FaultInjector;
 use lddp_core::kernel::{ExecTier, MemoryMode};
+use lddp_core::schedule::ScheduleParams;
 use lddp_core::tuner_cache::{TuneKey, TunedConfig, TunerCache};
 use lddp_core::wavefront::Dims;
 use lddp_parallel::ParallelEngine;
@@ -178,6 +179,30 @@ impl SolveBackend for FrameworkBackend {
             None => config,
         };
         Ok((config, hit))
+    }
+
+    fn estimate_ms(&self, req: &SolveRequest) -> Option<f64> {
+        // Admission-time feasibility must stay cheap: pinned or cached
+        // parameters when available, a nominal probe otherwise — never
+        // a tuning sweep. The returned figure is the §IV cost model's
+        // *virtual* (modelled-platform) milliseconds, the same clock
+        // `SolveResponse::virtual_ms` reports.
+        let params = req
+            .params
+            .or_else(|| {
+                self.tune_key(req)
+                    .ok()
+                    .and_then(|key| self.cache.get(&key))
+                    .map(|config| config.params)
+            })
+            .unwrap_or_else(|| ScheduleParams::new(2, 16));
+        cli::estimate_virtual(&req.problem, req.n, &req.platform, params)
+            .ok()
+            .map(|s| s * 1e3)
+    }
+
+    fn supports_rolling(&self, req: &SolveRequest) -> bool {
+        cli::rolling_supported(&req.problem)
     }
 
     fn solve(
@@ -378,6 +403,28 @@ mod tests {
             let oracle = crate::cli::run_solve_seq(problem, 48).unwrap();
             assert_eq!(served.answer, oracle, "{problem}");
         }
+    }
+
+    #[test]
+    fn estimate_is_finite_and_grows_with_instance_size() {
+        let b = FrameworkBackend::new();
+        let small = b.estimate_ms(&SolveRequest::new("lcs", 64)).unwrap();
+        let large = b.estimate_ms(&SolveRequest::new("lcs", 2048)).unwrap();
+        assert!(small.is_finite() && small > 0.0);
+        assert!(
+            large > small * 10.0,
+            "O(n²) model: {large} ms for 2048 vs {small} ms for 64"
+        );
+        // Unknown problems yield no estimate (validation rejects them
+        // earlier anyway).
+        assert!(b.estimate_ms(&SolveRequest::new("nonsense", 64)).is_none());
+    }
+
+    #[test]
+    fn rolling_support_tracks_the_problem_registry() {
+        let b = FrameworkBackend::new();
+        assert!(b.supports_rolling(&SolveRequest::new("lcs", 64)));
+        assert!(!b.supports_rolling(&SolveRequest::new("dithering", 64)));
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! End-to-end QoS acceptance for the overload-robust serving stack:
+//! a real [`FrameworkBackend`] behind the HTTP front end, driven by the
+//! load generator with priority classes, tenant attribution, and the
+//! brownout ladder all in play at once.
+//!
+//! The headline run: an oracle-checked 500+ request experiment where a
+//! batch-class flood an order of magnitude heavier than the interactive
+//! trickle is injected mid-run. Interactive latency must stay bounded,
+//! no interactive request may be shed while batch is sheddable, an
+//! over-quota tenant must see `429 tenant_quota`, and the brownout
+//! ladder must engage under the flood and fully disengage (hysteresis)
+//! afterwards — all observed through `/metrics` deltas.
+
+use lddp::serve_backend::FrameworkBackend;
+use lddp_serve::loadgen::{self, HttpTarget, LoadgenConfig};
+use lddp_serve::{http, BrownoutConfig, Priority, ServeConfig, Server, SolveRequest};
+use lddp_trace::NullSink;
+use std::net::TcpListener;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The value of one series in a scrape, or 0 when absent.
+fn series(scrape: &[(String, f64)], name: &str) -> f64 {
+    scrape
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0.0, |&(_, v)| v)
+}
+
+fn interactive_cfg(total: usize, concurrency: usize, oracle: &str) -> LoadgenConfig {
+    LoadgenConfig {
+        request: SolveRequest::new("lcs", 48),
+        total,
+        concurrency,
+        expect_answer: Some(oracle.to_string()),
+        ..LoadgenConfig::default()
+    }
+}
+
+#[test]
+fn overload_run_sheds_batch_protects_interactive_and_recovers() {
+    let oracle_small = lddp::cli::run_solve_seq("lcs", 48).unwrap();
+    let oracle_large = lddp::cli::run_solve_seq("lcs", 256).unwrap();
+
+    let backend = FrameworkBackend::new();
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        // A tight batch budget so a flood shows up as queue fill long
+        // before the interactive class feels anything.
+        batch_queue_capacity: Some(12),
+        // Small batches bound head-of-line blocking: an interactive
+        // arrival waits for at most one two-job batch already on a
+        // worker, which is what keeps its p99 inside the 2x envelope.
+        max_batch: 2,
+        // Quotas meter *named* tenants; the flood below is deliberately
+        // unattributed so quota enforcement and brownout shedding are
+        // exercised independently.
+        tenant_quota_rps: Some(0.5),
+        tenant_quota_burst: 2.0,
+        brownout: BrownoutConfig {
+            high_watermark: 0.5,
+            low_watermark: 0.25,
+            engage_after: 2,
+            disengage_after: 4,
+            max_level: 3,
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::new(config, &backend, &NullSink);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    server.run(Some(listener), |client| {
+        let target = HttpTarget::new(addr.clone(), TIMEOUT);
+        let mut sent = 0usize;
+
+        // ---- Phase 1: unloaded interactive baseline. --------------
+        let baseline = loadgen::run(&target, &interactive_cfg(220, 4, &oracle_small));
+        assert_eq!(baseline.completed, 220, "by_code: {:?}", baseline.by_code);
+        assert_eq!(baseline.rejected, 0);
+        assert_eq!(baseline.mismatches, 0);
+        sent += baseline.sent;
+        // Sub-millisecond baselines make a pure latency ratio a coin
+        // flip on a noisy CI box, so the baseline is floored before the
+        // 2x bound is applied.
+        let p99_bound = 2.0 * baseline.latency.p99_ms.max(50.0);
+
+        let before = loadgen::scrape_metrics(&addr, TIMEOUT).unwrap();
+
+        // ---- Phase 2: 10x batch flood + interactive trickle. ------
+        // Closed-loop batch flood from 16 workers against a 12-slot
+        // batch budget: the class queue saturates, and once two
+        // consecutive fill observations sit above the high watermark
+        // the ladder starts shedding batch admissions. Repeated rounds
+        // guard against a round that drains too fast to trip it.
+        let mut flood_sheds = 0usize;
+        let mut flood_completed = 0usize;
+        for _round in 0..6 {
+            let (flood, trickle) = std::thread::scope(|s| {
+                let flood = s.spawn(|| {
+                    let mut req = SolveRequest::new("lcs", 256);
+                    req.priority = Priority::Batch;
+                    let cfg = LoadgenConfig {
+                        request: req,
+                        total: 300,
+                        concurrency: 16,
+                        expect_answer: Some(oracle_large.clone()),
+                        ..LoadgenConfig::default()
+                    };
+                    loadgen::run(&HttpTarget::new(addr.clone(), TIMEOUT), &cfg)
+                });
+                let trickle = loadgen::run(&target, &interactive_cfg(30, 2, &oracle_small));
+                (flood.join().unwrap(), trickle)
+            });
+            sent += flood.sent + trickle.sent;
+            flood_completed += flood.completed;
+            assert_eq!(flood.mismatches, 0, "batch answers diverged");
+            assert_eq!(flood.errors, 0, "by_code: {:?}", flood.by_code);
+            flood_sheds += flood
+                .by_code
+                .iter()
+                .find(|(code, _)| code == "brownout_shed")
+                .map_or(0, |&(_, n)| n);
+
+            // The protected class: every interactive request completed
+            // and matched the oracle while batch was being shed.
+            assert_eq!(
+                trickle.completed, 30,
+                "interactive shed during flood: {:?}",
+                trickle.by_code
+            );
+            assert_eq!(trickle.rejected, 0, "zero interactive sheds required");
+            assert_eq!(trickle.mismatches, 0);
+            assert!(
+                trickle.latency.p99_ms <= p99_bound,
+                "interactive p99 {}ms blew the 2x-of-baseline bound {}ms \
+                 (baseline p99 {}ms)",
+                trickle.latency.p99_ms,
+                p99_bound,
+                baseline.latency.p99_ms
+            );
+
+            if flood_sheds > 0 {
+                break;
+            }
+        }
+        assert!(
+            flood_sheds > 0,
+            "six flood rounds never tripped the brownout ladder"
+        );
+        assert!(
+            flood_completed > 0,
+            "shedding must degrade the batch class, not blackhole it"
+        );
+
+        // ---- Phase 3: over-quota tenant sees 429 tenant_quota. ----
+        let mut quota_rejections = 0usize;
+        for _ in 0..8 {
+            let mut req = SolveRequest::new("lcs", 48);
+            req.tenant = "greedy".to_string();
+            let (status, head, body) =
+                http::request_with_head(&addr, "POST", "/solve", Some(&req.to_json()), TIMEOUT)
+                    .unwrap();
+            sent += 1;
+            match status {
+                200 => assert!(body.contains(&format!("\"answer\":\"{oracle_small}\""))),
+                429 => {
+                    assert!(body.contains("\"error\":\"tenant_quota\""), "{body}");
+                    assert!(
+                        head.lines().any(|l| l.starts_with("Retry-After: ")),
+                        "quota rejection must carry Retry-After: {head}"
+                    );
+                    quota_rejections += 1;
+                }
+                other => panic!("unexpected status {other}: {body}"),
+            }
+        }
+        assert!(
+            quota_rejections >= 5,
+            "burst 2 at 0.5 rps should reject most of 8 back-to-back sends, \
+             got {quota_rejections}"
+        );
+
+        // ---- Phase 4: drain and disengage (hysteresis). -----------
+        // The ladder only moves on admission/dequeue observations, so
+        // a trailing interactive run supplies the relief observations
+        // that walk it back down to 0.
+        let tail = loadgen::run(&target, &interactive_cfg(40, 2, &oracle_small));
+        assert_eq!(tail.completed, 40, "by_code: {:?}", tail.by_code);
+        assert_eq!(tail.rejected, 0);
+        assert_eq!(tail.mismatches, 0);
+        sent += tail.sent;
+
+        assert!(
+            sent >= 500,
+            "acceptance run must cover 500+ requests, sent {sent}"
+        );
+
+        // ---- Phase 5: the /metrics story of the whole run. --------
+        let after = loadgen::scrape_metrics(&addr, TIMEOUT).unwrap();
+        let delta = |name: &str| series(&after, name) - series(&before, name);
+
+        let engaged = delta("lddp_serve_brownout_transitions_total{direction=\"engage\"}");
+        let disengaged = delta("lddp_serve_brownout_transitions_total{direction=\"disengage\"}");
+        assert!(engaged >= 1.0, "ladder never engaged");
+        assert!(disengaged >= 1.0, "ladder never disengaged");
+        assert_eq!(
+            series(&after, "lddp_serve_brownout_level"),
+            0.0,
+            "brownout gauge must return to 0 after the flood drains"
+        );
+        assert_eq!(
+            series(
+                &after,
+                "lddp_serve_class_queue_depth{class=\"interactive\"}"
+            ),
+            0.0
+        );
+        assert_eq!(
+            series(&after, "lddp_serve_class_queue_depth{class=\"batch\"}"),
+            0.0
+        );
+
+        // Per-class accounting: interactive was never shed, batch was.
+        assert!(
+            delta("lddp_serve_class_total{class=\"interactive\",outcome=\"accepted\"}") >= 70.0
+        );
+        assert_eq!(
+            delta("lddp_serve_class_total{class=\"interactive\",outcome=\"shed\"}"),
+            0.0,
+            "interactive requests were shed while batch was sheddable"
+        );
+        assert!(delta("lddp_serve_class_total{class=\"batch\",outcome=\"shed\"}") >= 1.0);
+        assert!(delta("lddp_serve_rejected_total{reason=\"brownout_shed\"}") >= 1.0);
+
+        // Tenant attribution: the greedy tenant's rejections landed in
+        // its labelled series.
+        assert!(
+            series(
+                &after,
+                "lddp_serve_tenant_total{tenant=\"greedy\",outcome=\"rejected\"}"
+            ) >= 5.0,
+            "missing per-tenant rejection series"
+        );
+
+        client.shutdown();
+    });
+}
+
+/// Deadline QoS over HTTP: an infeasible deadline is refused up front
+/// with `504 deadline_infeasible` (satellite: §IV admission check),
+/// while the same instance without a deadline solves fine.
+#[test]
+fn infeasible_deadlines_are_refused_before_solving() {
+    let oracle = lddp::cli::run_solve_seq("lcs", 2048).unwrap();
+    let backend = FrameworkBackend::new();
+    let server = Server::new(ServeConfig::default(), &backend, &NullSink);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    server.run(Some(listener), |client| {
+        // A 2048-cell-side grid cannot possibly finish in 1 virtual ms;
+        // the §IV estimate catches that at admission.
+        let mut hasty = SolveRequest::new("lcs", 2048);
+        hasty.deadline_ms = Some(1);
+        let (status, head, body) =
+            http::request_with_head(&addr, "POST", "/solve", Some(&hasty.to_json()), TIMEOUT)
+                .unwrap();
+        assert_eq!(status, 504, "{body}");
+        assert!(body.contains("\"error\":\"deadline_infeasible\""), "{body}");
+        assert!(
+            !head.lines().any(|l| l.starts_with("Retry-After: ")),
+            "an infeasible deadline is not retryable: {head}"
+        );
+
+        let (status, body) = http::request(
+            &addr,
+            "POST",
+            "/solve",
+            Some(&SolveRequest::new("lcs", 2048).to_json()),
+            TIMEOUT,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains(&format!("\"answer\":\"{oracle}\"")), "{body}");
+
+        client.shutdown();
+    });
+}
