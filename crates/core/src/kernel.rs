@@ -148,8 +148,27 @@ pub fn simd_available() -> bool {
     }
 }
 
+/// True when the host additionally exposes the AVX-512 foundation
+/// subset (`avx512f`). Detection groundwork only: no kernel body
+/// dispatches to 512-bit vectors yet, so [`simd_backend`] still names
+/// the tier that actually runs (`avx2`) — but `bench --quick` and the
+/// server's `/healthz` surface this bit so deployments can see the
+/// vector headroom an AVX-512 tier would unlock.
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// Name of the vector backend [`simd_available`] would dispatch to:
 /// `"avx2"`, `"neon"`, or `"scalar"` when no vector unit is usable.
+/// AVX-512 hosts still report `"avx2"` here (that is what executes);
+/// see [`avx512_available`] for the wider-unit probe.
 pub fn simd_backend() -> &'static str {
     #[cfg(target_arch = "x86_64")]
     {
@@ -532,6 +551,19 @@ mod tests {
         for c in RepCell::ALL {
             assert_eq!(n.get(c), None);
         }
+    }
+
+    #[test]
+    fn simd_probes_are_consistent() {
+        // The backend name and the availability bit must agree, and the
+        // AVX-512 probe is groundwork: it never changes what executes.
+        let backend = simd_backend();
+        assert_eq!(simd_available(), backend != "scalar");
+        if avx512_available() {
+            // avx512f implies the 256-bit subset the SIMD tier uses.
+            assert_eq!(backend, "avx2");
+        }
+        assert!(["avx2", "neon", "scalar"].contains(&backend));
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub use error::{DegradeStep, Error, Result};
 pub use framework::{choose_execution, Adapter, Classification, MirroredKernel, TransposedKernel};
 pub use grid::{Grid, Layout, LayoutKind};
 pub use kernel::{
-    simd_available, simd_backend, ClosureKernel, ExecTier, Kernel, Neighbors, SimdWaveKernel,
-    WaveKernel,
+    avx512_available, simd_available, simd_backend, ClosureKernel, ExecTier, Kernel, Neighbors,
+    SimdWaveKernel, WaveKernel,
 };
 pub use pattern::{classify, Pattern, ProfileShape};
 pub use tuner_cache::{TuneKey, TunedConfig, TunerCache};

@@ -304,6 +304,162 @@ pub fn solve_best<K: Kernel + ?Sized>(
     Ok((best.map(|(_, i, j, c)| (i, j, c)), stats))
 }
 
+/// One completed slice of the wave schedule, as emitted by a streaming
+/// rolling solve (`lddp-parallel`'s `solve_rolling_stream`, the serve
+/// crate's `POST /solve?stream=1`).
+///
+/// Bands are slices of the *wave* schedule, not literal row bands: on a
+/// square grid, row 0 only seals at wave `cols - 1` — halfway through
+/// the schedule — so equal-row bands would hold the first frame back
+/// for ~50% of the solve. Equal-cell wave bands instead put the first
+/// frame `~cells_total / bands` cells in, and each event reports the
+/// `rows_completed` watermark (grid rows fully sealed so far) for
+/// callers that think in rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandEvent {
+    /// 0-based index of this band.
+    pub band: usize,
+    /// Total bands in the schedule.
+    pub bands: usize,
+    /// First wave of the band.
+    pub wave_lo: usize,
+    /// Last wave of the band (inclusive); the band is sealed once this
+    /// wave's barrier passes.
+    pub wave_hi: usize,
+    /// Grid rows fully computed after `wave_hi` (row `r` seals at wave
+    /// `r + cols - 1`).
+    pub rows_completed: usize,
+    /// Total grid rows.
+    pub rows: usize,
+    /// Cells computed so far, cumulative across bands.
+    pub cells_done: u64,
+    /// Total cells in the grid.
+    pub cells_total: u64,
+    /// Running frontier score: the value of the last cell of `wave_hi`
+    /// (the cell walking down the rightmost column toward the corner),
+    /// projected to `f64` by the caller's score function.
+    pub score: f64,
+    /// Running arg-best score, when the solve tracks one (the
+    /// Smith–Waterman endpoint fold); `None` otherwise.
+    pub best: Option<f64>,
+}
+
+/// An equal-cell split of the anti-diagonal wave schedule into at most
+/// `bands` contiguous slices — the emission plan of a streaming rolling
+/// solve. Waves are never split across bands, so a band boundary is
+/// always a sealed barrier the emitter can publish behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandSchedule {
+    /// Last wave (inclusive) of each band, strictly increasing; the
+    /// final entry is the last wave of the schedule.
+    ends: Vec<usize>,
+    rows: usize,
+    cols: usize,
+    cells_total: u64,
+}
+
+impl BandSchedule {
+    /// Splits the `rows + cols - 1` waves of a `rows × cols` grid into
+    /// at most `bands` slices of near-equal cell count. Requests are
+    /// clamped: at least one band, never more bands than waves. Empty
+    /// grids get an empty schedule.
+    pub fn new(rows: usize, cols: usize, bands: usize) -> BandSchedule {
+        if rows == 0 || cols == 0 {
+            return BandSchedule {
+                ends: Vec::new(),
+                rows,
+                cols,
+                cells_total: 0,
+            };
+        }
+        let num_waves = rows + cols - 1;
+        let bands = bands.clamp(1, num_waves) as u64;
+        let cells_total = (rows * cols) as u64;
+        let mut ends = Vec::with_capacity(bands as usize);
+        let mut cum = 0u64;
+        let mut k = 1u64;
+        for w in 0..num_waves {
+            cum += Self::wave_len_of(rows, cols, w) as u64;
+            // Close band k-1 at the first wave reaching its share of
+            // the cell budget; a wave crossing several thresholds
+            // closes one band and skips the rest.
+            if cum * bands >= k * cells_total {
+                ends.push(w);
+                while k <= bands && cum * bands >= k * cells_total {
+                    k += 1;
+                }
+            }
+        }
+        debug_assert_eq!(ends.last().copied(), Some(num_waves - 1));
+        BandSchedule {
+            ends,
+            rows,
+            cols,
+            cells_total,
+        }
+    }
+
+    /// Number of bands actually scheduled (≤ the requested count).
+    pub fn bands(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Last wave (inclusive) of each band, strictly increasing.
+    pub fn ends(&self) -> &[usize] {
+        &self.ends
+    }
+
+    /// Total cells in the grid.
+    pub fn cells_total(&self) -> u64 {
+        self.cells_total
+    }
+
+    /// Cells on wave `w` of the schedule.
+    pub fn wave_len(&self, w: usize) -> usize {
+        Self::wave_len_of(self.rows, self.cols, w)
+    }
+
+    fn wave_len_of(rows: usize, cols: usize, w: usize) -> usize {
+        (cols - 1).min(w) - w.saturating_sub(rows - 1) + 1
+    }
+
+    /// Grid rows fully sealed once wave `w` has completed: row `r`
+    /// computes its last cell `(r, cols - 1)` on wave `r + cols - 1`.
+    pub fn rows_completed(&self, w: usize) -> usize {
+        (w + 2).saturating_sub(self.cols).min(self.rows)
+    }
+
+    /// Builds the [`BandEvent`] for band `band` sealing at wave `w`
+    /// with `cells_done` cumulative cells; `score`/`best` come from the
+    /// executor's captures.
+    pub fn event(
+        &self,
+        band: usize,
+        w: usize,
+        cells_done: u64,
+        score: f64,
+        best: Option<f64>,
+    ) -> BandEvent {
+        let wave_lo = if band == 0 {
+            0
+        } else {
+            self.ends[band - 1] + 1
+        };
+        BandEvent {
+            band,
+            bands: self.ends.len(),
+            wave_lo,
+            wave_hi: w,
+            rows_completed: self.rows_completed(w),
+            rows: self.rows,
+            cells_done,
+            cells_total: self.cells_total,
+            score,
+            best,
+        }
+    }
+}
+
 /// Formats a `(mode, bytes)` pair the way the CLI and docs report
 /// working sets, e.g. `rolling (96.0 KiB)`.
 pub fn describe(mode: MemoryMode, bytes: usize) -> String {
@@ -433,6 +589,98 @@ mod tests {
             other => panic!("expected PlanMismatch, got {other:?}"),
         }
         assert!(!supports_rolling(&k));
+    }
+
+    #[test]
+    fn band_schedule_partitions_waves_with_near_equal_cells() {
+        for (rows, cols, bands) in [
+            (8usize, 8usize, 4usize),
+            (64, 64, 8),
+            (64, 64, 32),
+            (100, 7, 5),
+            (7, 100, 5),
+            (1, 9, 3),
+            (9, 1, 3),
+            (5, 5, 64), // more bands than waves: clamped
+        ] {
+            let s = BandSchedule::new(rows, cols, bands);
+            let num_waves = rows + cols - 1;
+            assert!(s.bands() >= 1 && s.bands() <= bands.min(num_waves));
+            assert_eq!(*s.ends().last().unwrap(), num_waves - 1, "{rows}x{cols}");
+            assert!(s.ends().windows(2).all(|p| p[0] < p[1]));
+            // Bands partition every wave exactly once; cell totals add
+            // up to the grid.
+            let mut lo = 0usize;
+            let mut total = 0u64;
+            let max_wave = (0..num_waves).map(|w| s.wave_len(w)).max().unwrap() as u64;
+            let fair = s.cells_total() / s.bands() as u64;
+            for (b, &end) in s.ends().iter().enumerate() {
+                let cells: u64 = (lo..=end).map(|w| s.wave_len(w) as u64).sum();
+                assert!(
+                    cells <= fair + max_wave,
+                    "{rows}x{cols} band {b}: {cells} cells vs fair {fair} + wave {max_wave}"
+                );
+                total += cells;
+                lo = end + 1;
+            }
+            assert_eq!(total, s.cells_total());
+            assert_eq!(s.cells_total(), (rows * cols) as u64);
+        }
+    }
+
+    #[test]
+    fn band_schedule_first_band_is_an_early_fraction_of_the_grid() {
+        // The streaming TTFB claim rests on this: the first band seals
+        // after ~1/bands of the cells, far before the first full *row*
+        // would (wave cols-1, i.e. ~half the schedule on squares).
+        let s = BandSchedule::new(512, 512, 32);
+        let first_end = s.ends()[0];
+        let first_cells: u64 = (0..=first_end).map(|w| s.wave_len(w) as u64).sum();
+        assert!(
+            first_cells <= s.cells_total() / 16,
+            "first band holds {first_cells} of {} cells",
+            s.cells_total()
+        );
+        assert_eq!(
+            s.rows_completed(first_end),
+            0,
+            "wave bands seal long before any full row does"
+        );
+        assert_eq!(s.rows_completed(511 + 512 - 1), 512);
+    }
+
+    #[test]
+    fn rows_completed_matches_brute_force() {
+        let (rows, cols) = (9usize, 6usize);
+        let s = BandSchedule::new(rows, cols, 4);
+        for w in 0..rows + cols - 1 {
+            let brute = (0..rows).filter(|&r| w >= r + cols - 1).count();
+            assert_eq!(s.rows_completed(w), brute, "wave {w}");
+        }
+    }
+
+    #[test]
+    fn band_events_carry_the_schedule_geometry() {
+        let s = BandSchedule::new(16, 16, 4);
+        let mut cells = 0u64;
+        let mut lo = 0usize;
+        for (b, &end) in s.ends().to_vec().iter().enumerate() {
+            cells += (lo..=end).map(|w| s.wave_len(w) as u64).sum::<u64>();
+            let ev = s.event(b, end, cells, 1.5, Some(2.5));
+            assert_eq!(ev.band, b);
+            assert_eq!(ev.bands, s.bands());
+            assert_eq!(ev.wave_lo, lo);
+            assert_eq!(ev.wave_hi, end);
+            assert_eq!(ev.rows, 16);
+            assert_eq!(ev.cells_total, 256);
+            assert_eq!(ev.cells_done, cells);
+            assert_eq!(ev.score, 1.5);
+            assert_eq!(ev.best, Some(2.5));
+            lo = end + 1;
+        }
+        assert_eq!(cells, 256);
+        // Empty grids: no bands, nothing to stream.
+        assert_eq!(BandSchedule::new(0, 4, 3).bands(), 0);
     }
 
     #[test]

@@ -701,7 +701,29 @@ impl ParallelEngine {
         kernel: &K,
         best_of: Option<fn(&K::Cell) -> i64>,
     ) -> Result<RollingSolve<K::Cell>> {
-        self.solve_rolling_inner(kernel, best_of, None)
+        self.solve_rolling_inner(kernel, best_of, None, None)
+    }
+
+    /// [`solve_rolling`](ParallelEngine::solve_rolling) that streams
+    /// completed wave bands while the pool keeps solving: the schedule
+    /// is cut into `hook.bands` near-equal-cell slices
+    /// ([`lddp_core::rolling::BandSchedule`]) and worker 0 calls
+    /// `hook.emit` behind each band's sealing barrier — solve of band
+    /// `k+1` genuinely overlaps delivery of band `k`, the pipeline
+    /// structure of the Matsumae–Miyazaki GPU path. A blocking `emit`
+    /// (e.g. a full bounded channel) stalls the pool at the next
+    /// barrier, which is exactly the backpressure the serving path
+    /// wants; an `emit` returning `false` (receiver gone) stops further
+    /// emission while the solve runs to completion. The answer is
+    /// bit-identical to [`solve_rolling`](ParallelEngine::solve_rolling)
+    /// — same ring, same run bodies, emission is observation only.
+    pub fn solve_rolling_stream<K: Kernel>(
+        &self,
+        kernel: &K,
+        best_of: Option<fn(&K::Cell) -> i64>,
+        hook: &StreamHook<'_, K::Cell>,
+    ) -> Result<RollingSolve<K::Cell>> {
+        self.solve_rolling_inner(kernel, best_of, None, Some(hook))
     }
 
     /// [`solve_rolling`](ParallelEngine::solve_rolling) with a
@@ -713,7 +735,7 @@ impl ParallelEngine {
         best_of: Option<fn(&K::Cell) -> i64>,
         injector: &dyn FaultInjector,
     ) -> Result<RollingSolve<K::Cell>> {
-        self.solve_rolling_inner(kernel, best_of, Some(injector))
+        self.solve_rolling_inner(kernel, best_of, Some(injector), None)
     }
 
     /// Rolling-mode counterpart of
@@ -727,7 +749,7 @@ impl ParallelEngine {
         injector: &dyn FaultInjector,
     ) -> Result<(RollingSolve<K::Cell>, Vec<DegradeStep>)> {
         let mut steps = Vec::new();
-        match self.solve_rolling_inner(kernel, best_of, Some(injector)) {
+        match self.solve_rolling_inner(kernel, best_of, Some(injector), None) {
             Ok(r) => return Ok((r, steps)),
             Err(Error::ExecutionPanicked { .. }) => {}
             Err(e) => return Err(e),
@@ -735,7 +757,7 @@ impl ParallelEngine {
         if self.resolve_exec(kernel, Pattern::AntiDiagonal).0 != ExecTier::Scalar {
             steps.push(DegradeStep::BulkToScalar);
             let scalar = self.clone().with_bulk_enabled(false);
-            match scalar.solve_rolling_inner(kernel, best_of, Some(injector)) {
+            match scalar.solve_rolling_inner(kernel, best_of, Some(injector), None) {
                 Ok(r) => return Ok((r, steps)),
                 Err(Error::ExecutionPanicked { .. }) => {}
                 Err(e) => return Err(e),
@@ -743,7 +765,7 @@ impl ParallelEngine {
         }
         steps.push(DegradeStep::ParallelToSequential);
         match catch_unwind(AssertUnwindSafe(|| {
-            Self::rolling_sequential(kernel, Some(ExecTier::Scalar), best_of)
+            Self::rolling_sequential(kernel, Some(ExecTier::Scalar), best_of, None)
         })) {
             Ok(Ok(r)) => Ok((r, steps)),
             Ok(Err(e)) => Err(e),
@@ -759,11 +781,16 @@ impl ParallelEngine {
         kernel: &K,
         tier: Option<ExecTier>,
         best_of: Option<fn(&K::Cell) -> i64>,
+        stream: Option<&StreamHook<'_, K::Cell>>,
     ) -> Result<RollingSolve<K::Cell>> {
         let dims = kernel.dims();
         let last = (dims.rows + dims.cols).saturating_sub(2);
+        let schedule = stream.map(|h| rolling::BandSchedule::new(dims.rows, dims.cols, h.bands));
         let mut corner = None;
         let mut best: Option<(i64, usize, usize, K::Cell)> = None;
+        let mut next_band = 0usize;
+        let mut cells_done = 0u64;
+        let mut emit_alive = true;
         let stats = rolling::solve_waves(kernel, tier, |w, j_lo, cells| {
             if w == last {
                 corner = cells.last().copied();
@@ -774,6 +801,21 @@ impl ParallelEngine {
                     if best.is_none_or(|(bs, ..)| s > bs) {
                         best = Some((s, w - (j_lo + p), j_lo + p, *c));
                     }
+                }
+            }
+            if let (Some(hook), Some(sched)) = (stream, &schedule) {
+                cells_done += cells.len() as u64;
+                if emit_alive && sched.ends().get(next_band) == Some(&w) {
+                    let score = cells.last().map_or(0.0, |c| (hook.score_of)(c));
+                    let ev = sched.event(
+                        next_band,
+                        w,
+                        cells_done,
+                        score,
+                        best.map(|(s, ..)| s as f64),
+                    );
+                    next_band += 1;
+                    emit_alive = (hook.emit)(ev);
                 }
             }
         })?;
@@ -819,6 +861,7 @@ impl ParallelEngine {
         kernel: &K,
         best_of: Option<fn(&K::Cell) -> i64>,
         injector: Option<&dyn FaultInjector>,
+        stream: Option<&StreamHook<'_, K::Cell>>,
     ) -> Result<RollingSolve<K::Cell>> {
         let set = kernel.contributing_set();
         if set.is_empty() {
@@ -849,7 +892,7 @@ impl ParallelEngine {
         // reasoning as the full-table single-thread bypasses). Faulted
         // runs stay on the pool for panic isolation.
         if threads == 1 && injector.is_none() {
-            let r = Self::rolling_sequential(kernel, Some(tier), best_of)?;
+            let r = Self::rolling_sequential(kernel, Some(tier), best_of, stream)?;
             self.record_rolling_live(r.tier, r.waves, dims.len(), r.peak_bytes);
             return Ok(r);
         }
@@ -875,6 +918,7 @@ impl ParallelEngine {
         };
         type Captured<C> = (Option<C>, Option<(i64, usize, usize, C)>);
         let captured: Mutex<Captured<K::Cell>> = Mutex::new((None, None));
+        let schedule = stream.map(|h| rolling::BandSchedule::new(rows, cols, h.bands));
         let live = self.live.as_deref();
         let pool = self.pool();
         let chaos_injected = |site: &str| {
@@ -901,6 +945,11 @@ impl ParallelEngine {
         };
 
         let r = pool.try_run(threads, &|t| {
+            // Streaming emission state, used by worker 0 only (each
+            // worker's invocation owns the whole wave loop).
+            let mut next_band = 0usize;
+            let mut cells_done = 0u64;
+            let mut emit_alive = true;
             for w in 0..num_waves {
                 inject(t, w);
                 let j_lo = w.saturating_sub(rows - 1);
@@ -1008,6 +1057,28 @@ impl ParallelEngine {
                             if cap.1.is_none_or(|(bs, ..)| s > bs) {
                                 cap.1 = Some((s, w - (j_lo + p), j_lo + p, *c));
                             }
+                        }
+                    }
+                    if let (Some(hook), Some(sched)) = (stream, &schedule) {
+                        // Emission happens here, behind the sealing
+                        // barrier but before worker 0 starts wave
+                        // `w + 1` — the other workers run ahead until
+                        // the next barrier, so a blocking emit (full
+                        // channel) throttles the whole pool: exactly
+                        // the slow-reader backpressure contract.
+                        cells_done += len as u64;
+                        if emit_alive && sched.ends().get(next_band) == Some(&w) {
+                            let score = cells.last().map_or(0.0, |c| (hook.score_of)(c));
+                            let ev = sched.event(
+                                next_band,
+                                w,
+                                cells_done,
+                                score,
+                                cap.1.map(|(s, ..)| s as f64),
+                            );
+                            next_band += 1;
+                            drop(cap);
+                            emit_alive = (hook.emit)(ev);
                         }
                     }
                 }
@@ -1473,6 +1544,20 @@ impl Default for ParallelEngine {
     fn default() -> Self {
         ParallelEngine::host()
     }
+}
+
+/// How a streaming rolling solve emits its bands — the argument of
+/// [`ParallelEngine::solve_rolling_stream`].
+pub struct StreamHook<'a, C> {
+    /// Requested band count; the schedule clamps it to the wave count,
+    /// so tiny grids emit fewer (but at least one) bands.
+    pub bands: usize,
+    /// Projects a frontier cell to the frame's running score.
+    pub score_of: fn(&C) -> f64,
+    /// Called once per sealed band, in band order, from inside the
+    /// solve. May block (that is the backpressure path); returns
+    /// `false` to stop further emission while the solve completes.
+    pub emit: &'a (dyn Fn(rolling::BandEvent) -> bool + Sync),
 }
 
 /// Result of a rolling (wave-band) solve. There is no grid — that is
@@ -2395,6 +2480,77 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn rolling_stream_emits_ordered_bands_and_matches_plain_rolling() {
+        for (rows, cols) in [(1, 1), (2, 2), (13, 29), (31, 31), (40, 9)] {
+            let kernel = SimdMix(BulkMix {
+                dims: Dims::new(rows, cols),
+                set: anti_diag_set(),
+            });
+            for threads in [1, 2, 4] {
+                for bands in [1, 4, 100] {
+                    let engine = ParallelEngine::new(threads);
+                    let want = engine.solve_rolling(&kernel, Some(cell_score)).unwrap();
+                    let events = std::sync::Mutex::new(Vec::new());
+                    let hook = StreamHook {
+                        bands,
+                        score_of: |c: &u64| *c as f64,
+                        emit: &|ev| {
+                            events.lock().unwrap().push(ev);
+                            true
+                        },
+                    };
+                    let got = engine
+                        .solve_rolling_stream(&kernel, Some(cell_score), &hook)
+                        .unwrap();
+                    let label = format!("{rows}x{cols} threads={threads} bands={bands}");
+                    assert_eq!(got.corner, want.corner, "{label}");
+                    assert_eq!(got.best, want.best, "{label}");
+                    let events = events.into_inner().unwrap();
+                    let waves = rows + cols - 1;
+                    assert!(!events.is_empty(), "{label}");
+                    assert!(events.len() <= bands.min(waves), "{label}");
+                    let mut cells = 0u64;
+                    for (k, ev) in events.iter().enumerate() {
+                        assert_eq!(ev.band, k, "band order {label}");
+                        assert_eq!(ev.bands, events.len(), "schedule size {label}");
+                        assert!(ev.cells_done > cells, "cells monotone {label}");
+                        cells = ev.cells_done;
+                        assert!(ev.rows_completed <= rows, "{label}");
+                    }
+                    let last = events.last().unwrap();
+                    assert_eq!(last.cells_done, (rows * cols) as u64, "{label}");
+                    assert_eq!(last.cells_total, (rows * cols) as u64, "{label}");
+                    assert_eq!(last.rows_completed, rows, "{label}");
+                    assert_eq!(last.wave_hi, waves - 1, "{label}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_stream_halts_emission_when_hook_declines() {
+        let kernel = SimdMix(BulkMix {
+            dims: Dims::new(24, 24),
+            set: anti_diag_set(),
+        });
+        let engine = ParallelEngine::new(3);
+        let want = engine.solve_rolling(&kernel, Some(cell_score)).unwrap();
+        let seen = std::sync::atomic::AtomicUsize::new(0);
+        let hook = StreamHook {
+            bands: 8,
+            score_of: |c: &u64| *c as f64,
+            emit: &|_| seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst) < 2,
+        };
+        // The solve still finishes exactly even after the consumer bails.
+        let got = engine
+            .solve_rolling_stream(&kernel, Some(cell_score), &hook)
+            .unwrap();
+        assert_eq!(got.corner, want.corner);
+        assert_eq!(got.best, want.best);
+        assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 3);
     }
 
     #[test]

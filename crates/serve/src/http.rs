@@ -1,7 +1,11 @@
 //! A deliberately tiny HTTP/1.1 subset over `std::net` — just enough
 //! for the solve API and its load generator: persistent connections
 //! (`Connection: keep-alive`, the HTTP/1.1 default), `Content-Length`
-//! bodies only (no chunked encoding), ASCII headers, JSON payloads.
+//! request bodies, ASCII headers, JSON payloads. Responses may also be
+//! `Transfer-Encoding: chunked` — the streaming solve path emits one
+//! JSON frame per chunk ([`write_chunked_head`] / [`write_chunk`] /
+//! [`finish_chunked`] on the server, [`HttpConnection::request_stream`]
+//! on the client).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -210,9 +214,140 @@ pub fn write_response_opts(
         "Connection: {}\r\n\r\n",
         if keep_alive { "keep-alive" } else { "close" }
     ));
+    // One write per response: a separate small head write would sit in
+    // Nagle's buffer waiting for the peer's delayed ACK (~40 ms on a
+    // quiet connection) before the body could follow.
+    head.push_str(body);
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// Writes the head of a `Transfer-Encoding: chunked` response and
+/// flushes. The caller then emits any number of [`write_chunk`]s and
+/// finishes with [`finish_chunked`]; the connection stays usable for
+/// the next request afterwards when `keep_alive` holds.
+pub fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    keep_alive: bool,
+    opts: &ResponseOptions,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n",
+        status,
+        status_text(status),
+        opts.content_type.unwrap_or("application/json"),
+    );
+    if let Some(s) = opts.retry_after_s {
+        head.push_str(&format!("Retry-After: {s}\r\n"));
+    }
+    for (name, value) in &opts.extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "Connection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    ));
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one non-empty chunk (`<hex len>\r\n<data>\r\n`) and flushes
+/// immediately — each flush is what turns a band into a wire-visible
+/// event rather than a buffered byte. Empty payloads are skipped: a
+/// zero-length chunk would terminate the stream early.
+pub fn write_chunk(stream: &mut TcpStream, data: &str) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    // Size line, payload, and CRLF go out as one segment: three small
+    // writes would let Nagle hold the tail of every band frame until
+    // the reader's delayed ACK, turning a live stream into 40 ms beats.
+    let mut chunk = format!("{:x}\r\n", data.len());
+    chunk.push_str(data);
+    chunk.push_str("\r\n");
+    stream.write_all(chunk.as_bytes())?;
+    stream.flush()
+}
+
+/// Terminates a chunked response (`0\r\n\r\n`, no trailers) and
+/// flushes, leaving the connection aligned on a request boundary.
+pub fn finish_chunked(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Reads one CRLF-terminated line byte-at-a-time (chunk-size lines and
+/// trailers are tiny; bytewise reads keep the stream aligned).
+fn read_crlf_line(stream: &mut TcpStream) -> Result<String, String> {
+    let mut line = Vec::with_capacity(32);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed mid-chunk".into()),
+            Ok(_) => {
+                line.push(byte[0]);
+                if line.ends_with(b"\r\n") {
+                    line.truncate(line.len() - 2);
+                    return String::from_utf8(line).map_err(|_| "chunk line is not UTF-8".into());
+                }
+                if line.len() > 1024 {
+                    return Err("chunk-size line too long".into());
+                }
+            }
+            Err(e) => return Err(format!("reading chunk: {e}")),
+        }
+    }
+}
+
+/// Reads one chunk of a chunked response body: `Some(data)` for a data
+/// chunk, `None` once the zero-length terminal chunk (and any trailers)
+/// has been consumed and the connection is back on a request boundary.
+fn read_chunk(stream: &mut TcpStream) -> Result<Option<String>, String> {
+    let size_line = read_crlf_line(stream)?;
+    // Tolerate chunk extensions (`1a;name=value`) by ignoring them.
+    let size_hex = size_line.split(';').next().unwrap_or("").trim();
+    let size = usize::from_str_radix(size_hex, 16)
+        .map_err(|_| format!("malformed chunk-size line {size_line:?}"))?;
+    if size > MAX_BODY {
+        return Err(format!("chunk of {size} bytes exceeds the cap"));
+    }
+    if size == 0 {
+        // Discard trailers until the blank line that ends the body.
+        loop {
+            if read_crlf_line(stream)?.is_empty() {
+                return Ok(None);
+            }
+        }
+    }
+    let mut data = vec![0u8; size];
+    stream
+        .read_exact(&mut data)
+        .map_err(|e| format!("reading chunk data: {e}"))?;
+    let mut crlf = [0u8; 2];
+    stream
+        .read_exact(&mut crlf)
+        .map_err(|e| format!("reading chunk terminator: {e}"))?;
+    if &crlf != b"\r\n" {
+        return Err("chunk data not CRLF-terminated".into());
+    }
+    String::from_utf8(data)
+        .map(Some)
+        .map_err(|_| "chunk is not UTF-8".into())
+}
+
+/// What [`HttpConnection::request_stream`] observed: the status, the
+/// plain body when the server answered without chunking (rejections
+/// stay ordinary JSON responses), and any `Retry-After` hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// HTTP status code.
+    pub status: u16,
+    /// The full body when the response was *not* chunked; `None` when
+    /// the body was streamed through the chunk callback instead.
+    pub plain_body: Option<String>,
+    /// Parsed `Retry-After` header (whole seconds), when present.
+    pub retry_after_s: Option<u64>,
 }
 
 /// A persistent client connection: many requests over one TCP stream
@@ -237,6 +372,11 @@ impl HttpConnection {
         stream
             .set_write_timeout(Some(timeout))
             .map_err(|e| format!("set write timeout on {addr}: {e}"))?;
+        // Nagle would batch our small request/frame segments behind the
+        // peer's delayed ACK; this is a latency-measuring client, so
+        // send segments as written. Best-effort: a platform that cannot
+        // disable it still works, just slower.
+        stream.set_nodelay(true).ok();
         Ok(HttpConnection {
             stream,
             addr: addr.to_string(),
@@ -267,14 +407,16 @@ impl HttpConnection {
         body: Option<&str>,
     ) -> Result<(u16, String, Option<u64>), String> {
         let body = body.unwrap_or("");
-        let head = format!(
+        // Head and body leave in one segment (see `write_response`'s
+        // note on Nagle + delayed ACK).
+        let mut req = format!(
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
             self.addr,
             body.len()
         );
+        req.push_str(body);
         self.stream
-            .write_all(head.as_bytes())
-            .and_then(|_| self.stream.write_all(body.as_bytes()))
+            .write_all(req.as_bytes())
             .and_then(|_| self.stream.flush())
             .map_err(|e| format!("sending request: {e}"))?;
 
@@ -314,6 +456,87 @@ impl HttpConnection {
         let payload = String::from_utf8(payload).map_err(|_| "response is not UTF-8")?;
         Ok((status, payload, retry_after_s))
     }
+
+    /// Sends one request and reads a possibly chunked response,
+    /// delivering each chunk to `on_chunk` as it arrives (the streaming
+    /// solve path writes one JSON frame per chunk, so chunk boundaries
+    /// are frame boundaries). When the server answers with a plain
+    /// `Content-Length` body instead — every rejection does — the body
+    /// comes back in [`StreamOutcome::plain_body`] and `on_chunk` is
+    /// never called. After `Ok`, the connection is aligned for reuse;
+    /// on `Err` it must be dropped.
+    pub fn request_stream(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        on_chunk: &mut dyn FnMut(&str),
+    ) -> Result<StreamOutcome, String> {
+        let body = body.unwrap_or("");
+        // Head and body leave in one segment (see `write_response`'s
+        // note on Nagle + delayed ACK).
+        let mut req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        req.push_str(body);
+        self.stream
+            .write_all(req.as_bytes())
+            .and_then(|_| self.stream.flush())
+            .map_err(|e| format!("sending request: {e}"))?;
+
+        let head = read_until_blank_line(&mut self.stream)?;
+        let mut lines = head.split("\r\n");
+        let status = lines
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or("response missing status code")?;
+        let mut content_length = 0usize;
+        let mut chunked = false;
+        let mut retry_after_s = None;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad content-length: {e}"))?;
+                } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                    chunked = value.trim().eq_ignore_ascii_case("chunked");
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after_s = value.trim().parse::<u64>().ok();
+                }
+            }
+        }
+        if !chunked {
+            if content_length > MAX_BODY {
+                return Err(format!(
+                    "response of {content_length} bytes exceeds the cap"
+                ));
+            }
+            let mut payload = vec![0u8; content_length];
+            self.stream
+                .read_exact(&mut payload)
+                .map_err(|e| format!("reading response body: {e}"))?;
+            let payload = String::from_utf8(payload).map_err(|_| "response is not UTF-8")?;
+            return Ok(StreamOutcome {
+                status,
+                plain_body: Some(payload),
+                retry_after_s,
+            });
+        }
+        while let Some(chunk) = read_chunk(&mut self.stream)? {
+            on_chunk(&chunk);
+        }
+        Ok(StreamOutcome {
+            status,
+            plain_body: None,
+            retry_after_s,
+        })
+    }
 }
 
 /// Minimal one-shot HTTP client: one request on a fresh connection
@@ -347,13 +570,13 @@ pub fn request_with_head(
         .set_write_timeout(Some(timeout))
         .map_err(|e| format!("set write timeout on {addr}: {e}"))?;
     let body = body.unwrap_or("");
-    let head = format!(
+    let mut req = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
+    req.push_str(body);
     stream
-        .write_all(head.as_bytes())
-        .and_then(|_| stream.write_all(body.as_bytes()))
+        .write_all(req.as_bytes())
         .and_then(|_| stream.flush())
         .map_err(|e| format!("sending request: {e}"))?;
     let mut raw = Vec::new();
@@ -556,6 +779,204 @@ mod tests {
         );
         assert!(head.contains("X-LDDP-Trace-Id: 00ff00ff00ff00ff"), "{head}");
         assert_eq!(body, "ok 1\n");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn chunked_response_streams_frame_per_chunk() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            let req = read_request(&mut conn).unwrap();
+            assert_eq!(req.param("stream"), Some("1"));
+            let opts = ResponseOptions {
+                extra_headers: vec![("X-LDDP-Trace-Id", "abc123".to_string())],
+                ..ResponseOptions::default()
+            };
+            write_chunked_head(&mut conn, 200, true, &opts).unwrap();
+            for i in 0..3 {
+                write_chunk(&mut conn, &format!("{{\"band\":{i}}}")).unwrap();
+            }
+            // Empty writes are dropped, not emitted as a terminal chunk.
+            write_chunk(&mut conn, "").unwrap();
+            write_chunk(&mut conn, r#"{"frame":"done"}"#).unwrap();
+            finish_chunked(&mut conn).unwrap();
+        });
+        let mut conn = HttpConnection::connect(&addr, Duration::from_secs(5)).unwrap();
+        let mut chunks = Vec::new();
+        let outcome = conn
+            .request_stream("POST", "/solve?stream=1", Some("{}"), &mut |c| {
+                chunks.push(c.to_string())
+            })
+            .unwrap();
+        assert_eq!(outcome.status, 200);
+        assert_eq!(outcome.plain_body, None);
+        assert_eq!(
+            chunks,
+            vec![
+                r#"{"band":0}"#,
+                r#"{"band":1}"#,
+                r#"{"band":2}"#,
+                r#"{"frame":"done"}"#
+            ]
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_chunk_size_lines_are_errors() {
+        // Each case replaces the first chunk-size line with garbage; the
+        // reader must reject it rather than misinterpret the stream.
+        for bad in ["zz\r\n", "-4\r\n", "\r\n", "1g;ext=1\r\n"] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            let wire = bad.to_string();
+            let server = std::thread::spawn(move || {
+                let (mut conn, _) = listener.accept().unwrap();
+                conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                let _ = read_request(&mut conn).unwrap();
+                conn.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+                )
+                .unwrap();
+                conn.write_all(wire.as_bytes()).unwrap();
+                conn.flush().unwrap();
+            });
+            let mut conn = HttpConnection::connect(&addr, Duration::from_secs(5)).unwrap();
+            let err = conn
+                .request_stream("POST", "/solve?stream=1", Some("{}"), &mut |_| {})
+                .unwrap_err();
+            assert!(err.contains("malformed chunk-size line"), "{bad:?}: {err}");
+            server.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_length_terminal_chunk_with_extension_and_trailers_parses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            let _ = read_request(&mut conn).unwrap();
+            conn.write_all(
+                b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+            // A chunk with an extension, then a terminal chunk followed
+            // by a trailer header — both legal, both must be consumed.
+            conn.write_all(b"b;speed=fast\r\n{\"band\":42}\r\n")
+                .unwrap();
+            conn.write_all(b"0\r\nX-Trailer: ignored\r\n\r\n").unwrap();
+            conn.flush().unwrap();
+        });
+        let mut conn = HttpConnection::connect(&addr, Duration::from_secs(5)).unwrap();
+        let mut chunks = Vec::new();
+        let outcome = conn
+            .request_stream("POST", "/solve?stream=1", Some("{}"), &mut |c| {
+                chunks.push(c.to_string())
+            })
+            .unwrap();
+        assert_eq!(outcome.status, 200);
+        assert_eq!(chunks, vec![r#"{"band":42}"#]);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn early_peer_close_mid_stream_is_an_error_not_a_short_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            let _ = read_request(&mut conn).unwrap();
+            conn.write_all(
+                b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: keep-alive\r\n\r\n",
+            )
+            .unwrap();
+            // One whole chunk, then half of a second one; the socket
+            // then closes without the terminal chunk.
+            conn.write_all(b"a\r\n{\"band\":0}\r\n").unwrap();
+            conn.write_all(b"a\r\n{\"ban").unwrap();
+            conn.flush().unwrap();
+        });
+        let mut conn = HttpConnection::connect(&addr, Duration::from_secs(5)).unwrap();
+        let mut chunks = Vec::new();
+        let err = conn
+            .request_stream("POST", "/solve?stream=1", Some("{}"), &mut |c| {
+                chunks.push(c.to_string())
+            })
+            .unwrap_err();
+        assert!(
+            err.contains("reading chunk"),
+            "truncated stream must surface as an error: {err}"
+        );
+        assert_eq!(chunks, vec![r#"{"band":0}"#], "whole chunks still arrive");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_connection_is_reusable_after_a_completed_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            // First exchange: a chunked stream.
+            let _ = read_request(&mut conn).unwrap();
+            write_chunked_head(&mut conn, 200, true, &ResponseOptions::default()).unwrap();
+            write_chunk(&mut conn, r#"{"band":0}"#).unwrap();
+            write_chunk(&mut conn, r#"{"frame":"done"}"#).unwrap();
+            finish_chunked(&mut conn).unwrap();
+            // Second exchange on the same socket: a plain response. If
+            // the client left stray bytes unread, this request never
+            // parses.
+            let req = read_request(&mut conn).unwrap();
+            assert_eq!(req.path, "/healthz");
+            write_response(&mut conn, 200, r#"{"ok":true}"#, true).unwrap();
+        });
+        let mut conn = HttpConnection::connect(&addr, Duration::from_secs(5)).unwrap();
+        let mut chunks = Vec::new();
+        let outcome = conn
+            .request_stream("POST", "/solve?stream=1", Some("{}"), &mut |c| {
+                chunks.push(c.to_string())
+            })
+            .unwrap();
+        assert_eq!(outcome.status, 200);
+        assert_eq!(chunks.len(), 2);
+        let (status, body) = conn.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"ok":true}"#);
+        drop(conn);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn non_chunked_response_to_a_stream_request_returns_plain_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).ok();
+            let _ = read_request(&mut conn).unwrap();
+            write_response_ex(&mut conn, 429, r#"{"error":"queue_full"}"#, true, Some(2)).unwrap();
+        });
+        let mut conn = HttpConnection::connect(&addr, Duration::from_secs(5)).unwrap();
+        let mut called = false;
+        let outcome = conn
+            .request_stream("POST", "/solve?stream=1", Some("{}"), &mut |_| {
+                called = true
+            })
+            .unwrap();
+        assert_eq!(outcome.status, 429);
+        assert_eq!(
+            outcome.plain_body.as_deref(),
+            Some(r#"{"error":"queue_full"}"#)
+        );
+        assert_eq!(outcome.retry_after_s, Some(2));
+        assert!(!called, "no chunks on a plain response");
         server.join().unwrap();
     }
 

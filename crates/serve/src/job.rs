@@ -521,6 +521,10 @@ pub struct SolveResponse {
     /// solves, >1 when the grid ran as a cross-device `MultiPlan`
     /// band split.
     pub devices: usize,
+    /// Time from admission to the first streamed band frame leaving
+    /// the server, milliseconds. 0 for non-streamed solves (and for
+    /// streams whose first band never made it out).
+    pub ttfb_ms: f64,
 }
 
 impl SolveResponse {
@@ -540,7 +544,7 @@ impl SolveResponse {
              \"degraded\":[{}],\
              \"placed_on\":\"{}\",\"devices\":{},\
              \"timings\":{{\"queue_wait_ms\":{},\"batch_ms\":{},\
-             \"tune_ms\":{},\"solve_ms\":{},\"tier\":\"{}\",\
+             \"tune_ms\":{},\"solve_ms\":{},\"ttfb_ms\":{},\"tier\":\"{}\",\
              \"memory_mode\":\"{}\",\"table_bytes\":{}}}}}",
             self.id,
             escape(&self.trace_id),
@@ -562,6 +566,7 @@ impl SolveResponse {
             num(self.batch_ms),
             num(self.tune_ms),
             num(self.solve_ms),
+            num(self.ttfb_ms),
             self.tier.as_str(),
             self.memory_mode.as_str(),
             self.table_bytes,
@@ -656,6 +661,13 @@ impl SolveResponse {
                 .get("devices")
                 .and_then(Json::as_f64)
                 .map_or(1, |d| (d as usize).max(1)),
+            // Absent on non-streamed responses and on servers predating
+            // the streaming path.
+            ttfb_ms: v
+                .get("timings")
+                .and_then(|t| t.get("ttfb_ms"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
         })
     }
 }
@@ -755,6 +767,7 @@ mod tests {
             degraded: vec!["bulk_to_scalar".into()],
             placed_on: "hetero-low".into(),
             devices: 3,
+            ttfb_ms: 0.875,
         };
         let json = resp.to_json();
         assert!(json.contains("\"timings\":{"));
@@ -783,6 +796,8 @@ mod tests {
         // And the memory fields, which predate the rolling tier.
         assert_eq!(parsed.memory_mode, MemoryMode::Full);
         assert_eq!(parsed.table_bytes, 0);
+        // And the streaming TTFB, which predates the streaming path.
+        assert_eq!(parsed.ttfb_ms, 0.0);
     }
 
     #[test]

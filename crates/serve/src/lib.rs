@@ -32,6 +32,12 @@
 //!   un-meetable deadlines (`504 deadline_infeasible`), and a
 //!   [`brownout`] ladder that sheds batch work in graduated steps
 //!   under sustained queue pressure. See `docs/SERVING.md`.
+//! - **Streaming results** — `POST /solve?stream=1` answers over
+//!   chunked HTTP/1.1 with one JSON [`BandFrame`] per completed
+//!   wave-band of the rolling execution, so results flow while the
+//!   pool is still solving; a slow reader throttles band emission
+//!   through a bounded channel (the pool stalls at a wave barrier)
+//!   instead of buffering unboundedly. See `docs/SERVING.md`.
 //! - **Graceful shutdown** — `POST /shutdown` (or
 //!   [`Client::shutdown`]) closes admission, drains the queue, answers
 //!   everything in flight, then joins every thread.
@@ -57,12 +63,16 @@ pub mod loadgen;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod stream;
 
 pub use brownout::{Brownout, BrownoutConfig};
 pub use job::{BatchKey, Priority, RejectReason, ServeError, SolveRequest, SolveResponse};
 pub use queue::{Job, JobQueue, Popped};
-pub use server::{BackendSolve, BatchPlan, Client, PoolHealth, ServeConfig, Server, SolveBackend};
+pub use server::{
+    BackendSolve, BatchPlan, Client, PoolHealth, ServeConfig, Server, SolveBackend, StreamHandle,
+};
 pub use stats::{LatencySummary, ServeStats, StatsSnapshot};
+pub use stream::BandFrame;
 
 #[cfg(test)]
 mod tests {

@@ -15,6 +15,7 @@
 use crate::http;
 use crate::job::{SolveRequest, SolveResponse};
 use crate::stats::{percentile, LatencySummary};
+use crate::stream::{self, BandFrame};
 use crate::Client;
 use lddp_chaos::RetryPolicy;
 use lddp_trace::json;
@@ -52,6 +53,20 @@ impl TargetError {
 pub trait SolveTarget: Sync {
     /// Executes one request, blocking until the outcome.
     fn solve_once(&self, req: &SolveRequest) -> Result<SolveResponse, TargetError>;
+
+    /// Executes one request in streaming mode, invoking `on_band` for
+    /// each band frame as it arrives, then returning the final
+    /// outcome. The default delegates to [`SolveTarget::solve_once`]
+    /// with zero band frames, so targets without a streaming path
+    /// still measure (their time-to-first-band is simply absent).
+    fn solve_stream_once(
+        &self,
+        req: &SolveRequest,
+        on_band: &mut dyn FnMut(&BandFrame),
+    ) -> Result<SolveResponse, TargetError> {
+        let _ = on_band;
+        self.solve_once(req)
+    }
 }
 
 /// A remote server reached over HTTP, with a pool of keep-alive
@@ -123,6 +138,96 @@ impl SolveTarget for HttpTarget {
             Err(e) => Err(TargetError::new("transport", e)),
         }
     }
+
+    fn solve_stream_once(
+        &self,
+        req: &SolveRequest,
+        on_band: &mut dyn FnMut(&BandFrame),
+    ) -> Result<SolveResponse, TargetError> {
+        let payload = req.to_json();
+        let mut delivered = 0usize;
+        let mut done: Option<Result<SolveResponse, TargetError>> = None;
+        // Drives one streamed exchange on `conn`, demultiplexing frames:
+        // band frames to the callback, the terminal done/error frame
+        // into `done`.
+        let drive = |conn: &mut http::HttpConnection,
+                     delivered: &mut usize,
+                     done: &mut Option<Result<SolveResponse, TargetError>>,
+                     on_band: &mut dyn FnMut(&BandFrame)| {
+            conn.request_stream("POST", "/solve?stream=1", Some(&payload), &mut |chunk| {
+                match stream::frame_kind(chunk).as_deref() {
+                    Some("band") => {
+                        if let Ok(frame) = BandFrame::from_json(chunk) {
+                            *delivered += 1;
+                            on_band(&frame);
+                        }
+                    }
+                    Some("done") => {
+                        *done = Some(
+                            SolveResponse::from_json(chunk)
+                                .map_err(|e| TargetError::new("transport", e)),
+                        );
+                    }
+                    Some("error") => {
+                        let parsed = json::parse(chunk).ok();
+                        let field = |name: &str| {
+                            parsed
+                                .as_ref()
+                                .and_then(|v| v.get(name))
+                                .and_then(|v| v.as_str())
+                                .map(str::to_string)
+                        };
+                        *done = Some(Err(TargetError::new(
+                            field("error").unwrap_or_else(|| "backend_error".into()),
+                            field("message").unwrap_or_else(|| chunk.to_string()),
+                        )));
+                    }
+                    _ => {}
+                }
+            })
+        };
+        // Stale-pool handling mirrors solve_once, with one extra rule:
+        // once any frame was delivered, a transport failure must NOT
+        // silently restart the stream (the consumer already saw bands),
+        // so only a cleanly-failed first attempt redials.
+        let pooled = self.pool.lock().unwrap().pop();
+        let outcome = if let Some(mut conn) = pooled {
+            match drive(&mut conn, &mut delivered, &mut done, on_band) {
+                Ok(o) => {
+                    self.pool.lock().unwrap().push(conn);
+                    Some(o)
+                }
+                Err(_) if delivered == 0 && done.is_none() => None,
+                Err(e) => return Err(TargetError::new("transport", e)),
+            }
+        } else {
+            None
+        };
+        let outcome = match outcome {
+            Some(o) => o,
+            None => {
+                let mut conn = http::HttpConnection::connect(&self.addr, self.timeout)
+                    .map_err(|e| TargetError::new("transport", e))?;
+                match drive(&mut conn, &mut delivered, &mut done, on_band) {
+                    Ok(o) => {
+                        self.pool.lock().unwrap().push(conn);
+                        o
+                    }
+                    Err(e) => return Err(TargetError::new("transport", e)),
+                }
+            }
+        };
+        // Rejections come back as ordinary non-chunked responses.
+        if let Some(body) = outcome.plain_body {
+            return Self::interpret(outcome.status, body, outcome.retry_after_s);
+        }
+        done.unwrap_or_else(|| {
+            Err(TargetError::new(
+                "transport",
+                "stream ended without a done frame",
+            ))
+        })
+    }
 }
 
 impl SolveTarget for Client<'_, '_> {
@@ -132,6 +237,19 @@ impl SolveTarget for Client<'_, '_> {
             message: e.message(),
             retry_after_s: e.retry_after_s(),
         })
+    }
+
+    fn solve_stream_once(
+        &self,
+        req: &SolveRequest,
+        on_band: &mut dyn FnMut(&BandFrame),
+    ) -> Result<SolveResponse, TargetError> {
+        self.solve_stream(req.clone(), on_band)
+            .map_err(|e| TargetError {
+                code: e.code().to_string(),
+                message: e.message(),
+                retry_after_s: e.retry_after_s(),
+            })
     }
 }
 
@@ -164,6 +282,16 @@ pub struct LoadgenConfig {
     /// mixed sizes are what exercise a fleet's dispatcher, since
     /// uniform requests all score identically.
     pub mix: Vec<(usize, Option<String>)>,
+    /// Drive `POST /solve?stream=1` instead of plain solves: band
+    /// frames are consumed as they arrive and the report adds
+    /// time-to-first-band percentiles and the band count.
+    pub stream: bool,
+    /// Ceiling on an honored server `Retry-After` pause. Servers under
+    /// brownout suggest seconds-scale waits; a load generator that
+    /// slept a full server-suggested minute would stop generating
+    /// load. Long hints are clamped to this, short ones honored
+    /// exactly (`--retry-after-cap-ms`).
+    pub retry_after_cap: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -177,6 +305,8 @@ impl Default for LoadgenConfig {
             expect_answer: None,
             retry: RetryPolicy::none(),
             mix: Vec::new(),
+            stream: false,
+            retry_after_cap: DEFAULT_RETRY_AFTER_CAP,
         }
     }
 }
@@ -192,6 +322,8 @@ struct Tally {
     total_ms: Vec<f64>,
     queue_ms: Vec<f64>,
     solve_ms: Vec<f64>,
+    ttfb_ms: Vec<f64>,
+    bands: usize,
     placements: Vec<(String, usize)>,
     multiplan_splits: usize,
 }
@@ -251,6 +383,15 @@ pub struct LoadReport {
     pub queue: LatencySummary,
     /// Server-reported solve time of completed requests.
     pub solve: LatencySummary,
+    /// Client-observed time to first streamed band (request start to
+    /// first band frame). Zero-count unless the run streamed and bands
+    /// arrived.
+    pub ttfb: LatencySummary,
+    /// Band frames received across the run (streamed runs only).
+    pub stream_bands: usize,
+    /// The effective `Retry-After` honor cap this run applied,
+    /// milliseconds.
+    pub retry_after_cap_ms: u64,
     /// Per-series `/metrics` movement across the run (`after - before`
     /// scrape values, series that did not move dropped). Empty when the
     /// driver did not scrape — in-process runs or a server without the
@@ -317,11 +458,9 @@ const RETRYABLE_CODES: [&str; 8] = [
     "watchdog_timeout",
 ];
 
-/// Ceiling on an honored `Retry-After` pause. Servers under brownout
-/// suggest seconds-scale waits; a load generator that slept a full
-/// server-suggested minute would stop generating load. Long hints are
-/// clamped, short ones honored exactly.
-const RETRY_AFTER_CAP: Duration = Duration::from_secs(2);
+/// Default [`LoadgenConfig::retry_after_cap`]: 2 seconds, overridable
+/// per run with `--retry-after-cap-ms`.
+pub const DEFAULT_RETRY_AFTER_CAP: Duration = Duration::from_secs(2);
 
 fn summarize(mut samples: Vec<f64>) -> LatencySummary {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -372,6 +511,9 @@ impl LoadReport {
             latency: summarize(tally.total_ms),
             queue: summarize(tally.queue_ms),
             solve: summarize(tally.solve_ms),
+            ttfb: summarize(tally.ttfb_ms),
+            stream_bands: tally.bands,
+            retry_after_cap_ms: 0,
             server_metrics_delta: Vec::new(),
             fleet_placements: tally.placements,
             multiplan_splits: tally.multiplan_splits,
@@ -412,7 +554,9 @@ impl LoadReport {
             "{{\"sent\":{},\"completed\":{},\"rejected\":{},\"errors\":{},\"mismatches\":{},\
              \"retries\":{},\"recovered\":{},\"retry_after_honored\":{},\
              \"outcomes\":{{{}}},\"wall_s\":{},\"throughput_rps\":{},\"rejection_rate\":{},\
-             \"latency_ms\":{{\"total\":{},\"queue\":{},\"solve\":{}}},\
+             \"retry_after_cap_ms\":{},\
+             \"latency_ms\":{{\"total\":{},\"queue\":{},\"solve\":{},\"ttfb\":{}}},\
+             \"stream\":{{\"bands\":{}}},\
              \"fleet\":{{\"placements\":{{{}}},\"multiplan_splits\":{}}},\
              \"server_metrics_delta\":{{{}}}}}",
             self.sent,
@@ -427,9 +571,12 @@ impl LoadReport {
             json::num(self.wall_s),
             json::num(self.throughput_rps),
             json::num(self.rejection_rate),
+            self.retry_after_cap_ms,
             lat(&self.latency),
             lat(&self.queue),
             lat(&self.solve),
+            lat(&self.ttfb),
+            self.stream_bands,
             placements,
             self.multiplan_splits,
             deltas,
@@ -461,8 +608,19 @@ fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>, seq
     let mut attempt = 0u32;
     let mut retries_used = 0usize;
     let mut hints_honored = 0usize;
+    let mut first_band_ms: Option<f64> = None;
+    let mut bands = 0usize;
     let outcome = loop {
-        let r = target.solve_once(&request);
+        let r = if cfg.stream {
+            target.solve_stream_once(&request, &mut |_frame| {
+                if first_band_ms.is_none() {
+                    first_band_ms = Some(started.elapsed().as_secs_f64() * 1e3);
+                }
+                bands += 1;
+            })
+        } else {
+            target.solve_once(&request)
+        };
         match &r {
             Err(e) if policy.may_retry(attempt) && RETRYABLE_CODES.contains(&e.code.as_str()) => {
                 // A server-provided Retry-After beats blind jittered
@@ -471,7 +629,7 @@ fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>, seq
                 match e.retry_after_s {
                     Some(s) => {
                         hints_honored += 1;
-                        thread::sleep(Duration::from_secs(s).min(RETRY_AFTER_CAP));
+                        thread::sleep(Duration::from_secs(s).min(cfg.retry_after_cap));
                     }
                     None => thread::sleep(policy.delay(attempt)),
                 }
@@ -486,9 +644,13 @@ fn fire(target: &dyn SolveTarget, cfg: &LoadgenConfig, tally: &Mutex<Tally>, seq
     t.total_ms.push(elapsed_ms);
     t.retries += retries_used;
     t.retry_after_honored += hints_honored;
+    t.bands += bands;
     match outcome {
         Ok(resp) => {
             t.completed += 1;
+            if let Some(ms) = first_band_ms {
+                t.ttfb_ms.push(ms);
+            }
             t.queue_ms.push(resp.queue_ms);
             t.solve_ms.push(resp.solve_ms);
             if !resp.placed_on.is_empty() {
@@ -520,7 +682,9 @@ pub fn run(target: &dyn SolveTarget, cfg: &LoadgenConfig) -> LoadReport {
         Some(rps) => run_open(target, cfg, &tally, deadline, rps),
     };
     let wall_s = start.elapsed().as_secs_f64();
-    LoadReport::from_tally(tally.into_inner().unwrap(), sent, wall_s)
+    let mut report = LoadReport::from_tally(tally.into_inner().unwrap(), sent, wall_s);
+    report.retry_after_cap_ms = cfg.retry_after_cap.as_millis() as u64;
+    report
 }
 
 fn run_closed(
@@ -620,8 +784,71 @@ mod tests {
                 }
                 .to_string(),
                 devices: if req.n >= 512 { 3 } else { 1 },
+                ttfb_ms: 0.0,
             })
         }
+
+        fn solve_stream_once(
+            &self,
+            req: &SolveRequest,
+            on_band: &mut dyn FnMut(&BandFrame),
+        ) -> Result<SolveResponse, TargetError> {
+            for band in 0..3 {
+                on_band(&BandFrame {
+                    band,
+                    bands: 3,
+                    wave_lo: band * 10,
+                    wave_hi: band * 10 + 9,
+                    rows_completed: 0,
+                    rows: req.n,
+                    cells_done: (band as u64 + 1) * 100,
+                    cells_total: 300,
+                    score: 1.0,
+                    best: None,
+                    elapsed_ms: 0.1,
+                });
+            }
+            self.solve_once(req)
+        }
+    }
+
+    #[test]
+    fn streamed_run_reports_ttfb_and_band_count() {
+        let target = Canned {
+            answer: "42".into(),
+            fail_every: 0,
+            hits: AtomicUsize::new(0),
+        };
+        let cfg = LoadgenConfig {
+            total: 8,
+            concurrency: 2,
+            stream: true,
+            expect_answer: Some("42".into()),
+            retry_after_cap: Duration::from_millis(750),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&target, &cfg);
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.stream_bands, 8 * 3);
+        assert_eq!(report.ttfb.count, 8);
+        assert_eq!(report.retry_after_cap_ms, 750);
+        let json = report.to_json();
+        assert!(json.contains("\"ttfb\":{"), "{json}");
+        assert!(json.contains("\"stream\":{\"bands\":24}"), "{json}");
+        assert!(json.contains("\"retry_after_cap_ms\":750"), "{json}");
+        // A non-streamed run leaves the streaming fields empty.
+        let plain = run(
+            &target,
+            &LoadgenConfig {
+                total: 4,
+                concurrency: 2,
+                expect_answer: Some("42".into()),
+                ..LoadgenConfig::default()
+            },
+        );
+        assert_eq!(plain.stream_bands, 0);
+        assert_eq!(plain.ttfb.count, 0);
+        assert_eq!(plain.retry_after_cap_ms, 2000);
     }
 
     #[test]
@@ -723,6 +950,7 @@ mod tests {
                 degraded: vec![],
                 placed_on: String::new(),
                 devices: 1,
+                ttfb_ms: 0.0,
             })
         }
     }

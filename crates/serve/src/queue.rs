@@ -36,6 +36,10 @@ pub struct Job {
     pub deadline: Option<Instant>,
     /// One-shot reply channel back to the submitter.
     pub tx: mpsc::Sender<Result<SolveResponse, ServeError>>,
+    /// Band-frame channel for streamed solves (`POST /solve?stream=1`):
+    /// bounded, so a slow consumer exerts backpressure on the solve
+    /// itself. `None` for ordinary requests.
+    pub stream: Option<mpsc::SyncSender<crate::stream::BandFrame>>,
 }
 
 /// One dequeue: the live batch to solve plus the jobs shed because
@@ -341,6 +345,7 @@ mod tests {
                 enqueued: Instant::now(),
                 deadline: None,
                 tx,
+                stream: None,
             },
             rx,
         )

@@ -52,8 +52,9 @@ use crate::http::{self, ResponseOptions};
 use crate::job::{Priority, RejectReason, ServeError, SolveRequest, SolveResponse};
 use crate::queue::{Job, JobQueue};
 use crate::stats::{ServeStats, StatsSnapshot};
+use crate::stream::BandFrame;
 use lddp_chaos::{mix64, BreakerConfig, BreakerState, CircuitBreaker, FaultInjector};
-use lddp_core::kernel::{ExecTier, MemoryMode};
+use lddp_core::kernel::{avx512_available, simd_backend, ExecTier, MemoryMode};
 use lddp_core::schedule::ScheduleParams;
 use lddp_core::tuner_cache::TunedConfig;
 use lddp_trace::live::LiveRegistry;
@@ -168,6 +169,27 @@ pub struct BatchPlan {
     pub predicted_s: Option<f64>,
 }
 
+/// Depth of the bounded band-frame channel between a streamed solve
+/// and its consumer. Small on purpose: once a slow reader is this many
+/// bands behind, the solving pool stalls at its next wave barrier
+/// instead of buffering further — bounded memory, real backpressure.
+const STREAM_CHANNEL_DEPTH: usize = 4;
+
+/// A submitted streaming solve: band frames arrive on `bands` while
+/// the solve runs, then `done` yields the final outcome. Dropping the
+/// handle mid-stream disables further emission (the solve still runs
+/// to completion server-side).
+#[derive(Debug)]
+pub struct StreamHandle {
+    /// The request's wire trace id (`{:016x}`), known at admission so
+    /// streaming front ends can send it before the solve finishes.
+    pub trace_id: String,
+    /// Band frames, in band order, closed when the solve finishes.
+    pub bands: mpsc::Receiver<BandFrame>,
+    /// The final outcome; ready once `bands` has closed.
+    pub done: mpsc::Receiver<Result<SolveResponse, ServeError>>,
+}
+
 /// Readiness of one backend worker pool, surfaced through `/healthz`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolHealth {
@@ -236,6 +258,27 @@ pub trait SolveBackend: Sync {
         self.solve(req, plan.config, sink)
     }
 
+    /// Solves one request under a batch plan while streaming completed
+    /// wave-bands through `emit` (`POST /solve?stream=1`). `emit` is
+    /// called once per sealed band, in band order, from inside the
+    /// solve; it may block — that is the backpressure path — and
+    /// returns `false` to tell the backend to stop emitting while the
+    /// solve runs to completion. The final answer must be bit-identical
+    /// to [`SolveBackend::solve_placed`] on the same request. The
+    /// default delegates to `solve_placed` and emits nothing, so
+    /// backends without a streaming path still answer (the client just
+    /// sees zero band frames before the done frame).
+    fn solve_streamed(
+        &self,
+        req: &SolveRequest,
+        plan: &BatchPlan,
+        sink: &dyn TraceSink,
+        emit: &(dyn Fn(crate::stream::BandFrame) -> bool + Sync),
+    ) -> Result<BackendSolve, String> {
+        let _ = emit;
+        self.solve_placed(req, plan, sink)
+    }
+
     /// Cheap modelled solve-time estimate for `req`, milliseconds (the
     /// paper's §IV cost model). Admission uses it to reject requests
     /// whose deadline cannot possibly be met (`504
@@ -279,6 +322,8 @@ pub struct Server<'a> {
     epoch: Instant,
     next_id: AtomicU64,
     in_flight: AtomicUsize,
+    /// Currently open streaming responses (`lddp_serve_stream_open`).
+    stream_open: AtomicUsize,
     /// The brownout ladder's state machine, fed queue-fill
     /// observations at admission and dequeue.
     brownout: Mutex<Brownout>,
@@ -330,6 +375,7 @@ impl<'a> Server<'a> {
             epoch: Instant::now(),
             next_id: AtomicU64::new(1),
             in_flight: AtomicUsize::new(0),
+            stream_open: AtomicUsize::new(0),
             brownout: Mutex::new(brownout),
             brownout_level: AtomicU8::new(0),
             tenants: Mutex::new(HashMap::new()),
@@ -525,6 +571,29 @@ impl<'a> Server<'a> {
         &self,
         req: SolveRequest,
     ) -> Result<mpsc::Receiver<Result<SolveResponse, ServeError>>, RejectReason> {
+        self.submit_inner(req, None).map(|(_, rx)| rx)
+    }
+
+    /// Streaming admission: same validation, breaker, quota, QoS, and
+    /// brownout gates as [`Server::submit`] — a stream is admitted (or
+    /// shed) exactly like any other request — plus a bounded band
+    /// channel wired into the job.
+    fn submit_stream(&self, req: SolveRequest) -> Result<StreamHandle, RejectReason> {
+        let (band_tx, band_rx) = mpsc::sync_channel(STREAM_CHANNEL_DEPTH);
+        let (trace_id, done) = self.submit_inner(req, Some(band_tx))?;
+        Ok(StreamHandle {
+            trace_id,
+            bands: band_rx,
+            done,
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn submit_inner(
+        &self,
+        req: SolveRequest,
+        stream: Option<mpsc::SyncSender<BandFrame>>,
+    ) -> Result<(String, mpsc::Receiver<Result<SolveResponse, ServeError>>), RejectReason> {
         if let Err(msg) = self.backend.validate(&req) {
             self.stats.rejected_invalid.inc();
             if self.sink.enabled() {
@@ -555,7 +624,7 @@ impl<'a> Server<'a> {
                     let mut clone = req.clone();
                     clone.priority = Priority::Batch;
                     clone.tenant = "chaos-storm".to_string();
-                    let _ = self.admit(clone);
+                    let _ = self.admit(clone, None);
                 }
             }
         }
@@ -570,16 +639,18 @@ impl<'a> Server<'a> {
                 retry_after_s,
             });
         }
-        self.admit(req)
+        self.admit(req, stream)
     }
 
     /// Post-validation admission: deadline defaulting, §IV
     /// feasibility, brownout shedding, and the queue push — shared by
     /// real submissions and injected storm arrivals.
+    #[allow(clippy::type_complexity)]
     fn admit(
         &self,
         mut req: SolveRequest,
-    ) -> Result<mpsc::Receiver<Result<SolveResponse, ServeError>>, RejectReason> {
+        stream: Option<mpsc::SyncSender<BandFrame>>,
+    ) -> Result<(String, mpsc::Receiver<Result<SolveResponse, ServeError>>), RejectReason> {
         let class = req.priority.index();
         if req.deadline_ms.is_none() {
             req.deadline_ms = self.config.default_deadline_ms;
@@ -623,13 +694,15 @@ impl<'a> Server<'a> {
         let now = Instant::now();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let tenant = req.tenant.clone();
+        let trace_id = mix64(self.trace_seed.wrapping_add(id));
         let job = Job {
             id,
-            trace_id: mix64(self.trace_seed.wrapping_add(id)),
+            trace_id,
             deadline: req.deadline_ms.map(|ms| now + Duration::from_millis(ms)),
             req,
             enqueued: now,
             tx,
+            stream,
         };
         let out = match self.queue.push(job) {
             Ok(depth) => {
@@ -645,7 +718,7 @@ impl<'a> Server<'a> {
                         depth as f64,
                     );
                 }
-                Ok(rx)
+                Ok((format!("{trace_id:016x}"), rx))
             }
             Err((_job, reason)) => {
                 let (counter, name) = match &reason {
@@ -897,10 +970,43 @@ impl<'a> Server<'a> {
             );
         }
 
-        for (job, waited) in live {
+        for (mut job, waited) in live {
             let solve_start = Instant::now();
+            // Streamed jobs carry a bounded band channel. The emit
+            // closure runs on the solving thread: it stamps the frame's
+            // wall clock, records first-band latency, and pushes into
+            // the channel — trying first, then blocking when the
+            // consumer is behind (the backpressure stall the metrics
+            // count). A hung-up consumer disables further emission.
+            let stream_tx = job.stream.take();
+            let ttfb_ms = Mutex::new(None::<f64>);
+            let enqueued = job.enqueued;
+            let emit = |mut frame: BandFrame| -> bool {
+                let Some(tx) = &stream_tx else { return false };
+                frame.elapsed_ms = enqueued.elapsed().as_secs_f64() * 1e3;
+                {
+                    let mut first = ttfb_ms.lock().unwrap();
+                    if first.is_none() {
+                        *first = Some(frame.elapsed_ms);
+                        self.stats.stream_ttfb_s.observe(frame.elapsed_ms / 1e3);
+                    }
+                }
+                self.stats.stream_bands.inc();
+                match tx.try_send(frame) {
+                    Ok(()) => true,
+                    Err(mpsc::TrySendError::Full(frame)) => {
+                        self.stats.stream_stalls.inc();
+                        tx.send(frame).is_ok()
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => false,
+                }
+            };
             let caught = catch_unwind(AssertUnwindSafe(|| {
-                self.backend.solve_placed(&job.req, &plan, sink)
+                if stream_tx.is_some() {
+                    self.backend.solve_streamed(&job.req, &plan, sink, &emit)
+                } else {
+                    self.backend.solve_placed(&job.req, &plan, sink)
+                }
             }));
             let solve_end = Instant::now();
             let solve = solve_end.duration_since(solve_start);
@@ -1009,6 +1115,7 @@ impl<'a> Server<'a> {
                             .or_else(|| plan.placement.clone())
                             .unwrap_or_default(),
                         devices: done.devices.max(1),
+                        ttfb_ms: ttfb_ms.lock().unwrap().unwrap_or(0.0),
                     };
                     self.finish_job(job, Ok(resp));
                 }
@@ -1074,6 +1181,10 @@ impl<'a> Server<'a> {
     fn handle_conn(&self, mut stream: TcpStream) {
         stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
         stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
+        // Band frames are small and latency is the product: without
+        // nodelay, Nagle holds each flushed frame for the client's
+        // delayed ACK and a live stream degrades into ~40 ms beats.
+        stream.set_nodelay(true).ok();
         // Keep-alive loop: serve requests off this connection until the
         // client closes it, asks for `Connection: close`, the request is
         // malformed, or the server starts draining.
@@ -1103,12 +1214,94 @@ impl<'a> Server<'a> {
             }
             // /shutdown drains the server; don't hold its connection open.
             let keep = req.keep_alive && req.path != "/shutdown" && !self.is_shutdown();
+            // `POST /solve?stream=1` answers over chunked encoding with
+            // one frame per band; everything else is a plain response.
+            if req.method == "POST"
+                && req.path == "/solve"
+                && matches!(req.param("stream"), Some("1" | "true"))
+            {
+                if !self.stream_solve(&mut stream, &req, keep) {
+                    return;
+                }
+                continue;
+            }
             let (status, body, opts) = self.route(&req);
             let wrote = http::write_response_opts(&mut stream, status, &body, keep, &opts);
             if wrote.is_err() || !keep {
                 return;
             }
         }
+    }
+
+    /// Serves one `POST /solve?stream=1` exchange on `sock`. Parse and
+    /// admission failures answer as ordinary (non-chunked) JSON — the
+    /// same status, body, and `Retry-After` a non-streamed request
+    /// would get. An accepted stream commits to a chunked 200 carrying
+    /// the trace id header, one [`BandFrame`] chunk per band, and a
+    /// terminal done/error frame. Returns whether the connection is
+    /// still aligned and keepable.
+    fn stream_solve(&self, sock: &mut TcpStream, req: &http::HttpRequest, keep: bool) -> bool {
+        let reject = |sock: &mut TcpStream, e: ServeError| {
+            let opts = ResponseOptions {
+                retry_after_s: e.retry_after_s(),
+                ..ResponseOptions::default()
+            };
+            let ok = http::write_response_opts(sock, e.http_status(), &e.to_json(), keep, &opts);
+            ok.is_ok() && keep
+        };
+        let sreq = match SolveRequest::from_json(&req.body) {
+            Err(msg) => {
+                self.stats.rejected_invalid.inc();
+                return reject(sock, ServeError::Rejected(RejectReason::Invalid(msg)));
+            }
+            Ok(r) => r,
+        };
+        let handle = match self.submit_stream(sreq) {
+            Err(reason) => return reject(sock, ServeError::Rejected(reason)),
+            Ok(h) => h,
+        };
+        self.stream_open.fetch_add(1, Ordering::Relaxed);
+        let opts = ResponseOptions {
+            extra_headers: vec![("X-LDDP-Trace-Id", handle.trace_id.clone())],
+            ..ResponseOptions::default()
+        };
+        let mut healthy = http::write_chunked_head(sock, 200, keep, &opts).is_ok();
+        if healthy {
+            for frame in handle.bands.iter() {
+                if http::write_chunk(sock, &frame.to_json()).is_err() {
+                    healthy = false;
+                    break;
+                }
+            }
+        }
+        if !healthy {
+            // The peer went away mid-stream. Dropping the handle hangs
+            // up the band channel, so the solve's next emit sees
+            // Disconnected and stops; the solve itself finishes.
+            self.stream_open.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        // The band channel closed, so the outcome is already (or is
+        // about to be) in the done channel.
+        let done = handle
+            .done
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Backend("worker dropped the request".into())));
+        // The terminal frame rides in-stream: the 200 head is long
+        // gone, so even failures arrive as a frame, not a status.
+        let tail = match done {
+            Ok(resp) => {
+                let body = resp.to_json();
+                format!("{{\"frame\":\"done\",{}", &body[1..])
+            }
+            Err(e) => {
+                let body = e.to_json();
+                format!("{{\"frame\":\"error\",{}", &body[1..])
+            }
+        };
+        let ok = http::write_chunk(sock, &tail).is_ok() && http::finish_chunked(sock).is_ok();
+        self.stream_open.fetch_sub(1, Ordering::Relaxed);
+        ok && keep
     }
 
     /// Routes one parsed request to `(status, body, response options)`.
@@ -1215,6 +1408,13 @@ impl<'a> Server<'a> {
             });
         self.live
             .gauge(
+                "lddp_serve_stream_open",
+                &[],
+                "Streaming solve responses currently open.",
+            )
+            .set(self.stream_open.load(Ordering::Relaxed) as f64);
+        self.live
+            .gauge(
                 "lddp_serve_brownout_level",
                 &[],
                 "Brownout-ladder level: 0 normal, 1 shed batch, 2 cap batch \
@@ -1267,12 +1467,14 @@ impl<'a> Server<'a> {
             "ok"
         };
         let mut body = format!(
-            "{{\"status\":\"{}\",\"breaker\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"workers\":{}",
+            "{{\"status\":\"{}\",\"breaker\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"workers\":{},\"simd\":\"{}\",\"avx512\":{}",
             status,
             breaker.name(),
             self.queue.depth(),
             self.in_flight.load(Ordering::Relaxed),
             self.config.workers.max(1),
+            simd_backend(),
+            avx512_available(),
         );
         if !pools.is_empty() {
             let entries: Vec<String> = pools
@@ -1323,6 +1525,30 @@ impl Client<'_, '_> {
     pub fn solve(&self, req: SolveRequest) -> Result<SolveResponse, ServeError> {
         let rx = self.submit(req).map_err(ServeError::Rejected)?;
         rx.recv()
+            .unwrap_or_else(|_| Err(ServeError::Backend("worker dropped the request".into())))
+    }
+
+    /// Submits a streaming solve; band frames arrive on the handle
+    /// while the solve runs. Admission rejections surface immediately.
+    pub fn submit_stream(&self, req: SolveRequest) -> Result<StreamHandle, RejectReason> {
+        self.server.submit_stream(req)
+    }
+
+    /// Submits a streaming solve and blocks for the outcome, invoking
+    /// `on_band` for each band frame as it arrives. A slow `on_band`
+    /// backpressures the solve exactly like a slow HTTP reader.
+    pub fn solve_stream(
+        &self,
+        req: SolveRequest,
+        on_band: &mut dyn FnMut(&BandFrame),
+    ) -> Result<SolveResponse, ServeError> {
+        let handle = self.submit_stream(req).map_err(ServeError::Rejected)?;
+        for frame in handle.bands.iter() {
+            on_band(&frame);
+        }
+        handle
+            .done
+            .recv()
             .unwrap_or_else(|_| Err(ServeError::Backend("worker dropped the request".into())))
     }
 

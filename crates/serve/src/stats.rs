@@ -74,6 +74,13 @@ pub struct ServeStats {
     pub(crate) brownout_engaged: Arc<Counter>,
     /// Brownout ladder descents (level went down).
     pub(crate) brownout_disengaged: Arc<Counter>,
+    /// Band frames emitted by streamed solves.
+    pub(crate) stream_bands: Arc<Counter>,
+    /// Times a streamed solve's band emission blocked because the
+    /// consumer's bounded channel was full (backpressure engaged).
+    pub(crate) stream_stalls: Arc<Counter>,
+    /// Time to first streamed band, admission to emission, seconds.
+    pub(crate) stream_ttfb_s: Arc<HistogramSketch>,
     /// Jobs per executed batch.
     pub(crate) batch_size: Arc<HistogramSketch>,
     /// End-to-end latency, seconds.
@@ -124,6 +131,9 @@ impl ServeStats {
             class_shed: [Arc::new(Counter::new()), Arc::new(Counter::new())],
             brownout_engaged: Arc::new(Counter::new()),
             brownout_disengaged: Arc::new(Counter::new()),
+            stream_bands: Arc::new(Counter::new()),
+            stream_stalls: Arc::new(Counter::new()),
+            stream_ttfb_s: Arc::new(HistogramSketch::new()),
             batch_size: Arc::new(HistogramSketch::new()),
             total_s: Arc::new(HistogramSketch::new()),
             queue_s: Arc::new(HistogramSketch::new()),
@@ -243,6 +253,22 @@ impl ServeStats {
             class_shed: [class("interactive", "shed"), class("batch", "shed")],
             brownout_engaged: brownout("engage"),
             brownout_disengaged: brownout("disengage"),
+            stream_bands: registry.counter(
+                "lddp_serve_stream_bands_total",
+                &[],
+                "Band frames emitted by streamed solves.",
+            ),
+            stream_stalls: registry.counter(
+                "lddp_serve_stream_backpressure_stalls_total",
+                &[],
+                "Band emissions that blocked on a full stream channel \
+                 (slow consumer backpressure).",
+            ),
+            stream_ttfb_s: registry.histogram(
+                "lddp_serve_stream_ttfb_seconds",
+                &[],
+                "Time from admission to the first streamed band frame, seconds.",
+            ),
             batch_size: registry.histogram(
                 "lddp_serve_batch_size",
                 &[],

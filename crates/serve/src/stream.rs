@@ -1,0 +1,169 @@
+//! Wire frames for the streaming solve path (`POST /solve?stream=1`).
+//!
+//! A streamed solve answers over `Transfer-Encoding: chunked`, one JSON
+//! frame per chunk. Band frames (`"frame":"band"`) arrive while the
+//! solve is still running — one per sealed wave-band of the rolling
+//! execution, carrying the completed-row watermark and a running score
+//! — and the stream ends with either a done frame (`"frame":"done"`,
+//! the ordinary [`SolveResponse`](crate::job::SolveResponse) body plus
+//! the frame tag) or an error frame (`"frame":"error"`). Frames are
+//! emitted from inside the solve through a bounded channel, so a slow
+//! reader throttles band emission (the pool stalls at its next wave
+//! barrier) instead of buffering unboundedly.
+
+use lddp_trace::json::{self, num, Json};
+
+/// One completed wave-band of a streaming solve, as put on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandFrame {
+    /// Band index, `0..bands`, strictly increasing within a stream.
+    pub band: usize,
+    /// Total bands this stream will emit (the schedule may merge
+    /// near-empty bands on small grids, so this can undershoot the
+    /// requested band count).
+    pub bands: usize,
+    /// First anti-diagonal wave of this band.
+    pub wave_lo: usize,
+    /// Last anti-diagonal wave of this band (inclusive).
+    pub wave_hi: usize,
+    /// Rows fully sealed once this band completes — the consumer's
+    /// resumable watermark. Early bands of a square grid report 0:
+    /// a row only seals once its last column's wave has passed.
+    pub rows_completed: usize,
+    /// Total rows in the grid.
+    pub rows: usize,
+    /// Cells computed so far (monotone, ends at `cells_total`).
+    pub cells_done: u64,
+    /// Total cells in the grid.
+    pub cells_total: u64,
+    /// Running score: the projection of the last frontier cell of the
+    /// band's final wave (problem-specific; e.g. the running edit
+    /// distance on the frontier).
+    pub score: f64,
+    /// Best cell score seen so far, for kernels that track an arg-best
+    /// (Smith–Waterman); absent otherwise.
+    pub best: Option<f64>,
+    /// Milliseconds from admission to this frame's emission.
+    pub elapsed_ms: f64,
+}
+
+impl BandFrame {
+    /// The JSON chunk body (`{"frame":"band",...}`).
+    pub fn to_json(&self) -> String {
+        let best = match self.best {
+            Some(b) => format!(",\"best\":{}", num(b)),
+            None => String::new(),
+        };
+        format!(
+            "{{\"frame\":\"band\",\"band\":{},\"bands\":{},\
+             \"wave_lo\":{},\"wave_hi\":{},\
+             \"rows_completed\":{},\"rows\":{},\
+             \"cells_done\":{},\"cells_total\":{},\
+             \"score\":{}{},\"elapsed_ms\":{}}}",
+            self.band,
+            self.bands,
+            self.wave_lo,
+            self.wave_hi,
+            self.rows_completed,
+            self.rows,
+            self.cells_done,
+            self.cells_total,
+            num(self.score),
+            best,
+            num(self.elapsed_ms),
+        )
+    }
+
+    /// Parses a band frame; `Err` when `text` is not a band frame.
+    pub fn from_json(text: &str) -> Result<BandFrame, String> {
+        let v = json::parse(text)?;
+        if v.get("frame").and_then(Json::as_str) != Some("band") {
+            return Err("not a band frame".into());
+        }
+        let f = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing number \"{key}\""))
+        };
+        Ok(BandFrame {
+            band: f("band")? as usize,
+            bands: f("bands")? as usize,
+            wave_lo: f("wave_lo")? as usize,
+            wave_hi: f("wave_hi")? as usize,
+            rows_completed: f("rows_completed")? as usize,
+            rows: f("rows")? as usize,
+            cells_done: f("cells_done")? as u64,
+            cells_total: f("cells_total")? as u64,
+            score: f("score")?,
+            best: v.get("best").and_then(Json::as_f64),
+            elapsed_ms: f("elapsed_ms")?,
+        })
+    }
+}
+
+/// The `"frame"` tag of a streamed chunk, for consumers dispatching on
+/// frame kind without fully parsing each one.
+pub fn frame_kind(text: &str) -> Option<String> {
+    json::parse(text)
+        .ok()?
+        .get("frame")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> BandFrame {
+        BandFrame {
+            band: 3,
+            bands: 32,
+            wave_lo: 120,
+            wave_hi: 161,
+            rows_completed: 0,
+            rows: 512,
+            cells_done: 32_768,
+            cells_total: 262_144,
+            score: 417.0,
+            best: Some(96.0),
+            elapsed_ms: 1.625,
+        }
+    }
+
+    #[test]
+    fn band_frame_round_trips() {
+        let f = frame();
+        let json = f.to_json();
+        assert!(json.starts_with("{\"frame\":\"band\","), "{json}");
+        assert_eq!(BandFrame::from_json(&json).unwrap(), f);
+
+        let mut no_best = frame();
+        no_best.best = None;
+        let json = no_best.to_json();
+        assert!(!json.contains("best"), "{json}");
+        assert_eq!(BandFrame::from_json(&json).unwrap(), no_best);
+    }
+
+    #[test]
+    fn band_frame_rejects_other_frames() {
+        assert!(BandFrame::from_json(r#"{"frame":"done","id":1}"#).is_err());
+        assert!(BandFrame::from_json(r#"{"band":1}"#).is_err());
+        assert!(BandFrame::from_json("garbage").is_err());
+    }
+
+    #[test]
+    fn frame_kinds_dispatch() {
+        assert_eq!(frame_kind(&frame().to_json()).as_deref(), Some("band"));
+        assert_eq!(
+            frame_kind(r#"{"frame":"done","id":1}"#).as_deref(),
+            Some("done")
+        );
+        assert_eq!(
+            frame_kind(r#"{"frame":"error","error":"backend_error"}"#).as_deref(),
+            Some("error")
+        );
+        assert_eq!(frame_kind(r#"{"id":1}"#), None);
+        assert_eq!(frame_kind("not json"), None);
+    }
+}

@@ -188,6 +188,11 @@ pub enum Command {
         tenant: String,
         /// Drive the in-process server with the fleet backend.
         fleet: bool,
+        /// Consume `POST /solve?stream=1` band streams and report
+        /// time-to-first-band percentiles.
+        stream: bool,
+        /// Cap (milliseconds) on honoring 429/503 `Retry-After` hints.
+        retry_after_cap_ms: Option<u64>,
     },
     /// Quick wall-clock benchmark of the real thread engine.
     Bench {
@@ -271,6 +276,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut tenant_burst = None;
     let mut priority = None;
     let mut tenant = None;
+    let mut stream = false;
+    let mut retry_after_cap_ms = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--set" => {
@@ -463,6 +470,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or("--tenant needs a name")?;
                 tenant = Some(v.clone());
             }
+            "--stream" => stream = true,
+            "--retry-after-cap-ms" => {
+                let v = it.next().ok_or("--retry-after-cap-ms needs milliseconds")?;
+                retry_after_cap_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("--retry-after-cap-ms: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -558,6 +573,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 priority: priority.unwrap_or_default(),
                 tenant: tenant.unwrap_or_default(),
                 fleet,
+                stream,
+                retry_after_cap_ms,
             })
         }
         "bench" => {
@@ -636,6 +653,7 @@ pub fn usage() -> String {
          \x20                  [--duration S] [--concurrency C] [--deadline-ms D]\n\
          \x20                  [--no-verify] [--retries A] [--mix 48,96,1100]\n\
          \x20                  [--priority interactive|batch] [--tenant NAME] [--fleet]\n\
+         \x20                  [--stream] [--retry-after-cap-ms MS]\n\
          \x20 lddp-cli bench   --quick|--rolling [--n N] [--out BENCH.json]\n\
          \x20 lddp-cli chaos   [--seed S] [--campaign quick|heavy] [--out report.json]\n\
          \n\
@@ -650,7 +668,11 @@ pub fn usage() -> String {
          size mix to exercise the fleet dispatcher; `--priority` and\n\
          `--tenant` stamp every request with a QoS class / tenant for\n\
          overload experiments (`serve --tenant-rps` meters named\n\
-         tenants, `--batch-queue-cap` bounds the batch class).\n\
+         tenants, `--batch-queue-cap` bounds the batch class);\n\
+         `--stream` consumes `POST /solve?stream=1` band streams and\n\
+         reports time-to-first-band percentiles, and\n\
+         `--retry-after-cap-ms` caps how much of a 429/503 Retry-After\n\
+         hint is honored (default 2000).\n\
          Set LDDP_FORCE_TIER=scalar|bulk|simd|bitparallel to cap the\n\
          execution tier of every engine in the process.\n\
          `solve --memory rolling` keeps only the live wavefronts\n\
@@ -1249,6 +1271,111 @@ fn run_solve_rolling_inner(
     }
 }
 
+/// [`run_solve_rolling`] that streams sealed wave bands while the pool
+/// keeps solving — the backend of `POST /solve?stream=1`. The schedule
+/// is cut into at most `bands` near-equal-cell slices and `emit` is
+/// called once per band, in order, from behind the band's sealing
+/// barrier; a blocking `emit` stalls the pool (backpressure), and an
+/// `emit` returning `false` stops emission while the solve completes.
+/// Instance seeds and the answer string are byte-identical to
+/// [`run_solve_rolling`] and the full-table paths.
+#[allow(clippy::too_many_arguments)]
+pub fn run_solve_rolling_stream(
+    problem: &str,
+    n: usize,
+    platform_name: &str,
+    params: ScheduleParams,
+    tier: Option<ExecTier>,
+    engine: &crate::parallel::ParallelEngine,
+    bands: usize,
+    emit: &(dyn Fn(lddp_core::rolling::BandEvent) -> bool + Sync),
+) -> Result<RunSummary, String> {
+    let platform = platform_by_name(platform_name);
+    // As in the plain rolling path: a bit-parallel pin has no band
+    // analogue, so let the engine pick the best band tier.
+    let engine = engine.clone().with_tier(match tier {
+        Some(ExecTier::BitParallel) => None,
+        t => t,
+    });
+    let seq = |seed: u64| crate::workloads::random_seq(n, 4, seed);
+    macro_rules! roll_stream {
+        ($kernel:expr, $io:expr, $best:expr, $score:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let fw = Framework::new(platform.clone()).with_io_bytes($io.0, $io.1);
+            let class = fw.classify(&kernel).map_err(|e| e.to_string())?;
+            let hetero_s = fw.estimate(&kernel, params).map_err(|e| e.to_string())?;
+            let hook = crate::parallel::StreamHook {
+                bands,
+                score_of: $score,
+                emit,
+            };
+            let solve = engine
+                .solve_rolling_stream(&kernel, $best, &hook)
+                .map_err(|e| e.to_string())?;
+            let answer = $answer(&solve);
+            Ok(RunSummary {
+                problem: problem.to_string(),
+                instance: format!("{n} x {n} on {}", platform.name),
+                patterns: format!("{} → executed as {}", class.raw_pattern, class.exec_pattern),
+                params,
+                tier: solve.tier,
+                memory_mode: MemoryMode::Rolling,
+                table_bytes: solve.peak_bytes,
+                hetero_ms: hetero_s * 1e3,
+                answer,
+            })
+        }};
+    }
+    use crate::parallel::RollingSolve;
+    match problem {
+        "levenshtein" => roll_stream!(
+            problems::LevenshteinKernel::new(seq(1), seq(2)),
+            (2 * n, 8),
+            None,
+            |c: &u32| *c as f64,
+            |s: &RollingSolve<u32>| format!("edit distance = {}", s.corner.unwrap_or_default())
+        ),
+        "lcs" => roll_stream!(
+            problems::LcsKernel::new(seq(3), seq(4)),
+            (2 * n, 8),
+            None,
+            |c: &u32| *c as f64,
+            |s: &RollingSolve<u32>| format!("LCS length = {}", s.corner.unwrap_or_default())
+        ),
+        "dtw" => roll_stream!(
+            problems::DtwKernel::random_walk(n, n, 5),
+            (8 * n, 8),
+            None,
+            |c: &f32| *c as f64,
+            |s: &RollingSolve<f32>| format!("DTW distance = {:.3}", s.corner.unwrap_or_default())
+        ),
+        "needleman-wunsch" => roll_stream!(
+            problems::NeedlemanWunschKernel::new(seq(9), seq(10)),
+            (2 * n, 8),
+            None,
+            |c: &i32| *c as f64,
+            |s: &RollingSolve<i32>| format!(
+                "global alignment score = {}",
+                s.corner.unwrap_or_default()
+            )
+        ),
+        "smith-waterman" => roll_stream!(
+            problems::SmithWatermanKernel::new(seq(11), seq(12)),
+            (2 * n, 8),
+            Some(|c: &problems::SwCell| c.best() as i64),
+            |c: &problems::SwCell| c.best() as f64,
+            |s: &RollingSolve<problems::SwCell>| {
+                let best = s.best.map(|(_, _, c)| c.best()).unwrap_or(0);
+                format!("best local alignment score = {best}")
+            }
+        ),
+        other if PROBLEMS.contains(&other) => Err(format!(
+            "problem '{other}' has no rolling-mode solve (its answer needs the full table)"
+        )),
+        other => Err(format!("unknown problem '{other}'")),
+    }
+}
+
 /// The §IV cost model's virtual-time estimate for one instance on one
 /// platform preset with the given (already legalized) parameters — the
 /// scoring input of the fleet dispatcher, which compares this estimate
@@ -1371,6 +1498,136 @@ pub fn run_solve_multi(
         }};
     }
     with_problem!(problem, n, multi_of)
+}
+
+/// Projects a grid cell to the `f64` frontier score a streamed band
+/// frame carries — the per-cell-type half of
+/// [`run_solve_multi_stream`], which is generic over the registry's
+/// cell types but needs one number per band boundary.
+trait BandScore {
+    fn band_score(&self) -> f64;
+}
+
+macro_rules! band_score_as_f64 {
+    ($($ty:ty),*) => {$(
+        impl BandScore for $ty {
+            fn band_score(&self) -> f64 {
+                *self as f64
+            }
+        }
+    )*};
+}
+
+band_score_as_f64!(u32, i32, u64, f32);
+
+impl BandScore for problems::SwCell {
+    fn band_score(&self) -> f64 {
+        self.best() as f64
+    }
+}
+
+impl BandScore for problems::DitherCell {
+    fn band_score(&self) -> f64 {
+        self.out as f64
+    }
+}
+
+/// [`run_solve_multi`] that emits one frame per device band as the
+/// cross-device split reassembles — the fleet's `MultiPlan` leg of
+/// `POST /solve?stream=1`. The split is by *columns*, not waves, so a
+/// frame's `wave_lo..=wave_hi` range is reinterpreted as the band's
+/// column range, `rows_completed` only reaches `rows` on the final
+/// band (a grid row seals at its last column), and `score` is the
+/// bottom cell of the band's last column. Emission is observation
+/// only: the answer is identical to [`run_solve_multi`], and an `emit`
+/// returning `false` stops further frames without touching the solve.
+pub fn run_solve_multi_stream(
+    problem: &str,
+    n: usize,
+    params: ScheduleParams,
+    devices: usize,
+    emit: &(dyn Fn(lddp_core::rolling::BandEvent) -> bool + Sync),
+) -> Result<RunSummary, String> {
+    if devices < 2 {
+        return Err("a cross-device split needs at least 2 devices".into());
+    }
+    let platform = fleet_multi_platform(devices);
+    macro_rules! multi_stream_of {
+        ($kernel:expr, $io:expr, $answer:expr) => {{
+            let kernel = $kernel;
+            let _ = $io;
+            let set = kernel.contributing_set();
+            let raw = classify(set).ok_or("empty contributing set")?;
+            if !raw.is_canonical() {
+                return Err(format!(
+                    "problem '{problem}' executes {raw} through an adapter; \
+                     no direct cross-device band split"
+                ));
+            }
+            let dims = kernel.dims();
+            let boundaries = crate::fleet::split_bands(dims.cols, devices);
+            let t_switch =
+                crate::fleet::per_band_params(params, raw, dims.rows, &boundaries, dims.cols)
+                    .iter()
+                    .map(|p| p.t_switch)
+                    .chain(std::iter::once(params.clamped_for(raw, dims).t_switch))
+                    .min()
+                    .unwrap_or(0);
+            let plan = lddp_core::multi::MultiPlan::new(raw, set, dims, t_switch, boundaries)
+                .map_err(|e| e.to_string())?;
+            let report = hetero_sim::multi::run_multi(&kernel, &plan, &platform, true)
+                .map_err(|e| e.to_string())?;
+            let grid = report.grid.expect("functional multi run returns a grid");
+            // One frame per device band, cut at the plan's column
+            // boundaries, scored off the reassembled table.
+            let bounds = crate::fleet::split_bands(dims.cols, devices);
+            let cells_total = (dims.rows * dims.cols) as u64;
+            let mut lo = 0usize;
+            let mut cells_done = 0u64;
+            for (band, hi) in bounds
+                .iter()
+                .copied()
+                .chain(std::iter::once(dims.cols))
+                .enumerate()
+            {
+                if hi <= lo {
+                    // Degenerate (empty) band: more devices than
+                    // columns. Nothing sealed, nothing to frame.
+                    continue;
+                }
+                cells_done += (dims.rows * (hi - lo)) as u64;
+                let last = hi == dims.cols;
+                let frame = lddp_core::rolling::BandEvent {
+                    band,
+                    bands: devices,
+                    wave_lo: lo,
+                    wave_hi: hi - 1,
+                    rows_completed: if last { dims.rows } else { 0 },
+                    rows: dims.rows,
+                    cells_done,
+                    cells_total,
+                    score: grid.get(dims.rows - 1, hi - 1).band_score(),
+                    best: None,
+                };
+                lo = hi;
+                if !emit(frame) {
+                    break;
+                }
+            }
+            Ok(RunSummary {
+                problem: problem.to_string(),
+                instance: format!("{n} x {n} split {}-way on {}", devices, platform.name),
+                patterns: format!("{raw} → {} column bands", devices),
+                params: ScheduleParams::new(t_switch, params.t_share),
+                tier: ExecTier::Scalar,
+                memory_mode: MemoryMode::Full,
+                table_bytes: rolling::full_table_bytes(&kernel),
+                hetero_ms: report.total_s * 1e3,
+                answer: $answer(&kernel, &grid),
+            })
+        }};
+    }
+    with_problem!(problem, n, multi_stream_of)
 }
 
 /// The execution pattern the framework classifies the named problem to
@@ -1942,8 +2199,8 @@ fn serve_with(
             println!("tune-cache: {path} ({prewarmed} entries pre-warmed)");
         }
         println!(
-            "routes: POST /solve | GET /healthz | GET /stats | GET /metrics | \
-             GET /debug/trace | POST /shutdown"
+            "routes: POST /solve | POST /solve?stream=1 | GET /healthz | GET /stats | \
+             GET /metrics | GET /debug/trace | POST /shutdown"
         );
         client.wait_shutdown();
         client.snapshot()
@@ -2001,6 +2258,12 @@ pub struct LoadgenOpts {
     pub tenant: String,
     /// Drive the in-process server with the fleet backend.
     pub fleet: bool,
+    /// Consume `POST /solve?stream=1` band streams and report
+    /// time-to-first-band percentiles.
+    pub stream: bool,
+    /// Cap on how much of a 429/503 `Retry-After` hint is honored,
+    /// milliseconds (`None` = the loadgen default).
+    pub retry_after_cap_ms: Option<u64>,
 }
 
 /// Runs one load experiment (HTTP when `addr` is set, against an
@@ -2044,6 +2307,11 @@ pub fn run_loadgen(opts: &LoadgenOpts) -> Result<String, String> {
         expect_answer,
         retry,
         mix,
+        stream: opts.stream,
+        retry_after_cap: opts
+            .retry_after_cap_ms
+            .map(Duration::from_millis)
+            .unwrap_or(lddp_serve::loadgen::DEFAULT_RETRY_AFTER_CAP),
     };
     let report = match &opts.addr {
         Some(addr) => {
@@ -2268,8 +2536,9 @@ pub fn run_bench_quick(n: usize, out_path: Option<&str>) -> Result<String, Strin
 
     let json = format!(
         "{{\"bench\":\"quick\",\"n\":{n},\"threads\":{threads},\"iters\":{iters},\
-         \"simd\":\"{}\",\"problems\":[{}],\"worker_sweep\":{}}}",
+         \"simd\":\"{}\",\"avx512\":{},\"problems\":[{}],\"worker_sweep\":{}}}",
         lddp_core::kernel::simd_backend(),
+        lddp_core::kernel::avx512_available(),
         entries.join(","),
         sweep?
     );
@@ -2340,8 +2609,9 @@ pub fn run_bench_rolling(n: usize, out_path: Option<&str>) -> Result<String, Str
 
     let json = format!(
         "{{\"bench\":\"rolling\",\"n\":{n},\"threads\":{threads},\"iters\":{iters},\
-         \"simd\":\"{}\",\"problems\":[{}]}}",
+         \"simd\":\"{}\",\"avx512\":{},\"problems\":[{}]}}",
         lddp_core::kernel::simd_backend(),
+        lddp_core::kernel::avx512_available(),
         entries.join(",")
     );
     if let Some(path) = out_path {
@@ -2700,6 +2970,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             priority,
             tenant,
             fleet,
+            stream,
+            retry_after_cap_ms,
         } => run_loadgen(&LoadgenOpts {
             addr,
             problem,
@@ -2716,6 +2988,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             priority,
             tenant,
             fleet,
+            stream,
+            retry_after_cap_ms,
         }),
         Command::Bench { n, rolling, out } => {
             if rolling {
@@ -3060,12 +3334,15 @@ mod tests {
                 priority: Priority::Interactive,
                 tenant: String::new(),
                 fleet: false,
+                stream: false,
+                retry_after_cap_ms: None,
             }
         );
         let cmd = parse(&argv(
             "loadgen --addr 127.0.0.1:8700 --problem dtw --n 128 --requests 500 \
              --rps 50 --duration 10 --concurrency 8 --deadline-ms 2000 --no-verify \
-             --retries 3 --mix 48,96,1100 --priority batch --tenant acme",
+             --retries 3 --mix 48,96,1100 --priority batch --tenant acme \
+             --stream --retry-after-cap-ms 500",
         ))
         .unwrap();
         assert_eq!(
@@ -3086,9 +3363,12 @@ mod tests {
                 priority: Priority::Batch,
                 tenant: "acme".into(),
                 fleet: false,
+                stream: true,
+                retry_after_cap_ms: Some(500),
             }
         );
         assert!(parse(&argv("loadgen --problem lcs --priority urgent")).is_err());
+        assert!(parse(&argv("loadgen --problem lcs --retry-after-cap-ms soon")).is_err());
         match parse(&argv("loadgen --problem lcs --fleet")).unwrap() {
             Command::Loadgen { fleet, addr, .. } => {
                 assert!(fleet);
@@ -3280,6 +3560,8 @@ mod tests {
             priority: Priority::Interactive,
             tenant: String::new(),
             fleet: false,
+            stream: false,
+            retry_after_cap_ms: None,
         };
         let text = run_loadgen(&opts).unwrap();
         let v = lddp_trace::json::parse(&text).unwrap();
@@ -3294,5 +3576,47 @@ mod tests {
         assert!(latency.get("p50_ms").and_then(|j| j.as_f64()).is_some());
         assert!(latency.get("p99_ms").and_then(|j| j.as_f64()).is_some());
         assert!(v.get("rejection_rate").and_then(|j| j.as_f64()).is_some());
+    }
+
+    #[test]
+    fn loadgen_in_process_stream_reports_bands_and_ttfb() {
+        let opts = LoadgenOpts {
+            addr: None,
+            problem: "lcs".into(),
+            n: 96,
+            platform: "high".into(),
+            requests: 6,
+            rps: None,
+            duration_s: None,
+            concurrency: 2,
+            deadline_ms: None,
+            no_verify: false,
+            retries: 1,
+            mix: vec![],
+            priority: Priority::Interactive,
+            tenant: String::new(),
+            fleet: false,
+            stream: true,
+            retry_after_cap_ms: Some(500),
+        };
+        let text = run_loadgen(&opts).unwrap();
+        let v = lddp_trace::json::parse(&text).unwrap();
+        assert_eq!(v.get("completed").and_then(|j| j.as_f64()), Some(6.0));
+        assert_eq!(v.get("mismatches").and_then(|j| j.as_f64()), Some(0.0));
+        assert_eq!(
+            v.get("retry_after_cap_ms").and_then(|j| j.as_f64()),
+            Some(500.0)
+        );
+        let bands = v
+            .get("stream")
+            .and_then(|s| s.get("bands"))
+            .and_then(|j| j.as_f64())
+            .expect("stream band count");
+        assert!(bands >= 6.0, "every request delivers at least one band");
+        let ttfb = v
+            .get("latency_ms")
+            .and_then(|l| l.get("ttfb"))
+            .expect("ttfb summary");
+        assert_eq!(ttfb.get("count").and_then(|j| j.as_f64()), Some(6.0));
     }
 }

@@ -16,11 +16,11 @@
 
 use crate::cli;
 use lddp_chaos::FaultInjector;
-use lddp_core::kernel::MemoryMode;
+use lddp_core::kernel::{ExecTier, MemoryMode};
 use lddp_core::tuner_cache::{TuneKey, TunedConfig, TunerCache};
 use lddp_core::wavefront::Dims;
 use lddp_fleet::{default_fleet, Fleet};
-use lddp_serve::{BackendSolve, BatchPlan, PoolHealth, SolveBackend, SolveRequest};
+use lddp_serve::{BackendSolve, BandFrame, BatchPlan, PoolHealth, SolveBackend, SolveRequest};
 use lddp_trace::live::LiveRegistry;
 use lddp_trace::TraceSink;
 use std::sync::Arc;
@@ -425,6 +425,105 @@ impl SolveBackend for FleetBackend {
             memory_mode: summary.memory_mode,
             table_bytes: summary.table_bytes,
             degraded,
+            placed_on: Some(self.fleet.pool(idx).spec.name.clone()),
+            devices,
+        })
+    }
+
+    fn solve_streamed(
+        &self,
+        req: &SolveRequest,
+        plan: &BatchPlan,
+        sink: &dyn TraceSink,
+        emit: &(dyn Fn(BandFrame) -> bool + Sync),
+    ) -> Result<BackendSolve, String> {
+        // Chaos campaigns keep the non-streamed degradation ladder, and
+        // full-table-answer problems below the multi threshold have no
+        // band path: both fall back to the plain placed solve (zero
+        // band frames, then the done frame).
+        let pattern = cli::classify_problem(&req.problem, req.n)?;
+        let multi_eligible = req.n >= FLEET_MULTI_N && pattern.is_canonical();
+        if self.injector.is_some() || !(cli::rolling_supported(&req.problem) || multi_eligible) {
+            return self.solve_placed(req, plan, sink);
+        }
+        let idx = plan
+            .placement
+            .as_deref()
+            .and_then(|name| self.fleet.index_of(name))
+            .unwrap_or(0);
+        let predicted = plan.predicted_s.unwrap_or(0.0);
+        let clamped = plan
+            .config
+            .params
+            .clamped_for(pattern, Dims::new(req.n, req.n));
+        let rolling_mode = plan.config.memory_mode == MemoryMode::Rolling
+            && cli::rolling_supported(&req.problem)
+            && plan.config.tier != ExecTier::BitParallel;
+
+        // Same backlog brackets as `solve_placed`: concurrent
+        // placements must see streamed work in flight too.
+        let class = req.priority.index();
+        self.fleet.dispatcher().begin_for(idx, predicted, class);
+        self.publish_backlog(idx, class);
+        let started = Instant::now();
+        let bridge =
+            |ev: lddp_core::rolling::BandEvent| emit(crate::serve_backend::band_frame_of(ev));
+        let result: Result<(cli::RunSummary, usize), String> = (|| {
+            // Routing mirrors `solve_on`: large non-rolling grids go
+            // through the cross-device MultiPlan split, streaming one
+            // frame per device band as the table reassembles.
+            if req.n >= FLEET_MULTI_N && !rolling_mode {
+                if let Ok(summary) = cli::run_solve_multi_stream(
+                    &req.problem,
+                    req.n,
+                    clamped,
+                    FLEET_SPLIT_DEVICES,
+                    &bridge,
+                ) {
+                    return Ok((summary, FLEET_SPLIT_DEVICES));
+                }
+            }
+            // Wave problems stream bands off the placed pool's rolling
+            // path (forced: a full-table solve has no sealed bands to
+            // publish; the answers are byte-identical). Anything left
+            // — a multi-eligible problem whose split fell through —
+            // solves whole, non-streamed, on the placed pool.
+            if cli::rolling_supported(&req.problem) {
+                let pool = self.fleet.pool(idx);
+                let summary = cli::run_solve_rolling_stream(
+                    &req.problem,
+                    req.n,
+                    cost_platform(&pool.spec.name),
+                    clamped,
+                    Some(plan.config.tier),
+                    &pool.engine,
+                    crate::serve_backend::STREAM_BANDS,
+                    &bridge,
+                )?;
+                return Ok((summary, 1));
+            }
+            self.solve_on(req, idx, clamped, plan.config.tier, plan.config.memory_mode)
+                .map(|(summary, _degraded, devices)| (summary, devices))
+        })();
+        let actual = started.elapsed().as_secs_f64();
+        self.fleet.dispatcher().finish_for(idx, predicted, class);
+        self.publish_backlog(idx, class);
+
+        let (summary, devices) = result?;
+        if devices > 1 {
+            self.fleet.metrics().on_split(devices);
+        }
+        self.fleet
+            .metrics()
+            .on_finish(idx, predicted, actual, false);
+        Ok(BackendSolve {
+            answer: summary.answer,
+            virtual_ms: summary.hetero_ms,
+            params: summary.params,
+            tier: summary.tier,
+            memory_mode: summary.memory_mode,
+            table_bytes: summary.table_bytes,
+            degraded: Vec::new(),
             placed_on: Some(self.fleet.pool(idx).spec.name.clone()),
             devices,
         })

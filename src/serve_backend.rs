@@ -13,7 +13,7 @@ use lddp_core::schedule::ScheduleParams;
 use lddp_core::tuner_cache::{TuneKey, TunedConfig, TunerCache};
 use lddp_core::wavefront::Dims;
 use lddp_parallel::ParallelEngine;
-use lddp_serve::{BackendSolve, SolveBackend, SolveRequest};
+use lddp_serve::{BackendSolve, BandFrame, BatchPlan, SolveBackend, SolveRequest};
 use lddp_trace::live::LiveRegistry;
 use lddp_trace::TraceSink;
 use std::sync::Arc;
@@ -22,6 +22,31 @@ use std::sync::Arc;
 /// a modelled platform; this cap keeps one request from monopolizing a
 /// worker for minutes.
 pub const MAX_SERVE_N: usize = 8192;
+
+/// Bands a streamed solve (`POST /solve?stream=1`) is cut into: enough
+/// granularity that the first frame lands a few percent into the
+/// schedule (time-to-first-band ≪ total latency) without the per-band
+/// barrier bookkeeping showing up in throughput.
+pub const STREAM_BANDS: usize = 32;
+
+/// Bridges an engine [`BandEvent`](lddp_core::rolling::BandEvent) to
+/// the serve-layer wire frame. `elapsed_ms` is stamped by the server
+/// at emission (it owns the request clock), so it is zero here.
+pub(crate) fn band_frame_of(ev: lddp_core::rolling::BandEvent) -> BandFrame {
+    BandFrame {
+        band: ev.band,
+        bands: ev.bands,
+        wave_lo: ev.wave_lo,
+        wave_hi: ev.wave_hi,
+        rows_completed: ev.rows_completed,
+        rows: ev.rows,
+        cells_done: ev.cells_done,
+        cells_total: ev.cells_total,
+        score: ev.score,
+        best: ev.best,
+        elapsed_ms: 0.0,
+    }
+}
 
 /// [`SolveBackend`] over the real [`Framework`](crate::Framework)
 /// solve path, with tuned parameters cached per
@@ -275,6 +300,53 @@ impl SolveBackend for FrameworkBackend {
             memory_mode: summary.memory_mode,
             table_bytes: summary.table_bytes,
             degraded,
+            placed_on: None,
+            devices: 1,
+        })
+    }
+
+    fn solve_streamed(
+        &self,
+        req: &SolveRequest,
+        plan: &BatchPlan,
+        sink: &dyn TraceSink,
+        emit: &(dyn Fn(BandFrame) -> bool + Sync),
+    ) -> Result<BackendSolve, String> {
+        // Streaming needs sealed bands to publish: problems whose
+        // answer needs the full table have no band path, and chaos
+        // campaigns keep the non-streamed degradation ladder. Both
+        // fall back to the plain placed solve — the client sees zero
+        // band frames, then the done frame.
+        if self.injector.is_some() || !cli::rolling_supported(&req.problem) {
+            return self.solve_placed(req, plan, sink);
+        }
+        let config = plan.config;
+        let pattern = cli::classify_problem(&req.problem, req.n)?;
+        let clamped = config.params.clamped_for(pattern, Dims::new(req.n, req.n));
+        // The rolling band path runs regardless of the tuner's
+        // memory-mode choice: a full-table solve only produces its
+        // corner at the very end, which would hold the first frame
+        // back for the entire solve. Rolling answers are
+        // byte-identical to the full-table ones, so the done frame
+        // matches a non-streamed solve of the same request.
+        let summary = cli::run_solve_rolling_stream(
+            &req.problem,
+            req.n,
+            &req.platform,
+            clamped,
+            Some(config.tier),
+            &self.engine,
+            STREAM_BANDS,
+            &|ev| emit(band_frame_of(ev)),
+        )?;
+        Ok(BackendSolve {
+            answer: summary.answer,
+            virtual_ms: summary.hetero_ms,
+            params: summary.params,
+            tier: summary.tier,
+            memory_mode: summary.memory_mode,
+            table_bytes: summary.table_bytes,
+            degraded: Vec::new(),
             placed_on: None,
             devices: 1,
         })
